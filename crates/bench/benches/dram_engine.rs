@@ -1,0 +1,61 @@
+//! Criterion bench: raw DDR2 timing-engine throughput — command legality
+//! checks and issue bookkeeping, the simulator's hot path (Table 1 / Fig 1
+//! substrate).
+
+use burst_dram::{Channel, Command, Cycle, Dir, DramConfig, Loc, RowState};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Streams `n` accesses through one channel with a greedy driver.
+fn stream_accesses(n: u64) -> Cycle {
+    let cfg = DramConfig::small();
+    let mut ch = Channel::new(cfg);
+    let mut now: Cycle = 0;
+    for i in 0..n {
+        let loc = Loc::new(0, 0, (i % 4) as u8, (i % 7) as u32, ((i * 8) % 256) as u32);
+        loop {
+            ch.tick(now);
+            let cmd = match ch.row_state(loc) {
+                RowState::Hit => Command::Column { loc, dir: Dir::Read, auto_precharge: false },
+                RowState::Empty => Command::Activate(loc),
+                RowState::Conflict => Command::Precharge(loc),
+            };
+            if ch.can_issue(&cmd, now) {
+                ch.issue(&cmd, now);
+                if cmd.is_column() {
+                    break;
+                }
+            }
+            now += 1;
+        }
+        now += 1;
+    }
+    now
+}
+
+fn bench_dram_engine(c: &mut Criterion) {
+    c.bench_function("dram_stream_1000_accesses", |b| {
+        b.iter(|| black_box(stream_accesses(1_000)))
+    });
+
+    c.bench_function("dram_can_issue_check", |b| {
+        let cfg = DramConfig::baseline();
+        let mut ch = Channel::new(cfg);
+        let loc = Loc::new(0, 0, 0, 5, 0);
+        ch.issue(&Command::Activate(loc), 0);
+        let cmd = Command::read(loc);
+        b.iter(|| black_box(ch.can_issue(black_box(&cmd), black_box(cfg.timing.t_rcd))))
+    });
+
+    c.bench_function("dram_refresh_tick_16_banks", |b| {
+        let mut ch = Channel::new(DramConfig::baseline());
+        let mut now = 0u64;
+        b.iter(|| {
+            ch.tick(black_box(now));
+            now += 1;
+        })
+    });
+}
+
+criterion_group!(benches, bench_dram_engine);
+criterion_main!(benches);

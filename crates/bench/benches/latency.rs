@@ -1,0 +1,48 @@
+//! Criterion bench: the Figure 7/8/9 measurement pipeline — controller
+//! scheduling with statistics collection, isolated from the CPU model.
+
+use burst_core::{Access, AccessId, AccessKind, CtrlConfig, Mechanism};
+use burst_dram::{AddressMapping, Dram, DramConfig, PhysAddr};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Pushes `n` mixed accesses through a scheduler and drains it, returning
+/// the total memory cycles — the controller-side hot loop.
+fn controller_run(mechanism: Mechanism, n: u64) -> u64 {
+    let dram_cfg = DramConfig::baseline();
+    let mut dram = Dram::new(dram_cfg, AddressMapping::PageInterleaving);
+    let mut sched = mechanism.build(CtrlConfig::default(), dram_cfg.geometry);
+    let mut done = Vec::new();
+    let mut now = 0u64;
+    for i in 0..n {
+        let addr = PhysAddr::new((i % 97) * 64 + (i % 13) * (1 << 21));
+        let kind = if i % 4 == 3 { AccessKind::Write } else { AccessKind::Read };
+        if sched.can_accept(kind) {
+            let a = Access::new(AccessId::new(i), kind, addr, dram.decode(addr), now);
+            sched.enqueue(a, now, &mut done);
+        }
+        sched.tick(&mut dram, now, &mut done);
+        now += 1;
+    }
+    while sched.outstanding().total() > 0 {
+        sched.tick(&mut dram, now, &mut done);
+        now += 1;
+    }
+    now
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_pipeline");
+    group.sample_size(20);
+    for mechanism in [Mechanism::BkInOrder, Mechanism::RowHit, Mechanism::BurstTh(52)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mechanism.name()),
+            &mechanism,
+            |b, &m| b.iter(|| black_box(controller_run(m, 500))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: full-system simulation throughput per mechanism
+//! (the engine behind Figure 10's sweep). Each sample simulates a fixed
+//! instruction budget of the `swim` surrogate on the baseline machine.
+
+use burst_core::Mechanism;
+use burst_sim::{simulate, RunLength, SystemConfig};
+use burst_workloads::SpecBenchmark;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_mechanisms");
+    group.sample_size(10);
+    for mechanism in Mechanism::all_paper() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mechanism.name()),
+            &mechanism,
+            |b, &m| {
+                let cfg = SystemConfig::baseline().with_mechanism(m);
+                b.iter(|| {
+                    simulate(
+                        &cfg,
+                        SpecBenchmark::Swim.workload(42),
+                        RunLength::Instructions(5_000),
+                    )
+                    .cpu_cycles
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: the Figure 11/12 threshold sweep points. Execution
+//! time per threshold is the figure's y-axis; wall-clock here tracks the
+//! simulated cycle count, so relative sample times mirror the figure's
+//! shape.
+
+use burst_core::Mechanism;
+use burst_sim::{simulate, RunLength, SystemConfig};
+use burst_workloads::SpecBenchmark;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_threshold");
+    group.sample_size(10);
+    let points = [
+        Mechanism::BurstWp,
+        Mechanism::BurstTh(16),
+        Mechanism::BurstTh(32),
+        Mechanism::BurstTh(48),
+        Mechanism::BurstTh(52),
+        Mechanism::BurstRp,
+    ];
+    for mechanism in points {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mechanism.name()),
+            &mechanism,
+            |b, &m| {
+                let cfg = SystemConfig::baseline().with_mechanism(m);
+                b.iter(|| {
+                    simulate(
+                        &cfg,
+                        SpecBenchmark::Swim.workload(42),
+                        RunLength::Instructions(5_000),
+                    )
+                    .cpu_cycles
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Ablation studies beyond the paper's figures:
+//!
+//! 1. Address mapping x scheduling (paper Section 7: "studies of access
+//!    reordering mechanisms working in conjunction with SDRAM address
+//!    mapping are ongoing") — page interleaving vs permutation vs
+//!    bit-reversal under BkInOrder and Burst_TH52.
+//! 2. Row policy: open page vs close-page autoprecharge under BkInOrder.
+//! 3. Dynamic threshold (Section 7 future work) vs the static optimum.
+
+use burst_bench::{banner, HarnessOptions};
+use burst_core::Mechanism;
+use burst_dram::{AddressMapping, RowPolicy};
+use burst_sim::report::render_table;
+use burst_sim::{simulate, SystemConfig};
+use burst_workloads::SpecBenchmark;
+
+fn main() {
+    let opts = HarnessOptions::from_args(40_000);
+    println!("{}", banner("ablation", "design-space studies beyond the paper", &opts));
+    let benches: Vec<SpecBenchmark> = if opts.benchmarks.len() > 6 {
+        vec![
+            SpecBenchmark::Swim,
+            SpecBenchmark::Gcc,
+            SpecBenchmark::Mcf,
+            SpecBenchmark::Lucas,
+            SpecBenchmark::Art,
+        ]
+    } else {
+        opts.benchmarks.clone()
+    };
+
+    // 1. Address mapping x mechanism.
+    println!("--- address mapping x mechanism (avg cpu cycles over {} benchmarks)\n", benches.len());
+    let mut rows = Vec::new();
+    for mapping in [
+        AddressMapping::PageInterleaving,
+        AddressMapping::CacheLineInterleaving,
+        AddressMapping::Permutation,
+        AddressMapping::BitReversal,
+    ] {
+        let mut row = vec![format!("{mapping:?}")];
+        for mechanism in [Mechanism::BkInOrder, Mechanism::BurstTh(52)] {
+            let total: u64 = benches
+                .iter()
+                .map(|b| {
+                    let cfg = SystemConfig::baseline()
+                        .with_mechanism(mechanism)
+                        .with_mapping(mapping);
+                    simulate(&cfg, b.workload(opts.seed), opts.run).cpu_cycles
+                })
+                .sum();
+            row.push(format!("{}", total / benches.len() as u64));
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&["mapping", "BkInOrder", "Burst_TH52"], &rows));
+
+    // 2. Row policy under the baseline mechanism.
+    println!("--- row policy (BkInOrder)\n");
+    let mut rows = Vec::new();
+    for policy in [RowPolicy::OpenPage, RowPolicy::ClosePageAutoprecharge] {
+        let mut cfg = SystemConfig::baseline();
+        cfg.ctrl.row_policy = policy;
+        let mut total = 0u64;
+        let mut hits = 0.0;
+        for b in &benches {
+            let r = simulate(&cfg, b.workload(opts.seed), opts.run);
+            total += r.cpu_cycles;
+            hits += r.ctrl.row_hit_rate();
+        }
+        rows.push(vec![
+            policy.to_string(),
+            format!("{}", total / benches.len() as u64),
+            format!("{:.1}%", hits / benches.len() as f64 * 100.0),
+        ]);
+    }
+    println!("{}", render_table(&["policy", "avg cpu cycles", "row hit"], &rows));
+
+    // 3. Section 7 future work and related work vs the static optimum.
+    println!("--- future-work & related-work mechanisms\n");
+    let mut rows = Vec::new();
+    for mechanism in [
+        Mechanism::BurstTh(52),
+        Mechanism::BurstDyn,
+        Mechanism::BurstCrit,
+        Mechanism::AdaptiveHistory,
+    ] {
+        let mut row = vec![mechanism.name()];
+        for b in &benches {
+            let cfg = SystemConfig::baseline().with_mechanism(mechanism);
+            let r = simulate(&cfg, b.workload(opts.seed), opts.run);
+            row.push(format!("{}", r.cpu_cycles));
+        }
+        rows.push(row);
+    }
+    let mut headers: Vec<&str> = vec!["mechanism"];
+    let names: Vec<String> = benches.iter().map(|b| b.name().to_string()).collect();
+    headers.extend(names.iter().map(String::as_str));
+    println!("{}", render_table(&headers, &rows));
+}

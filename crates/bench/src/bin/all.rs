@@ -1,0 +1,85 @@
+//! Runs every table/figure regenerator in sequence — the full evaluation.
+//!
+//! ```text
+//! cargo run --release -p burst-bench --bin all -- --instructions 120000
+//! ```
+
+use burst_bench::{banner, HarnessOptions};
+use burst_core::Mechanism;
+use burst_dram::TimingParams;
+use burst_sim::experiments::{fig1, fig11, fig12, fig8, table1, Sweep};
+use burst_sim::export;
+use burst_sim::report::{
+    render_fig10, render_fig12, render_fig7, render_fig9, render_outstanding, render_table1,
+};
+use burst_workloads::SpecBenchmark;
+
+/// Directory for CSV dumps when `--csv DIR` is passed.
+fn csv_dir() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+}
+
+fn dump(dir: &Option<std::path::PathBuf>, name: &str, content: &str) {
+    if let Some(dir) = dir {
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|_| std::fs::write(dir.join(name), content))
+        {
+            eprintln!("warning: could not write {name}: {e}");
+        }
+    }
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args(120_000);
+    let csv = csv_dir();
+
+    println!("=== Table 1: possible SDRAM access latencies (DDR2 PC2-6400)\n");
+    println!("{}", render_table1(&table1(&TimingParams::ddr2_pc2_6400())));
+
+    println!("=== Figure 1: scheduling example");
+    let (in_order, ooo) = fig1();
+    println!("in-order non-interleaved: {in_order} cycles (paper 28); out-of-order: {ooo} cycles (paper 16)\n");
+
+    // One shared sweep powers Figures 7, 9 and 10.
+    println!(
+        "{}",
+        banner("Sweep", "all benchmarks x all mechanisms", &opts)
+    );
+    let sweep = Sweep::run(&opts.benchmarks, &Mechanism::all_paper(), opts.run, opts.seed);
+
+    println!("=== Figure 7: access latency (memory cycles)\n");
+    println!("{}", render_fig7(&sweep.fig7_rows()));
+    dump(&csv, "fig7.csv", &export::fig7_to_csv(&sweep.fig7_rows()));
+
+    println!("=== Figure 9: row states and bus utilisation\n");
+    println!("{}", render_fig9(&sweep.fig9_rows()));
+    dump(&csv, "fig9.csv", &export::fig9_to_csv(&sweep.fig9_rows()));
+
+    println!("=== Figure 10: normalised execution time\n");
+    println!("{}", render_fig10(&sweep.fig10_rows(), &sweep.fig10_average()));
+    dump(&csv, "fig10.csv", &export::fig10_to_csv(&sweep.fig10_rows()));
+    dump(&csv, "sweep.csv", &export::sweep_to_csv(&sweep));
+
+    println!("=== Figure 8: outstanding accesses, swim\n");
+    let f8 = fig8(SpecBenchmark::Swim, opts.run, opts.seed);
+    println!("{}", render_outstanding(&f8));
+    dump(&csv, "fig8.csv", &export::outstanding_to_csv(&f8));
+
+    println!("=== Figure 11: outstanding accesses vs threshold, swim\n");
+    let f11 = fig11(SpecBenchmark::Swim, opts.run, opts.seed);
+    println!("{}", render_outstanding(&f11));
+    dump(&csv, "fig11.csv", &export::outstanding_to_csv(&f11));
+
+    println!("=== Figure 12: threshold sweep\n");
+    let f12 = fig12(&opts.benchmarks, opts.run, opts.seed);
+    println!("{}", render_fig12(&f12));
+    dump(&csv, "fig12.csv", &export::fig12_to_csv(&f12));
+
+    if let Some(dir) = &csv {
+        println!("CSV results written to {}", dir.display());
+    }
+}

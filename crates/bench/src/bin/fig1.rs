@@ -1,0 +1,14 @@
+//! Regenerates Figure 1: the motivating example — four accesses on a 2-2-2
+//! burst-length-4 device, scheduled in order without interleaving (paper:
+//! 28 cycles) versus out of order with interleaving (paper: 16 cycles).
+
+use burst_sim::experiments::fig1;
+
+fn main() {
+    println!("=== Figure 1: memory access scheduling example (2-2-2 device, burst length 4)\n");
+    let (in_order, out_of_order) = fig1();
+    println!("In order, no interleaving (Fig 1a): {in_order} memory cycles (paper: 28)");
+    println!("Out of order, interleaved  (Fig 1b): {out_of_order} memory cycles (paper: 16)");
+    let speedup = in_order as f64 / out_of_order as f64;
+    println!("Speedup from reordering + interleaving: {speedup:.2}x (paper: 1.75x)");
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 10: execution time of each benchmark under each
+//! access reordering mechanism, normalised to BkInOrder.
+
+use burst_bench::{banner, HarnessOptions};
+use burst_core::Mechanism;
+use burst_sim::experiments::Sweep;
+use burst_sim::report::render_fig10;
+
+fn main() {
+    let opts = HarnessOptions::from_args(120_000);
+    println!(
+        "{}",
+        banner("Figure 10", "normalized execution time", &opts)
+    );
+    let sweep = Sweep::run(&opts.benchmarks, &Mechanism::all_paper(), opts.run, opts.seed);
+    println!("{}", render_fig10(&sweep.fig10_rows(), &sweep.fig10_average()));
+    println!(
+        "Paper averages: RowHit 0.83, Intel 0.88, Intel_RP 0.85, Burst 0.86,\n\
+         Burst_WP 0.81, Burst_TH52 0.79 (21% reduction; 6% over RowHit, 11% over Intel)."
+    );
+}

@@ -1,0 +1,34 @@
+//! Profiles each benchmark surrogate's memory traffic under the baseline
+//! mechanism: reads/writes reaching main memory, cache hit rates, IPC and
+//! bus pressure. A calibration aid, not a paper figure.
+
+use burst_bench::{banner, HarnessOptions};
+use burst_sim::{simulate, SystemConfig};
+use burst_sim::report::render_table;
+
+fn main() {
+    let opts = HarnessOptions::from_args(40_000);
+    println!("{}", banner("profile", "workload traffic calibration", &opts));
+    let mut rows = Vec::new();
+    for &b in &opts.benchmarks {
+        let report = simulate(&SystemConfig::baseline(), b.workload(opts.seed), opts.run);
+        rows.push(vec![
+            b.name().to_string(),
+            format!("{:.3}", report.ipc()),
+            report.reads().to_string(),
+            report.writes().to_string(),
+            format!("{:.2}", report.writes() as f64 / report.reads().max(1) as f64),
+            format!("{:.1}", report.ctrl.avg_read_latency()),
+            format!("{:.0}%", report.data_bus_utilization() * 100.0),
+            format!("{:.0}%", report.ctrl.row_hit_rate() * 100.0),
+            format!("{}", report.mem_cycles),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["bench", "IPC", "rd", "wr", "wr/rd", "rd lat", "data bus", "row hit", "mem cyc"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,23 @@
+//! Regenerates Table 1: possible SDRAM access latencies under the Open
+//! Page and Close Page Autoprecharge controller policies.
+
+use burst_bench::HarnessOptions;
+use burst_dram::TimingParams;
+use burst_sim::experiments::table1;
+use burst_sim::report::render_table1;
+
+fn main() {
+    let opts = HarnessOptions::from_args(0);
+    let _ = &opts;
+    println!("=== Table 1: possible SDRAM access latencies (memory cycles)\n");
+    for (name, timing) in [
+        ("DDR2 PC2-6400 (5-5-5), the baseline device", TimingParams::ddr2_pc2_6400()),
+        ("DDR PC-2100 (2-2-2), Section 6 comparison", TimingParams::ddr_pc_2100()),
+    ] {
+        println!("{name}:");
+        println!("{}", render_table1(&table1(&timing)));
+    }
+    println!(
+        "Paper: OP = tCL / tRCD+tCL / tRP+tRCD+tCL for hit/empty/conflict; CPA only row empty."
+    );
+}

@@ -1,0 +1,100 @@
+//! # burst-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! paper's evaluation. Each `src/bin/<id>.rs` binary prints the rows/series
+//! the paper reports; the Criterion benches under `benches/` measure the
+//! simulator itself.
+//!
+//! Run, e.g.:
+//!
+//! ```text
+//! cargo run --release -p burst-bench --bin fig10 -- --instructions 200000
+//! cargo run --release -p burst-bench --bin all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use burst_sim::RunLength;
+use burst_workloads::SpecBenchmark;
+
+/// Harness options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Instruction budget per simulation run.
+    pub run: RunLength,
+    /// Workload seed.
+    pub seed: u64,
+    /// Benchmarks to simulate.
+    pub benchmarks: Vec<SpecBenchmark>,
+}
+
+impl HarnessOptions {
+    /// Parses `--instructions N`, `--seed N` and `--benchmarks a,b,c` from
+    /// `std::env::args`, with the given default instruction budget.
+    ///
+    /// Unknown arguments are ignored so binaries can be combined with cargo
+    /// flags freely.
+    pub fn from_args(default_instructions: u64) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let value_of = |flag: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+        };
+        let instructions = value_of("--instructions")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_instructions);
+        let seed = value_of("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+        let benchmarks = value_of("--benchmarks")
+            .map(|list| {
+                let mut picks = Vec::new();
+                for name in list.split(',') {
+                    match SpecBenchmark::from_name(name) {
+                        Some(b) => picks.push(b),
+                        None => eprintln!(
+                            "warning: unknown benchmark {name:?} ignored (valid: {})",
+                            SpecBenchmark::all16().map(|b| b.name()).join(",")
+                        ),
+                    }
+                }
+                picks
+            })
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| SpecBenchmark::all16().to_vec());
+        HarnessOptions { run: RunLength::Instructions(instructions), seed, benchmarks }
+    }
+}
+
+/// A short header naming the experiment, printed by every binary.
+pub fn banner(id: &str, caption: &str, opts: &HarnessOptions) -> String {
+    let budget = match opts.run {
+        RunLength::Instructions(n) => format!("{n} instructions"),
+        RunLength::MemCycles(n) => format!("{n} memory cycles"),
+    };
+    format!(
+        "=== {id}: {caption}\n    (per-run budget: {budget}, seed {}, {} benchmark(s))\n",
+        opts.seed,
+        opts.benchmarks.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let o = HarnessOptions::from_args(1000);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.benchmarks.len(), 16);
+        assert!(matches!(o.run, RunLength::Instructions(1000)));
+    }
+
+    #[test]
+    fn banner_contains_id() {
+        let o = HarnessOptions::from_args(10);
+        assert!(banner("fig7", "latency", &o).contains("fig7"));
+    }
+}

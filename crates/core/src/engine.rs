@@ -1,0 +1,463 @@
+//! Shared controller machinery used by every access reordering mechanism:
+//! per-bank ongoing-access slots, transaction derivation, issue bookkeeping
+//! and statistics sampling.
+//!
+//! Each bank has at most one *ongoing access* — "the access for which
+//! transactions are currently being scheduled, but have not yet been
+//! completed" (paper Section 3.2). Mechanisms differ in how the ongoing
+//! access is chosen (the bank arbiter) and in which unblocked transaction is
+//! issued each cycle (the transaction scheduler); everything else lives here.
+
+use crate::{Access, AccessId, AccessKind, Completion, CtrlConfig, CtrlStats};
+use burst_dram::{Command, Cycle, Dram, Geometry, Loc, RowState};
+
+/// The access a bank is currently working on.
+#[derive(Debug, Clone, Copy)]
+pub struct Ongoing {
+    /// The access being executed.
+    pub access: Access,
+    /// Whether any transaction has been issued for it yet. Accesses are
+    /// classified (row hit/empty/conflict) when their first transaction
+    /// issues; preempting an already-started write re-classifies it on
+    /// restart, mirroring the extra device work the restart performs.
+    pub started: bool,
+}
+
+/// A schedulable transaction: one bank's ongoing access whose next
+/// transaction is unblocked at the current cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// Global bank index (see [`Core::global_bank`]).
+    pub bank: usize,
+    /// The transaction to issue.
+    pub cmd: Command,
+    /// Target location.
+    pub loc: Loc,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Arrival cycle of the access (for oldest-first tie-breaks).
+    pub arrival: Cycle,
+    /// Access id (stable tie-break).
+    pub id: AccessId,
+    /// Whether the access already started (Intel's finish-first rule).
+    pub started: bool,
+    /// Whether the transaction satisfies all timing constraints this
+    /// cycle. Burst's Table 2 only considers unblocked transactions;
+    /// conventional schedulers commit by policy order and may pick a
+    /// blocked one, wasting the cycle (the paper's "bubble cycles").
+    pub unblocked: bool,
+}
+
+/// Shared bookkeeping core embedded by each mechanism.
+#[derive(Debug)]
+pub struct Core {
+    cfg: CtrlConfig,
+    geom: Geometry,
+    ongoing: Vec<Option<Ongoing>>,
+    last_bank: Vec<Option<usize>>,
+    last_rank: Vec<Option<u8>>,
+    stats: CtrlStats,
+    reads_outstanding: usize,
+    writes_outstanding: usize,
+}
+
+impl Core {
+    /// Creates the core for a device of the given geometry.
+    pub fn new(cfg: CtrlConfig, geom: Geometry) -> Self {
+        let nbanks = geom.total_banks() as usize;
+        let nch = usize::from(geom.channels);
+        Core {
+            stats: CtrlStats::new(cfg.pool_capacity),
+            cfg,
+            geom,
+            ongoing: vec![None; nbanks],
+            last_bank: vec![None; nch],
+            last_rank: vec![None; nch],
+            reads_outstanding: 0,
+            writes_outstanding: 0,
+        }
+    }
+
+    /// Controller configuration.
+    pub fn cfg(&self) -> &CtrlConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// Exclusive statistics access (for mechanism-specific counters).
+    pub fn stats_mut(&mut self) -> &mut CtrlStats {
+        &mut self.stats
+    }
+
+    /// Number of banks per channel.
+    pub fn banks_per_channel(&self) -> usize {
+        usize::from(self.geom.ranks_per_channel) * usize::from(self.geom.banks_per_rank)
+    }
+
+    /// Total banks across all channels.
+    pub fn bank_count(&self) -> usize {
+        self.ongoing.len()
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.last_bank.len()
+    }
+
+    /// Banks per rank (geometry passthrough).
+    pub fn banks_per_rank(&self) -> usize {
+        usize::from(self.geom.banks_per_rank)
+    }
+
+    /// Reverse-maps a global bank index to `(channel, rank, bank)`.
+    pub fn bank_coords(&self, bank_idx: usize) -> (u8, u8, u8) {
+        let per_channel = self.banks_per_channel();
+        let bpr = self.banks_per_rank();
+        let channel = bank_idx / per_channel;
+        let within = bank_idx % per_channel;
+        ((channel as u8), ((within / bpr) as u8), ((within % bpr) as u8))
+    }
+
+    /// Maps a location to its global bank index.
+    pub fn global_bank(&self, loc: Loc) -> usize {
+        (usize::from(loc.channel) * usize::from(self.geom.ranks_per_channel)
+            + usize::from(loc.rank))
+            * usize::from(self.geom.banks_per_rank)
+            + usize::from(loc.bank)
+    }
+
+    /// The range of global bank indices belonging to `channel`.
+    pub fn bank_range(&self, channel: usize) -> core::ops::Range<usize> {
+        let per = self.banks_per_channel();
+        channel * per..(channel + 1) * per
+    }
+
+    /// Outstanding read count (queued + ongoing).
+    pub fn reads_outstanding(&self) -> usize {
+        self.reads_outstanding
+    }
+
+    /// Outstanding write count (queued + ongoing).
+    pub fn writes_outstanding(&self) -> usize {
+        self.writes_outstanding
+    }
+
+    /// Records an access entering the controller (enqueue).
+    pub fn note_arrival(&mut self, kind: AccessKind) {
+        match kind {
+            AccessKind::Read => self.reads_outstanding += 1,
+            AccessKind::Write => self.writes_outstanding += 1,
+        }
+    }
+
+    /// Records a read leaving via write-queue forwarding (never counted as
+    /// outstanding).
+    pub fn note_forward(&mut self, access: &Access, now: Cycle, completions: &mut Vec<Completion>) {
+        self.stats.forwards += 1;
+        self.stats.read_done(0);
+        completions.push(Completion {
+            id: access.id,
+            kind: AccessKind::Read,
+            done_at: now,
+            latency: 0,
+            forwarded: true,
+        });
+    }
+
+    /// Whether a new access of `kind` can be accepted: the pool has space
+    /// and the write queue is not saturated (a full write queue blocks all
+    /// new accesses — paper Section 3.2).
+    pub fn can_accept(&self, _kind: AccessKind) -> bool {
+        self.reads_outstanding + self.writes_outstanding < self.cfg.pool_capacity
+            && self.writes_outstanding < self.cfg.write_capacity
+    }
+
+    /// The ongoing access of a bank.
+    pub fn ongoing(&self, bank: usize) -> Option<&Ongoing> {
+        self.ongoing[bank].as_ref()
+    }
+
+    /// Installs `access` as the bank's ongoing access.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the slot is empty.
+    pub fn set_ongoing(&mut self, bank: usize, access: Access) {
+        debug_assert!(self.ongoing[bank].is_none(), "bank {bank} already has an ongoing access");
+        self.ongoing[bank] = Some(Ongoing { access, started: false });
+    }
+
+    /// Removes and returns the bank's ongoing access (read preemption).
+    pub fn clear_ongoing(&mut self, bank: usize) -> Option<Access> {
+        self.ongoing[bank].take().map(|o| o.access)
+    }
+
+    /// Derives the next transaction for an access at `loc`: column access on
+    /// a row hit, activate on a row empty, precharge on a row conflict. The
+    /// row policy decides whether column accesses carry auto-precharge.
+    pub fn next_command(&self, loc: Loc, kind: AccessKind, dram: &Dram) -> Command {
+        let ch = dram.channel(usize::from(loc.channel));
+        match ch.row_state(loc) {
+            RowState::Hit => Command::Column {
+                loc,
+                dir: kind.dir(),
+                auto_precharge: self.cfg.row_policy.auto_precharge(),
+            },
+            RowState::Empty => Command::Activate(loc),
+            RowState::Conflict => Command::Precharge(loc),
+        }
+    }
+
+    /// Collects every bank of `channel` whose ongoing access has an
+    /// unblocked next transaction at `now`.
+    pub fn fill_candidates(
+        &self,
+        dram: &Dram,
+        channel: usize,
+        now: Cycle,
+        out: &mut Vec<Candidate>,
+    ) {
+        self.fill_candidates_impl(dram, channel, now, out, false);
+    }
+
+    /// Like [`Core::fill_candidates`], but also includes banks whose next
+    /// transaction is currently blocked (with `unblocked == false`), for
+    /// schedulers that commit by policy order without timing awareness.
+    pub fn fill_all_candidates(
+        &self,
+        dram: &Dram,
+        channel: usize,
+        now: Cycle,
+        out: &mut Vec<Candidate>,
+    ) {
+        self.fill_candidates_impl(dram, channel, now, out, true);
+    }
+
+    fn fill_candidates_impl(
+        &self,
+        dram: &Dram,
+        channel: usize,
+        now: Cycle,
+        out: &mut Vec<Candidate>,
+        include_blocked: bool,
+    ) {
+        out.clear();
+        let ch = dram.channel(channel);
+        for bank in self.bank_range(channel) {
+            if let Some(og) = &self.ongoing[bank] {
+                let cmd = self.next_command(og.access.loc, og.access.kind, dram);
+                let unblocked = ch.can_issue(&cmd, now);
+                if unblocked || include_blocked {
+                    out.push(Candidate {
+                        bank,
+                        cmd,
+                        loc: og.access.loc,
+                        kind: og.access.kind,
+                        arrival: og.access.arrival,
+                        id: og.access.id,
+                        started: og.started,
+                        unblocked,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The last bank/rank a transaction was scheduled for on `channel`.
+    pub fn last_target(&self, channel: usize) -> (Option<usize>, Option<u8>) {
+        (self.last_bank[channel], self.last_rank[channel])
+    }
+
+    /// Fig. 6 lines 14–15: when nothing could be scheduled, steer the next
+    /// cycle toward the bank holding the oldest ongoing access.
+    pub fn steer_to_oldest(&mut self, channel: usize) {
+        let oldest = self
+            .bank_range(channel)
+            .filter_map(|b| self.ongoing[b].as_ref().map(|o| (o.access.id, b, o.access.loc.rank)))
+            .min();
+        if let Some((_, bank, rank)) = oldest {
+            self.last_bank[channel] = Some(bank);
+            self.last_rank[channel] = Some(rank);
+        }
+    }
+
+    /// Issues `cand`'s transaction, updating classification, last-target
+    /// steering, pool counts and completions. Returns `true` when the
+    /// transaction was a column access, i.e. the ongoing access finished
+    /// scheduling and its slot is now free.
+    pub fn issue_candidate(
+        &mut self,
+        dram: &mut Dram,
+        now: Cycle,
+        cand: &Candidate,
+        completions: &mut Vec<Completion>,
+    ) -> bool {
+        let chan = usize::from(cand.loc.channel);
+        // Classify on first transaction issue.
+        {
+            let state = dram.channel(chan).row_state(cand.loc);
+            let og = self.ongoing[cand.bank].as_mut().expect("candidate without ongoing access");
+            if !og.started {
+                og.started = true;
+                self.stats.classify(state);
+            }
+        }
+        let issued = dram.channel_mut(chan).issue(&cand.cmd, now);
+        self.last_bank[chan] = Some(cand.bank);
+        self.last_rank[chan] = Some(cand.loc.rank);
+        if cand.cmd.is_column() {
+            let og = self.ongoing[cand.bank].take().expect("column without ongoing access");
+            let latency = issued.data_end - og.access.arrival;
+            match og.access.kind {
+                AccessKind::Read => {
+                    self.stats.read_done(latency);
+                    self.reads_outstanding -= 1;
+                }
+                AccessKind::Write => {
+                    self.stats.write_done(latency);
+                    self.writes_outstanding -= 1;
+                }
+            }
+            completions.push(Completion {
+                id: og.access.id,
+                kind: og.access.kind,
+                done_at: issued.data_end,
+                latency,
+                forwarded: false,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Per-cycle statistics sampling; call once per tick.
+    pub fn sample(&mut self) {
+        self.stats.sample(
+            self.reads_outstanding,
+            self.writes_outstanding,
+            self.cfg.write_capacity,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use burst_dram::{AddressMapping, DramConfig, PhysAddr};
+
+    fn setup() -> (Core, Dram) {
+        let cfg = DramConfig::baseline();
+        let dram = Dram::new(cfg, AddressMapping::PageInterleaving);
+        let core = Core::new(CtrlConfig::default(), cfg.geometry);
+        (core, dram)
+    }
+
+    fn access(id: u64, kind: AccessKind, loc: Loc) -> Access {
+        Access::new(AccessId::new(id), kind, PhysAddr::new(0), loc, 0)
+    }
+
+    #[test]
+    fn global_bank_is_dense_and_unique() {
+        let (core, _) = setup();
+        let g = Geometry::baseline();
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..g.channels {
+            for r in 0..g.ranks_per_channel {
+                for b in 0..g.banks_per_rank {
+                    let idx = core.global_bank(Loc::new(c, r, b, 0, 0));
+                    assert!(idx < core.bank_count());
+                    assert!(seen.insert(idx), "bank index collision at {idx}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), core.bank_count());
+    }
+
+    #[test]
+    fn bank_range_partitions_channels() {
+        let (core, _) = setup();
+        assert_eq!(core.bank_range(0), 0..16);
+        assert_eq!(core.bank_range(1), 16..32);
+    }
+
+    #[test]
+    fn next_command_follows_row_state() {
+        let (core, mut dram) = setup();
+        let loc = Loc::new(0, 0, 0, 5, 0);
+        assert_eq!(core.next_command(loc, AccessKind::Read, &dram), Command::Activate(loc));
+        dram.channel_mut(0).issue(&Command::Activate(loc), 0);
+        assert!(core.next_command(loc, AccessKind::Read, &dram).is_column());
+        let other = Loc::new(0, 0, 0, 6, 0);
+        assert_eq!(
+            core.next_command(other, AccessKind::Read, &dram),
+            Command::Precharge(other)
+        );
+    }
+
+    #[test]
+    fn issue_candidate_walks_an_access_to_completion() {
+        let (mut core, mut dram) = setup();
+        let loc = Loc::new(0, 0, 0, 5, 0);
+        let acc = access(1, AccessKind::Read, loc);
+        core.note_arrival(acc.kind);
+        core.set_ongoing(core.global_bank(loc), acc);
+        let mut done = Vec::new();
+        let mut cands = Vec::new();
+        let mut now = 0;
+        let mut col_issued = false;
+        while !col_issued {
+            core.fill_candidates(&dram, 0, now, &mut cands);
+            if let Some(c) = cands.first().copied() {
+                col_issued = core.issue_candidate(&mut dram, now, &c, &mut done);
+            }
+            now += 1;
+            assert!(now < 100, "access should complete quickly");
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, AccessId::new(1));
+        assert_eq!(core.reads_outstanding(), 0);
+        // Empty bank: ACT + READ; classified once as a row empty.
+        assert_eq!(core.stats().row_empties, 1);
+        assert_eq!(core.stats().classified(), 1);
+    }
+
+    #[test]
+    fn can_accept_respects_pool_and_write_caps() {
+        let cfg = CtrlConfig { pool_capacity: 4, write_capacity: 2, ..CtrlConfig::default() };
+        let mut core = Core::new(cfg, Geometry::baseline());
+        assert!(core.can_accept(AccessKind::Read));
+        core.note_arrival(AccessKind::Write);
+        core.note_arrival(AccessKind::Write);
+        // Write queue saturated: nothing is accepted any more.
+        assert!(!core.can_accept(AccessKind::Read));
+        assert!(!core.can_accept(AccessKind::Write));
+    }
+
+    #[test]
+    fn steer_to_oldest_picks_lowest_id() {
+        let (mut core, _) = setup();
+        let l1 = Loc::new(0, 2, 1, 5, 0);
+        let l2 = Loc::new(0, 1, 0, 9, 0);
+        core.set_ongoing(core.global_bank(l1), access(10, AccessKind::Read, l1));
+        core.set_ongoing(core.global_bank(l2), access(3, AccessKind::Read, l2));
+        core.steer_to_oldest(0);
+        let (bank, rank) = core.last_target(0);
+        assert_eq!(bank, Some(core.global_bank(l2)));
+        assert_eq!(rank, Some(1));
+    }
+
+    #[test]
+    fn clear_ongoing_returns_access() {
+        let (mut core, _) = setup();
+        let loc = Loc::new(0, 0, 0, 5, 0);
+        core.set_ongoing(0, access(7, AccessKind::Write, loc));
+        let got = core.clear_ongoing(0).expect("was set");
+        assert_eq!(got.id, AccessId::new(7));
+        assert!(core.ongoing(0).is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! Bank-in-order scheduling — the paper's baseline (Table 3).
+//!
+//! Accesses within the same bank are scheduled in the same order as they
+//! were issued; accesses from different banks are selected in a round robin
+//! fashion. Transactions still interleave across banks (bank parallelism),
+//! but no access ever bypasses an older access to the same bank.
+
+use std::collections::VecDeque;
+
+use crate::engine::{Candidate, Core};
+use crate::txsched::select_round_robin_limited;
+use crate::{
+    Access, AccessKind, AccessScheduler, Completion, CtrlConfig, CtrlStats, EnqueueOutcome,
+    Mechanism, Outstanding,
+};
+use burst_dram::{Cycle, Dram, Geometry};
+
+/// Banks a conventional controller can examine per cycle before giving up
+/// (limited scheduling logic; a blocked pick wastes the cycle).
+const LOOKAHEAD: usize = 16;
+
+/// The `BkInOrder` baseline scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use burst_core::{CtrlConfig, Mechanism};
+/// use burst_dram::Geometry;
+///
+/// let sched = Mechanism::BkInOrder.build(CtrlConfig::default(), Geometry::baseline());
+/// assert_eq!(sched.mechanism(), Mechanism::BkInOrder);
+/// ```
+#[derive(Debug)]
+pub struct BkInOrderScheduler {
+    core: Core,
+    queues: Vec<VecDeque<Access>>,
+    rr: Vec<usize>,
+    scratch: Vec<Candidate>,
+}
+
+impl BkInOrderScheduler {
+    /// Creates the baseline scheduler for a device of the given geometry.
+    pub fn new(cfg: CtrlConfig, geom: Geometry) -> Self {
+        let core = Core::new(cfg, geom);
+        let nbanks = core.bank_count();
+        let nch = core.channel_count();
+        BkInOrderScheduler {
+            core,
+            queues: vec![VecDeque::new(); nbanks],
+            rr: (0..nch).map(|c| c * nbanks / nch).collect(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl AccessScheduler for BkInOrderScheduler {
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::BkInOrder
+    }
+
+    fn can_accept(&self, kind: AccessKind) -> bool {
+        self.core.can_accept(kind)
+    }
+
+    fn enqueue(
+        &mut self,
+        access: Access,
+        _now: Cycle,
+        _completions: &mut Vec<Completion>,
+    ) -> EnqueueOutcome {
+        debug_assert!(self.can_accept(access.kind));
+        self.core.note_arrival(access.kind);
+        let bank = self.core.global_bank(access.loc);
+        self.queues[bank].push_back(access);
+        EnqueueOutcome::Queued
+    }
+
+    fn tick(&mut self, dram: &mut Dram, now: Cycle, completions: &mut Vec<Completion>) {
+        dram.tick(now);
+        self.core.sample();
+        for channel in 0..self.core.channel_count() {
+            // In order intra bank: each idle bank takes its queue head.
+            for bank in self.core.bank_range(channel) {
+                if self.core.ongoing(bank).is_none() {
+                    if let Some(access) = self.queues[bank].pop_front() {
+                        self.core.set_ongoing(bank, access);
+                    }
+                }
+            }
+            let mut cands = std::mem::take(&mut self.scratch);
+            self.core.fill_all_candidates(dram, channel, now, &mut cands);
+            let range = self.core.bank_range(channel);
+            match select_round_robin_limited(&cands, &mut self.rr[channel], range, LOOKAHEAD) {
+                Some(cand) => {
+                    self.core.issue_candidate(dram, now, &cand, completions);
+                }
+                None => self.core.steer_to_oldest(channel),
+            }
+            self.scratch = cands;
+        }
+    }
+
+    fn stats(&self) -> &CtrlStats {
+        self.core.stats()
+    }
+
+    fn outstanding(&self) -> Outstanding {
+        Outstanding {
+            reads: self.core.reads_outstanding(),
+            writes: self.core.writes_outstanding(),
+        }
+    }
+}

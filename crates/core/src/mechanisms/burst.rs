@@ -1,0 +1,726 @@
+//! Burst scheduling — the paper's proposed mechanism (Section 3).
+//!
+//! Outstanding reads are clustered into *bursts*: groups of accesses to the
+//! same row of the same bank whose data transfers run back to back on the
+//! data bus. Each bank's arbiter (Figure 5) selects the ongoing access,
+//! prioritising reads, optionally letting reads *preempt* ongoing writes and
+//! optionally *piggybacking* row-hit writes at the end of bursts — switched
+//! dynamically by a static write-queue-occupancy threshold. The transaction
+//! scheduler (Figure 6) issues one transaction per channel per cycle
+//! following the static priority table (Table 2).
+
+use std::collections::VecDeque;
+
+use crate::engine::{Candidate, Core};
+use crate::txsched::select_table2;
+use crate::{
+    Access, AccessKind, AccessScheduler, Completion, CtrlConfig, CtrlStats, EnqueueOutcome,
+    Mechanism, Outstanding,
+};
+use burst_dram::{Cycle, Dram, Geometry};
+
+/// Tuning knobs distinguishing the four burst variants of Table 4 plus the
+/// dynamic-threshold extension from the paper's future work (Section 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstOptions {
+    /// Read preemption is enabled while global write-queue occupancy is
+    /// *below* this value. `0` disables preemption; the write-queue
+    /// capacity enables it whenever the queue is not full (`Burst_RP`).
+    pub preempt_below: u32,
+    /// Write piggybacking is enabled while occupancy is *above* this value.
+    /// `None` disables piggybacking; `Some(0)` always allows it
+    /// (`Burst_WP`); `Some(t)` is the thresholded `Burst_TH`.
+    pub piggyback_above: Option<u32>,
+    /// Which Table 4 label these options implement (for reporting).
+    pub mechanism: Mechanism,
+    /// When set, the threshold is recomputed every this many cycles from
+    /// the observed read/write arrival mix (Section 7: "a dynamical
+    /// threshold, calculated on the fly based on ... read write ratios").
+    /// Write-heavy phases lower the threshold (earlier piggybacking);
+    /// read-heavy phases raise it (more preemption headroom).
+    pub dynamic_period: Option<burst_dram::Cycle>,
+    /// Intra-burst critical-first ordering (Section 7 future work):
+    /// critical reads (demand loads with blocked dependants) are placed
+    /// ahead of non-critical reads (store-allocate fills) *within* their
+    /// burst. The burst's total time is unchanged; critical data returns
+    /// sooner.
+    pub critical_first: bool,
+}
+
+impl BurstOptions {
+    /// Options for a static-threshold variant (the four Table 4 entries).
+    pub fn static_threshold(preempt_below: u32, piggyback_above: Option<u32>, mechanism: Mechanism) -> Self {
+        BurstOptions {
+            preempt_below,
+            piggyback_above,
+            mechanism,
+            dynamic_period: None,
+            critical_first: false,
+        }
+    }
+}
+
+/// A burst: accesses to the same row of the same bank, served back to back.
+///
+/// Bursts within a bank are sorted by the arrival time of their first
+/// access, preventing starvation of small bursts (Section 3).
+#[derive(Debug, Clone)]
+struct Burst {
+    row: u32,
+    accesses: VecDeque<Access>,
+}
+
+/// Per-bank queues: the read queue is a list of bursts; the write queue a
+/// FIFO sharing the global pool.
+#[derive(Debug, Clone, Default)]
+struct BankQueues {
+    bursts: VecDeque<Burst>,
+    writes: VecDeque<Access>,
+    /// True just after a burst's last access issued its column access while
+    /// the row is still open — the moment write piggybacking may append
+    /// qualified writes.
+    at_burst_end: bool,
+}
+
+impl BankQueues {
+    fn has_reads(&self) -> bool {
+        self.bursts.iter().any(|b| !b.accesses.is_empty())
+    }
+}
+
+/// The burst scheduling access reordering mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use burst_core::{Access, AccessId, AccessKind, AccessScheduler, CtrlConfig, Mechanism};
+/// use burst_dram::{AddressMapping, Dram, DramConfig, PhysAddr};
+///
+/// let dram_cfg = DramConfig::baseline();
+/// let mut dram = Dram::new(dram_cfg, AddressMapping::PageInterleaving);
+/// let mut sched = Mechanism::BurstTh(52).build(CtrlConfig::default(), dram_cfg.geometry);
+///
+/// let addr = PhysAddr::new(0x1000);
+/// let access = Access::new(AccessId::new(0), AccessKind::Read, addr, dram.decode(addr), 0);
+/// let mut done = Vec::new();
+/// sched.enqueue(access, 0, &mut done);
+/// for now in 0..100 {
+///     sched.tick(&mut dram, now, &mut done);
+/// }
+/// assert_eq!(done.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct BurstScheduler {
+    core: Core,
+    banks: Vec<BankQueues>,
+    opts: BurstOptions,
+    scratch: Vec<Candidate>,
+    /// Read/write arrivals in the current adaptation window (dynamic
+    /// threshold only).
+    window_reads: u64,
+    window_writes: u64,
+    next_adapt: burst_dram::Cycle,
+}
+
+impl BurstScheduler {
+    /// Creates a burst scheduler for a device of the given geometry.
+    pub fn new(cfg: CtrlConfig, geom: Geometry, opts: BurstOptions) -> Self {
+        let core = Core::new(cfg, geom);
+        let nbanks = core.bank_count();
+        let next_adapt = opts.dynamic_period.unwrap_or(0);
+        BurstScheduler {
+            core,
+            banks: vec![BankQueues::default(); nbanks],
+            opts,
+            scratch: Vec::new(),
+            window_reads: 0,
+            window_writes: 0,
+            next_adapt,
+        }
+    }
+
+    /// The threshold currently in effect (static configurations report
+    /// their `preempt_below`).
+    pub fn current_threshold(&self) -> u32 {
+        self.opts.preempt_below
+    }
+
+    /// Dynamic-threshold adaptation (Section 7 future work): pick the
+    /// threshold proportional to the write share of recent arrivals. A
+    /// write-heavy window pulls the threshold down so piggybacking starts
+    /// early; a read-heavy window pushes it up so reads may preempt.
+    fn adapt_threshold(&mut self, now: burst_dram::Cycle) {
+        let Some(period) = self.opts.dynamic_period else { return };
+        if now < self.next_adapt {
+            return;
+        }
+        self.next_adapt = now + period;
+        let total = self.window_reads + self.window_writes;
+        if total >= 16 {
+            let write_share = self.window_writes as f64 / total as f64;
+            let cap = self.core.cfg().write_capacity as f64;
+            // write_share 0 -> near capacity (all preemption); write_share
+            // 0.5+ -> low threshold (aggressive piggybacking).
+            let th = (cap * (1.0 - 1.6 * write_share)).clamp(cap * 0.125, cap - 4.0) as u32;
+            self.opts.preempt_below = th;
+            self.opts.piggyback_above = Some(th);
+        }
+        self.window_reads = 0;
+        self.window_writes = 0;
+    }
+
+    /// The variant options in effect.
+    pub fn options(&self) -> &BurstOptions {
+        &self.opts
+    }
+
+    /// Pops the first read of the next burst (Figure 5 line 8), discarding
+    /// any exhausted bursts at the head of the queue.
+    fn pop_next_read(bank: &mut BankQueues) -> Option<Access> {
+        while let Some(front) = bank.bursts.front() {
+            if front.accesses.is_empty() {
+                bank.bursts.pop_front();
+            } else {
+                break;
+            }
+        }
+        bank.bursts.front_mut()?.accesses.pop_front()
+    }
+
+    /// Removes the oldest write in the bank's write queue.
+    fn pop_oldest_write(bank: &mut BankQueues) -> Option<Access> {
+        bank.writes.pop_front()
+    }
+
+    /// Removes the oldest write directed at `row` (qualified for
+    /// piggybacking), if any.
+    fn pop_row_hit_write(bank: &mut BankQueues, row: u32) -> Option<Access> {
+        let idx = bank
+            .writes
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.loc.row == row)
+            .min_by_key(|(_, w)| w.id)
+            .map(|(i, _)| i)?;
+        bank.writes.remove(idx)
+    }
+
+    /// The bank arbiter subroutine (Figure 5), run per bank per cycle.
+    fn bank_arbiter(&mut self, bank_idx: usize, dram: &Dram, _now: Cycle) {
+        let writes_global = self.core.writes_outstanding() as u32;
+        let write_cap = self.core.cfg().write_capacity as u32;
+
+        if let Some(og) = self.core.ongoing(bank_idx) {
+            // Figure 5 lines 9-11: read preemption — a waiting read
+            // interrupts an ongoing write while occupancy is below the
+            // threshold. The preempted write restarts later.
+            let preemptable = og.access.kind == AccessKind::Write
+                && writes_global < self.opts.preempt_below
+                && self.banks[bank_idx].has_reads();
+            if preemptable {
+                let write = self.core.clear_ongoing(bank_idx).expect("ongoing write");
+                self.banks[bank_idx].writes.push_front(write);
+                let read = Self::pop_next_read(&mut self.banks[bank_idx]).expect("has_reads");
+                self.banks[bank_idx].at_burst_end = false;
+                self.core.set_ongoing(bank_idx, read);
+                self.core.stats_mut().preemptions += 1;
+            }
+            return;
+        }
+
+        let open_row = {
+            let (ch, rank, bk) = self.core.bank_coords(bank_idx);
+            dram.channel(usize::from(ch)).bank(rank, bk).open_row()
+        };
+        let bank = &mut self.banks[bank_idx];
+
+        // Reads are prioritised over writes globally: plain writes drain
+        // only when no reads are outstanding anywhere, or when the write
+        // queue saturates — which is why Intel and Burst pile up writes
+        // (paper Section 5.1) and why write piggybacking exists.
+        let no_reads_anywhere = self.core.reads_outstanding() == 0;
+
+        // Figure 5 lines 1-8.
+        let mut piggybacked = false;
+        let pick: Option<Access> = if writes_global >= write_cap && !bank.writes.is_empty() {
+            // Line 2-3: write queue full — drain the oldest write.
+            Self::pop_oldest_write(bank)
+        } else if let (Some(th), true, Some(row)) =
+            (self.opts.piggyback_above, bank.at_burst_end, open_row)
+        {
+            // Line 4-5: write piggybacking at the end of a burst.
+            let qualified = writes_global > th;
+            let picked = if qualified { Self::pop_row_hit_write(bank, row) } else { None };
+            match picked {
+                Some(w) => {
+                    piggybacked = true;
+                    Some(w)
+                }
+                None => Self::fallthrough_pick(bank, no_reads_anywhere),
+            }
+        } else {
+            Self::fallthrough_pick(bank, no_reads_anywhere)
+        };
+
+        if let Some(access) = pick {
+            if piggybacked {
+                self.core.stats_mut().piggybacks += 1;
+            } else {
+                // Any non-piggyback pick leaves the burst-end window.
+                self.banks[bank_idx].at_burst_end = false;
+            }
+            self.core.set_ongoing(bank_idx, access);
+        }
+    }
+
+    /// Figure 5 lines 6-8: the first read of the next burst; the oldest
+    /// write only when no reads are outstanding at all.
+    fn fallthrough_pick(bank: &mut BankQueues, no_reads_anywhere: bool) -> Option<Access> {
+        if bank.has_reads() {
+            Self::pop_next_read(bank)
+        } else if no_reads_anywhere && !bank.writes.is_empty() {
+            Self::pop_oldest_write(bank)
+        } else {
+            None
+        }
+    }
+
+}
+
+impl AccessScheduler for BurstScheduler {
+    fn mechanism(&self) -> Mechanism {
+        self.opts.mechanism
+    }
+
+    fn can_accept(&self, kind: AccessKind) -> bool {
+        self.core.can_accept(kind)
+    }
+
+    fn enqueue(
+        &mut self,
+        access: Access,
+        _now: Cycle,
+        completions: &mut Vec<Completion>,
+    ) -> EnqueueOutcome {
+        debug_assert!(self.can_accept(access.kind));
+        let bank_idx = self.core.global_bank(access.loc);
+        match access.kind {
+            AccessKind::Read => {
+                // Figure 4 lines 2-4: search the write queue (including an
+                // ongoing, not-yet-issued write) for the latest write to the
+                // same line and forward its data.
+                let queued_hit = self.banks[bank_idx]
+                    .writes
+                    .iter()
+                    .filter(|w| w.addr == access.addr)
+                    .max_by_key(|w| w.id)
+                    .is_some();
+                let ongoing_hit = self
+                    .core
+                    .ongoing(bank_idx)
+                    .map(|o| o.access.kind == AccessKind::Write && o.access.addr == access.addr)
+                    .unwrap_or(false);
+                if queued_hit || ongoing_hit {
+                    self.core.note_forward(&access, _now, completions);
+                    return EnqueueOutcome::Forwarded;
+                }
+                // Figure 4 lines 5-8: join an existing burst or append a new
+                // single-access burst at the end of the read queue.
+                self.core.note_arrival(access.kind);
+                self.window_reads += 1;
+                let bank = &mut self.banks[bank_idx];
+                if let Some(burst) =
+                    bank.bursts.iter_mut().find(|b| b.row == access.loc.row)
+                {
+                    if self.opts.critical_first && access.critical {
+                        // Insert after the last critical read, before any
+                        // non-critical fills (stable within each class).
+                        let pos = burst
+                            .accesses
+                            .iter()
+                            .position(|a| !a.critical)
+                            .unwrap_or(burst.accesses.len());
+                        burst.accesses.insert(pos, access);
+                    } else {
+                        burst.accesses.push_back(access);
+                    }
+                } else {
+                    bank.bursts.push_back(Burst {
+                        row: access.loc.row,
+                        accesses: VecDeque::from([access]),
+                    });
+                }
+                EnqueueOutcome::Queued
+            }
+            AccessKind::Write => {
+                // Figure 4 lines 9-10: writes enter the write queue in order
+                // and complete immediately from the CPU's view.
+                self.core.note_arrival(access.kind);
+                self.window_writes += 1;
+                self.banks[bank_idx].writes.push_back(access);
+                EnqueueOutcome::Queued
+            }
+        }
+    }
+
+    fn tick(&mut self, dram: &mut Dram, now: Cycle, completions: &mut Vec<Completion>) {
+        dram.tick(now);
+        self.core.sample();
+        self.adapt_threshold(now);
+        for channel in 0..self.core.channel_count() {
+            for bank_idx in self.core.bank_range(channel) {
+                self.bank_arbiter(bank_idx, dram, now);
+            }
+            let mut cands = std::mem::take(&mut self.scratch);
+            self.core.fill_candidates(dram, channel, now, &mut cands);
+            let (last_bank, last_rank) = self.core.last_target(channel);
+            match select_table2(&cands, last_bank, last_rank) {
+                Some(cand) => {
+                    let col_issued = self.core.issue_candidate(dram, now, &cand, completions);
+                    if col_issued {
+                        match cand.kind {
+                            AccessKind::Read => {
+                                // A read burst ends when its last read's
+                                // column access has been scheduled and no
+                                // new read joined.
+                                let bank = &mut self.banks[cand.bank];
+                                if let Some(front) = bank.bursts.front() {
+                                    if front.row == cand.loc.row && front.accesses.is_empty() {
+                                        bank.bursts.pop_front();
+                                        bank.at_burst_end = true;
+                                    }
+                                }
+                            }
+                            AccessKind::Write => {
+                                // A completed write leaves its row open:
+                                // qualified (same-row) writes may be
+                                // appended behind it, draining whole
+                                // row-clusters of writebacks — "exploits
+                                // the locality of row hits from writes"
+                                // (Section 3.2).
+                                self.banks[cand.bank].at_burst_end = true;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // Figure 6 lines 14-15: steer toward the oldest access.
+                    self.core.steer_to_oldest(channel);
+                }
+            }
+            self.scratch = cands;
+        }
+    }
+
+    fn stats(&self) -> &CtrlStats {
+        self.core.stats()
+    }
+
+    fn outstanding(&self) -> Outstanding {
+        Outstanding {
+            reads: self.core.reads_outstanding(),
+            writes: self.core.writes_outstanding(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessId;
+    use burst_dram::{AddressMapping, DramConfig, Loc, PhysAddr};
+
+    fn setup(opts: BurstOptions) -> (BurstScheduler, Dram) {
+        let cfg = DramConfig::baseline();
+        (
+            BurstScheduler::new(CtrlConfig::default(), cfg.geometry, opts),
+            Dram::new(cfg, AddressMapping::PageInterleaving),
+        )
+    }
+
+    fn th(t: u32) -> BurstOptions {
+        BurstOptions::static_threshold(t, Some(t), Mechanism::BurstTh(t))
+    }
+
+    fn access(id: u64, kind: AccessKind, loc: Loc) -> Access {
+        Access::new(AccessId::new(id), kind, PhysAddr::new(id * 64), loc, 0)
+    }
+
+    fn read(id: u64, bank: u8, row: u32, col: u32) -> Access {
+        access(id, AccessKind::Read, Loc::new(0, 0, bank, row, col))
+    }
+
+    fn write(id: u64, bank: u8, row: u32, col: u32) -> Access {
+        access(id, AccessKind::Write, Loc::new(0, 0, bank, row, col))
+    }
+
+    #[test]
+    fn same_row_reads_join_one_burst() {
+        let (mut s, _dram) = setup(th(52));
+        let mut done = Vec::new();
+        s.enqueue(read(0, 0, 5, 0), 0, &mut done);
+        s.enqueue(read(1, 0, 5, 8), 0, &mut done);
+        s.enqueue(read(2, 0, 6, 0), 0, &mut done);
+        s.enqueue(read(3, 0, 5, 16), 0, &mut done);
+        let bank = &s.banks[s.core.global_bank(Loc::new(0, 0, 0, 0, 0))];
+        assert_eq!(bank.bursts.len(), 2, "rows 5 and 6");
+        assert_eq!(bank.bursts[0].accesses.len(), 3, "row-5 burst holds three reads");
+        assert_eq!(bank.bursts[1].accesses.len(), 1);
+    }
+
+    #[test]
+    fn bursts_served_in_first_arrival_order() {
+        let (mut s, mut dram) = setup(th(52));
+        let mut done = Vec::new();
+        // Row 6 burst arrives first, then a row 5 burst.
+        s.enqueue(read(0, 0, 6, 0), 0, &mut done);
+        s.enqueue(read(1, 0, 5, 0), 0, &mut done);
+        s.enqueue(read(2, 0, 5, 8), 0, &mut done);
+        for now in 0..200 {
+            s.tick(&mut dram, now, &mut done);
+            if !done.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(done[0].id, AccessId::new(0), "older burst must go first");
+    }
+
+    #[test]
+    fn preemption_respects_threshold_boundary() {
+        // Threshold 1: preemption requires global writes < 1, i.e. zero
+        // queued writes besides the ongoing one.
+        let (mut s, mut dram) = setup(th(1));
+        let mut done = Vec::new();
+        s.enqueue(write(0, 0, 5, 0), 0, &mut done);
+        s.tick(&mut dram, 0, &mut done); // write becomes ongoing
+        // A second queued write raises occupancy to 1 (ongoing counts);
+        // preemption (needs < 1) is disabled.
+        s.enqueue(write(1, 0, 7, 0), 1, &mut done);
+        s.enqueue(read(2, 0, 9, 0), 1, &mut done);
+        s.tick(&mut dram, 1, &mut done);
+        assert_eq!(s.stats().preemptions, 0, "occupancy at threshold: no preemption");
+    }
+
+    #[test]
+    fn preemption_fires_below_threshold() {
+        let (mut s, mut dram) = setup(th(64));
+        let mut done = Vec::new();
+        s.enqueue(write(0, 0, 5, 0), 0, &mut done);
+        s.tick(&mut dram, 0, &mut done);
+        s.enqueue(read(1, 0, 9, 0), 1, &mut done);
+        s.tick(&mut dram, 1, &mut done);
+        assert_eq!(s.stats().preemptions, 1);
+        // The read becomes ongoing; the write returns to its queue.
+        let bank = &s.banks[s.core.global_bank(Loc::new(0, 0, 0, 0, 0))];
+        assert_eq!(bank.writes.len(), 1);
+    }
+
+    #[test]
+    fn piggyback_takes_oldest_qualified_write() {
+        let (mut s, mut dram) = setup(th(0)); // WP semantics: piggyback whenever occupancy > 0
+        let mut done = Vec::new();
+        // A read burst to row 5 and writes to rows 5 (two) and 7 (one).
+        s.enqueue(read(0, 0, 5, 0), 0, &mut done);
+        s.enqueue(write(1, 0, 7, 0), 0, &mut done);
+        s.enqueue(write(2, 0, 5, 8), 0, &mut done);
+        s.enqueue(write(3, 0, 5, 16), 0, &mut done);
+        let mut now = 0;
+        while done.len() < 4 && now < 2000 {
+            s.tick(&mut dram, now, &mut done);
+            now += 1;
+        }
+        assert_eq!(done.len(), 4);
+        assert!(s.stats().piggybacks >= 2, "both row-5 writes piggyback");
+        // The row-5 writes complete before the row-7 write despite id order.
+        let pos =
+            |id: u64| done.iter().position(|c| c.id == AccessId::new(id)).expect("completed");
+        assert!(pos(2) < pos(1), "row-hit write 2 beats row-miss write 1");
+        assert!(pos(3) < pos(1), "row-hit write 3 beats row-miss write 1");
+    }
+
+    #[test]
+    fn no_piggyback_when_disabled() {
+        let (mut s, mut dram) =
+            setup(BurstOptions::static_threshold(0, None, Mechanism::Burst));
+        let mut done = Vec::new();
+        s.enqueue(read(0, 0, 5, 0), 0, &mut done);
+        s.enqueue(write(1, 0, 5, 8), 0, &mut done);
+        let mut now = 0;
+        while done.len() < 2 && now < 5000 {
+            s.tick(&mut dram, now, &mut done);
+            now += 1;
+        }
+        assert_eq!(s.stats().piggybacks, 0);
+        assert_eq!(done.len(), 2, "write drains via the no-reads path");
+    }
+
+    #[test]
+    fn new_read_joins_active_burst_mid_drain() {
+        let (mut s, mut dram) = setup(th(52));
+        let mut done = Vec::new();
+        s.enqueue(read(0, 0, 5, 0), 0, &mut done);
+        // Let the burst start (activate issued).
+        s.tick(&mut dram, 0, &mut done);
+        s.tick(&mut dram, 1, &mut done);
+        // A same-row read arrives while the burst is being scheduled.
+        s.enqueue(read(1, 0, 5, 8), 2, &mut done);
+        let mut now = 2;
+        while done.len() < 2 && now < 500 {
+            s.tick(&mut dram, now, &mut done);
+            now += 1;
+        }
+        assert_eq!(done.len(), 2);
+        // Both were row-locality wins: 1 empty (first) + 1 hit (joiner).
+        assert_eq!(s.stats().row_hits, 1);
+        assert_eq!(s.stats().row_empties, 1);
+    }
+
+    #[test]
+    fn dynamic_threshold_adapts_to_write_share() {
+        let opts = BurstOptions {
+            dynamic_period: Some(64),
+            ..BurstOptions::static_threshold(52, Some(52), Mechanism::BurstDyn)
+        };
+        let (mut s, mut dram) = setup(opts);
+        let mut done = Vec::new();
+        // Write-heavy phase: threshold should fall.
+        let mut id = 0;
+        for now in 0..256u64 {
+            if s.can_accept(AccessKind::Write) {
+                s.enqueue(write(id, (id % 4) as u8, (id % 8) as u32, 0), now, &mut done);
+                id += 1;
+            }
+            s.tick(&mut dram, now, &mut done);
+        }
+        assert!(
+            s.current_threshold() < 52,
+            "write flood should lower the threshold, got {}",
+            s.current_threshold()
+        );
+        // Read-heavy phase: threshold should rise again.
+        for now in 256..1024u64 {
+            if s.can_accept(AccessKind::Read) && id < 400 {
+                s.enqueue(read(id, (id % 4) as u8, (id % 8) as u32, 8), now, &mut done);
+                id += 1;
+            }
+            s.tick(&mut dram, now, &mut done);
+        }
+        assert!(
+            s.current_threshold() > 16,
+            "read flood should raise the threshold, got {}",
+            s.current_threshold()
+        );
+    }
+
+    #[test]
+    fn write_queue_full_forces_drain() {
+        let cfg = DramConfig::baseline();
+        let ctrl = CtrlConfig { pool_capacity: 16, write_capacity: 4, ..CtrlConfig::default() };
+        let mut s = BurstScheduler::new(ctrl, cfg.geometry, th(52));
+        let mut dram = Dram::new(cfg, AddressMapping::PageInterleaving);
+        let mut done = Vec::new();
+        for i in 0..4 {
+            assert!(s.can_accept(AccessKind::Write));
+            s.enqueue(write(i, (i % 2) as u8, 3, 0), 0, &mut done);
+        }
+        assert!(!s.can_accept(AccessKind::Read), "full write queue blocks everything");
+        let mut now = 0;
+        while s.outstanding().writes == 4 && now < 100 {
+            s.tick(&mut dram, now, &mut done);
+            now += 1;
+        }
+        assert!(s.outstanding().writes < 4, "full-queue drain must engage");
+    }
+}
+
+#[cfg(test)]
+mod critical_tests {
+    use super::*;
+    use crate::AccessId;
+    use burst_dram::{AddressMapping, DramConfig, Loc, PhysAddr};
+
+    fn crit_opts() -> BurstOptions {
+        BurstOptions {
+            critical_first: true,
+            ..BurstOptions::static_threshold(52, Some(52), Mechanism::BurstCrit)
+        }
+    }
+
+    fn read(id: u64, row: u32, col: u32, critical: bool) -> Access {
+        Access::new(
+            AccessId::new(id),
+            AccessKind::Read,
+            PhysAddr::new(id * 64),
+            Loc::new(0, 0, 0, row, col),
+            0,
+        )
+        .with_critical(critical)
+    }
+
+    #[test]
+    fn critical_reads_jump_fills_within_a_burst() {
+        let cfg = DramConfig::baseline();
+        let mut s = BurstScheduler::new(CtrlConfig::default(), cfg.geometry, crit_opts());
+        let mut dram = Dram::new(cfg, AddressMapping::PageInterleaving);
+        let mut done = Vec::new();
+        // Three non-critical fills arrive first, then a critical demand load
+        // to the same row.
+        s.enqueue(read(0, 5, 0, false), 0, &mut done);
+        s.enqueue(read(1, 5, 8, false), 0, &mut done);
+        s.enqueue(read(2, 5, 16, false), 0, &mut done);
+        s.enqueue(read(3, 5, 24, true), 0, &mut done);
+        let mut now = 0;
+        while done.len() < 4 && now < 1000 {
+            s.tick(&mut dram, now, &mut done);
+            now += 1;
+        }
+        let order: Vec<u64> = done.iter().map(|c| c.id.value()).collect();
+        // Access 0 leads the burst (already ongoing by the time 3 arrives or
+        // simply first in line); the critical access must beat fills 1 and 2.
+        let pos = |id: u64| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(3) < pos(1), "critical load must jump fill 1: {order:?}");
+        assert!(pos(3) < pos(2), "critical load must jump fill 2: {order:?}");
+    }
+
+    #[test]
+    fn without_flag_order_is_arrival() {
+        let cfg = DramConfig::baseline();
+        let mut s = BurstScheduler::new(
+            CtrlConfig::default(),
+            cfg.geometry,
+            BurstOptions::static_threshold(52, Some(52), Mechanism::BurstTh(52)),
+        );
+        let mut dram = Dram::new(cfg, AddressMapping::PageInterleaving);
+        let mut done = Vec::new();
+        s.enqueue(read(0, 5, 0, false), 0, &mut done);
+        s.enqueue(read(1, 5, 8, false), 0, &mut done);
+        s.enqueue(read(2, 5, 16, true), 0, &mut done);
+        let mut now = 0;
+        while done.len() < 3 && now < 1000 {
+            s.tick(&mut dram, now, &mut done);
+            now += 1;
+        }
+        let order: Vec<u64> = done.iter().map(|c| c.id.value()).collect();
+        assert_eq!(order, vec![0, 1, 2], "arrival order preserved inside bursts");
+    }
+
+    #[test]
+    fn criticality_never_loses_accesses() {
+        let cfg = DramConfig::baseline();
+        let mut s = BurstScheduler::new(CtrlConfig::default(), cfg.geometry, crit_opts());
+        let mut dram = Dram::new(cfg, AddressMapping::PageInterleaving);
+        let mut done = Vec::new();
+        for i in 0..60u64 {
+            let r = read(i, (i % 6) as u32, ((i * 8) % 64) as u32, i % 3 == 0);
+            if s.can_accept(AccessKind::Read) {
+                s.enqueue(r, 0, &mut done);
+            }
+        }
+        let mut now = 0;
+        while s.outstanding().total() > 0 && now < 100_000 {
+            s.tick(&mut dram, now, &mut done);
+            now += 1;
+        }
+        assert_eq!(done.len(), 60);
+    }
+}

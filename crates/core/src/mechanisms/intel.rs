@@ -1,0 +1,232 @@
+//! Intel's patented out-of-order memory scheduling (US patent 7,127,574),
+//! as described by the paper: unique read queues per bank and a single
+//! write queue for all banks. Reads are prioritised over writes to minimise
+//! read latency; once an access is started it receives the highest priority
+//! so it finishes as quickly as possible, reducing the degree of
+//! reordering. The `Intel_RP` variant (not in the patent) additionally lets
+//! reads preempt ongoing writes.
+
+use std::collections::VecDeque;
+
+use crate::engine::{Candidate, Core};
+use crate::txsched::select_intel_limited;
+use crate::{
+    Access, AccessKind, AccessScheduler, Completion, CtrlConfig, CtrlStats, EnqueueOutcome,
+    Mechanism, Outstanding,
+};
+use burst_dram::{Cycle, Dram, Geometry};
+
+/// Accesses the scheduler can examine per cycle in priority order; if all
+/// are blocked the cycle bubbles (timing-naive "best effort" scheduling).
+const LOOKAHEAD: usize = 3;
+
+/// The `Intel` / `Intel_RP` scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use burst_core::{CtrlConfig, Mechanism};
+/// use burst_dram::Geometry;
+///
+/// let sched = Mechanism::IntelRp.build(CtrlConfig::default(), Geometry::baseline());
+/// assert_eq!(sched.mechanism(), Mechanism::IntelRp);
+/// ```
+#[derive(Debug)]
+pub struct IntelScheduler {
+    core: Core,
+    read_queues: Vec<VecDeque<Access>>,
+    write_queue: VecDeque<Access>,
+    read_preemption: bool,
+    /// Write-buffer flush mode: entered at the high-water mark (3/4 of
+    /// capacity), left at the low-water mark (1/2). While draining, idle
+    /// banks prefer writes so the buffer empties in bursts, as the
+    /// patent's flush logic does.
+    draining: bool,
+    scratch: Vec<Candidate>,
+}
+
+impl IntelScheduler {
+    /// How many oldest entries of a bank's read queue the row-hit search
+    /// may reorder across.
+    pub const REORDER_WINDOW: usize = 4;
+
+    /// Creates the scheduler; `read_preemption` selects the `Intel_RP`
+    /// variant.
+    pub fn new(cfg: CtrlConfig, geom: Geometry, read_preemption: bool) -> Self {
+        let core = Core::new(cfg, geom);
+        let nbanks = core.bank_count();
+        IntelScheduler {
+            core,
+            read_queues: vec![VecDeque::new(); nbanks],
+            write_queue: VecDeque::new(),
+            read_preemption,
+            draining: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Removes the oldest write targeting `bank_idx` from the global write
+    /// queue.
+    fn pop_write_for_bank(&mut self, bank_idx: usize) -> Option<Access> {
+        let idx = self
+            .write_queue
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| self.core.global_bank(w.loc) == bank_idx)
+            .min_by_key(|(_, w)| w.id)
+            .map(|(i, _)| i)?;
+        self.write_queue.remove(idx)
+    }
+
+    /// Re-inserts a preempted write keeping the queue sorted by age.
+    fn reinsert_write(&mut self, write: Access) {
+        let pos = self.write_queue.partition_point(|w| w.id < write.id);
+        self.write_queue.insert(pos, write);
+    }
+
+    fn arbiter(&mut self, bank_idx: usize, dram: &Dram) {
+        if let Some(og) = self.core.ongoing(bank_idx) {
+            // Intel_RP: a waiting read interrupts an ongoing write —
+            // except during a forced write-buffer flush, where preempting
+            // would keep the buffer saturated and stall the front side bus.
+            if self.read_preemption
+                && og.access.kind == AccessKind::Write
+                && !self.read_queues[bank_idx].is_empty()
+            {
+                let write = self.core.clear_ongoing(bank_idx).expect("ongoing write");
+                self.reinsert_write(write);
+                let read = self.pick_read(bank_idx, dram).expect("read queue non-empty");
+                self.core.set_ongoing(bank_idx, read);
+                self.core.stats_mut().preemptions += 1;
+            }
+            return;
+        }
+        // While the write buffer flushes, idle banks prefer writes so the
+        // buffer empties in bursts. Reads keep priority in banks that have
+        // them (outside drain mode), which is why Intel still accumulates
+        // outstanding writes (paper Figure 8b) without saturating as often
+        // as Burst.
+        if self.draining || self.core.reads_outstanding() == 0 {
+            if let Some(write) = self.pop_write_for_bank(bank_idx) {
+                self.core.set_ongoing(bank_idx, write);
+                return;
+            }
+        }
+        if !self.read_queues[bank_idx].is_empty() {
+            let read = self.pick_read(bank_idx, dram).expect("non-empty");
+            self.core.set_ongoing(bank_idx, read);
+        }
+    }
+
+    /// Row-hit read against the open row from the oldest
+    /// [`Self::REORDER_WINDOW`] queue entries, else the oldest read. The
+    /// patent deliberately limits the degree of reordering so started
+    /// accesses finish fast; an unbounded row-hit scan would overstate it.
+    fn pick_read(&mut self, bank_idx: usize, dram: &Dram) -> Option<Access> {
+        let (ch, rank, bk) = self.core.bank_coords(bank_idx);
+        let open_row = dram.channel(usize::from(ch)).bank(rank, bk).open_row();
+        let queue = &mut self.read_queues[bank_idx];
+        if queue.is_empty() {
+            return None;
+        }
+        let idx = open_row
+            .and_then(|row| {
+                queue
+                    .iter()
+                    .take(Self::REORDER_WINDOW)
+                    .enumerate()
+                    .filter(|(_, a)| a.loc.row == row)
+                    .min_by_key(|(_, a)| a.id)
+                    .map(|(i, _)| i)
+            })
+            .unwrap_or(0);
+        queue.remove(idx)
+    }
+}
+
+impl AccessScheduler for IntelScheduler {
+    fn mechanism(&self) -> Mechanism {
+        if self.read_preemption {
+            Mechanism::IntelRp
+        } else {
+            Mechanism::Intel
+        }
+    }
+
+    fn can_accept(&self, kind: AccessKind) -> bool {
+        self.core.can_accept(kind)
+    }
+
+    fn enqueue(
+        &mut self,
+        access: Access,
+        now: Cycle,
+        completions: &mut Vec<Completion>,
+    ) -> EnqueueOutcome {
+        debug_assert!(self.can_accept(access.kind));
+        let bank_idx = self.core.global_bank(access.loc);
+        match access.kind {
+            AccessKind::Read => {
+                // Reads search the write queue; a hit forwards the latest
+                // write's data.
+                let queued_hit = self
+                    .write_queue
+                    .iter()
+                    .any(|w| w.addr == access.addr);
+                let ongoing_hit = self
+                    .core
+                    .ongoing(bank_idx)
+                    .map(|o| o.access.kind == AccessKind::Write && o.access.addr == access.addr)
+                    .unwrap_or(false);
+                if queued_hit || ongoing_hit {
+                    self.core.note_forward(&access, now, completions);
+                    return EnqueueOutcome::Forwarded;
+                }
+                self.core.note_arrival(access.kind);
+                self.read_queues[bank_idx].push_back(access);
+                EnqueueOutcome::Queued
+            }
+            AccessKind::Write => {
+                self.core.note_arrival(access.kind);
+                self.write_queue.push_back(access);
+                EnqueueOutcome::Queued
+            }
+        }
+    }
+
+    fn tick(&mut self, dram: &mut Dram, now: Cycle, completions: &mut Vec<Completion>) {
+        dram.tick(now);
+        self.core.sample();
+        // The paper's description: writes are selected when the write
+        // queue is full (drain until just below capacity) or when no reads
+        // are outstanding. This weak write management is what burst
+        // scheduling's piggybacking improves on.
+        let occupancy = self.core.writes_outstanding();
+        self.draining = occupancy >= self.core.cfg().write_capacity;
+        for channel in 0..self.core.channel_count() {
+            for bank in self.core.bank_range(channel) {
+                self.arbiter(bank, dram);
+            }
+            let mut cands = std::mem::take(&mut self.scratch);
+            self.core.fill_all_candidates(dram, channel, now, &mut cands);
+            match select_intel_limited(&cands, LOOKAHEAD) {
+                Some(cand) => {
+                    self.core.issue_candidate(dram, now, &cand, completions);
+                }
+                None => self.core.steer_to_oldest(channel),
+            }
+            self.scratch = cands;
+        }
+    }
+
+    fn stats(&self) -> &CtrlStats {
+        self.core.stats()
+    }
+
+    fn outstanding(&self) -> Outstanding {
+        Outstanding {
+            reads: self.core.reads_outstanding(),
+            writes: self.core.writes_outstanding(),
+        }
+    }
+}

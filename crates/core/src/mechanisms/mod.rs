@@ -1,0 +1,281 @@
+//! The access reordering mechanisms evaluated by the paper (Table 4).
+//!
+//! | Name | Description |
+//! |---|---|
+//! | `BkInOrder` | In order intra bank, round robin inter banks (baseline) |
+//! | `RowHit` | Row hit first intra bank, round robin inter banks (Rixner et al.) |
+//! | `Intel` | Intel's patented out-of-order scheduling |
+//! | `Intel_RP` | Intel's scheduling with read preemption |
+//! | `Burst` | Burst scheduling |
+//! | `Burst_RP` | Burst scheduling with read preemption |
+//! | `Burst_WP` | Burst scheduling with write piggybacking |
+//! | `Burst_TH` | Burst scheduling with a static threshold (52 is the paper's best) |
+//!
+//! Plus three extensions beyond Table 4: `Burst_DYN` (Section 7 dynamic
+//! threshold), `Burst_CRIT` (Section 7 intra-burst critical-first) and
+//! `AdaptHist` (Hur & Lin's adaptive history scheduler from Section 2.2).
+
+mod adaptive;
+mod bk_in_order;
+mod burst;
+mod intel;
+mod row_hit;
+
+pub use adaptive::AdaptiveHistoryScheduler;
+pub use bk_in_order::BkInOrderScheduler;
+pub use burst::{BurstOptions, BurstScheduler};
+pub use intel::IntelScheduler;
+pub use row_hit::RowHitScheduler;
+
+use crate::{Access, AccessKind, Completion, CtrlConfig, CtrlStats, EnqueueOutcome, Outstanding};
+use burst_dram::{Cycle, Dram, Geometry};
+
+/// A memory controller scheduling policy: decides the order in which
+/// outstanding accesses execute and which SDRAM transaction issues each
+/// cycle.
+///
+/// Drive it by calling [`AccessScheduler::enqueue`] for each access the CPU
+/// issues (after checking [`AccessScheduler::can_accept`]) and
+/// [`AccessScheduler::tick`] once per memory cycle. Completions report when
+/// each access's data transfer ends.
+pub trait AccessScheduler: core::fmt::Debug {
+    /// Which mechanism this scheduler implements.
+    fn mechanism(&self) -> Mechanism;
+
+    /// Whether a new access can enter: the access pool has space and the
+    /// write queue is not saturated. When the write queue reaches capacity
+    /// the main memory cannot accept any new access (paper Section 3.2),
+    /// which is what stalls the CPU pipeline.
+    fn can_accept(&self, kind: AccessKind) -> bool;
+
+    /// Offers an access to the controller at cycle `now`.
+    ///
+    /// Reads that hit in the write queue are forwarded the latest write
+    /// data and complete immediately: a [`Completion`] is pushed and
+    /// [`EnqueueOutcome::Forwarded`] returned.
+    ///
+    /// # Panics
+    ///
+    /// May debug-assert if called while [`AccessScheduler::can_accept`] is
+    /// false.
+    fn enqueue(
+        &mut self,
+        access: Access,
+        now: Cycle,
+        completions: &mut Vec<Completion>,
+    ) -> EnqueueOutcome;
+
+    /// Advances one memory cycle: refresh housekeeping, bank arbitration,
+    /// and issuing at most one transaction per channel. Finished accesses
+    /// are appended to `completions` (their `done_at` may lie a few cycles
+    /// in the future — the end of the data transfer).
+    fn tick(&mut self, dram: &mut Dram, now: Cycle, completions: &mut Vec<Completion>);
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> &CtrlStats;
+
+    /// Outstanding access counts.
+    fn outstanding(&self) -> Outstanding;
+}
+
+/// The access reordering mechanisms of the paper's Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// In order intra bank, round robin inter banks.
+    BkInOrder,
+    /// Row hit first intra bank, round robin inter banks.
+    RowHit,
+    /// Intel's out-of-order memory scheduling (US patent 7,127,574).
+    Intel,
+    /// Intel's scheduling with read preemption.
+    IntelRp,
+    /// Burst scheduling (no read preemption, no write piggybacking).
+    Burst,
+    /// Burst scheduling with read preemption.
+    BurstRp,
+    /// Burst scheduling with write piggybacking.
+    BurstWp,
+    /// Burst scheduling with a static threshold switching between read
+    /// preemption (occupancy below) and write piggybacking (above). The
+    /// paper's experiments select 52.
+    BurstTh(u32),
+    /// Extension (paper Section 7, future work): burst scheduling with a
+    /// *dynamic* threshold recomputed on the fly from the read/write
+    /// arrival ratio.
+    BurstDyn,
+    /// Extension (paper Section 7, future work): `Burst_TH52` plus
+    /// intra-burst critical-first ordering using CPU criticality hints.
+    BurstCrit,
+    /// Extension (paper Section 2.2 related work): the adaptive
+    /// history-based scheduler of Hur & Lin (MICRO 2004), which matches the
+    /// scheduled read/write mix to the program's arrival mix.
+    AdaptiveHistory,
+}
+
+impl Mechanism {
+    /// The threshold the paper found best across its 16 benchmarks.
+    pub const PAPER_THRESHOLD: u32 = 52;
+
+    /// All eight mechanisms as simulated in the paper, with the published
+    /// threshold of 52.
+    pub fn all_paper() -> [Mechanism; 8] {
+        [
+            Mechanism::BkInOrder,
+            Mechanism::RowHit,
+            Mechanism::Intel,
+            Mechanism::IntelRp,
+            Mechanism::Burst,
+            Mechanism::BurstRp,
+            Mechanism::BurstWp,
+            Mechanism::BurstTh(Self::PAPER_THRESHOLD),
+        ]
+    }
+
+    /// The display name used in the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            Mechanism::BkInOrder => "BkInOrder".to_string(),
+            Mechanism::RowHit => "RowHit".to_string(),
+            Mechanism::Intel => "Intel".to_string(),
+            Mechanism::IntelRp => "Intel_RP".to_string(),
+            Mechanism::Burst => "Burst".to_string(),
+            Mechanism::BurstRp => "Burst_RP".to_string(),
+            Mechanism::BurstWp => "Burst_WP".to_string(),
+            Mechanism::BurstTh(t) => format!("Burst_TH{t}"),
+            Mechanism::BurstDyn => "Burst_DYN".to_string(),
+            Mechanism::BurstCrit => "Burst_CRIT".to_string(),
+            Mechanism::AdaptiveHistory => "AdaptHist".to_string(),
+        }
+    }
+
+    /// Builds a scheduler instance for a device of the given geometry.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use burst_core::{CtrlConfig, Mechanism};
+    /// use burst_dram::Geometry;
+    ///
+    /// let sched = Mechanism::BurstTh(52).build(CtrlConfig::default(), Geometry::baseline());
+    /// assert_eq!(sched.mechanism(), Mechanism::BurstTh(52));
+    /// ```
+    pub fn build(&self, cfg: CtrlConfig, geom: Geometry) -> Box<dyn AccessScheduler> {
+        let write_cap = cfg.write_capacity as u32;
+        match *self {
+            Mechanism::BkInOrder => Box::new(BkInOrderScheduler::new(cfg, geom)),
+            Mechanism::RowHit => Box::new(RowHitScheduler::new(cfg, geom)),
+            Mechanism::Intel => Box::new(IntelScheduler::new(cfg, geom, false)),
+            Mechanism::IntelRp => Box::new(IntelScheduler::new(cfg, geom, true)),
+            Mechanism::Burst => Box::new(BurstScheduler::new(
+                cfg,
+                geom,
+                BurstOptions::static_threshold(0, None, *self),
+            )),
+            Mechanism::BurstRp => Box::new(BurstScheduler::new(
+                cfg,
+                geom,
+                BurstOptions::static_threshold(write_cap, None, *self),
+            )),
+            Mechanism::BurstWp => Box::new(BurstScheduler::new(
+                cfg,
+                geom,
+                BurstOptions::static_threshold(0, Some(0), *self),
+            )),
+            Mechanism::BurstTh(t) => Box::new(BurstScheduler::new(
+                cfg,
+                geom,
+                BurstOptions::static_threshold(t, Some(t), *self),
+            )),
+            Mechanism::BurstCrit => Box::new(BurstScheduler::new(
+                cfg,
+                geom,
+                BurstOptions {
+                    critical_first: true,
+                    ..BurstOptions::static_threshold(
+                        Self::PAPER_THRESHOLD,
+                        Some(Self::PAPER_THRESHOLD),
+                        *self,
+                    )
+                },
+            )),
+            Mechanism::AdaptiveHistory => Box::new(AdaptiveHistoryScheduler::new(cfg, geom)),
+            Mechanism::BurstDyn => Box::new(BurstScheduler::new(
+                cfg,
+                geom,
+                BurstOptions {
+                    // Start at the paper's static optimum; adapt every
+                    // 1024 memory cycles from the read/write mix.
+                    dynamic_period: Some(1024),
+                    ..BurstOptions::static_threshold(
+                        Self::PAPER_THRESHOLD,
+                        Some(Self::PAPER_THRESHOLD),
+                        *self,
+                    )
+                },
+            )),
+        }
+    }
+}
+
+impl core::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_figures() {
+        let names: Vec<String> = Mechanism::all_paper().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "BkInOrder",
+                "RowHit",
+                "Intel",
+                "Intel_RP",
+                "Burst",
+                "Burst_RP",
+                "Burst_WP",
+                "Burst_TH52"
+            ]
+        );
+    }
+
+    #[test]
+    fn build_constructs_each_mechanism() {
+        for m in Mechanism::all_paper() {
+            let s = m.build(CtrlConfig::default(), Geometry::baseline());
+            assert_eq!(s.mechanism(), m);
+            assert!(s.can_accept(AccessKind::Read));
+            assert_eq!(s.outstanding().total(), 0);
+        }
+    }
+
+    #[test]
+    fn burst_th_extremes_equal_rp_and_wp_options() {
+        // Section 5.4: Burst_RP and Burst_WP are equivalent to Burst_TH64
+        // and Burst_TH0 given the write queue size of 64. Occupancy can
+        // never exceed the capacity, so TH(64)'s piggyback condition
+        // (occupancy > 64) never fires — same behaviour as RP; TH(0)'s
+        // preemption condition (occupancy < 0) never fires — same as WP.
+        let cap = CtrlConfig::default().write_capacity as u32;
+        let geom = Geometry::baseline();
+        let th64 = BurstScheduler::new(
+            CtrlConfig::default(),
+            geom,
+            BurstOptions::static_threshold(cap, Some(cap), Mechanism::BurstTh(cap)),
+        );
+        assert_eq!(th64.options().preempt_below, cap);
+        // Piggyback requires occupancy > cap, impossible.
+        assert!(th64.options().piggyback_above.unwrap() >= cap);
+        let th0 = Mechanism::BurstTh(0);
+        if let Mechanism::BurstTh(t) = th0 {
+            // Preemption requires occupancy < 0, impossible.
+            assert_eq!(t, 0);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Row-hit-first scheduling (Rixner et al., ISCA 2000) as simulated by the
+//! paper: a unified access queue per bank; the oldest access directed to
+//! the same row as the last access to that bank is selected first, else the
+//! oldest access overall; banks are served round robin.
+//!
+//! Reads and writes are treated equally, which is why RowHit achieves the
+//! lowest write latency of all mechanisms in Figure 7(b).
+
+use std::collections::VecDeque;
+
+use crate::engine::{Candidate, Core};
+use crate::txsched::select_round_robin_limited;
+use crate::{
+    Access, AccessKind, AccessScheduler, Completion, CtrlConfig, CtrlStats, EnqueueOutcome,
+    Mechanism, Outstanding,
+};
+use burst_dram::{Cycle, Dram, Geometry};
+
+/// Banks the controller can examine per cycle; a blocked pick wastes the
+/// cycle (the paper's "best effort" bubble cycles).
+const LOOKAHEAD: usize = 16;
+
+/// The `RowHit` scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use burst_core::{CtrlConfig, Mechanism};
+/// use burst_dram::Geometry;
+///
+/// let sched = Mechanism::RowHit.build(CtrlConfig::default(), Geometry::baseline());
+/// assert_eq!(sched.mechanism(), Mechanism::RowHit);
+/// ```
+#[derive(Debug)]
+pub struct RowHitScheduler {
+    core: Core,
+    queues: Vec<VecDeque<Access>>,
+    rr: Vec<usize>,
+    scratch: Vec<Candidate>,
+}
+
+impl RowHitScheduler {
+    /// Creates a row-hit-first scheduler for a device of the given geometry.
+    pub fn new(cfg: CtrlConfig, geom: Geometry) -> Self {
+        let core = Core::new(cfg, geom);
+        let nbanks = core.bank_count();
+        let nch = core.channel_count();
+        RowHitScheduler {
+            core,
+            queues: vec![VecDeque::new(); nbanks],
+            rr: (0..nch).map(|c| c * nbanks / nch).collect(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Selects the bank's next ongoing access: oldest row hit against the
+    /// open row, else the oldest access. Same-row accesses keep arrival
+    /// order, so same-address hazards cannot reorder.
+    fn arbiter(&mut self, bank_idx: usize, dram: &Dram) {
+        if self.core.ongoing(bank_idx).is_some() || self.queues[bank_idx].is_empty() {
+            return;
+        }
+        let (ch, rank, bk) = self.core.bank_coords(bank_idx);
+        let open_row = dram.channel(usize::from(ch)).bank(rank, bk).open_row();
+        let queue = &mut self.queues[bank_idx];
+        let idx = open_row
+            .and_then(|row| {
+                queue
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.loc.row == row)
+                    .min_by_key(|(_, a)| a.id)
+                    .map(|(i, _)| i)
+            })
+            .unwrap_or(0);
+        let access = queue.remove(idx).expect("index in range");
+        self.core.set_ongoing(bank_idx, access);
+    }
+}
+
+impl AccessScheduler for RowHitScheduler {
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::RowHit
+    }
+
+    fn can_accept(&self, kind: AccessKind) -> bool {
+        self.core.can_accept(kind)
+    }
+
+    fn enqueue(
+        &mut self,
+        access: Access,
+        _now: Cycle,
+        _completions: &mut Vec<Completion>,
+    ) -> EnqueueOutcome {
+        debug_assert!(self.can_accept(access.kind));
+        self.core.note_arrival(access.kind);
+        let bank = self.core.global_bank(access.loc);
+        self.queues[bank].push_back(access);
+        EnqueueOutcome::Queued
+    }
+
+    fn tick(&mut self, dram: &mut Dram, now: Cycle, completions: &mut Vec<Completion>) {
+        dram.tick(now);
+        self.core.sample();
+        for channel in 0..self.core.channel_count() {
+            for bank in self.core.bank_range(channel) {
+                self.arbiter(bank, dram);
+            }
+            let mut cands = std::mem::take(&mut self.scratch);
+            self.core.fill_all_candidates(dram, channel, now, &mut cands);
+            let range = self.core.bank_range(channel);
+            match select_round_robin_limited(&cands, &mut self.rr[channel], range, LOOKAHEAD) {
+                Some(cand) => {
+                    self.core.issue_candidate(dram, now, &cand, completions);
+                }
+                None => self.core.steer_to_oldest(channel),
+            }
+            self.scratch = cands;
+        }
+    }
+
+    fn stats(&self) -> &CtrlStats {
+        self.core.stats()
+    }
+
+    fn outstanding(&self) -> Outstanding {
+        Outstanding {
+            reads: self.core.reads_outstanding(),
+            writes: self.core.writes_outstanding(),
+        }
+    }
+}

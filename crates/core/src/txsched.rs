@@ -1,0 +1,249 @@
+//! Transaction selection strategies, including the paper's Table 2
+//! priority table.
+//!
+//! Every cycle, each mechanism picks at most one unblocked transaction per
+//! channel from the banks' ongoing accesses. Burst scheduling uses the
+//! static priority table (Table 2); BkInOrder and RowHit use inter-bank
+//! round-robin; Intel's scheduler finishes started accesses first.
+
+use crate::engine::Candidate;
+use burst_dram::Command;
+
+/// Priority classes of the paper's Table 2 (1 = highest, 8 = lowest).
+///
+/// Column accesses in the rank last used keep the data bus streaming
+/// (priorities 1–4, reads before writes); precharges and activates overlap
+/// with data transfers (5–6); column accesses that would switch ranks pay
+/// the rank-to-rank turnaround and come last (7–8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PriorityTable;
+
+impl PriorityTable {
+    /// The Table 2 priority of a candidate transaction given the bank and
+    /// rank of the last scheduled access. Lower is more urgent.
+    pub fn priority(cand: &Candidate, last_bank: Option<usize>, last_rank: Option<u8>) -> u8 {
+        let same_bank = last_bank == Some(cand.bank);
+        // With no history yet, treat the first transaction as same-rank:
+        // there is no turnaround to avoid.
+        let same_rank = match last_rank {
+            Some(r) => r == cand.loc.rank,
+            None => true,
+        };
+        let is_read = cand.kind.is_read();
+        match cand.cmd {
+            Command::Column { .. } => match (is_read, same_bank, same_rank) {
+                (true, true, _) => 1,
+                (true, false, true) => 2,
+                (false, true, _) => 3,
+                (false, false, true) => 4,
+                (true, false, false) => 7,
+                (false, false, false) => 8,
+            },
+            Command::Activate(_) | Command::Precharge(_) => {
+                if is_read {
+                    5
+                } else {
+                    6
+                }
+            }
+            Command::RefreshAll { .. } => 0,
+        }
+    }
+}
+
+/// Burst scheduling's transaction scheduler (paper Figure 6): select the
+/// unblocked transaction with the best Table 2 priority, breaking ties
+/// oldest-first.
+pub fn select_table2(
+    cands: &[Candidate],
+    last_bank: Option<usize>,
+    last_rank: Option<u8>,
+) -> Option<Candidate> {
+    cands
+        .iter()
+        .min_by_key(|c| (PriorityTable::priority(c, last_bank, last_rank), c.arrival, c.id))
+        .copied()
+}
+
+/// Round-robin selection across banks (BkInOrder and RowHit): chooses the
+/// first candidate at or after `*next_bank` in cyclic bank order within
+/// `bank_range`, then advances the pointer past it.
+pub fn select_round_robin(
+    cands: &[Candidate],
+    next_bank: &mut usize,
+    bank_range: core::ops::Range<usize>,
+) -> Option<Candidate> {
+    select_round_robin_limited(cands, next_bank, bank_range, usize::MAX)
+}
+
+/// Round-robin selection with limited lookahead, as conventional
+/// controllers implement it: scan at most `lookahead` banks holding
+/// candidates (in cyclic order from the pointer) and issue the first
+/// unblocked one. If every inspected candidate is blocked, the cycle is
+/// wasted — the "bubble cycles" the paper attributes to schedulers that
+/// ignore SDRAM timing constraints. Pass `cands` including blocked
+/// candidates (see [`crate::engine::Core::fill_all_candidates`]).
+pub fn select_round_robin_limited(
+    cands: &[Candidate],
+    next_bank: &mut usize,
+    bank_range: core::ops::Range<usize>,
+    lookahead: usize,
+) -> Option<Candidate> {
+    if cands.is_empty() {
+        return None;
+    }
+    let len = bank_range.end - bank_range.start;
+    let start = bank_range.start;
+    let pointer = (*next_bank).clamp(start, bank_range.end - 1);
+    let key = |bank: usize| (bank + len - pointer) % len;
+    let mut ordered: Vec<&Candidate> = cands.iter().collect();
+    ordered.sort_by_key(|c| (key(c.bank), c.arrival, c.id));
+    let chosen = ordered
+        .into_iter()
+        .take(lookahead.max(1))
+        .find(|c| c.unblocked)
+        .copied();
+    if let Some(c) = &chosen {
+        *next_bank = if c.bank + 1 >= bank_range.end { start } else { c.bank + 1 };
+    }
+    chosen
+}
+
+/// Intel's selection: started accesses get the highest priority so they
+/// finish as quickly as possible (reducing the degree of reordering);
+/// otherwise oldest first, reads before writes on ties.
+pub fn select_intel(cands: &[Candidate]) -> Option<Candidate> {
+    select_intel_limited(cands, usize::MAX)
+}
+
+/// Intel's selection with limited lookahead: only the first `lookahead`
+/// accesses in priority order are considered; if all of them are blocked
+/// the cycle bubbles.
+pub fn select_intel_limited(cands: &[Candidate], lookahead: usize) -> Option<Candidate> {
+    let mut ordered: Vec<&Candidate> = cands.iter().collect();
+    ordered.sort_by_key(|c| (!c.started, c.arrival, !c.kind.is_read(), c.id));
+    ordered.into_iter().take(lookahead.max(1)).find(|c| c.unblocked).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessId, AccessKind};
+    use burst_dram::{Cycle, Loc};
+
+    fn cand(
+        bank: usize,
+        rank: u8,
+        kind: AccessKind,
+        cmd: Command,
+        arrival: Cycle,
+        id: u64,
+        started: bool,
+    ) -> Candidate {
+        let loc = Loc::new(0, rank, bank as u8, 0, 0);
+        Candidate { bank, cmd, loc, kind, arrival, id: AccessId::new(id), started, unblocked: true }
+    }
+
+    fn col(loc_rank: u8, bank: usize) -> Command {
+        Command::read(Loc::new(0, loc_rank, bank as u8, 0, 0))
+    }
+
+    #[test]
+    fn table2_read_column_same_bank_wins() {
+        let read_same_bank = cand(3, 0, AccessKind::Read, col(0, 3), 10, 1, true);
+        let read_same_rank = cand(4, 0, AccessKind::Read, col(0, 4), 1, 2, true);
+        let picked = select_table2(&[read_same_rank, read_same_bank], Some(3), Some(0)).unwrap();
+        assert_eq!(picked.bank, 3, "same-bank column beats older same-rank column");
+    }
+
+    #[test]
+    fn table2_read_column_beats_write_column() {
+        let w = cand(1, 0, AccessKind::Write, Command::write(Loc::new(0, 0, 1, 0, 0)), 0, 1, true);
+        let r = cand(2, 0, AccessKind::Read, col(0, 2), 5, 2, true);
+        let picked = select_table2(&[w, r], None, Some(0)).unwrap();
+        assert_eq!(picked.bank, 2);
+    }
+
+    #[test]
+    fn table2_pre_act_beats_other_rank_column() {
+        let other_rank_col = cand(8, 1, AccessKind::Read, col(1, 8), 0, 1, true);
+        let act = cand(
+            2,
+            0,
+            AccessKind::Read,
+            Command::Activate(Loc::new(0, 0, 2, 0, 0)),
+            5,
+            2,
+            false,
+        );
+        let picked = select_table2(&[other_rank_col, act], Some(1), Some(0)).unwrap();
+        assert_eq!(picked.bank, 2, "activate (5) beats other-rank read column (7)");
+    }
+
+    #[test]
+    fn table2_other_rank_column_still_selectable() {
+        let other_rank_col = cand(8, 1, AccessKind::Read, col(1, 8), 0, 1, true);
+        let picked = select_table2(&[other_rank_col], Some(1), Some(0)).unwrap();
+        assert_eq!(picked.bank, 8);
+    }
+
+    #[test]
+    fn table2_oldest_breaks_ties() {
+        let a = cand(1, 0, AccessKind::Read, col(0, 1), 10, 10, true);
+        let b = cand(2, 0, AccessKind::Read, col(0, 2), 5, 11, true);
+        let picked = select_table2(&[a, b], None, Some(0)).unwrap();
+        assert_eq!(picked.bank, 2, "same priority: older access first");
+    }
+
+    #[test]
+    fn table2_priorities_match_paper() {
+        let lb = Some(1usize);
+        let lr = Some(0u8);
+        let rc_same_bank = cand(1, 0, AccessKind::Read, col(0, 1), 0, 1, true);
+        let rc_same_rank = cand(2, 0, AccessKind::Read, col(0, 2), 0, 2, true);
+        let wc_same_bank = cand(1, 0, AccessKind::Write, Command::write(Loc::new(0, 0, 1, 0, 0)), 0, 3, true);
+        let wc_same_rank = cand(2, 0, AccessKind::Write, Command::write(Loc::new(0, 0, 2, 0, 0)), 0, 4, true);
+        let r_act = cand(2, 0, AccessKind::Read, Command::Activate(Loc::new(0, 0, 2, 0, 0)), 0, 5, false);
+        let w_pre = cand(2, 0, AccessKind::Write, Command::Precharge(Loc::new(0, 0, 2, 0, 0)), 0, 6, false);
+        let rc_other = cand(8, 1, AccessKind::Read, col(1, 8), 0, 7, true);
+        let wc_other = cand(8, 1, AccessKind::Write, Command::write(Loc::new(0, 1, 0, 0, 0)), 0, 8, true);
+        let prios: Vec<u8> = [rc_same_bank, rc_same_rank, wc_same_bank, wc_same_rank, r_act, w_pre, rc_other, wc_other]
+            .iter()
+            .map(|c| PriorityTable::priority(c, lb, lr))
+            .collect();
+        assert_eq!(prios, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn round_robin_cycles_through_banks() {
+        let mk = |bank: usize, id: u64| cand(bank, 0, AccessKind::Read, col(0, bank), 0, id, true);
+        let cands = [mk(0, 1), mk(2, 2), mk(3, 3)];
+        let mut ptr = 0usize;
+        let first = select_round_robin(&cands, &mut ptr, 0..4).unwrap();
+        assert_eq!(first.bank, 0);
+        assert_eq!(ptr, 1);
+        let second = select_round_robin(&cands, &mut ptr, 0..4).unwrap();
+        assert_eq!(second.bank, 2, "pointer at 1: next available bank is 2");
+        let third = select_round_robin(&cands, &mut ptr, 0..4).unwrap();
+        assert_eq!(third.bank, 3);
+        // Wraps around.
+        let fourth = select_round_robin(&cands, &mut ptr, 0..4).unwrap();
+        assert_eq!(fourth.bank, 0);
+    }
+
+    #[test]
+    fn round_robin_empty_is_none() {
+        let mut ptr = 0usize;
+        assert!(select_round_robin(&[], &mut ptr, 0..4).is_none());
+    }
+
+    #[test]
+    fn intel_prefers_started_then_oldest() {
+        let started_new = cand(0, 0, AccessKind::Read, col(0, 0), 100, 3, true);
+        let unstarted_old = cand(1, 0, AccessKind::Read, col(0, 1), 1, 1, false);
+        let picked = select_intel(&[unstarted_old, started_new]).unwrap();
+        assert_eq!(picked.bank, 0, "started access finishes first");
+        let picked2 = select_intel(&[unstarted_old]).unwrap();
+        assert_eq!(picked2.bank, 1);
+    }
+}

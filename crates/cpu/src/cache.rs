@@ -1,0 +1,297 @@
+//! Set-associative write-back, write-allocate cache with LRU replacement.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (64 throughout the paper).
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// The paper's L1 data cache: 128 KB, 2-way, 64 B lines (Table 3).
+    pub fn l1d_baseline() -> Self {
+        CacheConfig { size_bytes: 128 * 1024, ways: 2, line_bytes: 64 }
+    }
+
+    /// The paper's L2 cache: 2 MB, 16-way, 64 B lines (Table 3).
+    pub fn l2_baseline() -> Self {
+        CacheConfig { size_bytes: 2 * 1024 * 1024, ways: 16, line_bytes: 64 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.ways as u64 * self.line_bytes)) as usize
+    }
+}
+
+/// A line evicted to make room for an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Eviction {
+    /// Line-aligned address of the victim.
+    pub addr: u64,
+    /// Whether the victim held modified data (needs writing back).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Per-level hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Dirty evictions produced by allocations.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative write-back cache.
+///
+/// # Examples
+///
+/// ```
+/// use burst_cpu::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::l1d_baseline());
+/// assert!(!c.lookup(0x1000, false));       // cold miss
+/// c.insert(0x1000, false);
+/// assert!(c.lookup(0x1000, true));         // hit, now dirty
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration yields zero sets or has a non-power-of-
+    /// two line size.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let sets = cfg.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        Cache {
+            cfg,
+            sets: vec![vec![Way::default(); cfg.ways]; sets],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zeroes the hit/miss counters (e.g. after functional warming).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn split(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line_bytes;
+        let set = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        (set, tag)
+    }
+
+    /// Looks up `addr`; on a hit updates LRU and, if `make_dirty`, marks the
+    /// line modified. Returns whether the line was present. Counts toward
+    /// hit/miss statistics.
+    pub fn lookup(&mut self, addr: u64, make_dirty: bool) -> bool {
+        self.tick += 1;
+        let (set, tag) = self.split(addr);
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == tag {
+                way.lru = self.tick;
+                if make_dirty {
+                    way.dirty = true;
+                }
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Whether `addr` is present, without touching LRU or statistics.
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.split(addr);
+        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Allocates a line for `addr` (write-allocate fill), evicting the LRU
+    /// way if the set is full. If the line is already present it is updated
+    /// in place. Returns the eviction, if any.
+    pub fn insert(&mut self, addr: u64, dirty: bool) -> Option<Eviction> {
+        self.tick += 1;
+        let tick = self.tick;
+        let sets_len = self.sets.len() as u64;
+        let (set, tag) = self.split(addr);
+        let ways = &mut self.sets[set];
+        // Already present: refresh.
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.lru = tick;
+            way.dirty |= dirty;
+            return None;
+        }
+        // Free way?
+        if let Some(way) = ways.iter_mut().find(|w| !w.valid) {
+            *way = Way { tag, valid: true, dirty, lru: tick };
+            return None;
+        }
+        // Evict LRU.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("ways is non-empty");
+        let evicted = Eviction {
+            addr: (victim.tag * sets_len + set as u64) * self.cfg.line_bytes,
+            dirty: victim.dirty,
+        };
+        *victim = Way { tag, valid: true, dirty, lru: tick };
+        if evicted.dirty {
+            self.stats.writebacks += 1;
+        }
+        Some(evicted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64 B = 512 B.
+        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn baseline_configs_match_table3() {
+        let l1 = CacheConfig::l1d_baseline();
+        assert_eq!(l1.sets(), 1024);
+        let l2 = CacheConfig::l2_baseline();
+        assert_eq!(l2.sets(), 2048);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.lookup(0, false));
+        c.insert(0, false);
+        assert!(c.lookup(0, false));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 receives lines 0, 256 (4 sets * 64 = 256 stride), 512.
+        c.insert(0, false);
+        c.insert(256, false);
+        // Touch line 0 so 256 becomes LRU.
+        assert!(c.lookup(0, false));
+        let ev = c.insert(512, false).expect("set is full");
+        assert_eq!(ev.addr, 256);
+        assert!(!ev.dirty);
+        assert!(c.contains(0));
+        assert!(c.contains(512));
+        assert!(!c.contains(256));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.insert(0, false);
+        assert!(c.lookup(0, true)); // dirty it
+        c.insert(256, false);
+        let ev = c.insert(512, false).expect("evicts");
+        // LRU is line 0 (touched before 256? No: 0 inserted, looked up
+        // (tick 2), 256 inserted tick 3 -> LRU is 0 at tick 2... lookup
+        // refreshed 0, insert(256) is newer, so victim is 0.
+        assert_eq!(ev.addr, 0);
+        assert!(ev.dirty, "dirty victim must be written back");
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn insert_existing_line_merges_dirty() {
+        let mut c = tiny();
+        c.insert(0, false);
+        assert!(c.insert(0, true).is_none(), "re-insert refreshes in place");
+        c.insert(256, false);
+        // Set 0 holds {0 (older), 256}; inserting 512 evicts line 0, which
+        // must carry the dirty bit merged by the second insert.
+        let ev = c.insert(512, false).expect("evicts LRU");
+        assert_eq!(ev.addr, 0);
+        assert!(ev.dirty, "dirty bit merged on re-insert");
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = tiny();
+        c.insert(0, false); // set 0
+        c.insert(64, false); // set 1
+        c.insert(128, false); // set 2
+        assert!(c.contains(0) && c.contains(64) && c.contains(128));
+    }
+
+    #[test]
+    fn eviction_address_reconstruction() {
+        let mut c = tiny();
+        let addr = 0x1234u64 & !63; // some line
+        c.insert(addr, true);
+        let (set, _) = (addr / 64 % 4, ());
+        // Fill the same set with two more lines to force eviction of addr.
+        let stride = 4 * 64;
+        c.insert(addr + stride, false);
+        let ev = c.insert(addr + 2 * stride, false).expect("evicts");
+        assert_eq!(ev.addr, addr, "victim address must round-trip (set {set})");
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = tiny();
+        c.insert(0, false);
+        c.lookup(0, false);
+        c.lookup(64, false);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

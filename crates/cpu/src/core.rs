@@ -1,0 +1,603 @@
+//! Out-of-order CPU limit model: a 196-entry ROB retiring 8 instructions
+//! per cycle in order, a 32-entry LSQ bounding outstanding misses (MSHRs),
+//! and non-blocking caches — the properties of the paper's baseline CPU
+//! (Table 3) that access reordering mechanisms interact with.
+//!
+//! The model captures exactly the coupling the paper studies: loads that
+//! miss the hierarchy block retirement until main memory returns data;
+//! stores are posted; dirty writebacks generate main-memory writes; a
+//! saturated memory controller back-pressures dispatch and stalls the
+//! pipeline.
+
+use std::collections::{HashMap, VecDeque};
+
+use burst_workloads::{Op, OpSource};
+
+use crate::{Hierarchy, HierarchyConfig, MemAccessResult};
+
+/// CPU model configuration (paper Table 3: 4 GHz, 8-way, 32 LSQ, 196 ROB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CpuConfig {
+    /// Reorder-buffer capacity.
+    pub rob_size: usize,
+    /// Dispatch and retire width (instructions per CPU cycle).
+    pub width: usize,
+    /// Load/store queue size: the maximum outstanding main-memory misses.
+    pub lsq_size: usize,
+    /// CPU cycles per memory-controller cycle (4 GHz / 400 MHz = 10).
+    pub cpu_ratio: u64,
+    /// L1 data hit latency in CPU cycles.
+    pub l1_latency: u64,
+    /// L2 hit latency in CPU cycles.
+    pub l2_latency: u64,
+    /// Writeback-queue length above which dispatch stalls (models FSB and
+    /// controller back-pressure on the CPU).
+    pub writeback_stall: usize,
+    /// Cache hierarchy geometry.
+    pub hierarchy: HierarchyConfig,
+}
+
+impl CpuConfig {
+    /// The paper's baseline machine (Table 3).
+    pub fn baseline() -> Self {
+        CpuConfig {
+            rob_size: 196,
+            width: 8,
+            lsq_size: 32,
+            cpu_ratio: 10,
+            l1_latency: 3,
+            l2_latency: 15,
+            writeback_stall: 16,
+            hierarchy: HierarchyConfig::baseline(),
+        }
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::baseline()
+    }
+}
+
+/// Aggregate CPU statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Main-memory read requests issued (L2 misses).
+    pub mem_reads: u64,
+    /// Main-memory writes issued (dirty L2 writebacks).
+    pub mem_writes: u64,
+    /// CPU cycles with dispatch fully stalled.
+    pub stall_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    /// Completed; retirable at the stored CPU cycle.
+    Ready(u64),
+    /// Waiting for a main-memory line.
+    WaitMem(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    state: EntryState,
+}
+
+#[derive(Debug, Clone, Default)]
+struct MshrEntry {
+    /// ROB indices (sequence numbers) waiting on this line.
+    waiters: Vec<u64>,
+    /// The fill installs the line dirty (store-allocate).
+    dirty_on_fill: bool,
+}
+
+/// The out-of-order core limit model.
+///
+/// Drive it with [`Cpu::cycle`] once per CPU cycle; pull main-memory
+/// requests with [`Cpu::pop_read_request`] / [`Cpu::pop_writeback`] as the
+/// memory controller accepts them, and report read data with
+/// [`Cpu::complete_read`].
+///
+/// # Examples
+///
+/// ```
+/// use burst_cpu::{Cpu, CpuConfig};
+/// use burst_workloads::{Op, ReplaySource};
+///
+/// let mut cpu = Cpu::new(CpuConfig::baseline());
+/// let mut src = ReplaySource::new("tiny", vec![Op::Compute, Op::load(0x80)]);
+/// for _ in 0..4 {
+///     cpu.cycle(&mut src);
+/// }
+/// // The load missed both caches and asks main memory for its line.
+/// assert_eq!(cpu.pop_read_request(), Some(0x80));
+/// ```
+#[derive(Debug)]
+pub struct Cpu {
+    cfg: CpuConfig,
+    hierarchy: Hierarchy,
+    rob: VecDeque<RobEntry>,
+    /// Sequence number of the ROB front entry.
+    head_seq: u64,
+    now: u64,
+    mshrs: HashMap<u64, MshrEntry>,
+    read_requests: VecDeque<(u64, bool)>,
+    stalled_op: Option<Op>,
+    /// A dependent-load chain is blocked until this line returns.
+    chase_block: Option<u64>,
+    stats: CpuStats,
+}
+
+impl Cpu {
+    /// Creates an idle core with cold caches.
+    pub fn new(cfg: CpuConfig) -> Self {
+        Cpu {
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            cfg,
+            rob: VecDeque::new(),
+            head_seq: 0,
+            now: 0,
+            mshrs: HashMap::new(),
+            read_requests: VecDeque::new(),
+            stalled_op: None,
+            chase_block: None,
+            stats: CpuStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// The cache hierarchy (for hit-rate statistics).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.stats.retired
+    }
+
+    /// Current CPU cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Outstanding main-memory misses (MSHR occupancy).
+    pub fn outstanding_misses(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    /// Takes the next main-memory read request (a line address), if any.
+    pub fn pop_read_request(&mut self) -> Option<u64> {
+        self.read_requests.pop_front().map(|(line, _)| line)
+    }
+
+    /// Takes the next main-memory read request with its criticality tag:
+    /// `true` for demand loads (a ROB entry blocks on the line), `false`
+    /// for store-allocate fills. Feed the tag to
+    /// `burst_core::Access::with_critical` for critical-first scheduling.
+    pub fn pop_read_request_tagged(&mut self) -> Option<(u64, bool)> {
+        self.read_requests.pop_front()
+    }
+
+    /// Takes the next main-memory writeback (a line address), if any.
+    pub fn pop_writeback(&mut self) -> Option<u64> {
+        let w = self.hierarchy.pop_writeback();
+        if w.is_some() {
+            self.stats.mem_writes += 1;
+        }
+        w
+    }
+
+    /// Reports that main memory returned `line`; waiting loads become
+    /// retirable at CPU cycle `ready_at`.
+    pub fn complete_read(&mut self, line: u64, ready_at: u64) {
+        if let Some(entry) = self.mshrs.remove(&line) {
+            self.hierarchy.fill(line, entry.dirty_on_fill);
+            for seq in entry.waiters {
+                if seq >= self.head_seq {
+                    let idx = (seq - self.head_seq) as usize;
+                    if let Some(e) = self.rob.get_mut(idx) {
+                        if matches!(e.state, EntryState::WaitMem(l) if l == line) {
+                            e.state = EntryState::Ready(ready_at.max(self.now));
+                        }
+                    }
+                }
+            }
+        }
+        if self.chase_block == Some(line) {
+            self.chase_block = None;
+        }
+    }
+
+    /// Functionally warms the cache hierarchy: consumes ops from `source`
+    /// until `mem_ops` memory operations have been applied to the caches
+    /// with instant fills and no timing. Writebacks generated during
+    /// warming are discarded and cache counters reset, so the timed region
+    /// starts from a realistic steady state (the paper's 2-billion-
+    /// instruction runs are warm almost throughout).
+    pub fn warm_caches(&mut self, source: &mut dyn OpSource, mem_ops: u64) {
+        let mut done = 0u64;
+        // A workload may be compute-only (no memory ops at all); bound the
+        // total ops consumed so warming terminates on any source.
+        let mut budget = mem_ops.saturating_mul(64).saturating_add(4096);
+        while done < mem_ops && budget > 0 {
+            budget -= 1;
+            match source.next_op() {
+                Op::Compute => {}
+                Op::Load { addr, .. } => {
+                    if let MemAccessResult::Miss { line } = self.hierarchy.access(addr, false) {
+                        self.hierarchy.fill(line, false);
+                    }
+                    done += 1;
+                }
+                Op::Store { addr } => {
+                    if let MemAccessResult::Miss { line } = self.hierarchy.access(addr, true) {
+                        self.hierarchy.fill(line, true);
+                    }
+                    done += 1;
+                }
+            }
+        }
+        self.hierarchy.reset_stats();
+    }
+
+    /// Runs one CPU cycle: retire in order, then dispatch up to `width`
+    /// instructions from `source`.
+    pub fn cycle(&mut self, source: &mut dyn OpSource) {
+        self.now += 1;
+        self.retire();
+        let dispatched = self.dispatch(source);
+        if dispatched == 0 {
+            self.stats.stall_cycles += 1;
+        }
+    }
+
+    fn retire(&mut self) {
+        for _ in 0..self.cfg.width {
+            match self.rob.front() {
+                Some(RobEntry { state: EntryState::Ready(at) }) if *at <= self.now => {
+                    self.rob.pop_front();
+                    self.head_seq += 1;
+                    self.stats.retired += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn dispatch(&mut self, source: &mut dyn OpSource) -> usize {
+        let mut dispatched = 0;
+        while dispatched < self.cfg.width {
+            if self.rob.len() >= self.cfg.rob_size {
+                break; // ROB full
+            }
+            if self.hierarchy.pending_writebacks() >= self.cfg.writeback_stall {
+                break; // memory back-pressure
+            }
+            let op = match self.stalled_op.take() {
+                Some(op) => op,
+                None => source.next_op(),
+            };
+            if !self.try_dispatch(op) {
+                self.stalled_op = Some(op);
+                break;
+            }
+            dispatched += 1;
+        }
+        dispatched
+    }
+
+    /// Attempts to dispatch one op; returns false if it must retry next
+    /// cycle (dependence or MSHR/queue limits).
+    fn try_dispatch(&mut self, op: Op) -> bool {
+        match op {
+            Op::Compute => {
+                self.push_entry(EntryState::Ready(self.now + 1));
+                true
+            }
+            Op::Load { addr, dependent } => {
+                // A dependent load serialises behind the previous chase
+                // miss: memory-level parallelism collapses to one, as in
+                // pointer-chasing codes (mcf).
+                if dependent && self.chase_block.is_some() {
+                    return false;
+                }
+                match self.hierarchy.access(addr, false) {
+                    MemAccessResult::L1Hit => {
+                        self.stats.loads += 1;
+                        self.push_entry(EntryState::Ready(self.now + self.cfg.l1_latency));
+                        true
+                    }
+                    MemAccessResult::L2Hit => {
+                        self.stats.loads += 1;
+                        self.push_entry(EntryState::Ready(self.now + self.cfg.l2_latency));
+                        true
+                    }
+                    MemAccessResult::Miss { line } => {
+                        let seq = self.head_seq + self.rob.len() as u64;
+                        if let Some(mshr) = self.mshrs.get_mut(&line) {
+                            mshr.waiters.push(seq);
+                        } else {
+                            if self.mshrs.len() >= self.cfg.lsq_size {
+                                return false; // no MSHR free
+                            }
+                            self.mshrs
+                                .insert(line, MshrEntry { waiters: vec![seq], dirty_on_fill: false });
+                            self.read_requests.push_back((line, true));
+                            self.stats.mem_reads += 1;
+                        }
+                        self.stats.loads += 1;
+                        if dependent {
+                            self.chase_block = Some(line);
+                        }
+                        self.push_entry(EntryState::WaitMem(line));
+                        true
+                    }
+                }
+            }
+            Op::Store { addr } => {
+                match self.hierarchy.access(addr, true) {
+                    MemAccessResult::L1Hit | MemAccessResult::L2Hit => {
+                        self.stats.stores += 1;
+                        self.push_entry(EntryState::Ready(self.now + 1));
+                        true
+                    }
+                    MemAccessResult::Miss { line } => {
+                        // Write-allocate: fetch the line, but the store
+                        // itself is posted and retires immediately.
+                        if let Some(mshr) = self.mshrs.get_mut(&line) {
+                            mshr.dirty_on_fill = true;
+                        } else {
+                            if self.mshrs.len() >= self.cfg.lsq_size {
+                                return false;
+                            }
+                            self.mshrs
+                                .insert(line, MshrEntry { waiters: Vec::new(), dirty_on_fill: true });
+                            self.read_requests.push_back((line, false));
+                            self.stats.mem_reads += 1;
+                        }
+                        self.stats.stores += 1;
+                        self.push_entry(EntryState::Ready(self.now + 1));
+                        true
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_entry(&mut self, state: EntryState) {
+        self.rob.push_back(RobEntry { state });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use burst_workloads::ReplaySource;
+
+    fn compute_only() -> ReplaySource {
+        ReplaySource::new("compute", vec![Op::Compute])
+    }
+
+    #[test]
+    fn compute_stream_retires_at_full_width() {
+        let mut cpu = Cpu::new(CpuConfig::baseline());
+        let mut src = compute_only();
+        for _ in 0..100 {
+            cpu.cycle(&mut src);
+        }
+        // Steady state: 8 instructions per cycle.
+        assert!(cpu.retired() > 90 * 8 / 2, "retired {}", cpu.retired());
+        assert_eq!(cpu.outstanding_misses(), 0);
+    }
+
+    #[test]
+    fn load_miss_blocks_retirement_until_completion() {
+        let mut cpu = Cpu::new(CpuConfig::baseline());
+        // One load then endless compute.
+        let mut ops = vec![Op::load(0x1000)];
+        ops.extend(std::iter::repeat_n(Op::Compute, 9));
+        let mut src = ReplaySource::new("l", ops);
+        for _ in 0..50 {
+            cpu.cycle(&mut src);
+        }
+        let line = cpu.pop_read_request().expect("load missed to memory");
+        assert_eq!(line, 0x1000);
+        // ROB fills behind the blocked load; retirement stops at it.
+        let retired_before = cpu.retired();
+        for _ in 0..50 {
+            cpu.cycle(&mut src);
+        }
+        assert_eq!(cpu.retired(), retired_before, "nothing retires past a blocked load");
+        // Complete it: retirement resumes.
+        cpu.complete_read(0x1000, cpu.now());
+        for _ in 0..20 {
+            cpu.cycle(&mut src);
+        }
+        assert!(cpu.retired() > retired_before);
+    }
+
+    #[test]
+    fn rob_limits_in_flight_instructions() {
+        let mut cpu = Cpu::new(CpuConfig::baseline());
+        let mut src = ReplaySource::new("l", vec![Op::load(0x40_0000)]);
+        // Every op is a load to a distinct line? No: same line -> one MSHR,
+        // all wait. ROB fills to capacity and dispatch stalls.
+        for _ in 0..100 {
+            cpu.cycle(&mut src);
+        }
+        assert!(cpu.rob.len() <= 196);
+        assert!(cpu.stats().stall_cycles > 0);
+    }
+
+    #[test]
+    fn lsq_bounds_outstanding_misses() {
+        let cfg = CpuConfig::baseline();
+        let mut cpu = Cpu::new(cfg);
+        // Loads to many distinct lines (64 B apart spans sets; use big
+        // stride to avoid cache hits).
+        let ops: Vec<Op> = (0..256).map(|i| Op::load(i << 20)).collect();
+        let mut src = ReplaySource::new("many", ops);
+        for _ in 0..200 {
+            cpu.cycle(&mut src);
+        }
+        assert!(
+            cpu.outstanding_misses() <= cfg.lsq_size,
+            "MSHRs {} exceed LSQ {}",
+            cpu.outstanding_misses(),
+            cfg.lsq_size
+        );
+        assert_eq!(cpu.outstanding_misses(), cfg.lsq_size, "should saturate");
+    }
+
+    #[test]
+    fn dependent_loads_serialize() {
+        let mut cpu = Cpu::new(CpuConfig::baseline());
+        let ops: Vec<Op> = (0..64).map(|i| Op::dependent_load(i << 20)).collect();
+        let mut src = ReplaySource::new("chase", ops);
+        for _ in 0..100 {
+            cpu.cycle(&mut src);
+        }
+        assert_eq!(cpu.outstanding_misses(), 1, "pointer chase has MLP 1");
+    }
+
+    #[test]
+    fn store_misses_fetch_line_but_do_not_block() {
+        let mut cpu = Cpu::new(CpuConfig::baseline());
+        let mut ops = vec![Op::Store { addr: 0x8000 }];
+        ops.extend(std::iter::repeat_n(Op::Compute, 15));
+        let mut src = ReplaySource::new("s", ops);
+        for _ in 0..30 {
+            cpu.cycle(&mut src);
+        }
+        // Store generated a fill read...
+        assert_eq!(cpu.pop_read_request(), Some(0x8000));
+        // ...but retirement continued (stores are posted).
+        assert!(cpu.retired() > 20, "retired {}", cpu.retired());
+    }
+
+    #[test]
+    fn store_fill_installs_dirty_line() {
+        let mut cpu = Cpu::new(CpuConfig::baseline());
+        let mut src = ReplaySource::new("s", vec![Op::Store { addr: 0 }, Op::Compute]);
+        cpu.cycle(&mut src);
+        assert_eq!(cpu.pop_read_request(), Some(0));
+        cpu.complete_read(0, cpu.now());
+        assert!(cpu.hierarchy().l1d().contains(0));
+        // Dirty: evicting it must eventually produce a writeback. Touch
+        // enough conflicting lines to push it through both levels.
+        let sets_l1 = cpu.hierarchy().l1d().config().sets() as u64;
+        let sets_l2 = cpu.hierarchy().l2().config().sets() as u64;
+        let ops: Vec<Op> = (1..=40)
+            .map(|i| Op::Store { addr: i * sets_l1.max(sets_l2) * 64 })
+            .collect();
+        let mut src2 = ReplaySource::new("evict", ops);
+        for _ in 0..4000 {
+            cpu.cycle(&mut src2);
+            while let Some(line) = cpu.pop_read_request() {
+                cpu.complete_read(line, cpu.now());
+            }
+            if cpu.pop_writeback().is_some() {
+                return; // writeback observed
+            }
+        }
+        panic!("dirty line never written back");
+    }
+
+    #[test]
+    fn writeback_pressure_stalls_dispatch() {
+        let mut cfg = CpuConfig::baseline();
+        cfg.writeback_stall = 1;
+        let mut cpu = Cpu::new(cfg);
+        // Generate dirty evictions without draining writebacks.
+        let sets = cpu.hierarchy().l2().config().sets() as u64;
+        let ops: Vec<Op> = (0..600).map(|i| Op::Store { addr: i * sets * 64 }).collect();
+        let mut src = ReplaySource::new("wb", ops);
+        for _ in 0..3000 {
+            cpu.cycle(&mut src);
+            while let Some(line) = cpu.pop_read_request() {
+                cpu.complete_read(line, cpu.now());
+            }
+            if cpu.hierarchy().pending_writebacks() >= 1 {
+                break;
+            }
+        }
+        assert!(cpu.hierarchy().pending_writebacks() >= 1);
+        let stalls_before = cpu.stats().stall_cycles;
+        for _ in 0..10 {
+            cpu.cycle(&mut src);
+        }
+        assert!(cpu.stats().stall_cycles > stalls_before, "dispatch must stall");
+    }
+
+    #[test]
+    fn l1_hit_is_faster_than_l2_hit() {
+        let mut cpu = Cpu::new(CpuConfig::baseline());
+        let mut src = ReplaySource::new("one", vec![Op::load(0), Op::Compute]);
+        // Warm the line via fill.
+        cpu.cycle(&mut src);
+        if let Some(l) = cpu.pop_read_request() {
+            cpu.complete_read(l, cpu.now());
+        }
+        // Subsequent loads to the same line hit L1 and retire quickly.
+        let retired_before = cpu.retired();
+        for _ in 0..20 {
+            cpu.cycle(&mut src);
+        }
+        assert!(cpu.retired() > retired_before + 10);
+    }
+
+    #[test]
+    fn shared_mshr_wakes_all_waiting_loads() {
+        let mut cpu = Cpu::new(CpuConfig::baseline());
+        // Four loads to the same missing line.
+        let ops = vec![Op::load(0x100000); 4];
+        let mut src = ReplaySource::new("same", ops);
+        cpu.cycle(&mut src);
+        assert_eq!(cpu.outstanding_misses(), 1, "merged into one MSHR");
+        cpu.complete_read(0x100000, cpu.now());
+        for _ in 0..10 {
+            cpu.cycle(&mut src);
+        }
+        assert!(cpu.retired() >= 4);
+    }
+}
+
+#[cfg(test)]
+mod warm_tests {
+    use super::*;
+    use burst_workloads::ReplaySource;
+
+    #[test]
+    fn warming_terminates_on_compute_only_workloads() {
+        let mut cpu = Cpu::new(CpuConfig::baseline());
+        let mut src = ReplaySource::new("compute", vec![Op::Compute]);
+        // Must return despite the source never emitting a memory op.
+        cpu.warm_caches(&mut src, 10_000);
+    }
+
+    #[test]
+    fn warming_fills_caches() {
+        let mut cpu = Cpu::new(CpuConfig::baseline());
+        let ops: Vec<Op> = (0..64u64).map(|i| Op::load(i * 64)).collect();
+        let mut src = ReplaySource::new("lines", ops);
+        cpu.warm_caches(&mut src, 256);
+        assert!(cpu.hierarchy().l1d().contains(0), "warmed line must be resident");
+        assert_eq!(cpu.hierarchy().pending_writebacks(), 0, "warming discards writebacks");
+    }
+}

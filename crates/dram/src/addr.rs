@@ -1,0 +1,405 @@
+//! Physical addresses and SDRAM address mapping.
+//!
+//! An address mapping decides how a flat physical address decomposes into
+//! `(channel, rank, bank, row, column)`. The paper's baseline machine uses
+//! *page interleaving* (Table 3); the bit-reversal and permutation mappings
+//! from the authors' related work are provided as extensions and exercised by
+//! the ablation benches.
+
+use crate::{Geometry, Loc};
+
+/// A flat physical byte address in main memory.
+///
+/// # Examples
+///
+/// ```
+/// use burst_dram::PhysAddr;
+///
+/// let a = PhysAddr::new(0x1234_5678);
+/// assert_eq!(a.value(), 0x1234_5678);
+/// assert_eq!(a.cache_line(64).value(), 0x1234_5640);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Wraps a raw physical byte address.
+    pub fn new(addr: u64) -> Self {
+        PhysAddr(addr)
+    }
+
+    /// The raw address value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The address aligned down to a cache-line boundary.
+    pub fn cache_line(self, line_bytes: u64) -> PhysAddr {
+        debug_assert!(line_bytes.is_power_of_two());
+        PhysAddr(self.0 & !(line_bytes - 1))
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+impl From<PhysAddr> for u64 {
+    fn from(a: PhysAddr) -> u64 {
+        a.0
+    }
+}
+
+impl core::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl core::fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// How physical addresses map onto the SDRAM geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddressMapping {
+    /// Page interleaving (the paper's baseline, Table 3): low-order bits
+    /// select the column, then channel, bank and rank, with the row on top.
+    /// Consecutive rows of the address space land on different
+    /// channels/banks, so streaming accesses enjoy both row locality and
+    /// bank parallelism.
+    #[default]
+    PageInterleaving,
+    /// Cache-line interleaving: channel/bank/rank bits sit directly above
+    /// the cache-line offset, so consecutive lines scatter across banks.
+    /// Maximises bank parallelism, destroys row locality.
+    CacheLineInterleaving,
+    /// Permutation-based page interleaving (Zhang et al., MICRO 2000): like
+    /// page interleaving but the bank index is XOR-ed with low row bits to
+    /// spread row-conflicting addresses over banks.
+    Permutation,
+    /// Bit-reversal mapping (Shao & Davis, SCOPES 2005): the bits above the
+    /// column field are reversed before being split into bank/rank/channel
+    /// and row fields.
+    BitReversal,
+}
+
+/// Decodes flat physical addresses into device locations for a fixed
+/// [`Geometry`] and [`AddressMapping`].
+///
+/// # Examples
+///
+/// ```
+/// use burst_dram::{AddressMapper, AddressMapping, Geometry, PhysAddr};
+///
+/// let mapper = AddressMapper::new(Geometry::baseline(), AddressMapping::PageInterleaving);
+/// let loc = mapper.decode(PhysAddr::new(0));
+/// assert_eq!((loc.channel, loc.rank, loc.bank, loc.row, loc.col), (0, 0, 0, 0, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddressMapper {
+    geometry: Geometry,
+    mapping: AddressMapping,
+    offset_bits: u32,
+    col_bits: u32,
+    channel_bits: u32,
+    bank_bits: u32,
+    rank_bits: u32,
+    row_bits: u32,
+}
+
+fn bits_for(n: u64) -> u32 {
+    debug_assert!(n.is_power_of_two(), "geometry dimensions must be powers of two, got {n}");
+    n.trailing_zeros()
+}
+
+impl AddressMapper {
+    /// Creates a mapper for `geometry` using `mapping`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any geometry dimension is not a power of
+    /// two; address-bit slicing requires power-of-two field widths.
+    pub fn new(geometry: Geometry, mapping: AddressMapping) -> Self {
+        AddressMapper {
+            geometry,
+            mapping,
+            offset_bits: bits_for(u64::from(geometry.bus_bytes)),
+            col_bits: bits_for(u64::from(geometry.cols_per_row)),
+            channel_bits: bits_for(u64::from(geometry.channels)),
+            bank_bits: bits_for(u64::from(geometry.banks_per_rank)),
+            rank_bits: bits_for(u64::from(geometry.ranks_per_channel)),
+            row_bits: bits_for(u64::from(geometry.rows_per_bank)),
+        }
+    }
+
+    /// The geometry this mapper was built for.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// The mapping scheme in use.
+    pub fn mapping(&self) -> AddressMapping {
+        self.mapping
+    }
+
+    /// Total number of address bits consumed by the mapping.
+    pub fn addr_bits(&self) -> u32 {
+        self.offset_bits + self.col_bits + self.channel_bits + self.bank_bits + self.rank_bits
+            + self.row_bits
+    }
+
+    /// Decodes a physical address into a device location. Addresses beyond
+    /// the device capacity wrap around.
+    pub fn decode(&self, addr: PhysAddr) -> Loc {
+        let mut a = addr.value() >> self.offset_bits;
+        let mut take = |bits: u32| -> u64 {
+            let v = a & ((1u64 << bits) - 1);
+            a >>= bits;
+            v
+        };
+        match self.mapping {
+            AddressMapping::PageInterleaving => {
+                let col = take(self.col_bits);
+                let channel = take(self.channel_bits);
+                let bank = take(self.bank_bits);
+                let rank = take(self.rank_bits);
+                let row = take(self.row_bits);
+                Loc::new(channel as u8, rank as u8, bank as u8, row as u32, col as u32)
+            }
+            AddressMapping::CacheLineInterleaving => {
+                // Line offset within the column field stays low; the
+                // channel/bank/rank bits sit right above one cache line.
+                let line_cols = bits_for(u64::from(
+                    self.geometry.burst_length.max(1),
+                ));
+                let col_lo = take(line_cols.min(self.col_bits));
+                let channel = take(self.channel_bits);
+                let bank = take(self.bank_bits);
+                let rank = take(self.rank_bits);
+                let col_hi = take(self.col_bits.saturating_sub(line_cols));
+                let row = take(self.row_bits);
+                let col = (col_hi << line_cols.min(self.col_bits)) | col_lo;
+                Loc::new(channel as u8, rank as u8, bank as u8, row as u32, col as u32)
+            }
+            AddressMapping::Permutation => {
+                let col = take(self.col_bits);
+                let channel = take(self.channel_bits);
+                let bank = take(self.bank_bits);
+                let rank = take(self.rank_bits);
+                let row = take(self.row_bits);
+                let xor_mask = row & ((1u64 << self.bank_bits) - 1);
+                Loc::new(
+                    channel as u8,
+                    rank as u8,
+                    (bank ^ xor_mask) as u8,
+                    row as u32,
+                    col as u32,
+                )
+            }
+            AddressMapping::BitReversal => {
+                let col = take(self.col_bits);
+                let hi_bits = self.channel_bits + self.bank_bits + self.rank_bits + self.row_bits;
+                let hi = take(hi_bits);
+                let mut rev = 0u64;
+                for i in 0..hi_bits {
+                    if hi & (1 << i) != 0 {
+                        rev |= 1 << (hi_bits - 1 - i);
+                    }
+                }
+                let mut b = rev;
+                let mut take_hi = |bits: u32| -> u64 {
+                    let v = b & ((1u64 << bits) - 1);
+                    b >>= bits;
+                    v
+                };
+                let channel = take_hi(self.channel_bits);
+                let bank = take_hi(self.bank_bits);
+                let rank = take_hi(self.rank_bits);
+                let row = take_hi(self.row_bits);
+                Loc::new(channel as u8, rank as u8, bank as u8, row as u32, col as u32)
+            }
+        }
+    }
+
+    /// Re-encodes a location back into the canonical physical address that
+    /// decodes to it. Inverse of [`AddressMapper::decode`] for in-range
+    /// addresses (only exact for mappings without bit mixing; provided for
+    /// the page- and cache-line-interleaved mappings used by tests and
+    /// workload generators).
+    pub fn encode(&self, loc: Loc) -> PhysAddr {
+        match self.mapping {
+            AddressMapping::PageInterleaving => {
+                let mut a = u64::from(loc.row);
+                a = (a << self.rank_bits) | u64::from(loc.rank);
+                a = (a << self.bank_bits) | u64::from(loc.bank);
+                a = (a << self.channel_bits) | u64::from(loc.channel);
+                a = (a << self.col_bits) | u64::from(loc.col);
+                PhysAddr::new(a << self.offset_bits)
+            }
+            AddressMapping::CacheLineInterleaving => {
+                let line_cols = bits_for(u64::from(self.geometry.burst_length.max(1)));
+                let lc = line_cols.min(self.col_bits);
+                let col_lo = u64::from(loc.col) & ((1 << lc) - 1);
+                let col_hi = u64::from(loc.col) >> lc;
+                let mut a = u64::from(loc.row);
+                a = (a << self.col_bits.saturating_sub(line_cols)) | col_hi;
+                a = (a << self.rank_bits) | u64::from(loc.rank);
+                a = (a << self.bank_bits) | u64::from(loc.bank);
+                a = (a << self.channel_bits) | u64::from(loc.channel);
+                a = (a << lc) | col_lo;
+                PhysAddr::new(a << self.offset_bits)
+            }
+            AddressMapping::Permutation => {
+                let xor_mask = (u64::from(loc.row) & ((1u64 << self.bank_bits) - 1)) as u8;
+                let stored = Loc { bank: loc.bank ^ xor_mask, ..loc };
+                let plain = AddressMapper {
+                    mapping: AddressMapping::PageInterleaving,
+                    ..*self
+                };
+                plain.encode(stored)
+            }
+            AddressMapping::BitReversal => {
+                let hi_bits = self.channel_bits + self.bank_bits + self.rank_bits + self.row_bits;
+                let mut packed = u64::from(loc.row);
+                packed = (packed << self.rank_bits) | u64::from(loc.rank);
+                packed = (packed << self.bank_bits) | u64::from(loc.bank);
+                packed = (packed << self.channel_bits) | u64::from(loc.channel);
+                let mut rev = 0u64;
+                for i in 0..hi_bits {
+                    if packed & (1 << i) != 0 {
+                        rev |= 1 << (hi_bits - 1 - i);
+                    }
+                }
+                let a = (rev << self.col_bits) | u64::from(loc.col);
+                PhysAddr::new(a << self.offset_bits)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapper(mapping: AddressMapping) -> AddressMapper {
+        AddressMapper::new(Geometry::baseline(), mapping)
+    }
+
+    #[test]
+    fn page_interleaving_keeps_a_row_together() {
+        let m = mapper(AddressMapping::PageInterleaving);
+        let row_bytes = u64::from(m.geometry().row_bytes());
+        let base = m.decode(PhysAddr::new(0));
+        // Every address within the first page maps to the same row/bank.
+        for off in (0..row_bytes).step_by(64) {
+            let loc = m.decode(PhysAddr::new(off));
+            assert_eq!(loc.channel, base.channel);
+            assert_eq!(loc.rank, base.rank);
+            assert_eq!(loc.bank, base.bank);
+            assert_eq!(loc.row, base.row);
+        }
+    }
+
+    #[test]
+    fn page_interleaving_spreads_consecutive_pages() {
+        let m = mapper(AddressMapping::PageInterleaving);
+        let row_bytes = u64::from(m.geometry().row_bytes());
+        let a = m.decode(PhysAddr::new(0));
+        let b = m.decode(PhysAddr::new(row_bytes));
+        // The next page goes to the other channel first.
+        assert_ne!((a.channel, a.bank, a.rank), (b.channel, b.bank, b.rank));
+    }
+
+    #[test]
+    fn cache_line_interleaving_spreads_consecutive_lines() {
+        let m = mapper(AddressMapping::CacheLineInterleaving);
+        let a = m.decode(PhysAddr::new(0));
+        let b = m.decode(PhysAddr::new(64));
+        assert_ne!((a.channel, a.rank, a.bank), (b.channel, b.rank, b.bank));
+    }
+
+    #[test]
+    fn decode_encode_roundtrip_page() {
+        let m = mapper(AddressMapping::PageInterleaving);
+        for addr in [0u64, 64, 4096, 1 << 20, (4u64 << 30) - 64] {
+            let loc = m.decode(PhysAddr::new(addr));
+            assert_eq!(m.encode(loc).value(), addr & !63, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn decode_encode_roundtrip_all_mappings() {
+        for mapping in [
+            AddressMapping::PageInterleaving,
+            AddressMapping::CacheLineInterleaving,
+            AddressMapping::Permutation,
+            AddressMapping::BitReversal,
+        ] {
+            let m = mapper(mapping);
+            for addr in [0u64, 64, 8192, 1 << 24, (1u64 << 30) + 4096] {
+                let loc = m.decode(PhysAddr::new(addr));
+                let enc = m.encode(loc);
+                assert_eq!(
+                    m.decode(enc),
+                    loc,
+                    "mapping {mapping:?} addr {addr:#x} not stable under encode/decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_changes_bank_for_conflicting_rows() {
+        let page = mapper(AddressMapping::PageInterleaving);
+        let perm = mapper(AddressMapping::Permutation);
+        // Two addresses that conflict (same bank, different row) under page
+        // interleaving should land on different banks under permutation for
+        // at least some row pairs.
+        let g = Geometry::baseline();
+        let stride = u64::from(g.row_bytes())
+            * u64::from(g.channels)
+            * u64::from(g.banks_per_rank)
+            * u64::from(g.ranks_per_channel);
+        let a0 = PhysAddr::new(0);
+        let a1 = PhysAddr::new(stride); // row+1, same bank under page interleaving
+        let p0 = page.decode(a0);
+        let p1 = page.decode(a1);
+        assert_eq!((p0.channel, p0.rank, p0.bank), (p1.channel, p1.rank, p1.bank));
+        assert_ne!(p0.row, p1.row);
+        let q0 = perm.decode(a0);
+        let q1 = perm.decode(a1);
+        assert_ne!(q0.bank, q1.bank, "permutation should split conflicting rows");
+    }
+
+    #[test]
+    fn decoded_fields_in_range() {
+        let g = Geometry::baseline();
+        for mapping in [
+            AddressMapping::PageInterleaving,
+            AddressMapping::CacheLineInterleaving,
+            AddressMapping::Permutation,
+            AddressMapping::BitReversal,
+        ] {
+            let m = AddressMapper::new(g, mapping);
+            for i in 0..1000u64 {
+                let loc = m.decode(PhysAddr::new(i * 4099 * 64));
+                assert!(loc.channel < g.channels);
+                assert!(loc.rank < g.ranks_per_channel);
+                assert!(loc.bank < g.banks_per_rank);
+                assert!(loc.row < g.rows_per_bank);
+                assert!(loc.col < g.cols_per_row);
+            }
+        }
+    }
+
+    #[test]
+    fn addr_bits_covers_capacity() {
+        let m = mapper(AddressMapping::PageInterleaving);
+        assert_eq!(1u64 << m.addr_bits(), Geometry::baseline().capacity_bytes());
+    }
+}

@@ -1,0 +1,134 @@
+//! SDRAM commands (the paper's "transactions").
+//!
+//! An *access* (a read or write issued by the lowest-level cache) is carried
+//! out by up to three commands — bank precharge, row activate, column access —
+//! plus the data transfer (Section 2 of the paper).
+
+use crate::{Cycle, Loc};
+
+/// Direction of a column access / data-bus transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Data flows from the device to the controller.
+    Read,
+    /// Data flows from the controller to the device.
+    Write,
+}
+
+impl Dir {
+    /// Returns `true` for [`Dir::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, Dir::Read)
+    }
+}
+
+impl core::fmt::Display for Dir {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Dir::Read => f.write_str("read"),
+            Dir::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// One SDRAM command scheduled on the command (address) bus.
+///
+/// The paper's Figure 1 draws these as `P` (precharge), `R` (activate) and
+/// `C` (column access) boxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Close the open row of the bank at `loc` (row/col fields ignored).
+    Precharge(Loc),
+    /// Open row `loc.row` in the bank at `loc`.
+    Activate(Loc),
+    /// Column access at `loc` in direction `dir`. With `auto_precharge` the
+    /// bank closes itself at the earliest legal point after the access
+    /// (Close Page Autoprecharge policy).
+    Column {
+        /// Target location; the row must already be open.
+        loc: Loc,
+        /// Read or write.
+        dir: Dir,
+        /// Close the bank automatically after the access completes.
+        auto_precharge: bool,
+    },
+    /// Refresh every bank of a rank (all banks must be precharged first).
+    RefreshAll {
+        /// Target rank within its channel.
+        rank: u8,
+    },
+}
+
+impl Command {
+    /// A plain column read without auto-precharge.
+    pub fn read(loc: Loc) -> Self {
+        Command::Column { loc, dir: Dir::Read, auto_precharge: false }
+    }
+
+    /// A plain column write without auto-precharge.
+    pub fn write(loc: Loc) -> Self {
+        Command::Column { loc, dir: Dir::Write, auto_precharge: false }
+    }
+
+    /// The bank this command targets, if it targets a single bank.
+    pub fn loc(&self) -> Option<Loc> {
+        match *self {
+            Command::Precharge(l) | Command::Activate(l) | Command::Column { loc: l, .. } => {
+                Some(l)
+            }
+            Command::RefreshAll { .. } => None,
+        }
+    }
+
+    /// `true` if this is a column access (a command that moves data).
+    pub fn is_column(&self) -> bool {
+        matches!(self, Command::Column { .. })
+    }
+}
+
+/// Result of issuing a command: when its effects land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Issued {
+    /// First cycle of the data transfer (column accesses only).
+    pub data_start: Cycle,
+    /// One past the last cycle of the data transfer (column accesses only).
+    pub data_end: Cycle,
+}
+
+impl Issued {
+    /// An issue result with no data transfer (precharge/activate/refresh).
+    pub fn no_data() -> Self {
+        Issued::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_loc_accessors() {
+        let loc = Loc::new(0, 1, 2, 3, 4);
+        assert_eq!(Command::Precharge(loc).loc(), Some(loc));
+        assert_eq!(Command::Activate(loc).loc(), Some(loc));
+        assert_eq!(Command::read(loc).loc(), Some(loc));
+        assert_eq!(Command::RefreshAll { rank: 0 }.loc(), None);
+    }
+
+    #[test]
+    fn column_predicate() {
+        let loc = Loc::new(0, 0, 0, 0, 0);
+        assert!(Command::read(loc).is_column());
+        assert!(Command::write(loc).is_column());
+        assert!(!Command::Activate(loc).is_column());
+        assert!(!Command::Precharge(loc).is_column());
+    }
+
+    #[test]
+    fn dir_display_and_predicates() {
+        assert!(Dir::Read.is_read());
+        assert!(!Dir::Write.is_read());
+        assert_eq!(Dir::Read.to_string(), "read");
+        assert_eq!(Dir::Write.to_string(), "write");
+    }
+}

@@ -1,0 +1,377 @@
+//! SDRAM device configuration: geometry and timing parameters.
+//!
+//! Timing parameters are expressed in memory-controller clock cycles (the
+//! SDRAM command clock — half the data rate for DDR devices). The presets
+//! correspond to the devices used by the paper: DDR2 PC2-6400 (5-5-5) for the
+//! baseline machine (Table 3), DDR PC-2100 (2-2-2) mentioned in the
+//! conclusions, and the illustrative 2-2-2 burst-length-4 device of Figure 1.
+
+use crate::Cycle;
+
+/// Physical organisation of the memory subsystem.
+///
+/// The paper's baseline (Table 3) uses 2 channels x 4 ranks x 4 banks
+/// (32 banks total) of DDR2 with a 64-bit bus and burst length 8.
+///
+/// # Examples
+///
+/// ```
+/// use burst_dram::Geometry;
+///
+/// let g = Geometry::baseline();
+/// assert_eq!(g.total_banks(), 32);
+/// assert_eq!(g.capacity_bytes(), 4 << 30); // 4 GB
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Number of independent memory channels (unique busses).
+    pub channels: u8,
+    /// Ranks per channel. Ranks share the channel's address and data busses.
+    pub ranks_per_channel: u8,
+    /// Internal banks per rank.
+    pub banks_per_rank: u8,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Columns per row, counted in bus-width units.
+    pub cols_per_row: u32,
+    /// Width of the data bus in bytes (8 for a 64-bit bus).
+    pub bus_bytes: u32,
+    /// Burst length in beats (data-bus transfers). A 64-byte cache line on a
+    /// 64-bit bus needs burst length 8, occupying 4 command-clock cycles at
+    /// double data rate.
+    pub burst_length: u32,
+}
+
+impl Geometry {
+    /// Geometry of the paper's baseline machine (Table 3): 4 GB DDR2,
+    /// 2 channels / 4 ranks / 4 banks, 64-bit bus, burst length 8.
+    pub fn baseline() -> Self {
+        Geometry {
+            channels: 2,
+            ranks_per_channel: 4,
+            banks_per_rank: 4,
+            rows_per_bank: 16_384,
+            cols_per_row: 1_024,
+            bus_bytes: 8,
+            burst_length: 8,
+        }
+    }
+
+    /// A small single-channel geometry handy for unit tests: 1 channel,
+    /// 1 rank, 4 banks.
+    pub fn small() -> Self {
+        Geometry {
+            channels: 1,
+            ranks_per_channel: 1,
+            banks_per_rank: 4,
+            rows_per_bank: 1_024,
+            cols_per_row: 256,
+            bus_bytes: 8,
+            burst_length: 8,
+        }
+    }
+
+    /// Total number of banks across all channels and ranks.
+    pub fn total_banks(&self) -> u32 {
+        u32::from(self.channels) * u32::from(self.ranks_per_channel) * u32::from(self.banks_per_rank)
+    }
+
+    /// Total device capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.total_banks())
+            * u64::from(self.rows_per_bank)
+            * u64::from(self.cols_per_row)
+            * u64::from(self.bus_bytes)
+    }
+
+    /// Size of one row ("page") in bytes.
+    pub fn row_bytes(&self) -> u32 {
+        self.cols_per_row * self.bus_bytes
+    }
+
+    /// Number of command-clock cycles one burst occupies on the data bus.
+    /// DDR transfers two beats per clock.
+    pub fn burst_cycles(&self) -> Cycle {
+        Cycle::from(self.burst_length / 2)
+    }
+
+    /// Bytes transferred by one full burst (one access's data payload).
+    pub fn access_bytes(&self) -> u32 {
+        self.burst_length * self.bus_bytes
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry::baseline()
+    }
+}
+
+/// SDRAM timing constraints, in command-clock cycles.
+///
+/// Named after the JEDEC parameters of the Micron DDR2 datasheet the paper
+/// cites. The three headline parameters are written `tCL-tRCD-tRP` in the
+/// paper (e.g. "5-5-5" for PC2-6400).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingParams {
+    /// CAS latency: column read command to first data beat.
+    pub t_cl: Cycle,
+    /// Row-to-column delay: activate to first column command.
+    pub t_rcd: Cycle,
+    /// Row precharge time: precharge to next activate of the same bank.
+    pub t_rp: Cycle,
+    /// Row active time: activate to precharge of the same bank.
+    pub t_ras: Cycle,
+    /// CAS write latency: column write command to first data beat
+    /// (`tCL - 1` on DDR2).
+    pub t_cwl: Cycle,
+    /// Write recovery: end of write data to precharge of the same bank.
+    pub t_wr: Cycle,
+    /// Write-to-read turnaround: end of write data to a read command on the
+    /// same rank.
+    pub t_wtr: Cycle,
+    /// Read-to-precharge delay of the same bank.
+    pub t_rtp: Cycle,
+    /// Activate-to-activate delay between different banks of the same rank.
+    pub t_rrd: Cycle,
+    /// Four-activate window: at most four activates to one rank per window.
+    pub t_faw: Cycle,
+    /// Rank-to-rank data-bus turnaround bubble (DDR2 introduces this; the
+    /// paper's transaction priority table exists largely to avoid paying it).
+    pub t_rtrs: Cycle,
+    /// Data-bus direction turnaround bubble (read<->write switch).
+    pub t_dir_turn: Cycle,
+    /// Average refresh interval per rank.
+    pub t_refi: Cycle,
+    /// Refresh cycle time (rank busy after a refresh command).
+    pub t_rfc: Cycle,
+}
+
+impl TimingParams {
+    /// DDR2 PC2-6400 (DDR2-800) 5-5-5 at a 400 MHz command clock — the
+    /// paper's baseline device (Table 3).
+    pub fn ddr2_pc2_6400() -> Self {
+        TimingParams {
+            t_cl: 5,
+            t_rcd: 5,
+            t_rp: 5,
+            t_ras: 18,  // 45 ns
+            t_cwl: 4,   // tCL - 1
+            t_wr: 6,    // 15 ns
+            t_wtr: 3,   // 7.5 ns
+            t_rtp: 3,   // 7.5 ns
+            t_rrd: 3,   // 7.5 ns
+            t_faw: 18,  // 45 ns
+            t_rtrs: 2,  // rank-to-rank turnaround, ~5 ns on DDR2-800
+            t_dir_turn: 2,
+            t_refi: 3_120, // 7.8 us
+            t_rfc: 51,     // 127.5 ns
+        }
+    }
+
+    /// DDR PC-2100 2-2-2 at a 133 MHz command clock — the older device the
+    /// conclusions compare against (Section 6).
+    pub fn ddr_pc_2100() -> Self {
+        TimingParams {
+            t_cl: 2,
+            t_rcd: 2,
+            t_rp: 2,
+            t_ras: 6,  // 45 ns at 133 MHz
+            t_cwl: 1,
+            t_wr: 2,   // 15 ns
+            t_wtr: 1,
+            t_rtp: 1,
+            t_rrd: 1,
+            t_faw: 6,
+            t_rtrs: 1,
+            t_dir_turn: 1,
+            t_refi: 1_040, // 7.8 us
+            t_rfc: 10,
+        }
+    }
+
+    /// DDR3-1333 9-9-9 at a 667 MHz command clock — one generation past
+    /// the paper, for extrapolating its Section 6 trend (timing in
+    /// nanoseconds flat, cycle counts growing).
+    pub fn ddr3_1333() -> Self {
+        TimingParams {
+            t_cl: 9,
+            t_rcd: 9,
+            t_rp: 9,
+            t_ras: 24,  // 36 ns
+            t_cwl: 7,
+            t_wr: 10,   // 15 ns
+            t_wtr: 5,   // 7.5 ns
+            t_rtp: 5,
+            t_rrd: 4,   // 6 ns
+            t_faw: 20,  // 30 ns
+            t_rtrs: 2,
+            t_dir_turn: 2,
+            t_refi: 5_200, // 7.8 us
+            t_rfc: 107,    // 160 ns
+        }
+    }
+
+    /// The illustrative 2-2-2 device of Figure 1 (burst length 4, no
+    /// inter-bank or refresh constraints) used to show in-order scheduling
+    /// taking 28 cycles where out-of-order takes 16.
+    pub fn figure1() -> Self {
+        TimingParams {
+            t_cl: 2,
+            t_rcd: 2,
+            t_rp: 2,
+            t_ras: 4,
+            t_cwl: 1,
+            t_wr: 2,
+            t_wtr: 1,
+            t_rtp: 1,
+            t_rrd: 1,
+            t_faw: 16, // effectively unconstrained for 4 accesses
+            t_rtrs: 0,
+            t_dir_turn: 0,
+            t_refi: 1_000_000, // no refresh within the example window
+            t_rfc: 10,
+        }
+    }
+
+    /// Random-access latency of a row conflict with idle busses:
+    /// `tRP + tRCD + tCL` (Table 1, Open Page row).
+    pub fn row_conflict_latency(&self) -> Cycle {
+        self.t_rp + self.t_rcd + self.t_cl
+    }
+
+    /// Latency of a row empty with idle busses: `tRCD + tCL` (Table 1).
+    pub fn row_empty_latency(&self) -> Cycle {
+        self.t_rcd + self.t_cl
+    }
+
+    /// Latency of a row hit with idle busses: `tCL` (Table 1).
+    pub fn row_hit_latency(&self) -> Cycle {
+        self.t_cl
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::ddr2_pc2_6400()
+    }
+}
+
+/// Complete DRAM configuration: geometry plus timing.
+///
+/// # Examples
+///
+/// ```
+/// use burst_dram::DramConfig;
+///
+/// let cfg = DramConfig::baseline();
+/// assert_eq!(cfg.timing.t_cl, 5);
+/// assert_eq!(cfg.geometry.channels, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DramConfig {
+    /// Physical organisation.
+    pub geometry: Geometry,
+    /// Timing constraints.
+    pub timing: TimingParams,
+}
+
+impl DramConfig {
+    /// The paper's baseline machine: DDR2 PC2-6400 5-5-5, 2/4/4 geometry.
+    pub fn baseline() -> Self {
+        DramConfig {
+            geometry: Geometry::baseline(),
+            timing: TimingParams::ddr2_pc2_6400(),
+        }
+    }
+
+    /// Small single-channel config for tests, with baseline DDR2 timing.
+    pub fn small() -> Self {
+        DramConfig {
+            geometry: Geometry::small(),
+            timing: TimingParams::ddr2_pc2_6400(),
+        }
+    }
+
+    /// The Figure 1 illustrative device: one channel, one rank, two banks,
+    /// 2-2-2 timing, burst length 4.
+    pub fn figure1() -> Self {
+        DramConfig {
+            geometry: Geometry {
+                channels: 1,
+                ranks_per_channel: 1,
+                banks_per_rank: 2,
+                rows_per_bank: 64,
+                cols_per_row: 64,
+                bus_bytes: 8,
+                burst_length: 4,
+            },
+            timing: TimingParams::figure1(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_geometry_matches_table3() {
+        let g = Geometry::baseline();
+        assert_eq!(g.channels, 2);
+        assert_eq!(g.ranks_per_channel, 4);
+        assert_eq!(g.banks_per_rank, 4);
+        assert_eq!(g.total_banks(), 32);
+        assert_eq!(g.capacity_bytes(), 4 << 30);
+        assert_eq!(g.bus_bytes * 8, 64); // 64-bit bus
+        assert_eq!(g.burst_length, 8);
+        assert_eq!(g.access_bytes(), 64); // one cache line per access
+    }
+
+    #[test]
+    fn baseline_timing_is_5_5_5() {
+        let t = TimingParams::ddr2_pc2_6400();
+        assert_eq!((t.t_cl, t.t_rcd, t.t_rp), (5, 5, 5));
+    }
+
+    #[test]
+    fn pc2100_timing_is_2_2_2() {
+        let t = TimingParams::ddr_pc_2100();
+        assert_eq!((t.t_cl, t.t_rcd, t.t_rp), (2, 2, 2));
+    }
+
+    #[test]
+    fn burst_cycles_is_half_burst_length() {
+        assert_eq!(Geometry::baseline().burst_cycles(), 4);
+        assert_eq!(DramConfig::figure1().geometry.burst_cycles(), 2);
+    }
+
+    #[test]
+    fn table1_latencies() {
+        let t = TimingParams::ddr2_pc2_6400();
+        assert_eq!(t.row_hit_latency(), 5);
+        assert_eq!(t.row_empty_latency(), 10);
+        assert_eq!(t.row_conflict_latency(), 15);
+    }
+
+    #[test]
+    fn row_bytes_is_page_size() {
+        assert_eq!(Geometry::baseline().row_bytes(), 8 * 1024);
+    }
+
+    #[test]
+    fn conclusions_latency_comparison() {
+        // Section 6: row conflict latency grows from 6 cycles (DDR PC-2100)
+        // to 15 cycles (DDR2 PC2-6400) — and keeps growing: 27 on DDR3-1333.
+        assert_eq!(TimingParams::ddr_pc_2100().row_conflict_latency(), 6);
+        assert_eq!(TimingParams::ddr2_pc2_6400().row_conflict_latency(), 15);
+        assert_eq!(TimingParams::ddr3_1333().row_conflict_latency(), 27);
+    }
+
+    #[test]
+    fn ddr3_timing_is_9_9_9() {
+        let t = TimingParams::ddr3_1333();
+        assert_eq!((t.t_cl, t.t_rcd, t.t_rp), (9, 9, 9));
+        assert!(t.t_rfc > TimingParams::ddr2_pc2_6400().t_rfc, "bigger devices refresh longer");
+    }
+}

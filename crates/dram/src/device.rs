@@ -1,0 +1,128 @@
+//! The whole main-memory device: all channels plus the address mapper.
+
+use crate::{AddressMapper, AddressMapping, BusStats, Channel, DramConfig, Loc, PhysAddr};
+
+/// The complete SDRAM main memory: one [`Channel`] per physical channel and
+/// the address mapping that scatters physical addresses over them.
+///
+/// # Examples
+///
+/// ```
+/// use burst_dram::{AddressMapping, Dram, DramConfig, PhysAddr};
+///
+/// let mem = Dram::new(DramConfig::baseline(), AddressMapping::PageInterleaving);
+/// let loc = mem.decode(PhysAddr::new(0x4000));
+/// assert!(loc.channel < 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    channels: Vec<Channel>,
+    mapper: AddressMapper,
+}
+
+impl Dram {
+    /// Creates an idle memory device.
+    pub fn new(cfg: DramConfig, mapping: AddressMapping) -> Self {
+        Dram {
+            channels: (0..cfg.geometry.channels).map(|_| Channel::new(cfg)).collect(),
+            mapper: AddressMapper::new(cfg.geometry, mapping),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DramConfig {
+        self.channels[0].config()
+    }
+
+    /// The address mapper in use.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Decodes a physical address to a device location.
+    pub fn decode(&self, addr: PhysAddr) -> Loc {
+        self.mapper.decode(addr)
+    }
+
+    /// Shared view of one channel.
+    pub fn channel(&self, idx: usize) -> &Channel {
+        &self.channels[idx]
+    }
+
+    /// Exclusive view of one channel.
+    pub fn channel_mut(&mut self, idx: usize) -> &mut Channel {
+        &mut self.channels[idx]
+    }
+
+    /// Iterates over all channels.
+    pub fn channels(&self) -> impl Iterator<Item = &Channel> {
+        self.channels.iter()
+    }
+
+    /// Advances refresh housekeeping on every channel to cycle `now`.
+    pub fn tick(&mut self, now: crate::Cycle) {
+        for ch in &mut self.channels {
+            ch.tick(now);
+        }
+    }
+
+    /// Sums the bus statistics of all channels.
+    pub fn total_stats(&self) -> BusStats {
+        let mut total = BusStats::new();
+        for ch in &self.channels {
+            total.merge(ch.stats());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Command, Cycle};
+
+    #[test]
+    fn decode_stays_in_range() {
+        let mem = Dram::new(DramConfig::baseline(), AddressMapping::PageInterleaving);
+        for i in 0..100u64 {
+            let loc = mem.decode(PhysAddr::new(i * 64 * 131));
+            assert!((loc.channel as usize) < mem.channel_count());
+        }
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut mem = Dram::new(DramConfig::baseline(), AddressMapping::PageInterleaving);
+        let l0 = Loc::new(0, 0, 0, 1, 0);
+        let l1 = Loc::new(1, 0, 0, 1, 0);
+        // Same cycle on different channels: both legal (unique busses).
+        assert!(mem.channel(0).can_issue(&Command::Activate(l0), 0));
+        assert!(mem.channel(1).can_issue(&Command::Activate(l1), 0));
+        mem.channel_mut(0).issue(&Command::Activate(l0), 0);
+        assert!(mem.channel(1).can_issue(&Command::Activate(l1), 0));
+    }
+
+    #[test]
+    fn total_stats_merges_channels() {
+        let mut mem = Dram::new(DramConfig::baseline(), AddressMapping::PageInterleaving);
+        mem.channel_mut(0).issue(&Command::Activate(Loc::new(0, 0, 0, 1, 0)), 0);
+        mem.channel_mut(1).issue(&Command::Activate(Loc::new(1, 0, 0, 1, 0)), 0);
+        assert_eq!(mem.total_stats().activates, 2);
+    }
+
+    #[test]
+    fn tick_advances_all_channels() {
+        let mut cfg = DramConfig::baseline();
+        cfg.timing.t_refi = 10;
+        let mut mem = Dram::new(cfg, AddressMapping::PageInterleaving);
+        for now in 0..200 as Cycle {
+            mem.tick(now);
+        }
+        assert!(mem.total_stats().refreshes >= 2, "both channels refresh");
+    }
+}

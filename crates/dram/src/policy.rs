@@ -1,0 +1,86 @@
+//! Static controller row policies and the Table 1 analytic latencies.
+
+use crate::{Cycle, RowState, TimingParams};
+
+/// Static row-management policy of the memory controller (paper Section 2).
+///
+/// After completing an access, the bank is either left open ([`RowPolicy::OpenPage`])
+/// or closed by an auto-precharge ([`RowPolicy::ClosePageAutoprecharge`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RowPolicy {
+    /// Leave the accessed row open; later same-row accesses become row hits,
+    /// different-row accesses become row conflicts. The paper's baseline
+    /// (Table 3).
+    #[default]
+    OpenPage,
+    /// Close the bank with an auto-precharge after every access; every
+    /// access is a row empty.
+    ClosePageAutoprecharge,
+}
+
+impl RowPolicy {
+    /// Whether column accesses should carry the auto-precharge flag.
+    pub fn auto_precharge(self) -> bool {
+        matches!(self, RowPolicy::ClosePageAutoprecharge)
+    }
+
+    /// The idle-bus access latency for `state` under this policy, per the
+    /// paper's Table 1. Returns `None` for combinations that cannot occur
+    /// (hits and conflicts do not exist under close-page autoprecharge).
+    pub fn access_latency(self, state: RowState, t: &TimingParams) -> Option<Cycle> {
+        match (self, state) {
+            (RowPolicy::OpenPage, RowState::Hit) => Some(t.row_hit_latency()),
+            (RowPolicy::OpenPage, RowState::Empty) => Some(t.row_empty_latency()),
+            (RowPolicy::OpenPage, RowState::Conflict) => Some(t.row_conflict_latency()),
+            (RowPolicy::ClosePageAutoprecharge, RowState::Empty) => Some(t.row_empty_latency()),
+            (RowPolicy::ClosePageAutoprecharge, _) => None,
+        }
+    }
+}
+
+impl core::fmt::Display for RowPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RowPolicy::OpenPage => f.write_str("OP"),
+            RowPolicy::ClosePageAutoprecharge => f.write_str("CPA"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_open_page() {
+        let t = TimingParams::ddr2_pc2_6400();
+        let p = RowPolicy::OpenPage;
+        assert_eq!(p.access_latency(RowState::Hit, &t), Some(t.t_cl));
+        assert_eq!(p.access_latency(RowState::Empty, &t), Some(t.t_rcd + t.t_cl));
+        assert_eq!(
+            p.access_latency(RowState::Conflict, &t),
+            Some(t.t_rp + t.t_rcd + t.t_cl)
+        );
+    }
+
+    #[test]
+    fn table1_close_page_autoprecharge() {
+        let t = TimingParams::ddr2_pc2_6400();
+        let p = RowPolicy::ClosePageAutoprecharge;
+        assert_eq!(p.access_latency(RowState::Hit, &t), None, "N/A in Table 1");
+        assert_eq!(p.access_latency(RowState::Empty, &t), Some(t.t_rcd + t.t_cl));
+        assert_eq!(p.access_latency(RowState::Conflict, &t), None, "N/A in Table 1");
+    }
+
+    #[test]
+    fn auto_precharge_flag() {
+        assert!(!RowPolicy::OpenPage.auto_precharge());
+        assert!(RowPolicy::ClosePageAutoprecharge.auto_precharge());
+    }
+
+    #[test]
+    fn display_matches_paper_abbreviations() {
+        assert_eq!(RowPolicy::OpenPage.to_string(), "OP");
+        assert_eq!(RowPolicy::ClosePageAutoprecharge.to_string(), "CPA");
+    }
+}

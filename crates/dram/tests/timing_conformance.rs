@@ -1,0 +1,255 @@
+//! Systematic JEDEC timing-conformance tests: one targeted scenario per
+//! constraint the DDR2 model claims to enforce. Complements the randomised
+//! checks in `proptest_timing.rs` with exact boundary assertions.
+
+use burst_dram::{Channel, Command, Dir, DramConfig, Loc, TimingParams};
+
+fn cfg() -> DramConfig {
+    DramConfig::small() // 1 channel / 1 rank / 4 banks, DDR2 PC2-6400 timing
+}
+
+fn t() -> TimingParams {
+    cfg().timing
+}
+
+fn loc(bank: u8, row: u32, col: u32) -> Loc {
+    Loc::new(0, 0, bank, row, col)
+}
+
+/// tRCD: activate to column command.
+#[test]
+fn trcd_activate_to_column() {
+    let mut ch = Channel::new(cfg());
+    ch.issue(&Command::Activate(loc(0, 1, 0)), 0);
+    let rd = Command::read(loc(0, 1, 0));
+    assert!(!ch.can_issue(&rd, t().t_rcd - 1));
+    assert!(ch.can_issue(&rd, t().t_rcd));
+}
+
+/// tRAS: activate to precharge of the same bank.
+#[test]
+fn tras_activate_to_precharge() {
+    let mut ch = Channel::new(cfg());
+    ch.issue(&Command::Activate(loc(0, 1, 0)), 0);
+    let pre = Command::Precharge(loc(0, 1, 0));
+    assert!(!ch.can_issue(&pre, t().t_ras - 1));
+    assert!(ch.can_issue(&pre, t().t_ras));
+}
+
+/// tRP: precharge to activate of the same bank.
+#[test]
+fn trp_precharge_to_activate() {
+    let mut ch = Channel::new(cfg());
+    ch.issue(&Command::Activate(loc(0, 1, 0)), 0);
+    ch.issue(&Command::Precharge(loc(0, 1, 0)), t().t_ras);
+    let act = Command::Activate(loc(0, 2, 0));
+    assert!(!ch.can_issue(&act, t().t_ras + t().t_rp - 1));
+    assert!(ch.can_issue(&act, t().t_ras + t().t_rp));
+}
+
+/// tRC = tRAS + tRP: minimum activate-to-activate period of one bank.
+#[test]
+fn trc_activate_to_activate_same_bank() {
+    let mut ch = Channel::new(cfg());
+    ch.issue(&Command::Activate(loc(0, 1, 0)), 0);
+    let earliest_pre = t().t_ras;
+    ch.issue(&Command::Precharge(loc(0, 1, 0)), earliest_pre);
+    let act2_at = ch
+        .earliest_issue(&Command::Activate(loc(0, 2, 0)), 0)
+        .expect("bank precharged");
+    assert_eq!(act2_at, t().t_ras + t().t_rp, "tRC boundary");
+}
+
+/// tRTP: read command to precharge (plus the data the read still owes).
+#[test]
+fn trtp_read_to_precharge() {
+    let c = cfg();
+    let mut ch = Channel::new(c);
+    ch.issue(&Command::Activate(loc(0, 1, 0)), 0);
+    // Issue the read once tRAS has passed so only tRTP binds the precharge.
+    let rd_at = t().t_ras;
+    ch.issue(&Command::read(loc(0, 1, 0)), rd_at);
+    let pre = Command::Precharge(loc(0, 1, 0));
+    let expected = rd_at + c.geometry.burst_cycles() + t().t_rtp;
+    assert!(!ch.can_issue(&pre, expected - 1));
+    assert!(ch.can_issue(&pre, expected));
+}
+
+/// tWR: end of write data to precharge.
+#[test]
+fn twr_write_recovery_before_precharge() {
+    let c = cfg();
+    let mut ch = Channel::new(c);
+    ch.issue(&Command::Activate(loc(0, 1, 0)), 0);
+    let wr_at = t().t_ras;
+    let done = ch.issue(&Command::write(loc(0, 1, 0)), wr_at);
+    let pre = Command::Precharge(loc(0, 1, 0));
+    let expected = done.data_end + t().t_wr;
+    assert!(!ch.can_issue(&pre, expected - 1));
+    assert!(ch.can_issue(&pre, expected));
+}
+
+/// tRRD: activates to different banks of one rank are spaced.
+#[test]
+fn trrd_inter_bank_activate_spacing() {
+    let mut ch = Channel::new(cfg());
+    ch.issue(&Command::Activate(loc(0, 1, 0)), 10);
+    let act = Command::Activate(loc(1, 1, 0));
+    assert!(!ch.can_issue(&act, 10 + t().t_rrd - 1));
+    assert!(ch.can_issue(&act, 10 + t().t_rrd));
+}
+
+/// tFAW: the fifth activate waits for the window to slide.
+#[test]
+fn tfaw_four_activate_window() {
+    let mut ch = Channel::new(cfg());
+    // Four activates, tRRD apart, to banks 0..3.
+    let mut at = 0;
+    for bank in 0..4u8 {
+        ch.issue(&Command::Activate(loc(bank, 1, 0)), at);
+        at += t().t_rrd;
+    }
+    // The 5th activate (a different row on bank 0 after precharge would
+    // need tRC; use the rank constraint directly via earliest_issue on a
+    // conflicting bank: re-activate bank 0 after precharging).
+    ch.issue(&Command::Precharge(loc(0, 1, 0)), t().t_ras);
+    let fifth = Command::Activate(loc(0, 2, 0));
+    let earliest = ch.earliest_issue(&fifth, 0).expect("precharged");
+    assert!(
+        earliest >= t().t_faw,
+        "5th activate at {earliest} must wait for the tFAW window ({})",
+        t().t_faw
+    );
+}
+
+/// tWTR: write data end to a read command on the same rank.
+#[test]
+fn twtr_write_to_read_turnaround() {
+    let mut ch = Channel::new(cfg());
+    ch.issue(&Command::Activate(loc(0, 1, 0)), 0);
+    ch.issue(&Command::Activate(loc(1, 1, 0)), t().t_rrd);
+    let wr = ch.issue(&Command::write(loc(0, 1, 0)), t().t_rcd);
+    // Read to a different bank, same rank: still gated by tWTR.
+    let rd = Command::read(loc(1, 1, 0));
+    let expected = wr.data_end + t().t_wtr;
+    assert!(!ch.can_issue(&rd, expected - 1));
+    assert!(ch.can_issue(&rd, expected));
+}
+
+/// Read-to-write direction turnaround on the data bus.
+#[test]
+fn read_to_write_bus_turnaround() {
+    let c = cfg();
+    let mut ch = Channel::new(c);
+    ch.issue(&Command::Activate(loc(0, 1, 0)), 0);
+    let rd = ch.issue(&Command::read(loc(0, 1, 0)), t().t_rcd);
+    let wr = Command::write(loc(0, 1, 0));
+    let at = ch.earliest_issue(&wr, t().t_rcd + 1).expect("row open");
+    let issued = ch.issue(&wr, at);
+    assert!(
+        issued.data_start >= rd.data_end + t().t_dir_turn,
+        "write data {} must trail read data {} by the turnaround {}",
+        issued.data_start,
+        rd.data_end,
+        t().t_dir_turn
+    );
+}
+
+/// One command per cycle on the shared command bus, across banks.
+#[test]
+fn command_bus_single_slot() {
+    let mut ch = Channel::new(cfg());
+    ch.issue(&Command::Activate(loc(0, 1, 0)), 5);
+    for bank in 1..4u8 {
+        assert!(
+            !ch.can_issue(&Command::Activate(loc(bank, 1, 0)), 5),
+            "bank {bank} must not share cycle 5"
+        );
+    }
+}
+
+/// Refresh cadence: over a long horizon the per-rank refresh count tracks
+/// tREFI.
+#[test]
+fn refresh_cadence_tracks_trefi() {
+    let mut c = cfg();
+    c.timing.t_refi = 500;
+    let mut ch = Channel::new(c);
+    let horizon = 10_000u64;
+    for now in 0..horizon {
+        ch.tick(now);
+    }
+    let refreshes = ch.stats().refreshes;
+    let expected = horizon / 500;
+    assert!(
+        refreshes >= expected - 2 && refreshes <= expected + 2,
+        "got {refreshes}, expected ~{expected}"
+    );
+}
+
+/// A bank never serves a column access for a row other than the open one.
+#[test]
+fn column_requires_matching_open_row() {
+    let mut ch = Channel::new(cfg());
+    ch.issue(&Command::Activate(loc(0, 1, 0)), 0);
+    let wrong_row = Command::read(loc(0, 2, 0));
+    // Never legal, no matter how long we wait.
+    for now in t().t_rcd..t().t_rcd + 50 {
+        assert!(!ch.can_issue(&wrong_row, now));
+    }
+    assert_eq!(ch.earliest_issue(&wrong_row, 0), None);
+}
+
+/// Auto-precharge performs the precharge at the earliest legal point:
+/// the next activate equals explicit PRE timing.
+#[test]
+fn auto_precharge_matches_explicit_precharge_timing() {
+    let c = cfg();
+    // Path A: explicit precharge.
+    let mut ch_a = Channel::new(c);
+    ch_a.issue(&Command::Activate(loc(0, 1, 0)), 0);
+    let rd_at = t().t_rcd;
+    ch_a.issue(&Command::read(loc(0, 1, 0)), rd_at);
+    let pre_at = ch_a.earliest_issue(&Command::Precharge(loc(0, 1, 0)), rd_at).unwrap();
+    ch_a.issue(&Command::Precharge(loc(0, 1, 0)), pre_at);
+    let act_a = ch_a.earliest_issue(&Command::Activate(loc(0, 2, 0)), pre_at).unwrap();
+
+    // Path B: auto-precharge read.
+    let mut ch_b = Channel::new(c);
+    ch_b.issue(&Command::Activate(loc(0, 1, 0)), 0);
+    ch_b.issue(&Command::Column { loc: loc(0, 1, 0), dir: Dir::Read, auto_precharge: true }, rd_at);
+    let act_b = ch_b.earliest_issue(&Command::Activate(loc(0, 2, 0)), rd_at).unwrap();
+
+    assert_eq!(act_a, act_b, "auto-precharge must not be slower or faster");
+}
+
+/// Back-to-back reads of one open row occupy the data bus with zero gap.
+#[test]
+fn row_hits_stream_gaplessly() {
+    let c = cfg();
+    let mut ch = Channel::new(c);
+    ch.issue(&Command::Activate(loc(0, 1, 0)), 0);
+    let mut prev_end = None;
+    let mut now = t().t_rcd;
+    for i in 0..6u32 {
+        let cmd = Command::read(loc(0, 1, i * 8));
+        let at = ch.earliest_issue(&cmd, now).expect("open row");
+        let issued = ch.issue(&cmd, at);
+        if let Some(end) = prev_end {
+            assert_eq!(issued.data_start, end, "hit {i} must stream back-to-back");
+        }
+        prev_end = Some(issued.data_end);
+        now = at + 1;
+    }
+}
+
+/// The Figure 1 numbers hold for the illustrative device too: hit/empty/
+/// conflict latencies of the 2-2-2 BL4 configuration.
+#[test]
+fn figure1_device_latencies() {
+    let c = DramConfig::figure1();
+    assert_eq!(c.timing.row_hit_latency(), 2);
+    assert_eq!(c.timing.row_empty_latency(), 4);
+    assert_eq!(c.timing.row_conflict_latency(), 6);
+    assert_eq!(c.geometry.burst_cycles(), 2);
+}

@@ -1,0 +1,511 @@
+//! Experiment drivers regenerating every table and figure of the paper's
+//! evaluation (Section 5). Each driver returns structured rows; the
+//! [`crate::report`] module renders them as the text tables the bench
+//! harness prints.
+
+use burst_core::Mechanism;
+use burst_dram::{Command, Cycle, Dir, DramConfig, Loc, RowPolicy, RowState, TimingParams};
+use burst_workloads::SpecBenchmark;
+
+use crate::{simulate, RunLength, SimReport, SystemConfig};
+
+/// Default instruction budget per run for harness experiments. The paper
+/// simulates 2 billion instructions; this default preserves the shape at
+/// laptop scale. Raise it via the drivers' `len` parameter for longer runs.
+pub const DEFAULT_RUN: RunLength = RunLength::Instructions(120_000);
+
+/// The six mechanisms Figure 8 plots.
+pub fn fig8_mechanisms() -> [Mechanism; 6] {
+    [
+        Mechanism::BkInOrder,
+        Mechanism::RowHit,
+        Mechanism::Intel,
+        Mechanism::BurstRp,
+        Mechanism::BurstWp,
+        Mechanism::BurstTh(Mechanism::PAPER_THRESHOLD),
+    ]
+}
+
+/// The seven mechanisms Figure 10 plots (all except the BkInOrder
+/// normalisation baseline).
+pub fn fig10_mechanisms() -> [Mechanism; 7] {
+    [
+        Mechanism::RowHit,
+        Mechanism::Intel,
+        Mechanism::IntelRp,
+        Mechanism::Burst,
+        Mechanism::BurstRp,
+        Mechanism::BurstWp,
+        Mechanism::BurstTh(Mechanism::PAPER_THRESHOLD),
+    ]
+}
+
+/// The threshold sweep of Figures 11 and 12: `Burst`, `WP` (= TH0),
+/// TH8..TH60, `RP` (= TH64).
+pub fn fig12_mechanisms() -> Vec<Mechanism> {
+    let mut v = vec![Mechanism::Burst, Mechanism::BurstWp];
+    for t in [8, 16, 24, 32, 40, 48, 52, 56, 60] {
+        v.push(Mechanism::BurstTh(t));
+    }
+    v.push(Mechanism::BurstRp);
+    v
+}
+
+/// One simulated (benchmark, mechanism) cell.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Benchmark simulated.
+    pub benchmark: SpecBenchmark,
+    /// Mechanism simulated.
+    pub mechanism: Mechanism,
+    /// Full report.
+    pub report: SimReport,
+}
+
+/// A benchmark x mechanism sweep — the data behind Figures 7, 9 and 10.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// All simulated cells.
+    pub cells: Vec<SweepCell>,
+}
+
+impl Sweep {
+    /// Runs `benchmarks` x `mechanisms`, each for `len` at `seed`.
+    pub fn run(
+        benchmarks: &[SpecBenchmark],
+        mechanisms: &[Mechanism],
+        len: RunLength,
+        seed: u64,
+    ) -> Sweep {
+        let mut cells = Vec::with_capacity(benchmarks.len() * mechanisms.len());
+        for &b in benchmarks {
+            for &m in mechanisms {
+                let cfg = SystemConfig::baseline().with_mechanism(m);
+                let report = simulate(&cfg, b.workload(seed), len);
+                cells.push(SweepCell { benchmark: b, mechanism: m, report });
+            }
+        }
+        Sweep { cells }
+    }
+
+    /// The cell for `(benchmark, mechanism)`, if simulated.
+    pub fn cell(&self, benchmark: SpecBenchmark, mechanism: Mechanism) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .find(|c| c.benchmark == benchmark && c.mechanism == mechanism)
+    }
+
+    /// Mechanisms present, in first-seen order.
+    pub fn mechanisms(&self) -> Vec<Mechanism> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.mechanism) {
+                out.push(c.mechanism);
+            }
+        }
+        out
+    }
+
+    /// Benchmarks present, in first-seen order.
+    pub fn benchmarks(&self) -> Vec<SpecBenchmark> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.benchmark) {
+                out.push(c.benchmark);
+            }
+        }
+        out
+    }
+
+    /// Figure 7: average read and write latency (memory cycles) per
+    /// mechanism, averaged over benchmarks.
+    pub fn fig7_rows(&self) -> Vec<Fig7Row> {
+        self.mechanisms()
+            .into_iter()
+            .map(|m| {
+                let cells: Vec<&SweepCell> =
+                    self.cells.iter().filter(|c| c.mechanism == m).collect();
+                let n = cells.len() as f64;
+                Fig7Row {
+                    mechanism: m,
+                    read_latency: cells.iter().map(|c| c.report.ctrl.avg_read_latency()).sum::<f64>()
+                        / n,
+                    write_latency: cells
+                        .iter()
+                        .map(|c| c.report.ctrl.avg_write_latency())
+                        .sum::<f64>()
+                        / n,
+                }
+            })
+            .collect()
+    }
+
+    /// Figure 9: row-state mix and bus utilisation per mechanism, averaged
+    /// over benchmarks.
+    pub fn fig9_rows(&self) -> Vec<Fig9Row> {
+        self.mechanisms()
+            .into_iter()
+            .map(|m| {
+                let cells: Vec<&SweepCell> =
+                    self.cells.iter().filter(|c| c.mechanism == m).collect();
+                let n = cells.len() as f64;
+                let avg = |f: &dyn Fn(&SweepCell) -> f64| -> f64 {
+                    cells.iter().map(|c| f(c)).sum::<f64>() / n
+                };
+                Fig9Row {
+                    mechanism: m,
+                    row_hit: avg(&|c| c.report.ctrl.row_hit_rate()),
+                    row_conflict: avg(&|c| c.report.ctrl.row_conflict_rate()),
+                    row_empty: avg(&|c| c.report.ctrl.row_empty_rate()),
+                    addr_bus: avg(&|c| c.report.addr_bus_utilization()),
+                    data_bus: avg(&|c| c.report.data_bus_utilization()),
+                }
+            })
+            .collect()
+    }
+
+    /// Figure 10: execution time per benchmark per mechanism, normalised to
+    /// `BkInOrder`. Requires the sweep to contain `BkInOrder`.
+    pub fn fig10_rows(&self) -> Vec<Fig10Row> {
+        self.benchmarks()
+            .into_iter()
+            .map(|b| {
+                let base = self
+                    .cell(b, Mechanism::BkInOrder)
+                    .expect("fig10 needs BkInOrder in the sweep")
+                    .report
+                    .cpu_cycles as f64;
+                let normalized = self
+                    .mechanisms()
+                    .into_iter()
+                    .filter(|&m| m != Mechanism::BkInOrder)
+                    .map(|m| {
+                        let cell = self.cell(b, m).expect("complete sweep");
+                        (m, cell.report.cpu_cycles as f64 / base)
+                    })
+                    .collect();
+                Fig10Row { benchmark: b, normalized }
+            })
+            .collect()
+    }
+
+    /// Geometric-mean normalised execution time per mechanism (the
+    /// "average" group of Figure 10).
+    pub fn fig10_average(&self) -> Vec<(Mechanism, f64)> {
+        let rows = self.fig10_rows();
+        self.mechanisms()
+            .into_iter()
+            .filter(|&m| m != Mechanism::BkInOrder)
+            .map(|m| {
+                let product: f64 = rows
+                    .iter()
+                    .map(|r| {
+                        r.normalized
+                            .iter()
+                            .find(|(mm, _)| *mm == m)
+                            .map(|(_, v)| v.ln())
+                            .unwrap_or(0.0)
+                    })
+                    .sum();
+                (m, (product / rows.len() as f64).exp())
+            })
+            .collect()
+    }
+}
+
+/// One Figure 7 row.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Row {
+    /// Mechanism.
+    pub mechanism: Mechanism,
+    /// Average read latency in memory cycles.
+    pub read_latency: f64,
+    /// Average write latency in memory cycles.
+    pub write_latency: f64,
+}
+
+/// One Figure 9 row.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9Row {
+    /// Mechanism.
+    pub mechanism: Mechanism,
+    /// Row-hit fraction.
+    pub row_hit: f64,
+    /// Row-conflict fraction.
+    pub row_conflict: f64,
+    /// Row-empty fraction.
+    pub row_empty: f64,
+    /// Address-bus utilisation.
+    pub addr_bus: f64,
+    /// Data-bus utilisation.
+    pub data_bus: f64,
+}
+
+/// One Figure 10 row: a benchmark's execution time under each mechanism,
+/// normalised to BkInOrder.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Benchmark.
+    pub benchmark: SpecBenchmark,
+    /// `(mechanism, normalised execution time)` pairs.
+    pub normalized: Vec<(Mechanism, f64)>,
+}
+
+/// Figure 8 / 11: outstanding-access distributions for one benchmark under
+/// several mechanisms.
+#[derive(Debug, Clone)]
+pub struct OutstandingRow {
+    /// Mechanism.
+    pub mechanism: Mechanism,
+    /// Fraction of time N reads were outstanding, index = N.
+    pub reads: Vec<f64>,
+    /// Fraction of time N writes were outstanding, index = N.
+    pub writes: Vec<f64>,
+    /// Write-queue saturation rate (Section 5.1 quotes 24% Intel, 46%
+    /// Burst, 70% Burst_RP, 2% Burst_WP, 9% Burst_TH52 for swim).
+    pub saturation: f64,
+    /// Mean outstanding reads.
+    pub mean_reads: f64,
+    /// Mean outstanding writes.
+    pub mean_writes: f64,
+}
+
+/// Figure 8: distribution of outstanding accesses for `benchmark` (the
+/// paper uses swim) under the Figure 8 mechanisms.
+pub fn fig8(benchmark: SpecBenchmark, len: RunLength, seed: u64) -> Vec<OutstandingRow> {
+    outstanding_rows(benchmark, &fig8_mechanisms(), len, seed)
+}
+
+/// Figure 11: distribution of outstanding accesses for `benchmark` under
+/// the threshold sweep.
+pub fn fig11(benchmark: SpecBenchmark, len: RunLength, seed: u64) -> Vec<OutstandingRow> {
+    outstanding_rows(benchmark, &fig12_mechanisms(), len, seed)
+}
+
+fn outstanding_rows(
+    benchmark: SpecBenchmark,
+    mechanisms: &[Mechanism],
+    len: RunLength,
+    seed: u64,
+) -> Vec<OutstandingRow> {
+    mechanisms
+        .iter()
+        .map(|&m| {
+            let cfg = SystemConfig::baseline().with_mechanism(m);
+            let report = simulate(&cfg, benchmark.workload(seed), len);
+            OutstandingRow {
+                mechanism: m,
+                reads: report.ctrl.outstanding_reads.fractions(),
+                writes: report.ctrl.outstanding_writes.fractions(),
+                saturation: report.ctrl.write_saturation_rate(),
+                mean_reads: report.ctrl.outstanding_reads.mean(),
+                mean_writes: report.ctrl.outstanding_writes.mean(),
+            }
+        })
+        .collect()
+}
+
+/// One Figure 12 row: threshold-sweep latency and execution time averaged
+/// over benchmarks, normalised to plain `Burst`.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig12Row {
+    /// Mechanism (a threshold point).
+    pub mechanism: Mechanism,
+    /// Average read latency (memory cycles).
+    pub read_latency: f64,
+    /// Average write latency (memory cycles).
+    pub write_latency: f64,
+    /// Execution time normalised to plain `Burst`.
+    pub normalized_exec: f64,
+}
+
+/// Figure 12: the threshold sweep over `benchmarks`.
+pub fn fig12(benchmarks: &[SpecBenchmark], len: RunLength, seed: u64) -> Vec<Fig12Row> {
+    let mechanisms = fig12_mechanisms();
+    let sweep = Sweep::run(benchmarks, &mechanisms, len, seed);
+    let base: f64 = sweep
+        .cells
+        .iter()
+        .filter(|c| c.mechanism == Mechanism::Burst)
+        .map(|c| c.report.cpu_cycles as f64)
+        .sum();
+    mechanisms
+        .iter()
+        .map(|&m| {
+            let cells: Vec<&SweepCell> =
+                sweep.cells.iter().filter(|c| c.mechanism == m).collect();
+            let n = cells.len() as f64;
+            let exec: f64 = cells.iter().map(|c| c.report.cpu_cycles as f64).sum();
+            Fig12Row {
+                mechanism: m,
+                read_latency: cells.iter().map(|c| c.report.ctrl.avg_read_latency()).sum::<f64>()
+                    / n,
+                write_latency: cells
+                    .iter()
+                    .map(|c| c.report.ctrl.avg_write_latency())
+                    .sum::<f64>()
+                    / n,
+                normalized_exec: exec / base,
+            }
+        })
+        .collect()
+}
+
+/// Table 1: access latency by controller policy and row state.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    /// Controller policy.
+    pub policy: RowPolicy,
+    /// Row-hit latency, if defined.
+    pub hit: Option<Cycle>,
+    /// Row-empty latency.
+    pub empty: Option<Cycle>,
+    /// Row-conflict latency, if defined.
+    pub conflict: Option<Cycle>,
+}
+
+/// Table 1 for a given device timing.
+pub fn table1(timing: &TimingParams) -> Vec<Table1Row> {
+    [RowPolicy::OpenPage, RowPolicy::ClosePageAutoprecharge]
+        .into_iter()
+        .map(|policy| Table1Row {
+            policy,
+            hit: policy.access_latency(RowState::Hit, timing),
+            empty: policy.access_latency(RowState::Empty, timing),
+            conflict: policy.access_latency(RowState::Conflict, timing),
+        })
+        .collect()
+}
+
+/// Figure 1: schedules the motivating four-access example on the 2-2-2
+/// burst-length-4 device and returns `(in_order_cycles, out_of_order_cycles)`.
+///
+/// The paper's hand schedule takes 28 cycles strictly in order without
+/// interleaving and 16 cycles out of order with interleaving.
+pub fn fig1() -> (Cycle, Cycle) {
+    (fig1_in_order(), fig1_out_of_order())
+}
+
+/// The four accesses of Figure 1: two row empties (bank0 row0, bank1 row0),
+/// then two row conflicts (bank0 row1, bank0 row0).
+fn fig1_accesses() -> [Loc; 4] {
+    [
+        Loc::new(0, 0, 0, 0, 0),
+        Loc::new(0, 0, 1, 0, 0),
+        Loc::new(0, 0, 0, 1, 0),
+        Loc::new(0, 0, 0, 0, 8),
+    ]
+}
+
+/// Strictly serial, non-interleaved execution (Figure 1a): each access's
+/// transactions and data complete before the next access begins.
+fn fig1_in_order() -> Cycle {
+    let cfg = DramConfig::figure1();
+    let mut ch = burst_dram::Channel::new(cfg);
+    let mut now: Cycle = 0;
+    for loc in fig1_accesses() {
+        // Issue precharge/activate/column strictly when each unblocks,
+        // without overlapping the next access.
+        loop {
+            let state = ch.row_state(loc);
+            let cmd = match state {
+                RowState::Hit => Command::Column { loc, dir: Dir::Read, auto_precharge: false },
+                RowState::Empty => Command::Activate(loc),
+                RowState::Conflict => Command::Precharge(loc),
+            };
+            let at = ch.earliest_issue(&cmd, now).expect("command applicable");
+            let issued = ch.issue(&cmd, at);
+            now = at;
+            if cmd.is_column() {
+                now = issued.data_end; // wait for data before the next access
+                break;
+            }
+        }
+    }
+    now
+}
+
+/// Out-of-order, interleaved execution (Figure 1b) via the burst scheduler.
+fn fig1_out_of_order() -> Cycle {
+    use burst_core::{Access, AccessId, AccessKind, CtrlConfig};
+    use burst_dram::{AddressMapping, Dram};
+
+    let cfg = DramConfig::figure1();
+    let mut dram = Dram::new(cfg, AddressMapping::PageInterleaving);
+    let mut sched = Mechanism::Burst.build(CtrlConfig::default(), cfg.geometry);
+    let mut done = Vec::new();
+    for (i, loc) in fig1_accesses().into_iter().enumerate() {
+        // Synthesise distinct addresses; the scheduler only uses `loc`.
+        let addr = burst_dram::PhysAddr::new(i as u64 * 64);
+        sched.enqueue(Access::new(AccessId::new(i as u64), AccessKind::Read, addr, loc, 0), 0, &mut done);
+    }
+    let mut now = 0;
+    while done.len() < 4 {
+        sched.tick(&mut dram, now, &mut done);
+        now += 1;
+        assert!(now < 1000, "figure 1 example must complete quickly");
+    }
+    done.iter().map(|c| c.done_at).max().expect("four completions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_for_pc2_6400() {
+        let rows = table1(&TimingParams::ddr2_pc2_6400());
+        assert_eq!(rows[0].hit, Some(5));
+        assert_eq!(rows[0].empty, Some(10));
+        assert_eq!(rows[0].conflict, Some(15));
+        assert_eq!(rows[1].hit, None);
+        assert_eq!(rows[1].empty, Some(10));
+        assert_eq!(rows[1].conflict, None);
+    }
+
+    #[test]
+    fn fig1_in_order_is_28_cycles() {
+        // Paper Figure 1(a): 28 memory cycles for the four accesses.
+        assert_eq!(fig1_in_order(), 28);
+    }
+
+    #[test]
+    fn fig1_out_of_order_beats_in_order() {
+        let (in_order, ooo) = fig1();
+        assert_eq!(in_order, 28);
+        assert!(
+            ooo <= 20,
+            "out-of-order with interleaving should approach the paper's 16 cycles, got {ooo}"
+        );
+        assert!(ooo < in_order);
+    }
+
+    #[test]
+    fn fig12_mechanism_list_matches_paper_axis() {
+        let names: Vec<String> = fig12_mechanisms().iter().map(|m| m.name()).collect();
+        assert_eq!(names.first().unwrap(), "Burst");
+        assert_eq!(names.last().unwrap(), "Burst_RP");
+        assert!(names.contains(&"Burst_TH52".to_string()));
+        assert!(names.contains(&"Burst_WP".to_string()));
+    }
+
+    #[test]
+    fn sweep_runs_and_extracts_rows() {
+        let sweep = Sweep::run(
+            &[SpecBenchmark::Swim],
+            &[Mechanism::BkInOrder, Mechanism::BurstTh(52)],
+            RunLength::Instructions(3_000),
+            1,
+        );
+        assert_eq!(sweep.cells.len(), 2);
+        let fig7 = sweep.fig7_rows();
+        assert_eq!(fig7.len(), 2);
+        assert!(fig7.iter().all(|r| r.read_latency > 0.0));
+        let fig9 = sweep.fig9_rows();
+        let sum = fig9[0].row_hit + fig9[0].row_conflict + fig9[0].row_empty;
+        assert!((sum - 1.0).abs() < 1e-9, "row states partition accesses: {sum}");
+        let fig10 = sweep.fig10_rows();
+        assert_eq!(fig10.len(), 1);
+        assert_eq!(fig10[0].normalized.len(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # burst-sim
+//!
+//! Full-system simulation harness for the burst scheduling reproduction:
+//! wires the [`burst_cpu`] core model, a [`burst_core`] access scheduler and
+//! the [`burst_dram`] device together, collects statistics and provides one
+//! experiment driver per table/figure of the paper (see
+//! [`experiments`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use burst_sim::{simulate, RunLength, SystemConfig};
+//! use burst_core::Mechanism;
+//! use burst_workloads::SpecBenchmark;
+//!
+//! let base = SystemConfig::baseline();
+//! let report = simulate(
+//!     &base.with_mechanism(Mechanism::BurstTh(52)),
+//!     SpecBenchmark::Swim.workload(42),
+//!     RunLength::Instructions(5_000),
+//! );
+//! assert!(report.reads() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cmp;
+pub mod export;
+pub mod experiments;
+pub mod waterfall;
+pub mod report;
+mod system;
+
+pub use system::{simulate, RunLength, SimReport, System, SystemConfig, ValidateConfigError};

@@ -1,0 +1,425 @@
+//! Full-system wiring: CPU limit model + access scheduler + DRAM device,
+//! stepped at memory-controller clock granularity.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use burst_core::{
+    Access, AccessId, AccessKind, AccessScheduler, Completion, CtrlConfig, CtrlStats, Mechanism,
+};
+use burst_cpu::{Cpu, CpuConfig, CpuStats};
+use burst_dram::{AddressMapping, BusStats, Cycle, Dram, DramConfig, PhysAddr};
+use burst_workloads::OpSource;
+
+/// Configuration of the whole simulated machine.
+///
+/// [`SystemConfig::baseline`] reproduces the paper's Table 3; builder-style
+/// `with_*` methods derive variants.
+///
+/// # Examples
+///
+/// ```
+/// use burst_sim::SystemConfig;
+/// use burst_core::Mechanism;
+///
+/// let cfg = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(52));
+/// assert_eq!(cfg.mechanism, Mechanism::BurstTh(52));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// DRAM device geometry and timing.
+    pub dram: DramConfig,
+    /// Address mapping scheme (Table 3: page interleaving).
+    pub mapping: AddressMapping,
+    /// Memory-controller pool and policy.
+    pub ctrl: CtrlConfig,
+    /// CPU core and cache hierarchy.
+    pub cpu: CpuConfig,
+    /// Access reordering mechanism under test.
+    pub mechanism: Mechanism,
+    /// Memory operations used to functionally warm the caches before the
+    /// timed region (the paper's 2-billion-instruction runs are warm almost
+    /// throughout; without warming, the 2 MB L2 never fills and no
+    /// writeback traffic exists). Zero disables warming.
+    pub warm_mem_ops: u64,
+}
+
+impl SystemConfig {
+    /// The paper's baseline machine (Table 3) with `BkInOrder` scheduling.
+    pub fn baseline() -> Self {
+        SystemConfig {
+            dram: DramConfig::baseline(),
+            mapping: AddressMapping::PageInterleaving,
+            ctrl: CtrlConfig::baseline(),
+            cpu: CpuConfig::baseline(),
+            mechanism: Mechanism::BkInOrder,
+            warm_mem_ops: 100_000,
+        }
+    }
+
+    /// Sets the functional cache-warming budget (memory ops; 0 disables).
+    pub fn with_warm_mem_ops(mut self, warm_mem_ops: u64) -> Self {
+        self.warm_mem_ops = warm_mem_ops;
+        self
+    }
+
+    /// Replaces the scheduling mechanism.
+    pub fn with_mechanism(mut self, mechanism: Mechanism) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    /// Replaces the address mapping.
+    pub fn with_mapping(mut self, mapping: AddressMapping) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Replaces the DRAM configuration.
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Checks the configuration for inconsistencies that would make a
+    /// simulation meaningless or panic later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateConfigError`] naming the first problem found.
+    pub fn validate(&self) -> Result<(), ValidateConfigError> {
+        let err = |msg: &str| Err(ValidateConfigError { message: msg.to_string() });
+        let g = &self.dram.geometry;
+        if g.channels == 0 || g.ranks_per_channel == 0 || g.banks_per_rank == 0 {
+            return err("geometry must have at least one channel, rank and bank");
+        }
+        for (name, v) in [
+            ("channels", u64::from(g.channels)),
+            ("ranks_per_channel", u64::from(g.ranks_per_channel)),
+            ("banks_per_rank", u64::from(g.banks_per_rank)),
+            ("rows_per_bank", u64::from(g.rows_per_bank)),
+            ("cols_per_row", u64::from(g.cols_per_row)),
+            ("bus_bytes", u64::from(g.bus_bytes)),
+        ] {
+            if !v.is_power_of_two() {
+                return Err(ValidateConfigError {
+                    message: format!("geometry field {name} = {v} must be a power of two"),
+                });
+            }
+        }
+        if g.burst_length < 2 || !g.burst_length.is_multiple_of(2) {
+            return err("burst_length must be an even number of beats (DDR)");
+        }
+        if self.ctrl.write_capacity == 0 || self.ctrl.write_capacity > self.ctrl.pool_capacity {
+            return err("write_capacity must be in 1..=pool_capacity");
+        }
+        if self.cpu.width == 0 || self.cpu.rob_size == 0 || self.cpu.lsq_size == 0 {
+            return err("CPU width, ROB and LSQ must be nonzero");
+        }
+        if self.cpu.cpu_ratio == 0 {
+            return err("cpu_ratio must be at least 1 CPU cycle per memory cycle");
+        }
+        if let Mechanism::BurstTh(t) = self.mechanism {
+            if t as usize > self.ctrl.write_capacity {
+                return err("burst threshold cannot exceed the write queue capacity");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`SystemConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateConfigError {
+    message: String,
+}
+
+impl core::fmt::Display for ValidateConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid system configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValidateConfigError {}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::baseline()
+    }
+}
+
+/// How long to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunLength {
+    /// Run until this many instructions retire (the paper runs 2 billion;
+    /// the harness defaults are smaller but shape-preserving).
+    Instructions(u64),
+    /// Run a fixed number of memory-controller cycles.
+    MemCycles(u64),
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The mechanism simulated.
+    pub mechanism: Mechanism,
+    /// Workload name.
+    pub workload: String,
+    /// CPU cycles elapsed (execution time, Figure 10's quantity).
+    pub cpu_cycles: u64,
+    /// Memory-controller cycles elapsed.
+    pub mem_cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Controller statistics (latencies, row states, occupancy).
+    pub ctrl: CtrlStats,
+    /// DRAM bus statistics (Figure 9b).
+    pub bus: BusStats,
+    /// CPU statistics.
+    pub cpu: CpuStats,
+    /// Channel count, kept for utilisation denominators.
+    channels: u64,
+}
+
+impl SimReport {
+    /// Reads completed by the controller.
+    pub fn reads(&self) -> u64 {
+        self.ctrl.reads_done
+    }
+
+    /// Writes drained by the controller.
+    pub fn writes(&self) -> u64 {
+        self.ctrl.writes_done
+    }
+
+    /// Instructions per CPU cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cpu_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cpu_cycles as f64
+        }
+    }
+
+    /// Data-bus utilisation in `[0, 1]`, averaged across channels
+    /// (Figure 9b). Bus statistics are summed over channels, so the
+    /// denominator is `mem_cycles * channels`.
+    pub fn data_bus_utilization(&self) -> f64 {
+        self.bus.data_bus_utilization(self.mem_cycles * self.channels)
+    }
+
+    /// Address-bus utilisation in `[0, 1]` (Figure 9b).
+    pub fn addr_bus_utilization(&self) -> f64 {
+        self.bus.addr_bus_utilization(self.mem_cycles * self.channels)
+    }
+
+    /// Effective memory bandwidth in GB/s at the given memory clock (the
+    /// paper quotes 2.0 GB/s for BkInOrder to 2.7 GB/s for Burst_TH at
+    /// 400 MHz).
+    pub fn effective_bandwidth_gbs(&self, mem_clock_hz: f64, bus_bytes: u32) -> f64 {
+        self.data_bus_utilization() * 2.0 * f64::from(bus_bytes) * mem_clock_hz / 1e9
+    }
+
+    /// Assembles a report from raw parts (used by the CMP harness, which
+    /// aggregates several cores over one shared memory subsystem).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        mechanism: Mechanism,
+        workload: String,
+        cpu_cycles: u64,
+        mem_cycles: u64,
+        instructions: u64,
+        ctrl: CtrlStats,
+        bus: BusStats,
+        cpu: CpuStats,
+        channels: u64,
+    ) -> SimReport {
+        SimReport { mechanism, workload, cpu_cycles, mem_cycles, instructions, ctrl, bus, cpu, channels }
+    }
+
+    /// Estimated DRAM energy of the run (extension; see
+    /// [`burst_dram::EnergyBreakdown`]). `ranks` is the total rank count
+    /// across channels paying background power.
+    pub fn energy(
+        &self,
+        ranks: u32,
+        params: &burst_dram::EnergyParams,
+    ) -> burst_dram::EnergyBreakdown {
+        burst_dram::EnergyBreakdown::estimate(&self.bus, self.mem_cycles, ranks, params)
+    }
+}
+
+/// A stepped full-system simulation.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    dram: Dram,
+    sched: Box<dyn AccessScheduler>,
+    cpu: Cpu,
+    mem_cycle: Cycle,
+    next_id: u64,
+    completions: Vec<Completion>,
+    /// Future read deliveries: (done_at, line address).
+    pending: BinaryHeap<Reverse<(Cycle, u64)>>,
+    read_lines: HashMap<AccessId, u64>,
+}
+
+impl System {
+    /// Builds an idle system.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        System {
+            cfg: *cfg,
+            dram: Dram::new(cfg.dram, cfg.mapping),
+            sched: cfg.mechanism.build(cfg.ctrl, cfg.dram.geometry),
+            cpu: Cpu::new(cfg.cpu),
+            mem_cycle: 0,
+            next_id: 0,
+            completions: Vec::new(),
+            pending: BinaryHeap::new(),
+            read_lines: HashMap::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Memory cycles elapsed.
+    pub fn mem_cycle(&self) -> Cycle {
+        self.mem_cycle
+    }
+
+    /// Instructions retired.
+    pub fn retired(&self) -> u64 {
+        self.cpu.retired()
+    }
+
+    /// Functionally warms the caches with the configured budget. Call once
+    /// before [`System::run`]; [`simulate`] does this automatically.
+    pub fn warm(&mut self, workload: &mut dyn OpSource) {
+        let budget = self.cfg.warm_mem_ops;
+        if budget > 0 {
+            self.cpu.warm_caches(workload, budget);
+        }
+    }
+
+    /// Advances one memory-controller cycle: `cpu_ratio` CPU cycles, then
+    /// request hand-off, then one scheduler tick.
+    pub fn step(&mut self, workload: &mut dyn OpSource) {
+        // 1. CPU makes progress and generates cache-miss traffic.
+        for _ in 0..self.cfg.cpu.cpu_ratio {
+            self.cpu.cycle(workload);
+        }
+        // 2. Hand requests to the controller while it accepts them. Reads
+        //    first (they are latency-critical), then writebacks.
+        while self.sched.can_accept(AccessKind::Read) {
+            let Some((line, critical)) = self.cpu.pop_read_request_tagged() else { break };
+            self.enqueue(AccessKind::Read, line, critical);
+        }
+        while self.sched.can_accept(AccessKind::Write) {
+            let Some(line) = self.cpu.pop_writeback() else { break };
+            self.enqueue(AccessKind::Write, line, false);
+        }
+        // 3. One controller + device cycle.
+        self.sched.tick(&mut self.dram, self.mem_cycle, &mut self.completions);
+        for c in self.completions.drain(..) {
+            if c.kind == AccessKind::Read {
+                if let Some(line) = self.read_lines.remove(&c.id) {
+                    self.pending.push(Reverse((c.done_at, line)));
+                }
+            }
+        }
+        // 4. Deliver read data whose transfer has finished.
+        while let Some(&Reverse((at, line))) = self.pending.peek() {
+            if at > self.mem_cycle {
+                break;
+            }
+            self.pending.pop();
+            self.cpu.complete_read(line, self.cpu.now());
+        }
+        self.mem_cycle += 1;
+    }
+
+    fn enqueue(&mut self, kind: AccessKind, line: u64, critical: bool) {
+        let addr = PhysAddr::new(line);
+        let loc = self.dram.decode(addr);
+        let id = AccessId::new(self.next_id);
+        self.next_id += 1;
+        let access =
+            Access::new(id, kind, addr, loc, self.mem_cycle).with_critical(critical);
+        if kind == AccessKind::Read {
+            self.read_lines.insert(id, line);
+        }
+        // Forwarded reads push a same-cycle completion, which the regular
+        // delivery path below hands back to the CPU this very cycle.
+        self.sched.enqueue(access, self.mem_cycle, &mut self.completions);
+    }
+
+    /// Runs until `len` is reached. Panics if the system makes no forward
+    /// progress for an implausibly long stretch (a livelock would otherwise
+    /// hang experiments silently).
+    pub fn run(&mut self, workload: &mut dyn OpSource, len: RunLength) {
+        match len {
+            RunLength::MemCycles(n) => {
+                for _ in 0..n {
+                    self.step(workload);
+                }
+            }
+            RunLength::Instructions(n) => {
+                let mut last_retired = self.cpu.retired();
+                let mut idle = 0u64;
+                while self.cpu.retired() < n {
+                    self.step(workload);
+                    if self.cpu.retired() == last_retired {
+                        idle += 1;
+                        assert!(
+                            idle < 2_000_000,
+                            "no instruction retired for 2M memory cycles: livelock?"
+                        );
+                    } else {
+                        idle = 0;
+                        last_retired = self.cpu.retired();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Produces the run's report.
+    pub fn report(&self, workload_name: impl Into<String>) -> SimReport {
+        SimReport {
+            mechanism: self.sched.mechanism(),
+            workload: workload_name.into(),
+            cpu_cycles: self.cpu.now(),
+            mem_cycles: self.mem_cycle,
+            instructions: self.cpu.retired(),
+            ctrl: self.sched.stats().clone(),
+            bus: self.dram.total_stats(),
+            cpu: *self.cpu.stats(),
+            channels: u64::from(self.cfg.dram.geometry.channels),
+        }
+    }
+}
+
+/// Runs one simulation to completion and returns its report — the
+/// one-call entry point.
+///
+/// # Examples
+///
+/// ```
+/// use burst_sim::{simulate, RunLength, SystemConfig};
+/// use burst_core::Mechanism;
+/// use burst_workloads::SpecBenchmark;
+///
+/// let cfg = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(52));
+/// let report = simulate(&cfg, SpecBenchmark::Swim.workload(42), RunLength::Instructions(5_000));
+/// assert!(report.instructions >= 5_000);
+/// ```
+pub fn simulate<W: OpSource>(cfg: &SystemConfig, mut workload: W, len: RunLength) -> SimReport {
+    let mut sys = System::new(cfg);
+    sys.warm(&mut workload);
+    sys.run(&mut workload, len);
+    let name = workload.name().to_string();
+    sys.report(name)
+}

@@ -1,0 +1,201 @@
+//! Figure-1-style schedule visualisation: drive a hand-written request
+//! list through a mechanism on a single channel with event recording on,
+//! then render the per-bank command timeline and the shared data bus as
+//! ASCII — the same picture the paper draws to motivate reordering.
+
+use burst_core::{Access, AccessId, AccessKind, CtrlConfig, Mechanism};
+use burst_dram::{AddressMapping, Command, Cycle, Dram, DramConfig, IssueEvent, Loc, PhysAddr};
+
+/// One request of a waterfall scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaterfallRequest {
+    /// Target location (channel must be 0).
+    pub loc: Loc,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl WaterfallRequest {
+    /// A read request.
+    pub fn read(loc: Loc) -> Self {
+        WaterfallRequest { loc, kind: AccessKind::Read }
+    }
+
+    /// A write request.
+    pub fn write(loc: Loc) -> Self {
+        WaterfallRequest { loc, kind: AccessKind::Write }
+    }
+}
+
+/// A recorded schedule: every command issue plus the completion horizon.
+#[derive(Debug, Clone)]
+pub struct Waterfall {
+    events: Vec<IssueEvent>,
+    horizon: Cycle,
+    banks: usize,
+    banks_per_rank: usize,
+}
+
+impl Waterfall {
+    /// Schedules `requests` (all enqueued at cycle 0) under `mechanism` on
+    /// a single-channel device and records the resulting command timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request targets a channel other than 0 or the schedule
+    /// fails to complete within a generous bound.
+    pub fn schedule(
+        mechanism: Mechanism,
+        cfg: DramConfig,
+        requests: &[WaterfallRequest],
+    ) -> Waterfall {
+        assert!(requests.iter().all(|r| r.loc.channel == 0), "single-channel scenario");
+        let mut single = cfg;
+        single.geometry.channels = 1;
+        let mut dram = Dram::new(single, AddressMapping::PageInterleaving);
+        dram.channel_mut(0).record_events(true);
+        let mut sched = mechanism.build(CtrlConfig::default(), single.geometry);
+        let mut done = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            let addr = PhysAddr::new(i as u64 * 64);
+            sched.enqueue(Access::new(AccessId::new(i as u64), r.kind, addr, r.loc, 0), 0, &mut done);
+        }
+        let mut now = 0;
+        while done.len() < requests.len() {
+            sched.tick(&mut dram, now, &mut done);
+            now += 1;
+            assert!(now < 1_000_000, "waterfall schedule did not complete");
+        }
+        let events = dram.channel_mut(0).take_events();
+        let horizon = done.iter().map(|c| c.done_at).max().unwrap_or(0);
+        let banks_per_rank = usize::from(single.geometry.banks_per_rank);
+        let banks = usize::from(single.geometry.ranks_per_channel) * banks_per_rank;
+        Waterfall { events, horizon, banks, banks_per_rank }
+    }
+
+    /// Total cycles until the last data beat.
+    pub fn total_cycles(&self) -> Cycle {
+        self.horizon
+    }
+
+    /// The recorded command issues in order.
+    pub fn events(&self) -> &[IssueEvent] {
+        &self.events
+    }
+
+    /// Renders the schedule: one `bank N` lane showing `P` (precharge),
+    /// `A` (activate) and `R`/`W` (column read/write) issues, plus a `data`
+    /// lane marking occupied data-bus cycles with `=`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use burst_core::Mechanism;
+    /// use burst_dram::{DramConfig, Loc};
+    /// use burst_sim::waterfall::{Waterfall, WaterfallRequest};
+    ///
+    /// let reqs = [
+    ///     WaterfallRequest::read(Loc::new(0, 0, 0, 0, 0)),
+    ///     WaterfallRequest::read(Loc::new(0, 0, 1, 0, 0)),
+    /// ];
+    /// let w = Waterfall::schedule(Mechanism::Burst, DramConfig::figure1(), &reqs);
+    /// let art = w.render();
+    /// assert!(art.contains("data"));
+    /// ```
+    pub fn render(&self) -> String {
+        let width = self.horizon as usize;
+        let mut lanes: Vec<Vec<char>> = vec![vec!['.'; width]; self.banks];
+        let mut data: Vec<char> = vec!['.'; width];
+        for ev in &self.events {
+            if let Some(loc) = ev.cmd.loc() {
+                // Dense bank index within the channel.
+                let idx = usize::from(loc.rank) * self.banks_per_rank + usize::from(loc.bank);
+                let symbol = match ev.cmd {
+                    Command::Precharge(_) => 'P',
+                    Command::Activate(_) => 'A',
+                    Command::Column { dir, .. } => {
+                        if dir.is_read() {
+                            'R'
+                        } else {
+                            'W'
+                        }
+                    }
+                    Command::RefreshAll { .. } => 'F',
+                };
+                if let Some(cell) = lanes.get_mut(idx).and_then(|l| l.get_mut(ev.at as usize)) {
+                    *cell = symbol;
+                }
+                for c in ev.data_start..ev.data_end {
+                    if let Some(cell) = data.get_mut(c as usize) {
+                        *cell = '=';
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        for (i, lane) in lanes.iter().enumerate() {
+            if lane.iter().any(|&c| c != '.') {
+                out.push_str(&format!("bank{i:<2} |{}|\n", lane.iter().collect::<String>()));
+            }
+        }
+        out.push_str(&format!("data   |{}|\n", data.iter().collect::<String>()));
+        out.push_str(&format!("        0{:>width$}\n", self.horizon, width = width.saturating_sub(1)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_requests() -> Vec<WaterfallRequest> {
+        vec![
+            WaterfallRequest::read(Loc::new(0, 0, 0, 0, 0)),
+            WaterfallRequest::read(Loc::new(0, 0, 1, 0, 0)),
+            WaterfallRequest::read(Loc::new(0, 0, 0, 1, 0)),
+            WaterfallRequest::read(Loc::new(0, 0, 0, 0, 8)),
+        ]
+    }
+
+    #[test]
+    fn burst_schedules_fig1_fast() {
+        let w = Waterfall::schedule(Mechanism::Burst, DramConfig::figure1(), &fig1_requests());
+        assert!(w.total_cycles() <= 20, "got {}", w.total_cycles());
+        assert!(w.events().iter().any(|e| matches!(e.cmd, Command::Column { .. })));
+    }
+
+    #[test]
+    fn render_shows_all_lanes() {
+        let w = Waterfall::schedule(Mechanism::Burst, DramConfig::figure1(), &fig1_requests());
+        let art = w.render();
+        assert!(art.contains("bank0"));
+        assert!(art.contains("bank1"));
+        assert!(art.contains("data"));
+        assert!(art.contains('A'));
+        assert!(art.contains('R'));
+        assert!(art.contains('='));
+    }
+
+    #[test]
+    fn data_lane_counts_match_bus_occupancy() {
+        let w = Waterfall::schedule(Mechanism::Burst, DramConfig::figure1(), &fig1_requests());
+        let art = w.render();
+        let data_cells = art
+            .lines()
+            .find(|l| l.starts_with("data"))
+            .unwrap()
+            .chars()
+            .filter(|&c| c == '=')
+            .count() as u64;
+        // Four accesses x 2 data cycles each (burst length 4, DDR).
+        assert_eq!(data_cells, 8);
+    }
+
+    #[test]
+    fn in_order_mechanism_takes_longer() {
+        let reqs = fig1_requests();
+        let burst = Waterfall::schedule(Mechanism::Burst, DramConfig::figure1(), &reqs);
+        let inorder = Waterfall::schedule(Mechanism::BkInOrder, DramConfig::figure1(), &reqs);
+        assert!(inorder.total_cycles() >= burst.total_cycles());
+    }
+}

@@ -1,0 +1,148 @@
+//! Instruction-level operation traces consumed by the CPU model.
+
+/// One dynamic instruction of the workload's instruction stream.
+///
+/// The CPU limit model only distinguishes compute from memory operations;
+/// `dependent` loads model pointer chasing (the load cannot begin until the
+/// previous load's data returns), which bounds memory-level parallelism the
+/// way `mcf` does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A non-memory instruction (1-cycle ALU op).
+    Compute,
+    /// A load from the byte address `addr`.
+    Load {
+        /// Virtual/physical byte address (identity-mapped).
+        addr: u64,
+        /// Whether this load consumes the previous load's result.
+        dependent: bool,
+    },
+    /// A store to the byte address `addr`.
+    Store {
+        /// Virtual/physical byte address (identity-mapped).
+        addr: u64,
+    },
+}
+
+impl Op {
+    /// A non-dependent load.
+    pub fn load(addr: u64) -> Self {
+        Op::Load { addr, dependent: false }
+    }
+
+    /// A load that depends on the previous load (pointer chase).
+    pub fn dependent_load(addr: u64) -> Self {
+        Op::Load { addr, dependent: true }
+    }
+
+    /// `true` if this is a load or store.
+    pub fn is_memory(&self) -> bool {
+        !matches!(self, Op::Compute)
+    }
+
+    /// The target address, if this is a memory operation.
+    pub fn addr(&self) -> Option<u64> {
+        match *self {
+            Op::Compute => None,
+            Op::Load { addr, .. } | Op::Store { addr } => Some(addr),
+        }
+    }
+}
+
+/// An endless instruction stream.
+///
+/// Sources are infinite: simulations decide how many instructions to
+/// consume. Implementations should be deterministic for a given seed so
+/// experiments are reproducible.
+pub trait OpSource {
+    /// Produces the next dynamic instruction.
+    fn next_op(&mut self) -> Op;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str {
+        "workload"
+    }
+}
+
+impl<S: OpSource + ?Sized> OpSource for Box<S> {
+    fn next_op(&mut self) -> Op {
+        (**self).next_op()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Replays a fixed sequence of operations, cycling when exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use burst_workloads::{Op, OpSource, ReplaySource};
+///
+/// let mut src = ReplaySource::new("two-ops", vec![Op::Compute, Op::load(64)]);
+/// assert_eq!(src.next_op(), Op::Compute);
+/// assert_eq!(src.next_op(), Op::load(64));
+/// assert_eq!(src.next_op(), Op::Compute); // wraps around
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    name: String,
+    ops: Vec<Op>,
+    pos: usize,
+}
+
+impl ReplaySource {
+    /// Creates a replay source over `ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn new(name: impl Into<String>, ops: Vec<Op>) -> Self {
+        assert!(!ops.is_empty(), "replay source needs at least one op");
+        ReplaySource { name: name.into(), ops, pos: 0 }
+    }
+}
+
+impl OpSource for ReplaySource {
+    fn next_op(&mut self) -> Op {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_predicates() {
+        assert!(!Op::Compute.is_memory());
+        assert!(Op::load(64).is_memory());
+        assert!(Op::Store { addr: 0 }.is_memory());
+        assert_eq!(Op::load(64).addr(), Some(64));
+        assert_eq!(Op::Compute.addr(), None);
+        assert!(matches!(Op::dependent_load(0), Op::Load { dependent: true, .. }));
+    }
+
+    #[test]
+    fn replay_cycles() {
+        let mut s = ReplaySource::new("r", vec![Op::Compute, Op::load(0), Op::Store { addr: 8 }]);
+        let first_cycle: Vec<Op> = (0..3).map(|_| s.next_op()).collect();
+        let second_cycle: Vec<Op> = (0..3).map(|_| s.next_op()).collect();
+        assert_eq!(first_cycle, second_cycle);
+        assert_eq!(s.name(), "r");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn replay_rejects_empty() {
+        let _ = ReplaySource::new("empty", vec![]);
+    }
+}

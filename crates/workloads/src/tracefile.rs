@@ -1,0 +1,192 @@
+//! Loading instruction traces from text files, so the simulator can be
+//! driven by externally captured streams (e.g. converted Pin/DynamoRIO or
+//! gem5 traces) instead of the built-in synthetic surrogates.
+//!
+//! # Format
+//!
+//! One operation per line; blank lines and `#` comments are ignored:
+//!
+//! ```text
+//! # ops: C = compute, L = load, D = dependent load, S = store
+//! C
+//! L 0x7f001040
+//! D 4096
+//! S 0x7f001080
+//! ```
+//!
+//! Addresses are hex with `0x` prefix or decimal without.
+
+use crate::{Op, ReplaySource};
+
+/// Error produced when a trace file cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    message: String,
+}
+
+impl ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl core::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Parses a trace from text.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] naming the first malformed line.
+///
+/// # Examples
+///
+/// ```
+/// use burst_workloads::{parse_trace, Op};
+///
+/// let ops = parse_trace("C\nL 0x40\nS 128\n")?;
+/// assert_eq!(ops, vec![Op::Compute, Op::load(0x40), Op::Store { addr: 128 }]);
+/// # Ok::<(), burst_workloads::ParseTraceError>(())
+/// ```
+pub fn parse_trace(text: &str) -> Result<Vec<Op>, ParseTraceError> {
+    let mut ops = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: &str| ParseTraceError { line: i + 1, message: message.to_string() };
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().expect("non-empty line has a token");
+        let parse_addr = |parts: &mut core::str::SplitWhitespace<'_>| -> Result<u64, ParseTraceError> {
+            let tok = parts
+                .next()
+                .ok_or_else(|| err("missing address"))?;
+            let parsed = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16)
+            } else {
+                tok.parse()
+            };
+            parsed.map_err(|_| err("invalid address"))
+        };
+        let op = match kind {
+            "C" | "c" => Op::Compute,
+            "L" | "l" => Op::load(parse_addr(&mut parts)?),
+            "D" | "d" => Op::dependent_load(parse_addr(&mut parts)?),
+            "S" | "s" => Op::Store { addr: parse_addr(&mut parts)? },
+            other => return Err(err(&format!("unknown op kind {other:?}"))),
+        };
+        if parts.next().is_some() {
+            return Err(err("trailing tokens"));
+        }
+        ops.push(op);
+    }
+    if ops.is_empty() {
+        return Err(ParseTraceError { line: 0, message: "trace contains no operations".into() });
+    }
+    Ok(ops)
+}
+
+/// Loads a trace file from disk into a cycling [`ReplaySource`].
+///
+/// # Errors
+///
+/// Returns an I/O error for unreadable files, or a boxed
+/// [`ParseTraceError`] for malformed content.
+pub fn load_trace(path: impl AsRef<std::path::Path>) -> std::io::Result<ReplaySource> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)?;
+    let ops = parse_trace(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_string());
+    Ok(ReplaySource::new(name, ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpSource;
+
+    #[test]
+    fn parses_all_op_kinds() {
+        let ops = parse_trace("C\nL 0x40\nD 64\nS 0x80\n").expect("valid trace");
+        assert_eq!(
+            ops,
+            vec![
+                Op::Compute,
+                Op::load(0x40),
+                Op::dependent_load(64),
+                Op::Store { addr: 0x80 },
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let ops = parse_trace("# header\n\nC\n  # indented comment\nL 0\n").expect("valid");
+        assert_eq!(ops.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let err = parse_trace("X 5\n").expect_err("invalid");
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("unknown op kind"));
+    }
+
+    #[test]
+    fn rejects_missing_address() {
+        let err = parse_trace("C\nL\n").expect_err("invalid");
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("missing address"));
+    }
+
+    #[test]
+    fn rejects_bad_address_and_trailing_tokens() {
+        assert!(parse_trace("L zzz\n").is_err());
+        assert!(parse_trace("L 0x40 extra\n").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_trace() {
+        let err = parse_trace("# only comments\n").expect_err("empty");
+        assert!(err.to_string().contains("no operations"));
+    }
+
+    #[test]
+    fn load_trace_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("burst_trace_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("mini.trace");
+        std::fs::write(&path, "C\nL 0x1000\nS 0x1040\n").expect("write");
+        let mut src = load_trace(&path).expect("load");
+        assert_eq!(src.name(), "mini");
+        assert_eq!(src.next_op(), Op::Compute);
+        assert_eq!(src.next_op(), Op::load(0x1000));
+        assert_eq!(src.next_op(), Op::Store { addr: 0x1040 });
+        // Cycles back to the start.
+        assert_eq!(src.next_op(), Op::Compute);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_trace_reports_parse_errors_as_io() {
+        let dir = std::env::temp_dir().join("burst_trace_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("broken.trace");
+        std::fs::write(&path, "L nope\n").expect("write");
+        let err = load_trace(&path).expect_err("must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the workload generators.
+
+use burst_workloads::{
+    MixWorkload, Op, OpSource, PointerChaseWorkload, RandomWorkload, SpecBenchmark,
+    StreamWorkload,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stream generators emit stride-aligned addresses inside their extent.
+    #[test]
+    fn stream_addresses_in_bounds(
+        n_streams in 1usize..8,
+        extent_pages in 1u64..64,
+        seed in any::<u64>(),
+        store in 0.0f64..1.0,
+    ) {
+        let extent = extent_pages * 8192;
+        let bases: Vec<u64> = (0..n_streams as u64).map(|i| i * (1 << 28)).collect();
+        let mut w = StreamWorkload::new("s", bases.clone(), extent, 64, store, 1.0, seed)
+            .with_page_shuffle(8192);
+        for _ in 0..500 {
+            if let Some(addr) = w.next_op().addr() {
+                let base = bases.iter().rev().find(|&&b| addr >= b).copied().unwrap();
+                prop_assert!(addr - base < extent, "offset {} >= extent {}", addr - base, extent);
+                prop_assert_eq!(addr % 64, 0);
+            }
+        }
+    }
+
+    /// Random workloads stay within their working set.
+    #[test]
+    fn random_addresses_in_bounds(ws_lines in 1u64..10_000, seed in any::<u64>()) {
+        let ws = ws_lines * 64;
+        let mut w = RandomWorkload::new("r", 1 << 30, ws, 0.3, 0.5, seed);
+        for _ in 0..300 {
+            if let Some(addr) = w.next_op().addr() {
+                prop_assert!(addr >= 1 << 30);
+                prop_assert!(addr < (1 << 30) + ws);
+            }
+        }
+    }
+
+    /// Pointer chases only emit dependent loads plus the configured stores.
+    #[test]
+    fn chase_op_mix(seed in any::<u64>(), store in 0.0f64..0.9) {
+        let mut w = PointerChaseWorkload::new("c", 0, 1 << 20, 0.0, store, seed);
+        let mut prev_load_addr = None;
+        for _ in 0..300 {
+            match w.next_op() {
+                Op::Load { addr, dependent } => {
+                    prop_assert!(dependent, "chase loads must be dependent");
+                    prev_load_addr = Some(addr);
+                }
+                Op::Store { addr } => {
+                    // Chase stores update the node just visited.
+                    prop_assert_eq!(Some(addr), prev_load_addr);
+                }
+                Op::Compute => {}
+            }
+        }
+    }
+
+    /// Compute-to-memory ratios are honoured within tolerance by every
+    /// generator.
+    #[test]
+    fn compute_ratio_honoured(cpm in 0.0f64..6.0, seed in any::<u64>()) {
+        let mut w = StreamWorkload::new("s", vec![0], 1 << 22, 64, 0.2, cpm, seed);
+        let n = 4000;
+        let mem = (0..n).map(|_| w.next_op()).filter(Op::is_memory).count();
+        let expected = n as f64 / (1.0 + cpm);
+        prop_assert!(
+            (mem as f64 - expected).abs() < expected * 0.25 + 20.0,
+            "mem ops {} vs expected {:.0} (cpm {:.2})", mem, expected, cpm
+        );
+    }
+
+    /// Every SPEC surrogate is deterministic in its seed and emits only
+    /// line-representable addresses below 4 GB.
+    #[test]
+    fn surrogates_deterministic_and_bounded(which in 0usize..16, seed in any::<u64>()) {
+        let bench = SpecBenchmark::all16()[which];
+        let sample = |s: u64| {
+            let mut w = bench.workload(s);
+            (0..200).map(|_| w.next_op()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(sample(seed), sample(seed));
+        let mut w = bench.workload(seed);
+        for _ in 0..500 {
+            if let Some(a) = w.next_op().addr() {
+                prop_assert!(a < 4u64 << 30);
+            }
+        }
+    }
+
+    /// Mixes draw from every positively weighted source.
+    #[test]
+    fn mix_uses_all_sources(w1 in 0.1f64..1.0, w2 in 0.1f64..1.0, seed in any::<u64>()) {
+        let a = Box::new(RandomWorkload::new("a", 0, 1 << 16, 0.0, 0.0, seed));
+        let b = Box::new(RandomWorkload::new("b", 1 << 32, 1 << 16, 0.0, 0.0, seed ^ 1));
+        let mut m = MixWorkload::new("m", vec![(w1, a as _), (w2, b as _)], seed ^ 2);
+        let mut low = 0;
+        let mut high = 0;
+        for _ in 0..600 {
+            match m.next_op().addr() {
+                Some(addr) if addr < 1 << 31 => low += 1,
+                Some(_) => high += 1,
+                None => {}
+            }
+        }
+        prop_assert!(low > 0 && high > 0, "low={} high={} (w1={:.2}, w2={:.2})", low, high, w1, w2);
+    }
+}

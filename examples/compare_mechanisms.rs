@@ -1,0 +1,39 @@
+//! Compare all eight access reordering mechanisms of the paper's Table 4
+//! on one benchmark, reproducing a single column of Figure 10.
+//!
+//! ```text
+//! cargo run --release --example compare_mechanisms -- swim
+//! ```
+
+use burst_scheduling::prelude::*;
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .and_then(|n| SpecBenchmark::from_name(&n))
+        .unwrap_or(SpecBenchmark::Swim);
+
+    println!("benchmark: {bench}\n");
+    println!(
+        "{:<12} {:>10} {:>9} {:>9} {:>8} {:>8} {:>7}",
+        "mechanism", "cpu cycles", "norm", "rd lat", "wr lat", "row hit", "WQ sat"
+    );
+
+    let mut baseline_cycles = None;
+    for mechanism in Mechanism::all_paper() {
+        let config = SystemConfig::baseline().with_mechanism(mechanism);
+        let report = simulate(&config, bench.workload(42), RunLength::Instructions(40_000));
+        let base = *baseline_cycles.get_or_insert(report.cpu_cycles as f64);
+        println!(
+            "{:<12} {:>10} {:>9.3} {:>9.1} {:>8.1} {:>7.1}% {:>6.1}%",
+            mechanism.name(),
+            report.cpu_cycles,
+            report.cpu_cycles as f64 / base,
+            report.ctrl.avg_read_latency(),
+            report.ctrl.avg_write_latency(),
+            report.ctrl.row_hit_rate() * 100.0,
+            report.ctrl.write_saturation_rate() * 100.0,
+        );
+    }
+    println!("\n(norm = execution time normalised to BkInOrder, as in the paper's Figure 10)");
+}

@@ -1,0 +1,81 @@
+//! Poke the DDR2 device model directly: open a row, stream column reads
+//! back to back, provoke a row conflict, and watch every timing constraint
+//! the controller has to respect. Useful for understanding what the
+//! schedulers are working around.
+//!
+//! ```text
+//! cargo run --release --example dram_timing
+//! ```
+
+use burst_scheduling::dram::{Channel, Command, DramConfig, Loc, RowState};
+
+fn main() {
+    let cfg = DramConfig::baseline(); // DDR2 PC2-6400 5-5-5
+    let t = cfg.timing;
+    println!(
+        "device: DDR2 PC2-6400, tCL-tRCD-tRP = {}-{}-{}, burst {} cycles\n",
+        t.t_cl,
+        t.t_rcd,
+        t.t_rp,
+        cfg.geometry.burst_cycles()
+    );
+
+    let mut ch = Channel::new(cfg);
+    let row0 = Loc::new(0, 0, 0, 100, 0);
+
+    // Row empty: activate, then read.
+    println!("cycle 0: bank 0 is {}", ch.row_state(row0));
+    ch.issue(&Command::Activate(row0), 0);
+    println!("cycle 0: ACT row {}", row0.row);
+
+    let rd_at = t.t_rcd;
+    let first = ch.issue(&Command::read(row0), rd_at);
+    println!(
+        "cycle {rd_at}: READ col {} -> data on bus cycles {}..{}",
+        row0.col, first.data_start, first.data_end
+    );
+
+    // Row hits stream back to back: the next column command is timed so
+    // its data follows immediately.
+    let mut prev_end = first.data_end;
+    for i in 1..4u32 {
+        let loc = Loc { col: i * 8, ..row0 };
+        let cmd = Command::read(loc);
+        let at = ch.earliest_issue(&cmd, rd_at).expect("row open");
+        let issued = ch.issue(&cmd, at);
+        println!(
+            "cycle {at}: READ col {:>2} -> data {}..{} ({})",
+            loc.col,
+            issued.data_start,
+            issued.data_end,
+            if issued.data_start == prev_end { "back-to-back" } else { "bubble!" }
+        );
+        prev_end = issued.data_end;
+    }
+
+    // A row conflict pays precharge + activate + column.
+    let other = Loc::new(0, 0, 0, 200, 0);
+    println!("\nbank 0 sees row {}: {}", other.row, ch.row_state(other));
+    let pre_at = ch.earliest_issue(&Command::Precharge(other), prev_end).expect("row open");
+    ch.issue(&Command::Precharge(other), pre_at);
+    let act_at = ch.earliest_issue(&Command::Activate(other), pre_at).expect("precharged");
+    ch.issue(&Command::Activate(other), act_at);
+    let col_at = ch.earliest_issue(&Command::read(other), act_at).expect("open");
+    let done = ch.issue(&Command::read(other), col_at);
+    println!(
+        "conflict resolved: PRE@{pre_at} ACT@{act_at} READ@{col_at}, data {}..{}",
+        done.data_start, done.data_end
+    );
+    println!(
+        "total conflict latency: {} cycles (Table 1 says tRP+tRCD+tCL = {})",
+        done.data_start - pre_at,
+        t.row_conflict_latency()
+    );
+
+    let s = ch.stats();
+    println!(
+        "\nbus stats: {} commands, {} data cycles, {} activates, {} precharges",
+        s.cmd_cycles, s.data_cycles, s.activates, s.precharges
+    );
+    assert_eq!(ch.row_state(other), RowState::Hit);
+}

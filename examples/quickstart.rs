@@ -1,0 +1,40 @@
+//! Quickstart: simulate one SPEC CPU2000 surrogate on the paper's baseline
+//! machine with burst scheduling, and print the headline statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use burst_scheduling::prelude::*;
+
+fn main() {
+    // The paper's baseline machine (Table 3): 4 GHz 8-way CPU, 2 MB L2,
+    // dual-channel DDR2 PC2-6400 with 2/4/4 channel/rank/bank geometry,
+    // open-page policy and page-interleaved address mapping.
+    let config = SystemConfig::baseline()
+        // Burst scheduling with the paper's best static threshold.
+        .with_mechanism(Mechanism::BurstTh(52));
+
+    // A surrogate for the `swim` benchmark: streaming stencil loops with
+    // heavy writeback traffic.
+    let workload = SpecBenchmark::Swim.workload(42);
+
+    let report = simulate(&config, workload, RunLength::Instructions(50_000));
+
+    println!("mechanism:          {}", report.mechanism);
+    println!("workload:           {}", report.workload);
+    println!("instructions:       {}", report.instructions);
+    println!("CPU cycles:         {}", report.cpu_cycles);
+    println!("IPC:                {:.3}", report.ipc());
+    println!("memory reads:       {}", report.reads());
+    println!("memory writes:      {}", report.writes());
+    println!("avg read latency:   {:.1} memory cycles", report.ctrl.avg_read_latency());
+    println!("avg write latency:  {:.1} memory cycles", report.ctrl.avg_write_latency());
+    println!("row hit rate:       {:.1}%", report.ctrl.row_hit_rate() * 100.0);
+    println!("data bus util:      {:.1}%", report.data_bus_utilization() * 100.0);
+    println!(
+        "effective bandwidth: {:.2} GB/s (at 400 MHz memory clock)",
+        report.effective_bandwidth_gbs(400e6, 8)
+    );
+    println!("write queue saturated {:.1}% of cycles", report.ctrl.write_saturation_rate() * 100.0);
+}

@@ -1,0 +1,47 @@
+//! Explore the read-preemption / write-piggybacking threshold of burst
+//! scheduling on one benchmark — a single-benchmark slice of the paper's
+//! Figure 12 design-space study.
+//!
+//! ```text
+//! cargo run --release --example threshold_explorer -- lucas
+//! ```
+
+use burst_scheduling::prelude::*;
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .and_then(|n| SpecBenchmark::from_name(&n))
+        .unwrap_or(SpecBenchmark::Swim);
+
+    println!("threshold sweep on {bench} (write queue capacity 64)\n");
+    println!(
+        "{:<12} {:>10} {:>9} {:>9} {:>8}",
+        "threshold", "cpu cycles", "rd lat", "wr lat", "WQ sat"
+    );
+
+    let mut points: Vec<Mechanism> = vec![Mechanism::BurstWp];
+    points.extend((1..8).map(|i| Mechanism::BurstTh(i * 8)));
+    points.push(Mechanism::BurstTh(52));
+    points.push(Mechanism::BurstRp);
+
+    let mut best: Option<(String, u64)> = None;
+    for mechanism in points {
+        let config = SystemConfig::baseline().with_mechanism(mechanism);
+        let report = simulate(&config, bench.workload(42), RunLength::Instructions(40_000));
+        println!(
+            "{:<12} {:>10} {:>9.1} {:>9.1} {:>7.1}%",
+            mechanism.name(),
+            report.cpu_cycles,
+            report.ctrl.avg_read_latency(),
+            report.ctrl.avg_write_latency(),
+            report.ctrl.write_saturation_rate() * 100.0,
+        );
+        if best.as_ref().map(|(_, c)| report.cpu_cycles < *c).unwrap_or(true) {
+            best = Some((mechanism.name(), report.cpu_cycles));
+        }
+    }
+    let (name, cycles) = best.expect("at least one point");
+    println!("\nbest threshold for {bench}: {name} ({cycles} cycles)");
+    println!("(the paper selects 52 as the best static threshold across all 16 benchmarks)");
+}

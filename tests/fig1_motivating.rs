@@ -1,0 +1,27 @@
+//! The paper's Figure 1 motivating example, end to end: four accesses on a
+//! 2-2-2 burst-length-4 device take 28 cycles strictly in order without
+//! interleaving and ~16 cycles out of order with interleaving.
+
+use burst_scheduling::sim::experiments::fig1;
+
+#[test]
+fn in_order_non_interleaved_takes_28_cycles() {
+    let (in_order, _) = fig1();
+    assert_eq!(in_order, 28, "paper Figure 1(a)");
+}
+
+#[test]
+fn out_of_order_interleaved_approaches_16_cycles() {
+    let (_, ooo) = fig1();
+    assert!(
+        (14..=20).contains(&ooo),
+        "paper Figure 1(b) schedules this in 16 cycles; got {ooo}"
+    );
+}
+
+#[test]
+fn reordering_speedup_is_substantial() {
+    let (in_order, ooo) = fig1();
+    let speedup = in_order as f64 / ooo as f64;
+    assert!(speedup > 1.4, "paper reports 1.75x; got {speedup:.2}x");
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: the full CPU + controller + DRAM stack
+//! behaves consistently for every mechanism.
+
+use burst_scheduling::prelude::*;
+use burst_scheduling::sim::System;
+use burst_scheduling::workloads::{Op, OpSource, ReplaySource};
+
+/// Every mechanism finishes the same instruction budget and reports
+/// internally consistent statistics.
+#[test]
+fn all_mechanisms_run_to_completion() {
+    for mechanism in Mechanism::all_paper() {
+        let config = SystemConfig::baseline().with_mechanism(mechanism);
+        let report =
+            simulate(&config, SpecBenchmark::Gcc.workload(7), RunLength::Instructions(10_000));
+        assert!(report.instructions >= 10_000, "{mechanism}");
+        assert!(report.cpu_cycles > 0);
+        assert!(report.mem_cycles > 0);
+        assert!(report.reads() > 0, "{mechanism}: a gcc run must read memory");
+        // Row-state fractions partition classified accesses.
+        let sum = report.ctrl.row_hit_rate()
+            + report.ctrl.row_conflict_rate()
+            + report.ctrl.row_empty_rate();
+        assert!((sum - 1.0).abs() < 1e-9, "{mechanism}: row states sum to {sum}");
+        // Latency sums are consistent with counts.
+        assert!(report.ctrl.avg_read_latency() > 0.0);
+        // Utilisations are fractions.
+        assert!(report.data_bus_utilization() <= 1.0);
+        assert!(report.addr_bus_utilization() <= 1.0);
+    }
+}
+
+/// Identical configuration and seed give identical results (reproducible
+/// experiments).
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let config = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(52));
+        simulate(&config, SpecBenchmark::Art.workload(9), RunLength::Instructions(8_000))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.cpu_cycles, b.cpu_cycles);
+    assert_eq!(a.mem_cycles, b.mem_cycles);
+    assert_eq!(a.reads(), b.reads());
+    assert_eq!(a.writes(), b.writes());
+    assert_eq!(a.ctrl.row_hits, b.ctrl.row_hits);
+    assert_eq!(a.bus.data_cycles, b.bus.data_cycles);
+}
+
+/// Different seeds give different (but valid) executions.
+#[test]
+fn seeds_change_the_execution() {
+    let run = |seed| {
+        let config = SystemConfig::baseline().with_mechanism(Mechanism::Burst);
+        simulate(&config, SpecBenchmark::Art.workload(seed), RunLength::Instructions(8_000))
+            .cpu_cycles
+    };
+    assert_ne!(run(1), run(2));
+}
+
+/// A compute-only workload barely touches memory and retires at near full
+/// width regardless of mechanism.
+#[test]
+fn compute_only_workload_is_memory_agnostic() {
+    for mechanism in [Mechanism::BkInOrder, Mechanism::BurstTh(52)] {
+        let config = SystemConfig::baseline().with_mechanism(mechanism).with_warm_mem_ops(0);
+        let mut sys = System::new(&config);
+        let mut src = ReplaySource::new("compute", vec![Op::Compute]);
+        sys.run(&mut src, RunLength::Instructions(50_000));
+        let report = sys.report("compute");
+        assert_eq!(report.reads(), 0, "{mechanism}: no memory traffic expected");
+        let ipc = report.ipc();
+        assert!(ipc > 6.0, "{mechanism}: compute IPC {ipc:.1} should approach width 8");
+    }
+}
+
+/// Stepping a `System` manually matches `simulate`'s behaviour.
+#[test]
+fn manual_stepping_equals_simulate() {
+    let config = SystemConfig::baseline().with_mechanism(Mechanism::RowHit);
+    let auto = simulate(&config, SpecBenchmark::Mesa.workload(3), RunLength::Instructions(5_000));
+
+    let mut sys = System::new(&config);
+    let mut workload = SpecBenchmark::Mesa.workload(3);
+    sys.warm(&mut workload);
+    while sys.retired() < 5_000 {
+        sys.step(&mut workload);
+    }
+    let manual = sys.report("mesa");
+    assert_eq!(auto.cpu_cycles, manual.cpu_cycles);
+    assert_eq!(auto.reads(), manual.reads());
+}
+
+/// Refresshes occur at the configured interval and show up in the device
+/// statistics of long runs.
+#[test]
+fn refreshes_happen_in_long_runs() {
+    let config = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(52));
+    let report =
+        simulate(&config, SpecBenchmark::Swim.workload(5), RunLength::MemCycles(20_000));
+    // 20k cycles / tREFI 3120 * 8 ranks-over-2-channels ~ 50 refreshes.
+    assert!(report.bus.refreshes > 10, "got {} refreshes", report.bus.refreshes);
+}
+
+/// The memory-cycle budget run length stops on time.
+#[test]
+fn mem_cycle_run_length() {
+    let config = SystemConfig::baseline();
+    let report =
+        simulate(&config, SpecBenchmark::Gzip.workload(2), RunLength::MemCycles(3_000));
+    assert_eq!(report.mem_cycles, 3_000);
+}
+
+/// A custom one-op replay source flows through the entire stack: miss,
+/// memory read, fill, then hits.
+#[test]
+fn single_line_replay_round_trip() {
+    let config = SystemConfig::baseline().with_warm_mem_ops(0);
+    let mut sys = System::new(&config);
+    let mut src = ReplaySource::new("one-line", vec![Op::load(0x4000), Op::Compute]);
+    sys.run(&mut src, RunLength::Instructions(2_000));
+    let report = sys.report("one-line");
+    assert_eq!(report.reads(), 1, "one cold miss, then L1 hits forever");
+}
+
+/// OpSource trait objects work through the boxed blanket impl.
+#[test]
+fn boxed_op_source_works() {
+    let mut boxed: Box<dyn OpSource> = Box::new(SpecBenchmark::Gap.workload(1));
+    assert_eq!(boxed.name(), "gap");
+    let config = SystemConfig::baseline();
+    let mut sys = System::new(&config);
+    sys.warm(&mut boxed);
+    for _ in 0..100 {
+        sys.step(&mut boxed);
+    }
+    assert!(sys.mem_cycle() == 100);
+}

@@ -1,0 +1,185 @@
+//! End-to-end assertions of the paper's headline claims at reduced scale.
+//! These use small instruction budgets, so thresholds are deliberately
+//! conservative: they check *shape* (who wins, and roughly by how much),
+//! not absolute numbers.
+
+use burst_scheduling::prelude::*;
+
+fn exec_cycles(mechanism: Mechanism, bench: SpecBenchmark, instructions: u64) -> u64 {
+    let config = SystemConfig::baseline().with_mechanism(mechanism);
+    simulate(&config, bench.workload(42), RunLength::Instructions(instructions)).cpu_cycles
+}
+
+fn report(mechanism: Mechanism, bench: SpecBenchmark, instructions: u64) -> SimReport {
+    let config = SystemConfig::baseline().with_mechanism(mechanism);
+    simulate(&config, bench.workload(42), RunLength::Instructions(instructions))
+}
+
+/// Section 5.3 headline: Burst_TH52 reduces execution time substantially
+/// relative to BkInOrder on memory-intensive workloads (paper: 21% on
+/// average over 16 benchmarks).
+#[test]
+fn burst_th_beats_bk_in_order_substantially() {
+    let n = 25_000;
+    for bench in [SpecBenchmark::Swim, SpecBenchmark::Lucas, SpecBenchmark::Mgrid] {
+        let base = exec_cycles(Mechanism::BkInOrder, bench, n);
+        let th = exec_cycles(Mechanism::BurstTh(52), bench, n);
+        let reduction = 1.0 - th as f64 / base as f64;
+        assert!(
+            reduction > 0.10,
+            "{bench}: Burst_TH52 should cut execution time >10%, got {:.1}%",
+            reduction * 100.0
+        );
+    }
+}
+
+/// Burst_TH is the best mechanism of the burst family (Section 5.4) on a
+/// write-heavy benchmark.
+#[test]
+fn threshold_beats_pure_rp_and_plain_burst() {
+    let n = 25_000;
+    let bench = SpecBenchmark::Swim;
+    let th = exec_cycles(Mechanism::BurstTh(52), bench, n);
+    let plain = exec_cycles(Mechanism::Burst, bench, n);
+    let rp = exec_cycles(Mechanism::BurstRp, bench, n);
+    assert!(th < plain, "TH ({th}) should beat plain Burst ({plain}) on swim");
+    assert!(th < rp, "TH ({th}) should beat Burst_RP ({rp}) on swim");
+}
+
+/// Write piggybacking slashes write-queue saturation (paper Section 5.1:
+/// 46% for Burst vs 2% for Burst_WP on swim).
+#[test]
+fn write_piggybacking_reduces_saturation() {
+    let n = 25_000;
+    let plain = report(Mechanism::Burst, SpecBenchmark::Swim, n);
+    let wp = report(Mechanism::BurstWp, SpecBenchmark::Swim, n);
+    assert!(
+        wp.ctrl.write_saturation_rate() < plain.ctrl.write_saturation_rate() * 0.7,
+        "WP saturation {:.2} should be well below plain Burst {:.2}",
+        wp.ctrl.write_saturation_rate(),
+        plain.ctrl.write_saturation_rate()
+    );
+    assert!(wp.ctrl.piggybacks > 0, "piggybacking must actually happen");
+}
+
+/// Read preemption piles up writes (paper: Burst_RP saturates the write
+/// queue far more often than Burst_WP).
+#[test]
+fn read_preemption_piles_up_writes() {
+    let n = 25_000;
+    let rp = report(Mechanism::BurstRp, SpecBenchmark::Swim, n);
+    let wp = report(Mechanism::BurstWp, SpecBenchmark::Swim, n);
+    assert!(
+        rp.ctrl.write_saturation_rate() > wp.ctrl.write_saturation_rate(),
+        "RP saturation {:.2} should exceed WP {:.2}",
+        rp.ctrl.write_saturation_rate(),
+        wp.ctrl.write_saturation_rate()
+    );
+    assert!(rp.ctrl.preemptions > 0, "preemption must actually happen");
+}
+
+/// Out-of-order mechanisms raise the row hit rate over BkInOrder
+/// (Figure 9a) and Burst_WP/TH raise it further by mining write queues.
+#[test]
+fn reordering_raises_row_hit_rate() {
+    let n = 25_000;
+    let bench = SpecBenchmark::Mgrid;
+    let base = report(Mechanism::BkInOrder, bench, n);
+    let th = report(Mechanism::BurstTh(52), bench, n);
+    assert!(
+        th.ctrl.row_hit_rate() > base.ctrl.row_hit_rate() + 0.05,
+        "TH hit rate {:.2} should clearly exceed BkInOrder {:.2}",
+        th.ctrl.row_hit_rate(),
+        base.ctrl.row_hit_rate()
+    );
+}
+
+/// Data-bus utilisation rises with burst scheduling (Figure 9b: 31% ->
+/// 42%, a 35% bandwidth improvement).
+#[test]
+fn burst_th_raises_data_bus_utilization() {
+    let n = 25_000;
+    let bench = SpecBenchmark::Swim;
+    let base = report(Mechanism::BkInOrder, bench, n);
+    let th = report(Mechanism::BurstTh(52), bench, n);
+    assert!(
+        th.data_bus_utilization() > base.data_bus_utilization() * 1.15,
+        "TH data bus {:.2} should exceed BkInOrder {:.2} by >15%",
+        th.data_bus_utilization(),
+        base.data_bus_utilization()
+    );
+}
+
+/// All out-of-order mechanisms cut average read latency relative to
+/// BkInOrder (Figure 7a: by 26-47%).
+#[test]
+fn reordering_cuts_read_latency() {
+    let n = 25_000;
+    let bench = SpecBenchmark::Lucas;
+    let base = report(Mechanism::BkInOrder, bench, n);
+    for m in [Mechanism::RowHit, Mechanism::IntelRp, Mechanism::BurstTh(52)] {
+        let r = report(m, bench, n);
+        assert!(
+            r.ctrl.avg_read_latency() < base.ctrl.avg_read_latency(),
+            "{m}: read latency {:.1} should be below BkInOrder {:.1}",
+            r.ctrl.avg_read_latency(),
+            base.ctrl.avg_read_latency()
+        );
+    }
+}
+
+/// Intel and Burst postpone writes, so their write latency balloons
+/// relative to BkInOrder while RowHit's stays comparable (Figure 7b).
+#[test]
+fn write_latency_shape() {
+    let n = 25_000;
+    let bench = SpecBenchmark::Swim;
+    let base = report(Mechanism::BkInOrder, bench, n);
+    let row_hit = report(Mechanism::RowHit, bench, n);
+    let burst = report(Mechanism::Burst, bench, n);
+    assert!(
+        burst.ctrl.avg_write_latency() > 2.0 * base.ctrl.avg_write_latency(),
+        "Burst write latency {:.0} should dwarf BkInOrder {:.0}",
+        burst.ctrl.avg_write_latency(),
+        base.ctrl.avg_write_latency()
+    );
+    assert!(
+        row_hit.ctrl.avg_write_latency() < 2.0 * base.ctrl.avg_write_latency(),
+        "RowHit write latency {:.0} should stay comparable to BkInOrder {:.0}",
+        row_hit.ctrl.avg_write_latency(),
+        base.ctrl.avg_write_latency()
+    );
+}
+
+/// mcf-style pointer chasing bounds memory-level parallelism: outstanding
+/// reads stay far below the LSQ limit (Figure 8a's contrast between
+/// benchmarks).
+#[test]
+fn pointer_chase_limits_mlp() {
+    let n = 10_000;
+    let mcf = report(Mechanism::BkInOrder, SpecBenchmark::Mcf, n);
+    let swim = report(Mechanism::BkInOrder, SpecBenchmark::Swim, n);
+    assert!(
+        mcf.ctrl.outstanding_reads.mean() < swim.ctrl.outstanding_reads.mean() / 2.0,
+        "mcf MLP {:.1} should be far below swim {:.1}",
+        mcf.ctrl.outstanding_reads.mean(),
+        swim.ctrl.outstanding_reads.mean()
+    );
+}
+
+/// The threshold sweep has an interior optimum (Figure 12): some middle
+/// threshold beats both extremes on the average of a write-heavy and a
+/// read-critical benchmark.
+#[test]
+fn threshold_sweep_interior_optimum() {
+    let n = 20_000;
+    let benches = [SpecBenchmark::Swim, SpecBenchmark::Parser];
+    let total = |m: Mechanism| -> u64 { benches.iter().map(|&b| exec_cycles(m, b, n)).sum() };
+    let wp = total(Mechanism::BurstWp);
+    let mid = total(Mechanism::BurstTh(48)).min(total(Mechanism::BurstTh(52)));
+    let rp = total(Mechanism::BurstRp);
+    assert!(
+        mid <= wp.max(rp),
+        "a middle threshold ({mid}) should not lose to both extremes (WP {wp}, RP {rp})"
+    );
+}

