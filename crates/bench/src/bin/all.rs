@@ -60,8 +60,14 @@ fn main() {
     dump(&csv, "fig9.csv", &export::fig9_to_csv(&sweep.fig9_rows()));
 
     println!("=== Figure 10: normalised execution time\n");
-    println!("{}", render_fig10(&sweep.fig10_rows(), &sweep.fig10_average()));
-    dump(&csv, "fig10.csv", &export::fig10_to_csv(&sweep.fig10_rows()));
+    match render_fig10(&sweep.fig10_rows(), &sweep.fig10_average()) {
+        Ok(table) => println!("{table}"),
+        Err(e) => eprintln!("warning: {e}"),
+    }
+    match export::fig10_to_csv(&sweep.fig10_rows()) {
+        Ok(content) => dump(&csv, "fig10.csv", &content),
+        Err(e) => eprintln!("warning: {e}"),
+    }
     dump(&csv, "sweep.csv", &export::sweep_to_csv(&sweep));
 
     println!("=== Figure 8: outstanding accesses, swim\n");

@@ -13,7 +13,10 @@ fn main() {
         banner("Figure 10", "normalized execution time", &opts)
     );
     let sweep = Sweep::run(&opts.benchmarks, &Mechanism::all_paper(), opts.run, opts.seed);
-    println!("{}", render_fig10(&sweep.fig10_rows(), &sweep.fig10_average()));
+    match render_fig10(&sweep.fig10_rows(), &sweep.fig10_average()) {
+        Ok(table) => println!("{table}"),
+        Err(e) => eprintln!("warning: {e}"),
+    }
     println!(
         "Paper averages: RowHit 0.83, Intel 0.88, Intel_RP 0.85, Burst 0.86,\n\
          Burst_WP 0.81, Burst_TH52 0.79 (21% reduction; 6% over RowHit, 11% over Intel)."

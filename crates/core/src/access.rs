@@ -32,7 +32,10 @@ impl core::fmt::Display for AccessId {
 }
 
 /// Whether an access reads or writes main memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The derived order (`Read < Write`) only serves as a deterministic
+/// tie-break when selecting among equally old accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AccessKind {
     /// A cache-line fill; the CPU blocks dependants until data returns.
     Read,
@@ -106,6 +109,11 @@ pub enum EnqueueOutcome {
     /// A read hit in the write queue; the latest write's data was forwarded
     /// and the read completes immediately (paper Figure 4, lines 2–4).
     Forwarded,
+    /// The controller refused the access: the access pool is full or the
+    /// write queue is saturated (the caller ignored
+    /// [`crate::AccessScheduler::can_accept`]). The access was *not*
+    /// recorded; the caller must hold it and retry later.
+    Rejected,
 }
 
 /// A finished access reported by the scheduler.

@@ -8,7 +8,11 @@
 //! access is chosen (the bank arbiter) and in which unblocked transaction is
 //! issued each cycle (the transaction scheduler); everything else lives here.
 
-use crate::{Access, AccessId, AccessKind, Completion, CtrlConfig, CtrlStats};
+use std::collections::{BTreeMap, HashMap};
+
+use crate::{
+    Access, AccessId, AccessKind, Completion, CtrlConfig, CtrlStats, StallDiagnostic,
+};
 use burst_dram::{Command, Cycle, Dram, Geometry, Loc, RowState};
 
 /// The access a bank is currently working on.
@@ -46,6 +50,9 @@ pub struct Candidate {
     /// conventional schedulers commit by policy order and may pick a
     /// blocked one, wasting the cycle (the paper's "bubble cycles").
     pub unblocked: bool,
+    /// Whether the access exceeded the watchdog's escalation age; the
+    /// transaction schedulers give escalated candidates top priority.
+    pub escalated: bool,
 }
 
 /// Shared bookkeeping core embedded by each mechanism.
@@ -59,6 +66,17 @@ pub struct Core {
     stats: CtrlStats,
     reads_outstanding: usize,
     writes_outstanding: usize,
+    /// Arrival cycle of every outstanding access, keyed by id. Ids and
+    /// arrivals are both monotone, so the first entry is the oldest access.
+    ages: BTreeMap<AccessId, Cycle>,
+    /// Attempt counts of accesses that have faulted at least once.
+    attempts: HashMap<AccessId, u32>,
+    /// Faulted accesses awaiting re-enqueue by the mechanism's tick.
+    retry_pending: Vec<Access>,
+    /// Cycle of the last forward progress (transaction issue or arrival).
+    last_progress: Cycle,
+    /// Latched forward-progress failure, if any.
+    stall: Option<StallDiagnostic>,
 }
 
 impl Core {
@@ -75,6 +93,11 @@ impl Core {
             last_rank: vec![None; nch],
             reads_outstanding: 0,
             writes_outstanding: 0,
+            ages: BTreeMap::new(),
+            attempts: HashMap::new(),
+            retry_pending: Vec::new(),
+            last_progress: 0,
+            stall: None,
         }
     }
 
@@ -147,11 +170,15 @@ impl Core {
     }
 
     /// Records an access entering the controller (enqueue).
-    pub fn note_arrival(&mut self, kind: AccessKind) {
-        match kind {
+    pub fn note_arrival(&mut self, access: &Access) {
+        match access.kind {
             AccessKind::Read => self.reads_outstanding += 1,
             AccessKind::Write => self.writes_outstanding += 1,
         }
+        self.ages.insert(access.id, access.arrival);
+        // An arrival is forward progress: the stall clock measures time
+        // with a *static* outstanding set and no issue.
+        self.last_progress = self.last_progress.max(access.arrival);
     }
 
     /// Records a read leaving via write-queue forwarding (never counted as
@@ -183,12 +210,19 @@ impl Core {
 
     /// Installs `access` as the bank's ongoing access.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Debug-asserts the slot is empty.
-    pub fn set_ongoing(&mut self, bank: usize, access: Access) {
-        debug_assert!(self.ongoing[bank].is_none(), "bank {bank} already has an ongoing access");
+    /// Returns the access back if the slot is already occupied — a bank
+    /// arbiter bug that previously only debug-asserted; in release builds
+    /// it silently dropped the displaced access. Callers must handle or
+    /// `expect` the result.
+    #[must_use = "an occupied slot returns the access back; dropping it loses the access"]
+    pub fn set_ongoing(&mut self, bank: usize, access: Access) -> Result<(), Access> {
+        if self.ongoing[bank].is_some() {
+            return Err(access);
+        }
         self.ongoing[bank] = Some(Ongoing { access, started: false });
+        Ok(())
     }
 
     /// Removes and returns the bank's ongoing access (read preemption).
@@ -247,6 +281,7 @@ impl Core {
     ) {
         out.clear();
         let ch = dram.channel(channel);
+        let escalate_age = self.cfg.watchdog.escalate_age;
         for bank in self.bank_range(channel) {
             if let Some(og) = &self.ongoing[bank] {
                 let cmd = self.next_command(og.access.loc, og.access.kind, dram);
@@ -261,6 +296,7 @@ impl Core {
                         id: og.access.id,
                         started: og.started,
                         unblocked,
+                        escalated: now.saturating_sub(og.access.arrival) >= escalate_age,
                     });
                 }
             }
@@ -304,13 +340,35 @@ impl Core {
             if !og.started {
                 og.started = true;
                 self.stats.classify(state);
+                // Count each access that begins service past the watchdog's
+                // escalation age exactly once, regardless of which arbiter
+                // path promoted it.
+                if cand.escalated {
+                    self.stats.escalations += 1;
+                }
             }
         }
         let issued = dram.channel_mut(chan).issue(&cand.cmd, now);
         self.last_bank[chan] = Some(cand.bank);
         self.last_rank[chan] = Some(cand.loc.rank);
+        self.last_progress = now;
         if cand.cmd.is_column() {
             let og = self.ongoing[cand.bank].take().expect("column without ongoing access");
+            // Fault injection: the data transfer happened but is declared
+            // bad (ECC read error / write CRC retry). The access stays
+            // outstanding and re-enters its queue via `take_retries`.
+            if let Some(fc) = self.cfg.faults {
+                let attempt = self.attempts.get(&og.access.id).copied().unwrap_or(0);
+                if attempt < fc.max_retries
+                    && fc.should_fault(og.access.id, og.access.kind, attempt)
+                {
+                    self.attempts.insert(og.access.id, attempt + 1);
+                    self.stats.faults_injected += 1;
+                    self.stats.retries += 1;
+                    self.retry_pending.push(og.access);
+                    return true;
+                }
+            }
             let latency = issued.data_end - og.access.arrival;
             match og.access.kind {
                 AccessKind::Read => {
@@ -322,6 +380,9 @@ impl Core {
                     self.writes_outstanding -= 1;
                 }
             }
+            self.ages.remove(&og.access.id);
+            self.attempts.remove(&og.access.id);
+            self.stats.max_access_age = self.stats.max_access_age.max(latency);
             completions.push(Completion {
                 id: og.access.id,
                 kind: og.access.kind,
@@ -333,6 +394,59 @@ impl Core {
         } else {
             false
         }
+    }
+
+    /// Drains the faulted accesses awaiting retry. The mechanism's tick
+    /// must re-enqueue each at the *front* of its queue (retries are the
+    /// oldest work the bank has) without re-counting it as an arrival.
+    pub fn take_retries(&mut self) -> Vec<Access> {
+        std::mem::take(&mut self.retry_pending)
+    }
+
+    /// Retry attempts recorded for `id` (0 for accesses that never
+    /// faulted).
+    pub fn retry_count(&self, id: AccessId) -> u32 {
+        self.attempts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// The id and age (at `now`) of the oldest outstanding access.
+    pub fn oldest_outstanding(&self, now: Cycle) -> Option<(AccessId, Cycle)> {
+        self.ages
+            .iter()
+            .next()
+            .map(|(&id, &arrival)| (id, now.saturating_sub(arrival)))
+    }
+
+    /// Advances the forward-progress watchdog; call once per tick. Latches
+    /// a [`StallDiagnostic`] (once) when outstanding accesses have seen no
+    /// transaction issue or arrival for longer than the stall limit.
+    pub fn watchdog_tick(&mut self, now: Cycle) {
+        let outstanding = self.reads_outstanding + self.writes_outstanding;
+        if outstanding == 0 {
+            self.last_progress = now;
+            return;
+        }
+        let oldest = self.oldest_outstanding(now);
+        if let Some((_, age)) = oldest {
+            self.stats.max_access_age = self.stats.max_access_age.max(age);
+        }
+        if self.stall.is_none() && now.saturating_sub(self.last_progress) > self.cfg.watchdog.stall_limit
+        {
+            self.stats.watchdog_trips += 1;
+            self.stall = Some(StallDiagnostic {
+                since: self.last_progress,
+                at: now,
+                reads: self.reads_outstanding,
+                writes: self.writes_outstanding,
+                oldest_id: oldest.map(|(id, _)| id),
+                oldest_age: oldest.map(|(_, age)| age).unwrap_or(0),
+            });
+        }
+    }
+
+    /// The latched forward-progress failure, if the watchdog tripped.
+    pub fn stall(&self) -> Option<StallDiagnostic> {
+        self.stall
     }
 
     /// Per-cycle statistics sampling; call once per tick.
@@ -404,8 +518,8 @@ mod tests {
         let (mut core, mut dram) = setup();
         let loc = Loc::new(0, 0, 0, 5, 0);
         let acc = access(1, AccessKind::Read, loc);
-        core.note_arrival(acc.kind);
-        core.set_ongoing(core.global_bank(loc), acc);
+        core.note_arrival(&acc);
+        core.set_ongoing(core.global_bank(loc), acc).unwrap();
         let mut done = Vec::new();
         let mut cands = Vec::new();
         let mut now = 0;
@@ -431,8 +545,9 @@ mod tests {
         let cfg = CtrlConfig { pool_capacity: 4, write_capacity: 2, ..CtrlConfig::default() };
         let mut core = Core::new(cfg, Geometry::baseline());
         assert!(core.can_accept(AccessKind::Read));
-        core.note_arrival(AccessKind::Write);
-        core.note_arrival(AccessKind::Write);
+        let loc = Loc::new(0, 0, 0, 0, 0);
+        core.note_arrival(&access(0, AccessKind::Write, loc));
+        core.note_arrival(&access(1, AccessKind::Write, loc));
         // Write queue saturated: nothing is accepted any more.
         assert!(!core.can_accept(AccessKind::Read));
         assert!(!core.can_accept(AccessKind::Write));
@@ -443,8 +558,8 @@ mod tests {
         let (mut core, _) = setup();
         let l1 = Loc::new(0, 2, 1, 5, 0);
         let l2 = Loc::new(0, 1, 0, 9, 0);
-        core.set_ongoing(core.global_bank(l1), access(10, AccessKind::Read, l1));
-        core.set_ongoing(core.global_bank(l2), access(3, AccessKind::Read, l2));
+        core.set_ongoing(core.global_bank(l1), access(10, AccessKind::Read, l1)).unwrap();
+        core.set_ongoing(core.global_bank(l2), access(3, AccessKind::Read, l2)).unwrap();
         core.steer_to_oldest(0);
         let (bank, rank) = core.last_target(0);
         assert_eq!(bank, Some(core.global_bank(l2)));
@@ -455,9 +570,88 @@ mod tests {
     fn clear_ongoing_returns_access() {
         let (mut core, _) = setup();
         let loc = Loc::new(0, 0, 0, 5, 0);
-        core.set_ongoing(0, access(7, AccessKind::Write, loc));
+        core.set_ongoing(0, access(7, AccessKind::Write, loc)).unwrap();
         let got = core.clear_ongoing(0).expect("was set");
         assert_eq!(got.id, AccessId::new(7));
         assert!(core.ongoing(0).is_none());
+    }
+
+    #[test]
+    fn set_ongoing_refuses_overwrite_and_returns_access() {
+        let (mut core, _) = setup();
+        let loc = Loc::new(0, 0, 0, 5, 0);
+        core.set_ongoing(0, access(1, AccessKind::Read, loc)).unwrap();
+        let rejected = core
+            .set_ongoing(0, access(2, AccessKind::Read, loc))
+            .expect_err("occupied slot must reject");
+        assert_eq!(rejected.id, AccessId::new(2), "the displaced access comes back");
+        assert_eq!(core.ongoing(0).unwrap().access.id, AccessId::new(1));
+    }
+
+    #[test]
+    fn watchdog_latches_stall_diagnostic() {
+        let cfg = CtrlConfig {
+            watchdog: crate::WatchdogConfig { escalate_age: 100, stall_limit: 500 },
+            ..CtrlConfig::default()
+        };
+        let mut core = Core::new(cfg, Geometry::baseline());
+        let loc = Loc::new(0, 0, 0, 5, 0);
+        let acc = access(3, AccessKind::Read, loc);
+        core.note_arrival(&acc);
+        // Nothing ever issues: the stall clock runs out.
+        for now in 0..400 {
+            core.watchdog_tick(now);
+        }
+        assert!(core.stall().is_none(), "within the limit: no trip");
+        for now in 400..1000 {
+            core.watchdog_tick(now);
+        }
+        let d = core.stall().expect("stall limit exceeded");
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.oldest_id, Some(AccessId::new(3)));
+        assert!(d.oldest_age >= 500, "age at detection: {}", d.oldest_age);
+        assert_eq!(core.stats().watchdog_trips, 1, "latched exactly once");
+        // Still latched once even as ticks continue.
+        core.watchdog_tick(2000);
+        assert_eq!(core.stats().watchdog_trips, 1);
+    }
+
+    #[test]
+    fn fault_injection_retries_then_completes() {
+        // 100% read-fault rate with 2 retries: the access faults twice,
+        // then completes on the third attempt.
+        let cfg = CtrlConfig {
+            faults: Some(crate::FaultConfig {
+                seed: 1,
+                read_error_permille: 1000,
+                write_retry_permille: 1000,
+                max_retries: 2,
+            }),
+            ..CtrlConfig::default()
+        };
+        let mut core = Core::new(cfg, Geometry::baseline());
+        let mut dram = Dram::new(DramConfig::baseline(), AddressMapping::PageInterleaving);
+        let loc = Loc::new(0, 0, 0, 5, 0);
+        let acc = access(1, AccessKind::Read, loc);
+        core.note_arrival(&acc);
+        core.set_ongoing(core.global_bank(loc), acc).unwrap();
+        let mut done = Vec::new();
+        let mut cands = Vec::new();
+        let mut now = 0;
+        while done.is_empty() {
+            core.fill_candidates(&dram, 0, now, &mut cands);
+            if let Some(c) = cands.first().copied() {
+                core.issue_candidate(&mut dram, now, &c, &mut done);
+            }
+            for retry in core.take_retries() {
+                core.set_ongoing(core.global_bank(retry.loc), retry).unwrap();
+            }
+            now += 1;
+            assert!(now < 1000, "faulted access must still complete");
+        }
+        assert_eq!(core.stats().faults_injected, 2, "max_retries bounds the faults");
+        assert_eq!(core.stats().retries, 2);
+        assert_eq!(done.len(), 1);
+        assert_eq!(core.reads_outstanding(), 0);
     }
 }

@@ -37,21 +37,26 @@
 
 mod access;
 pub mod engine;
+mod faults;
 mod mechanisms;
 mod stats;
 pub mod txsched;
+mod watchdog;
 
 pub use access::{Access, AccessId, AccessKind, Completion, EnqueueOutcome, Outstanding};
+pub use faults::FaultConfig;
 pub use mechanisms::{
     AccessScheduler, AdaptiveHistoryScheduler, BkInOrderScheduler, BurstOptions, BurstScheduler,
     IntelScheduler, Mechanism, RowHitScheduler,
 };
 pub use stats::{CtrlStats, LatencyHistogram, OccupancyHistogram};
+pub use watchdog::{StallDiagnostic, WatchdogConfig};
 
 use burst_dram::RowPolicy;
 
 /// Memory-controller configuration (paper Table 3: a 256-entry access pool
-/// holding at most 64 writes, open-page row policy).
+/// holding at most 64 writes, open-page row policy), plus the robustness
+/// layer's knobs (watchdog thresholds, optional fault injection).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CtrlConfig {
     /// Total outstanding accesses the controller holds (reads + writes).
@@ -60,12 +65,23 @@ pub struct CtrlConfig {
     pub write_capacity: usize,
     /// Static row-management policy.
     pub row_policy: RowPolicy,
+    /// Starvation-watchdog thresholds (defaults are paper-neutral).
+    pub watchdog: WatchdogConfig,
+    /// Deterministic fault injection; `None` disables it (the default).
+    pub faults: Option<FaultConfig>,
 }
 
 impl CtrlConfig {
-    /// The paper's baseline: pool of 256 with at most 64 writes, open page.
+    /// The paper's baseline: pool of 256 with at most 64 writes, open page,
+    /// watchdog at its paper-neutral defaults, no fault injection.
     pub fn baseline() -> Self {
-        CtrlConfig { pool_capacity: 256, write_capacity: 64, row_policy: RowPolicy::OpenPage }
+        CtrlConfig {
+            pool_capacity: 256,
+            write_capacity: 64,
+            row_policy: RowPolicy::OpenPage,
+            watchdog: WatchdogConfig::baseline(),
+            faults: None,
+        }
     }
 }
 
@@ -85,6 +101,8 @@ mod tests {
         assert_eq!(c.pool_capacity, 256);
         assert_eq!(c.write_capacity, 64);
         assert_eq!(c.row_policy, RowPolicy::OpenPage);
+        assert_eq!(c.watchdog, WatchdogConfig::baseline());
+        assert_eq!(c.faults, None, "fault injection is opt-in");
         assert_eq!(CtrlConfig::default(), c);
     }
 }

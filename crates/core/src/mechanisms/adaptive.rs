@@ -105,12 +105,34 @@ impl AdaptiveHistoryScheduler {
         queue.remove(idx)
     }
 
-    fn arbiter(&mut self, bank_idx: usize, dram: &Dram) {
+    fn arbiter(&mut self, bank_idx: usize, dram: &Dram, now: Cycle) {
         if self.core.ongoing(bank_idx).is_some() {
             return;
         }
         let (ch, rank, bk) = self.core.bank_coords(bank_idx);
         let open_row = dram.channel(usize::from(ch)).bank(rank, bk).open_row();
+        // Starvation watchdog: an access past the escalation age overrides
+        // history matching and row-hit preference — serve it oldest-first.
+        let escalate_age = self.core.cfg().watchdog.escalate_age;
+        let oldest_read = self.read_queues[bank_idx].front().map(|a| (a.arrival, a.kind));
+        let oldest_write = self.write_queues[bank_idx].front().map(|a| (a.arrival, a.kind));
+        if let Some((arrival, kind)) = [oldest_read, oldest_write].into_iter().flatten().min() {
+            if now.saturating_sub(arrival) >= escalate_age {
+                let access = match kind {
+                    AccessKind::Read => self.read_queues[bank_idx].pop_front(),
+                    AccessKind::Write => self.write_queues[bank_idx].pop_front(),
+                }
+                .expect("front exists");
+                match access.kind {
+                    AccessKind::Read => self.issued_reads += 1,
+                    AccessKind::Write => self.issued_writes += 1,
+                }
+                self.core
+                    .set_ongoing(bank_idx, access)
+                    .expect("bank verified idle before escalation");
+                return;
+            }
+        }
         // A saturated write queue overrides history matching.
         let full = self.core.writes_outstanding() >= self.core.cfg().write_capacity;
         let prefer_read = !full && self.wants_read();
@@ -130,7 +152,9 @@ impl AdaptiveHistoryScheduler {
                 self.issued_reads /= 2;
                 self.issued_writes /= 2;
             }
-            self.core.set_ongoing(bank_idx, access);
+            self.core
+                .set_ongoing(bank_idx, access)
+                .expect("bank verified idle at arbiter entry");
         }
     }
 }
@@ -150,7 +174,9 @@ impl AccessScheduler for AdaptiveHistoryScheduler {
         now: Cycle,
         completions: &mut Vec<Completion>,
     ) -> EnqueueOutcome {
-        debug_assert!(self.can_accept(access.kind));
+        if !self.can_accept(access.kind) {
+            return EnqueueOutcome::Rejected;
+        }
         let bank_idx = self.core.global_bank(access.loc);
         self.note_history(access.kind);
         match access.kind {
@@ -167,11 +193,11 @@ impl AccessScheduler for AdaptiveHistoryScheduler {
                     self.core.note_forward(&access, now, completions);
                     return EnqueueOutcome::Forwarded;
                 }
-                self.core.note_arrival(access.kind);
+                self.core.note_arrival(&access);
                 self.read_queues[bank_idx].push_back(access);
             }
             AccessKind::Write => {
-                self.core.note_arrival(access.kind);
+                self.core.note_arrival(&access);
                 self.write_queues[bank_idx].push_back(access);
             }
         }
@@ -181,9 +207,17 @@ impl AccessScheduler for AdaptiveHistoryScheduler {
     fn tick(&mut self, dram: &mut Dram, now: Cycle, completions: &mut Vec<Completion>) {
         dram.tick(now);
         self.core.sample();
+        self.core.watchdog_tick(now);
+        for access in self.core.take_retries() {
+            let bank = self.core.global_bank(access.loc);
+            match access.kind {
+                AccessKind::Read => self.read_queues[bank].push_front(access),
+                AccessKind::Write => self.write_queues[bank].push_front(access),
+            }
+        }
         for channel in 0..self.core.channel_count() {
             for bank in self.core.bank_range(channel) {
-                self.arbiter(bank, dram);
+                self.arbiter(bank, dram, now);
             }
             let mut cands = std::mem::take(&mut self.scratch);
             self.core.fill_all_candidates(dram, channel, now, &mut cands);
@@ -206,6 +240,10 @@ impl AccessScheduler for AdaptiveHistoryScheduler {
             reads: self.core.reads_outstanding(),
             writes: self.core.writes_outstanding(),
         }
+    }
+
+    fn stall_diagnostic(&self) -> Option<crate::StallDiagnostic> {
+        self.core.stall()
     }
 }
 

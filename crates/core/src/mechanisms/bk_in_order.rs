@@ -68,8 +68,10 @@ impl AccessScheduler for BkInOrderScheduler {
         _now: Cycle,
         _completions: &mut Vec<Completion>,
     ) -> EnqueueOutcome {
-        debug_assert!(self.can_accept(access.kind));
-        self.core.note_arrival(access.kind);
+        if !self.can_accept(access.kind) {
+            return EnqueueOutcome::Rejected;
+        }
+        self.core.note_arrival(&access);
         let bank = self.core.global_bank(access.loc);
         self.queues[bank].push_back(access);
         EnqueueOutcome::Queued
@@ -78,12 +80,24 @@ impl AccessScheduler for BkInOrderScheduler {
     fn tick(&mut self, dram: &mut Dram, now: Cycle, completions: &mut Vec<Completion>) {
         dram.tick(now);
         self.core.sample();
+        self.core.watchdog_tick(now);
+        // Faulted accesses retry at the front: intra-bank order is
+        // preserved because a retry is the bank's oldest access anyway.
+        for access in self.core.take_retries() {
+            let bank = self.core.global_bank(access.loc);
+            self.queues[bank].push_front(access);
+        }
         for channel in 0..self.core.channel_count() {
-            // In order intra bank: each idle bank takes its queue head.
+            // In order intra bank: each idle bank takes its queue head —
+            // already oldest-first, so watchdog escalation needs no
+            // intra-bank override here (candidates still carry the
+            // escalated flag for the transaction scheduler).
             for bank in self.core.bank_range(channel) {
                 if self.core.ongoing(bank).is_none() {
                     if let Some(access) = self.queues[bank].pop_front() {
-                        self.core.set_ongoing(bank, access);
+                        self.core
+                            .set_ongoing(bank, access)
+                            .expect("bank verified idle before pop");
                     }
                 }
             }
@@ -109,5 +123,9 @@ impl AccessScheduler for BkInOrderScheduler {
             reads: self.core.reads_outstanding(),
             writes: self.core.writes_outstanding(),
         }
+    }
+
+    fn stall_diagnostic(&self) -> Option<crate::StallDiagnostic> {
+        self.core.stall()
     }
 }

@@ -205,8 +205,30 @@ impl BurstScheduler {
         bank.writes.remove(idx)
     }
 
+    /// Re-enqueues a faulted access at the very front of its queue: a
+    /// retry is the oldest work its bank has.
+    fn requeue_front(&mut self, access: Access) {
+        let bank_idx = self.core.global_bank(access.loc);
+        let bank = &mut self.banks[bank_idx];
+        match access.kind {
+            AccessKind::Read => {
+                if let Some(front) = bank.bursts.front_mut() {
+                    if front.row == access.loc.row {
+                        front.accesses.push_front(access);
+                        return;
+                    }
+                }
+                bank.bursts.push_front(Burst {
+                    row: access.loc.row,
+                    accesses: VecDeque::from([access]),
+                });
+            }
+            AccessKind::Write => bank.writes.push_front(access),
+        }
+    }
+
     /// The bank arbiter subroutine (Figure 5), run per bank per cycle.
-    fn bank_arbiter(&mut self, bank_idx: usize, dram: &Dram, _now: Cycle) {
+    fn bank_arbiter(&mut self, bank_idx: usize, dram: &Dram, now: Cycle) {
         let writes_global = self.core.writes_outstanding() as u32;
         let write_cap = self.core.cfg().write_capacity as u32;
 
@@ -214,18 +236,53 @@ impl BurstScheduler {
             // Figure 5 lines 9-11: read preemption — a waiting read
             // interrupts an ongoing write while occupancy is below the
             // threshold. The preempted write restarts later.
+            // An escalated (starvation-aged) write is immune: preempting it
+            // would hand the bank straight back to the read stream that
+            // starved it, re-starving it indefinitely.
             let preemptable = og.access.kind == AccessKind::Write
                 && writes_global < self.opts.preempt_below
+                && now.saturating_sub(og.access.arrival)
+                    < self.core.cfg().watchdog.escalate_age
                 && self.banks[bank_idx].has_reads();
             if preemptable {
                 let write = self.core.clear_ongoing(bank_idx).expect("ongoing write");
                 self.banks[bank_idx].writes.push_front(write);
                 let read = Self::pop_next_read(&mut self.banks[bank_idx]).expect("has_reads");
                 self.banks[bank_idx].at_burst_end = false;
-                self.core.set_ongoing(bank_idx, read);
+                self.core
+                    .set_ongoing(bank_idx, read)
+                    .expect("slot was just cleared for preemption");
                 self.core.stats_mut().preemptions += 1;
             }
             return;
+        }
+
+        // Starvation watchdog: an access past the escalation age bypasses
+        // burst formation and piggyback qualification and is served
+        // oldest-first — a write starved behind an endless read stream is
+        // the canonical case (Section 5.1's pile-up, bounded).
+        let escalate_age = self.core.cfg().watchdog.escalate_age;
+        {
+            let bank = &mut self.banks[bank_idx];
+            let oldest_read =
+                bank.bursts.front().and_then(|b| b.accesses.front()).map(|a| (a.arrival, a.kind));
+            let oldest_write = bank.writes.front().map(|a| (a.arrival, a.kind));
+            if let Some((arrival, kind)) = [oldest_read, oldest_write].into_iter().flatten().min()
+            {
+                if now.saturating_sub(arrival) >= escalate_age {
+                    let access = match kind {
+                        AccessKind::Read => Self::pop_next_read(bank).expect("front read exists"),
+                        AccessKind::Write => {
+                            Self::pop_oldest_write(bank).expect("front write exists")
+                        }
+                    };
+                    bank.at_burst_end = false;
+                    self.core
+                        .set_ongoing(bank_idx, access)
+                        .expect("bank verified idle before escalation");
+                    return;
+                }
+            }
         }
 
         let open_row = {
@@ -269,7 +326,9 @@ impl BurstScheduler {
                 // Any non-piggyback pick leaves the burst-end window.
                 self.banks[bank_idx].at_burst_end = false;
             }
-            self.core.set_ongoing(bank_idx, access);
+            self.core
+                .set_ongoing(bank_idx, access)
+                .expect("bank verified idle at arbiter entry");
         }
     }
 
@@ -302,7 +361,9 @@ impl AccessScheduler for BurstScheduler {
         _now: Cycle,
         completions: &mut Vec<Completion>,
     ) -> EnqueueOutcome {
-        debug_assert!(self.can_accept(access.kind));
+        if !self.can_accept(access.kind) {
+            return EnqueueOutcome::Rejected;
+        }
         let bank_idx = self.core.global_bank(access.loc);
         match access.kind {
             AccessKind::Read => {
@@ -326,7 +387,7 @@ impl AccessScheduler for BurstScheduler {
                 }
                 // Figure 4 lines 5-8: join an existing burst or append a new
                 // single-access burst at the end of the read queue.
-                self.core.note_arrival(access.kind);
+                self.core.note_arrival(&access);
                 self.window_reads += 1;
                 let bank = &mut self.banks[bank_idx];
                 if let Some(burst) =
@@ -355,7 +416,7 @@ impl AccessScheduler for BurstScheduler {
             AccessKind::Write => {
                 // Figure 4 lines 9-10: writes enter the write queue in order
                 // and complete immediately from the CPU's view.
-                self.core.note_arrival(access.kind);
+                self.core.note_arrival(&access);
                 self.window_writes += 1;
                 self.banks[bank_idx].writes.push_back(access);
                 EnqueueOutcome::Queued
@@ -366,6 +427,10 @@ impl AccessScheduler for BurstScheduler {
     fn tick(&mut self, dram: &mut Dram, now: Cycle, completions: &mut Vec<Completion>) {
         dram.tick(now);
         self.core.sample();
+        self.core.watchdog_tick(now);
+        for access in self.core.take_retries() {
+            self.requeue_front(access);
+        }
         self.adapt_threshold(now);
         for channel in 0..self.core.channel_count() {
             for bank_idx in self.core.bank_range(channel) {
@@ -421,6 +486,10 @@ impl AccessScheduler for BurstScheduler {
             reads: self.core.reads_outstanding(),
             writes: self.core.writes_outstanding(),
         }
+    }
+
+    fn stall_diagnostic(&self) -> Option<crate::StallDiagnostic> {
+        self.core.stall()
     }
 }
 
@@ -610,6 +679,60 @@ mod tests {
             "read flood should raise the threshold, got {}",
             s.current_threshold()
         );
+    }
+
+    #[test]
+    fn starved_write_escalates_and_completes() {
+        // A lone write to row 7 behind an endless read stream to row 5
+        // starves under plain Burst_TH (no piggyback qualifies, reads are
+        // never exhausted). A small escalation age promotes it.
+        let cfg = DramConfig::baseline();
+        let ctrl = CtrlConfig {
+            watchdog: crate::WatchdogConfig { escalate_age: 400, stall_limit: 1_000_000 },
+            ..CtrlConfig::default()
+        };
+        let mut s = BurstScheduler::new(ctrl, cfg.geometry, th(52));
+        let mut dram = Dram::new(cfg, AddressMapping::PageInterleaving);
+        let mut done = Vec::new();
+        s.enqueue(write(0, 0, 7, 0), 0, &mut done);
+        let mut id = 1u64;
+        for now in 0..4000u64 {
+            if now % 8 == 0 && s.can_accept(AccessKind::Read) {
+                let a = Access::new(
+                    AccessId::new(id),
+                    AccessKind::Read,
+                    PhysAddr::new(id * 64),
+                    Loc::new(0, 0, 0, 5, ((id * 8) % 512) as u32),
+                    now,
+                );
+                s.enqueue(a, now, &mut done);
+                id += 1;
+            }
+            s.tick(&mut dram, now, &mut done);
+            if done.iter().any(|c| c.id == AccessId::new(0)) {
+                break;
+            }
+        }
+        assert!(
+            done.iter().any(|c| c.id == AccessId::new(0)),
+            "escalated write must complete despite the read stream"
+        );
+        assert!(s.stats().escalations >= 1, "the watchdog must have escalated it");
+        assert!(s.stall_diagnostic().is_none(), "progress was continuous: no stall");
+    }
+
+    #[test]
+    fn rejected_when_pool_full() {
+        let cfg = DramConfig::baseline();
+        let ctrl = CtrlConfig { pool_capacity: 2, write_capacity: 2, ..CtrlConfig::default() };
+        let mut s = BurstScheduler::new(ctrl, cfg.geometry, th(52));
+        let mut done = Vec::new();
+        assert_eq!(s.enqueue(read(0, 0, 5, 0), 0, &mut done), EnqueueOutcome::Queued);
+        assert_eq!(s.enqueue(read(1, 0, 5, 8), 0, &mut done), EnqueueOutcome::Queued);
+        // Pool full: the access is refused, not silently dropped or
+        // miscounted (previously a debug-only assertion).
+        assert_eq!(s.enqueue(read(2, 0, 5, 16), 0, &mut done), EnqueueOutcome::Rejected);
+        assert_eq!(s.outstanding().total(), 2, "rejected access was not recorded");
     }
 
     #[test]

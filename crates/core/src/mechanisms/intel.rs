@@ -84,7 +84,7 @@ impl IntelScheduler {
         self.write_queue.insert(pos, write);
     }
 
-    fn arbiter(&mut self, bank_idx: usize, dram: &Dram) {
+    fn arbiter(&mut self, bank_idx: usize, dram: &Dram, now: Cycle) {
         if let Some(og) = self.core.ongoing(bank_idx) {
             // Intel_RP: a waiting read interrupts an ongoing write —
             // except during a forced write-buffer flush, where preempting
@@ -95,11 +95,30 @@ impl IntelScheduler {
             {
                 let write = self.core.clear_ongoing(bank_idx).expect("ongoing write");
                 self.reinsert_write(write);
-                let read = self.pick_read(bank_idx, dram).expect("read queue non-empty");
-                self.core.set_ongoing(bank_idx, read);
+                let read = self.pick_read(bank_idx, dram, now).expect("read queue non-empty");
+                self.core
+                    .set_ongoing(bank_idx, read)
+                    .expect("slot was just cleared for preemption");
                 self.core.stats_mut().preemptions += 1;
             }
             return;
+        }
+        // Starvation watchdog: the oldest write sits at the queue front
+        // (FIFO plus age-sorted reinsertion). Once it exceeds the
+        // escalation age, drain it even while reads are outstanding —
+        // without this a single write behind an endless read stream never
+        // drains (the queue never fills, reads never reach zero).
+        let escalate_age = self.core.cfg().watchdog.escalate_age;
+        if let Some(front) = self.write_queue.front() {
+            if now.saturating_sub(front.arrival) >= escalate_age
+                && self.core.global_bank(front.loc) == bank_idx
+            {
+                let write = self.write_queue.pop_front().expect("front exists");
+                self.core
+                    .set_ongoing(bank_idx, write)
+                    .expect("bank verified idle before escalation");
+                return;
+            }
         }
         // While the write buffer flushes, idle banks prefer writes so the
         // buffer empties in bursts. Reads keep priority in banks that have
@@ -108,13 +127,17 @@ impl IntelScheduler {
         // as Burst.
         if self.draining || self.core.reads_outstanding() == 0 {
             if let Some(write) = self.pop_write_for_bank(bank_idx) {
-                self.core.set_ongoing(bank_idx, write);
+                self.core
+                    .set_ongoing(bank_idx, write)
+                    .expect("bank verified idle at arbiter entry");
                 return;
             }
         }
         if !self.read_queues[bank_idx].is_empty() {
-            let read = self.pick_read(bank_idx, dram).expect("non-empty");
-            self.core.set_ongoing(bank_idx, read);
+            let read = self.pick_read(bank_idx, dram, now).expect("non-empty");
+            self.core
+                .set_ongoing(bank_idx, read)
+                .expect("bank verified idle at arbiter entry");
         }
     }
 
@@ -122,13 +145,23 @@ impl IntelScheduler {
     /// [`Self::REORDER_WINDOW`] queue entries, else the oldest read. The
     /// patent deliberately limits the degree of reordering so started
     /// accesses finish fast; an unbounded row-hit scan would overstate it.
-    fn pick_read(&mut self, bank_idx: usize, dram: &Dram) -> Option<Access> {
+    /// A front read past the watchdog's escalation age is always taken
+    /// first, bypassing the row-hit preference.
+    fn pick_read(&mut self, bank_idx: usize, dram: &Dram, now: Cycle) -> Option<Access> {
+        let escalate_age = self.core.cfg().watchdog.escalate_age;
         let (ch, rank, bk) = self.core.bank_coords(bank_idx);
         let open_row = dram.channel(usize::from(ch)).bank(rank, bk).open_row();
-        let queue = &mut self.read_queues[bank_idx];
-        if queue.is_empty() {
+        if self.read_queues[bank_idx].is_empty() {
             return None;
         }
+        let front_escalated = self.read_queues[bank_idx]
+            .front()
+            .map(|a| now.saturating_sub(a.arrival) >= escalate_age)
+            .unwrap_or(false);
+        if front_escalated {
+            return self.read_queues[bank_idx].pop_front();
+        }
+        let queue = &mut self.read_queues[bank_idx];
         let idx = open_row
             .and_then(|row| {
                 queue
@@ -141,6 +174,18 @@ impl IntelScheduler {
             })
             .unwrap_or(0);
         queue.remove(idx)
+    }
+
+    /// Re-enqueues a faulted access at the front of its queue.
+    fn requeue_front(&mut self, access: Access) {
+        match access.kind {
+            AccessKind::Read => {
+                let bank_idx = self.core.global_bank(access.loc);
+                self.read_queues[bank_idx].push_front(access);
+            }
+            // Age-sorted reinsertion puts the (old) retry near the front.
+            AccessKind::Write => self.reinsert_write(access),
+        }
     }
 }
 
@@ -163,7 +208,9 @@ impl AccessScheduler for IntelScheduler {
         now: Cycle,
         completions: &mut Vec<Completion>,
     ) -> EnqueueOutcome {
-        debug_assert!(self.can_accept(access.kind));
+        if !self.can_accept(access.kind) {
+            return EnqueueOutcome::Rejected;
+        }
         let bank_idx = self.core.global_bank(access.loc);
         match access.kind {
             AccessKind::Read => {
@@ -182,12 +229,12 @@ impl AccessScheduler for IntelScheduler {
                     self.core.note_forward(&access, now, completions);
                     return EnqueueOutcome::Forwarded;
                 }
-                self.core.note_arrival(access.kind);
+                self.core.note_arrival(&access);
                 self.read_queues[bank_idx].push_back(access);
                 EnqueueOutcome::Queued
             }
             AccessKind::Write => {
-                self.core.note_arrival(access.kind);
+                self.core.note_arrival(&access);
                 self.write_queue.push_back(access);
                 EnqueueOutcome::Queued
             }
@@ -197,6 +244,10 @@ impl AccessScheduler for IntelScheduler {
     fn tick(&mut self, dram: &mut Dram, now: Cycle, completions: &mut Vec<Completion>) {
         dram.tick(now);
         self.core.sample();
+        self.core.watchdog_tick(now);
+        for access in self.core.take_retries() {
+            self.requeue_front(access);
+        }
         // The paper's description: writes are selected when the write
         // queue is full (drain until just below capacity) or when no reads
         // are outstanding. This weak write management is what burst
@@ -205,7 +256,7 @@ impl AccessScheduler for IntelScheduler {
         self.draining = occupancy >= self.core.cfg().write_capacity;
         for channel in 0..self.core.channel_count() {
             for bank in self.core.bank_range(channel) {
-                self.arbiter(bank, dram);
+                self.arbiter(bank, dram, now);
             }
             let mut cands = std::mem::take(&mut self.scratch);
             self.core.fill_all_candidates(dram, channel, now, &mut cands);
@@ -228,5 +279,9 @@ impl AccessScheduler for IntelScheduler {
             reads: self.core.reads_outstanding(),
             writes: self.core.writes_outstanding(),
         }
+    }
+
+    fn stall_diagnostic(&self) -> Option<crate::StallDiagnostic> {
+        self.core.stall()
     }
 }

@@ -27,7 +27,10 @@ pub use burst::{BurstOptions, BurstScheduler};
 pub use intel::IntelScheduler;
 pub use row_hit::RowHitScheduler;
 
-use crate::{Access, AccessKind, Completion, CtrlConfig, CtrlStats, EnqueueOutcome, Outstanding};
+use crate::{
+    Access, AccessKind, Completion, CtrlConfig, CtrlStats, EnqueueOutcome, Outstanding,
+    StallDiagnostic,
+};
 use burst_dram::{Cycle, Dram, Geometry};
 
 /// A memory controller scheduling policy: decides the order in which
@@ -54,10 +57,9 @@ pub trait AccessScheduler: core::fmt::Debug {
     /// data and complete immediately: a [`Completion`] is pushed and
     /// [`EnqueueOutcome::Forwarded`] returned.
     ///
-    /// # Panics
-    ///
-    /// May debug-assert if called while [`AccessScheduler::can_accept`] is
-    /// false.
+    /// Calling while [`AccessScheduler::can_accept`] is false returns
+    /// [`EnqueueOutcome::Rejected`] in every build mode; the access is not
+    /// recorded and the caller must hold it and retry.
     fn enqueue(
         &mut self,
         access: Access,
@@ -76,6 +78,12 @@ pub trait AccessScheduler: core::fmt::Debug {
 
     /// Outstanding access counts.
     fn outstanding(&self) -> Outstanding;
+
+    /// The forward-progress failure latched by the starvation watchdog, if
+    /// any. Harnesses should treat `Some` as a fatal diagnostic: the
+    /// controller held outstanding accesses but issued nothing for longer
+    /// than [`crate::WatchdogConfig::stall_limit`] cycles.
+    fn stall_diagnostic(&self) -> Option<StallDiagnostic>;
 }
 
 /// The access reordering mechanisms of the paper's Table 4.

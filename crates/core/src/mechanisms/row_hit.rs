@@ -55,26 +55,39 @@ impl RowHitScheduler {
 
     /// Selects the bank's next ongoing access: oldest row hit against the
     /// open row, else the oldest access. Same-row accesses keep arrival
-    /// order, so same-address hazards cannot reorder.
-    fn arbiter(&mut self, bank_idx: usize, dram: &Dram) {
+    /// order, so same-address hazards cannot reorder. A front (oldest)
+    /// access past the watchdog's escalation age bypasses the row-hit
+    /// preference entirely.
+    fn arbiter(&mut self, bank_idx: usize, dram: &Dram, now: Cycle) {
         if self.core.ongoing(bank_idx).is_some() || self.queues[bank_idx].is_empty() {
             return;
         }
+        let escalate_age = self.core.cfg().watchdog.escalate_age;
+        let front_escalated = self.queues[bank_idx]
+            .front()
+            .map(|a| now.saturating_sub(a.arrival) >= escalate_age)
+            .unwrap_or(false);
         let (ch, rank, bk) = self.core.bank_coords(bank_idx);
         let open_row = dram.channel(usize::from(ch)).bank(rank, bk).open_row();
         let queue = &mut self.queues[bank_idx];
-        let idx = open_row
-            .and_then(|row| {
-                queue
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, a)| a.loc.row == row)
-                    .min_by_key(|(_, a)| a.id)
-                    .map(|(i, _)| i)
-            })
-            .unwrap_or(0);
+        let idx = if front_escalated {
+            0
+        } else {
+            open_row
+                .and_then(|row| {
+                    queue
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| a.loc.row == row)
+                        .min_by_key(|(_, a)| a.id)
+                        .map(|(i, _)| i)
+                })
+                .unwrap_or(0)
+        };
         let access = queue.remove(idx).expect("index in range");
-        self.core.set_ongoing(bank_idx, access);
+        self.core
+            .set_ongoing(bank_idx, access)
+            .expect("bank verified idle at arbiter entry");
     }
 }
 
@@ -93,8 +106,10 @@ impl AccessScheduler for RowHitScheduler {
         _now: Cycle,
         _completions: &mut Vec<Completion>,
     ) -> EnqueueOutcome {
-        debug_assert!(self.can_accept(access.kind));
-        self.core.note_arrival(access.kind);
+        if !self.can_accept(access.kind) {
+            return EnqueueOutcome::Rejected;
+        }
+        self.core.note_arrival(&access);
         let bank = self.core.global_bank(access.loc);
         self.queues[bank].push_back(access);
         EnqueueOutcome::Queued
@@ -103,9 +118,14 @@ impl AccessScheduler for RowHitScheduler {
     fn tick(&mut self, dram: &mut Dram, now: Cycle, completions: &mut Vec<Completion>) {
         dram.tick(now);
         self.core.sample();
+        self.core.watchdog_tick(now);
+        for access in self.core.take_retries() {
+            let bank = self.core.global_bank(access.loc);
+            self.queues[bank].push_front(access);
+        }
         for channel in 0..self.core.channel_count() {
             for bank in self.core.bank_range(channel) {
-                self.arbiter(bank, dram);
+                self.arbiter(bank, dram, now);
             }
             let mut cands = std::mem::take(&mut self.scratch);
             self.core.fill_all_candidates(dram, channel, now, &mut cands);
@@ -129,5 +149,9 @@ impl AccessScheduler for RowHitScheduler {
             reads: self.core.reads_outstanding(),
             writes: self.core.writes_outstanding(),
         }
+    }
+
+    fn stall_diagnostic(&self) -> Option<crate::StallDiagnostic> {
+        self.core.stall()
     }
 }

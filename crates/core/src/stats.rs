@@ -180,6 +180,18 @@ pub struct CtrlStats {
     pub preemptions: u64,
     /// Writes piggybacked onto burst ends (burst WP/TH variants).
     pub piggybacks: u64,
+    /// Faults injected by the deterministic fault injector.
+    pub faults_injected: u64,
+    /// Accesses re-executed after an injected fault.
+    pub retries: u64,
+    /// Accesses escalated by the starvation watchdog (served oldest-first
+    /// after exceeding the escalation age).
+    pub escalations: u64,
+    /// Forward-progress stalls latched by the watchdog.
+    pub watchdog_trips: u64,
+    /// Largest observed access age (arrival to completion, or to the
+    /// current cycle for still-outstanding accesses), in memory cycles.
+    pub max_access_age: u64,
     /// Distribution of outstanding reads (Figures 8a / 11a).
     pub outstanding_reads: OccupancyHistogram,
     /// Distribution of outstanding writes (Figures 8b / 11b).
@@ -206,6 +218,11 @@ impl CtrlStats {
             write_saturated_cycles: 0,
             preemptions: 0,
             piggybacks: 0,
+            faults_injected: 0,
+            retries: 0,
+            escalations: 0,
+            watchdog_trips: 0,
+            max_access_age: 0,
             outstanding_reads: OccupancyHistogram::new(pool_capacity),
             outstanding_writes: OccupancyHistogram::new(pool_capacity),
             read_latencies: LatencyHistogram::new(),

@@ -59,9 +59,13 @@ pub fn select_table2(
     last_bank: Option<usize>,
     last_rank: Option<u8>,
 ) -> Option<Candidate> {
+    // Watchdog-escalated accesses outrank the whole table: bounded worst
+    // case beats streaming preference once an access is already starved.
     cands
         .iter()
-        .min_by_key(|c| (PriorityTable::priority(c, last_bank, last_rank), c.arrival, c.id))
+        .min_by_key(|c| {
+            (!c.escalated, PriorityTable::priority(c, last_bank, last_rank), c.arrival, c.id)
+        })
         .copied()
 }
 
@@ -97,7 +101,7 @@ pub fn select_round_robin_limited(
     let pointer = (*next_bank).clamp(start, bank_range.end - 1);
     let key = |bank: usize| (bank + len - pointer) % len;
     let mut ordered: Vec<&Candidate> = cands.iter().collect();
-    ordered.sort_by_key(|c| (key(c.bank), c.arrival, c.id));
+    ordered.sort_by_key(|c| (!c.escalated, key(c.bank), c.arrival, c.id));
     let chosen = ordered
         .into_iter()
         .take(lookahead.max(1))
@@ -121,7 +125,7 @@ pub fn select_intel(cands: &[Candidate]) -> Option<Candidate> {
 /// the cycle bubbles.
 pub fn select_intel_limited(cands: &[Candidate], lookahead: usize) -> Option<Candidate> {
     let mut ordered: Vec<&Candidate> = cands.iter().collect();
-    ordered.sort_by_key(|c| (!c.started, c.arrival, !c.kind.is_read(), c.id));
+    ordered.sort_by_key(|c| (!c.escalated, !c.started, c.arrival, !c.kind.is_read(), c.id));
     ordered.into_iter().take(lookahead.max(1)).find(|c| c.unblocked).copied()
 }
 
@@ -141,7 +145,17 @@ mod tests {
         started: bool,
     ) -> Candidate {
         let loc = Loc::new(0, rank, bank as u8, 0, 0);
-        Candidate { bank, cmd, loc, kind, arrival, id: AccessId::new(id), started, unblocked: true }
+        Candidate {
+            bank,
+            cmd,
+            loc,
+            kind,
+            arrival,
+            id: AccessId::new(id),
+            started,
+            unblocked: true,
+            escalated: false,
+        }
     }
 
     fn col(loc_rank: u8, bank: usize) -> Command {
@@ -235,6 +249,23 @@ mod tests {
     fn round_robin_empty_is_none() {
         let mut ptr = 0usize;
         assert!(select_round_robin(&[], &mut ptr, 0..4).is_none());
+    }
+
+    #[test]
+    fn escalated_candidate_outranks_the_whole_table() {
+        // Lowest Table 2 priority (other-rank write column, 8) but
+        // escalated: it must beat the same-bank read column (priority 1).
+        let best = cand(1, 0, AccessKind::Read, col(0, 1), 0, 1, true);
+        let mut starved =
+            cand(8, 1, AccessKind::Write, Command::write(Loc::new(0, 1, 0, 0, 0)), 0, 2, true);
+        starved.escalated = true;
+        let picked = select_table2(&[best, starved], Some(1), Some(0)).unwrap();
+        assert_eq!(picked.bank, 8, "escalated access gets top priority");
+        let intel_picked = select_intel(&[best, starved]).unwrap();
+        assert_eq!(intel_picked.bank, 8);
+        let mut ptr = 0usize;
+        let rr = select_round_robin(&[best, starved], &mut ptr, 0..16).unwrap();
+        assert_eq!(rr.bank, 8, "round robin also serves escalated first");
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Starvation watchdog: per-access ageing, escalation, and forward-progress
+//! stall detection.
+//!
+//! Access reordering mechanisms trade fairness for throughput — writes in
+//! particular can wait behind an unbounded read stream (paper Section 5.1).
+//! The watchdog bounds that wait: once an access's age exceeds
+//! [`WatchdogConfig::escalate_age`] the bank arbiter serves it oldest-first,
+//! bypassing row-hit/burst preference, and the transaction scheduler gives
+//! its transactions top priority. Independently, if the controller holds
+//! outstanding accesses but issues *nothing* for
+//! [`WatchdogConfig::stall_limit`] cycles, a structured
+//! [`StallDiagnostic`] is latched instead of hanging the simulation.
+
+use crate::AccessId;
+use burst_dram::Cycle;
+
+/// Watchdog thresholds, in memory cycles.
+///
+/// The defaults are far above any latency the paper's mechanisms produce,
+/// so paper-fidelity behaviour is unchanged unless a run actually starves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WatchdogConfig {
+    /// An access older than this is *escalated*: served oldest-first by the
+    /// bank arbiter and prioritised by the transaction scheduler.
+    pub escalate_age: Cycle,
+    /// With outstanding accesses but no transaction issued (and no arrival)
+    /// for this many cycles, the controller latches a [`StallDiagnostic`].
+    pub stall_limit: Cycle,
+}
+
+impl WatchdogConfig {
+    /// Paper-neutral defaults: escalate after 100k cycles, declare a stall
+    /// after 1M cycles without progress.
+    pub fn baseline() -> Self {
+        WatchdogConfig { escalate_age: 100_000, stall_limit: 1_000_000 }
+    }
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig::baseline()
+    }
+}
+
+/// A latched forward-progress failure: the controller held outstanding
+/// accesses yet issued no transaction for longer than the stall limit.
+///
+/// Carried as a structured error (not a panic) so harnesses can report the
+/// stuck state — which access is oldest, how long nothing has moved — and
+/// fail the run cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StallDiagnostic {
+    /// Cycle of the last forward progress (issue or arrival).
+    pub since: Cycle,
+    /// Cycle at which the stall was detected.
+    pub at: Cycle,
+    /// Outstanding reads at detection time.
+    pub reads: usize,
+    /// Outstanding writes at detection time.
+    pub writes: usize,
+    /// The oldest outstanding access, if known.
+    pub oldest_id: Option<AccessId>,
+    /// Age of the oldest outstanding access at detection time.
+    pub oldest_age: Cycle,
+}
+
+impl core::fmt::Display for StallDiagnostic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "no forward progress since cycle {} (detected at {}): {} reads + {} writes outstanding",
+            self.since, self.at, self.reads, self.writes
+        )?;
+        if let Some(id) = self.oldest_id {
+            write!(f, ", oldest access {id} aged {} cycles", self.oldest_age)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_thresholds_are_paper_neutral() {
+        let w = WatchdogConfig::baseline();
+        assert!(w.escalate_age >= 100_000);
+        assert!(w.stall_limit > w.escalate_age);
+        assert_eq!(WatchdogConfig::default(), w);
+    }
+
+    #[test]
+    fn diagnostic_display_names_the_oldest_access() {
+        let d = StallDiagnostic {
+            since: 10,
+            at: 1_000_010,
+            reads: 3,
+            writes: 1,
+            oldest_id: Some(AccessId::new(42)),
+            oldest_age: 999_990,
+        };
+        let s = d.to_string();
+        assert!(s.contains("since cycle 10"), "{s}");
+        assert!(s.contains("#42"), "{s}");
+        assert!(s.contains("3 reads"), "{s}");
+    }
+}

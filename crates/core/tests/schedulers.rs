@@ -256,6 +256,9 @@ fn raw_hazard_order_all_mechanisms() {
                     "{m}: read of same line must not pass the older write"
                 );
             }
+            EnqueueOutcome::Rejected => {
+                panic!("{m}: controller rejected an access with an empty pool")
+            }
         }
     }
 }

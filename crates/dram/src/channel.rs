@@ -8,7 +8,7 @@
 //! utilisation statistics.
 
 use crate::{
-    Bank, BusStats, Command, Cycle, Dir, DramConfig, Issued, Loc, Rank, RowState,
+    Bank, BusStats, Command, Cycle, Dir, DramConfig, Issued, Loc, ProtocolChecker, Rank, RowState,
 };
 
 /// A single memory channel with its ranks, banks and busses.
@@ -42,6 +42,7 @@ pub struct Channel {
     stats: BusStats,
     recording: bool,
     events: Vec<IssueEvent>,
+    checker: Option<Box<ProtocolChecker>>,
 }
 
 /// One recorded command issue (see [`Channel::record_events`]): what was
@@ -79,7 +80,23 @@ impl Channel {
             stats: BusStats::new(),
             recording: false,
             events: Vec::new(),
+            checker: None,
         }
+    }
+
+    /// Attaches a [`ProtocolChecker`] that shadows every issued command
+    /// and records timing violations independently of
+    /// [`Channel::can_issue`]. Off by default (checking costs time and
+    /// memory); enable it in tests and diagnostic runs.
+    pub fn enable_checker(&mut self) {
+        if self.checker.is_none() {
+            self.checker = Some(Box::new(ProtocolChecker::new(self.cfg)));
+        }
+    }
+
+    /// The attached protocol checker, if enabled.
+    pub fn checker(&self) -> Option<&ProtocolChecker> {
+        self.checker.as_deref()
     }
 
     /// Starts or stops recording every issued command as an
@@ -271,6 +288,14 @@ impl Channel {
     /// command in release builds corrupts timing state.
     pub fn issue(&mut self, cmd: &Command, now: Cycle) -> Issued {
         debug_assert!(self.can_issue(cmd, now), "illegal issue of {cmd:?} at {now}");
+        // Shadow-validate before mutating so the checker sees the same
+        // pre-command state the legality rules apply to. Refreshes are
+        // observed inside `perform_refresh`, which both issue paths share.
+        if !matches!(cmd, Command::RefreshAll { .. }) {
+            if let Some(chk) = self.checker.as_deref_mut() {
+                chk.observe(cmd, now);
+            }
+        }
         self.last_cmd_at = Some(now);
         self.stats.cmd_cycles += 1;
         let t = self.cfg.timing;
@@ -344,6 +369,9 @@ impl Channel {
     }
 
     fn perform_refresh(&mut self, rank: u8, now: Cycle) {
+        if let Some(chk) = self.checker.as_deref_mut() {
+            chk.observe(&Command::RefreshAll { rank }, now);
+        }
         let t = self.cfg.timing;
         let base = self.bank_index(rank, 0);
         let n = usize::from(self.cfg.geometry.banks_per_rank);

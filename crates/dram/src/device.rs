@@ -1,6 +1,8 @@
 //! The whole main-memory device: all channels plus the address mapper.
 
-use crate::{AddressMapper, AddressMapping, BusStats, Channel, DramConfig, Loc, PhysAddr};
+use crate::{
+    AddressMapper, AddressMapping, BusStats, Channel, DramConfig, Loc, PhysAddr, Violation,
+};
 
 /// The complete SDRAM main memory: one [`Channel`] per physical channel and
 /// the address mapping that scatters physical addresses over them.
@@ -69,6 +71,32 @@ impl Dram {
         for ch in &mut self.channels {
             ch.tick(now);
         }
+    }
+
+    /// Enables the runtime protocol checker on every channel.
+    pub fn enable_checker(&mut self) {
+        for ch in &mut self.channels {
+            ch.enable_checker();
+        }
+    }
+
+    /// Total protocol violations across all channels (0 when the checker
+    /// is disabled).
+    pub fn protocol_violations(&self) -> u64 {
+        self.channels
+            .iter()
+            .filter_map(|ch| ch.checker())
+            .map(|c| c.total_violations())
+            .sum()
+    }
+
+    /// Recorded violations from all channels, with full context.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.channels
+            .iter()
+            .filter_map(|ch| ch.checker())
+            .flat_map(|c| c.violations().iter().cloned())
+            .collect()
     }
 
     /// Sums the bus statistics of all channels.

@@ -41,6 +41,7 @@
 mod addr;
 mod bank;
 mod channel;
+mod checker;
 mod command;
 mod config;
 mod device;
@@ -52,6 +53,7 @@ mod stats;
 pub use addr::{AddressMapper, AddressMapping, PhysAddr};
 pub use bank::Bank;
 pub use channel::{Channel, IssueEvent};
+pub use checker::{ProtocolChecker, Violation, ViolationKind};
 pub use command::{Command, Dir, Issued};
 pub use config::{DramConfig, Geometry, TimingParams};
 pub use device::Dram;

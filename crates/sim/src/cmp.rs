@@ -40,10 +40,14 @@ impl CmpSystem {
     /// Panics if `cores` is zero.
     pub fn new(cfg: &SystemConfig, cores: usize) -> Self {
         assert!(cores > 0, "need at least one core");
+        let mut dram = Dram::new(cfg.dram, cfg.mapping);
+        if cfg.checker {
+            dram.enable_checker();
+        }
         CmpSystem {
             cfg: *cfg,
-            dram: Dram::new(cfg.dram, cfg.mapping),
-            sched: cfg.mechanism.build(cfg.ctrl, cfg.dram.geometry),
+            dram,
+            sched: cfg.mechanism.build(cfg.effective_ctrl(), cfg.dram.geometry),
             cpus: (0..cores).map(|_| Cpu::new(cfg.cpu)).collect(),
             mem_cycle: 0,
             next_id: 0,
@@ -166,7 +170,15 @@ impl CmpSystem {
             let now = self.total_retired();
             if now == last {
                 idle += 1;
-                assert!(idle < 2_000_000, "CMP livelock");
+                if idle >= 2_000_000 {
+                    match self.sched.stall_diagnostic() {
+                        Some(diag) => panic!("CMP memory controller stall: {diag}"),
+                        None => panic!(
+                            "CMP livelock: no retirement for 2M memory cycles at cycle {}",
+                            self.mem_cycle
+                        ),
+                    }
+                }
             } else {
                 idle = 0;
                 last = now;
@@ -191,7 +203,15 @@ impl CmpSystem {
             let now = self.total_retired();
             if now == last {
                 idle += 1;
-                assert!(idle < 2_000_000, "CMP livelock");
+                if idle >= 2_000_000 {
+                    match self.sched.stall_diagnostic() {
+                        Some(diag) => panic!("CMP memory controller stall: {diag}"),
+                        None => panic!(
+                            "CMP livelock: no retirement for 2M memory cycles at cycle {}",
+                            self.mem_cycle
+                        ),
+                    }
+                }
             } else {
                 idle = 0;
                 last = now;
@@ -222,6 +242,10 @@ impl CmpSystem {
             self.sched.stats().clone(),
             self.dram.total_stats(),
             cpu_stats,
+            crate::RobustnessReport::collect(
+                self.sched.stats(),
+                self.dram.protocol_violations(),
+            ),
             u64::from(self.cfg.dram.geometry.channels),
         )
     }

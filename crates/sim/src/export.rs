@@ -5,6 +5,7 @@
 //! contain commas, so no quoting is required.
 
 use crate::experiments::{Fig10Row, Fig12Row, Fig7Row, Fig9Row, OutstandingRow, Sweep};
+use crate::report::NoRowsError;
 use crate::SimReport;
 
 /// Serialises one [`SimReport`] per row.
@@ -27,11 +28,13 @@ pub fn reports_to_csv(reports: &[SimReport]) -> String {
         "mechanism,workload,instructions,cpu_cycles,mem_cycles,ipc,reads,writes,\
          avg_read_latency,avg_write_latency,read_p50,read_p95,read_p99,\
          row_hit_rate,row_conflict_rate,row_empty_rate,\
-         addr_bus_util,data_bus_util,write_saturation,preemptions,piggybacks,forwards\n",
+         addr_bus_util,data_bus_util,write_saturation,preemptions,piggybacks,forwards,\
+         protocol_violations,faults_injected,fault_retries,escalations,watchdog_trips,\
+         max_access_age\n",
     );
     for r in reports {
         out.push_str(&format!(
-            "{},{},{},{},{},{:.4},{},{},{:.2},{:.2},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{}\n",
+            "{},{},{},{},{},{:.4},{},{},{:.2},{:.2},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{},{},{},{},{}\n",
             r.mechanism.name(),
             r.workload,
             r.instructions,
@@ -54,6 +57,12 @@ pub fn reports_to_csv(reports: &[SimReport]) -> String {
             r.ctrl.preemptions,
             r.ctrl.piggybacks,
             r.ctrl.forwards,
+            r.robustness.violations,
+            r.robustness.faults_injected,
+            r.robustness.retries,
+            r.robustness.escalations,
+            r.robustness.watchdog_trips,
+            r.robustness.max_access_age,
         ));
     }
     out
@@ -97,11 +106,15 @@ pub fn fig9_to_csv(rows: &[Fig9Row]) -> String {
 }
 
 /// Figure 10 rows as CSV (wide format: one column per mechanism).
-pub fn fig10_to_csv(rows: &[Fig10Row]) -> String {
-    let mechanisms: Vec<String> = rows
-        .first()
-        .map(|r| r.normalized.iter().map(|(m, _)| m.name()).collect())
-        .unwrap_or_default();
+///
+/// # Errors
+///
+/// Returns [`NoRowsError`] when `rows` is empty: the header's mechanism
+/// columns come from the first row, so an empty input would silently
+/// export a header-less, data-less file.
+pub fn fig10_to_csv(rows: &[Fig10Row]) -> Result<String, NoRowsError> {
+    let first = rows.first().ok_or(NoRowsError { what: "the Figure 10 CSV" })?;
+    let mechanisms: Vec<String> = first.normalized.iter().map(|(m, _)| m.name()).collect();
     let mut out = String::from("benchmark");
     for m in &mechanisms {
         out.push(',');
@@ -115,7 +128,7 @@ pub fn fig10_to_csv(rows: &[Fig10Row]) -> String {
         }
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// Figure 12 rows as CSV.
@@ -186,7 +199,7 @@ mod tests {
         for csv in [
             fig7_to_csv(&sweep.fig7_rows()),
             fig9_to_csv(&sweep.fig9_rows()),
-            fig10_to_csv(&sweep.fig10_rows()),
+            fig10_to_csv(&sweep.fig10_rows()).expect("sweep has rows"),
         ] {
             let lines: Vec<&str> = csv.lines().collect();
             assert!(lines.len() >= 2, "header plus data: {csv}");
@@ -206,6 +219,21 @@ mod tests {
         assert!(csv.starts_with("mechanism,kind,occupancy,fraction\n"));
         assert!(csv.contains(",read,"));
         assert!(csv.contains(",write,"));
+    }
+
+    #[test]
+    fn fig10_csv_reports_empty_rows() {
+        let err = fig10_to_csv(&[]).unwrap_err();
+        assert!(err.to_string().contains("no rows"), "{err}");
+    }
+
+    #[test]
+    fn report_csv_includes_robustness_columns() {
+        let csv = sweep_to_csv(&mini_sweep());
+        let header = csv.lines().next().unwrap();
+        assert!(header.ends_with("max_access_age"), "header: {header}");
+        assert!(header.contains("protocol_violations"));
+        assert!(header.contains("watchdog_trips"));
     }
 
     #[test]

@@ -32,4 +32,7 @@ pub mod waterfall;
 pub mod report;
 mod system;
 
-pub use system::{simulate, RunLength, SimReport, System, SystemConfig, ValidateConfigError};
+pub use system::{
+    simulate, RobustnessReport, RunError, RunLength, SimReport, System, SystemConfig,
+    ValidateConfigError,
+};

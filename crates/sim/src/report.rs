@@ -4,6 +4,24 @@
 use crate::experiments::{
     Fig10Row, Fig12Row, Fig7Row, Fig9Row, OutstandingRow, Table1Row,
 };
+use crate::SimReport;
+
+/// Error returned when a renderer or exporter is handed an empty row set:
+/// the artefact would silently be an empty table, which almost always means
+/// an upstream sweep produced no cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoRowsError {
+    /// Which artefact could not be produced.
+    pub what: &'static str,
+}
+
+impl core::fmt::Display for NoRowsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "cannot produce {}: no rows (did the sweep run any cells?)", self.what)
+    }
+}
+
+impl std::error::Error for NoRowsError {}
 
 /// Renders an aligned text table. `rows` are cell strings; column widths
 /// adapt to content.
@@ -131,11 +149,17 @@ pub fn render_fig9(rows: &[Fig9Row]) -> String {
 }
 
 /// Renders Figure 10 (normalised execution time per benchmark).
-pub fn render_fig10(rows: &[Fig10Row], average: &[(burst_core::Mechanism, f64)]) -> String {
-    let mechanisms: Vec<String> = rows
-        .first()
-        .map(|r| r.normalized.iter().map(|(m, _)| m.name()).collect())
-        .unwrap_or_default();
+///
+/// # Errors
+///
+/// Returns [`NoRowsError`] when `rows` is empty (the mechanism column set
+/// is derived from the first row, so an empty input has no table shape).
+pub fn render_fig10(
+    rows: &[Fig10Row],
+    average: &[(burst_core::Mechanism, f64)],
+) -> Result<String, NoRowsError> {
+    let first = rows.first().ok_or(NoRowsError { what: "the Figure 10 table" })?;
+    let mechanisms: Vec<String> = first.normalized.iter().map(|(m, _)| m.name()).collect();
     let mut headers: Vec<&str> = vec!["Benchmark"];
     for m in &mechanisms {
         headers.push(m);
@@ -151,7 +175,41 @@ pub fn render_fig10(rows: &[Fig10Row], average: &[(burst_core::Mechanism, f64)])
     let mut avg_row = vec!["average".to_string()];
     avg_row.extend(average.iter().map(|(_, v)| format!("{v:.3}")));
     body.push(avg_row);
-    render_table(&headers, &body)
+    Ok(render_table(&headers, &body))
+}
+
+/// Renders the robustness summary of a set of runs (protocol violations,
+/// injected faults, watchdog activity) — one row per report.
+pub fn render_robustness(reports: &[SimReport]) -> String {
+    let body: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            let rb = &r.robustness;
+            vec![
+                r.mechanism.name(),
+                r.workload.clone(),
+                rb.violations.to_string(),
+                rb.faults_injected.to_string(),
+                rb.retries.to_string(),
+                rb.escalations.to_string(),
+                rb.watchdog_trips.to_string(),
+                rb.max_access_age.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "Mechanism",
+            "Workload",
+            "Violations",
+            "Faults",
+            "Retries",
+            "Escalations",
+            "WD trips",
+            "Max age",
+        ],
+        &body,
+    )
 }
 
 /// Renders Figure 12 (threshold sweep).
@@ -278,11 +336,17 @@ mod render_tests {
             normalized: vec![(Mechanism::Burst, 0.75), (Mechanism::BurstTh(52), 0.70)],
         }];
         let avg = vec![(Mechanism::Burst, 0.75), (Mechanism::BurstTh(52), 0.70)];
-        let s = render_fig10(&rows, &avg);
+        let s = render_fig10(&rows, &avg).expect("non-empty rows");
         assert!(s.contains("swim"));
         assert!(s.contains("average"));
         assert!(s.contains("0.700"));
         assert!(s.contains("Burst_TH52"));
+    }
+
+    #[test]
+    fn render_fig10_rejects_empty_rows() {
+        let err = render_fig10(&[], &[]).unwrap_err();
+        assert!(err.to_string().contains("no rows"), "{err}");
     }
 
     #[test]

@@ -5,7 +5,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use burst_core::{
-    Access, AccessId, AccessKind, AccessScheduler, Completion, CtrlConfig, CtrlStats, Mechanism,
+    Access, AccessId, AccessKind, AccessScheduler, Completion, CtrlConfig, CtrlStats, FaultConfig,
+    Mechanism, StallDiagnostic,
 };
 use burst_cpu::{Cpu, CpuConfig, CpuStats};
 use burst_dram::{AddressMapping, BusStats, Cycle, Dram, DramConfig, PhysAddr};
@@ -42,6 +43,15 @@ pub struct SystemConfig {
     /// throughout; without warming, the 2 MB L2 never fills and no
     /// writeback traffic exists). Zero disables warming.
     pub warm_mem_ops: u64,
+    /// Runs the DDR2 protocol checker alongside the device, recording any
+    /// command that violates the timing constraints. Defaults to on in
+    /// debug builds (tests) and off in release builds (benchmarks), since
+    /// shadowing every command costs simulation speed.
+    pub checker: bool,
+    /// Deterministic fault-injection plan (ECC-correctable read errors and
+    /// write retries). `None` simulates a fault-free device. When set, it
+    /// overrides `ctrl.faults`.
+    pub faults: Option<FaultConfig>,
 }
 
 impl SystemConfig {
@@ -54,7 +64,21 @@ impl SystemConfig {
             cpu: CpuConfig::baseline(),
             mechanism: Mechanism::BkInOrder,
             warm_mem_ops: 100_000,
+            checker: cfg!(debug_assertions),
+            faults: None,
         }
+    }
+
+    /// Enables or disables the runtime DDR2 protocol checker.
+    pub fn with_checker(mut self, checker: bool) -> Self {
+        self.checker = checker;
+        self
+    }
+
+    /// Sets the fault-injection plan (`None` disables injection).
+    pub fn with_faults(mut self, faults: Option<FaultConfig>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Sets the functional cache-warming budget (memory ops; 0 disables).
@@ -124,7 +148,22 @@ impl SystemConfig {
                 return err("burst threshold cannot exceed the write queue capacity");
             }
         }
+        if let Some(f) = self.faults {
+            if f.read_error_permille > 1000 || f.write_retry_permille > 1000 {
+                return err("fault rates are per-mille and cannot exceed 1000");
+            }
+        }
         Ok(())
+    }
+
+    /// The controller configuration with the system-level fault plan
+    /// folded in.
+    pub(crate) fn effective_ctrl(&self) -> CtrlConfig {
+        let mut ctrl = self.ctrl;
+        if self.faults.is_some() {
+            ctrl.faults = self.faults;
+        }
+        ctrl
     }
 }
 
@@ -142,6 +181,38 @@ impl core::fmt::Display for ValidateConfigError {
 
 impl std::error::Error for ValidateConfigError {}
 
+/// A forward-progress failure detected while running a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// The memory controller's watchdog latched a stall: accesses are
+    /// outstanding but no transaction issued for the configured limit.
+    ControllerStall(StallDiagnostic),
+    /// The CPU stopped retiring instructions for two million memory cycles
+    /// while the controller reports no stall of its own (e.g. a workload
+    /// or cache-model livelock).
+    RetirementStall {
+        /// Memory cycle at which the stall was declared.
+        mem_cycle: Cycle,
+        /// Instructions retired when progress stopped.
+        retired: u64,
+    },
+}
+
+impl core::fmt::Display for RunError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RunError::ControllerStall(diag) => write!(f, "memory controller stall: {diag}"),
+            RunError::RetirementStall { mem_cycle, retired } => write!(
+                f,
+                "no instruction retired for 2M memory cycles (at cycle {mem_cycle}, \
+                 {retired} retired): livelock?"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 impl Default for SystemConfig {
     fn default() -> Self {
         SystemConfig::baseline()
@@ -156,6 +227,57 @@ pub enum RunLength {
     Instructions(u64),
     /// Run a fixed number of memory-controller cycles.
     MemCycles(u64),
+}
+
+/// Robustness summary of a run: protocol health, injected faults and
+/// starvation-watchdog activity. Deterministic for a fixed configuration,
+/// seed and workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RobustnessReport {
+    /// DDR2 protocol violations recorded by the checker (zero when the
+    /// checker is disabled — see [`SystemConfig::checker`]).
+    pub violations: u64,
+    /// Faults injected by the configured [`FaultConfig`].
+    pub faults_injected: u64,
+    /// Access retries caused by injected faults.
+    pub retries: u64,
+    /// Accesses that began service past the watchdog's escalation age.
+    pub escalations: u64,
+    /// Forward-progress stalls latched by the watchdog.
+    pub watchdog_trips: u64,
+    /// Largest arrival-to-completion age observed, in memory cycles.
+    pub max_access_age: u64,
+}
+
+impl RobustnessReport {
+    /// Assembles the summary from controller statistics plus the device's
+    /// violation count.
+    pub(crate) fn collect(ctrl: &CtrlStats, violations: u64) -> Self {
+        RobustnessReport {
+            violations,
+            faults_injected: ctrl.faults_injected,
+            retries: ctrl.retries,
+            escalations: ctrl.escalations,
+            watchdog_trips: ctrl.watchdog_trips,
+            max_access_age: ctrl.max_access_age,
+        }
+    }
+}
+
+impl core::fmt::Display for RobustnessReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} protocol violations, {} faults injected ({} retries), \
+             {} escalations, {} watchdog trips, max access age {} cycles",
+            self.violations,
+            self.faults_injected,
+            self.retries,
+            self.escalations,
+            self.watchdog_trips,
+            self.max_access_age
+        )
+    }
 }
 
 /// Results of one simulation run.
@@ -177,6 +299,8 @@ pub struct SimReport {
     pub bus: BusStats,
     /// CPU statistics.
     pub cpu: CpuStats,
+    /// Robustness summary (protocol checker, fault injection, watchdog).
+    pub robustness: RobustnessReport,
     /// Channel count, kept for utilisation denominators.
     channels: u64,
 }
@@ -232,9 +356,21 @@ impl SimReport {
         ctrl: CtrlStats,
         bus: BusStats,
         cpu: CpuStats,
+        robustness: RobustnessReport,
         channels: u64,
     ) -> SimReport {
-        SimReport { mechanism, workload, cpu_cycles, mem_cycles, instructions, ctrl, bus, cpu, channels }
+        SimReport {
+            mechanism,
+            workload,
+            cpu_cycles,
+            mem_cycles,
+            instructions,
+            ctrl,
+            bus,
+            cpu,
+            robustness,
+            channels,
+        }
     }
 
     /// Estimated DRAM energy of the run (extension; see
@@ -267,10 +403,22 @@ pub struct System {
 impl System {
     /// Builds an idle system.
     pub fn new(cfg: &SystemConfig) -> Self {
+        let sched = cfg.mechanism.build(cfg.effective_ctrl(), cfg.dram.geometry);
+        Self::with_scheduler(cfg, sched)
+    }
+
+    /// Builds a system around a caller-supplied scheduler — the seam for
+    /// testing robustness machinery against schedulers outside
+    /// [`Mechanism`] (e.g. deliberately broken ones).
+    pub fn with_scheduler(cfg: &SystemConfig, sched: Box<dyn AccessScheduler>) -> Self {
+        let mut dram = Dram::new(cfg.dram, cfg.mapping);
+        if cfg.checker {
+            dram.enable_checker();
+        }
         System {
             cfg: *cfg,
-            dram: Dram::new(cfg.dram, cfg.mapping),
-            sched: cfg.mechanism.build(cfg.ctrl, cfg.dram.geometry),
+            dram,
+            sched,
             cpu: Cpu::new(cfg.cpu),
             mem_cycle: 0,
             next_id: 0,
@@ -356,14 +504,42 @@ impl System {
         self.sched.enqueue(access, self.mem_cycle, &mut self.completions);
     }
 
-    /// Runs until `len` is reached. Panics if the system makes no forward
-    /// progress for an implausibly long stretch (a livelock would otherwise
-    /// hang experiments silently).
+    /// Runs until `len` is reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`RunError`] diagnostic if the system makes no
+    /// forward progress for an implausibly long stretch (a livelock would
+    /// otherwise hang experiments silently). Use [`System::try_run`] to
+    /// handle stalls as values.
     pub fn run(&mut self, workload: &mut dyn OpSource, len: RunLength) {
+        if let Err(e) = self.try_run(workload, len) {
+            panic!("simulation stalled: {e}");
+        }
+    }
+
+    /// Runs until `len` is reached, turning forward-progress stalls into
+    /// structured errors instead of hanging or panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::ControllerStall`] when the scheduler's watchdog latches
+    /// a stall (outstanding accesses but no transaction issued for the
+    /// configured limit); [`RunError::RetirementStall`] when the CPU stops
+    /// retiring instructions for two million memory cycles although the
+    /// controller itself reports no stall.
+    pub fn try_run(
+        &mut self,
+        workload: &mut dyn OpSource,
+        len: RunLength,
+    ) -> Result<(), RunError> {
         match len {
             RunLength::MemCycles(n) => {
                 for _ in 0..n {
                     self.step(workload);
+                    if let Some(diag) = self.sched.stall_diagnostic() {
+                        return Err(RunError::ControllerStall(diag));
+                    }
                 }
             }
             RunLength::Instructions(n) => {
@@ -371,12 +547,17 @@ impl System {
                 let mut idle = 0u64;
                 while self.cpu.retired() < n {
                     self.step(workload);
+                    if let Some(diag) = self.sched.stall_diagnostic() {
+                        return Err(RunError::ControllerStall(diag));
+                    }
                     if self.cpu.retired() == last_retired {
                         idle += 1;
-                        assert!(
-                            idle < 2_000_000,
-                            "no instruction retired for 2M memory cycles: livelock?"
-                        );
+                        if idle >= 2_000_000 {
+                            return Err(RunError::RetirementStall {
+                                mem_cycle: self.mem_cycle,
+                                retired: last_retired,
+                            });
+                        }
                     } else {
                         idle = 0;
                         last_retired = self.cpu.retired();
@@ -384,6 +565,7 @@ impl System {
                 }
             }
         }
+        Ok(())
     }
 
     /// Produces the run's report.
@@ -397,8 +579,23 @@ impl System {
             ctrl: self.sched.stats().clone(),
             bus: self.dram.total_stats(),
             cpu: *self.cpu.stats(),
+            robustness: RobustnessReport::collect(
+                self.sched.stats(),
+                self.dram.protocol_violations(),
+            ),
             channels: u64::from(self.cfg.dram.geometry.channels),
         }
+    }
+
+    /// The stall diagnostic latched by the scheduler's watchdog, if any.
+    pub fn stall_diagnostic(&self) -> Option<StallDiagnostic> {
+        self.sched.stall_diagnostic()
+    }
+
+    /// DDR2 protocol violations recorded so far (always zero with the
+    /// checker disabled).
+    pub fn protocol_violations(&self) -> u64 {
+        self.dram.protocol_violations()
     }
 }
 

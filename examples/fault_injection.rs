@@ -1,0 +1,65 @@
+//! Fault injection: run burst scheduling under deterministic ECC read
+//! errors and write retries, with the DDR2 protocol checker shadowing every
+//! command, and print the robustness summary.
+//!
+//! ```text
+//! cargo run --release --example fault_injection
+//! cargo run --release --example fault_injection -- 12345   # another seed
+//! ```
+//!
+//! The fault plan is a pure function of `(seed, access id, attempt)`, so
+//! re-running with the same seed reproduces the identical report.
+
+use burst_scheduling::prelude::*;
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(7u64);
+
+    // 8% of read column accesses return ECC-correctable bad data and 8% of
+    // write column accesses demand a retry; each access retries at most 4
+    // times before the (corrected) data is accepted.
+    let faults = FaultConfig {
+        seed,
+        read_error_permille: 80,
+        write_retry_permille: 80,
+        max_retries: 4,
+    };
+
+    let config = SystemConfig::baseline()
+        .with_mechanism(Mechanism::BurstTh(52))
+        .with_checker(true) // shadow every command, even in release builds
+        .with_faults(Some(faults));
+    config.validate().expect("valid configuration");
+
+    let healthy = config.with_faults(None);
+
+    let run = |cfg: &SystemConfig| {
+        simulate(cfg, SpecBenchmark::Swim.workload(42), RunLength::Instructions(50_000))
+    };
+    let clean = run(&healthy);
+    let faulty = run(&config);
+
+    println!("seed:                  {seed}");
+    println!("robustness (faulty):   {}", faulty.robustness);
+    println!("robustness (fault-free): {}", clean.robustness);
+    println!();
+    println!(
+        "read latency:  {:.1} -> {:.1} memory cycles",
+        clean.ctrl.avg_read_latency(),
+        faulty.ctrl.avg_read_latency()
+    );
+    println!(
+        "write latency: {:.1} -> {:.1} memory cycles",
+        clean.ctrl.avg_write_latency(),
+        faulty.ctrl.avg_write_latency()
+    );
+    println!("IPC:           {:.3} -> {:.3}", clean.ipc(), faulty.ipc());
+
+    assert_eq!(faulty.robustness.violations, 0, "retries must stay protocol-clean");
+    let again = run(&config);
+    assert_eq!(
+        faulty.robustness, again.robustness,
+        "same seed must reproduce the same robustness report"
+    );
+    println!("\nverified: zero protocol violations; report reproducible for seed {seed}");
+}

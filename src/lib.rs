@@ -33,8 +33,8 @@ pub use burst_workloads as workloads;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use burst_core::{AccessScheduler, CtrlConfig, Mechanism};
+    pub use burst_core::{AccessScheduler, CtrlConfig, FaultConfig, Mechanism, WatchdogConfig};
     pub use burst_dram::{AddressMapping, DramConfig, RowPolicy};
-    pub use burst_sim::{simulate, RunLength, SimReport, SystemConfig};
+    pub use burst_sim::{simulate, RobustnessReport, RunError, RunLength, SimReport, SystemConfig};
     pub use burst_workloads::SpecBenchmark;
 }

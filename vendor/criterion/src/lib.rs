@@ -1,0 +1,180 @@
+//! Minimal, offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`bench_with_input`/`bench_function`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!`/
+//! `criterion_main!` macros — with a simple wall-clock timing loop
+//! instead of statistical analysis.
+//!
+//! When invoked by `cargo bench` (which passes `--bench` on the command
+//! line) each benchmark runs a warmup pass plus `sample_size` timed
+//! samples and prints the mean per-iteration time. Under `cargo test`,
+//! which also builds and runs `harness = false` bench binaries but
+//! without `--bench`, each benchmark body executes exactly once as a
+//! smoke test so the test suite stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    timing: bool,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        Criterion { timing: std::env::args().any(|a| a == "--bench") }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.timing, &id.into(), 100, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(self.criterion.timing, &label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs an unparameterized benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion.timing, &label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name plus a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    timing: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly (once in smoke-test mode) and records
+    /// the elapsed time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let iters = if self.timing { self.iters } else { 1 };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn run_one(timing: bool, label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if !timing {
+        // Smoke-test mode (e.g. `cargo test` executing the bench binary):
+        // one pass to prove the benchmark still runs.
+        let mut b = Bencher { timing: false, iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("bench {label}: ok (smoke test)");
+        return;
+    }
+    // Warmup to pick an iteration count aiming at ~50ms per sample.
+    let mut warmup = Bencher { timing: true, iters: 1, elapsed: Duration::ZERO };
+    f(&mut warmup);
+    let per_iter = warmup.elapsed.max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(50).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher { timing: true, iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += iters;
+    }
+    let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!("bench {label}: {:.1} ns/iter ({} samples x {} iters)", mean_ns, sample_size, iters);
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::__from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+impl Criterion {
+    /// Internal constructor used by `criterion_group!`; not public API.
+    #[doc(hidden)]
+    pub fn __from_args() -> Self {
+        Self::from_args()
+    }
+}

@@ -1,0 +1,202 @@
+//! Minimal, offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses — `proptest!` with a
+//! `proptest_config` header, `Strategy`/`prop_map`/`boxed`, ranges and
+//! tuples as strategies, `Just`, `prop_oneof!`, `any::<T>()`,
+//! `prop::collection::vec`, the `prop_assert*`/`prop_assume!` macros and
+//! `ProptestConfig::with_cases` — as a *sampling* property tester: each
+//! case draws fresh random inputs from a deterministic per-test RNG
+//! (seeded from the test's module path and name). There is no shrinking;
+//! a failing case reports the debug-formatted inputs instead, which is
+//! enough to reproduce since the stream is deterministic.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test file needs with `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Mirror of the real prelude's `prop` module path
+    /// (`prop::collection::vec`, `prop::strategy::...`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests. Supports an optional
+/// `#![proptest_config(expr)]` header followed by any number of
+/// `fn name(arg in strategy, ...) { body }` items whose attributes
+/// (doc comments, `#[test]`) pass through unchanged.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::from_test_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                // Rejections (prop_assume!) retry with fresh inputs, but a
+                // filter that rejects nearly everything should fail loudly
+                // rather than spin.
+                let max_attempts = config.cases.saturating_mul(16).max(64);
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest {}: gave up after {} attempts ({} accepted); \
+                         prop_assume! filter too strict?",
+                        stringify!($name),
+                        attempts,
+                        accepted,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    // Format inputs before the body, which may move them.
+                    let __proptest_inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __proptest_result = (move || -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match __proptest_result {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                            "proptest {} failed: {}\n  inputs: {}",
+                            stringify!($name),
+                            msg,
+                            __proptest_inputs,
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a proptest body, failing the case (with the
+/// sampled inputs attached) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l != *r,
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l != *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!("{}\n  both: {:?}", format!($($fmt)+), l),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case (retrying with fresh inputs) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
