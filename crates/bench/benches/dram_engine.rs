@@ -16,7 +16,11 @@ fn stream_accesses(n: u64) -> Cycle {
         loop {
             ch.tick(now);
             let cmd = match ch.row_state(loc) {
-                RowState::Hit => Command::Column { loc, dir: Dir::Read, auto_precharge: false },
+                RowState::Hit => Command::Column {
+                    loc,
+                    dir: Dir::Read,
+                    auto_precharge: false,
+                },
                 RowState::Empty => Command::Activate(loc),
                 RowState::Conflict => Command::Precharge(loc),
             };

@@ -16,7 +16,11 @@ fn controller_run(mechanism: Mechanism, n: u64) -> u64 {
     let mut now = 0u64;
     for i in 0..n {
         let addr = PhysAddr::new((i % 97) * 64 + (i % 13) * (1 << 21));
-        let kind = if i % 4 == 3 { AccessKind::Write } else { AccessKind::Read };
+        let kind = if i % 4 == 3 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         if sched.can_accept(kind) {
             let a = Access::new(AccessId::new(i), kind, addr, dram.decode(addr), now);
             sched.enqueue(a, now, &mut done);
@@ -34,7 +38,11 @@ fn controller_run(mechanism: Mechanism, n: u64) -> u64 {
 fn bench_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("controller_pipeline");
     group.sample_size(20);
-    for mechanism in [Mechanism::BkInOrder, Mechanism::RowHit, Mechanism::BurstTh(52)] {
+    for mechanism in [
+        Mechanism::BkInOrder,
+        Mechanism::RowHit,
+        Mechanism::BurstTh(52),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(mechanism.name()),
             &mechanism,

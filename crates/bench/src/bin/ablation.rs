@@ -11,12 +11,15 @@ use burst_bench::{banner, HarnessOptions};
 use burst_core::Mechanism;
 use burst_dram::{AddressMapping, RowPolicy};
 use burst_sim::report::render_table;
-use burst_sim::{simulate, SystemConfig};
+use burst_sim::{map_parallel, simulate, SystemConfig};
 use burst_workloads::SpecBenchmark;
 
 fn main() {
     let opts = HarnessOptions::from_args(40_000);
-    println!("{}", banner("ablation", "design-space studies beyond the paper", &opts));
+    println!(
+        "{}",
+        banner("ablation", "design-space studies beyond the paper", &opts)
+    );
     let benches: Vec<SpecBenchmark> = if opts.benchmarks.len() > 6 {
         vec![
             SpecBenchmark::Swim,
@@ -29,68 +32,101 @@ fn main() {
         opts.benchmarks.clone()
     };
 
-    // 1. Address mapping x mechanism.
-    println!("--- address mapping x mechanism (avg cpu cycles over {} benchmarks)\n", benches.len());
-    let mut rows = Vec::new();
-    for mapping in [
+    // 1. Address mapping x mechanism: every (mapping, mechanism, benchmark)
+    // cell is an independent simulation — run the whole grid in parallel and
+    // aggregate afterwards.
+    println!(
+        "--- address mapping x mechanism (avg cpu cycles over {} benchmarks)\n",
+        benches.len()
+    );
+    let mappings = [
         AddressMapping::PageInterleaving,
         AddressMapping::CacheLineInterleaving,
         AddressMapping::Permutation,
         AddressMapping::BitReversal,
-    ] {
+    ];
+    let mechanisms = [Mechanism::BkInOrder, Mechanism::BurstTh(52)];
+    let mut grid = Vec::new();
+    for mapping in mappings {
+        for mechanism in mechanisms {
+            for &b in &benches {
+                grid.push((mapping, mechanism, b));
+            }
+        }
+    }
+    let cycles = map_parallel(&grid, opts.jobs, |_, &(mapping, mechanism, b)| {
+        let cfg = SystemConfig::baseline()
+            .with_mechanism(mechanism)
+            .with_mapping(mapping);
+        simulate(&cfg, b.workload(opts.seed), opts.run).cpu_cycles
+    });
+    let mut rows = Vec::new();
+    let mut cell = cycles.chunks_exact(benches.len());
+    for mapping in mappings {
         let mut row = vec![format!("{mapping:?}")];
-        for mechanism in [Mechanism::BkInOrder, Mechanism::BurstTh(52)] {
-            let total: u64 = benches
-                .iter()
-                .map(|b| {
-                    let cfg = SystemConfig::baseline()
-                        .with_mechanism(mechanism)
-                        .with_mapping(mapping);
-                    simulate(&cfg, b.workload(opts.seed), opts.run).cpu_cycles
-                })
-                .sum();
+        for _mechanism in mechanisms {
+            let total: u64 = cell.next().expect("full grid").iter().sum();
             row.push(format!("{}", total / benches.len() as u64));
         }
         rows.push(row);
     }
-    println!("{}", render_table(&["mapping", "BkInOrder", "Burst_TH52"], &rows));
+    println!(
+        "{}",
+        render_table(&["mapping", "BkInOrder", "Burst_TH52"], &rows)
+    );
 
     // 2. Row policy under the baseline mechanism.
     println!("--- row policy (BkInOrder)\n");
-    let mut rows = Vec::new();
-    for policy in [RowPolicy::OpenPage, RowPolicy::ClosePageAutoprecharge] {
+    let policies = [RowPolicy::OpenPage, RowPolicy::ClosePageAutoprecharge];
+    let mut grid = Vec::new();
+    for policy in policies {
+        for &b in &benches {
+            grid.push((policy, b));
+        }
+    }
+    let results = map_parallel(&grid, opts.jobs, |_, &(policy, b)| {
         let mut cfg = SystemConfig::baseline();
         cfg.ctrl.row_policy = policy;
-        let mut total = 0u64;
-        let mut hits = 0.0;
-        for b in &benches {
-            let r = simulate(&cfg, b.workload(opts.seed), opts.run);
-            total += r.cpu_cycles;
-            hits += r.ctrl.row_hit_rate();
-        }
+        let r = simulate(&cfg, b.workload(opts.seed), opts.run);
+        (r.cpu_cycles, r.ctrl.row_hit_rate())
+    });
+    let mut rows = Vec::new();
+    for (policy, chunk) in policies.iter().zip(results.chunks_exact(benches.len())) {
+        let total: u64 = chunk.iter().map(|&(c, _)| c).sum();
+        let hits: f64 = chunk.iter().map(|&(_, h)| h).sum();
         rows.push(vec![
             policy.to_string(),
             format!("{}", total / benches.len() as u64),
             format!("{:.1}%", hits / benches.len() as f64 * 100.0),
         ]);
     }
-    println!("{}", render_table(&["policy", "avg cpu cycles", "row hit"], &rows));
+    println!(
+        "{}",
+        render_table(&["policy", "avg cpu cycles", "row hit"], &rows)
+    );
 
     // 3. Section 7 future work and related work vs the static optimum.
     println!("--- future-work & related-work mechanisms\n");
-    let mut rows = Vec::new();
-    for mechanism in [
+    let future = [
         Mechanism::BurstTh(52),
         Mechanism::BurstDyn,
         Mechanism::BurstCrit,
         Mechanism::AdaptiveHistory,
-    ] {
-        let mut row = vec![mechanism.name()];
-        for b in &benches {
-            let cfg = SystemConfig::baseline().with_mechanism(mechanism);
-            let r = simulate(&cfg, b.workload(opts.seed), opts.run);
-            row.push(format!("{}", r.cpu_cycles));
+    ];
+    let mut grid = Vec::new();
+    for mechanism in future {
+        for &b in &benches {
+            grid.push((mechanism, b));
         }
+    }
+    let cycles = map_parallel(&grid, opts.jobs, |_, &(mechanism, b)| {
+        let cfg = SystemConfig::baseline().with_mechanism(mechanism);
+        simulate(&cfg, b.workload(opts.seed), opts.run).cpu_cycles
+    });
+    let mut rows = Vec::new();
+    for (mechanism, chunk) in future.iter().zip(cycles.chunks_exact(benches.len())) {
+        let mut row = vec![mechanism.name()];
+        row.extend(chunk.iter().map(|c| format!("{c}")));
         rows.push(row);
     }
     let mut headers: Vec<&str> = vec!["mechanism"];

@@ -1,41 +1,23 @@
 //! Runs every table/figure regenerator in sequence — the full evaluation.
 //!
 //! ```text
-//! cargo run --release -p burst-bench --bin all -- --instructions 120000
+//! cargo run --release -p burst-bench --bin all -- --instructions 120000 --jobs 8
 //! ```
 
 use burst_bench::{banner, HarnessOptions};
 use burst_core::Mechanism;
 use burst_dram::TimingParams;
-use burst_sim::experiments::{fig1, fig11, fig12, fig8, table1, Sweep};
+use burst_sim::experiments::{
+    fig1, fig11_with_jobs, fig12_with_jobs, fig8_with_jobs, table1, Sweep,
+};
 use burst_sim::export;
 use burst_sim::report::{
     render_fig10, render_fig12, render_fig7, render_fig9, render_outstanding, render_table1,
 };
 use burst_workloads::SpecBenchmark;
 
-/// Directory for CSV dumps when `--csv DIR` is passed.
-fn csv_dir() -> Option<std::path::PathBuf> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from)
-}
-
-fn dump(dir: &Option<std::path::PathBuf>, name: &str, content: &str) {
-    if let Some(dir) = dir {
-        if let Err(e) = std::fs::create_dir_all(dir)
-            .and_then(|_| std::fs::write(dir.join(name), content))
-        {
-            eprintln!("warning: could not write {name}: {e}");
-        }
-    }
-}
-
 fn main() {
     let opts = HarnessOptions::from_args(120_000);
-    let csv = csv_dir();
 
     println!("=== Table 1: possible SDRAM access latencies (DDR2 PC2-6400)\n");
     println!("{}", render_table1(&table1(&TimingParams::ddr2_pc2_6400())));
@@ -49,15 +31,21 @@ fn main() {
         "{}",
         banner("Sweep", "all benchmarks x all mechanisms", &opts)
     );
-    let sweep = Sweep::run(&opts.benchmarks, &Mechanism::all_paper(), opts.run, opts.seed);
+    let sweep = Sweep::run_with_jobs(
+        &opts.benchmarks,
+        &Mechanism::all_paper(),
+        opts.run,
+        opts.seed,
+        opts.jobs,
+    );
 
     println!("=== Figure 7: access latency (memory cycles)\n");
     println!("{}", render_fig7(&sweep.fig7_rows()));
-    dump(&csv, "fig7.csv", &export::fig7_to_csv(&sweep.fig7_rows()));
+    opts.dump_csv("fig7.csv", &export::fig7_to_csv(&sweep.fig7_rows()));
 
     println!("=== Figure 9: row states and bus utilisation\n");
     println!("{}", render_fig9(&sweep.fig9_rows()));
-    dump(&csv, "fig9.csv", &export::fig9_to_csv(&sweep.fig9_rows()));
+    opts.dump_csv("fig9.csv", &export::fig9_to_csv(&sweep.fig9_rows()));
 
     println!("=== Figure 10: normalised execution time\n");
     match render_fig10(&sweep.fig10_rows(), &sweep.fig10_average()) {
@@ -65,27 +53,27 @@ fn main() {
         Err(e) => eprintln!("warning: {e}"),
     }
     match export::fig10_to_csv(&sweep.fig10_rows()) {
-        Ok(content) => dump(&csv, "fig10.csv", &content),
+        Ok(content) => opts.dump_csv("fig10.csv", &content),
         Err(e) => eprintln!("warning: {e}"),
     }
-    dump(&csv, "sweep.csv", &export::sweep_to_csv(&sweep));
+    opts.dump_csv("sweep.csv", &export::sweep_to_csv(&sweep));
 
     println!("=== Figure 8: outstanding accesses, swim\n");
-    let f8 = fig8(SpecBenchmark::Swim, opts.run, opts.seed);
+    let f8 = fig8_with_jobs(SpecBenchmark::Swim, opts.run, opts.seed, opts.jobs);
     println!("{}", render_outstanding(&f8));
-    dump(&csv, "fig8.csv", &export::outstanding_to_csv(&f8));
+    opts.dump_csv("fig8.csv", &export::outstanding_to_csv(&f8));
 
     println!("=== Figure 11: outstanding accesses vs threshold, swim\n");
-    let f11 = fig11(SpecBenchmark::Swim, opts.run, opts.seed);
+    let f11 = fig11_with_jobs(SpecBenchmark::Swim, opts.run, opts.seed, opts.jobs);
     println!("{}", render_outstanding(&f11));
-    dump(&csv, "fig11.csv", &export::outstanding_to_csv(&f11));
+    opts.dump_csv("fig11.csv", &export::outstanding_to_csv(&f11));
 
     println!("=== Figure 12: threshold sweep\n");
-    let f12 = fig12(&opts.benchmarks, opts.run, opts.seed);
+    let f12 = fig12_with_jobs(&opts.benchmarks, opts.run, opts.seed, opts.jobs);
     println!("{}", render_fig12(&f12));
-    dump(&csv, "fig12.csv", &export::fig12_to_csv(&f12));
+    opts.dump_csv("fig12.csv", &export::fig12_to_csv(&f12));
 
-    if let Some(dir) = &csv {
+    if let Some(dir) = &opts.csv {
         println!("CSV results written to {}", dir.display());
     }
 }

@@ -27,7 +27,10 @@ fn mix(cores: usize, seed: u64) -> Vec<Box<dyn OpSource>> {
 
 fn main() {
     let opts = HarnessOptions::from_args(15_000);
-    println!("{}", banner("cmp", "reordering gains vs core count (extension)", &opts));
+    println!(
+        "{}",
+        banner("cmp", "reordering gains vs core count (extension)", &opts)
+    );
     let per_core = match opts.run {
         burst_sim::RunLength::Instructions(n) => n,
         burst_sim::RunLength::MemCycles(n) => n,
@@ -57,7 +60,10 @@ fn main() {
             format!("{cores}"),
             format!("{base_cycles}"),
             format!("{th_cycles}"),
-            format!("{:.1}%", (1.0 - th_cycles as f64 / base_cycles as f64) * 100.0),
+            format!(
+                "{:.1}%",
+                (1.0 - th_cycles as f64 / base_cycles as f64) * 100.0
+            ),
             format!("{base_lat:.0} -> {th_lat:.0}"),
             format!("{:.2} -> {:.2}", base_fair, th_fair),
         ]);

@@ -11,7 +11,10 @@ use burst_sim::{simulate, SystemConfig};
 
 fn main() {
     let opts = HarnessOptions::from_args(40_000);
-    println!("{}", banner("energy", "DRAM energy per mechanism (extension)", &opts));
+    println!(
+        "{}",
+        banner("energy", "DRAM energy per mechanism (extension)", &opts)
+    );
     let params = EnergyParams::ddr2_pc2_6400();
     let benches = if opts.benchmarks.len() > 4 {
         opts.benchmarks[..4].to_vec()
@@ -49,7 +52,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["mechanism", "total (mJ)", "nJ/access (act+bg)", "activate (uJ)", "background (uJ)", "mem cycles"],
+            &[
+                "mechanism",
+                "total (mJ)",
+                "nJ/access (act+bg)",
+                "activate (uJ)",
+                "background (uJ)",
+                "mem cycles"
+            ],
             &rows
         )
     );

@@ -12,7 +12,12 @@ fn main() {
         "{}",
         banner("Figure 10", "normalized execution time", &opts)
     );
-    let sweep = Sweep::run(&opts.benchmarks, &Mechanism::all_paper(), opts.run, opts.seed);
+    let sweep = Sweep::run(
+        &opts.benchmarks,
+        &Mechanism::all_paper(),
+        opts.run,
+        opts.seed,
+    );
     match render_fig10(&sweep.fig10_rows(), &sweep.fig10_average()) {
         Ok(table) => println!("{table}"),
         Err(e) => eprintln!("warning: {e}"),

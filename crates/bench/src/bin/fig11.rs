@@ -10,7 +10,11 @@ fn main() {
     let opts = HarnessOptions::from_args(150_000);
     println!(
         "{}",
-        banner("Figure 11", "outstanding accesses for swim vs threshold", &opts)
+        banner(
+            "Figure 11",
+            "outstanding accesses for swim vs threshold",
+            &opts
+        )
     );
     let rows = fig11(SpecBenchmark::Swim, opts.run, opts.seed);
     println!("{}", render_outstanding(&rows));

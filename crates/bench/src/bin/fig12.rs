@@ -9,7 +9,11 @@ fn main() {
     let opts = HarnessOptions::from_args(100_000);
     println!(
         "{}",
-        banner("Figure 12", "threshold sweep (normalised to plain Burst)", &opts)
+        banner(
+            "Figure 12",
+            "threshold sweep (normalised to plain Burst)",
+            &opts
+        )
     );
     let rows = fig12(&opts.benchmarks, opts.run, opts.seed);
     println!("{}", render_fig12(&rows));

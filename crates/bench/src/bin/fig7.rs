@@ -12,7 +12,12 @@ fn main() {
         "{}",
         banner("Figure 7", "access latency in memory cycles", &opts)
     );
-    let sweep = Sweep::run(&opts.benchmarks, &Mechanism::all_paper(), opts.run, opts.seed);
+    let sweep = Sweep::run(
+        &opts.benchmarks,
+        &Mechanism::all_paper(),
+        opts.run,
+        opts.seed,
+    );
     println!("{}", render_fig7(&sweep.fig7_rows()));
     println!(
         "Paper shape: out-of-order mechanisms cut read latency 26-47% vs BkInOrder;\n\

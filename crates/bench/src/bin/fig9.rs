@@ -12,7 +12,12 @@ fn main() {
         "{}",
         banner("Figure 9", "row states and bus utilisation", &opts)
     );
-    let sweep = Sweep::run(&opts.benchmarks, &Mechanism::all_paper(), opts.run, opts.seed);
+    let sweep = Sweep::run(
+        &opts.benchmarks,
+        &Mechanism::all_paper(),
+        opts.run,
+        opts.seed,
+    );
     println!("{}", render_fig9(&sweep.fig9_rows()));
     println!(
         "Paper shape: reordering raises row hits; RowHit/Burst_WP/Burst_TH highest\n\

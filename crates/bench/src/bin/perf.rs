@@ -1,0 +1,200 @@
+//! Tracked performance harness: measures *simulator* throughput (not the
+//! simulated machine) and writes `BENCH_perf.json` so CI and future changes
+//! can compare against it.
+//!
+//! Two views:
+//!
+//! 1. **Single-sim throughput** — one simulation per mechanism on the
+//!    profile workload (swim), reported as simulated memory megacycles per
+//!    wall-clock second. This tracks the cycle-loop hot path.
+//! 2. **Sweep throughput** — a benchmark x mechanism sweep run serially
+//!    (`jobs = 1`) and in parallel (`--jobs`, default auto), reported as
+//!    simulations per second plus the resulting speedup. This tracks the
+//!    parallel executor.
+//!
+//! ```text
+//! cargo run --release -p burst-bench --bin perf -- --instructions 300000
+//! ```
+
+use std::time::Instant;
+
+use burst_bench::{banner, HarnessOptions};
+use burst_core::Mechanism;
+use burst_sim::experiments::{fig8_mechanisms, Sweep};
+use burst_sim::report::render_table;
+use burst_sim::{default_jobs, simulate, SimReport, SystemConfig};
+use burst_workloads::SpecBenchmark;
+
+/// One single-sim measurement.
+struct SingleSim {
+    mechanism: Mechanism,
+    report: SimReport,
+    wall_secs: f64,
+}
+
+impl SingleSim {
+    fn mcycles_per_sec(&self) -> f64 {
+        self.report.mem_cycles as f64 / 1e6 / self.wall_secs
+    }
+}
+
+/// Minimal JSON string escaping (names only contain ASCII, but be safe).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args(300_000);
+    println!(
+        "{}",
+        banner("perf", "simulator throughput (tracked)", &opts)
+    );
+
+    let profile_bench = SpecBenchmark::Swim;
+    let singles: Vec<SingleSim> = fig8_mechanisms()
+        .into_iter()
+        .map(|m| {
+            let cfg = SystemConfig::baseline().with_mechanism(m);
+            let start = Instant::now();
+            let report = simulate(&cfg, profile_bench.workload(opts.seed), opts.run);
+            SingleSim {
+                mechanism: m,
+                report,
+                wall_secs: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect();
+
+    println!(
+        "--- single-sim throughput ({} workload)\n",
+        profile_bench.name()
+    );
+    let rows: Vec<Vec<String>> = singles
+        .iter()
+        .map(|s| {
+            vec![
+                s.mechanism.name(),
+                format!("{}", s.report.mem_cycles),
+                format!("{:.3}", s.wall_secs),
+                format!("{:.2}", s.mcycles_per_sec()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["mechanism", "mem cycles", "wall s", "Mcycles/s"], &rows)
+    );
+
+    // Sweep throughput: a small representative grid, serial vs parallel.
+    let sweep_benches = [
+        SpecBenchmark::Swim,
+        SpecBenchmark::Gcc,
+        SpecBenchmark::Art,
+        SpecBenchmark::Parser,
+    ];
+    let mechanisms = fig8_mechanisms();
+    let cells = sweep_benches.len() * mechanisms.len();
+    let jobs = if opts.jobs == 0 {
+        default_jobs()
+    } else {
+        opts.jobs
+    };
+
+    let start = Instant::now();
+    let serial = Sweep::run_with_jobs(&sweep_benches, &mechanisms, opts.run, opts.seed, 1);
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let parallel = Sweep::run_with_jobs(&sweep_benches, &mechanisms, opts.run, opts.seed, jobs);
+    let parallel_secs = start.elapsed().as_secs_f64();
+
+    // The executor's determinism guarantee, enforced on every perf run.
+    assert_eq!(
+        burst_sim::export::sweep_to_csv(&serial),
+        burst_sim::export::sweep_to_csv(&parallel),
+        "parallel sweep must be bit-identical to serial"
+    );
+
+    let serial_rate = cells as f64 / serial_secs;
+    let parallel_rate = cells as f64 / parallel_secs;
+    println!("--- sweep throughput ({cells} sims)\n");
+    println!(
+        "{}",
+        render_table(
+            &["jobs", "wall s", "sims/s"],
+            &[
+                vec![
+                    "1".into(),
+                    format!("{serial_secs:.3}"),
+                    format!("{serial_rate:.2}")
+                ],
+                vec![
+                    format!("{jobs}"),
+                    format!("{parallel_secs:.3}"),
+                    format!("{parallel_rate:.2}")
+                ],
+            ],
+        )
+    );
+    println!(
+        "speedup: {:.2}x with {jobs} jobs",
+        serial_secs / parallel_secs
+    );
+
+    let instructions = match opts.run {
+        burst_sim::RunLength::Instructions(n) => n,
+        burst_sim::RunLength::MemCycles(n) => n,
+    };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"instructions\": {instructions},\n"));
+    json.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    json.push_str(&format!(
+        "  \"profile_benchmark\": {},\n",
+        json_str(profile_bench.name())
+    ));
+    json.push_str("  \"single_sim\": [\n");
+    for (i, s) in singles.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mechanism\": {}, \"mem_cycles\": {}, \"wall_secs\": {:.6}, \"mcycles_per_sec\": {:.3}}}{}\n",
+            json_str(&s.mechanism.name()),
+            s.report.mem_cycles,
+            s.wall_secs,
+            s.mcycles_per_sec(),
+            if i + 1 < singles.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"sweep\": {\n");
+    json.push_str(&format!("    \"cells\": {cells},\n"));
+    json.push_str(&format!("    \"serial_secs\": {serial_secs:.6},\n"));
+    json.push_str(&format!("    \"serial_sims_per_sec\": {serial_rate:.3},\n"));
+    json.push_str(&format!("    \"jobs\": {jobs},\n"));
+    json.push_str(&format!("    \"parallel_secs\": {parallel_secs:.6},\n"));
+    json.push_str(&format!(
+        "    \"parallel_sims_per_sec\": {parallel_rate:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"speedup\": {:.3}\n",
+        serial_secs / parallel_secs
+    ));
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    let out = "BENCH_perf.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("warning: could not write {out}: {e}"),
+    }
+}

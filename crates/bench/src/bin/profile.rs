@@ -3,12 +3,15 @@
 //! bus pressure. A calibration aid, not a paper figure.
 
 use burst_bench::{banner, HarnessOptions};
-use burst_sim::{simulate, SystemConfig};
 use burst_sim::report::render_table;
+use burst_sim::{simulate, SystemConfig};
 
 fn main() {
     let opts = HarnessOptions::from_args(40_000);
-    println!("{}", banner("profile", "workload traffic calibration", &opts));
+    println!(
+        "{}",
+        banner("profile", "workload traffic calibration", &opts)
+    );
     let mut rows = Vec::new();
     for &b in &opts.benchmarks {
         let report = simulate(&SystemConfig::baseline(), b.workload(opts.seed), opts.run);
@@ -17,7 +20,10 @@ fn main() {
             format!("{:.3}", report.ipc()),
             report.reads().to_string(),
             report.writes().to_string(),
-            format!("{:.2}", report.writes() as f64 / report.reads().max(1) as f64),
+            format!(
+                "{:.2}",
+                report.writes() as f64 / report.reads().max(1) as f64
+            ),
             format!("{:.1}", report.ctrl.avg_read_latency()),
             format!("{:.0}%", report.data_bus_utilization() * 100.0),
             format!("{:.0}%", report.ctrl.row_hit_rate() * 100.0),

@@ -12,7 +12,14 @@ use burst_sim::{simulate, SystemConfig};
 
 fn main() {
     let opts = HarnessOptions::from_args(40_000);
-    println!("{}", banner("section6", "reordering gains across device generations", &opts));
+    println!(
+        "{}",
+        banner(
+            "section6",
+            "reordering gains across device generations",
+            &opts
+        )
+    );
 
     let ddr = DramConfig {
         timing: TimingParams::ddr_pc_2100(),
@@ -59,7 +66,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["device", "conflict latency (cycles)", "TH52 / BkInOrder", "improvement"],
+            &[
+                "device",
+                "conflict latency (cycles)",
+                "TH52 / BkInOrder",
+                "improvement"
+            ],
             &rows
         )
     );

@@ -7,24 +7,36 @@
 use burst_bench::{banner, HarnessOptions};
 use burst_core::Mechanism;
 use burst_sim::report::render_table;
-use burst_sim::{simulate, SystemConfig};
+use burst_sim::{map_parallel, simulate, SystemConfig};
 use burst_workloads::SpecBenchmark;
 
 fn improvement(base_cfg: SystemConfig, th_cfg: SystemConfig, opts: &HarnessOptions) -> f64 {
-    let benches =
-        [SpecBenchmark::Swim, SpecBenchmark::Gcc, SpecBenchmark::Art, SpecBenchmark::Parser];
-    let total = |cfg: &SystemConfig| -> u64 {
-        benches
-            .iter()
-            .map(|b| simulate(cfg, b.workload(opts.seed), opts.run).cpu_cycles)
-            .sum()
-    };
-    1.0 - total(&th_cfg) as f64 / total(&base_cfg) as f64
+    let benches = [
+        SpecBenchmark::Swim,
+        SpecBenchmark::Gcc,
+        SpecBenchmark::Art,
+        SpecBenchmark::Parser,
+    ];
+    // All eight (config, benchmark) runs are independent — fan them out.
+    let mut grid = Vec::new();
+    for cfg in [base_cfg, th_cfg] {
+        for b in benches {
+            grid.push((cfg, b));
+        }
+    }
+    let cycles = map_parallel(&grid, opts.jobs, |_, (cfg, b)| {
+        simulate(cfg, b.workload(opts.seed), opts.run).cpu_cycles
+    });
+    let (base, th) = cycles.split_at(benches.len());
+    1.0 - th.iter().sum::<u64>() as f64 / base.iter().sum::<u64>() as f64
 }
 
 fn main() {
     let opts = HarnessOptions::from_args(20_000);
-    println!("{}", banner("sensitivity", "TH52 advantage vs machine parameters", &opts));
+    println!(
+        "{}",
+        banner("sensitivity", "TH52 advantage vs machine parameters", &opts)
+    );
 
     // 1. Write queue capacity (threshold scaled to ~80% of capacity).
     let mut rows = Vec::new();
@@ -34,7 +46,10 @@ fn main() {
         base.ctrl.write_capacity = cap;
         let th_cfg = base.with_mechanism(Mechanism::BurstTh(th));
         let gain = improvement(base, th_cfg, &opts);
-        rows.push(vec![format!("{cap} (th {th})"), format!("{:.1}%", gain * 100.0)]);
+        rows.push(vec![
+            format!("{cap} (th {th})"),
+            format!("{:.1}%", gain * 100.0),
+        ]);
     }
     println!("--- write queue capacity\n");
     println!("{}", render_table(&["capacity", "TH improvement"], &rows));

@@ -11,8 +11,14 @@ fn main() {
     let _ = &opts;
     println!("=== Table 1: possible SDRAM access latencies (memory cycles)\n");
     for (name, timing) in [
-        ("DDR2 PC2-6400 (5-5-5), the baseline device", TimingParams::ddr2_pc2_6400()),
-        ("DDR PC-2100 (2-2-2), Section 6 comparison", TimingParams::ddr_pc_2100()),
+        (
+            "DDR2 PC2-6400 (5-5-5), the baseline device",
+            TimingParams::ddr2_pc2_6400(),
+        ),
+        (
+            "DDR PC-2100 (2-2-2), Section 6 comparison",
+            TimingParams::ddr_pc_2100(),
+        ),
     ] {
         println!("{name}:");
         println!("{}", render_table1(&table1(&timing)));

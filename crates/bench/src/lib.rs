@@ -27,16 +27,27 @@ pub struct HarnessOptions {
     pub seed: u64,
     /// Benchmarks to simulate.
     pub benchmarks: Vec<SpecBenchmark>,
+    /// Worker threads for parallel sweeps (`--jobs N`; 0 = auto-detect).
+    pub jobs: usize,
+    /// Directory for CSV dumps (`--csv DIR`), if requested.
+    pub csv: Option<std::path::PathBuf>,
 }
 
 impl HarnessOptions {
-    /// Parses `--instructions N`, `--seed N` and `--benchmarks a,b,c` from
-    /// `std::env::args`, with the given default instruction budget.
+    /// Parses `--instructions N`, `--seed N`, `--benchmarks a,b,c`,
+    /// `--jobs N` and `--csv DIR` from `std::env::args`, with the given
+    /// default instruction budget.
     ///
     /// Unknown arguments are ignored so binaries can be combined with cargo
     /// flags freely.
     pub fn from_args(default_instructions: u64) -> Self {
         let args: Vec<String> = std::env::args().collect();
+        Self::from_arg_slice(&args, default_instructions)
+    }
+
+    /// [`HarnessOptions::from_args`] over an explicit argument slice
+    /// (testable without touching the process environment).
+    pub fn from_arg_slice(args: &[String], default_instructions: u64) -> Self {
         let value_of = |flag: &str| -> Option<String> {
             args.iter()
                 .position(|a| a == flag)
@@ -46,7 +57,11 @@ impl HarnessOptions {
         let instructions = value_of("--instructions")
             .and_then(|v| v.parse().ok())
             .unwrap_or(default_instructions);
-        let seed = value_of("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+        let seed = value_of("--seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(42);
+        let jobs = value_of("--jobs").and_then(|v| v.parse().ok()).unwrap_or(0);
+        let csv = value_of("--csv").map(std::path::PathBuf::from);
         let benchmarks = value_of("--benchmarks")
             .map(|list| {
                 let mut picks = Vec::new();
@@ -63,7 +78,26 @@ impl HarnessOptions {
             })
             .filter(|v| !v.is_empty())
             .unwrap_or_else(|| SpecBenchmark::all16().to_vec());
-        HarnessOptions { run: RunLength::Instructions(instructions), seed, benchmarks }
+        HarnessOptions {
+            run: RunLength::Instructions(instructions),
+            seed,
+            benchmarks,
+            jobs,
+            csv,
+        }
+    }
+
+    /// Writes `content` as `name` into the `--csv` directory, if one was
+    /// requested; creates the directory on first use. Shared by every
+    /// binary that exports CSVs so the flag behaves identically everywhere.
+    pub fn dump_csv(&self, name: &str, content: &str) {
+        if let Some(dir) = &self.csv {
+            if let Err(e) =
+                std::fs::create_dir_all(dir).and_then(|_| std::fs::write(dir.join(name), content))
+            {
+                eprintln!("warning: could not write {name}: {e}");
+            }
+        }
     }
 }
 
@@ -90,6 +124,20 @@ mod tests {
         assert_eq!(o.seed, 42);
         assert_eq!(o.benchmarks.len(), 16);
         assert!(matches!(o.run, RunLength::Instructions(1000)));
+        assert_eq!(o.jobs, 0);
+        assert!(o.csv.is_none());
+    }
+
+    #[test]
+    fn parses_jobs_and_csv() {
+        let args: Vec<String> = ["bin", "--jobs", "3", "--csv", "out/results", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = HarnessOptions::from_arg_slice(&args, 500);
+        assert_eq!(o.jobs, 3);
+        assert_eq!(o.csv.as_deref(), Some(std::path::Path::new("out/results")));
+        assert_eq!(o.seed, 7);
     }
 
     #[test]

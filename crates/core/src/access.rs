@@ -91,7 +91,14 @@ pub struct Access {
 impl Access {
     /// Creates an access record (non-critical by default).
     pub fn new(id: AccessId, kind: AccessKind, addr: PhysAddr, loc: Loc, arrival: Cycle) -> Self {
-        Access { id, kind, addr, loc, arrival, critical: false }
+        Access {
+            id,
+            kind,
+            addr,
+            loc,
+            arrival,
+            critical: false,
+        }
     }
 
     /// Marks the access as latency-critical.
@@ -169,7 +176,10 @@ mod tests {
 
     #[test]
     fn outstanding_total() {
-        let o = Outstanding { reads: 3, writes: 4 };
+        let o = Outstanding {
+            reads: 3,
+            writes: 4,
+        };
         assert_eq!(o.total(), 7);
     }
 }

@@ -8,12 +8,72 @@
 //! access is chosen (the bank arbiter) and in which unblocked transaction is
 //! issued each cycle (the transaction scheduler); everything else lives here.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{HashMap, VecDeque};
 
-use crate::{
-    Access, AccessId, AccessKind, Completion, CtrlConfig, CtrlStats, StallDiagnostic,
-};
+use crate::{Access, AccessId, AccessKind, Completion, CtrlConfig, CtrlStats, StallDiagnostic};
 use burst_dram::{Command, Cycle, Dram, Geometry, Loc, RowState};
+
+/// Arrival cycles of outstanding accesses, keyed by dense access id.
+///
+/// Ids are assigned monotonically, so a windowed slab (slot `id - base`)
+/// replaces the former `BTreeMap<AccessId, Cycle>`: insertion and removal
+/// are array writes and the oldest outstanding access — queried every tick
+/// by the watchdog — is simply the window's front. Slots of completed (or
+/// never-arrived, e.g. forwarded) ids hold a sentinel and are popped from
+/// the front as they become oldest.
+#[derive(Debug, Default)]
+struct AgeWindow {
+    /// Access id of `slots[0]`.
+    base: u64,
+    /// Arrival cycle per id, or [`AgeWindow::EMPTY`] for ids not currently
+    /// outstanding. Invariant: the front slot, if any, is never empty.
+    slots: VecDeque<u64>,
+}
+
+impl AgeWindow {
+    /// Sentinel for "not outstanding". Arrival cycles never reach it.
+    const EMPTY: u64 = u64::MAX;
+
+    fn insert(&mut self, id: AccessId, arrival: Cycle) {
+        debug_assert_ne!(arrival, Self::EMPTY, "sentinel collision");
+        if self.slots.is_empty() {
+            self.base = id.value();
+        } else if id.value() < self.base {
+            // Defensive: callers outside the simulator may enqueue ids out
+            // of order; grow the window backwards to keep indexing dense.
+            for _ in 0..self.base - id.value() {
+                self.slots.push_front(Self::EMPTY);
+            }
+            self.base = id.value();
+        }
+        let idx = id.value() - self.base;
+        while (self.slots.len() as u64) <= idx {
+            self.slots.push_back(Self::EMPTY);
+        }
+        self.slots[idx as usize] = arrival;
+    }
+
+    fn remove(&mut self, id: AccessId) {
+        let Some(idx) = id.value().checked_sub(self.base) else {
+            return;
+        };
+        if idx >= self.slots.len() as u64 {
+            return;
+        }
+        self.slots[idx as usize] = Self::EMPTY;
+        while self.slots.front() == Some(&Self::EMPTY) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// The oldest outstanding access: `(id, arrival)`.
+    fn oldest(&self) -> Option<(AccessId, Cycle)> {
+        self.slots
+            .front()
+            .map(|&arrival| (AccessId::new(self.base), arrival))
+    }
+}
 
 /// The access a bank is currently working on.
 #[derive(Debug, Clone, Copy)]
@@ -66,9 +126,16 @@ pub struct Core {
     stats: CtrlStats,
     reads_outstanding: usize,
     writes_outstanding: usize,
+    /// Cached `(id, bank, rank)` of the oldest ongoing access per channel,
+    /// recomputed lazily (see `ongoing_dirty`) by [`Core::steer_to_oldest`].
+    oldest_ongoing: Vec<Option<(AccessId, usize, u8)>>,
+    /// Whether a channel's ongoing set changed since its cache entry was
+    /// computed. Set on every install/remove; most ticks change nothing,
+    /// so the steering scan over all banks is skipped.
+    ongoing_dirty: Vec<bool>,
     /// Arrival cycle of every outstanding access, keyed by id. Ids and
     /// arrivals are both monotone, so the first entry is the oldest access.
-    ages: BTreeMap<AccessId, Cycle>,
+    ages: AgeWindow,
     /// Attempt counts of accesses that have faulted at least once.
     attempts: HashMap<AccessId, u32>,
     /// Faulted accesses awaiting re-enqueue by the mechanism's tick.
@@ -77,6 +144,8 @@ pub struct Core {
     last_progress: Cycle,
     /// Latched forward-progress failure, if any.
     stall: Option<StallDiagnostic>,
+    /// Ticks until the next occupancy sample (interval-based sampling).
+    sample_countdown: u32,
 }
 
 impl Core {
@@ -91,13 +160,16 @@ impl Core {
             ongoing: vec![None; nbanks],
             last_bank: vec![None; nch],
             last_rank: vec![None; nch],
+            oldest_ongoing: vec![None; nch],
+            ongoing_dirty: vec![true; nch],
             reads_outstanding: 0,
             writes_outstanding: 0,
-            ages: BTreeMap::new(),
+            ages: AgeWindow::default(),
             attempts: HashMap::new(),
             retry_pending: Vec::new(),
             last_progress: 0,
             stall: None,
+            sample_countdown: 1,
         }
     }
 
@@ -142,7 +214,11 @@ impl Core {
         let bpr = self.banks_per_rank();
         let channel = bank_idx / per_channel;
         let within = bank_idx % per_channel;
-        ((channel as u8), ((within / bpr) as u8), ((within % bpr) as u8))
+        (
+            (channel as u8),
+            ((within / bpr) as u8),
+            ((within % bpr) as u8),
+        )
     }
 
     /// Maps a location to its global bank index.
@@ -221,13 +297,23 @@ impl Core {
         if self.ongoing[bank].is_some() {
             return Err(access);
         }
-        self.ongoing[bank] = Some(Ongoing { access, started: false });
+        self.ongoing[bank] = Some(Ongoing {
+            access,
+            started: false,
+        });
+        let chan = bank / self.banks_per_channel();
+        self.ongoing_dirty[chan] = true;
         Ok(())
     }
 
     /// Removes and returns the bank's ongoing access (read preemption).
     pub fn clear_ongoing(&mut self, bank: usize) -> Option<Access> {
-        self.ongoing[bank].take().map(|o| o.access)
+        let taken = self.ongoing[bank].take().map(|o| o.access);
+        if taken.is_some() {
+            let chan = bank / self.banks_per_channel();
+            self.ongoing_dirty[chan] = true;
+        }
+        taken
     }
 
     /// Derives the next transaction for an access at `loc`: column access on
@@ -311,11 +397,18 @@ impl Core {
     /// Fig. 6 lines 14–15: when nothing could be scheduled, steer the next
     /// cycle toward the bank holding the oldest ongoing access.
     pub fn steer_to_oldest(&mut self, channel: usize) {
-        let oldest = self
-            .bank_range(channel)
-            .filter_map(|b| self.ongoing[b].as_ref().map(|o| (o.access.id, b, o.access.loc.rank)))
-            .min();
-        if let Some((_, bank, rank)) = oldest {
+        if self.ongoing_dirty[channel] {
+            self.oldest_ongoing[channel] = self
+                .bank_range(channel)
+                .filter_map(|b| {
+                    self.ongoing[b]
+                        .as_ref()
+                        .map(|o| (o.access.id, b, o.access.loc.rank))
+                })
+                .min();
+            self.ongoing_dirty[channel] = false;
+        }
+        if let Some((_, bank, rank)) = self.oldest_ongoing[channel] {
             self.last_bank[channel] = Some(bank);
             self.last_rank[channel] = Some(rank);
         }
@@ -336,7 +429,9 @@ impl Core {
         // Classify on first transaction issue.
         {
             let state = dram.channel(chan).row_state(cand.loc);
-            let og = self.ongoing[cand.bank].as_mut().expect("candidate without ongoing access");
+            let og = self.ongoing[cand.bank]
+                .as_mut()
+                .expect("candidate without ongoing access");
             if !og.started {
                 og.started = true;
                 self.stats.classify(state);
@@ -353,7 +448,10 @@ impl Core {
         self.last_rank[chan] = Some(cand.loc.rank);
         self.last_progress = now;
         if cand.cmd.is_column() {
-            let og = self.ongoing[cand.bank].take().expect("column without ongoing access");
+            let og = self.ongoing[cand.bank]
+                .take()
+                .expect("column without ongoing access");
+            self.ongoing_dirty[chan] = true;
             // Fault injection: the data transfer happened but is declared
             // bad (ECC read error / write CRC retry). The access stays
             // outstanding and re-enters its queue via `take_retries`.
@@ -380,8 +478,10 @@ impl Core {
                     self.writes_outstanding -= 1;
                 }
             }
-            self.ages.remove(&og.access.id);
-            self.attempts.remove(&og.access.id);
+            self.ages.remove(og.access.id);
+            if self.cfg.faults.is_some() {
+                self.attempts.remove(&og.access.id);
+            }
             self.stats.max_access_age = self.stats.max_access_age.max(latency);
             completions.push(Completion {
                 id: og.access.id,
@@ -412,9 +512,8 @@ impl Core {
     /// The id and age (at `now`) of the oldest outstanding access.
     pub fn oldest_outstanding(&self, now: Cycle) -> Option<(AccessId, Cycle)> {
         self.ages
-            .iter()
-            .next()
-            .map(|(&id, &arrival)| (id, now.saturating_sub(arrival)))
+            .oldest()
+            .map(|(id, arrival)| (id, now.saturating_sub(arrival)))
     }
 
     /// Advances the forward-progress watchdog; call once per tick. Latches
@@ -430,7 +529,8 @@ impl Core {
         if let Some((_, age)) = oldest {
             self.stats.max_access_age = self.stats.max_access_age.max(age);
         }
-        if self.stall.is_none() && now.saturating_sub(self.last_progress) > self.cfg.watchdog.stall_limit
+        if self.stall.is_none()
+            && now.saturating_sub(self.last_progress) > self.cfg.watchdog.stall_limit
         {
             self.stats.watchdog_trips += 1;
             self.stall = Some(StallDiagnostic {
@@ -449,13 +549,21 @@ impl Core {
         self.stall
     }
 
-    /// Per-cycle statistics sampling; call once per tick.
+    /// Per-cycle statistics bookkeeping; call once per tick. The cycle
+    /// counter advances every call; occupancy histograms are recorded every
+    /// `sample_interval` ticks (every tick at the default interval of 1,
+    /// reproducing the paper's per-cycle Figure 8/11 distributions).
     pub fn sample(&mut self) {
-        self.stats.sample(
-            self.reads_outstanding,
-            self.writes_outstanding,
-            self.cfg.write_capacity,
-        );
+        self.stats.cycles += 1;
+        self.sample_countdown -= 1;
+        if self.sample_countdown == 0 {
+            self.sample_countdown = self.cfg.sample_interval.max(1);
+            self.stats.record_occupancy(
+                self.reads_outstanding,
+                self.writes_outstanding,
+                self.cfg.write_capacity,
+            );
+        }
     }
 }
 
@@ -503,7 +611,10 @@ mod tests {
     fn next_command_follows_row_state() {
         let (core, mut dram) = setup();
         let loc = Loc::new(0, 0, 0, 5, 0);
-        assert_eq!(core.next_command(loc, AccessKind::Read, &dram), Command::Activate(loc));
+        assert_eq!(
+            core.next_command(loc, AccessKind::Read, &dram),
+            Command::Activate(loc)
+        );
         dram.channel_mut(0).issue(&Command::Activate(loc), 0);
         assert!(core.next_command(loc, AccessKind::Read, &dram).is_column());
         let other = Loc::new(0, 0, 0, 6, 0);
@@ -542,7 +653,11 @@ mod tests {
 
     #[test]
     fn can_accept_respects_pool_and_write_caps() {
-        let cfg = CtrlConfig { pool_capacity: 4, write_capacity: 2, ..CtrlConfig::default() };
+        let cfg = CtrlConfig {
+            pool_capacity: 4,
+            write_capacity: 2,
+            ..CtrlConfig::default()
+        };
         let mut core = Core::new(cfg, Geometry::baseline());
         assert!(core.can_accept(AccessKind::Read));
         let loc = Loc::new(0, 0, 0, 0, 0);
@@ -558,8 +673,10 @@ mod tests {
         let (mut core, _) = setup();
         let l1 = Loc::new(0, 2, 1, 5, 0);
         let l2 = Loc::new(0, 1, 0, 9, 0);
-        core.set_ongoing(core.global_bank(l1), access(10, AccessKind::Read, l1)).unwrap();
-        core.set_ongoing(core.global_bank(l2), access(3, AccessKind::Read, l2)).unwrap();
+        core.set_ongoing(core.global_bank(l1), access(10, AccessKind::Read, l1))
+            .unwrap();
+        core.set_ongoing(core.global_bank(l2), access(3, AccessKind::Read, l2))
+            .unwrap();
         core.steer_to_oldest(0);
         let (bank, rank) = core.last_target(0);
         assert_eq!(bank, Some(core.global_bank(l2)));
@@ -570,7 +687,8 @@ mod tests {
     fn clear_ongoing_returns_access() {
         let (mut core, _) = setup();
         let loc = Loc::new(0, 0, 0, 5, 0);
-        core.set_ongoing(0, access(7, AccessKind::Write, loc)).unwrap();
+        core.set_ongoing(0, access(7, AccessKind::Write, loc))
+            .unwrap();
         let got = core.clear_ongoing(0).expect("was set");
         assert_eq!(got.id, AccessId::new(7));
         assert!(core.ongoing(0).is_none());
@@ -580,18 +698,26 @@ mod tests {
     fn set_ongoing_refuses_overwrite_and_returns_access() {
         let (mut core, _) = setup();
         let loc = Loc::new(0, 0, 0, 5, 0);
-        core.set_ongoing(0, access(1, AccessKind::Read, loc)).unwrap();
+        core.set_ongoing(0, access(1, AccessKind::Read, loc))
+            .unwrap();
         let rejected = core
             .set_ongoing(0, access(2, AccessKind::Read, loc))
             .expect_err("occupied slot must reject");
-        assert_eq!(rejected.id, AccessId::new(2), "the displaced access comes back");
+        assert_eq!(
+            rejected.id,
+            AccessId::new(2),
+            "the displaced access comes back"
+        );
         assert_eq!(core.ongoing(0).unwrap().access.id, AccessId::new(1));
     }
 
     #[test]
     fn watchdog_latches_stall_diagnostic() {
         let cfg = CtrlConfig {
-            watchdog: crate::WatchdogConfig { escalate_age: 100, stall_limit: 500 },
+            watchdog: crate::WatchdogConfig {
+                escalate_age: 100,
+                stall_limit: 500,
+            },
             ..CtrlConfig::default()
         };
         let mut core = Core::new(cfg, Geometry::baseline());
@@ -644,12 +770,17 @@ mod tests {
                 core.issue_candidate(&mut dram, now, &c, &mut done);
             }
             for retry in core.take_retries() {
-                core.set_ongoing(core.global_bank(retry.loc), retry).unwrap();
+                core.set_ongoing(core.global_bank(retry.loc), retry)
+                    .unwrap();
             }
             now += 1;
             assert!(now < 1000, "faulted access must still complete");
         }
-        assert_eq!(core.stats().faults_injected, 2, "max_retries bounds the faults");
+        assert_eq!(
+            core.stats().faults_injected,
+            2,
+            "max_retries bounds the faults"
+        );
         assert_eq!(core.stats().retries, 2);
         assert_eq!(done.len(), 1);
         assert_eq!(core.reads_outstanding(), 0);

@@ -57,7 +57,12 @@ impl FaultConfig {
     /// Moderate default rates (2% reads, 2% writes, up to 4 retries) with
     /// the given seed.
     pub fn new(seed: u64) -> Self {
-        FaultConfig { seed, read_error_permille: 20, write_retry_permille: 20, max_retries: 4 }
+        FaultConfig {
+            seed,
+            read_error_permille: 20,
+            write_retry_permille: 20,
+            max_retries: 4,
+        }
     }
 
     /// Whether attempt number `attempt` (0-based) of the access faults.
@@ -72,9 +77,7 @@ impl FaultConfig {
         if permille == 0 {
             return false;
         }
-        let key = self
-            .seed
-            .wrapping_mul(0xA24B_AED4_963E_E407)
+        let key = self.seed.wrapping_mul(0xA24B_AED4_963E_E407)
             ^ id.value().wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ (u64::from(attempt) << 48);
         splitmix64(key) % 1000 < u64::from(permille)
@@ -100,7 +103,10 @@ mod tests {
 
     #[test]
     fn rate_is_approximately_honoured() {
-        let f = FaultConfig { read_error_permille: 100, ..FaultConfig::new(7) };
+        let f = FaultConfig {
+            read_error_permille: 100,
+            ..FaultConfig::new(7)
+        };
         let n = 20_000u64;
         let faults = (0..n)
             .filter(|&id| f.should_fault(AccessId::new(id), AccessKind::Read, 0))
@@ -111,7 +117,11 @@ mod tests {
 
     #[test]
     fn zero_rate_never_faults() {
-        let f = FaultConfig { read_error_permille: 0, write_retry_permille: 0, ..FaultConfig::new(9) };
+        let f = FaultConfig {
+            read_error_permille: 0,
+            write_retry_permille: 0,
+            ..FaultConfig::new(9)
+        };
         for id in 0..1000u64 {
             assert!(!f.should_fault(AccessId::new(id), AccessKind::Read, 0));
             assert!(!f.should_fault(AccessId::new(id), AccessKind::Write, 0));
@@ -120,20 +130,32 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = FaultConfig { read_error_permille: 500, ..FaultConfig::new(1) };
-        let b = FaultConfig { read_error_permille: 500, ..FaultConfig::new(2) };
+        let a = FaultConfig {
+            read_error_permille: 500,
+            ..FaultConfig::new(1)
+        };
+        let b = FaultConfig {
+            read_error_permille: 500,
+            ..FaultConfig::new(2)
+        };
         let diff = (0..1000u64)
             .filter(|&id| {
                 a.should_fault(AccessId::new(id), AccessKind::Read, 0)
                     != b.should_fault(AccessId::new(id), AccessKind::Read, 0)
             })
             .count();
-        assert!(diff > 100, "seeds 1 and 2 should disagree often, got {diff}");
+        assert!(
+            diff > 100,
+            "seeds 1 and 2 should disagree often, got {diff}"
+        );
     }
 
     #[test]
     fn attempts_roll_independently() {
-        let f = FaultConfig { read_error_permille: 500, ..FaultConfig::new(3) };
+        let f = FaultConfig {
+            read_error_permille: 500,
+            ..FaultConfig::new(3)
+        };
         let diff = (0..1000u64)
             .filter(|&id| {
                 f.should_fault(AccessId::new(id), AccessKind::Read, 0)

@@ -72,8 +72,7 @@ impl AdaptiveHistoryScheduler {
     fn note_history(&mut self, kind: AccessKind) {
         // EWMA with a 1/64 step.
         let sample: u32 = if kind.is_read() { 1024 } else { 0 };
-        self.arrival_read_share =
-            (self.arrival_read_share * 63 + sample) / 64;
+        self.arrival_read_share = (self.arrival_read_share * 63 + sample) / 64;
     }
 
     /// Whether the issued mix lags the arrival mix on the read side.
@@ -114,8 +113,12 @@ impl AdaptiveHistoryScheduler {
         // Starvation watchdog: an access past the escalation age overrides
         // history matching and row-hit preference — serve it oldest-first.
         let escalate_age = self.core.cfg().watchdog.escalate_age;
-        let oldest_read = self.read_queues[bank_idx].front().map(|a| (a.arrival, a.kind));
-        let oldest_write = self.write_queues[bank_idx].front().map(|a| (a.arrival, a.kind));
+        let oldest_read = self.read_queues[bank_idx]
+            .front()
+            .map(|a| (a.arrival, a.kind));
+        let oldest_write = self.write_queues[bank_idx]
+            .front()
+            .map(|a| (a.arrival, a.kind));
         if let Some((arrival, kind)) = [oldest_read, oldest_write].into_iter().flatten().min() {
             if now.saturating_sub(arrival) >= escalate_age {
                 let access = match kind {
@@ -137,9 +140,15 @@ impl AdaptiveHistoryScheduler {
         let full = self.core.writes_outstanding() >= self.core.cfg().write_capacity;
         let prefer_read = !full && self.wants_read();
         let (first, second) = if prefer_read {
-            (&mut self.read_queues[bank_idx], &mut self.write_queues[bank_idx])
+            (
+                &mut self.read_queues[bank_idx],
+                &mut self.write_queues[bank_idx],
+            )
         } else {
-            (&mut self.write_queues[bank_idx], &mut self.read_queues[bank_idx])
+            (
+                &mut self.write_queues[bank_idx],
+                &mut self.read_queues[bank_idx],
+            )
         };
         let access = Self::pick(first, open_row).or_else(|| Self::pick(second, open_row));
         if let Some(access) = access {
@@ -181,13 +190,13 @@ impl AccessScheduler for AdaptiveHistoryScheduler {
         self.note_history(access.kind);
         match access.kind {
             AccessKind::Read => {
-                let hit = self.write_queues[bank_idx].iter().any(|w| w.addr == access.addr)
+                let hit = self.write_queues[bank_idx]
+                    .iter()
+                    .any(|w| w.addr == access.addr)
                     || self
                         .core
                         .ongoing(bank_idx)
-                        .map(|o| {
-                            o.access.kind == AccessKind::Write && o.access.addr == access.addr
-                        })
+                        .map(|o| o.access.kind == AccessKind::Write && o.access.addr == access.addr)
                         .unwrap_or(false);
                 if hit {
                     self.core.note_forward(&access, now, completions);
@@ -220,7 +229,8 @@ impl AccessScheduler for AdaptiveHistoryScheduler {
                 self.arbiter(bank, dram, now);
             }
             let mut cands = std::mem::take(&mut self.scratch);
-            self.core.fill_all_candidates(dram, channel, now, &mut cands);
+            self.core
+                .fill_all_candidates(dram, channel, now, &mut cands);
             match select_intel_limited(&cands, LOOKAHEAD) {
                 Some(cand) => {
                     self.core.issue_candidate(dram, now, &cand, completions);
@@ -262,7 +272,13 @@ mod tests {
     }
 
     fn access(id: u64, kind: AccessKind, bank: u8, row: u32) -> Access {
-        Access::new(AccessId::new(id), kind, PhysAddr::new(id * 64), Loc::new(0, 0, bank, row, 0), 0)
+        Access::new(
+            AccessId::new(id),
+            kind,
+            PhysAddr::new(id * 64),
+            Loc::new(0, 0, bank, row, 0),
+            0,
+        )
     }
 
     #[test]
@@ -270,13 +286,20 @@ mod tests {
         let (mut s, _d) = setup();
         let mut done = Vec::new();
         for i in 0..200u64 {
-            let kind = if i % 2 == 0 { AccessKind::Read } else { AccessKind::Write };
+            let kind = if i % 2 == 0 {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
             if s.can_accept(kind) {
                 s.enqueue(access(i, kind, (i % 4) as u8, (i % 8) as u32), 0, &mut done);
             }
         }
         let share = s.target_read_share();
-        assert!((0.3..0.7).contains(&share), "50/50 arrivals -> share {share:.2}");
+        assert!(
+            (0.3..0.7).contains(&share),
+            "50/50 arrivals -> share {share:.2}"
+        );
     }
 
     #[test]
@@ -285,7 +308,11 @@ mod tests {
         let mut done = Vec::new();
         // 80% writes.
         for i in 0..100u64 {
-            let kind = if i % 5 == 0 { AccessKind::Read } else { AccessKind::Write };
+            let kind = if i % 5 == 0 {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
             if s.can_accept(kind) {
                 s.enqueue(access(i, kind, (i % 4) as u8, (i % 4) as u32), 0, &mut done);
             }
@@ -314,13 +341,20 @@ mod tests {
         let mut done = Vec::new();
         let mut queued = 0;
         for i in 0..150u64 {
-            let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            let kind = if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             if s.can_accept(kind)
-                && s.enqueue(access(i, kind, (i % 8) as u8, (i % 16) as u32), 0, &mut done)
-                    == EnqueueOutcome::Queued
-                {
-                    queued += 1;
-                }
+                && s.enqueue(
+                    access(i, kind, (i % 8) as u8, (i % 16) as u32),
+                    0,
+                    &mut done,
+                ) == EnqueueOutcome::Queued
+            {
+                queued += 1;
+            }
         }
         let forwarded = done.len();
         for now in 0..100_000 {

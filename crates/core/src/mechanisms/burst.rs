@@ -49,7 +49,11 @@ pub struct BurstOptions {
 
 impl BurstOptions {
     /// Options for a static-threshold variant (the four Table 4 entries).
-    pub fn static_threshold(preempt_below: u32, piggyback_above: Option<u32>, mechanism: Mechanism) -> Self {
+    pub fn static_threshold(
+        preempt_below: u32,
+        piggyback_above: Option<u32>,
+        mechanism: Mechanism,
+    ) -> Self {
         BurstOptions {
             preempt_below,
             piggyback_above,
@@ -150,7 +154,9 @@ impl BurstScheduler {
     /// write-heavy window pulls the threshold down so piggybacking starts
     /// early; a read-heavy window pushes it up so reads may preempt.
     fn adapt_threshold(&mut self, now: burst_dram::Cycle) {
-        let Some(period) = self.opts.dynamic_period else { return };
+        let Some(period) = self.opts.dynamic_period else {
+            return;
+        };
         if now < self.next_adapt {
             return;
         }
@@ -241,8 +247,7 @@ impl BurstScheduler {
             // starved it, re-starving it indefinitely.
             let preemptable = og.access.kind == AccessKind::Write
                 && writes_global < self.opts.preempt_below
-                && now.saturating_sub(og.access.arrival)
-                    < self.core.cfg().watchdog.escalate_age
+                && now.saturating_sub(og.access.arrival) < self.core.cfg().watchdog.escalate_age
                 && self.banks[bank_idx].has_reads();
             if preemptable {
                 let write = self.core.clear_ongoing(bank_idx).expect("ongoing write");
@@ -264,11 +269,13 @@ impl BurstScheduler {
         let escalate_age = self.core.cfg().watchdog.escalate_age;
         {
             let bank = &mut self.banks[bank_idx];
-            let oldest_read =
-                bank.bursts.front().and_then(|b| b.accesses.front()).map(|a| (a.arrival, a.kind));
+            let oldest_read = bank
+                .bursts
+                .front()
+                .and_then(|b| b.accesses.front())
+                .map(|a| (a.arrival, a.kind));
             let oldest_write = bank.writes.front().map(|a| (a.arrival, a.kind));
-            if let Some((arrival, kind)) = [oldest_read, oldest_write].into_iter().flatten().min()
-            {
+            if let Some((arrival, kind)) = [oldest_read, oldest_write].into_iter().flatten().min() {
                 if now.saturating_sub(arrival) >= escalate_age {
                     let access = match kind {
                         AccessKind::Read => Self::pop_next_read(bank).expect("front read exists"),
@@ -307,7 +314,11 @@ impl BurstScheduler {
         {
             // Line 4-5: write piggybacking at the end of a burst.
             let qualified = writes_global > th;
-            let picked = if qualified { Self::pop_row_hit_write(bank, row) } else { None };
+            let picked = if qualified {
+                Self::pop_row_hit_write(bank, row)
+            } else {
+                None
+            };
             match picked {
                 Some(w) => {
                     piggybacked = true;
@@ -343,7 +354,6 @@ impl BurstScheduler {
             None
         }
     }
-
 }
 
 impl AccessScheduler for BurstScheduler {
@@ -390,9 +400,7 @@ impl AccessScheduler for BurstScheduler {
                 self.core.note_arrival(&access);
                 self.window_reads += 1;
                 let bank = &mut self.banks[bank_idx];
-                if let Some(burst) =
-                    bank.bursts.iter_mut().find(|b| b.row == access.loc.row)
-                {
+                if let Some(burst) = bank.bursts.iter_mut().find(|b| b.row == access.loc.row) {
                     if self.opts.critical_first && access.critical {
                         // Insert after the last critical read, before any
                         // non-critical fills (stable within each class).
@@ -533,7 +541,11 @@ mod tests {
         s.enqueue(read(3, 0, 5, 16), 0, &mut done);
         let bank = &s.banks[s.core.global_bank(Loc::new(0, 0, 0, 0, 0))];
         assert_eq!(bank.bursts.len(), 2, "rows 5 and 6");
-        assert_eq!(bank.bursts[0].accesses.len(), 3, "row-5 burst holds three reads");
+        assert_eq!(
+            bank.bursts[0].accesses.len(),
+            3,
+            "row-5 burst holds three reads"
+        );
         assert_eq!(bank.bursts[1].accesses.len(), 1);
     }
 
@@ -562,12 +574,16 @@ mod tests {
         let mut done = Vec::new();
         s.enqueue(write(0, 0, 5, 0), 0, &mut done);
         s.tick(&mut dram, 0, &mut done); // write becomes ongoing
-        // A second queued write raises occupancy to 1 (ongoing counts);
-        // preemption (needs < 1) is disabled.
+                                         // A second queued write raises occupancy to 1 (ongoing counts);
+                                         // preemption (needs < 1) is disabled.
         s.enqueue(write(1, 0, 7, 0), 1, &mut done);
         s.enqueue(read(2, 0, 9, 0), 1, &mut done);
         s.tick(&mut dram, 1, &mut done);
-        assert_eq!(s.stats().preemptions, 0, "occupancy at threshold: no preemption");
+        assert_eq!(
+            s.stats().preemptions,
+            0,
+            "occupancy at threshold: no preemption"
+        );
     }
 
     #[test]
@@ -601,16 +617,18 @@ mod tests {
         assert_eq!(done.len(), 4);
         assert!(s.stats().piggybacks >= 2, "both row-5 writes piggyback");
         // The row-5 writes complete before the row-7 write despite id order.
-        let pos =
-            |id: u64| done.iter().position(|c| c.id == AccessId::new(id)).expect("completed");
+        let pos = |id: u64| {
+            done.iter()
+                .position(|c| c.id == AccessId::new(id))
+                .expect("completed")
+        };
         assert!(pos(2) < pos(1), "row-hit write 2 beats row-miss write 1");
         assert!(pos(3) < pos(1), "row-hit write 3 beats row-miss write 1");
     }
 
     #[test]
     fn no_piggyback_when_disabled() {
-        let (mut s, mut dram) =
-            setup(BurstOptions::static_threshold(0, None, Mechanism::Burst));
+        let (mut s, mut dram) = setup(BurstOptions::static_threshold(0, None, Mechanism::Burst));
         let mut done = Vec::new();
         s.enqueue(read(0, 0, 5, 0), 0, &mut done);
         s.enqueue(write(1, 0, 5, 8), 0, &mut done);
@@ -656,7 +674,11 @@ mod tests {
         let mut id = 0;
         for now in 0..256u64 {
             if s.can_accept(AccessKind::Write) {
-                s.enqueue(write(id, (id % 4) as u8, (id % 8) as u32, 0), now, &mut done);
+                s.enqueue(
+                    write(id, (id % 4) as u8, (id % 8) as u32, 0),
+                    now,
+                    &mut done,
+                );
                 id += 1;
             }
             s.tick(&mut dram, now, &mut done);
@@ -688,7 +710,10 @@ mod tests {
         // never exhausted). A small escalation age promotes it.
         let cfg = DramConfig::baseline();
         let ctrl = CtrlConfig {
-            watchdog: crate::WatchdogConfig { escalate_age: 400, stall_limit: 1_000_000 },
+            watchdog: crate::WatchdogConfig {
+                escalate_age: 400,
+                stall_limit: 1_000_000,
+            },
             ..CtrlConfig::default()
         };
         let mut s = BurstScheduler::new(ctrl, cfg.geometry, th(52));
@@ -717,28 +742,55 @@ mod tests {
             done.iter().any(|c| c.id == AccessId::new(0)),
             "escalated write must complete despite the read stream"
         );
-        assert!(s.stats().escalations >= 1, "the watchdog must have escalated it");
-        assert!(s.stall_diagnostic().is_none(), "progress was continuous: no stall");
+        assert!(
+            s.stats().escalations >= 1,
+            "the watchdog must have escalated it"
+        );
+        assert!(
+            s.stall_diagnostic().is_none(),
+            "progress was continuous: no stall"
+        );
     }
 
     #[test]
     fn rejected_when_pool_full() {
         let cfg = DramConfig::baseline();
-        let ctrl = CtrlConfig { pool_capacity: 2, write_capacity: 2, ..CtrlConfig::default() };
+        let ctrl = CtrlConfig {
+            pool_capacity: 2,
+            write_capacity: 2,
+            ..CtrlConfig::default()
+        };
         let mut s = BurstScheduler::new(ctrl, cfg.geometry, th(52));
         let mut done = Vec::new();
-        assert_eq!(s.enqueue(read(0, 0, 5, 0), 0, &mut done), EnqueueOutcome::Queued);
-        assert_eq!(s.enqueue(read(1, 0, 5, 8), 0, &mut done), EnqueueOutcome::Queued);
+        assert_eq!(
+            s.enqueue(read(0, 0, 5, 0), 0, &mut done),
+            EnqueueOutcome::Queued
+        );
+        assert_eq!(
+            s.enqueue(read(1, 0, 5, 8), 0, &mut done),
+            EnqueueOutcome::Queued
+        );
         // Pool full: the access is refused, not silently dropped or
         // miscounted (previously a debug-only assertion).
-        assert_eq!(s.enqueue(read(2, 0, 5, 16), 0, &mut done), EnqueueOutcome::Rejected);
-        assert_eq!(s.outstanding().total(), 2, "rejected access was not recorded");
+        assert_eq!(
+            s.enqueue(read(2, 0, 5, 16), 0, &mut done),
+            EnqueueOutcome::Rejected
+        );
+        assert_eq!(
+            s.outstanding().total(),
+            2,
+            "rejected access was not recorded"
+        );
     }
 
     #[test]
     fn write_queue_full_forces_drain() {
         let cfg = DramConfig::baseline();
-        let ctrl = CtrlConfig { pool_capacity: 16, write_capacity: 4, ..CtrlConfig::default() };
+        let ctrl = CtrlConfig {
+            pool_capacity: 16,
+            write_capacity: 4,
+            ..CtrlConfig::default()
+        };
         let mut s = BurstScheduler::new(ctrl, cfg.geometry, th(52));
         let mut dram = Dram::new(cfg, AddressMapping::PageInterleaving);
         let mut done = Vec::new();
@@ -746,7 +798,10 @@ mod tests {
             assert!(s.can_accept(AccessKind::Write));
             s.enqueue(write(i, (i % 2) as u8, 3, 0), 0, &mut done);
         }
-        assert!(!s.can_accept(AccessKind::Read), "full write queue blocks everything");
+        assert!(
+            !s.can_accept(AccessKind::Read),
+            "full write queue blocks everything"
+        );
         let mut now = 0;
         while s.outstanding().writes == 4 && now < 100 {
             s.tick(&mut dram, now, &mut done);
@@ -824,7 +879,11 @@ mod critical_tests {
             now += 1;
         }
         let order: Vec<u64> = done.iter().map(|c| c.id.value()).collect();
-        assert_eq!(order, vec![0, 1, 2], "arrival order preserved inside bursts");
+        assert_eq!(
+            order,
+            vec![0, 1, 2],
+            "arrival order preserved inside bursts"
+        );
     }
 
     #[test]

@@ -95,7 +95,9 @@ impl IntelScheduler {
             {
                 let write = self.core.clear_ongoing(bank_idx).expect("ongoing write");
                 self.reinsert_write(write);
-                let read = self.pick_read(bank_idx, dram, now).expect("read queue non-empty");
+                let read = self
+                    .pick_read(bank_idx, dram, now)
+                    .expect("read queue non-empty");
                 self.core
                     .set_ongoing(bank_idx, read)
                     .expect("slot was just cleared for preemption");
@@ -216,10 +218,7 @@ impl AccessScheduler for IntelScheduler {
             AccessKind::Read => {
                 // Reads search the write queue; a hit forwards the latest
                 // write's data.
-                let queued_hit = self
-                    .write_queue
-                    .iter()
-                    .any(|w| w.addr == access.addr);
+                let queued_hit = self.write_queue.iter().any(|w| w.addr == access.addr);
                 let ongoing_hit = self
                     .core
                     .ongoing(bank_idx)
@@ -259,7 +258,8 @@ impl AccessScheduler for IntelScheduler {
                 self.arbiter(bank, dram, now);
             }
             let mut cands = std::mem::take(&mut self.scratch);
-            self.core.fill_all_candidates(dram, channel, now, &mut cands);
+            self.core
+                .fill_all_candidates(dram, channel, now, &mut cands);
             match select_intel_limited(&cands, LOOKAHEAD) {
                 Some(cand) => {
                     self.core.issue_candidate(dram, now, &cand, completions);

@@ -128,7 +128,8 @@ impl AccessScheduler for RowHitScheduler {
                 self.arbiter(bank, dram, now);
             }
             let mut cands = std::mem::take(&mut self.scratch);
-            self.core.fill_all_candidates(dram, channel, now, &mut cands);
+            self.core
+                .fill_all_candidates(dram, channel, now, &mut cands);
             let range = self.core.bank_range(channel);
             match select_round_robin_limited(&cands, &mut self.rr[channel], range, LOOKAHEAD) {
                 Some(cand) => {

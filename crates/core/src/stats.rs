@@ -14,7 +14,10 @@ pub struct OccupancyHistogram {
 impl OccupancyHistogram {
     /// Creates a histogram able to count occupancies `0..=max`.
     pub fn new(max: usize) -> Self {
-        OccupancyHistogram { counts: vec![0; max + 1], samples: 0 }
+        OccupancyHistogram {
+            counts: vec![0; max + 1],
+            samples: 0,
+        }
     }
 
     /// Records one cycle with `n` accesses outstanding (saturating at the
@@ -93,12 +96,20 @@ pub struct LatencyHistogram {
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram { buckets: [0; 32], count: 0, max: 0 }
+        LatencyHistogram {
+            buckets: [0; 32],
+            count: 0,
+            max: 0,
+        }
     }
 
     /// Records one latency sample.
     pub fn record(&mut self, latency: Cycle) {
-        let idx = if latency == 0 { 0 } else { (64 - latency.leading_zeros()) as usize };
+        let idx = if latency == 0 {
+            0
+        } else {
+            (64 - latency.leading_zeros()) as usize
+        };
         self.buckets[idx.min(31)] += 1;
         self.count += 1;
         self.max = self.max.max(latency);
@@ -125,7 +136,11 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target.max(1) {
-                return if i == 0 { 0 } else { (1u64 << i).saturating_sub(1).min(self.max) };
+                return if i == 0 {
+                    0
+                } else {
+                    (1u64 << i).saturating_sub(1).min(self.max)
+                };
             }
         }
         self.max
@@ -254,9 +269,20 @@ impl CtrlStats {
         self.write_latencies.record(lat);
     }
 
-    /// Samples per-cycle occupancy.
+    /// Samples per-cycle occupancy (advances the cycle counter and records
+    /// one occupancy sample — the every-cycle special case of
+    /// interval-based sampling).
     pub fn sample(&mut self, reads: usize, writes: usize, write_capacity: usize) {
         self.cycles += 1;
+        self.record_occupancy(reads, writes, write_capacity);
+    }
+
+    /// Records one occupancy sample without advancing the cycle counter.
+    /// With interval-based sampling (see `CtrlConfig::sample_interval`) the
+    /// cycle counter advances every tick while occupancy is recorded only
+    /// on sampled ticks; saturation is judged against the sampled
+    /// population, so its rate stays a fraction of observed cycles.
+    pub fn record_occupancy(&mut self, reads: usize, writes: usize, write_capacity: usize) {
         self.outstanding_reads.record(reads);
         self.outstanding_writes.record(writes);
         if writes >= write_capacity {
@@ -317,12 +343,15 @@ impl CtrlStats {
         }
     }
 
-    /// Fraction of cycles the write queue was saturated (Section 5.1).
+    /// Fraction of sampled cycles the write queue was saturated
+    /// (Section 5.1). The denominator is the sampled population, which
+    /// equals `cycles` at the default every-cycle sampling interval.
     pub fn write_saturation_rate(&self) -> f64 {
-        if self.cycles == 0 {
+        let samples = self.outstanding_writes.samples();
+        if samples == 0 {
             0.0
         } else {
-            self.write_saturated_cycles as f64 / self.cycles as f64
+            self.write_saturated_cycles as f64 / samples as f64
         }
     }
 }

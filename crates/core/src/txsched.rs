@@ -64,7 +64,12 @@ pub fn select_table2(
     cands
         .iter()
         .min_by_key(|c| {
-            (!c.escalated, PriorityTable::priority(c, last_bank, last_rank), c.arrival, c.id)
+            (
+                !c.escalated,
+                PriorityTable::priority(c, last_bank, last_rank),
+                c.arrival,
+                c.id,
+            )
         })
         .copied()
 }
@@ -108,7 +113,11 @@ pub fn select_round_robin_limited(
         .find(|c| c.unblocked)
         .copied();
     if let Some(c) = &chosen {
-        *next_bank = if c.bank + 1 >= bank_range.end { start } else { c.bank + 1 };
+        *next_bank = if c.bank + 1 >= bank_range.end {
+            start
+        } else {
+            c.bank + 1
+        };
     }
     chosen
 }
@@ -126,7 +135,11 @@ pub fn select_intel(cands: &[Candidate]) -> Option<Candidate> {
 pub fn select_intel_limited(cands: &[Candidate], lookahead: usize) -> Option<Candidate> {
     let mut ordered: Vec<&Candidate> = cands.iter().collect();
     ordered.sort_by_key(|c| (!c.escalated, !c.started, c.arrival, !c.kind.is_read(), c.id));
-    ordered.into_iter().take(lookahead.max(1)).find(|c| c.unblocked).copied()
+    ordered
+        .into_iter()
+        .take(lookahead.max(1))
+        .find(|c| c.unblocked)
+        .copied()
 }
 
 #[cfg(test)]
@@ -167,12 +180,23 @@ mod tests {
         let read_same_bank = cand(3, 0, AccessKind::Read, col(0, 3), 10, 1, true);
         let read_same_rank = cand(4, 0, AccessKind::Read, col(0, 4), 1, 2, true);
         let picked = select_table2(&[read_same_rank, read_same_bank], Some(3), Some(0)).unwrap();
-        assert_eq!(picked.bank, 3, "same-bank column beats older same-rank column");
+        assert_eq!(
+            picked.bank, 3,
+            "same-bank column beats older same-rank column"
+        );
     }
 
     #[test]
     fn table2_read_column_beats_write_column() {
-        let w = cand(1, 0, AccessKind::Write, Command::write(Loc::new(0, 0, 1, 0, 0)), 0, 1, true);
+        let w = cand(
+            1,
+            0,
+            AccessKind::Write,
+            Command::write(Loc::new(0, 0, 1, 0, 0)),
+            0,
+            1,
+            true,
+        );
         let r = cand(2, 0, AccessKind::Read, col(0, 2), 5, 2, true);
         let picked = select_table2(&[w, r], None, Some(0)).unwrap();
         assert_eq!(picked.bank, 2);
@@ -191,7 +215,10 @@ mod tests {
             false,
         );
         let picked = select_table2(&[other_rank_col, act], Some(1), Some(0)).unwrap();
-        assert_eq!(picked.bank, 2, "activate (5) beats other-rank read column (7)");
+        assert_eq!(
+            picked.bank, 2,
+            "activate (5) beats other-rank read column (7)"
+        );
     }
 
     #[test]
@@ -215,16 +242,65 @@ mod tests {
         let lr = Some(0u8);
         let rc_same_bank = cand(1, 0, AccessKind::Read, col(0, 1), 0, 1, true);
         let rc_same_rank = cand(2, 0, AccessKind::Read, col(0, 2), 0, 2, true);
-        let wc_same_bank = cand(1, 0, AccessKind::Write, Command::write(Loc::new(0, 0, 1, 0, 0)), 0, 3, true);
-        let wc_same_rank = cand(2, 0, AccessKind::Write, Command::write(Loc::new(0, 0, 2, 0, 0)), 0, 4, true);
-        let r_act = cand(2, 0, AccessKind::Read, Command::Activate(Loc::new(0, 0, 2, 0, 0)), 0, 5, false);
-        let w_pre = cand(2, 0, AccessKind::Write, Command::Precharge(Loc::new(0, 0, 2, 0, 0)), 0, 6, false);
+        let wc_same_bank = cand(
+            1,
+            0,
+            AccessKind::Write,
+            Command::write(Loc::new(0, 0, 1, 0, 0)),
+            0,
+            3,
+            true,
+        );
+        let wc_same_rank = cand(
+            2,
+            0,
+            AccessKind::Write,
+            Command::write(Loc::new(0, 0, 2, 0, 0)),
+            0,
+            4,
+            true,
+        );
+        let r_act = cand(
+            2,
+            0,
+            AccessKind::Read,
+            Command::Activate(Loc::new(0, 0, 2, 0, 0)),
+            0,
+            5,
+            false,
+        );
+        let w_pre = cand(
+            2,
+            0,
+            AccessKind::Write,
+            Command::Precharge(Loc::new(0, 0, 2, 0, 0)),
+            0,
+            6,
+            false,
+        );
         let rc_other = cand(8, 1, AccessKind::Read, col(1, 8), 0, 7, true);
-        let wc_other = cand(8, 1, AccessKind::Write, Command::write(Loc::new(0, 1, 0, 0, 0)), 0, 8, true);
-        let prios: Vec<u8> = [rc_same_bank, rc_same_rank, wc_same_bank, wc_same_rank, r_act, w_pre, rc_other, wc_other]
-            .iter()
-            .map(|c| PriorityTable::priority(c, lb, lr))
-            .collect();
+        let wc_other = cand(
+            8,
+            1,
+            AccessKind::Write,
+            Command::write(Loc::new(0, 1, 0, 0, 0)),
+            0,
+            8,
+            true,
+        );
+        let prios: Vec<u8> = [
+            rc_same_bank,
+            rc_same_rank,
+            wc_same_bank,
+            wc_same_rank,
+            r_act,
+            w_pre,
+            rc_other,
+            wc_other,
+        ]
+        .iter()
+        .map(|c| PriorityTable::priority(c, lb, lr))
+        .collect();
         assert_eq!(prios, vec![1, 2, 3, 4, 5, 6, 7, 8]);
     }
 
@@ -256,8 +332,15 @@ mod tests {
         // Lowest Table 2 priority (other-rank write column, 8) but
         // escalated: it must beat the same-bank read column (priority 1).
         let best = cand(1, 0, AccessKind::Read, col(0, 1), 0, 1, true);
-        let mut starved =
-            cand(8, 1, AccessKind::Write, Command::write(Loc::new(0, 1, 0, 0, 0)), 0, 2, true);
+        let mut starved = cand(
+            8,
+            1,
+            AccessKind::Write,
+            Command::write(Loc::new(0, 1, 0, 0, 0)),
+            0,
+            2,
+            true,
+        );
         starved.escalated = true;
         let picked = select_table2(&[best, starved], Some(1), Some(0)).unwrap();
         assert_eq!(picked.bank, 8, "escalated access gets top priority");

@@ -32,7 +32,10 @@ impl WatchdogConfig {
     /// Paper-neutral defaults: escalate after 100k cycles, declare a stall
     /// after 1M cycles without progress.
     pub fn baseline() -> Self {
-        WatchdogConfig { escalate_age: 100_000, stall_limit: 1_000_000 }
+        WatchdogConfig {
+            escalate_age: 100_000,
+            stall_limit: 1_000_000,
+        }
     }
 }
 

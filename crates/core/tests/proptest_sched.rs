@@ -61,7 +61,11 @@ fn run_cfg(mechanism: Mechanism, steps: &[Step], ctrl: CtrlConfig) -> Run {
     for s in steps {
         // Scatter lines over a few banks/rows while keeping collisions.
         let addr = PhysAddr::new(s.line * 64 + (s.line % 7) * (1 << 21));
-        let kind = if s.write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if s.write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         if sched.can_accept(kind) {
             let id = AccessId::new(next_id);
             next_id += 1;
@@ -87,7 +91,13 @@ fn run_cfg(mechanism: Mechanism, steps: &[Step], ctrl: CtrlConfig) -> Run {
         idle += 1;
     }
     let stats_ok = sched.outstanding().total() == 0;
-    Run { done, queued, forwarded, stats_ok, violations: dram.protocol_violations() }
+    Run {
+        done,
+        queued,
+        forwarded,
+        stats_ok,
+        violations: dram.protocol_violations(),
+    }
 }
 
 proptest! {

@@ -72,7 +72,11 @@ fn all_mechanisms_complete_mixed_stream() {
         for i in 0..200u64 {
             // Mix of rows, banks, channels, reads and writes.
             let addr = (i % 7) * 64 + (i % 13) * 8192 + (i % 3) * (1 << 20);
-            let kind = if i % 4 == 3 { AccessKind::Write } else { AccessKind::Read };
+            let kind = if i % 4 == 3 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             if h.sched.can_accept(kind) {
                 h.push(kind, addr);
                 expected += 1;
@@ -80,7 +84,11 @@ fn all_mechanisms_complete_mixed_stream() {
             h.run(2);
         }
         h.run_until_drained(200_000);
-        assert_eq!(h.done.len(), expected, "{m}: every access completes exactly once");
+        assert_eq!(
+            h.done.len(),
+            expected,
+            "{m}: every access completes exactly once"
+        );
         let mut ids: Vec<u64> = h.done.iter().map(|c| c.id.value()).collect();
         ids.sort_unstable();
         ids.dedup();
@@ -166,15 +174,27 @@ fn read_preemption_interrupts_ongoing_write() {
     // A lone write becomes ongoing (no reads anywhere).
     h.push(AccessKind::Write, 0);
     h.run(3); // write becomes ongoing, starts its activate
-    // Now a read to the same bank, different row arrives.
+              // Now a read to the same bank, different row arrives.
     let row_stride = 8192u64 * 2 * 4 * 4;
     h.push(AccessKind::Read, row_stride);
     h.run_until_drained(10_000);
-    assert!(h.sched.stats().preemptions >= 1, "read must preempt the ongoing write");
+    assert!(
+        h.sched.stats().preemptions >= 1,
+        "read must preempt the ongoing write"
+    );
     assert_eq!(h.done.len(), 2);
     // Both eventually complete.
-    assert_eq!(h.done.iter().filter(|c| c.kind == AccessKind::Read).count(), 1);
-    assert_eq!(h.done.iter().filter(|c| c.kind == AccessKind::Write).count(), 1);
+    assert_eq!(
+        h.done.iter().filter(|c| c.kind == AccessKind::Read).count(),
+        1
+    );
+    assert_eq!(
+        h.done
+            .iter()
+            .filter(|c| c.kind == AccessKind::Write)
+            .count(),
+        1
+    );
 }
 
 /// Plain burst never preempts.
@@ -213,7 +233,11 @@ fn write_piggybacking_exploits_burst_row() {
 /// controller drains writes to recover.
 #[test]
 fn write_queue_saturation_blocks_and_recovers() {
-    let cfg = CtrlConfig { pool_capacity: 64, write_capacity: 8, ..CtrlConfig::default() };
+    let cfg = CtrlConfig {
+        pool_capacity: 64,
+        write_capacity: 8,
+        ..CtrlConfig::default()
+    };
     let mut h = Harness::with_cfg(Mechanism::Burst, cfg);
     // Keep reads flowing to one bank so writes cannot drain via the
     // read-queue-empty path, and fill the write queue on another bank.
@@ -225,7 +249,10 @@ fn write_queue_saturation_blocks_and_recovers() {
         }
     }
     assert_eq!(pushed_writes, 8);
-    assert!(!h.sched.can_accept(AccessKind::Read), "saturated write queue blocks everything");
+    assert!(
+        !h.sched.can_accept(AccessKind::Read),
+        "saturated write queue blocks everything"
+    );
     assert!(!h.sched.can_accept(AccessKind::Write));
     h.run_until_drained(100_000);
     assert!(h.sched.can_accept(AccessKind::Read));
@@ -247,10 +274,16 @@ fn raw_hazard_order_all_mechanisms() {
             }
             EnqueueOutcome::Queued => {
                 h.run_until_drained(20_000);
-                let write_done =
-                    h.done.iter().find(|c| c.id == AccessId::new(0)).expect("write completes");
-                let read_done =
-                    h.done.iter().find(|c| c.id == AccessId::new(1)).expect("read completes");
+                let write_done = h
+                    .done
+                    .iter()
+                    .find(|c| c.id == AccessId::new(0))
+                    .expect("write completes");
+                let read_done = h
+                    .done
+                    .iter()
+                    .find(|c| c.id == AccessId::new(1))
+                    .expect("read completes");
                 assert!(
                     write_done.done_at <= read_done.done_at,
                     "{m}: read of same line must not pass the older write"
@@ -312,7 +345,11 @@ fn burst_th_reduces_read_latency_vs_in_order() {
         // strictly in-order service sees a row conflict on every access,
         // while burst scheduling clusters each row into one burst.
         for i in 0..120u64 {
-            let kind = if i % 6 == 5 { AccessKind::Write } else { AccessKind::Read };
+            let kind = if i % 6 == 5 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let addr = (i % 2) * row_stride + (i / 2) * 64;
             if h.sched.can_accept(kind) {
                 h.push(kind, addr);

@@ -14,12 +14,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The paper's L1 data cache: 128 KB, 2-way, 64 B lines (Table 3).
     pub fn l1d_baseline() -> Self {
-        CacheConfig { size_bytes: 128 * 1024, ways: 2, line_bytes: 64 }
+        CacheConfig {
+            size_bytes: 128 * 1024,
+            ways: 2,
+            line_bytes: 64,
+        }
     }
 
     /// The paper's L2 cache: 2 MB, 16-way, 64 B lines (Table 3).
     pub fn l2_baseline() -> Self {
-        CacheConfig { size_bytes: 2 * 1024 * 1024, ways: 16, line_bytes: 64 }
+        CacheConfig {
+            size_bytes: 2 * 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        }
     }
 
     /// Number of sets.
@@ -96,7 +104,10 @@ impl Cache {
     /// Panics if the configuration yields zero sets or has a non-power-of-
     /// two line size.
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = cfg.sets();
         assert!(sets > 0, "cache must have at least one set");
         Cache {
@@ -172,7 +183,12 @@ impl Cache {
         }
         // Free way?
         if let Some(way) = ways.iter_mut().find(|w| !w.valid) {
-            *way = Way { tag, valid: true, dirty, lru: tick };
+            *way = Way {
+                tag,
+                valid: true,
+                dirty,
+                lru: tick,
+            };
             return None;
         }
         // Evict LRU.
@@ -184,7 +200,12 @@ impl Cache {
             addr: (victim.tag * sets_len + set as u64) * self.cfg.line_bytes,
             dirty: victim.dirty,
         };
-        *victim = Way { tag, valid: true, dirty, lru: tick };
+        *victim = Way {
+            tag,
+            valid: true,
+            dirty,
+            lru: tick,
+        };
         if evicted.dirty {
             self.stats.writebacks += 1;
         }
@@ -198,7 +219,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64 B = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]

@@ -129,6 +129,12 @@ pub struct Cpu {
     mshrs: HashMap<u64, MshrEntry>,
     read_requests: VecDeque<(u64, bool)>,
     stalled_op: Option<Op>,
+    /// Memoized miss result of the stalled op. When a load/store misses
+    /// both caches but finds no free MSHR, it retries every cycle; the
+    /// hierarchy cannot turn that miss into a hit until a fill occurs, so
+    /// the full L1+L2 lookup is skipped on retries. Invalidated by
+    /// [`Cpu::complete_read`] (the only fill source while stalled).
+    stalled_miss: Option<u64>,
     /// A dependent-load chain is blocked until this line returns.
     chase_block: Option<u64>,
     stats: CpuStats,
@@ -146,6 +152,7 @@ impl Cpu {
             mshrs: HashMap::new(),
             read_requests: VecDeque::new(),
             stalled_op: None,
+            stalled_miss: None,
             chase_block: None,
             stats: CpuStats::default(),
         }
@@ -206,6 +213,8 @@ impl Cpu {
     /// Reports that main memory returned `line`; waiting loads become
     /// retirable at CPU cycle `ready_at`.
     pub fn complete_read(&mut self, line: u64, ready_at: u64) {
+        // A fill changes cache contents: the stalled op must re-probe.
+        self.stalled_miss = None;
         if let Some(entry) = self.mshrs.remove(&line) {
             self.hierarchy.fill(line, entry.dirty_on_fill);
             for seq in entry.waiters {
@@ -270,7 +279,9 @@ impl Cpu {
     fn retire(&mut self) {
         for _ in 0..self.cfg.width {
             match self.rob.front() {
-                Some(RobEntry { state: EntryState::Ready(at) }) if *at <= self.now => {
+                Some(RobEntry {
+                    state: EntryState::Ready(at),
+                }) if *at <= self.now => {
                     self.rob.pop_front();
                     self.head_seq += 1;
                     self.stats.retired += 1;
@@ -317,7 +328,13 @@ impl Cpu {
                 if dependent && self.chase_block.is_some() {
                     return false;
                 }
-                match self.hierarchy.access(addr, false) {
+                // Retrying the stalled op against an unchanged hierarchy
+                // repeats the same miss; skip the L1+L2 lookup.
+                let result = match self.stalled_miss.take() {
+                    Some(line) => MemAccessResult::Miss { line },
+                    None => self.hierarchy.access(addr, false),
+                };
+                match result {
                     MemAccessResult::L1Hit => {
                         self.stats.loads += 1;
                         self.push_entry(EntryState::Ready(self.now + self.cfg.l1_latency));
@@ -334,10 +351,16 @@ impl Cpu {
                             mshr.waiters.push(seq);
                         } else {
                             if self.mshrs.len() >= self.cfg.lsq_size {
+                                self.stalled_miss = Some(line);
                                 return false; // no MSHR free
                             }
-                            self.mshrs
-                                .insert(line, MshrEntry { waiters: vec![seq], dirty_on_fill: false });
+                            self.mshrs.insert(
+                                line,
+                                MshrEntry {
+                                    waiters: vec![seq],
+                                    dirty_on_fill: false,
+                                },
+                            );
                             self.read_requests.push_back((line, true));
                             self.stats.mem_reads += 1;
                         }
@@ -351,7 +374,11 @@ impl Cpu {
                 }
             }
             Op::Store { addr } => {
-                match self.hierarchy.access(addr, true) {
+                let result = match self.stalled_miss.take() {
+                    Some(line) => MemAccessResult::Miss { line },
+                    None => self.hierarchy.access(addr, true),
+                };
+                match result {
                     MemAccessResult::L1Hit | MemAccessResult::L2Hit => {
                         self.stats.stores += 1;
                         self.push_entry(EntryState::Ready(self.now + 1));
@@ -364,10 +391,16 @@ impl Cpu {
                             mshr.dirty_on_fill = true;
                         } else {
                             if self.mshrs.len() >= self.cfg.lsq_size {
+                                self.stalled_miss = Some(line);
                                 return false;
                             }
-                            self.mshrs
-                                .insert(line, MshrEntry { waiters: Vec::new(), dirty_on_fill: true });
+                            self.mshrs.insert(
+                                line,
+                                MshrEntry {
+                                    waiters: Vec::new(),
+                                    dirty_on_fill: true,
+                                },
+                            );
                             self.read_requests.push_back((line, false));
                             self.stats.mem_reads += 1;
                         }
@@ -423,7 +456,11 @@ mod tests {
         for _ in 0..50 {
             cpu.cycle(&mut src);
         }
-        assert_eq!(cpu.retired(), retired_before, "nothing retires past a blocked load");
+        assert_eq!(
+            cpu.retired(),
+            retired_before,
+            "nothing retires past a blocked load"
+        );
         // Complete it: retirement resumes.
         cpu.complete_read(0x1000, cpu.now());
         for _ in 0..20 {
@@ -504,7 +541,9 @@ mod tests {
         let sets_l1 = cpu.hierarchy().l1d().config().sets() as u64;
         let sets_l2 = cpu.hierarchy().l2().config().sets() as u64;
         let ops: Vec<Op> = (1..=40)
-            .map(|i| Op::Store { addr: i * sets_l1.max(sets_l2) * 64 })
+            .map(|i| Op::Store {
+                addr: i * sets_l1.max(sets_l2) * 64,
+            })
             .collect();
         let mut src2 = ReplaySource::new("evict", ops);
         for _ in 0..4000 {
@@ -526,7 +565,11 @@ mod tests {
         let mut cpu = Cpu::new(cfg);
         // Generate dirty evictions without draining writebacks.
         let sets = cpu.hierarchy().l2().config().sets() as u64;
-        let ops: Vec<Op> = (0..600).map(|i| Op::Store { addr: i * sets * 64 }).collect();
+        let ops: Vec<Op> = (0..600)
+            .map(|i| Op::Store {
+                addr: i * sets * 64,
+            })
+            .collect();
         let mut src = ReplaySource::new("wb", ops);
         for _ in 0..3000 {
             cpu.cycle(&mut src);
@@ -542,7 +585,10 @@ mod tests {
         for _ in 0..10 {
             cpu.cycle(&mut src);
         }
-        assert!(cpu.stats().stall_cycles > stalls_before, "dispatch must stall");
+        assert!(
+            cpu.stats().stall_cycles > stalls_before,
+            "dispatch must stall"
+        );
     }
 
     #[test]
@@ -597,7 +643,14 @@ mod warm_tests {
         let ops: Vec<Op> = (0..64u64).map(|i| Op::load(i * 64)).collect();
         let mut src = ReplaySource::new("lines", ops);
         cpu.warm_caches(&mut src, 256);
-        assert!(cpu.hierarchy().l1d().contains(0), "warmed line must be resident");
-        assert_eq!(cpu.hierarchy().pending_writebacks(), 0, "warming discards writebacks");
+        assert!(
+            cpu.hierarchy().l1d().contains(0),
+            "warmed line must be resident"
+        );
+        assert_eq!(
+            cpu.hierarchy().pending_writebacks(),
+            0,
+            "warming discards writebacks"
+        );
     }
 }

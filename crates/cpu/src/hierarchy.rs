@@ -55,7 +55,10 @@ pub struct HierarchyConfig {
 impl HierarchyConfig {
     /// The paper's baseline hierarchy (Table 3).
     pub fn baseline() -> Self {
-        HierarchyConfig { l1d: CacheConfig::l1d_baseline(), l2: CacheConfig::l2_baseline() }
+        HierarchyConfig {
+            l1d: CacheConfig::l1d_baseline(),
+            l2: CacheConfig::l2_baseline(),
+        }
     }
 }
 
@@ -157,8 +160,16 @@ mod tests {
 
     fn tiny() -> Hierarchy {
         Hierarchy::new(HierarchyConfig {
-            l1d: CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 }, // 2 sets
-            l2: CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 }, // 8 sets
+            l1d: CacheConfig {
+                size_bytes: 256,
+                ways: 2,
+                line_bytes: 64,
+            }, // 2 sets
+            l2: CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+                line_bytes: 64,
+            }, // 8 sets
         })
     }
 
@@ -189,7 +200,7 @@ mod tests {
         let mut h = tiny();
         // Dirty a line, then evict it through both levels.
         h.fill(0, true); // store-miss fill: dirty in L1
-        // Evict from L1 set 0 (stride 128).
+                         // Evict from L1 set 0 (stride 128).
         h.fill(128, false);
         h.fill(256, false);
         // Line 0 is now dirty in L2 (L2 set = line % 8 -> lines 0, 512,

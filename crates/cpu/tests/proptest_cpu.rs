@@ -6,7 +6,11 @@ use proptest::prelude::*;
 use std::collections::HashSet;
 
 fn tiny_cache() -> Cache {
-    Cache::new(CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64 }) // 8 sets
+    Cache::new(CacheConfig {
+        size_bytes: 1024,
+        ways: 2,
+        line_bytes: 64,
+    }) // 8 sets
 }
 
 proptest! {

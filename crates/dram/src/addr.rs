@@ -113,7 +113,10 @@ pub struct AddressMapper {
 }
 
 fn bits_for(n: u64) -> u32 {
-    debug_assert!(n.is_power_of_two(), "geometry dimensions must be powers of two, got {n}");
+    debug_assert!(
+        n.is_power_of_two(),
+        "geometry dimensions must be powers of two, got {n}"
+    );
     n.trailing_zeros()
 }
 
@@ -149,7 +152,11 @@ impl AddressMapper {
 
     /// Total number of address bits consumed by the mapping.
     pub fn addr_bits(&self) -> u32 {
-        self.offset_bits + self.col_bits + self.channel_bits + self.bank_bits + self.rank_bits
+        self.offset_bits
+            + self.col_bits
+            + self.channel_bits
+            + self.bank_bits
+            + self.rank_bits
             + self.row_bits
     }
 
@@ -169,14 +176,18 @@ impl AddressMapper {
                 let bank = take(self.bank_bits);
                 let rank = take(self.rank_bits);
                 let row = take(self.row_bits);
-                Loc::new(channel as u8, rank as u8, bank as u8, row as u32, col as u32)
+                Loc::new(
+                    channel as u8,
+                    rank as u8,
+                    bank as u8,
+                    row as u32,
+                    col as u32,
+                )
             }
             AddressMapping::CacheLineInterleaving => {
                 // Line offset within the column field stays low; the
                 // channel/bank/rank bits sit right above one cache line.
-                let line_cols = bits_for(u64::from(
-                    self.geometry.burst_length.max(1),
-                ));
+                let line_cols = bits_for(u64::from(self.geometry.burst_length.max(1)));
                 let col_lo = take(line_cols.min(self.col_bits));
                 let channel = take(self.channel_bits);
                 let bank = take(self.bank_bits);
@@ -184,7 +195,13 @@ impl AddressMapper {
                 let col_hi = take(self.col_bits.saturating_sub(line_cols));
                 let row = take(self.row_bits);
                 let col = (col_hi << line_cols.min(self.col_bits)) | col_lo;
-                Loc::new(channel as u8, rank as u8, bank as u8, row as u32, col as u32)
+                Loc::new(
+                    channel as u8,
+                    rank as u8,
+                    bank as u8,
+                    row as u32,
+                    col as u32,
+                )
             }
             AddressMapping::Permutation => {
                 let col = take(self.col_bits);
@@ -221,7 +238,13 @@ impl AddressMapper {
                 let bank = take_hi(self.bank_bits);
                 let rank = take_hi(self.rank_bits);
                 let row = take_hi(self.row_bits);
-                Loc::new(channel as u8, rank as u8, bank as u8, row as u32, col as u32)
+                Loc::new(
+                    channel as u8,
+                    rank as u8,
+                    bank as u8,
+                    row as u32,
+                    col as u32,
+                )
             }
         }
     }
@@ -256,7 +279,10 @@ impl AddressMapper {
             }
             AddressMapping::Permutation => {
                 let xor_mask = (u64::from(loc.row) & ((1u64 << self.bank_bits) - 1)) as u8;
-                let stored = Loc { bank: loc.bank ^ xor_mask, ..loc };
+                let stored = Loc {
+                    bank: loc.bank ^ xor_mask,
+                    ..loc
+                };
                 let plain = AddressMapper {
                     mapping: AddressMapping::PageInterleaving,
                     ..*self
@@ -369,11 +395,17 @@ mod tests {
         let a1 = PhysAddr::new(stride); // row+1, same bank under page interleaving
         let p0 = page.decode(a0);
         let p1 = page.decode(a1);
-        assert_eq!((p0.channel, p0.rank, p0.bank), (p1.channel, p1.rank, p1.bank));
+        assert_eq!(
+            (p0.channel, p0.rank, p0.bank),
+            (p1.channel, p1.rank, p1.bank)
+        );
         assert_ne!(p0.row, p1.row);
         let q0 = perm.decode(a0);
         let q1 = perm.decode(a1);
-        assert_ne!(q0.bank, q1.bank, "permutation should split conflicting rows");
+        assert_ne!(
+            q0.bank, q1.bank,
+            "permutation should split conflicting rows"
+        );
     }
 
     #[test]

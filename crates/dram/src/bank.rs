@@ -108,7 +108,10 @@ impl Bank {
         t: &TimingParams,
         auto_precharge: bool,
     ) -> (Cycle, Cycle) {
-        debug_assert!(now >= self.col_allowed_at, "illegal READ at {now}: {self:?}");
+        debug_assert!(
+            now >= self.col_allowed_at,
+            "illegal READ at {now}: {self:?}"
+        );
         let start = now + t.t_cl;
         let end = start + burst_cycles;
         self.pre_allowed_at = self.pre_allowed_at.max(now + burst_cycles + t.t_rtp);
@@ -128,7 +131,10 @@ impl Bank {
         t: &TimingParams,
         auto_precharge: bool,
     ) -> (Cycle, Cycle) {
-        debug_assert!(now >= self.col_allowed_at, "illegal WRITE at {now}: {self:?}");
+        debug_assert!(
+            now >= self.col_allowed_at,
+            "illegal WRITE at {now}: {self:?}"
+        );
         let start = now + t.t_cwl;
         let end = start + burst_cycles;
         self.pre_allowed_at = self.pre_allowed_at.max(end + t.t_wr);
@@ -177,7 +183,10 @@ mod tests {
         assert_eq!(b.row_state(43), RowState::Conflict);
         assert!(!b.can_column(42, 10 + t.t_rcd - 1));
         assert!(b.can_column(42, 10 + t.t_rcd));
-        assert!(!b.can_column(43, 10 + t.t_rcd), "wrong row must not be accessible");
+        assert!(
+            !b.can_column(43, 10 + t.t_rcd),
+            "wrong row must not be accessible"
+        );
     }
 
     #[test]
@@ -224,7 +233,10 @@ mod tests {
         b.column_read(t.t_rcd, 4, &t, true);
         assert_eq!(b.open_row(), None);
         assert_eq!(b.row_state(1), RowState::Empty);
-        assert!(b.act_ready_at() > t.t_rcd, "tRP must elapse after auto-precharge");
+        assert!(
+            b.act_ready_at() > t.t_rcd,
+            "tRP must elapse after auto-precharge"
+        );
     }
 
     #[test]

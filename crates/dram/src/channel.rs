@@ -39,6 +39,13 @@ pub struct Channel {
     last_cmd_at: Option<Cycle>,
     next_refresh: Vec<Cycle>,
     refresh_pending: Vec<bool>,
+    /// Cached minimum of `next_refresh`, letting `tick` skip the per-rank
+    /// scan while no refresh is due or pending. May be stale-low after a
+    /// scheduler-issued `RefreshAll` (which only delays refreshes), so it
+    /// is always a safe lower bound.
+    next_refresh_min: Cycle,
+    /// Whether any rank currently has a refresh pending (same caching).
+    any_refresh_pending: bool,
     stats: BusStats,
     recording: bool,
     events: Vec<IssueEvent>,
@@ -75,8 +82,12 @@ impl Channel {
             last_data_rank: None,
             last_data_dir: None,
             last_cmd_at: None,
-            next_refresh: (0..nranks as u64).map(|r| cfg.timing.t_refi + r * stagger).collect(),
+            next_refresh: (0..nranks as u64)
+                .map(|r| cfg.timing.t_refi + r * stagger)
+                .collect(),
             refresh_pending: vec![false; nranks],
+            next_refresh_min: cfg.timing.t_refi,
+            any_refresh_pending: false,
             stats: BusStats::new(),
             recording: false,
             events: Vec::new(),
@@ -271,9 +282,10 @@ impl Channel {
                     Dir::Read => self.rank(loc.rank).read_ready_at(t),
                     Dir::Write => self.rank(loc.rank).write_ready_at(),
                 };
-                bank.col_ready_at()
-                    .max(rank_ready)
-                    .max(self.data_start_ready_at(loc.rank, dir).saturating_sub(latency))
+                bank.col_ready_at().max(rank_ready).max(
+                    self.data_start_ready_at(loc.rank, dir)
+                        .saturating_sub(latency),
+                )
             }
             Command::RefreshAll { .. } => return None,
         };
@@ -287,7 +299,10 @@ impl Channel {
     /// Debug-asserts that [`Channel::can_issue`] holds; issuing an illegal
     /// command in release builds corrupts timing state.
     pub fn issue(&mut self, cmd: &Command, now: Cycle) -> Issued {
-        debug_assert!(self.can_issue(cmd, now), "illegal issue of {cmd:?} at {now}");
+        debug_assert!(
+            self.can_issue(cmd, now),
+            "illegal issue of {cmd:?} at {now}"
+        );
         // Shadow-validate before mutating so the checker sees the same
         // pre-command state the legality rules apply to. Refreshes are
         // observed inside `perform_refresh`, which both issue paths share.
@@ -314,7 +329,11 @@ impl Channel {
                 self.stats.precharges += 1;
                 Issued::no_data()
             }
-            Command::Column { loc, dir, auto_precharge } => {
+            Command::Column {
+                loc,
+                dir,
+                auto_precharge,
+            } => {
                 let idx = self.bank_index(loc.rank, loc.bank);
                 let (start, end) = match dir {
                     Dir::Read => {
@@ -340,7 +359,10 @@ impl Channel {
                 self.last_data_rank = Some(loc.rank);
                 self.last_data_dir = Some(dir);
                 self.stats.data_cycles += end - start;
-                Issued { data_start: start, data_end: end }
+                Issued {
+                    data_start: start,
+                    data_end: end,
+                }
             }
             Command::RefreshAll { rank } => {
                 self.perform_refresh(rank, now);
@@ -375,7 +397,9 @@ impl Channel {
         let t = self.cfg.timing;
         let base = self.bank_index(rank, 0);
         let n = usize::from(self.cfg.geometry.banks_per_rank);
-        let any_open = self.banks[base..base + n].iter().any(|b| b.open_row().is_some());
+        let any_open = self.banks[base..base + n]
+            .iter()
+            .any(|b| b.open_row().is_some());
         // Precharge-all (if needed) then refresh: the refresh proper starts
         // after tRP when any bank had an open row.
         let start = if any_open { now + t.t_rp } else { now };
@@ -394,7 +418,14 @@ impl Channel {
     /// Advances housekeeping to cycle `now`: marks due refreshes pending and
     /// performs them as soon as their rank quiesces. Call once per cycle
     /// before issuing commands.
+    ///
+    /// Idle fast-path: between refresh events nothing in here can change
+    /// state, so the per-rank scan is skipped entirely while no refresh is
+    /// pending and the earliest due cycle is still in the future.
     pub fn tick(&mut self, now: Cycle) {
+        if !self.any_refresh_pending && now < self.next_refresh_min {
+            return;
+        }
         for r in 0..self.ranks.len() {
             if now >= self.next_refresh[r] {
                 self.refresh_pending[r] = true;
@@ -403,6 +434,13 @@ impl Channel {
                 self.perform_refresh(r as u8, now);
             }
         }
+        self.any_refresh_pending = self.refresh_pending.iter().any(|&p| p);
+        self.next_refresh_min = self
+            .next_refresh
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Cycle::MAX);
     }
 }
 
@@ -429,7 +467,10 @@ mod tests {
         assert!(!ch.can_issue(&Command::read(l), t.timing.t_rcd - 1));
         let issued = ch.issue(&Command::read(l), t.timing.t_rcd);
         assert_eq!(issued.data_start, t.timing.t_rcd + t.timing.t_cl);
-        assert_eq!(issued.data_end - issued.data_start, t.geometry.burst_cycles());
+        assert_eq!(
+            issued.data_end - issued.data_start,
+            t.geometry.burst_cycles()
+        );
     }
 
     #[test]
@@ -438,7 +479,10 @@ mod tests {
         let a = loc(0, 1, 0);
         let b = loc(1, 1, 0);
         ch.issue(&Command::Activate(a), 5);
-        assert!(!ch.can_issue(&Command::Activate(b), 5), "command bus taken this cycle");
+        assert!(
+            !ch.can_issue(&Command::Activate(b), 5),
+            "command bus taken this cycle"
+        );
         // Next cycle is fine (tRRD permitting).
         let t = ch.config().timing;
         assert!(ch.can_issue(&Command::Activate(b), 5 + t.t_rrd));
@@ -457,7 +501,10 @@ mod tests {
         let second_cmd_at = first.data_end - t.t_cl;
         assert!(ch.can_issue(&Command::read(l1), second_cmd_at));
         let second = ch.issue(&Command::read(l1), second_cmd_at);
-        assert_eq!(second.data_start, first.data_end, "hits stream with no bubble");
+        assert_eq!(
+            second.data_start, first.data_end,
+            "hits stream with no bubble"
+        );
         assert_eq!(second.data_end - first.data_start, 2 * burst);
     }
 
@@ -469,8 +516,14 @@ mod tests {
         let l1 = loc(0, 4, 0);
         ch.issue(&Command::Activate(l0), 0);
         assert_eq!(ch.row_state(l1), RowState::Conflict);
-        assert!(!ch.can_issue(&Command::Activate(l1), t.t_rcd), "row open: must precharge first");
-        assert!(!ch.can_issue(&Command::Precharge(l1), t.t_ras - 1), "tRAS not yet met");
+        assert!(
+            !ch.can_issue(&Command::Activate(l1), t.t_rcd),
+            "row open: must precharge first"
+        );
+        assert!(
+            !ch.can_issue(&Command::Precharge(l1), t.t_ras - 1),
+            "tRAS not yet met"
+        );
         ch.issue(&Command::Precharge(l1), t.t_ras);
         assert_eq!(ch.row_state(l1), RowState::Empty);
         assert!(!ch.can_issue(&Command::Activate(l1), t.t_ras + t.t_rp - 1));
@@ -531,8 +584,15 @@ mod tests {
         }
         let at = refreshed_at.expect("refresh must happen");
         assert!(at >= 100);
-        assert_eq!(ch.row_state(l), RowState::Empty, "refresh leaves rows closed");
-        assert!(!ch.can_issue(&Command::Activate(l), at + 1), "rank busy during tRFC");
+        assert_eq!(
+            ch.row_state(l),
+            RowState::Empty,
+            "refresh leaves rows closed"
+        );
+        assert!(
+            !ch.can_issue(&Command::Activate(l), at + 1),
+            "rank busy during tRFC"
+        );
         assert!(ch.can_issue(&Command::Activate(l), at + t.t_rp + t.t_rfc));
     }
 

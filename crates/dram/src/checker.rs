@@ -88,7 +88,11 @@ pub struct Violation {
 
 impl core::fmt::Display for Violation {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "cycle {}: {} violation by {:?}: {}", self.at, self.kind, self.cmd, self.detail)
+        write!(
+            f,
+            "cycle {}: {} violation by {:?}: {}",
+            self.at, self.kind, self.cmd, self.detail
+        )
     }
 }
 
@@ -214,7 +218,12 @@ impl ProtocolChecker {
     fn record(&mut self, at: Cycle, cmd: &Command, kind: ViolationKind, detail: String) {
         self.total += 1;
         if self.recorded.len() < MAX_RECORDED {
-            self.recorded.push(Violation { at, cmd: *cmd, kind, detail });
+            self.recorded.push(Violation {
+                at,
+                cmd: *cmd,
+                kind,
+                detail,
+            });
         }
     }
 
@@ -250,7 +259,10 @@ impl ProtocolChecker {
                         now,
                         cmd,
                         ViolationKind::RankBusy,
-                        format!("rank {} refreshing until {}", loc.rank, self.ranks[rk].busy_until),
+                        format!(
+                            "rank {} refreshing until {}",
+                            loc.rank, self.ranks[rk].busy_until
+                        ),
                     );
                 }
                 if self.ranks[rk].act_count > 0 {
@@ -316,7 +328,10 @@ impl ProtocolChecker {
                         now,
                         cmd,
                         ViolationKind::RankBusy,
-                        format!("rank {} refreshing until {}", loc.rank, self.ranks[rk].busy_until),
+                        format!(
+                            "rank {} refreshing until {}",
+                            loc.rank, self.ranks[rk].busy_until
+                        ),
                     );
                 }
                 let bi = self.bank_index(loc.rank, loc.bank);
@@ -346,14 +361,21 @@ impl ProtocolChecker {
                 b.open_row = None;
                 b.act_ready = b.act_ready.max(now + t.t_rp);
             }
-            Command::Column { loc, dir, auto_precharge } => {
+            Command::Column {
+                loc,
+                dir,
+                auto_precharge,
+            } => {
                 let rk = usize::from(loc.rank);
                 if self.ranks[rk].busy_until > now {
                     self.record(
                         now,
                         cmd,
                         ViolationKind::RankBusy,
-                        format!("rank {} refreshing until {}", loc.rank, self.ranks[rk].busy_until),
+                        format!(
+                            "rank {} refreshing until {}",
+                            loc.rank, self.ranks[rk].busy_until
+                        ),
                     );
                 }
                 let bi = self.bank_index(loc.rank, loc.bank);
@@ -536,7 +558,11 @@ mod tests {
         assert_eq!(v.kind, ViolationKind::Trcd);
         assert_eq!(v.at, 10 + t.t_rcd - 1);
         assert!(v.detail.contains("activate at 10"), "detail: {}", v.detail);
-        assert!(v.detail.contains(&format!("legal at {}", 10 + t.t_rcd)), "detail: {}", v.detail);
+        assert!(
+            v.detail.contains(&format!("legal at {}", 10 + t.t_rcd)),
+            "detail: {}",
+            v.detail
+        );
     }
 
     #[test]
@@ -574,7 +600,9 @@ mod tests {
         let write_end = t.t_rcd + t.t_cwl + burst;
         chk.observe(&Command::read(l), write_end + t.t_wtr - 1);
         assert!(
-            chk.violations().iter().any(|v| v.kind == ViolationKind::Twtr),
+            chk.violations()
+                .iter()
+                .any(|v| v.kind == ViolationKind::Twtr),
             "violations: {:?}",
             chk.violations()
         );
@@ -592,7 +620,10 @@ mod tests {
         chk.observe(&Command::read(a), t.t_rcd + t.t_rrd);
         // Second read one cycle later: its data would overlap the first's.
         chk.observe(&Command::read(b), t.t_rcd + t.t_rrd + 1);
-        assert!(chk.violations().iter().any(|v| v.kind == ViolationKind::Trtrs));
+        assert!(chk
+            .violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::Trtrs));
     }
 
     #[test]
@@ -613,7 +644,10 @@ mod tests {
         let mut chk = ProtocolChecker::new(c);
         chk.observe(&Command::Activate(loc(0, 1, 0)), 5);
         chk.observe(&Command::Activate(loc(1, 1, 0)), 5);
-        assert!(chk.violations().iter().any(|v| v.kind == ViolationKind::CmdBus));
+        assert!(chk
+            .violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::CmdBus));
     }
 
     #[test]

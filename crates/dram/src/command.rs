@@ -62,12 +62,20 @@ pub enum Command {
 impl Command {
     /// A plain column read without auto-precharge.
     pub fn read(loc: Loc) -> Self {
-        Command::Column { loc, dir: Dir::Read, auto_precharge: false }
+        Command::Column {
+            loc,
+            dir: Dir::Read,
+            auto_precharge: false,
+        }
     }
 
     /// A plain column write without auto-precharge.
     pub fn write(loc: Loc) -> Self {
-        Command::Column { loc, dir: Dir::Write, auto_precharge: false }
+        Command::Column {
+            loc,
+            dir: Dir::Write,
+            auto_precharge: false,
+        }
     }
 
     /// The bank this command targets, if it targets a single bank.

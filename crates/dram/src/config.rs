@@ -73,7 +73,9 @@ impl Geometry {
 
     /// Total number of banks across all channels and ranks.
     pub fn total_banks(&self) -> u32 {
-        u32::from(self.channels) * u32::from(self.ranks_per_channel) * u32::from(self.banks_per_rank)
+        u32::from(self.channels)
+            * u32::from(self.ranks_per_channel)
+            * u32::from(self.banks_per_rank)
     }
 
     /// Total device capacity in bytes.
@@ -155,14 +157,14 @@ impl TimingParams {
             t_cl: 5,
             t_rcd: 5,
             t_rp: 5,
-            t_ras: 18,  // 45 ns
-            t_cwl: 4,   // tCL - 1
-            t_wr: 6,    // 15 ns
-            t_wtr: 3,   // 7.5 ns
-            t_rtp: 3,   // 7.5 ns
-            t_rrd: 3,   // 7.5 ns
-            t_faw: 18,  // 45 ns
-            t_rtrs: 2,  // rank-to-rank turnaround, ~5 ns on DDR2-800
+            t_ras: 18, // 45 ns
+            t_cwl: 4,  // tCL - 1
+            t_wr: 6,   // 15 ns
+            t_wtr: 3,  // 7.5 ns
+            t_rtp: 3,  // 7.5 ns
+            t_rrd: 3,  // 7.5 ns
+            t_faw: 18, // 45 ns
+            t_rtrs: 2, // rank-to-rank turnaround, ~5 ns on DDR2-800
             t_dir_turn: 2,
             t_refi: 3_120, // 7.8 us
             t_rfc: 51,     // 127.5 ns
@@ -176,9 +178,9 @@ impl TimingParams {
             t_cl: 2,
             t_rcd: 2,
             t_rp: 2,
-            t_ras: 6,  // 45 ns at 133 MHz
+            t_ras: 6, // 45 ns at 133 MHz
             t_cwl: 1,
-            t_wr: 2,   // 15 ns
+            t_wr: 2, // 15 ns
             t_wtr: 1,
             t_rtp: 1,
             t_rrd: 1,
@@ -198,13 +200,13 @@ impl TimingParams {
             t_cl: 9,
             t_rcd: 9,
             t_rp: 9,
-            t_ras: 24,  // 36 ns
+            t_ras: 24, // 36 ns
             t_cwl: 7,
-            t_wr: 10,   // 15 ns
-            t_wtr: 5,   // 7.5 ns
+            t_wr: 10, // 15 ns
+            t_wtr: 5, // 7.5 ns
             t_rtp: 5,
-            t_rrd: 4,   // 6 ns
-            t_faw: 20,  // 30 ns
+            t_rrd: 4,  // 6 ns
+            t_faw: 20, // 30 ns
             t_rtrs: 2,
             t_dir_turn: 2,
             t_refi: 5_200, // 7.8 us
@@ -372,6 +374,9 @@ mod tests {
     fn ddr3_timing_is_9_9_9() {
         let t = TimingParams::ddr3_1333();
         assert_eq!((t.t_cl, t.t_rcd, t.t_rp), (9, 9, 9));
-        assert!(t.t_rfc > TimingParams::ddr2_pc2_6400().t_rfc, "bigger devices refresh longer");
+        assert!(
+            t.t_rfc > TimingParams::ddr2_pc2_6400().t_rfc,
+            "bigger devices refresh longer"
+        );
     }
 }

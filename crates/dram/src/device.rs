@@ -26,7 +26,9 @@ impl Dram {
     /// Creates an idle memory device.
     pub fn new(cfg: DramConfig, mapping: AddressMapping) -> Self {
         Dram {
-            channels: (0..cfg.geometry.channels).map(|_| Channel::new(cfg)).collect(),
+            channels: (0..cfg.geometry.channels)
+                .map(|_| Channel::new(cfg))
+                .collect(),
             mapper: AddressMapper::new(cfg.geometry, mapping),
         }
     }
@@ -138,8 +140,10 @@ mod tests {
     #[test]
     fn total_stats_merges_channels() {
         let mut mem = Dram::new(DramConfig::baseline(), AddressMapping::PageInterleaving);
-        mem.channel_mut(0).issue(&Command::Activate(Loc::new(0, 0, 0, 1, 0)), 0);
-        mem.channel_mut(1).issue(&Command::Activate(Loc::new(1, 0, 0, 1, 0)), 0);
+        mem.channel_mut(0)
+            .issue(&Command::Activate(Loc::new(0, 0, 0, 1, 0)), 0);
+        mem.channel_mut(1)
+            .issue(&Command::Activate(Loc::new(1, 0, 0, 1, 0)), 0);
         assert_eq!(mem.total_stats().activates, 2);
     }
 

@@ -105,8 +105,7 @@ impl EnergyBreakdown {
             read_nj: stats.reads as f64 * params.read_nj,
             write_nj: stats.writes as f64 * params.write_nj,
             refresh_nj: stats.refreshes as f64 * params.refresh_nj,
-            background_nj: params.background_mw_per_rank * 1e-3 * f64::from(ranks) * seconds
-                * 1e9,
+            background_nj: params.background_mw_per_rank * 1e-3 * f64::from(ranks) * seconds * 1e9,
         }
     }
 
@@ -153,13 +152,29 @@ mod tests {
         assert_eq!(e.activate_nj, 0.0);
         assert_eq!(e.read_nj, 0.0);
         // 1 ms x 4 ranks x 99 mW = 396 microjoules = 396_000 nJ.
-        assert!((e.background_nj - 396_000.0).abs() < 1.0, "{}", e.background_nj);
+        assert!(
+            (e.background_nj - 396_000.0).abs() < 1.0,
+            "{}",
+            e.background_nj
+        );
     }
 
     #[test]
     fn event_energies_scale_linearly() {
-        let s1 = BusStats { activates: 10, reads: 20, writes: 5, refreshes: 2, ..BusStats::default() };
-        let s2 = BusStats { activates: 20, reads: 40, writes: 10, refreshes: 4, ..BusStats::default() };
+        let s1 = BusStats {
+            activates: 10,
+            reads: 20,
+            writes: 5,
+            refreshes: 2,
+            ..BusStats::default()
+        };
+        let s2 = BusStats {
+            activates: 20,
+            reads: 40,
+            writes: 10,
+            refreshes: 4,
+            ..BusStats::default()
+        };
         let e1 = EnergyBreakdown::estimate(&s1, 0, 4, &params());
         let e2 = EnergyBreakdown::estimate(&s2, 0, 4, &params());
         assert!((e2.activate_nj - 2.0 * e1.activate_nj).abs() < 1e-9);
@@ -173,7 +188,11 @@ mod tests {
         // An access under close-page autoprecharge issues one ACT and one
         // auto-PRE; IDD0 already covers the pair, so energy counts the ACT
         // once.
-        let s = BusStats { activates: 5, auto_precharges: 5, ..BusStats::default() };
+        let s = BusStats {
+            activates: 5,
+            auto_precharges: 5,
+            ..BusStats::default()
+        };
         let e = EnergyBreakdown::estimate(&s, 0, 1, &params());
         assert!((e.activate_nj - 5.0 * params().activate_nj).abs() < 1e-9);
     }
@@ -182,8 +201,16 @@ mod tests {
     fn fewer_activates_cost_less() {
         // Same data moved, different row-hit rates: the hit-friendly
         // schedule must be cheaper.
-        let hits = BusStats { activates: 100, reads: 1000, ..BusStats::default() };
-        let conflicts = BusStats { activates: 900, reads: 1000, ..BusStats::default() };
+        let hits = BusStats {
+            activates: 100,
+            reads: 1000,
+            ..BusStats::default()
+        };
+        let conflicts = BusStats {
+            activates: 900,
+            reads: 1000,
+            ..BusStats::default()
+        };
         let e_hits = EnergyBreakdown::estimate(&hits, 50_000, 4, &params());
         let e_conf = EnergyBreakdown::estimate(&conflicts, 50_000, 4, &params());
         assert!(e_hits.total_nj() < e_conf.total_nj());
@@ -191,7 +218,10 @@ mod tests {
 
     #[test]
     fn shorter_runs_pay_less_background() {
-        let s = BusStats { reads: 100, ..BusStats::default() };
+        let s = BusStats {
+            reads: 100,
+            ..BusStats::default()
+        };
         let fast = EnergyBreakdown::estimate(&s, 10_000, 4, &params());
         let slow = EnergyBreakdown::estimate(&s, 20_000, 4, &params());
         assert!(fast.background_nj < slow.background_nj);
@@ -215,7 +245,10 @@ mod tests {
 
     #[test]
     fn per_access_energy() {
-        let s = BusStats { reads: 10, ..BusStats::default() };
+        let s = BusStats {
+            reads: 10,
+            ..BusStats::default()
+        };
         let e = EnergyBreakdown::estimate(&s, 0, 1, &params());
         assert!((e.per_access_nj(10) - params().read_nj).abs() < 1e-9);
         assert_eq!(EnergyBreakdown::default().per_access_nj(0), 0.0);

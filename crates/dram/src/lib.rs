@@ -86,7 +86,13 @@ pub struct Loc {
 impl Loc {
     /// Creates a location from its five coordinates.
     pub fn new(channel: u8, rank: u8, bank: u8, row: u32, col: u32) -> Self {
-        Loc { channel, rank, bank, row, col }
+        Loc {
+            channel,
+            rank,
+            bank,
+            row,
+            col,
+        }
     }
 
     /// `true` if `other` names the same bank (channel, rank and bank match).

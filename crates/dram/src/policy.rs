@@ -56,7 +56,10 @@ mod tests {
         let t = TimingParams::ddr2_pc2_6400();
         let p = RowPolicy::OpenPage;
         assert_eq!(p.access_latency(RowState::Hit, &t), Some(t.t_cl));
-        assert_eq!(p.access_latency(RowState::Empty, &t), Some(t.t_rcd + t.t_cl));
+        assert_eq!(
+            p.access_latency(RowState::Empty, &t),
+            Some(t.t_rcd + t.t_cl)
+        );
         assert_eq!(
             p.access_latency(RowState::Conflict, &t),
             Some(t.t_rp + t.t_rcd + t.t_cl)
@@ -68,8 +71,15 @@ mod tests {
         let t = TimingParams::ddr2_pc2_6400();
         let p = RowPolicy::ClosePageAutoprecharge;
         assert_eq!(p.access_latency(RowState::Hit, &t), None, "N/A in Table 1");
-        assert_eq!(p.access_latency(RowState::Empty, &t), Some(t.t_rcd + t.t_cl));
-        assert_eq!(p.access_latency(RowState::Conflict, &t), None, "N/A in Table 1");
+        assert_eq!(
+            p.access_latency(RowState::Empty, &t),
+            Some(t.t_rcd + t.t_cl)
+        );
+        assert_eq!(
+            p.access_latency(RowState::Conflict, &t),
+            None,
+            "N/A in Table 1"
+        );
     }
 
     #[test]

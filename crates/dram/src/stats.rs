@@ -76,14 +76,22 @@ mod tests {
 
     #[test]
     fn utilization_fractions() {
-        let s = BusStats { cmd_cycles: 25, data_cycles: 40, ..BusStats::default() };
+        let s = BusStats {
+            cmd_cycles: 25,
+            data_cycles: 40,
+            ..BusStats::default()
+        };
         assert!((s.addr_bus_utilization(100) - 0.25).abs() < 1e-12);
         assert!((s.data_bus_utilization(100) - 0.40).abs() < 1e-12);
     }
 
     #[test]
     fn zero_elapsed_is_zero_utilization() {
-        let s = BusStats { cmd_cycles: 5, data_cycles: 5, ..BusStats::default() };
+        let s = BusStats {
+            cmd_cycles: 5,
+            data_cycles: 5,
+            ..BusStats::default()
+        };
         assert_eq!(s.addr_bus_utilization(0), 0.0);
         assert_eq!(s.data_bus_utilization(0), 0.0);
     }
@@ -92,7 +100,10 @@ mod tests {
     fn bandwidth_scales_with_bus_width() {
         // 42% utilisation of a 64-bit (8-byte) DDR bus at 400 MHz is the
         // paper's 2.7 GB/s headline: 0.42 * 16 B/cycle * 400e6 = 2.69 GB/s.
-        let s = BusStats { data_cycles: 42, ..BusStats::default() };
+        let s = BusStats {
+            data_cycles: 42,
+            ..BusStats::default()
+        };
         let bpc = s.effective_bandwidth_bytes_per_cycle(100, 8);
         let gb_per_s = bpc * 400e6 / 1e9;
         assert!((gb_per_s - 2.688).abs() < 0.01, "got {gb_per_s}");
@@ -100,8 +111,18 @@ mod tests {
 
     #[test]
     fn merge_adds_counters() {
-        let mut a = BusStats { reads: 1, writes: 2, data_cycles: 3, ..BusStats::default() };
-        let b = BusStats { reads: 10, writes: 20, data_cycles: 30, ..BusStats::default() };
+        let mut a = BusStats {
+            reads: 1,
+            writes: 2,
+            data_cycles: 3,
+            ..BusStats::default()
+        };
+        let b = BusStats {
+            reads: 10,
+            writes: 20,
+            data_cycles: 30,
+            ..BusStats::default()
+        };
         a.merge(&b);
         assert_eq!((a.reads, a.writes, a.data_cycles), (11, 22, 33));
     }

@@ -17,8 +17,12 @@ struct Req {
 }
 
 fn req_strategy(banks: u8, rows: u32, cols: u32) -> impl Strategy<Value = Req> {
-    (0..banks, 0..rows, 0..cols, any::<bool>())
-        .prop_map(|(bank, row, col, write)| Req { bank, row, col: col * 8, write })
+    (0..banks, 0..rows, 0..cols, any::<bool>()).prop_map(|(bank, row, col, write)| Req {
+        bank,
+        row,
+        col: col * 8,
+        write,
+    })
 }
 
 /// Greedily executes requests in order on one channel, returning each
@@ -33,7 +37,11 @@ fn drive(cfg: DramConfig, reqs: &[Req]) -> Vec<(Cycle, Cycle, Cycle)> {
         loop {
             ch.tick(now);
             let cmd = match ch.row_state(loc) {
-                RowState::Hit => Command::Column { loc, dir, auto_precharge: false },
+                RowState::Hit => Command::Column {
+                    loc,
+                    dir,
+                    auto_precharge: false,
+                },
                 RowState::Empty => Command::Activate(loc),
                 RowState::Conflict => Command::Precharge(loc),
             };

@@ -210,15 +210,28 @@ fn auto_precharge_matches_explicit_precharge_timing() {
     ch_a.issue(&Command::Activate(loc(0, 1, 0)), 0);
     let rd_at = t().t_rcd;
     ch_a.issue(&Command::read(loc(0, 1, 0)), rd_at);
-    let pre_at = ch_a.earliest_issue(&Command::Precharge(loc(0, 1, 0)), rd_at).unwrap();
+    let pre_at = ch_a
+        .earliest_issue(&Command::Precharge(loc(0, 1, 0)), rd_at)
+        .unwrap();
     ch_a.issue(&Command::Precharge(loc(0, 1, 0)), pre_at);
-    let act_a = ch_a.earliest_issue(&Command::Activate(loc(0, 2, 0)), pre_at).unwrap();
+    let act_a = ch_a
+        .earliest_issue(&Command::Activate(loc(0, 2, 0)), pre_at)
+        .unwrap();
 
     // Path B: auto-precharge read.
     let mut ch_b = Channel::new(c);
     ch_b.issue(&Command::Activate(loc(0, 1, 0)), 0);
-    ch_b.issue(&Command::Column { loc: loc(0, 1, 0), dir: Dir::Read, auto_precharge: true }, rd_at);
-    let act_b = ch_b.earliest_issue(&Command::Activate(loc(0, 2, 0)), rd_at).unwrap();
+    ch_b.issue(
+        &Command::Column {
+            loc: loc(0, 1, 0),
+            dir: Dir::Read,
+            auto_precharge: true,
+        },
+        rd_at,
+    );
+    let act_b = ch_b
+        .earliest_issue(&Command::Activate(loc(0, 2, 0)), rd_at)
+        .unwrap();
 
     assert_eq!(act_a, act_b, "auto-precharge must not be slower or faster");
 }

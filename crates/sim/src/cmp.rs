@@ -118,13 +118,16 @@ impl CmpSystem {
         for offset in 0..cores {
             let core = (self.rr + offset) % cores;
             while self.sched.can_accept(AccessKind::Write) {
-                let Some(line) = self.cpus[core].pop_writeback() else { break };
+                let Some(line) = self.cpus[core].pop_writeback() else {
+                    break;
+                };
                 self.enqueue(core, AccessKind::Write, line, false);
             }
         }
         self.rr = (self.rr + 1) % cores;
 
-        self.sched.tick(&mut self.dram, self.mem_cycle, &mut self.completions);
+        self.sched
+            .tick(&mut self.dram, self.mem_cycle, &mut self.completions);
         for c in self.completions.drain(..) {
             if c.kind == AccessKind::Read {
                 if let Some((core, line)) = self.owners.remove(&c.id) {
@@ -152,9 +155,9 @@ impl CmpSystem {
         if kind == AccessKind::Read {
             self.owners.insert(id, (core, line));
         }
-        let access =
-            Access::new(id, kind, addr, loc, self.mem_cycle).with_critical(critical);
-        self.sched.enqueue(access, self.mem_cycle, &mut self.completions);
+        let access = Access::new(id, kind, addr, loc, self.mem_cycle).with_critical(critical);
+        self.sched
+            .enqueue(access, self.mem_cycle, &mut self.completions);
     }
 
     /// Runs until the *total* retired instruction count reaches `target`.
@@ -191,11 +194,7 @@ impl CmpSystem {
     /// # Panics
     ///
     /// Panics on livelock (no retirement progress for two million cycles).
-    pub fn run_per_core_instructions(
-        &mut self,
-        workloads: &mut [Box<dyn OpSource>],
-        target: u64,
-    ) {
+    pub fn run_per_core_instructions(&mut self, workloads: &mut [Box<dyn OpSource>], target: u64) {
         let mut last = self.total_retired();
         let mut idle = 0u64;
         while self.cpus.iter().any(|c| c.retired() < target) {
@@ -242,10 +241,7 @@ impl CmpSystem {
             self.sched.stats().clone(),
             self.dram.total_stats(),
             cpu_stats,
-            crate::RobustnessReport::collect(
-                self.sched.stats(),
-                self.dram.protocol_violations(),
-            ),
+            crate::RobustnessReport::collect(self.sched.stats(), self.dram.protocol_violations()),
             u64::from(self.cfg.dram.geometry.channels),
         )
     }
@@ -260,7 +256,9 @@ mod tests {
 
     fn workloads(n: usize) -> Vec<Box<dyn OpSource>> {
         let all = SpecBenchmark::all16();
-        (0..n).map(|i| Box::new(all[i * 3 % 16].workload(7 + i as u64)) as Box<dyn OpSource>).collect()
+        (0..n)
+            .map(|i| Box::new(all[i * 3 % 16].workload(7 + i as u64)) as Box<dyn OpSource>)
+            .collect()
     }
 
     #[test]
@@ -270,8 +268,16 @@ mod tests {
         let mut w = workloads(2);
         sys.warm(&mut w);
         sys.run_per_core_instructions(&mut w, 5_000);
-        assert!(sys.retired(0) >= 5_000, "core 0 starved: {}", sys.retired(0));
-        assert!(sys.retired(1) >= 5_000, "core 1 starved: {}", sys.retired(1));
+        assert!(
+            sys.retired(0) >= 5_000,
+            "core 0 starved: {}",
+            sys.retired(0)
+        );
+        assert!(
+            sys.retired(1) >= 5_000,
+            "core 1 starved: {}",
+            sys.retired(1)
+        );
         let r = sys.report("cmp2");
         assert!(r.reads() > 0);
         assert_eq!(r.instructions, sys.total_retired());
@@ -299,8 +305,7 @@ mod tests {
     fn single_core_cmp_matches_system_shape() {
         let cfg = SystemConfig::baseline().with_mechanism(Mechanism::Burst);
         let mut sys = CmpSystem::new(&cfg, 1);
-        let mut w: Vec<Box<dyn OpSource>> =
-            vec![Box::new(SpecBenchmark::Swim.workload(42))];
+        let mut w: Vec<Box<dyn OpSource>> = vec![Box::new(SpecBenchmark::Swim.workload(42))];
         sys.warm(&mut w);
         sys.run_total_instructions(&mut w, 5_000);
         let cmp_report = sys.report("swim");

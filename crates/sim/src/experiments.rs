@@ -70,21 +70,44 @@ pub struct Sweep {
 }
 
 impl Sweep {
-    /// Runs `benchmarks` x `mechanisms`, each for `len` at `seed`.
+    /// Runs `benchmarks` x `mechanisms`, each for `len` at `seed`, on the
+    /// default number of worker threads (see [`crate::default_jobs`]).
     pub fn run(
         benchmarks: &[SpecBenchmark],
         mechanisms: &[Mechanism],
         len: RunLength,
         seed: u64,
     ) -> Sweep {
-        let mut cells = Vec::with_capacity(benchmarks.len() * mechanisms.len());
+        Self::run_with_jobs(benchmarks, mechanisms, len, seed, 0)
+    }
+
+    /// Like [`Sweep::run`], with an explicit worker-thread count: `0`
+    /// auto-detects, `1` runs serially inline. Cell order — and every cell's
+    /// report — is identical for any job count: each cell is an independent
+    /// seeded simulation and [`crate::map_parallel`] returns results in
+    /// input order.
+    pub fn run_with_jobs(
+        benchmarks: &[SpecBenchmark],
+        mechanisms: &[Mechanism],
+        len: RunLength,
+        seed: u64,
+        jobs: usize,
+    ) -> Sweep {
+        let mut grid = Vec::with_capacity(benchmarks.len() * mechanisms.len());
         for &b in benchmarks {
             for &m in mechanisms {
-                let cfg = SystemConfig::baseline().with_mechanism(m);
-                let report = simulate(&cfg, b.workload(seed), len);
-                cells.push(SweepCell { benchmark: b, mechanism: m, report });
+                grid.push((b, m));
             }
         }
+        let cells = crate::map_parallel(&grid, jobs, |_, &(b, m)| {
+            let cfg = SystemConfig::baseline().with_mechanism(m);
+            let report = simulate(&cfg, b.workload(seed), len);
+            SweepCell {
+                benchmark: b,
+                mechanism: m,
+                report,
+            }
+        });
         Sweep { cells }
     }
 
@@ -128,7 +151,10 @@ impl Sweep {
                 let n = cells.len() as f64;
                 Fig7Row {
                     mechanism: m,
-                    read_latency: cells.iter().map(|c| c.report.ctrl.avg_read_latency()).sum::<f64>()
+                    read_latency: cells
+                        .iter()
+                        .map(|c| c.report.ctrl.avg_read_latency())
+                        .sum::<f64>()
                         / n,
                     write_latency: cells
                         .iter()
@@ -184,7 +210,10 @@ impl Sweep {
                         (m, cell.report.cpu_cycles as f64 / base)
                     })
                     .collect();
-                Fig10Row { benchmark: b, normalized }
+                Fig10Row {
+                    benchmark: b,
+                    normalized,
+                }
             })
             .collect()
     }
@@ -273,13 +302,33 @@ pub struct OutstandingRow {
 /// Figure 8: distribution of outstanding accesses for `benchmark` (the
 /// paper uses swim) under the Figure 8 mechanisms.
 pub fn fig8(benchmark: SpecBenchmark, len: RunLength, seed: u64) -> Vec<OutstandingRow> {
-    outstanding_rows(benchmark, &fig8_mechanisms(), len, seed)
+    outstanding_rows(benchmark, &fig8_mechanisms(), len, seed, 0)
+}
+
+/// [`fig8`] with an explicit worker-thread count (`0` = auto-detect).
+pub fn fig8_with_jobs(
+    benchmark: SpecBenchmark,
+    len: RunLength,
+    seed: u64,
+    jobs: usize,
+) -> Vec<OutstandingRow> {
+    outstanding_rows(benchmark, &fig8_mechanisms(), len, seed, jobs)
 }
 
 /// Figure 11: distribution of outstanding accesses for `benchmark` under
 /// the threshold sweep.
 pub fn fig11(benchmark: SpecBenchmark, len: RunLength, seed: u64) -> Vec<OutstandingRow> {
-    outstanding_rows(benchmark, &fig12_mechanisms(), len, seed)
+    outstanding_rows(benchmark, &fig12_mechanisms(), len, seed, 0)
+}
+
+/// [`fig11`] with an explicit worker-thread count (`0` = auto-detect).
+pub fn fig11_with_jobs(
+    benchmark: SpecBenchmark,
+    len: RunLength,
+    seed: u64,
+    jobs: usize,
+) -> Vec<OutstandingRow> {
+    outstanding_rows(benchmark, &fig12_mechanisms(), len, seed, jobs)
 }
 
 fn outstanding_rows(
@@ -287,22 +336,20 @@ fn outstanding_rows(
     mechanisms: &[Mechanism],
     len: RunLength,
     seed: u64,
+    jobs: usize,
 ) -> Vec<OutstandingRow> {
-    mechanisms
-        .iter()
-        .map(|&m| {
-            let cfg = SystemConfig::baseline().with_mechanism(m);
-            let report = simulate(&cfg, benchmark.workload(seed), len);
-            OutstandingRow {
-                mechanism: m,
-                reads: report.ctrl.outstanding_reads.fractions(),
-                writes: report.ctrl.outstanding_writes.fractions(),
-                saturation: report.ctrl.write_saturation_rate(),
-                mean_reads: report.ctrl.outstanding_reads.mean(),
-                mean_writes: report.ctrl.outstanding_writes.mean(),
-            }
-        })
-        .collect()
+    crate::map_parallel(mechanisms, jobs, |_, &m| {
+        let cfg = SystemConfig::baseline().with_mechanism(m);
+        let report = simulate(&cfg, benchmark.workload(seed), len);
+        OutstandingRow {
+            mechanism: m,
+            reads: report.ctrl.outstanding_reads.fractions(),
+            writes: report.ctrl.outstanding_writes.fractions(),
+            saturation: report.ctrl.write_saturation_rate(),
+            mean_reads: report.ctrl.outstanding_reads.mean(),
+            mean_writes: report.ctrl.outstanding_writes.mean(),
+        }
+    })
 }
 
 /// One Figure 12 row: threshold-sweep latency and execution time averaged
@@ -321,8 +368,18 @@ pub struct Fig12Row {
 
 /// Figure 12: the threshold sweep over `benchmarks`.
 pub fn fig12(benchmarks: &[SpecBenchmark], len: RunLength, seed: u64) -> Vec<Fig12Row> {
+    fig12_with_jobs(benchmarks, len, seed, 0)
+}
+
+/// [`fig12`] with an explicit worker-thread count (`0` = auto-detect).
+pub fn fig12_with_jobs(
+    benchmarks: &[SpecBenchmark],
+    len: RunLength,
+    seed: u64,
+    jobs: usize,
+) -> Vec<Fig12Row> {
     let mechanisms = fig12_mechanisms();
-    let sweep = Sweep::run(benchmarks, &mechanisms, len, seed);
+    let sweep = Sweep::run_with_jobs(benchmarks, &mechanisms, len, seed, jobs);
     let base: f64 = sweep
         .cells
         .iter()
@@ -332,13 +389,15 @@ pub fn fig12(benchmarks: &[SpecBenchmark], len: RunLength, seed: u64) -> Vec<Fig
     mechanisms
         .iter()
         .map(|&m| {
-            let cells: Vec<&SweepCell> =
-                sweep.cells.iter().filter(|c| c.mechanism == m).collect();
+            let cells: Vec<&SweepCell> = sweep.cells.iter().filter(|c| c.mechanism == m).collect();
             let n = cells.len() as f64;
             let exec: f64 = cells.iter().map(|c| c.report.cpu_cycles as f64).sum();
             Fig12Row {
                 mechanism: m,
-                read_latency: cells.iter().map(|c| c.report.ctrl.avg_read_latency()).sum::<f64>()
+                read_latency: cells
+                    .iter()
+                    .map(|c| c.report.ctrl.avg_read_latency())
+                    .sum::<f64>()
                     / n,
                 write_latency: cells
                     .iter()
@@ -409,7 +468,11 @@ fn fig1_in_order() -> Cycle {
         loop {
             let state = ch.row_state(loc);
             let cmd = match state {
-                RowState::Hit => Command::Column { loc, dir: Dir::Read, auto_precharge: false },
+                RowState::Hit => Command::Column {
+                    loc,
+                    dir: Dir::Read,
+                    auto_precharge: false,
+                },
                 RowState::Empty => Command::Activate(loc),
                 RowState::Conflict => Command::Precharge(loc),
             };
@@ -437,7 +500,11 @@ fn fig1_out_of_order() -> Cycle {
     for (i, loc) in fig1_accesses().into_iter().enumerate() {
         // Synthesise distinct addresses; the scheduler only uses `loc`.
         let addr = burst_dram::PhysAddr::new(i as u64 * 64);
-        sched.enqueue(Access::new(AccessId::new(i as u64), AccessKind::Read, addr, loc, 0), 0, &mut done);
+        sched.enqueue(
+            Access::new(AccessId::new(i as u64), AccessKind::Read, addr, loc, 0),
+            0,
+            &mut done,
+        );
     }
     let mut now = 0;
     while done.len() < 4 {
@@ -445,7 +512,10 @@ fn fig1_out_of_order() -> Cycle {
         now += 1;
         assert!(now < 1000, "figure 1 example must complete quickly");
     }
-    done.iter().map(|c| c.done_at).max().expect("four completions")
+    done.iter()
+        .map(|c| c.done_at)
+        .max()
+        .expect("four completions")
 }
 
 #[cfg(test)]
@@ -503,7 +573,10 @@ mod tests {
         assert!(fig7.iter().all(|r| r.read_latency > 0.0));
         let fig9 = sweep.fig9_rows();
         let sum = fig9[0].row_hit + fig9[0].row_conflict + fig9[0].row_empty;
-        assert!((sum - 1.0).abs() < 1e-9, "row states partition accesses: {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "row states partition accesses: {sum}"
+        );
         let fig10 = sweep.fig10_rows();
         assert_eq!(fig10.len(), 1);
         assert_eq!(fig10[0].normalized.len(), 1);

@@ -113,7 +113,9 @@ pub fn fig9_to_csv(rows: &[Fig9Row]) -> String {
 /// columns come from the first row, so an empty input would silently
 /// export a header-less, data-less file.
 pub fn fig10_to_csv(rows: &[Fig10Row]) -> Result<String, NoRowsError> {
-    let first = rows.first().ok_or(NoRowsError { what: "the Figure 10 CSV" })?;
+    let first = rows.first().ok_or(NoRowsError {
+        what: "the Figure 10 CSV",
+    })?;
     let mechanisms: Vec<String> = first.normalized.iter().map(|(m, _)| m.name()).collect();
     let mut out = String::from("benchmark");
     for m in &mechanisms {
@@ -154,7 +156,13 @@ pub fn outstanding_to_csv(rows: &[OutstandingRow]) -> String {
         for (kind, series) in [("read", &r.reads), ("write", &r.writes)] {
             for (n, &frac) in series.iter().enumerate() {
                 if frac > 0.0 {
-                    out.push_str(&format!("{},{},{},{:.6}\n", r.mechanism.name(), kind, n, frac));
+                    out.push_str(&format!(
+                        "{},{},{},{:.6}\n",
+                        r.mechanism.name(),
+                        kind,
+                        n,
+                        frac
+                    ));
                 }
             }
         }
@@ -210,11 +218,7 @@ mod tests {
 
     #[test]
     fn outstanding_csv_long_format() {
-        let rows = crate::experiments::fig8(
-            SpecBenchmark::Gzip,
-            RunLength::Instructions(2_000),
-            1,
-        );
+        let rows = crate::experiments::fig8(SpecBenchmark::Gzip, RunLength::Instructions(2_000), 1);
         let csv = outstanding_to_csv(&rows);
         assert!(csv.starts_with("mechanism,kind,occupancy,fraction\n"));
         assert!(csv.contains(",read,"));

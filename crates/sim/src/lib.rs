@@ -26,12 +26,14 @@
 #![warn(missing_docs)]
 
 pub mod cmp;
-pub mod export;
+pub mod executor;
 pub mod experiments;
-pub mod waterfall;
+pub mod export;
 pub mod report;
 mod system;
+pub mod waterfall;
 
+pub use executor::{default_jobs, map_parallel};
 pub use system::{
     simulate, RobustnessReport, RunError, RunLength, SimReport, System, SystemConfig,
     ValidateConfigError,

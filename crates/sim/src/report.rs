@@ -1,9 +1,7 @@
 //! Plain-text rendering of experiment results in the layout of the paper's
 //! tables and figures.
 
-use crate::experiments::{
-    Fig10Row, Fig12Row, Fig7Row, Fig9Row, OutstandingRow, Table1Row,
-};
+use crate::experiments::{Fig10Row, Fig12Row, Fig7Row, Fig9Row, OutstandingRow, Table1Row};
 use crate::SimReport;
 
 /// Error returned when a renderer or exporter is handed an empty row set:
@@ -17,7 +15,11 @@ pub struct NoRowsError {
 
 impl core::fmt::Display for NoRowsError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "cannot produce {}: no rows (did the sweep run any cells?)", self.what)
+        write!(
+            f,
+            "cannot produce {}: no rows (did the sweep run any cells?)",
+            self.what
+        )
     }
 }
 
@@ -47,7 +49,11 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
     }
     let mut out = String::new();
-    let sep: String = widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+\n";
+    let sep: String = widths
+        .iter()
+        .map(|w| format!("+{}", "-".repeat(w + 2)))
+        .collect::<String>()
+        + "+\n";
     out.push_str(&sep);
     out.push('|');
     for (h, w) in headers.iter().zip(&widths) {
@@ -73,10 +79,18 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            vec![r.policy.to_string(), fmt(r.hit), fmt(r.empty), fmt(r.conflict)]
+            vec![
+                r.policy.to_string(),
+                fmt(r.hit),
+                fmt(r.empty),
+                fmt(r.conflict),
+            ]
         })
         .collect();
-    render_table(&["Controller policy", "Row hit", "Row empty", "Row conflict"], &body)
+    render_table(
+        &["Controller policy", "Row hit", "Row empty", "Row conflict"],
+        &body,
+    )
 }
 
 /// Renders Figure 7 (average read/write latency per mechanism).
@@ -92,7 +106,11 @@ pub fn render_fig7(rows: &[Fig7Row]) -> String {
         })
         .collect();
     render_table(
-        &["Mechanism", "Read latency (cycles)", "Write latency (cycles)"],
+        &[
+            "Mechanism",
+            "Read latency (cycles)",
+            "Write latency (cycles)",
+        ],
         &body,
     )
 }
@@ -143,7 +161,14 @@ pub fn render_fig9(rows: &[Fig9Row]) -> String {
         })
         .collect();
     render_table(
-        &["Mechanism", "Row hit", "Row conflict", "Row empty", "Addr bus", "Data bus"],
+        &[
+            "Mechanism",
+            "Row hit",
+            "Row conflict",
+            "Row empty",
+            "Addr bus",
+            "Data bus",
+        ],
         &body,
     )
 }
@@ -158,7 +183,9 @@ pub fn render_fig10(
     rows: &[Fig10Row],
     average: &[(burst_core::Mechanism, f64)],
 ) -> Result<String, NoRowsError> {
-    let first = rows.first().ok_or(NoRowsError { what: "the Figure 10 table" })?;
+    let first = rows.first().ok_or(NoRowsError {
+        what: "the Figure 10 table",
+    })?;
     let mechanisms: Vec<String> = first.normalized.iter().map(|(m, _)| m.name()).collect();
     let mut headers: Vec<&str> = vec!["Benchmark"];
     for m in &mechanisms {
@@ -226,7 +253,12 @@ pub fn render_fig12(rows: &[Fig12Row]) -> String {
         })
         .collect();
     render_table(
-        &["Threshold point", "Read lat", "Write lat", "Exec (norm to Burst)"],
+        &[
+            "Threshold point",
+            "Read lat",
+            "Write lat",
+            "Exec (norm to Burst)",
+        ],
         &body,
     )
 }
@@ -244,7 +276,9 @@ fn sparkline(values: &[f64]) -> String {
     (0..buckets)
         .map(|b| {
             let start = (b as f64 * per) as usize;
-            let end = (((b + 1) as f64 * per) as usize).min(values.len()).max(start + 1);
+            let end = (((b + 1) as f64 * per) as usize)
+                .min(values.len())
+                .max(start + 1);
             let v = values[start..end].iter().cloned().fold(0.0f64, f64::max);
             let idx = ((v / max) * 7.0).round() as usize;
             BARS[idx.min(7)]
@@ -261,11 +295,16 @@ mod tests {
     fn render_table_aligns_columns() {
         let s = render_table(
             &["a", "bbbb"],
-            &[vec!["xxxxx".into(), "1".into()], vec!["y".into(), "2".into()]],
+            &[
+                vec!["xxxxx".into(), "1".into()],
+                vec!["y".into(), "2".into()],
+            ],
         );
         let lines: Vec<&str> = s.lines().collect();
         // All lines the same width.
-        assert!(lines.windows(2).all(|w| w[0].chars().count() == w[1].chars().count()));
+        assert!(lines
+            .windows(2)
+            .all(|w| w[0].chars().count() == w[1].chars().count()));
         assert!(s.contains("xxxxx"));
     }
 
@@ -308,7 +347,10 @@ mod render_tests {
         let s = render_table1(&rows);
         assert!(s.contains("OP"));
         assert!(s.contains("CPA"));
-        assert!(s.contains("N/A"), "CPA hit/conflict are N/A in the paper's Table 1");
+        assert!(
+            s.contains("N/A"),
+            "CPA hit/conflict are N/A in the paper's Table 1"
+        );
         assert!(s.contains("15"), "row conflict latency");
         let _ = RowPolicy::OpenPage; // silence unused import on some cfgs
     }
@@ -388,6 +430,9 @@ mod render_tests {
         let s = render_outstanding(&rows);
         assert!(s.contains("62%"));
         assert!(s.contains("26.1"));
-        assert!(s.contains('█'), "peaked write distribution renders a full block");
+        assert!(
+            s.contains('█'),
+            "peaked write distribution renders a full block"
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! stepped at memory-controller clock granularity.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, VecDeque};
 
 use burst_core::{
     Access, AccessId, AccessKind, AccessScheduler, Completion, CtrlConfig, CtrlStats, FaultConfig,
@@ -112,7 +112,11 @@ impl SystemConfig {
     ///
     /// Returns [`ValidateConfigError`] naming the first problem found.
     pub fn validate(&self) -> Result<(), ValidateConfigError> {
-        let err = |msg: &str| Err(ValidateConfigError { message: msg.to_string() });
+        let err = |msg: &str| {
+            Err(ValidateConfigError {
+                message: msg.to_string(),
+            })
+        };
         let g = &self.dram.geometry;
         if g.channels == 0 || g.ranks_per_channel == 0 || g.banks_per_rank == 0 {
             return err("geometry must have at least one channel, rank and bank");
@@ -329,12 +333,14 @@ impl SimReport {
     /// (Figure 9b). Bus statistics are summed over channels, so the
     /// denominator is `mem_cycles * channels`.
     pub fn data_bus_utilization(&self) -> f64 {
-        self.bus.data_bus_utilization(self.mem_cycles * self.channels)
+        self.bus
+            .data_bus_utilization(self.mem_cycles * self.channels)
     }
 
     /// Address-bus utilisation in `[0, 1]` (Figure 9b).
     pub fn addr_bus_utilization(&self) -> f64 {
-        self.bus.addr_bus_utilization(self.mem_cycles * self.channels)
+        self.bus
+            .addr_bus_utilization(self.mem_cycles * self.channels)
     }
 
     /// Effective memory bandwidth in GB/s at the given memory clock (the
@@ -385,6 +391,68 @@ impl SimReport {
     }
 }
 
+/// Line addresses of outstanding reads, keyed by dense access id.
+///
+/// Access ids are assigned monotonically by [`System::enqueue`], so a
+/// windowed slab replaces the former `HashMap<AccessId, u64>` on the
+/// per-completion hot path: slot `id - base` holds the line, and the
+/// window's base advances as the oldest reads complete. Writes (and
+/// completed reads) occupy sentinel slots that are popped from the front
+/// as soon as they become the oldest, so the window length tracks the
+/// spread between the oldest outstanding read and the newest access —
+/// bounded in practice by the controller's pool and the starvation
+/// watchdog, not by the total access count.
+#[derive(Debug, Default)]
+struct LineSlab {
+    /// Access id of `slots[0]`.
+    base: u64,
+    /// Line address per id, or [`LineSlab::EMPTY`] for ids that are not
+    /// outstanding reads (writes, completed or forwarded reads).
+    slots: VecDeque<u64>,
+}
+
+impl LineSlab {
+    /// Sentinel for "no line stored". Line addresses are physical cache
+    /// line addresses and never reach `u64::MAX`.
+    const EMPTY: u64 = u64::MAX;
+
+    /// Stores `line` for `id`. Ids must not decrease below the window base
+    /// (they are assigned monotonically).
+    fn insert(&mut self, id: AccessId, line: u64) {
+        debug_assert_ne!(line, Self::EMPTY, "sentinel collision");
+        if self.slots.is_empty() {
+            // No reads outstanding: snap the window to this id so a run of
+            // intervening writes leaves no sentinel gap to cross.
+            self.base = id.value();
+        }
+        let idx = id.value() - self.base;
+        while (self.slots.len() as u64) <= idx {
+            self.slots.push_back(Self::EMPTY);
+        }
+        self.slots[idx as usize] = line;
+    }
+
+    /// Removes and returns the line stored for `id`, advancing the window
+    /// past any leading non-read slots.
+    fn remove(&mut self, id: AccessId) -> Option<u64> {
+        let idx = id.value().checked_sub(self.base)?;
+        if idx >= self.slots.len() as u64 {
+            return None;
+        }
+        let line = std::mem::replace(&mut self.slots[idx as usize], Self::EMPTY);
+        while self.slots.front() == Some(&Self::EMPTY) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        (line != Self::EMPTY).then_some(line)
+    }
+
+    #[cfg(test)]
+    fn window_len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 /// A stepped full-system simulation.
 #[derive(Debug)]
 pub struct System {
@@ -397,7 +465,7 @@ pub struct System {
     completions: Vec<Completion>,
     /// Future read deliveries: (done_at, line address).
     pending: BinaryHeap<Reverse<(Cycle, u64)>>,
-    read_lines: HashMap<AccessId, u64>,
+    read_lines: LineSlab,
 }
 
 impl System {
@@ -424,7 +492,7 @@ impl System {
             next_id: 0,
             completions: Vec::new(),
             pending: BinaryHeap::new(),
-            read_lines: HashMap::new(),
+            read_lines: LineSlab::default(),
         }
     }
 
@@ -462,18 +530,23 @@ impl System {
         // 2. Hand requests to the controller while it accepts them. Reads
         //    first (they are latency-critical), then writebacks.
         while self.sched.can_accept(AccessKind::Read) {
-            let Some((line, critical)) = self.cpu.pop_read_request_tagged() else { break };
+            let Some((line, critical)) = self.cpu.pop_read_request_tagged() else {
+                break;
+            };
             self.enqueue(AccessKind::Read, line, critical);
         }
         while self.sched.can_accept(AccessKind::Write) {
-            let Some(line) = self.cpu.pop_writeback() else { break };
+            let Some(line) = self.cpu.pop_writeback() else {
+                break;
+            };
             self.enqueue(AccessKind::Write, line, false);
         }
         // 3. One controller + device cycle.
-        self.sched.tick(&mut self.dram, self.mem_cycle, &mut self.completions);
+        self.sched
+            .tick(&mut self.dram, self.mem_cycle, &mut self.completions);
         for c in self.completions.drain(..) {
             if c.kind == AccessKind::Read {
-                if let Some(line) = self.read_lines.remove(&c.id) {
+                if let Some(line) = self.read_lines.remove(c.id) {
                     self.pending.push(Reverse((c.done_at, line)));
                 }
             }
@@ -494,14 +567,14 @@ impl System {
         let loc = self.dram.decode(addr);
         let id = AccessId::new(self.next_id);
         self.next_id += 1;
-        let access =
-            Access::new(id, kind, addr, loc, self.mem_cycle).with_critical(critical);
+        let access = Access::new(id, kind, addr, loc, self.mem_cycle).with_critical(critical);
         if kind == AccessKind::Read {
             self.read_lines.insert(id, line);
         }
         // Forwarded reads push a same-cycle completion, which the regular
         // delivery path below hands back to the CPU this very cycle.
-        self.sched.enqueue(access, self.mem_cycle, &mut self.completions);
+        self.sched
+            .enqueue(access, self.mem_cycle, &mut self.completions);
     }
 
     /// Runs until `len` is reached.
@@ -528,11 +601,7 @@ impl System {
     /// configured limit); [`RunError::RetirementStall`] when the CPU stops
     /// retiring instructions for two million memory cycles although the
     /// controller itself reports no stall.
-    pub fn try_run(
-        &mut self,
-        workload: &mut dyn OpSource,
-        len: RunLength,
-    ) -> Result<(), RunError> {
+    pub fn try_run(&mut self, workload: &mut dyn OpSource, len: RunLength) -> Result<(), RunError> {
         match len {
             RunLength::MemCycles(n) => {
                 for _ in 0..n {
@@ -619,4 +688,62 @@ pub fn simulate<W: OpSource>(cfg: &SystemConfig, mut workload: W, len: RunLength
     sys.run(&mut workload, len);
     let name = workload.name().to_string();
     sys.report(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u64) -> AccessId {
+        AccessId::new(v)
+    }
+
+    #[test]
+    fn line_slab_round_trips_in_order() {
+        let mut slab = LineSlab::default();
+        slab.insert(id(0), 64);
+        slab.insert(id(1), 128);
+        assert_eq!(slab.remove(id(0)), Some(64));
+        assert_eq!(slab.remove(id(1)), Some(128));
+        assert_eq!(slab.window_len(), 0);
+    }
+
+    #[test]
+    fn line_slab_handles_write_gaps_and_out_of_order_removal() {
+        let mut slab = LineSlab::default();
+        // Ids 3 and 5 are writes / forwarded reads: never inserted.
+        slab.insert(id(2), 200);
+        slab.insert(id(4), 400);
+        slab.insert(id(6), 600);
+        assert_eq!(slab.remove(id(4)), Some(400));
+        assert_eq!(slab.remove(id(3)), None, "gap ids hold no line");
+        assert_eq!(slab.remove(id(6)), Some(600));
+        assert_eq!(slab.remove(id(2)), Some(200));
+        assert_eq!(slab.window_len(), 0, "window compacts once drained");
+    }
+
+    #[test]
+    fn line_slab_double_remove_returns_none() {
+        let mut slab = LineSlab::default();
+        slab.insert(id(7), 700);
+        assert_eq!(slab.remove(id(7)), Some(700));
+        assert_eq!(slab.remove(id(7)), None, "a retry must not double-deliver");
+    }
+
+    #[test]
+    fn line_slab_rebases_after_draining() {
+        let mut slab = LineSlab::default();
+        slab.insert(id(10), 1);
+        assert_eq!(slab.remove(id(10)), Some(1));
+        // A long run of writes advanced the id counter far past the old
+        // window; the next read must not pay for the gap.
+        slab.insert(id(1_000_000), 2);
+        assert_eq!(slab.window_len(), 1, "base snaps to the new id");
+        assert_eq!(slab.remove(id(1_000_000)), Some(2));
+        assert_eq!(
+            slab.remove(id(999_999)),
+            None,
+            "ids below a snapped base are absent"
+        );
+    }
 }

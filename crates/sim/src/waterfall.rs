@@ -18,12 +18,18 @@ pub struct WaterfallRequest {
 impl WaterfallRequest {
     /// A read request.
     pub fn read(loc: Loc) -> Self {
-        WaterfallRequest { loc, kind: AccessKind::Read }
+        WaterfallRequest {
+            loc,
+            kind: AccessKind::Read,
+        }
     }
 
     /// A write request.
     pub fn write(loc: Loc) -> Self {
-        WaterfallRequest { loc, kind: AccessKind::Write }
+        WaterfallRequest {
+            loc,
+            kind: AccessKind::Write,
+        }
     }
 }
 
@@ -49,7 +55,10 @@ impl Waterfall {
         cfg: DramConfig,
         requests: &[WaterfallRequest],
     ) -> Waterfall {
-        assert!(requests.iter().all(|r| r.loc.channel == 0), "single-channel scenario");
+        assert!(
+            requests.iter().all(|r| r.loc.channel == 0),
+            "single-channel scenario"
+        );
         let mut single = cfg;
         single.geometry.channels = 1;
         let mut dram = Dram::new(single, AddressMapping::PageInterleaving);
@@ -58,7 +67,11 @@ impl Waterfall {
         let mut done = Vec::new();
         for (i, r) in requests.iter().enumerate() {
             let addr = PhysAddr::new(i as u64 * 64);
-            sched.enqueue(Access::new(AccessId::new(i as u64), r.kind, addr, r.loc, 0), 0, &mut done);
+            sched.enqueue(
+                Access::new(AccessId::new(i as u64), r.kind, addr, r.loc, 0),
+                0,
+                &mut done,
+            );
         }
         let mut now = 0;
         while done.len() < requests.len() {
@@ -70,7 +83,12 @@ impl Waterfall {
         let horizon = done.iter().map(|c| c.done_at).max().unwrap_or(0);
         let banks_per_rank = usize::from(single.geometry.banks_per_rank);
         let banks = usize::from(single.geometry.ranks_per_channel) * banks_per_rank;
-        Waterfall { events, horizon, banks, banks_per_rank }
+        Waterfall {
+            events,
+            horizon,
+            banks,
+            banks_per_rank,
+        }
     }
 
     /// Total cycles until the last data beat.
@@ -135,11 +153,18 @@ impl Waterfall {
         let mut out = String::new();
         for (i, lane) in lanes.iter().enumerate() {
             if lane.iter().any(|&c| c != '.') {
-                out.push_str(&format!("bank{i:<2} |{}|\n", lane.iter().collect::<String>()));
+                out.push_str(&format!(
+                    "bank{i:<2} |{}|\n",
+                    lane.iter().collect::<String>()
+                ));
             }
         }
         out.push_str(&format!("data   |{}|\n", data.iter().collect::<String>()));
-        out.push_str(&format!("        0{:>width$}\n", self.horizon, width = width.saturating_sub(1)));
+        out.push_str(&format!(
+            "        0{:>width$}\n",
+            self.horizon,
+            width = width.saturating_sub(1)
+        ));
         out
     }
 }
@@ -161,7 +186,10 @@ mod tests {
     fn burst_schedules_fig1_fast() {
         let w = Waterfall::schedule(Mechanism::Burst, DramConfig::figure1(), &fig1_requests());
         assert!(w.total_cycles() <= 20, "got {}", w.total_cycles());
-        assert!(w.events().iter().any(|e| matches!(e.cmd, Command::Column { .. })));
+        assert!(w
+            .events()
+            .iter()
+            .any(|e| matches!(e.cmd, Command::Column { .. })));
     }
 
     #[test]

@@ -22,10 +22,17 @@ fn checker_defaults_on_in_debug_builds() {
 #[test]
 fn all_paper_mechanisms_protocol_clean() {
     for m in Mechanism::all_paper() {
-        let cfg = SystemConfig::baseline().with_mechanism(m).with_checker(true);
-        let r = simulate(&cfg, SpecBenchmark::Swim.workload(11), RunLength::Instructions(3_000));
+        let cfg = SystemConfig::baseline()
+            .with_mechanism(m)
+            .with_checker(true);
+        let r = simulate(
+            &cfg,
+            SpecBenchmark::Swim.workload(11),
+            RunLength::Instructions(3_000),
+        );
         assert_eq!(
-            r.robustness.violations, 0,
+            r.robustness.violations,
+            0,
             "{}: DDR2 protocol violations on swim",
             m.name()
         );
@@ -36,19 +43,39 @@ fn all_paper_mechanisms_protocol_clean() {
 /// the same seed reproduces the same `RobustnessReport` — and complete.
 #[test]
 fn fault_runs_are_deterministic_and_complete() {
-    let faults = FaultConfig { seed: 7, read_error_permille: 80, write_retry_permille: 80, max_retries: 4 };
+    let faults = FaultConfig {
+        seed: 7,
+        read_error_permille: 80,
+        write_retry_permille: 80,
+        max_retries: 4,
+    };
     let cfg = SystemConfig::baseline()
         .with_mechanism(Mechanism::BurstTh(52))
         .with_checker(true)
         .with_faults(Some(faults));
     cfg.validate().expect("fault config is valid");
-    let run = || simulate(&cfg, SpecBenchmark::Swim.workload(11), RunLength::Instructions(8_000));
+    let run = || {
+        simulate(
+            &cfg,
+            SpecBenchmark::Swim.workload(11),
+            RunLength::Instructions(8_000),
+        )
+    };
     let a = run();
     let b = run();
-    assert!(a.robustness.faults_injected > 0, "injection must actually fire");
+    assert!(
+        a.robustness.faults_injected > 0,
+        "injection must actually fire"
+    );
     assert_eq!(a.robustness.retries, a.robustness.faults_injected);
-    assert_eq!(a.robustness, b.robustness, "same seed must reproduce the same report");
-    assert_eq!(a.robustness.violations, 0, "retries must stay protocol-clean");
+    assert_eq!(
+        a.robustness, b.robustness,
+        "same seed must reproduce the same report"
+    );
+    assert_eq!(
+        a.robustness.violations, 0,
+        "retries must stay protocol-clean"
+    );
     assert_eq!(a.reads(), b.reads());
     assert_eq!(a.writes(), b.writes());
 }
@@ -72,7 +99,11 @@ fn different_fault_seeds_differ() {
         )
         .robustness
     };
-    assert_ne!(report(1), report(2), "distinct seeds should produce distinct fault plans");
+    assert_ne!(
+        report(1),
+        report(2),
+        "distinct seeds should produce distinct fault plans"
+    );
 }
 
 /// A scheduler that accepts accesses but never issues a transaction — the
@@ -164,15 +195,27 @@ fn stalled_controller_returns_diagnostic_error() {
         .expect_err("a dead controller must be reported, not spun on");
     match err {
         RunError::ControllerStall(diag) => {
-            assert!(diag.reads + diag.writes > 0, "stall with nothing outstanding: {diag}");
-            assert!(diag.at - diag.since > 500, "stall declared too early: {diag}");
+            assert!(
+                diag.reads + diag.writes > 0,
+                "stall with nothing outstanding: {diag}"
+            );
+            assert!(
+                diag.at - diag.since > 500,
+                "stall declared too early: {diag}"
+            );
             assert!(diag.oldest_id.is_some());
             let msg = err.to_string();
-            assert!(msg.contains("no forward progress"), "diagnostic text: {msg}");
+            assert!(
+                msg.contains("no forward progress"),
+                "diagnostic text: {msg}"
+            );
         }
         other => panic!("expected a controller stall, got {other:?}"),
     }
-    assert!(sys.stall_diagnostic().is_some(), "diagnostic stays latched on the system");
+    assert!(
+        sys.stall_diagnostic().is_some(),
+        "diagnostic stays latched on the system"
+    );
 }
 
 /// The watchdog's escalation bound holds end-to-end: with a small
@@ -180,8 +223,15 @@ fn stalled_controller_returns_diagnostic_error() {
 #[test]
 fn escalation_bounds_access_age_in_full_system() {
     let mut cfg = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(52));
-    cfg.ctrl.watchdog = WatchdogConfig { escalate_age: 2_000, stall_limit: 1_000_000 };
-    let r = simulate(&cfg, SpecBenchmark::Swim.workload(11), RunLength::Instructions(8_000));
+    cfg.ctrl.watchdog = WatchdogConfig {
+        escalate_age: 2_000,
+        stall_limit: 1_000_000,
+    };
+    let r = simulate(
+        &cfg,
+        SpecBenchmark::Swim.workload(11),
+        RunLength::Instructions(8_000),
+    );
     assert!(
         r.robustness.max_access_age <= 2_000 + 10_000,
         "max access age {} exceeds escalation bound",

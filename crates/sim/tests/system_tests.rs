@@ -20,7 +20,11 @@ fn baseline_config_matches_table3() {
 #[test]
 fn reads_and_writes_balance_cpu_and_controller() {
     let cfg = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(52));
-    let r = simulate(&cfg, SpecBenchmark::Swim.workload(3), RunLength::Instructions(10_000));
+    let r = simulate(
+        &cfg,
+        SpecBenchmark::Swim.workload(3),
+        RunLength::Instructions(10_000),
+    );
     // Every controller read was requested by the CPU; forwarded reads never
     // reach DRAM but are counted as controller completions.
     assert!(r.reads() <= r.cpu.mem_reads + r.ctrl.forwards);
@@ -38,8 +42,16 @@ fn reads_and_writes_balance_cpu_and_controller() {
 fn warm_caches_affect_write_traffic() {
     let cold = SystemConfig::baseline().with_warm_mem_ops(0);
     let warm = SystemConfig::baseline(); // default warming
-    let cold_r = simulate(&cold, SpecBenchmark::Swim.workload(3), RunLength::Instructions(8_000));
-    let warm_r = simulate(&warm, SpecBenchmark::Swim.workload(3), RunLength::Instructions(8_000));
+    let cold_r = simulate(
+        &cold,
+        SpecBenchmark::Swim.workload(3),
+        RunLength::Instructions(8_000),
+    );
+    let warm_r = simulate(
+        &warm,
+        SpecBenchmark::Swim.workload(3),
+        RunLength::Instructions(8_000),
+    );
     assert!(
         warm_r.writes() > cold_r.writes() * 2,
         "warming must enable writeback traffic: warm {} vs cold {}",
@@ -74,7 +86,11 @@ fn fig8_and_fig12_mechanism_lists() {
 #[test]
 fn dynamic_threshold_mechanism_runs() {
     let cfg = SystemConfig::baseline().with_mechanism(Mechanism::BurstDyn);
-    let r = simulate(&cfg, SpecBenchmark::Lucas.workload(5), RunLength::Instructions(10_000));
+    let r = simulate(
+        &cfg,
+        SpecBenchmark::Lucas.workload(5),
+        RunLength::Instructions(10_000),
+    );
     assert_eq!(r.mechanism, Mechanism::BurstDyn);
     assert!(r.reads() > 0);
     // The dynamic variant must stay in the same performance ballpark as
@@ -85,24 +101,38 @@ fn dynamic_threshold_mechanism_runs() {
         RunLength::Instructions(10_000),
     );
     let ratio = r.cpu_cycles as f64 / th.cpu_cycles as f64;
-    assert!((0.8..1.2).contains(&ratio), "Burst_DYN vs TH52 ratio {ratio:.2}");
+    assert!(
+        (0.8..1.2).contains(&ratio),
+        "Burst_DYN vs TH52 ratio {ratio:.2}"
+    );
 }
 
 #[test]
 fn effective_bandwidth_is_sane() {
     let cfg = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(52));
-    let r = simulate(&cfg, SpecBenchmark::Swim.workload(3), RunLength::Instructions(10_000));
+    let r = simulate(
+        &cfg,
+        SpecBenchmark::Swim.workload(3),
+        RunLength::Instructions(10_000),
+    );
     let gbs = r.effective_bandwidth_gbs(400e6, 8);
     // The theoretical peak of dual-channel DDR2-800 is 12.8 GB/s; a single
     // run must land strictly below it and above zero.
     assert!(gbs > 0.0);
-    assert!(gbs < 12.8, "bandwidth {gbs:.1} GB/s exceeds the dual-channel peak");
+    assert!(
+        gbs < 12.8,
+        "bandwidth {gbs:.1} GB/s exceeds the dual-channel peak"
+    );
 }
 
 #[test]
 fn ipc_bounded_by_width() {
     let cfg = SystemConfig::baseline();
-    let r = simulate(&cfg, SpecBenchmark::Mesa.workload(1), RunLength::Instructions(10_000));
+    let r = simulate(
+        &cfg,
+        SpecBenchmark::Mesa.workload(1),
+        RunLength::Instructions(10_000),
+    );
     assert!(r.ipc() <= 8.0, "IPC {} exceeds the 8-wide core", r.ipc());
 }
 
@@ -112,7 +142,9 @@ fn validate_accepts_baseline_and_rejects_nonsense() {
 
     let mut bad = SystemConfig::baseline();
     bad.dram.geometry.channels = 3;
-    let err = bad.validate().expect_err("3 channels is not a power of two");
+    let err = bad
+        .validate()
+        .expect_err("3 channels is not a power of two");
     assert!(err.to_string().contains("power of two"));
 
     let mut bad = SystemConfig::baseline();
@@ -121,7 +153,10 @@ fn validate_accepts_baseline_and_rejects_nonsense() {
 
     let mut bad = SystemConfig::baseline();
     bad.ctrl.write_capacity = 1024;
-    assert!(bad.validate().is_err(), "write capacity above pool capacity");
+    assert!(
+        bad.validate().is_err(),
+        "write capacity above pool capacity"
+    );
 
     let mut bad = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(1000));
     assert!(bad.validate().is_err(), "threshold above write capacity");

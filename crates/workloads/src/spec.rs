@@ -61,8 +61,8 @@ impl SpecBenchmark {
     pub fn all16() -> [SpecBenchmark; 16] {
         use SpecBenchmark::*;
         [
-            Gzip, Gcc, Mcf, Parser, Perlbmk, Gap, Bzip2, Wupwise, Swim, Mgrid, Applu, Mesa,
-            Art, Facerec, Lucas, Apsi,
+            Gzip, Gcc, Mcf, Parser, Perlbmk, Gap, Bzip2, Wupwise, Swim, Mgrid, Applu, Mesa, Art,
+            Facerec, Lucas, Apsi,
         ]
     }
 
@@ -100,21 +100,17 @@ impl SpecBenchmark {
     /// or scattered reads (read preemption helps, Section 5.3).
     pub fn params(&self) -> SurrogateParams {
         let mb = 1u64 << 20;
-        let p = |cpm: f64,
-                 store: f64,
-                 stream: f64,
-                 random: f64,
-                 chase: f64,
-                 n: usize,
-                 ws: u64| SurrogateParams {
-            compute_per_mem: cpm,
-            store_frac: store,
-            stream_weight: stream,
-            random_weight: random,
-            chase_weight: chase,
-            n_streams: n,
-            working_set: ws,
-            stride: 64,
+        let p = |cpm: f64, store: f64, stream: f64, random: f64, chase: f64, n: usize, ws: u64| {
+            SurrogateParams {
+                compute_per_mem: cpm,
+                store_frac: store,
+                stream_weight: stream,
+                random_weight: random,
+                chase_weight: chase,
+                n_streams: n,
+                working_set: ws,
+                stride: 64,
+            }
         };
         match self {
             SpecBenchmark::Gzip => p(3.0, 0.30, 0.80, 0.20, 0.00, 5, 16 * mb),
@@ -150,7 +146,9 @@ impl SpecBenchmark {
     /// ```
     pub fn workload(&self, seed: u64) -> MixWorkload {
         let params = self.params();
-        let salt = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(*self as u64);
+        let salt = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(*self as u64);
         // Spread the benchmark's regions over the 4 GB physical space using
         // large prime-ish offsets so streams land on distinct banks.
         let region = |i: u64| -> u64 { (0x0400_0000 + i * 0x0B40_D000) % (3u64 << 30) };
@@ -248,11 +246,22 @@ mod tests {
         let mut w = SpecBenchmark::Mcf.workload(1);
         let dependent = (0..2000)
             .map(|_| w.next_op())
-            .filter(|o| matches!(o, Op::Load { dependent: true, .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    Op::Load {
+                        dependent: true,
+                        ..
+                    }
+                )
+            })
             .count();
         let memory = {
             let mut w2 = SpecBenchmark::Mcf.workload(1);
-            (0..2000).map(|_| w2.next_op()).filter(Op::is_memory).count()
+            (0..2000)
+                .map(|_| w2.next_op())
+                .filter(Op::is_memory)
+                .count()
         };
         assert!(
             dependent * 2 > memory,

@@ -72,7 +72,10 @@ impl StreamWorkload {
     /// collide in DRAM banks at different rows, creating the row conflicts
     /// access reordering exploits.
     pub fn with_page_shuffle(mut self, page_bytes: u64) -> Self {
-        assert!(page_bytes >= self.stride, "page must hold at least one access");
+        assert!(
+            page_bytes >= self.stride,
+            "page must hold at least one access"
+        );
         self.page_shuffle = Some(page_bytes);
         self
     }
@@ -260,14 +263,17 @@ impl MixWorkload {
     /// # Panics
     ///
     /// Panics if `sources` is empty or all weights are zero.
-    pub fn new(
-        name: impl Into<String>,
-        sources: Vec<(f64, Box<dyn OpSource>)>,
-        seed: u64,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, sources: Vec<(f64, Box<dyn OpSource>)>, seed: u64) -> Self {
         assert!(!sources.is_empty(), "mix needs at least one source");
-        assert!(sources.iter().any(|(w, _)| *w > 0.0), "mix needs a positive weight");
-        MixWorkload { name: name.into(), sources, rng: SmallRng::seed_from_u64(seed) }
+        assert!(
+            sources.iter().any(|(w, _)| *w > 0.0),
+            "mix needs a positive weight"
+        );
+        MixWorkload {
+            name: name.into(),
+            sources,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -363,7 +369,11 @@ mod tests {
         for _ in 0..500 {
             seen.insert(c.next_op().addr().unwrap());
         }
-        assert!(seen.len() > 100, "chase should spread: {} lines", seen.len());
+        assert!(
+            seen.len() > 100,
+            "chase should spread: {} lines",
+            seen.len()
+        );
     }
 
     #[test]

@@ -27,12 +27,18 @@ pub enum Op {
 impl Op {
     /// A non-dependent load.
     pub fn load(addr: u64) -> Self {
-        Op::Load { addr, dependent: false }
+        Op::Load {
+            addr,
+            dependent: false,
+        }
     }
 
     /// A load that depends on the previous load (pointer chase).
     pub fn dependent_load(addr: u64) -> Self {
-        Op::Load { addr, dependent: true }
+        Op::Load {
+            addr,
+            dependent: true,
+        }
     }
 
     /// `true` if this is a load or store.
@@ -101,7 +107,11 @@ impl ReplaySource {
     /// Panics if `ops` is empty.
     pub fn new(name: impl Into<String>, ops: Vec<Op>) -> Self {
         assert!(!ops.is_empty(), "replay source needs at least one op");
-        ReplaySource { name: name.into(), ops, pos: 0 }
+        ReplaySource {
+            name: name.into(),
+            ops,
+            pos: 0,
+        }
     }
 }
 
@@ -128,7 +138,13 @@ mod tests {
         assert!(Op::Store { addr: 0 }.is_memory());
         assert_eq!(Op::load(64).addr(), Some(64));
         assert_eq!(Op::Compute.addr(), None);
-        assert!(matches!(Op::dependent_load(0), Op::Load { dependent: true, .. }));
+        assert!(matches!(
+            Op::dependent_load(0),
+            Op::Load {
+                dependent: true,
+                ..
+            }
+        ));
     }
 
     #[test]

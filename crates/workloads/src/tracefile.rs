@@ -62,25 +62,30 @@ pub fn parse_trace(text: &str) -> Result<Vec<Op>, ParseTraceError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |message: &str| ParseTraceError { line: i + 1, message: message.to_string() };
+        let err = |message: &str| ParseTraceError {
+            line: i + 1,
+            message: message.to_string(),
+        };
         let mut parts = line.split_whitespace();
         let kind = parts.next().expect("non-empty line has a token");
-        let parse_addr = |parts: &mut core::str::SplitWhitespace<'_>| -> Result<u64, ParseTraceError> {
-            let tok = parts
-                .next()
-                .ok_or_else(|| err("missing address"))?;
-            let parsed = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
-                u64::from_str_radix(hex, 16)
-            } else {
-                tok.parse()
+        let parse_addr =
+            |parts: &mut core::str::SplitWhitespace<'_>| -> Result<u64, ParseTraceError> {
+                let tok = parts.next().ok_or_else(|| err("missing address"))?;
+                let parsed =
+                    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+                        u64::from_str_radix(hex, 16)
+                    } else {
+                        tok.parse()
+                    };
+                parsed.map_err(|_| err("invalid address"))
             };
-            parsed.map_err(|_| err("invalid address"))
-        };
         let op = match kind {
             "C" | "c" => Op::Compute,
             "L" | "l" => Op::load(parse_addr(&mut parts)?),
             "D" | "d" => Op::dependent_load(parse_addr(&mut parts)?),
-            "S" | "s" => Op::Store { addr: parse_addr(&mut parts)? },
+            "S" | "s" => Op::Store {
+                addr: parse_addr(&mut parts)?,
+            },
             other => return Err(err(&format!("unknown op kind {other:?}"))),
         };
         if parts.next().is_some() {
@@ -89,7 +94,10 @@ pub fn parse_trace(text: &str) -> Result<Vec<Op>, ParseTraceError> {
         ops.push(op);
     }
     if ops.is_empty() {
-        return Err(ParseTraceError { line: 0, message: "trace contains no operations".into() });
+        return Err(ParseTraceError {
+            line: 0,
+            message: "trace contains no operations".into(),
+        });
     }
     Ok(ops)
 }
@@ -103,8 +111,8 @@ pub fn parse_trace(text: &str) -> Result<Vec<Op>, ParseTraceError> {
 pub fn load_trace(path: impl AsRef<std::path::Path>) -> std::io::Result<ReplaySource> {
     let path = path.as_ref();
     let text = std::fs::read_to_string(path)?;
-    let ops = parse_trace(&text)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let ops =
+        parse_trace(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     let name = path
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())

@@ -1,8 +1,7 @@
 //! Property-based tests of the workload generators.
 
 use burst_workloads::{
-    MixWorkload, Op, OpSource, PointerChaseWorkload, RandomWorkload, SpecBenchmark,
-    StreamWorkload,
+    MixWorkload, Op, OpSource, PointerChaseWorkload, RandomWorkload, SpecBenchmark, StreamWorkload,
 };
 use proptest::prelude::*;
 

@@ -15,7 +15,12 @@ fn main() {
     for cores in [1usize, 2, 4] {
         let cfg = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(52));
         let mut sys = CmpSystem::new(&cfg, cores);
-        let picks = [SpecBenchmark::Swim, SpecBenchmark::Gcc, SpecBenchmark::Art, SpecBenchmark::Mcf];
+        let picks = [
+            SpecBenchmark::Swim,
+            SpecBenchmark::Gcc,
+            SpecBenchmark::Art,
+            SpecBenchmark::Mcf,
+        ];
         let mut workloads: Vec<Box<dyn OpSource>> = (0..cores)
             .map(|i| Box::new(picks[i % picks.len()].workload(42 + i as u64)) as Box<dyn OpSource>)
             .collect();

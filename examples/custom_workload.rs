@@ -30,15 +30,26 @@ fn triad_with_index(seed: u64) -> MixWorkload {
 
     MixWorkload::new(
         "triad+index",
-        vec![(0.8, Box::new(streams) as Box<dyn OpSource>), (0.2, Box::new(chase) as _)],
+        vec![
+            (0.8, Box::new(streams) as Box<dyn OpSource>),
+            (0.2, Box::new(chase) as _),
+        ],
         seed ^ 2,
     )
 }
 
 fn main() {
-    for mechanism in [Mechanism::BkInOrder, Mechanism::Burst, Mechanism::BurstTh(52)] {
+    for mechanism in [
+        Mechanism::BkInOrder,
+        Mechanism::Burst,
+        Mechanism::BurstTh(52),
+    ] {
         let config = SystemConfig::baseline().with_mechanism(mechanism);
-        let report = simulate(&config, triad_with_index(7), RunLength::Instructions(40_000));
+        let report = simulate(
+            &config,
+            triad_with_index(7),
+            RunLength::Instructions(40_000),
+        );
         println!(
             "{:<12} cpu_cycles={:<9} read_lat={:>6.1}  row_hit={:>5.1}%  bus={:>5.1}%",
             mechanism.name(),

@@ -48,7 +48,11 @@ fn main() {
             loc.col,
             issued.data_start,
             issued.data_end,
-            if issued.data_start == prev_end { "back-to-back" } else { "bubble!" }
+            if issued.data_start == prev_end {
+                "back-to-back"
+            } else {
+                "bubble!"
+            }
         );
         prev_end = issued.data_end;
     }
@@ -56,11 +60,17 @@ fn main() {
     // A row conflict pays precharge + activate + column.
     let other = Loc::new(0, 0, 0, 200, 0);
     println!("\nbank 0 sees row {}: {}", other.row, ch.row_state(other));
-    let pre_at = ch.earliest_issue(&Command::Precharge(other), prev_end).expect("row open");
+    let pre_at = ch
+        .earliest_issue(&Command::Precharge(other), prev_end)
+        .expect("row open");
     ch.issue(&Command::Precharge(other), pre_at);
-    let act_at = ch.earliest_issue(&Command::Activate(other), pre_at).expect("precharged");
+    let act_at = ch
+        .earliest_issue(&Command::Activate(other), pre_at)
+        .expect("precharged");
     ch.issue(&Command::Activate(other), act_at);
-    let col_at = ch.earliest_issue(&Command::read(other), act_at).expect("open");
+    let col_at = ch
+        .earliest_issue(&Command::read(other), act_at)
+        .expect("open");
     let done = ch.issue(&Command::read(other), col_at);
     println!(
         "conflict resolved: PRE@{pre_at} ACT@{act_at} READ@{col_at}, data {}..{}",

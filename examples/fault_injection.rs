@@ -13,7 +13,10 @@
 use burst_scheduling::prelude::*;
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(7u64);
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(7u64);
 
     // 8% of read column accesses return ECC-correctable bad data and 8% of
     // write column accesses demand a retry; each access retries at most 4
@@ -34,7 +37,11 @@ fn main() {
     let healthy = config.with_faults(None);
 
     let run = |cfg: &SystemConfig| {
-        simulate(cfg, SpecBenchmark::Swim.workload(42), RunLength::Instructions(50_000))
+        simulate(
+            cfg,
+            SpecBenchmark::Swim.workload(42),
+            RunLength::Instructions(50_000),
+        )
     };
     let clean = run(&healthy);
     let faulty = run(&config);
@@ -55,7 +62,10 @@ fn main() {
     );
     println!("IPC:           {:.3} -> {:.3}", clean.ipc(), faulty.ipc());
 
-    assert_eq!(faulty.robustness.violations, 0, "retries must stay protocol-clean");
+    assert_eq!(
+        faulty.robustness.violations, 0,
+        "retries must stay protocol-clean"
+    );
     let again = run(&config);
     assert_eq!(
         faulty.robustness, again.robustness,

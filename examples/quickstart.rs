@@ -28,13 +28,28 @@ fn main() {
     println!("IPC:                {:.3}", report.ipc());
     println!("memory reads:       {}", report.reads());
     println!("memory writes:      {}", report.writes());
-    println!("avg read latency:   {:.1} memory cycles", report.ctrl.avg_read_latency());
-    println!("avg write latency:  {:.1} memory cycles", report.ctrl.avg_write_latency());
-    println!("row hit rate:       {:.1}%", report.ctrl.row_hit_rate() * 100.0);
-    println!("data bus util:      {:.1}%", report.data_bus_utilization() * 100.0);
+    println!(
+        "avg read latency:   {:.1} memory cycles",
+        report.ctrl.avg_read_latency()
+    );
+    println!(
+        "avg write latency:  {:.1} memory cycles",
+        report.ctrl.avg_write_latency()
+    );
+    println!(
+        "row hit rate:       {:.1}%",
+        report.ctrl.row_hit_rate() * 100.0
+    );
+    println!(
+        "data bus util:      {:.1}%",
+        report.data_bus_utilization() * 100.0
+    );
     println!(
         "effective bandwidth: {:.2} GB/s (at 400 MHz memory clock)",
         report.effective_bandwidth_gbs(400e6, 8)
     );
-    println!("write queue saturated {:.1}% of cycles", report.ctrl.write_saturation_rate() * 100.0);
+    println!(
+        "write queue saturated {:.1}% of cycles",
+        report.ctrl.write_saturation_rate() * 100.0
+    );
 }

@@ -37,7 +37,11 @@ fn main() {
             report.ctrl.avg_write_latency(),
             report.ctrl.write_saturation_rate() * 100.0,
         );
-        if best.as_ref().map(|(_, c)| report.cpu_cycles < *c).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|(_, c)| report.cpu_cycles < *c)
+            .unwrap_or(true)
+        {
             best = Some((mechanism.name(), report.cpu_cycles));
         }
     }

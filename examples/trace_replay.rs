@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // read-modify-write loop over two arrays.
             let path = std::env::temp_dir().join("burst_demo.trace");
             let mut f = std::fs::File::create(&path)?;
-            writeln!(f, "# demo: a[i] += b[i], one line per element, 16 MB arrays")?;
+            writeln!(
+                f,
+                "# demo: a[i] += b[i], one line per element, 16 MB arrays"
+            )?;
             for i in 0..4096u64 {
                 // Large stride so the trace footprint exceeds the 2 MB L2.
                 writeln!(f, "L {:#x}", 0x1000_0000 + i * 4096)?; // load b[i]
@@ -44,10 +47,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("instructions:     {}", report.instructions);
     println!("memory reads:     {}", report.reads());
     println!("memory writes:    {}", report.writes());
-    println!("read latency:     {:.1} cycles (p95 {} / p99 {})",
-             report.ctrl.avg_read_latency(),
-             report.ctrl.read_latencies.p95(),
-             report.ctrl.read_latencies.p99());
-    println!("row hit rate:     {:.1}%", report.ctrl.row_hit_rate() * 100.0);
+    println!(
+        "read latency:     {:.1} cycles (p95 {} / p99 {})",
+        report.ctrl.avg_read_latency(),
+        report.ctrl.read_latencies.p95(),
+        report.ctrl.read_latencies.p99()
+    );
+    println!(
+        "row hit rate:     {:.1}%",
+        report.ctrl.row_hit_rate() * 100.0
+    );
     Ok(())
 }

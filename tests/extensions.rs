@@ -18,7 +18,11 @@ fn run(mechanism: Mechanism, bench: SpecBenchmark, n: u64) -> SimReport {
 fn extension_mechanisms_complete_and_compete() {
     let n = 15_000;
     let th = run(Mechanism::BurstTh(52), SpecBenchmark::Gcc, n);
-    for m in [Mechanism::BurstDyn, Mechanism::BurstCrit, Mechanism::AdaptiveHistory] {
+    for m in [
+        Mechanism::BurstDyn,
+        Mechanism::BurstCrit,
+        Mechanism::AdaptiveHistory,
+    ] {
         let r = run(m, SpecBenchmark::Gcc, n);
         assert!(r.instructions >= n, "{m}");
         assert!(r.reads() > 0, "{m}");
@@ -87,7 +91,10 @@ fn symmetric_cmp_is_fair() {
     sys.run_total_instructions(&mut w, 16_000);
     let (a, b) = (sys.retired(0) as f64, sys.retired(1) as f64);
     let ratio = a.min(b) / a.max(b);
-    assert!(ratio > 0.6, "same workload on both cores should split fairly: {a} vs {b}");
+    assert!(
+        ratio > 0.6,
+        "same workload on both cores should split fairly: {a} vs {b}"
+    );
 }
 
 /// The dynamic threshold mechanism actually moves its threshold on a
@@ -97,7 +104,14 @@ fn dynamic_threshold_survives_phase_change() {
     // Phase 1: write-heavy streaming (lucas); phase 2 read-heavy (art) —
     // approximated by interleaving two surrogates over one run.
     let cfg = SystemConfig::baseline().with_mechanism(Mechanism::BurstDyn);
-    let r = simulate(&cfg, SpecBenchmark::Lucas.workload(9), RunLength::Instructions(20_000));
+    let r = simulate(
+        &cfg,
+        SpecBenchmark::Lucas.workload(9),
+        RunLength::Instructions(20_000),
+    );
     assert!(r.instructions >= 20_000);
-    assert!(r.ctrl.piggybacks > 0 || r.ctrl.preemptions > 0, "the knobs must engage");
+    assert!(
+        r.ctrl.piggybacks > 0 || r.ctrl.preemptions > 0,
+        "the knobs must engage"
+    );
 }

@@ -11,17 +11,26 @@ use burst_scheduling::workloads::{Op, OpSource, ReplaySource};
 fn all_mechanisms_run_to_completion() {
     for mechanism in Mechanism::all_paper() {
         let config = SystemConfig::baseline().with_mechanism(mechanism);
-        let report =
-            simulate(&config, SpecBenchmark::Gcc.workload(7), RunLength::Instructions(10_000));
+        let report = simulate(
+            &config,
+            SpecBenchmark::Gcc.workload(7),
+            RunLength::Instructions(10_000),
+        );
         assert!(report.instructions >= 10_000, "{mechanism}");
         assert!(report.cpu_cycles > 0);
         assert!(report.mem_cycles > 0);
-        assert!(report.reads() > 0, "{mechanism}: a gcc run must read memory");
+        assert!(
+            report.reads() > 0,
+            "{mechanism}: a gcc run must read memory"
+        );
         // Row-state fractions partition classified accesses.
         let sum = report.ctrl.row_hit_rate()
             + report.ctrl.row_conflict_rate()
             + report.ctrl.row_empty_rate();
-        assert!((sum - 1.0).abs() < 1e-9, "{mechanism}: row states sum to {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "{mechanism}: row states sum to {sum}"
+        );
         // Latency sums are consistent with counts.
         assert!(report.ctrl.avg_read_latency() > 0.0);
         // Utilisations are fractions.
@@ -36,7 +45,11 @@ fn all_mechanisms_run_to_completion() {
 fn simulation_is_deterministic() {
     let run = || {
         let config = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(52));
-        simulate(&config, SpecBenchmark::Art.workload(9), RunLength::Instructions(8_000))
+        simulate(
+            &config,
+            SpecBenchmark::Art.workload(9),
+            RunLength::Instructions(8_000),
+        )
     };
     let a = run();
     let b = run();
@@ -53,8 +66,12 @@ fn simulation_is_deterministic() {
 fn seeds_change_the_execution() {
     let run = |seed| {
         let config = SystemConfig::baseline().with_mechanism(Mechanism::Burst);
-        simulate(&config, SpecBenchmark::Art.workload(seed), RunLength::Instructions(8_000))
-            .cpu_cycles
+        simulate(
+            &config,
+            SpecBenchmark::Art.workload(seed),
+            RunLength::Instructions(8_000),
+        )
+        .cpu_cycles
     };
     assert_ne!(run(1), run(2));
 }
@@ -64,14 +81,19 @@ fn seeds_change_the_execution() {
 #[test]
 fn compute_only_workload_is_memory_agnostic() {
     for mechanism in [Mechanism::BkInOrder, Mechanism::BurstTh(52)] {
-        let config = SystemConfig::baseline().with_mechanism(mechanism).with_warm_mem_ops(0);
+        let config = SystemConfig::baseline()
+            .with_mechanism(mechanism)
+            .with_warm_mem_ops(0);
         let mut sys = System::new(&config);
         let mut src = ReplaySource::new("compute", vec![Op::Compute]);
         sys.run(&mut src, RunLength::Instructions(50_000));
         let report = sys.report("compute");
         assert_eq!(report.reads(), 0, "{mechanism}: no memory traffic expected");
         let ipc = report.ipc();
-        assert!(ipc > 6.0, "{mechanism}: compute IPC {ipc:.1} should approach width 8");
+        assert!(
+            ipc > 6.0,
+            "{mechanism}: compute IPC {ipc:.1} should approach width 8"
+        );
     }
 }
 
@@ -79,7 +101,11 @@ fn compute_only_workload_is_memory_agnostic() {
 #[test]
 fn manual_stepping_equals_simulate() {
     let config = SystemConfig::baseline().with_mechanism(Mechanism::RowHit);
-    let auto = simulate(&config, SpecBenchmark::Mesa.workload(3), RunLength::Instructions(5_000));
+    let auto = simulate(
+        &config,
+        SpecBenchmark::Mesa.workload(3),
+        RunLength::Instructions(5_000),
+    );
 
     let mut sys = System::new(&config);
     let mut workload = SpecBenchmark::Mesa.workload(3);
@@ -97,18 +123,28 @@ fn manual_stepping_equals_simulate() {
 #[test]
 fn refreshes_happen_in_long_runs() {
     let config = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(52));
-    let report =
-        simulate(&config, SpecBenchmark::Swim.workload(5), RunLength::MemCycles(20_000));
+    let report = simulate(
+        &config,
+        SpecBenchmark::Swim.workload(5),
+        RunLength::MemCycles(20_000),
+    );
     // 20k cycles / tREFI 3120 * 8 ranks-over-2-channels ~ 50 refreshes.
-    assert!(report.bus.refreshes > 10, "got {} refreshes", report.bus.refreshes);
+    assert!(
+        report.bus.refreshes > 10,
+        "got {} refreshes",
+        report.bus.refreshes
+    );
 }
 
 /// The memory-cycle budget run length stops on time.
 #[test]
 fn mem_cycle_run_length() {
     let config = SystemConfig::baseline();
-    let report =
-        simulate(&config, SpecBenchmark::Gzip.workload(2), RunLength::MemCycles(3_000));
+    let report = simulate(
+        &config,
+        SpecBenchmark::Gzip.workload(2),
+        RunLength::MemCycles(3_000),
+    );
     assert_eq!(report.mem_cycles, 3_000);
 }
 

@@ -7,12 +7,21 @@ use burst_scheduling::prelude::*;
 
 fn exec_cycles(mechanism: Mechanism, bench: SpecBenchmark, instructions: u64) -> u64 {
     let config = SystemConfig::baseline().with_mechanism(mechanism);
-    simulate(&config, bench.workload(42), RunLength::Instructions(instructions)).cpu_cycles
+    simulate(
+        &config,
+        bench.workload(42),
+        RunLength::Instructions(instructions),
+    )
+    .cpu_cycles
 }
 
 fn report(mechanism: Mechanism, bench: SpecBenchmark, instructions: u64) -> SimReport {
     let config = SystemConfig::baseline().with_mechanism(mechanism);
-    simulate(&config, bench.workload(42), RunLength::Instructions(instructions))
+    simulate(
+        &config,
+        bench.workload(42),
+        RunLength::Instructions(instructions),
+    )
 }
 
 /// Section 5.3 headline: Burst_TH52 reduces execution time substantially
@@ -21,7 +30,11 @@ fn report(mechanism: Mechanism, bench: SpecBenchmark, instructions: u64) -> SimR
 #[test]
 fn burst_th_beats_bk_in_order_substantially() {
     let n = 25_000;
-    for bench in [SpecBenchmark::Swim, SpecBenchmark::Lucas, SpecBenchmark::Mgrid] {
+    for bench in [
+        SpecBenchmark::Swim,
+        SpecBenchmark::Lucas,
+        SpecBenchmark::Mgrid,
+    ] {
         let base = exec_cycles(Mechanism::BkInOrder, bench, n);
         let th = exec_cycles(Mechanism::BurstTh(52), bench, n);
         let reduction = 1.0 - th as f64 / base as f64;
@@ -42,7 +55,10 @@ fn threshold_beats_pure_rp_and_plain_burst() {
     let th = exec_cycles(Mechanism::BurstTh(52), bench, n);
     let plain = exec_cycles(Mechanism::Burst, bench, n);
     let rp = exec_cycles(Mechanism::BurstRp, bench, n);
-    assert!(th < plain, "TH ({th}) should beat plain Burst ({plain}) on swim");
+    assert!(
+        th < plain,
+        "TH ({th}) should beat plain Burst ({plain}) on swim"
+    );
     assert!(th < rp, "TH ({th}) should beat Burst_RP ({rp}) on swim");
 }
 
@@ -117,7 +133,11 @@ fn reordering_cuts_read_latency() {
     let n = 25_000;
     let bench = SpecBenchmark::Lucas;
     let base = report(Mechanism::BkInOrder, bench, n);
-    for m in [Mechanism::RowHit, Mechanism::IntelRp, Mechanism::BurstTh(52)] {
+    for m in [
+        Mechanism::RowHit,
+        Mechanism::IntelRp,
+        Mechanism::BurstTh(52),
+    ] {
         let r = report(m, bench, n);
         assert!(
             r.ctrl.avg_read_latency() < base.ctrl.avg_read_latency(),

@@ -6,7 +6,9 @@ use burst_scheduling::sim::System;
 use burst_scheduling::workloads::{Op, ReplaySource};
 
 fn run_ops(mechanism: Mechanism, ops: Vec<Op>, instructions: u64) -> SimReport {
-    let config = SystemConfig::baseline().with_mechanism(mechanism).with_warm_mem_ops(0);
+    let config = SystemConfig::baseline()
+        .with_mechanism(mechanism)
+        .with_warm_mem_ops(0);
     let mut sys = System::new(&config);
     let mut src = ReplaySource::new("patho", ops);
     sys.run(&mut src, RunLength::Instructions(instructions));
@@ -32,14 +34,21 @@ fn single_bank_hammer() {
 #[test]
 fn row_ping_pong() {
     let row_stride = 8192u64 * 2 * 4 * 4; // next row of the same bank
-    // Alternate two rows, never reusing a line (defeats the caches).
+                                          // Alternate two rows, never reusing a line (defeats the caches).
     let ops: Vec<Op> = (0..4096u64)
         .map(|i| Op::load((i % 2) * row_stride + (i / 2) * 64 + (i % 2) * 64 * 64))
         .collect();
-    for mechanism in [Mechanism::BkInOrder, Mechanism::BurstTh(52), Mechanism::RowHit] {
+    for mechanism in [
+        Mechanism::BkInOrder,
+        Mechanism::BurstTh(52),
+        Mechanism::RowHit,
+    ] {
         let r = run_ops(mechanism, ops.clone(), 15_000);
         assert!(r.instructions >= 15_000, "{mechanism}");
-        assert!(r.ctrl.row_conflicts > 0, "{mechanism}: ping-pong must conflict");
+        assert!(
+            r.ctrl.row_conflicts > 0,
+            "{mechanism}: ping-pong must conflict"
+        );
     }
 }
 
@@ -47,7 +56,9 @@ fn row_ping_pong() {
 /// though no reads ever arrive.
 #[test]
 fn store_flood() {
-    let ops: Vec<Op> = (0..8192u64).map(|i| Op::Store { addr: i * 64 * 37 }).collect();
+    let ops: Vec<Op> = (0..8192u64)
+        .map(|i| Op::Store { addr: i * 64 * 37 })
+        .collect();
     for mechanism in Mechanism::all_paper() {
         let r = run_ops(mechanism, ops.clone(), 12_000);
         assert!(r.instructions >= 12_000, "{mechanism}");
@@ -64,7 +75,11 @@ fn pure_pointer_chase() {
     let r = run_ops(Mechanism::BurstTh(52), ops, 3_000);
     assert!(r.instructions >= 3_000);
     // MLP collapses to ~1.
-    assert!(r.ctrl.outstanding_reads.mean() < 4.0, "mean {}", r.ctrl.outstanding_reads.mean());
+    assert!(
+        r.ctrl.outstanding_reads.mean() < 4.0,
+        "mean {}",
+        r.ctrl.outstanding_reads.mean()
+    );
 }
 
 /// Alternating load/store to the same line exercises the forwarding and
@@ -73,7 +88,9 @@ fn pure_pointer_chase() {
 fn same_line_read_write_interleave() {
     let mut ops = Vec::new();
     for i in 0..512u64 {
-        ops.push(Op::Store { addr: (i % 4) * (1 << 22) });
+        ops.push(Op::Store {
+            addr: (i % 4) * (1 << 22),
+        });
         ops.push(Op::load((i % 4) * (1 << 22)));
     }
     for mechanism in [Mechanism::Intel, Mechanism::BurstTh(52)] {

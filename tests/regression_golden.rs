@@ -12,7 +12,11 @@ use burst_scheduling::prelude::*;
 
 fn fingerprint(mechanism: Mechanism) -> (u64, u64, u64, u64) {
     let cfg = SystemConfig::baseline().with_mechanism(mechanism);
-    let r = simulate(&cfg, SpecBenchmark::Gzip.workload(7), RunLength::Instructions(4_000));
+    let r = simulate(
+        &cfg,
+        SpecBenchmark::Gzip.workload(7),
+        RunLength::Instructions(4_000),
+    );
     (r.cpu_cycles, r.reads(), r.writes(), r.ctrl.row_hits)
 }
 

@@ -11,7 +11,10 @@ fn analytic_table_matches_paper() {
     let rows = table1(&DramConfig::baseline().timing);
     let op = &rows[0];
     assert_eq!(op.policy, RowPolicy::OpenPage);
-    assert_eq!((op.hit, op.empty, op.conflict), (Some(5), Some(10), Some(15)));
+    assert_eq!(
+        (op.hit, op.empty, op.conflict),
+        (Some(5), Some(10), Some(15))
+    );
     let cpa = &rows[1];
     assert_eq!(cpa.policy, RowPolicy::ClosePageAutoprecharge);
     assert_eq!((cpa.hit, cpa.empty, cpa.conflict), (None, Some(10), None));
@@ -42,9 +45,13 @@ fn device_reproduces_row_conflict_latency() {
     ch.issue(&Command::Activate(a), 0);
     // Wait out tRAS so the precharge isn't additionally delayed, then
     // measure PRE -> ACT -> READ -> data.
-    let pre_at = ch.earliest_issue(&Command::Precharge(b), t.t_ras).expect("open row");
+    let pre_at = ch
+        .earliest_issue(&Command::Precharge(b), t.t_ras)
+        .expect("open row");
     ch.issue(&Command::Precharge(b), pre_at);
-    let act_at = ch.earliest_issue(&Command::Activate(b), pre_at).expect("precharged");
+    let act_at = ch
+        .earliest_issue(&Command::Activate(b), pre_at)
+        .expect("precharged");
     ch.issue(&Command::Activate(b), act_at);
     let col_at = ch.earliest_issue(&Command::read(b), act_at).expect("open");
     let done = ch.issue(&Command::read(b), col_at);
@@ -61,13 +68,25 @@ fn cpa_makes_every_access_a_row_empty() {
     let loc = Loc::new(0, 0, 0, 9, 0);
     ch.issue(&Command::Activate(loc), 0);
     let first = ch.issue(
-        &Command::Column { loc, dir: burst_scheduling::dram::Dir::Read, auto_precharge: true },
+        &Command::Column {
+            loc,
+            dir: burst_scheduling::dram::Dir::Read,
+            auto_precharge: true,
+        },
         t.t_rcd,
     );
-    assert_eq!(ch.row_state(loc), RowState::Empty, "auto-precharge closed the row");
+    assert_eq!(
+        ch.row_state(loc),
+        RowState::Empty,
+        "auto-precharge closed the row"
+    );
     // The second same-row access must re-activate.
-    let act_at = ch.earliest_issue(&Command::Activate(loc), first.data_end).expect("closed");
+    let act_at = ch
+        .earliest_issue(&Command::Activate(loc), first.data_end)
+        .expect("closed");
     ch.issue(&Command::Activate(loc), act_at);
-    let col_at = ch.earliest_issue(&Command::read(loc), act_at).expect("open");
+    let col_at = ch
+        .earliest_issue(&Command::read(loc), act_at)
+        .expect("open");
     assert_eq!(col_at - act_at, t.t_rcd, "row empty pays tRCD again");
 }

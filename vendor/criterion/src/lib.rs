@@ -27,12 +27,18 @@ pub struct Criterion {
 
 impl Criterion {
     fn from_args() -> Self {
-        Criterion { timing: std::env::args().any(|a| a == "--bench") }
+        Criterion {
+            timing: std::env::args().any(|a| a == "--bench"),
+        }
     }
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
     }
 
     /// Runs a standalone benchmark.
@@ -65,7 +71,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.id);
-        run_one(self.criterion.timing, &label, self.sample_size, &mut |b| f(b, input));
+        run_one(self.criterion.timing, &label, self.sample_size, &mut |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -91,12 +99,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Id from a function name plus a parameter.
     pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
     }
 
     /// Id from the parameter alone.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -127,27 +139,43 @@ fn run_one(timing: bool, label: &str, sample_size: usize, f: &mut dyn FnMut(&mut
     if !timing {
         // Smoke-test mode (e.g. `cargo test` executing the bench binary):
         // one pass to prove the benchmark still runs.
-        let mut b = Bencher { timing: false, iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            timing: false,
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         println!("bench {label}: ok (smoke test)");
         return;
     }
     // Warmup to pick an iteration count aiming at ~50ms per sample.
-    let mut warmup = Bencher { timing: true, iters: 1, elapsed: Duration::ZERO };
+    let mut warmup = Bencher {
+        timing: true,
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
     f(&mut warmup);
     let per_iter = warmup.elapsed.max(Duration::from_nanos(1));
-    let iters = (Duration::from_millis(50).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+    let iters =
+        (Duration::from_millis(50).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
 
     let mut total = Duration::ZERO;
     let mut total_iters = 0u64;
     for _ in 0..sample_size {
-        let mut b = Bencher { timing: true, iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            timing: true,
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         total += b.elapsed;
         total_iters += iters;
     }
     let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
-    println!("bench {label}: {:.1} ns/iter ({} samples x {} iters)", mean_ns, sample_size, iters);
+    println!(
+        "bench {label}: {:.1} ns/iter ({} samples x {} iters)",
+        mean_ns, sample_size, iters
+    );
 }
 
 /// Declares a group of benchmark functions, mirroring criterion's macro.

@@ -48,7 +48,9 @@ impl TestRng {
             hash ^= u64::from(byte);
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        TestRng { inner: SmallRng::seed_from_u64(hash) }
+        TestRng {
+            inner: SmallRng::seed_from_u64(hash),
+        }
     }
 
     /// The next 64 random bits.
