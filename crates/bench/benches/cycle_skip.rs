@@ -1,0 +1,43 @@
+//! Criterion bench: event-horizon cycle skipping on idle-heavy traffic.
+//!
+//! Simulates a fixed budget of the `mcf` surrogate — 80% pointer chase
+//! with memory-level parallelism 1, so the CPU spends most memory cycles
+//! fully stalled — with skipping off and on. The gap between the two
+//! series is the win of `System::try_run` jumping quiescent stretches;
+//! `swim` (bandwidth-bound, never quiescent for long) is included as the
+//! no-opportunity baseline where skipping must cost nothing measurable.
+
+use burst_core::Mechanism;
+use burst_sim::{simulate, RunLength, SystemConfig};
+use burst_workloads::SpecBenchmark;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_cycle_skip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_skip");
+    group.sample_size(10);
+    let cases = [
+        (SpecBenchmark::Mcf, false),
+        (SpecBenchmark::Mcf, true),
+        (SpecBenchmark::Swim, false),
+        (SpecBenchmark::Swim, true),
+    ];
+    for (bench, skip) in cases {
+        let label = format!("{}/skip_{}", bench.name(), if skip { "on" } else { "off" });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(bench, skip),
+            |b, &(bench, skip)| {
+                let cfg = SystemConfig::baseline()
+                    .with_mechanism(Mechanism::BurstTh(52))
+                    .with_skip(skip);
+                b.iter(|| {
+                    simulate(&cfg, bench.workload(42), RunLength::Instructions(5_000)).mem_cycles
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_skip);
+criterion_main!(benches);

@@ -11,7 +11,7 @@ use burst_bench::{banner, HarnessOptions};
 use burst_core::Mechanism;
 use burst_dram::{AddressMapping, RowPolicy};
 use burst_sim::report::render_table;
-use burst_sim::{map_parallel, simulate, SystemConfig};
+use burst_sim::{map_parallel, simulate};
 use burst_workloads::SpecBenchmark;
 
 fn main() {
@@ -55,7 +55,8 @@ fn main() {
         }
     }
     let cycles = map_parallel(&grid, opts.jobs, |_, &(mapping, mechanism, b)| {
-        let cfg = SystemConfig::baseline()
+        let cfg = opts
+            .system_config()
             .with_mechanism(mechanism)
             .with_mapping(mapping);
         simulate(&cfg, b.workload(opts.seed), opts.run).cpu_cycles
@@ -85,7 +86,7 @@ fn main() {
         }
     }
     let results = map_parallel(&grid, opts.jobs, |_, &(policy, b)| {
-        let mut cfg = SystemConfig::baseline();
+        let mut cfg = opts.system_config();
         cfg.ctrl.row_policy = policy;
         let r = simulate(&cfg, b.workload(opts.seed), opts.run);
         (r.cpu_cycles, r.ctrl.row_hit_rate())
@@ -120,7 +121,7 @@ fn main() {
         }
     }
     let cycles = map_parallel(&grid, opts.jobs, |_, &(mechanism, b)| {
-        let cfg = SystemConfig::baseline().with_mechanism(mechanism);
+        let cfg = opts.system_config().with_mechanism(mechanism);
         simulate(&cfg, b.workload(opts.seed), opts.run).cpu_cycles
     });
     let mut rows = Vec::new();

@@ -8,7 +8,7 @@ use burst_bench::{banner, HarnessOptions};
 use burst_core::Mechanism;
 use burst_dram::TimingParams;
 use burst_sim::experiments::{
-    fig1, fig11_with_jobs, fig12_with_jobs, fig8_with_jobs, table1, Sweep,
+    fig1, fig11_with_config, fig12_with_config, fig8_with_config, table1, Sweep,
 };
 use burst_sim::export;
 use burst_sim::report::{
@@ -18,6 +18,7 @@ use burst_workloads::SpecBenchmark;
 
 fn main() {
     let opts = HarnessOptions::from_args(120_000);
+    let base = opts.system_config();
 
     println!("=== Table 1: possible SDRAM access latencies (DDR2 PC2-6400)\n");
     println!("{}", render_table1(&table1(&TimingParams::ddr2_pc2_6400())));
@@ -31,7 +32,8 @@ fn main() {
         "{}",
         banner("Sweep", "all benchmarks x all mechanisms", &opts)
     );
-    let sweep = Sweep::run_with_jobs(
+    let sweep = Sweep::run_with_config(
+        &base,
         &opts.benchmarks,
         &Mechanism::all_paper(),
         opts.run,
@@ -59,17 +61,17 @@ fn main() {
     opts.dump_csv("sweep.csv", &export::sweep_to_csv(&sweep));
 
     println!("=== Figure 8: outstanding accesses, swim\n");
-    let f8 = fig8_with_jobs(SpecBenchmark::Swim, opts.run, opts.seed, opts.jobs);
+    let f8 = fig8_with_config(&base, SpecBenchmark::Swim, opts.run, opts.seed, opts.jobs);
     println!("{}", render_outstanding(&f8));
     opts.dump_csv("fig8.csv", &export::outstanding_to_csv(&f8));
 
     println!("=== Figure 11: outstanding accesses vs threshold, swim\n");
-    let f11 = fig11_with_jobs(SpecBenchmark::Swim, opts.run, opts.seed, opts.jobs);
+    let f11 = fig11_with_config(&base, SpecBenchmark::Swim, opts.run, opts.seed, opts.jobs);
     println!("{}", render_outstanding(&f11));
     opts.dump_csv("fig11.csv", &export::outstanding_to_csv(&f11));
 
     println!("=== Figure 12: threshold sweep\n");
-    let f12 = fig12_with_jobs(&opts.benchmarks, opts.run, opts.seed, opts.jobs);
+    let f12 = fig12_with_config(&base, &opts.benchmarks, opts.run, opts.seed, opts.jobs);
     println!("{}", render_fig12(&f12));
     opts.dump_csv("fig12.csv", &export::fig12_to_csv(&f12));
 

@@ -7,7 +7,7 @@ use burst_bench::{banner, HarnessOptions};
 use burst_core::Mechanism;
 use burst_dram::EnergyParams;
 use burst_sim::report::render_table;
-use burst_sim::{simulate, SystemConfig};
+use burst_sim::simulate;
 
 fn main() {
     let opts = HarnessOptions::from_args(40_000);
@@ -31,7 +31,7 @@ fn main() {
         let mut accesses = 0u64;
         let mut cycles = 0u64;
         for b in &benches {
-            let cfg = SystemConfig::baseline().with_mechanism(mechanism);
+            let cfg = opts.system_config().with_mechanism(mechanism);
             let r = simulate(&cfg, b.workload(opts.seed), opts.run);
             let e = r.energy(ranks, &params);
             total_mj += e.total_mj();

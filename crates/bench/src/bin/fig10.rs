@@ -12,11 +12,13 @@ fn main() {
         "{}",
         banner("Figure 10", "normalized execution time", &opts)
     );
-    let sweep = Sweep::run(
+    let sweep = Sweep::run_with_config(
+        &opts.system_config(),
         &opts.benchmarks,
         &Mechanism::all_paper(),
         opts.run,
         opts.seed,
+        opts.jobs,
     );
     match render_fig10(&sweep.fig10_rows(), &sweep.fig10_average()) {
         Ok(table) => println!("{table}"),

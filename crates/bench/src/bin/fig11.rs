@@ -2,7 +2,7 @@
 //! `swim` across the write-queue threshold sweep.
 
 use burst_bench::{banner, HarnessOptions};
-use burst_sim::experiments::fig11;
+use burst_sim::experiments::fig11_with_config;
 use burst_sim::report::render_outstanding;
 use burst_workloads::SpecBenchmark;
 
@@ -16,7 +16,13 @@ fn main() {
             &opts
         )
     );
-    let rows = fig11(SpecBenchmark::Swim, opts.run, opts.seed);
+    let rows = fig11_with_config(
+        &opts.system_config(),
+        SpecBenchmark::Swim,
+        opts.run,
+        opts.seed,
+        opts.jobs,
+    );
     println!("{}", render_outstanding(&rows));
     println!(
         "Paper shape: the peak outstanding-write count grows with the threshold;\n\

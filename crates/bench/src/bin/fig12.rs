@@ -2,7 +2,7 @@
 //! execution time across the static threshold sweep.
 
 use burst_bench::{banner, HarnessOptions};
-use burst_sim::experiments::fig12;
+use burst_sim::experiments::fig12_with_config;
 use burst_sim::report::render_fig12;
 
 fn main() {
@@ -15,7 +15,13 @@ fn main() {
             &opts
         )
     );
-    let rows = fig12(&opts.benchmarks, opts.run, opts.seed);
+    let rows = fig12_with_config(
+        &opts.system_config(),
+        &opts.benchmarks,
+        opts.run,
+        opts.seed,
+        opts.jobs,
+    );
     println!("{}", render_fig12(&rows));
     let best = rows
         .iter()

@@ -12,11 +12,13 @@ fn main() {
         "{}",
         banner("Figure 7", "access latency in memory cycles", &opts)
     );
-    let sweep = Sweep::run(
+    let sweep = Sweep::run_with_config(
+        &opts.system_config(),
         &opts.benchmarks,
         &Mechanism::all_paper(),
         opts.run,
         opts.seed,
+        opts.jobs,
     );
     println!("{}", render_fig7(&sweep.fig7_rows()));
     println!(

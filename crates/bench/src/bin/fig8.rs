@@ -2,7 +2,7 @@
 //! for the `swim` benchmark under six mechanisms.
 
 use burst_bench::{banner, HarnessOptions};
-use burst_sim::experiments::fig8;
+use burst_sim::experiments::fig8_with_config;
 use burst_sim::report::render_outstanding;
 use burst_workloads::SpecBenchmark;
 
@@ -12,7 +12,13 @@ fn main() {
         "{}",
         banner("Figure 8", "outstanding accesses for swim", &opts)
     );
-    let rows = fig8(SpecBenchmark::Swim, opts.run, opts.seed);
+    let rows = fig8_with_config(
+        &opts.system_config(),
+        SpecBenchmark::Swim,
+        opts.run,
+        opts.seed,
+        opts.jobs,
+    );
     println!("{}", render_outstanding(&rows));
     println!(
         "Paper shape (swim): Intel and Burst pile writes up (24% / 46% write queue\n\

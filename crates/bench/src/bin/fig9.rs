@@ -12,11 +12,13 @@ fn main() {
         "{}",
         banner("Figure 9", "row states and bus utilisation", &opts)
     );
-    let sweep = Sweep::run(
+    let sweep = Sweep::run_with_config(
+        &opts.system_config(),
         &opts.benchmarks,
         &Mechanism::all_paper(),
         opts.run,
         opts.seed,
+        opts.jobs,
     );
     println!("{}", render_fig9(&sweep.fig9_rows()));
     println!(

@@ -2,15 +2,21 @@
 //! simulated machine) and writes `BENCH_perf.json` so CI and future changes
 //! can compare against it.
 //!
-//! Two views:
+//! Three views:
 //!
 //! 1. **Single-sim throughput** — one simulation per mechanism on the
 //!    profile workload (swim), reported as simulated memory megacycles per
 //!    wall-clock second. This tracks the cycle-loop hot path.
-//! 2. **Sweep throughput** — a benchmark x mechanism sweep run serially
-//!    (`jobs = 1`) and in parallel (`--jobs`, default auto), reported as
-//!    simulations per second plus the resulting speedup. This tracks the
-//!    parallel executor.
+//! 2. **Cycle-skip effect** — the same simulation with event-horizon cycle
+//!    skipping off and on, on a bandwidth-bound workload (swim) and an
+//!    idle-heavy pointer chase (mcf). The two runs must produce
+//!    bit-identical reports; only the wall clock may differ.
+//! 3. **Sweep throughput** — a benchmark x mechanism sweep run serially
+//!    (`jobs = 1`) and with the resolved worker count, reported as
+//!    simulations per second plus the resulting speedup. The JSON records
+//!    the worker count actually used and the machine's available
+//!    parallelism, so a single-core environment is visible in the numbers
+//!    rather than masquerading as a parallel measurement.
 //!
 //! ```text
 //! cargo run --release -p burst-bench --bin perf -- --instructions 300000
@@ -38,6 +44,58 @@ impl SingleSim {
     }
 }
 
+/// Skip-off vs skip-on timing of one (workload, mechanism) simulation.
+struct SkipEffect {
+    benchmark: SpecBenchmark,
+    mechanism: Mechanism,
+    mem_cycles: u64,
+    off_secs: f64,
+    on_secs: f64,
+}
+
+impl SkipEffect {
+    fn measure(
+        base: &SystemConfig,
+        benchmark: SpecBenchmark,
+        mechanism: Mechanism,
+        seed: u64,
+        run: burst_sim::RunLength,
+    ) -> Self {
+        let cfg = base.with_mechanism(mechanism);
+        let start = Instant::now();
+        let off = simulate(&cfg.with_skip(false), benchmark.workload(seed), run);
+        let off_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let on = simulate(&cfg.with_skip(true), benchmark.workload(seed), run);
+        let on_secs = start.elapsed().as_secs_f64();
+        // The cycle-skipping bit-identity guarantee, enforced on every
+        // perf run.
+        assert_eq!(
+            off, on,
+            "cycle skipping must be bit-identical to per-cycle stepping"
+        );
+        SkipEffect {
+            benchmark,
+            mechanism,
+            mem_cycles: on.mem_cycles,
+            off_secs,
+            on_secs,
+        }
+    }
+
+    fn off_rate(&self) -> f64 {
+        self.mem_cycles as f64 / 1e6 / self.off_secs
+    }
+
+    fn on_rate(&self) -> f64 {
+        self.mem_cycles as f64 / 1e6 / self.on_secs
+    }
+
+    fn speedup(&self) -> f64 {
+        self.off_secs / self.on_secs
+    }
+}
+
 /// Minimal JSON string escaping (names only contain ASCII, but be safe).
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -56,6 +114,7 @@ fn json_str(s: &str) -> String {
 
 fn main() {
     let opts = HarnessOptions::from_args(300_000);
+    let base = opts.system_config();
     println!(
         "{}",
         banner("perf", "simulator throughput (tracked)", &opts)
@@ -65,7 +124,7 @@ fn main() {
     let singles: Vec<SingleSim> = fig8_mechanisms()
         .into_iter()
         .map(|m| {
-            let cfg = SystemConfig::baseline().with_mechanism(m);
+            let cfg = base.with_mechanism(m);
             let start = Instant::now();
             let report = simulate(&cfg, profile_bench.workload(opts.seed), opts.run);
             SingleSim {
@@ -77,8 +136,9 @@ fn main() {
         .collect();
 
     println!(
-        "--- single-sim throughput ({} workload)\n",
-        profile_bench.name()
+        "--- single-sim throughput ({} workload, skip {})\n",
+        profile_bench.name(),
+        if base.skip { "on" } else { "off" }
     );
     let rows: Vec<Vec<String>> = singles
         .iter()
@@ -96,6 +156,46 @@ fn main() {
         render_table(&["mechanism", "mem cycles", "wall s", "Mcycles/s"], &rows)
     );
 
+    // Cycle-skip effect: bandwidth-bound (swim) vs idle-heavy pointer
+    // chase (mcf, MLP 1 — the CPU spends most cycles fully stalled).
+    let skip_cases = [
+        (SpecBenchmark::Swim, Mechanism::BurstTh(52)),
+        (SpecBenchmark::Mcf, Mechanism::BurstTh(52)),
+        (SpecBenchmark::Mcf, Mechanism::BkInOrder),
+    ];
+    let effects: Vec<SkipEffect> = skip_cases
+        .into_iter()
+        .map(|(b, m)| SkipEffect::measure(&base, b, m, opts.seed, opts.run))
+        .collect();
+    println!("--- cycle-skip effect (bit-identity checked per row)\n");
+    let rows: Vec<Vec<String>> = effects
+        .iter()
+        .map(|e| {
+            vec![
+                e.benchmark.name().to_string(),
+                e.mechanism.name(),
+                format!("{}", e.mem_cycles),
+                format!("{:.2}", e.off_rate()),
+                format!("{:.2}", e.on_rate()),
+                format!("{:.2}", e.speedup()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "mechanism",
+                "mem cycles",
+                "off Mcyc/s",
+                "on Mcyc/s",
+                "speedup",
+            ],
+            &rows,
+        )
+    );
+
     // Sweep throughput: a small representative grid, serial vs parallel.
     let sweep_benches = [
         SpecBenchmark::Swim,
@@ -105,18 +205,22 @@ fn main() {
     ];
     let mechanisms = fig8_mechanisms();
     let cells = sweep_benches.len() * mechanisms.len();
-    let jobs = if opts.jobs == 0 {
-        default_jobs()
-    } else {
-        opts.jobs
-    };
+    let available = default_jobs();
+    let jobs = if opts.jobs == 0 { available } else { opts.jobs };
 
     let start = Instant::now();
-    let serial = Sweep::run_with_jobs(&sweep_benches, &mechanisms, opts.run, opts.seed, 1);
+    let serial = Sweep::run_with_config(&base, &sweep_benches, &mechanisms, opts.run, opts.seed, 1);
     let serial_secs = start.elapsed().as_secs_f64();
 
     let start = Instant::now();
-    let parallel = Sweep::run_with_jobs(&sweep_benches, &mechanisms, opts.run, opts.seed, jobs);
+    let parallel = Sweep::run_with_config(
+        &base,
+        &sweep_benches,
+        &mechanisms,
+        opts.run,
+        opts.seed,
+        jobs,
+    );
     let parallel_secs = start.elapsed().as_secs_f64();
 
     // The executor's determinism guarantee, enforced on every perf run.
@@ -128,7 +232,7 @@ fn main() {
 
     let serial_rate = cells as f64 / serial_secs;
     let parallel_rate = cells as f64 / parallel_secs;
-    println!("--- sweep throughput ({cells} sims)\n");
+    println!("--- sweep throughput ({cells} sims, {available} cores available)\n");
     println!(
         "{}",
         render_table(
@@ -160,6 +264,7 @@ fn main() {
     json.push_str("{\n");
     json.push_str(&format!("  \"instructions\": {instructions},\n"));
     json.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    json.push_str(&format!("  \"skip\": {},\n", base.skip));
     json.push_str(&format!(
         "  \"profile_benchmark\": {},\n",
         json_str(profile_bench.name())
@@ -176,11 +281,32 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"skip_effect\": [\n");
+    for (i, e) in effects.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": {}, \"mechanism\": {}, \"mem_cycles\": {}, \
+             \"skip_off_secs\": {:.6}, \"skip_off_mcycles_per_sec\": {:.3}, \
+             \"skip_on_secs\": {:.6}, \"skip_on_mcycles_per_sec\": {:.3}, \
+             \"speedup\": {:.3}}}{}\n",
+            json_str(e.benchmark.name()),
+            json_str(&e.mechanism.name()),
+            e.mem_cycles,
+            e.off_secs,
+            e.off_rate(),
+            e.on_secs,
+            e.on_rate(),
+            e.speedup(),
+            if i + 1 < effects.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"sweep\": {\n");
     json.push_str(&format!("    \"cells\": {cells},\n"));
     json.push_str(&format!("    \"serial_secs\": {serial_secs:.6},\n"));
     json.push_str(&format!("    \"serial_sims_per_sec\": {serial_rate:.3},\n"));
+    json.push_str(&format!("    \"requested_jobs\": {},\n", opts.jobs));
     json.push_str(&format!("    \"jobs\": {jobs},\n"));
+    json.push_str(&format!("    \"available_parallelism\": {available},\n"));
     json.push_str(&format!("    \"parallel_secs\": {parallel_secs:.6},\n"));
     json.push_str(&format!(
         "    \"parallel_sims_per_sec\": {parallel_rate:.3},\n"

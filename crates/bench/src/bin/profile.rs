@@ -4,7 +4,7 @@
 
 use burst_bench::{banner, HarnessOptions};
 use burst_sim::report::render_table;
-use burst_sim::{simulate, SystemConfig};
+use burst_sim::simulate;
 
 fn main() {
     let opts = HarnessOptions::from_args(40_000);
@@ -14,7 +14,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for &b in &opts.benchmarks {
-        let report = simulate(&SystemConfig::baseline(), b.workload(opts.seed), opts.run);
+        let report = simulate(&opts.system_config(), b.workload(opts.seed), opts.run);
         rows.push(vec![
             b.name().to_string(),
             format!("{:.3}", report.ipc()),

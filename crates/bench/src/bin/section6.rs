@@ -8,7 +8,7 @@ use burst_bench::{banner, HarnessOptions};
 use burst_core::Mechanism;
 use burst_dram::{DramConfig, TimingParams};
 use burst_sim::report::render_table;
-use burst_sim::{simulate, SystemConfig};
+use burst_sim::simulate;
 
 fn main() {
     let opts = HarnessOptions::from_args(40_000);
@@ -47,7 +47,8 @@ fn main() {
             benches
                 .iter()
                 .map(|b| {
-                    let cfg = SystemConfig::baseline()
+                    let cfg = opts
+                        .system_config()
                         .with_dram(dram)
                         .with_mechanism(mechanism);
                     simulate(&cfg, b.workload(opts.seed), opts.run).cpu_cycles

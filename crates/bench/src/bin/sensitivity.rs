@@ -42,7 +42,7 @@ fn main() {
     let mut rows = Vec::new();
     for cap in [16usize, 32, 64, 128] {
         let th = (cap * 52 / 64) as u32;
-        let mut base = SystemConfig::baseline();
+        let mut base = opts.system_config();
         base.ctrl.write_capacity = cap;
         let th_cfg = base.with_mechanism(Mechanism::BurstTh(th));
         let gain = improvement(base, th_cfg, &opts);
@@ -57,7 +57,7 @@ fn main() {
     // 2. LSQ size: memory-level parallelism available to reorder.
     let mut rows = Vec::new();
     for lsq in [8usize, 16, 32, 64] {
-        let mut base = SystemConfig::baseline();
+        let mut base = opts.system_config();
         base.cpu.lsq_size = lsq;
         let th_cfg = base.with_mechanism(Mechanism::BurstTh(52));
         let gain = improvement(base, th_cfg, &opts);
@@ -69,7 +69,7 @@ fn main() {
     // 3. Channels: raw parallelism dilutes per-channel contention.
     let mut rows = Vec::new();
     for channels in [1u8, 2, 4] {
-        let mut base = SystemConfig::baseline();
+        let mut base = opts.system_config();
         base.dram.geometry.channels = channels;
         let th_cfg = base.with_mechanism(Mechanism::BurstTh(52));
         let gain = improvement(base, th_cfg, &opts);

@@ -31,12 +31,15 @@ pub struct HarnessOptions {
     pub jobs: usize,
     /// Directory for CSV dumps (`--csv DIR`), if requested.
     pub csv: Option<std::path::PathBuf>,
+    /// Event-horizon cycle skipping (`--no-skip` disables it; results are
+    /// bit-identical either way, only the wall-clock time changes).
+    pub skip: bool,
 }
 
 impl HarnessOptions {
     /// Parses `--instructions N`, `--seed N`, `--benchmarks a,b,c`,
-    /// `--jobs N` and `--csv DIR` from `std::env::args`, with the given
-    /// default instruction budget.
+    /// `--jobs N`, `--csv DIR` and `--no-skip` from `std::env::args`, with
+    /// the given default instruction budget.
     ///
     /// Unknown arguments are ignored so binaries can be combined with cargo
     /// flags freely.
@@ -62,6 +65,7 @@ impl HarnessOptions {
             .unwrap_or(42);
         let jobs = value_of("--jobs").and_then(|v| v.parse().ok()).unwrap_or(0);
         let csv = value_of("--csv").map(std::path::PathBuf::from);
+        let skip = !args.iter().any(|a| a == "--no-skip");
         let benchmarks = value_of("--benchmarks")
             .map(|list| {
                 let mut picks = Vec::new();
@@ -84,7 +88,14 @@ impl HarnessOptions {
             benchmarks,
             jobs,
             csv,
+            skip,
         }
+    }
+
+    /// The base system configuration implied by the flags (currently just
+    /// the cycle-skipping toggle over the paper baseline).
+    pub fn system_config(&self) -> burst_sim::SystemConfig {
+        burst_sim::SystemConfig::baseline().with_skip(self.skip)
     }
 
     /// Writes `content` as `name` into the `--csv` directory, if one was
@@ -126,6 +137,15 @@ mod tests {
         assert!(matches!(o.run, RunLength::Instructions(1000)));
         assert_eq!(o.jobs, 0);
         assert!(o.csv.is_none());
+        assert!(o.skip, "cycle skipping defaults to on");
+    }
+
+    #[test]
+    fn parses_no_skip() {
+        let args: Vec<String> = ["bin", "--no-skip"].iter().map(|s| s.to_string()).collect();
+        let o = HarnessOptions::from_arg_slice(&args, 500);
+        assert!(!o.skip);
+        assert!(!o.system_config().skip);
     }
 
     #[test]

@@ -565,6 +565,42 @@ impl Core {
             );
         }
     }
+
+    /// Whether the controller is *quiescent*: no access is outstanding
+    /// (queued or ongoing — outstanding counts cover both), no faulted
+    /// access awaits re-enqueue, and no stall is latched. A quiescent tick
+    /// is a pure bookkeeping no-op, so a run of them may be replaced by
+    /// [`Core::advance_quiescent`] bit-identically.
+    pub fn quiescent(&self) -> bool {
+        self.reads_outstanding == 0
+            && self.writes_outstanding == 0
+            && self.retry_pending.is_empty()
+            && self.stall.is_none()
+    }
+
+    /// Batch-advances the per-tick bookkeeping over `n` quiescent ticks at
+    /// cycles `from..from + n` — exactly equivalent to `n` calls of
+    /// [`Core::sample`] plus [`Core::watchdog_tick`] with zero outstanding
+    /// accesses: the cycle counter, the interval-sampling countdown, the
+    /// occupancy histograms (all samples at occupancy 0) and the watchdog's
+    /// progress clock land on identical values.
+    pub fn advance_quiescent(&mut self, from: Cycle, n: u64) {
+        debug_assert!(self.quiescent(), "batch advance requires quiescence");
+        debug_assert!(n >= 1);
+        self.stats.cycles += n;
+        let s = u64::from(self.cfg.sample_interval.max(1));
+        let c = u64::from(self.sample_countdown);
+        // Per-tick: countdown hits zero at tick c, then every s ticks.
+        let hits = if n >= c { 1 + (n - c) / s } else { 0 };
+        self.sample_countdown = if n < c { c - n } else { s - ((n - c) % s) } as u32;
+        if hits > 0 {
+            self.stats
+                .record_occupancy_n(0, 0, self.cfg.write_capacity, hits);
+        }
+        // watchdog_tick with zero outstanding sets last_progress = now on
+        // every tick; the final skipped tick is `from + n - 1`.
+        self.last_progress = from + n - 1;
+    }
 }
 
 #[cfg(test)]

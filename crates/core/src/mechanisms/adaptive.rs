@@ -255,6 +255,14 @@ impl AccessScheduler for AdaptiveHistoryScheduler {
     fn stall_diagnostic(&self) -> Option<crate::StallDiagnostic> {
         self.core.stall()
     }
+
+    fn quiescent(&self) -> bool {
+        self.core.quiescent()
+    }
+
+    fn advance_quiescent(&mut self, from: Cycle, n: u64) {
+        self.core.advance_quiescent(from, n);
+    }
 }
 
 #[cfg(test)]

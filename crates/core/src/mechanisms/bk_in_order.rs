@@ -129,4 +129,12 @@ impl AccessScheduler for BkInOrderScheduler {
     fn stall_diagnostic(&self) -> Option<crate::StallDiagnostic> {
         self.core.stall()
     }
+
+    fn quiescent(&self) -> bool {
+        self.core.quiescent()
+    }
+
+    fn advance_quiescent(&mut self, from: Cycle, n: u64) {
+        self.core.advance_quiescent(from, n);
+    }
 }

@@ -499,6 +499,30 @@ impl AccessScheduler for BurstScheduler {
     fn stall_diagnostic(&self) -> Option<crate::StallDiagnostic> {
         self.core.stall()
     }
+
+    fn quiescent(&self) -> bool {
+        self.core.quiescent()
+    }
+
+    fn advance_quiescent(&mut self, from: Cycle, n: u64) {
+        self.core.advance_quiescent(from, n);
+        // Replay the adaptation timer over the skipped window. The first
+        // fire must run for real — arrival-window counters accumulated
+        // before quiescence may still cross the adaptation minimum — and
+        // it zeroes the windows, so every later fire in the window is a
+        // pure re-arm. `end - f0` stays exact: f0 <= end by the guard.
+        if let Some(period) = self.opts.dynamic_period {
+            let end = from + n - 1;
+            if self.next_adapt <= end {
+                let f0 = self.next_adapt.max(from);
+                self.adapt_threshold(f0);
+                self.next_adapt = match (end - f0).checked_div(period) {
+                    Some(intervals) => f0 + (intervals + 1) * period,
+                    None => end, // period == 0: re-arm at the window edge
+                };
+            }
+        }
+    }
 }
 
 #[cfg(test)]

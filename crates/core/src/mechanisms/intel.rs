@@ -284,4 +284,15 @@ impl AccessScheduler for IntelScheduler {
     fn stall_diagnostic(&self) -> Option<crate::StallDiagnostic> {
         self.core.stall()
     }
+
+    // `draining` may go stale across a skip, but it is recomputed from live
+    // occupancy at the top of every tick before any use, so quiescent ticks
+    // never observe it.
+    fn quiescent(&self) -> bool {
+        self.core.quiescent()
+    }
+
+    fn advance_quiescent(&mut self, from: Cycle, n: u64) {
+        self.core.advance_quiescent(from, n);
+    }
 }

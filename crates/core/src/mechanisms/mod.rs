@@ -84,6 +84,27 @@ pub trait AccessScheduler: core::fmt::Debug {
     /// controller held outstanding accesses but issued nothing for longer
     /// than [`crate::WatchdogConfig::stall_limit`] cycles.
     fn stall_diagnostic(&self) -> Option<StallDiagnostic>;
+
+    /// Whether the scheduler is *quiescent*: no outstanding or retrying
+    /// accesses and no latched stall, so that — absent new enqueues — every
+    /// future [`AccessScheduler::tick`] is a pure bookkeeping no-op that
+    /// [`AccessScheduler::advance_quiescent`] can replay in one batch.
+    ///
+    /// The conservative default (`false`) keeps custom schedulers correct:
+    /// the simulator simply never skips cycles for them.
+    fn quiescent(&self) -> bool {
+        false
+    }
+
+    /// Batch-advances per-tick bookkeeping (cycle counters, occupancy
+    /// sampling, watchdog progress clock, adaptation timers) over the `n`
+    /// quiescent ticks at cycles `from..from + n`, bit-identically to
+    /// calling [`AccessScheduler::tick`] that many times while quiescent.
+    /// Only called when [`AccessScheduler::quiescent`] returned `true`;
+    /// the default pairs with the default `quiescent()` and is unreachable.
+    fn advance_quiescent(&mut self, _from: Cycle, _n: u64) {
+        unreachable!("advance_quiescent called on a scheduler that never reports quiescence");
+    }
 }
 
 /// The access reordering mechanisms of the paper's Table 4.

@@ -28,6 +28,15 @@ impl OccupancyHistogram {
         self.samples += 1;
     }
 
+    /// Records `k` cycles with `n` accesses outstanding in one step —
+    /// exactly equivalent to calling [`OccupancyHistogram::record`] `k`
+    /// times, used by the cycle-skipping batch advance.
+    pub fn record_n(&mut self, n: usize, k: u64) {
+        let idx = n.min(self.counts.len() - 1);
+        self.counts[idx] += k;
+        self.samples += k;
+    }
+
     /// Number of samples recorded.
     pub fn samples(&self) -> u64 {
         self.samples
@@ -287,6 +296,24 @@ impl CtrlStats {
         self.outstanding_writes.record(writes);
         if writes >= write_capacity {
             self.write_saturated_cycles += 1;
+        }
+    }
+
+    /// Records `k` identical occupancy samples in one step — equivalent to
+    /// `k` calls to [`CtrlStats::record_occupancy`] with the same
+    /// arguments. Used by the cycle-skipping batch advance, where every
+    /// skipped cycle would have sampled the same (unchanging) occupancy.
+    pub fn record_occupancy_n(
+        &mut self,
+        reads: usize,
+        writes: usize,
+        write_capacity: usize,
+        k: u64,
+    ) {
+        self.outstanding_reads.record_n(reads, k);
+        self.outstanding_writes.record_n(writes, k);
+        if writes >= write_capacity {
+            self.write_saturated_cycles += k;
         }
     }
 

@@ -188,6 +188,69 @@ impl Cpu {
         self.mshrs.len()
     }
 
+    /// Main-memory read requests generated but not yet accepted by the
+    /// controller.
+    pub fn pending_read_requests(&self) -> usize {
+        self.read_requests.len()
+    }
+
+    /// Dirty writebacks generated but not yet accepted by the controller.
+    pub fn pending_writebacks(&self) -> usize {
+        self.hierarchy.pending_writebacks()
+    }
+
+    /// Whether dispatch is deterministically blocked this cycle: the ROB
+    /// or writeback pressure gates the pipeline, or the stalled op waits
+    /// on a chase dependence / a free MSHR. While blocked the workload
+    /// source is never consulted, so — absent read completions, writeback
+    /// drains, or retirement — the block reproduces itself every cycle.
+    fn dispatch_blocked(&self) -> bool {
+        if self.rob.len() >= self.cfg.rob_size {
+            return true;
+        }
+        if self.hierarchy.pending_writebacks() >= self.cfg.writeback_stall {
+            return true;
+        }
+        match self.stalled_op {
+            Some(Op::Load {
+                dependent: true, ..
+            }) if self.chase_block.is_some() => true,
+            Some(_) => self.stalled_miss.is_some() && self.mshrs.len() >= self.cfg.lsq_size,
+            None => false,
+        }
+    }
+
+    /// The earliest CPU cycle at which a fully-stalled core could next
+    /// dispatch or retire an instruction. `None`: the core can make
+    /// progress right now — never skip. `Some(at)`: every cycle strictly
+    /// before `at` is a guaranteed full stall, after which the ROB front
+    /// becomes retirable. `Some(u64::MAX)`: only an external event (a
+    /// read completion or a writeback drain) can wake the core.
+    pub fn idle_until(&self) -> Option<u64> {
+        if !self.dispatch_blocked() {
+            return None;
+        }
+        match self.rob.front().map(|e| e.state) {
+            Some(EntryState::Ready(at)) if at > self.now => Some(at),
+            Some(EntryState::Ready(_)) => None,
+            Some(EntryState::WaitMem(_)) | None => Some(u64::MAX),
+        }
+    }
+
+    /// Batch-advances `cycles` fully-stalled CPU cycles at once,
+    /// bit-identically to calling [`Cpu::cycle`] that many times while
+    /// stalled: time moves, every cycle counts as a dispatch stall, and
+    /// nothing else changes. Callers must keep the advance inside the
+    /// window promised by [`Cpu::idle_until`].
+    pub fn advance_stalled(&mut self, cycles: u64) {
+        debug_assert!(
+            self.idle_until().is_some_and(|at| self.now + cycles < at),
+            "batch advance must stay within the stalled window"
+        );
+        self.now += cycles;
+        self.stats.stall_cycles += cycles;
+    }
+
     /// Takes the next main-memory read request (a line address), if any.
     pub fn pop_read_request(&mut self) -> Option<u64> {
         self.read_requests.pop_front().map(|(line, _)| line)

@@ -40,9 +40,10 @@ pub struct Channel {
     next_refresh: Vec<Cycle>,
     refresh_pending: Vec<bool>,
     /// Cached minimum of `next_refresh`, letting `tick` skip the per-rank
-    /// scan while no refresh is due or pending. May be stale-low after a
-    /// scheduler-issued `RefreshAll` (which only delays refreshes), so it
-    /// is always a safe lower bound.
+    /// scan while no refresh is due or pending. Recomputed on every path
+    /// that changes `next_refresh` (including a scheduler-issued
+    /// `RefreshAll`), so it is exact — a requirement of the
+    /// [`Channel::next_event`] contract.
     next_refresh_min: Cycle,
     /// Whether any rank currently has a refresh pending (same caching).
     any_refresh_pending: bool,
@@ -413,6 +414,67 @@ impl Channel {
         self.refresh_pending[usize::from(rank)] = false;
         self.next_refresh[usize::from(rank)] += t.t_refi;
         self.stats.refreshes += 1;
+        // Keep the cached aggregates exact on the scheduler-issued
+        // `RefreshAll` path too: `next_event` relies on them, and `tick`'s
+        // idle fast-path would otherwise rescan on every cycle until the
+        // stale-low minimum catches up.
+        self.any_refresh_pending = self.refresh_pending.iter().any(|&p| p);
+        self.next_refresh_min = self
+            .next_refresh
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Cycle::MAX);
+    }
+
+    /// Earliest future cycle (> `now`) at which this channel can change
+    /// state *on its own* — without the controller issuing any command.
+    /// `None` means the channel is fully passive: nothing will ever happen
+    /// unless a command arrives.
+    ///
+    /// Spontaneous state changes are exactly the refresh housekeeping in
+    /// [`Channel::tick`] plus the end of an in-flight data transfer:
+    ///
+    /// * a rank whose refresh is *pending* performs it as soon as the rank
+    ///   quiesces — with no commands arriving, that instant is fixed at the
+    ///   latest open bank's `pre_ready_at` (clamped to `now + 1`);
+    /// * a rank with no pending refresh next changes state when its
+    ///   `next_refresh` deadline marks it pending;
+    /// * the data bus frees at `data_busy_until`.
+    ///
+    /// The contract: with no commands issued in `(now, event)`, every
+    /// `tick(t)` for `t` in that open interval is a no-op. Callers may
+    /// therefore batch-advance time to `event` and observe bit-identical
+    /// state. The returned cycle may be conservatively early (a wake-up
+    /// where nothing happens is harmless); it is never late.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut event: Option<Cycle> = None;
+        let mut fold = |at: Cycle| {
+            event = Some(event.map_or(at, |e| e.min(at)));
+        };
+        for r in 0..self.ranks.len() {
+            if self.refresh_pending[r] {
+                // Pending past `tick(now)` means the rank has not yet
+                // quiesced; with no further commands it quiesces exactly
+                // when the last open bank becomes prechargeable.
+                let base = self.bank_index(r as u8, 0);
+                let n = usize::from(self.cfg.geometry.banks_per_rank);
+                let ready = self.banks[base..base + n]
+                    .iter()
+                    .filter(|b| b.open_row().is_some())
+                    .map(|b| b.pre_ready_at())
+                    .max()
+                    .unwrap_or(0);
+                fold(ready.max(now + 1));
+            } else {
+                // Next spontaneous change: the deadline marking it pending.
+                fold(self.next_refresh[r].max(now + 1));
+            }
+        }
+        if self.data_busy_until > now {
+            fold(self.data_busy_until);
+        }
+        event
     }
 
     /// Advances housekeeping to cycle `now`: marks due refreshes pending and
@@ -641,6 +703,52 @@ mod tests {
         assert_eq!(s.reads, 1);
         assert_eq!(s.cmd_cycles, 2);
         assert_eq!(s.data_cycles, ch.config().geometry.burst_cycles());
+    }
+
+    #[test]
+    fn next_event_tracks_refresh_and_data_windows() {
+        let mut ch = small();
+        let t = ch.config().timing;
+        // Idle channel: the only future event is the refresh deadline.
+        assert_eq!(ch.next_event(0), Some(t.t_refi));
+        let l = loc(0, 3, 0);
+        ch.issue(&Command::Activate(l), 0);
+        let issued = ch.issue(&Command::read(l), t.t_rcd);
+        // In-flight data: the bus frees before the refresh deadline.
+        assert_eq!(ch.next_event(t.t_rcd), Some(issued.data_end));
+        // Past the data window only the refresh deadline remains.
+        assert_eq!(ch.next_event(issued.data_end), Some(t.t_refi));
+    }
+
+    #[test]
+    fn scheduler_issued_refresh_updates_next_event() {
+        let mut cfg = DramConfig::small();
+        cfg.timing.t_refi = 100;
+        let mut ch = Channel::new(cfg);
+        let t = cfg.timing;
+        let l = loc(0, 3, 0);
+        // Open a row just before the deadline so the refresh goes pending
+        // but cannot be performed (tRAS unmet) when tick(100) runs.
+        ch.issue(&Command::Activate(l), 99);
+        ch.tick(100);
+        assert!(ch.refresh_pending(0));
+        // While pending, next_event points at the quiescence instant.
+        assert_eq!(ch.next_event(100), Some(99 + t.t_ras));
+        // The scheduler issues the refresh itself the moment it is legal.
+        let at = 99 + t.t_ras;
+        assert!(ch.can_issue(&Command::RefreshAll { rank: 0 }, at));
+        ch.issue(&Command::RefreshAll { rank: 0 }, at);
+        assert!(!ch.refresh_pending(0));
+        assert_eq!(ch.stats().refreshes, 1);
+        // The caches were recomputed on this path: next_event reports the
+        // new deadline and idle ticks up to it are no-ops.
+        assert_eq!(ch.next_event(at), Some(200));
+        for now in at + 1..200 {
+            ch.tick(now);
+            assert_eq!(ch.stats().refreshes, 1, "no spurious refresh at {now}");
+        }
+        ch.tick(200);
+        assert_eq!(ch.stats().refreshes, 2, "deadline refresh fires at 200");
     }
 
     #[test]

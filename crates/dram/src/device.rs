@@ -75,6 +75,18 @@ impl Dram {
         }
     }
 
+    /// Earliest future cycle (> `now`) at which any channel can change
+    /// state without the controller issuing a command — the device-wide
+    /// minimum of [`Channel::next_event`]. With no commands issued before
+    /// the returned cycle, every intervening [`Dram::tick`] is a no-op, so
+    /// callers may batch-advance time to it bit-identically.
+    pub fn next_event(&self, now: crate::Cycle) -> Option<crate::Cycle> {
+        self.channels
+            .iter()
+            .filter_map(|ch| ch.next_event(now))
+            .min()
+    }
+
     /// Enables the runtime protocol checker on every channel.
     pub fn enable_checker(&mut self) {
         for ch in &mut self.channels {

@@ -93,6 +93,28 @@ impl Sweep {
         seed: u64,
         jobs: usize,
     ) -> Sweep {
+        Self::run_with_config(
+            &SystemConfig::baseline(),
+            benchmarks,
+            mechanisms,
+            len,
+            seed,
+            jobs,
+        )
+    }
+
+    /// Like [`Sweep::run_with_jobs`], on a caller-supplied base system
+    /// configuration (each cell overrides only the mechanism) — the seam
+    /// the harnesses use to thread global toggles such as
+    /// [`SystemConfig::skip`] through every experiment.
+    pub fn run_with_config(
+        base: &SystemConfig,
+        benchmarks: &[SpecBenchmark],
+        mechanisms: &[Mechanism],
+        len: RunLength,
+        seed: u64,
+        jobs: usize,
+    ) -> Sweep {
         let mut grid = Vec::with_capacity(benchmarks.len() * mechanisms.len());
         for &b in benchmarks {
             for &m in mechanisms {
@@ -100,7 +122,7 @@ impl Sweep {
             }
         }
         let cells = crate::map_parallel(&grid, jobs, |_, &(b, m)| {
-            let cfg = SystemConfig::baseline().with_mechanism(m);
+            let cfg = base.with_mechanism(m);
             let report = simulate(&cfg, b.workload(seed), len);
             SweepCell {
                 benchmark: b,
@@ -302,7 +324,7 @@ pub struct OutstandingRow {
 /// Figure 8: distribution of outstanding accesses for `benchmark` (the
 /// paper uses swim) under the Figure 8 mechanisms.
 pub fn fig8(benchmark: SpecBenchmark, len: RunLength, seed: u64) -> Vec<OutstandingRow> {
-    outstanding_rows(benchmark, &fig8_mechanisms(), len, seed, 0)
+    fig8_with_jobs(benchmark, len, seed, 0)
 }
 
 /// [`fig8`] with an explicit worker-thread count (`0` = auto-detect).
@@ -312,13 +334,24 @@ pub fn fig8_with_jobs(
     seed: u64,
     jobs: usize,
 ) -> Vec<OutstandingRow> {
-    outstanding_rows(benchmark, &fig8_mechanisms(), len, seed, jobs)
+    fig8_with_config(&SystemConfig::baseline(), benchmark, len, seed, jobs)
+}
+
+/// [`fig8_with_jobs`] on a caller-supplied base configuration.
+pub fn fig8_with_config(
+    base: &SystemConfig,
+    benchmark: SpecBenchmark,
+    len: RunLength,
+    seed: u64,
+    jobs: usize,
+) -> Vec<OutstandingRow> {
+    outstanding_rows(base, benchmark, &fig8_mechanisms(), len, seed, jobs)
 }
 
 /// Figure 11: distribution of outstanding accesses for `benchmark` under
 /// the threshold sweep.
 pub fn fig11(benchmark: SpecBenchmark, len: RunLength, seed: u64) -> Vec<OutstandingRow> {
-    outstanding_rows(benchmark, &fig12_mechanisms(), len, seed, 0)
+    fig11_with_jobs(benchmark, len, seed, 0)
 }
 
 /// [`fig11`] with an explicit worker-thread count (`0` = auto-detect).
@@ -328,10 +361,22 @@ pub fn fig11_with_jobs(
     seed: u64,
     jobs: usize,
 ) -> Vec<OutstandingRow> {
-    outstanding_rows(benchmark, &fig12_mechanisms(), len, seed, jobs)
+    fig11_with_config(&SystemConfig::baseline(), benchmark, len, seed, jobs)
+}
+
+/// [`fig11_with_jobs`] on a caller-supplied base configuration.
+pub fn fig11_with_config(
+    base: &SystemConfig,
+    benchmark: SpecBenchmark,
+    len: RunLength,
+    seed: u64,
+    jobs: usize,
+) -> Vec<OutstandingRow> {
+    outstanding_rows(base, benchmark, &fig12_mechanisms(), len, seed, jobs)
 }
 
 fn outstanding_rows(
+    base: &SystemConfig,
     benchmark: SpecBenchmark,
     mechanisms: &[Mechanism],
     len: RunLength,
@@ -339,7 +384,7 @@ fn outstanding_rows(
     jobs: usize,
 ) -> Vec<OutstandingRow> {
     crate::map_parallel(mechanisms, jobs, |_, &m| {
-        let cfg = SystemConfig::baseline().with_mechanism(m);
+        let cfg = base.with_mechanism(m);
         let report = simulate(&cfg, benchmark.workload(seed), len);
         OutstandingRow {
             mechanism: m,
@@ -378,8 +423,19 @@ pub fn fig12_with_jobs(
     seed: u64,
     jobs: usize,
 ) -> Vec<Fig12Row> {
+    fig12_with_config(&SystemConfig::baseline(), benchmarks, len, seed, jobs)
+}
+
+/// [`fig12_with_jobs`] on a caller-supplied base configuration.
+pub fn fig12_with_config(
+    base: &SystemConfig,
+    benchmarks: &[SpecBenchmark],
+    len: RunLength,
+    seed: u64,
+    jobs: usize,
+) -> Vec<Fig12Row> {
     let mechanisms = fig12_mechanisms();
-    let sweep = Sweep::run_with_jobs(benchmarks, &mechanisms, len, seed, jobs);
+    let sweep = Sweep::run_with_config(base, benchmarks, &mechanisms, len, seed, jobs);
     let base: f64 = sweep
         .cells
         .iter()

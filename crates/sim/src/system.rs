@@ -52,6 +52,14 @@ pub struct SystemConfig {
     /// write retries). `None` simulates a fault-free device. When set, it
     /// overrides `ctrl.faults`.
     pub faults: Option<FaultConfig>,
+    /// Event-horizon cycle skipping: when the CPU is fully stalled, the
+    /// controller is quiescent and the device reports no event before a
+    /// future cycle, [`System::try_run`] jumps straight to that cycle
+    /// instead of stepping through the quiet stretch. The jump replays the
+    /// skipped per-cycle bookkeeping in closed form, so every statistic
+    /// and error path is bit-identical to per-cycle stepping — disabling
+    /// it (`--no-skip` in the bench binaries) only changes speed.
+    pub skip: bool,
 }
 
 impl SystemConfig {
@@ -66,7 +74,15 @@ impl SystemConfig {
             warm_mem_ops: 100_000,
             checker: cfg!(debug_assertions),
             faults: None,
+            skip: true,
         }
+    }
+
+    /// Enables or disables event-horizon cycle skipping (on by default;
+    /// the results are bit-identical either way).
+    pub fn with_skip(mut self, skip: bool) -> Self {
+        self.skip = skip;
+        self
     }
 
     /// Enables or disables the runtime DDR2 protocol checker.
@@ -285,7 +301,10 @@ impl core::fmt::Display for RobustnessReport {
 }
 
 /// Results of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// Compares equal field-by-field (`PartialEq`), which the determinism
+/// tests use to assert that cycle skipping is bit-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// The mechanism simulated.
     pub mechanism: Mechanism,
@@ -466,6 +485,10 @@ pub struct System {
     /// Future read deliveries: (done_at, line address).
     pending: BinaryHeap<Reverse<(Cycle, u64)>>,
     read_lines: LineSlab,
+    /// Memory cycles jumped over by [`System::advance_idle`]. Diagnostic
+    /// only — deliberately absent from [`SimReport`], which must compare
+    /// equal between skipping and per-cycle runs.
+    skipped: u64,
 }
 
 impl System {
@@ -493,6 +516,7 @@ impl System {
             completions: Vec::new(),
             pending: BinaryHeap::new(),
             read_lines: LineSlab::default(),
+            skipped: 0,
         }
     }
 
@@ -509,6 +533,13 @@ impl System {
     /// Instructions retired.
     pub fn retired(&self) -> u64 {
         self.cpu.retired()
+    }
+
+    /// Memory cycles jumped over by cycle skipping so far (zero with
+    /// [`SystemConfig::skip`] off). Counts toward [`System::mem_cycle`]
+    /// like any stepped cycle.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped
     }
 
     /// Functionally warms the caches with the configured budget. Call once
@@ -577,6 +608,56 @@ impl System {
             .enqueue(access, self.mem_cycle, &mut self.completions);
     }
 
+    /// How many upcoming memory cycles are provably pure no-ops, or
+    /// `None` when the system may make progress on the very next step.
+    ///
+    /// A cycle qualifies only when nothing can change during it: the CPU
+    /// is fully stalled with no undelivered requests, the scheduler holds
+    /// no work, no read delivery is due, and the device reports no timing
+    /// event. The returned count may be enormous (a livelocked system has
+    /// no next event); callers cap it with their run budget before
+    /// calling [`System::advance_idle`].
+    fn skip_horizon(&self) -> Option<u64> {
+        if !self.cfg.skip || self.mem_cycle == 0 || !self.sched.quiescent() {
+            return None;
+        }
+        if self.cpu.pending_read_requests() != 0 || self.cpu.pending_writebacks() != 0 {
+            return None;
+        }
+        let wake = self.cpu.idle_until()?;
+        let cur = self.mem_cycle;
+        let r = self.cfg.cpu.cpu_ratio;
+        // Step `t` runs CPU cycles `t*r + 1..=(t+1)*r`, so the retirement
+        // wake-up at CPU cycle `wake` happens during step `(wake - 1) / r`.
+        let mut event = if wake == u64::MAX {
+            u64::MAX
+        } else {
+            (wake - 1) / r
+        };
+        if let Some(&Reverse((at, _))) = self.pending.peek() {
+            event = event.min(at);
+        }
+        // The device horizon is evaluated at the last ticked cycle
+        // (`cur - 1`): an event due exactly at `cur` must force a normal
+        // step, and `next_event` only reports events after its argument.
+        if let Some(at) = self.dram.next_event(cur - 1) {
+            event = event.min(at);
+        }
+        (event > cur).then(|| event - cur)
+    }
+
+    /// Jumps `n` quiescent memory cycles in one stride, bit-identically
+    /// to stepping through them: CPU stall time, controller bookkeeping
+    /// and the cycle counter advance in closed form, and the untouched
+    /// device state is exactly what `n` no-op ticks would have left.
+    /// Callers must keep `n` within [`System::skip_horizon`].
+    fn advance_idle(&mut self, n: u64) {
+        self.cpu.advance_stalled(n * self.cfg.cpu.cpu_ratio);
+        self.sched.advance_quiescent(self.mem_cycle, n);
+        self.mem_cycle += n;
+        self.skipped += n;
+    }
+
     /// Runs until `len` is reached.
     ///
     /// # Panics
@@ -604,10 +685,21 @@ impl System {
     pub fn try_run(&mut self, workload: &mut dyn OpSource, len: RunLength) -> Result<(), RunError> {
         match len {
             RunLength::MemCycles(n) => {
-                for _ in 0..n {
+                let mut done = 0u64;
+                while done < n {
                     self.step(workload);
+                    done += 1;
                     if let Some(diag) = self.sched.stall_diagnostic() {
                         return Err(RunError::ControllerStall(diag));
+                    }
+                    // Quiescent cycles cannot latch a stall, so jumping
+                    // them skips no diagnostic check that could fire.
+                    if let Some(horizon) = self.skip_horizon() {
+                        let skip = horizon.min(n - done);
+                        if skip > 0 {
+                            self.advance_idle(skip);
+                            done += skip;
+                        }
                     }
                 }
             }
@@ -626,6 +718,24 @@ impl System {
                                 mem_cycle: self.mem_cycle,
                                 retired: last_retired,
                             });
+                        }
+                        // Nothing retires during a quiescent stretch, so
+                        // the idle budget burns down cycle-for-cycle —
+                        // capping the jump at the budget lands the stall
+                        // error on the exact cycle per-cycle stepping
+                        // would report.
+                        if let Some(horizon) = self.skip_horizon() {
+                            let skip = horizon.min(2_000_000 - idle);
+                            if skip > 0 {
+                                self.advance_idle(skip);
+                                idle += skip;
+                                if idle >= 2_000_000 {
+                                    return Err(RunError::RetirementStall {
+                                        mem_cycle: self.mem_cycle,
+                                        retired: last_retired,
+                                    });
+                                }
+                            }
                         }
                     } else {
                         idle = 0;

@@ -1,0 +1,205 @@
+//! Determinism gate for event-horizon cycle skipping: jumping over
+//! quiescent cycles must be invisible in every output. A run with
+//! `SystemConfig::skip` on and one with it off must produce equal
+//! [`SimReport`]s field by field — statistics, histograms, robustness
+//! counters, everything — for every mechanism, and the device's
+//! `next_event` horizon must never overshoot a cycle in which a tick
+//! would have changed state.
+
+use burst_core::Mechanism;
+use burst_dram::{Channel, Command, Cycle, Dir, DramConfig, Loc, RowState};
+use burst_sim::{simulate, RunLength, System, SystemConfig};
+use burst_workloads::SpecBenchmark;
+use proptest::prelude::*;
+
+/// All mechanisms, paper set plus extensions — every `AccessScheduler`
+/// implementation must honour the batch-advance contract.
+fn all_mechanisms() -> Vec<Mechanism> {
+    let mut v = Mechanism::all_paper().to_vec();
+    v.extend([
+        Mechanism::BurstDyn,
+        Mechanism::BurstCrit,
+        Mechanism::AdaptiveHistory,
+    ]);
+    v
+}
+
+fn config(mechanism: Mechanism, skip: bool) -> SystemConfig {
+    SystemConfig::baseline()
+        .with_mechanism(mechanism)
+        .with_warm_mem_ops(5_000)
+        .with_skip(skip)
+}
+
+#[test]
+fn skip_is_bit_identical_on_idle_heavy_workload() {
+    // mcf is 80% pointer chase (MLP 1): the CPU spends most of its time
+    // fully stalled, so this workload maximises skipping opportunity.
+    for m in all_mechanisms() {
+        let on = simulate(
+            &config(m, true),
+            SpecBenchmark::Mcf.workload(7),
+            RunLength::Instructions(2_000),
+        );
+        let off = simulate(
+            &config(m, false),
+            SpecBenchmark::Mcf.workload(7),
+            RunLength::Instructions(2_000),
+        );
+        assert_eq!(on, off, "skip changed the report for {}", m.name());
+    }
+}
+
+#[test]
+fn skip_is_bit_identical_in_mem_cycles_mode() {
+    // MemCycles mode exercises the budget-capped skip loop: the jump must
+    // stop exactly at the cycle budget, never overshoot it.
+    for m in [Mechanism::BkInOrder, Mechanism::BurstTh(52)] {
+        let on = simulate(
+            &config(m, true),
+            SpecBenchmark::Mcf.workload(11),
+            RunLength::MemCycles(40_000),
+        );
+        let off = simulate(
+            &config(m, false),
+            SpecBenchmark::Mcf.workload(11),
+            RunLength::MemCycles(40_000),
+        );
+        assert_eq!(on.mem_cycles, 40_000, "budget must be exact");
+        assert_eq!(on, off, "skip changed the report for {}", m.name());
+    }
+}
+
+#[test]
+fn skip_actually_engages_on_idle_heavy_workload() {
+    // Guard against the equality tests passing vacuously because the
+    // horizon never fires: on a pointer chase a large share of cycles
+    // must be jumped, not stepped.
+    let cfg = config(Mechanism::BurstTh(52), true);
+    let mut workload = SpecBenchmark::Mcf.workload(7);
+    let mut sys = System::new(&cfg);
+    sys.warm(&mut workload);
+    sys.run(&mut workload, RunLength::Instructions(2_000));
+    assert!(
+        sys.skipped_cycles() > sys.mem_cycle() / 4,
+        "only {} of {} cycles were skipped on an idle-heavy workload",
+        sys.skipped_cycles(),
+        sys.mem_cycle()
+    );
+
+    let mut workload = SpecBenchmark::Mcf.workload(7);
+    let mut off = System::new(&cfg.with_skip(false));
+    off.warm(&mut workload);
+    off.run(&mut workload, RunLength::Instructions(2_000));
+    assert_eq!(off.skipped_cycles(), 0, "skip off must never jump");
+}
+
+/// A request the greedy driver will execute: bank, row, col, read/write.
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    bank: u8,
+    row: u32,
+    col: u32,
+    write: bool,
+}
+
+fn req_strategy(banks: u8, rows: u32, cols: u32) -> impl Strategy<Value = Req> {
+    (0..banks, 0..rows, 0..cols, any::<bool>()).prop_map(|(bank, row, col, write)| Req {
+        bank,
+        row,
+        col: col * 8,
+        write,
+    })
+}
+
+/// Greedily executes requests in order on one channel (ticking every
+/// cycle), returning the channel and the last ticked cycle.
+fn drive(cfg: DramConfig, reqs: &[Req]) -> (Channel, Cycle) {
+    let mut ch = Channel::new(cfg);
+    let mut now: Cycle = 0;
+    for r in reqs {
+        let loc = Loc::new(0, 0, r.bank, r.row, r.col);
+        let dir = if r.write { Dir::Write } else { Dir::Read };
+        loop {
+            ch.tick(now);
+            let cmd = match ch.row_state(loc) {
+                RowState::Hit => Command::Column {
+                    loc,
+                    dir,
+                    auto_precharge: false,
+                },
+                RowState::Empty => Command::Activate(loc),
+                RowState::Conflict => Command::Precharge(loc),
+            };
+            if ch.can_issue(&cmd, now) {
+                ch.issue(&cmd, now);
+                if cmd.is_column() {
+                    break;
+                }
+            }
+            now += 1;
+            assert!(now < 1_000_000, "driver stuck");
+        }
+        now += 1; // command bus: one command per cycle
+    }
+    ch.tick(now);
+    (ch, now)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Channel::next_event` never overshoots: after any legal command
+    /// history, every tick strictly before the reported horizon leaves
+    /// the channel bit-identical (no refresh marked, performed or
+    /// rescheduled, no window expired observably).
+    #[test]
+    fn channel_next_event_never_overshoots(
+        reqs in prop::collection::vec(req_strategy(4, 16, 8), 1..30),
+    ) {
+        let mut cfg = DramConfig::small();
+        // A short refresh interval puts several refresh events inside the
+        // probed window, the hardest part of the horizon computation.
+        cfg.timing.t_refi = 150;
+        let (mut ch, now) = drive(cfg, &reqs);
+        let Some(event) = ch.next_event(now) else {
+            return Ok(());
+        };
+        prop_assert!(event > now, "horizon must be in the future");
+        let snapshot = format!("{ch:?}");
+        for t in now + 1..event {
+            ch.tick(t);
+        }
+        prop_assert_eq!(
+            format!("{ch:?}"),
+            snapshot,
+            "a tick before the horizon changed channel state"
+        );
+    }
+
+}
+
+proptest! {
+    // Two full simulations per case: keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Full-system equivalence on random seeds and mechanisms: the skip
+    /// toggle must never change a report, whatever the traffic pattern.
+    #[test]
+    fn skip_equivalence_on_random_seeds(
+        seed in any::<u64>(),
+        mech_idx in 0usize..11,
+        bench_idx in 0usize..3,
+    ) {
+        let mechanism = all_mechanisms()[mech_idx];
+        let bench = [
+            SpecBenchmark::Mcf,
+            SpecBenchmark::Swim,
+            SpecBenchmark::Parser,
+        ][bench_idx];
+        let len = RunLength::Instructions(800);
+        let on = simulate(&config(mechanism, true), bench.workload(seed), len);
+        let off = simulate(&config(mechanism, false), bench.workload(seed), len);
+        prop_assert_eq!(on, off);
+    }
+}
