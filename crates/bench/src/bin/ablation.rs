@@ -6,15 +6,32 @@
 //!    bit-reversal under BkInOrder and Burst_TH52.
 //! 2. Row policy: open page vs close-page autoprecharge under BkInOrder.
 //! 3. Dynamic threshold (Section 7 future work) vs the static optimum.
+//!
+//! Every grid runs under the sweep supervisor: a failing cell is retried,
+//! then excluded from its aggregate (printed as `n/a` if the whole group
+//! is lost) and the binary exits nonzero.
 
-use burst_bench::{banner, HarnessOptions};
+use std::process::ExitCode;
+
+use burst_bench::{banner, FailureLedger, HarnessOptions};
 use burst_core::Mechanism;
 use burst_dram::{AddressMapping, RowPolicy};
 use burst_sim::report::render_table;
-use burst_sim::{map_parallel, simulate};
+use burst_sim::{supervise, try_simulate, CellError, CellFailure, CellOutcome};
 use burst_workloads::SpecBenchmark;
 
-fn main() {
+/// Averages the completed cells of one aggregation group; `n/a` when every
+/// cell in the group failed.
+fn avg_or_na(group: &[CellOutcome<u64>]) -> String {
+    let done: Vec<u64> = group.iter().filter_map(|o| o.clone().value()).collect();
+    if done.is_empty() {
+        "n/a".to_string()
+    } else {
+        format!("{}", done.iter().sum::<u64>() / done.len() as u64)
+    }
+}
+
+fn main() -> ExitCode {
     let opts = HarnessOptions::from_args(40_000);
     println!(
         "{}",
@@ -31,10 +48,14 @@ fn main() {
     } else {
         opts.benchmarks.clone()
     };
+    let base = opts.system_config();
+    let sup = opts.supervisor_config();
+    let (seed, run) = (opts.seed, opts.run);
+    let mut ledger = FailureLedger::new();
 
     // 1. Address mapping x mechanism: every (mapping, mechanism, benchmark)
-    // cell is an independent simulation — run the whole grid in parallel and
-    // aggregate afterwards.
+    // cell is an independent simulation — run the whole grid supervised in
+    // parallel and aggregate afterwards.
     println!(
         "--- address mapping x mechanism (avg cpu cycles over {} benchmarks)\n",
         benches.len()
@@ -54,20 +75,40 @@ fn main() {
             }
         }
     }
-    let cycles = map_parallel(&grid, opts.jobs, |_, &(mapping, mechanism, b)| {
-        let cfg = opts
-            .system_config()
-            .with_mechanism(mechanism)
-            .with_mapping(mapping);
-        simulate(&cfg, b.workload(opts.seed), opts.run).cpu_cycles
-    });
+    let outcomes = supervise(
+        &grid,
+        opts.jobs,
+        &sup,
+        move |_, &(mapping, mechanism, b), _| {
+            let cfg = base.with_mechanism(mechanism).with_mapping(mapping);
+            try_simulate(&cfg, b.workload(seed), run)
+                .map(|r| r.cpu_cycles)
+                .map_err(CellError::from)
+        },
+    );
+    for (&(_, mechanism, b), o) in grid.iter().zip(&outcomes) {
+        if let CellOutcome::Failed {
+            kind,
+            attempts,
+            payload,
+        } = o
+        {
+            ledger.note(CellFailure {
+                scope: "ablation-mapping".into(),
+                benchmark: b,
+                mechanism,
+                kind: *kind,
+                attempts: *attempts,
+                payload: payload.clone(),
+            });
+        }
+    }
     let mut rows = Vec::new();
-    let mut cell = cycles.chunks_exact(benches.len());
+    let mut cell = outcomes.chunks_exact(benches.len());
     for mapping in mappings {
         let mut row = vec![format!("{mapping:?}")];
         for _mechanism in mechanisms {
-            let total: u64 = cell.next().expect("full grid").iter().sum();
-            row.push(format!("{}", total / benches.len() as u64));
+            row.push(avg_or_na(cell.next().expect("full grid")));
         }
         rows.push(row);
     }
@@ -85,21 +126,44 @@ fn main() {
             grid.push((policy, b));
         }
     }
-    let results = map_parallel(&grid, opts.jobs, |_, &(policy, b)| {
-        let mut cfg = opts.system_config();
+    let outcomes = supervise(&grid, opts.jobs, &sup, move |_, &(policy, b), _| {
+        let mut cfg = base;
         cfg.ctrl.row_policy = policy;
-        let r = simulate(&cfg, b.workload(opts.seed), opts.run);
-        (r.cpu_cycles, r.ctrl.row_hit_rate())
+        try_simulate(&cfg, b.workload(seed), run)
+            .map(|r| (r.cpu_cycles, r.ctrl.row_hit_rate()))
+            .map_err(CellError::from)
     });
+    for (&(_, b), o) in grid.iter().zip(&outcomes) {
+        if let CellOutcome::Failed {
+            kind,
+            attempts,
+            payload,
+        } = o
+        {
+            ledger.note(CellFailure {
+                scope: "ablation-policy".into(),
+                benchmark: b,
+                mechanism: base.mechanism,
+                kind: *kind,
+                attempts: *attempts,
+                payload: payload.clone(),
+            });
+        }
+    }
     let mut rows = Vec::new();
-    for (policy, chunk) in policies.iter().zip(results.chunks_exact(benches.len())) {
-        let total: u64 = chunk.iter().map(|&(c, _)| c).sum();
-        let hits: f64 = chunk.iter().map(|&(_, h)| h).sum();
-        rows.push(vec![
-            policy.to_string(),
-            format!("{}", total / benches.len() as u64),
-            format!("{:.1}%", hits / benches.len() as f64 * 100.0),
-        ]);
+    for (policy, chunk) in policies.iter().zip(outcomes.chunks_exact(benches.len())) {
+        let done: Vec<(u64, f64)> = chunk.iter().filter_map(|o| o.clone().value()).collect();
+        let (cycles, hits) = if done.is_empty() {
+            ("n/a".to_string(), "n/a".to_string())
+        } else {
+            let total: u64 = done.iter().map(|&(c, _)| c).sum();
+            let hit_sum: f64 = done.iter().map(|&(_, h)| h).sum();
+            (
+                format!("{}", total / done.len() as u64),
+                format!("{:.1}%", hit_sum / done.len() as f64 * 100.0),
+            )
+        };
+        rows.push(vec![policy.to_string(), cycles, hits]);
     }
     println!(
         "{}",
@@ -120,18 +184,41 @@ fn main() {
             grid.push((mechanism, b));
         }
     }
-    let cycles = map_parallel(&grid, opts.jobs, |_, &(mechanism, b)| {
-        let cfg = opts.system_config().with_mechanism(mechanism);
-        simulate(&cfg, b.workload(opts.seed), opts.run).cpu_cycles
+    let outcomes = supervise(&grid, opts.jobs, &sup, move |_, &(mechanism, b), _| {
+        let cfg = base.with_mechanism(mechanism);
+        try_simulate(&cfg, b.workload(seed), run)
+            .map(|r| r.cpu_cycles)
+            .map_err(CellError::from)
     });
+    for (&(mechanism, b), o) in grid.iter().zip(&outcomes) {
+        if let CellOutcome::Failed {
+            kind,
+            attempts,
+            payload,
+        } = o
+        {
+            ledger.note(CellFailure {
+                scope: "ablation-future".into(),
+                benchmark: b,
+                mechanism,
+                kind: *kind,
+                attempts: *attempts,
+                payload: payload.clone(),
+            });
+        }
+    }
     let mut rows = Vec::new();
-    for (mechanism, chunk) in future.iter().zip(cycles.chunks_exact(benches.len())) {
+    for (mechanism, chunk) in future.iter().zip(outcomes.chunks_exact(benches.len())) {
         let mut row = vec![mechanism.name()];
-        row.extend(chunk.iter().map(|c| format!("{c}")));
+        row.extend(chunk.iter().map(|o| match o.clone().value() {
+            Some(c) => format!("{c}"),
+            None => "n/a".to_string(),
+        }));
         rows.push(row);
     }
     let mut headers: Vec<&str> = vec!["mechanism"];
     let names: Vec<String> = benches.iter().map(|b| b.name().to_string()).collect();
     headers.extend(names.iter().map(String::as_str));
     println!("{}", render_table(&headers, &rows));
+    ledger.finish()
 }

@@ -1,14 +1,27 @@
 //! Runs every table/figure regenerator in sequence — the full evaluation.
 //!
+//! Cells run under the sweep supervisor: a panicking, stalling or wedged
+//! `(benchmark, mechanism)` cell is retried, then recorded in the failure
+//! taxonomy instead of aborting the run, and the exit status is nonzero
+//! whenever any cell stayed unrecovered. With `--journal FILE` every
+//! completed cell is fsynced to an append-only journal; after a crash,
+//! `--resume FILE` restores the completed cells and produces byte-identical
+//! CSVs to an uninterrupted run.
+//!
 //! ```text
 //! cargo run --release -p burst-bench --bin all -- --instructions 120000 --jobs 8
+//! cargo run --release -p burst-bench --bin all -- --csv out --journal run.journal
+//! cargo run --release -p burst-bench --bin all -- --csv out --resume run.journal
 //! ```
 
-use burst_bench::{banner, HarnessOptions};
+use std::process::ExitCode;
+
+use burst_bench::{banner, FailureLedger, HarnessOptions};
 use burst_core::Mechanism;
 use burst_dram::TimingParams;
 use burst_sim::experiments::{
-    fig1, fig11_with_config, fig12_with_config, fig8_with_config, table1, Sweep,
+    fig1, fig12_mechanisms, fig12_supervised, fig8_mechanisms, outstanding_supervised, table1,
+    Sweep,
 };
 use burst_sim::export;
 use burst_sim::report::{
@@ -16,9 +29,12 @@ use burst_sim::report::{
 };
 use burst_workloads::SpecBenchmark;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOptions::from_args(120_000);
     let base = opts.system_config();
+    let sup = opts.supervisor_config();
+    let journal = opts.open_journal();
+    let mut ledger = FailureLedger::new();
 
     println!("=== Table 1: possible SDRAM access latencies (DDR2 PC2-6400)\n");
     println!("{}", render_table1(&table1(&TimingParams::ddr2_pc2_6400())));
@@ -32,14 +48,17 @@ fn main() {
         "{}",
         banner("Sweep", "all benchmarks x all mechanisms", &opts)
     );
-    let sweep = Sweep::run_with_config(
+    let sweep = ledger.absorb(Sweep::run_supervised(
+        "sweep",
         &base,
         &opts.benchmarks,
         &Mechanism::all_paper(),
         opts.run,
         opts.seed,
         opts.jobs,
-    );
+        &sup,
+        journal.as_ref(),
+    ));
 
     println!("=== Figure 7: access latency (memory cycles)\n");
     println!("{}", render_fig7(&sweep.fig7_rows()));
@@ -61,21 +80,57 @@ fn main() {
     opts.dump_csv("sweep.csv", &export::sweep_to_csv(&sweep));
 
     println!("=== Figure 8: outstanding accesses, swim\n");
-    let f8 = fig8_with_config(&base, SpecBenchmark::Swim, opts.run, opts.seed, opts.jobs);
+    let f8 = ledger.absorb(outstanding_supervised(
+        "fig8",
+        &base,
+        SpecBenchmark::Swim,
+        &fig8_mechanisms(),
+        opts.run,
+        opts.seed,
+        opts.jobs,
+        &sup,
+        journal.as_ref(),
+    ));
     println!("{}", render_outstanding(&f8));
     opts.dump_csv("fig8.csv", &export::outstanding_to_csv(&f8));
 
     println!("=== Figure 11: outstanding accesses vs threshold, swim\n");
-    let f11 = fig11_with_config(&base, SpecBenchmark::Swim, opts.run, opts.seed, opts.jobs);
+    let f11 = ledger.absorb(outstanding_supervised(
+        "fig11",
+        &base,
+        SpecBenchmark::Swim,
+        &fig12_mechanisms(),
+        opts.run,
+        opts.seed,
+        opts.jobs,
+        &sup,
+        journal.as_ref(),
+    ));
     println!("{}", render_outstanding(&f11));
     opts.dump_csv("fig11.csv", &export::outstanding_to_csv(&f11));
 
     println!("=== Figure 12: threshold sweep\n");
-    let f12 = fig12_with_config(&base, &opts.benchmarks, opts.run, opts.seed, opts.jobs);
+    let f12 = ledger.absorb(fig12_supervised(
+        &base,
+        &opts.benchmarks,
+        opts.run,
+        opts.seed,
+        opts.jobs,
+        &sup,
+        journal.as_ref(),
+    ));
     println!("{}", render_fig12(&f12));
     opts.dump_csv("fig12.csv", &export::fig12_to_csv(&f12));
+
+    // The salvage account of the whole run: every main-sweep cell that
+    // completed plus every failure from any grid, machine-readable.
+    opts.dump_csv(
+        "salvage.csv",
+        &export::salvage_to_csv(&sweep, ledger.failures()),
+    );
 
     if let Some(dir) = &opts.csv {
         println!("CSV results written to {}", dir.display());
     }
+    ledger.finish()
 }

@@ -3,13 +3,15 @@
 //! runs pay less standby power). This harness compares estimated DRAM
 //! energy per mechanism using the Micron IDD-based model.
 
-use burst_bench::{banner, HarnessOptions};
+use std::process::ExitCode;
+
+use burst_bench::{banner, FailureLedger, HarnessOptions};
 use burst_core::Mechanism;
 use burst_dram::EnergyParams;
 use burst_sim::report::render_table;
-use burst_sim::simulate;
+use burst_sim::{try_simulate, CellError, CellFailure};
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOptions::from_args(40_000);
     println!(
         "{}",
@@ -22,6 +24,7 @@ fn main() {
         opts.benchmarks.clone()
     };
     let ranks = 8; // 2 channels x 4 ranks
+    let mut ledger = FailureLedger::new();
 
     let mut rows = Vec::new();
     for mechanism in Mechanism::all_paper() {
@@ -30,15 +33,34 @@ fn main() {
         let mut bg_nj = 0.0;
         let mut accesses = 0u64;
         let mut cycles = 0u64;
+        let mut completed = 0usize;
         for b in &benches {
             let cfg = opts.system_config().with_mechanism(mechanism);
-            let r = simulate(&cfg, b.workload(opts.seed), opts.run);
+            let r = match try_simulate(&cfg, b.workload(opts.seed), opts.run) {
+                Ok(r) => r,
+                Err(e) => {
+                    let err = CellError::from(e);
+                    ledger.note(CellFailure {
+                        scope: "energy".into(),
+                        benchmark: *b,
+                        mechanism,
+                        kind: err.kind,
+                        attempts: 1,
+                        payload: err.payload,
+                    });
+                    continue;
+                }
+            };
             let e = r.energy(ranks, &params);
             total_mj += e.total_mj();
             act_nj += e.activate_nj;
             bg_nj += e.background_nj;
             accesses += r.reads() + r.writes();
             cycles += r.mem_cycles;
+            completed += 1;
+        }
+        if completed == 0 {
+            continue;
         }
         rows.push(vec![
             mechanism.name(),
@@ -67,4 +89,5 @@ fn main() {
         "Expected shape: mechanisms with higher row-hit rates issue fewer activates;\n\
          mechanisms that finish sooner pay less background energy — Burst_TH wins both ways."
     );
+    ledger.finish()
 }

@@ -1,25 +1,32 @@
 //! Regenerates Figure 10: execution time of each benchmark under each
 //! access reordering mechanism, normalised to BkInOrder.
 
-use burst_bench::{banner, HarnessOptions};
+use std::process::ExitCode;
+
+use burst_bench::{banner, FailureLedger, HarnessOptions};
 use burst_core::Mechanism;
 use burst_sim::experiments::Sweep;
 use burst_sim::report::render_fig10;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOptions::from_args(120_000);
     println!(
         "{}",
         banner("Figure 10", "normalized execution time", &opts)
     );
-    let sweep = Sweep::run_with_config(
+    let journal = opts.open_journal();
+    let mut ledger = FailureLedger::new();
+    let sweep = ledger.absorb(Sweep::run_supervised(
+        "sweep",
         &opts.system_config(),
         &opts.benchmarks,
         &Mechanism::all_paper(),
         opts.run,
         opts.seed,
         opts.jobs,
-    );
+        &opts.supervisor_config(),
+        journal.as_ref(),
+    ));
     match render_fig10(&sweep.fig10_rows(), &sweep.fig10_average()) {
         Ok(table) => println!("{table}"),
         Err(e) => eprintln!("warning: {e}"),
@@ -28,4 +35,5 @@ fn main() {
         "Paper averages: RowHit 0.83, Intel 0.88, Intel_RP 0.85, Burst 0.86,\n\
          Burst_WP 0.81, Burst_TH52 0.79 (21% reduction; 6% over RowHit, 11% over Intel)."
     );
+    ledger.finish()
 }

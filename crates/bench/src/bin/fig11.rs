@@ -1,12 +1,14 @@
 //! Regenerates Figure 11: the distribution of outstanding accesses for
 //! `swim` across the write-queue threshold sweep.
 
-use burst_bench::{banner, HarnessOptions};
-use burst_sim::experiments::fig11_with_config;
+use std::process::ExitCode;
+
+use burst_bench::{banner, FailureLedger, HarnessOptions};
+use burst_sim::experiments::{fig12_mechanisms, outstanding_supervised};
 use burst_sim::report::render_outstanding;
 use burst_workloads::SpecBenchmark;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOptions::from_args(150_000);
     println!(
         "{}",
@@ -16,17 +18,24 @@ fn main() {
             &opts
         )
     );
-    let rows = fig11_with_config(
+    let journal = opts.open_journal();
+    let mut ledger = FailureLedger::new();
+    let rows = ledger.absorb(outstanding_supervised(
+        "fig11",
         &opts.system_config(),
         SpecBenchmark::Swim,
+        &fig12_mechanisms(),
         opts.run,
         opts.seed,
         opts.jobs,
-    );
+        &opts.supervisor_config(),
+        journal.as_ref(),
+    ));
     println!("{}", render_outstanding(&rows));
     println!(
         "Paper shape: the peak outstanding-write count grows with the threshold;\n\
          saturation stays below 7% for thresholds < 48, reaches 14% at 56 and\n\
          jumps to 70% for Burst_RP (= TH64)."
     );
+    ledger.finish()
 }

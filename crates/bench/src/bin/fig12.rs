@@ -1,11 +1,13 @@
 //! Regenerates Figure 12: read latency, write latency and normalised
 //! execution time across the static threshold sweep.
 
-use burst_bench::{banner, HarnessOptions};
-use burst_sim::experiments::fig12_with_config;
+use std::process::ExitCode;
+
+use burst_bench::{banner, FailureLedger, HarnessOptions};
+use burst_sim::experiments::fig12_supervised;
 use burst_sim::report::render_fig12;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOptions::from_args(100_000);
     println!(
         "{}",
@@ -15,23 +17,29 @@ fn main() {
             &opts
         )
     );
-    let rows = fig12_with_config(
+    let journal = opts.open_journal();
+    let mut ledger = FailureLedger::new();
+    let rows = ledger.absorb(fig12_supervised(
         &opts.system_config(),
         &opts.benchmarks,
         opts.run,
         opts.seed,
         opts.jobs,
-    );
+        &opts.supervisor_config(),
+        journal.as_ref(),
+    ));
     println!("{}", render_fig12(&rows));
-    let best = rows
+    if let Some(best) = rows
         .iter()
         .min_by(|a, b| a.normalized_exec.total_cmp(&b.normalized_exec))
-        .expect("rows nonempty");
-    println!(
-        "Best point in this run: {} (exec {:.3}).\n\
-         Paper: read latency falls then rises past threshold 40 (write-queue\n\
-         saturation stalls); write latency grows monotonically; threshold 52 wins.",
-        best.mechanism.name(),
-        best.normalized_exec
-    );
+    {
+        println!(
+            "Best point in this run: {} (exec {:.3}).\n\
+             Paper: read latency falls then rises past threshold 40 (write-queue\n\
+             saturation stalls); write latency grows monotonically; threshold 52 wins.",
+            best.mechanism.name(),
+            best.normalized_exec
+        );
+    }
+    ledger.finish()
 }

@@ -1,29 +1,37 @@
 //! Regenerates Figure 7: average read and write latency per access
 //! reordering mechanism, averaged across the simulated benchmarks.
 
-use burst_bench::{banner, HarnessOptions};
+use std::process::ExitCode;
+
+use burst_bench::{banner, FailureLedger, HarnessOptions};
 use burst_core::Mechanism;
 use burst_sim::experiments::Sweep;
 use burst_sim::report::render_fig7;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOptions::from_args(120_000);
     println!(
         "{}",
         banner("Figure 7", "access latency in memory cycles", &opts)
     );
-    let sweep = Sweep::run_with_config(
+    let journal = opts.open_journal();
+    let mut ledger = FailureLedger::new();
+    let sweep = ledger.absorb(Sweep::run_supervised(
+        "sweep",
         &opts.system_config(),
         &opts.benchmarks,
         &Mechanism::all_paper(),
         opts.run,
         opts.seed,
         opts.jobs,
-    );
+        &opts.supervisor_config(),
+        journal.as_ref(),
+    ));
     println!("{}", render_fig7(&sweep.fig7_rows()));
     println!(
         "Paper shape: out-of-order mechanisms cut read latency 26-47% vs BkInOrder;\n\
          write latency rises for all except RowHit; Burst_RP has the lowest read\n\
          latency; write piggybacking (WP/TH) pulls write latency back down."
     );
+    ledger.finish()
 }

@@ -1,28 +1,37 @@
 //! Regenerates Figure 8: the distribution of outstanding memory accesses
 //! for the `swim` benchmark under six mechanisms.
 
-use burst_bench::{banner, HarnessOptions};
-use burst_sim::experiments::fig8_with_config;
+use std::process::ExitCode;
+
+use burst_bench::{banner, FailureLedger, HarnessOptions};
+use burst_sim::experiments::{fig8_mechanisms, outstanding_supervised};
 use burst_sim::report::render_outstanding;
 use burst_workloads::SpecBenchmark;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOptions::from_args(150_000);
     println!(
         "{}",
         banner("Figure 8", "outstanding accesses for swim", &opts)
     );
-    let rows = fig8_with_config(
+    let journal = opts.open_journal();
+    let mut ledger = FailureLedger::new();
+    let rows = ledger.absorb(outstanding_supervised(
+        "fig8",
         &opts.system_config(),
         SpecBenchmark::Swim,
+        &fig8_mechanisms(),
         opts.run,
         opts.seed,
         opts.jobs,
-    );
+        &opts.supervisor_config(),
+        journal.as_ref(),
+    ));
     println!("{}", render_outstanding(&rows));
     println!(
         "Paper shape (swim): Intel and Burst pile writes up (24% / 46% write queue\n\
          saturation); Burst_RP saturates 70% of time; Burst_WP only 2%; Burst_TH52\n\
          lands between at 9%."
     );
+    ledger.finish()
 }

@@ -1,29 +1,37 @@
 //! Regenerates Figure 9: average row hit / conflict / empty rates and
 //! SDRAM bus utilisation per mechanism.
 
-use burst_bench::{banner, HarnessOptions};
+use std::process::ExitCode;
+
+use burst_bench::{banner, FailureLedger, HarnessOptions};
 use burst_core::Mechanism;
 use burst_sim::experiments::Sweep;
 use burst_sim::report::render_fig9;
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOptions::from_args(120_000);
     println!(
         "{}",
         banner("Figure 9", "row states and bus utilisation", &opts)
     );
-    let sweep = Sweep::run_with_config(
+    let journal = opts.open_journal();
+    let mut ledger = FailureLedger::new();
+    let sweep = ledger.absorb(Sweep::run_supervised(
+        "sweep",
         &opts.system_config(),
         &opts.benchmarks,
         &Mechanism::all_paper(),
         opts.run,
         opts.seed,
         opts.jobs,
-    );
+        &opts.supervisor_config(),
+        journal.as_ref(),
+    ));
     println!("{}", render_fig9(&sweep.fig9_rows()));
     println!(
         "Paper shape: reordering raises row hits; RowHit/Burst_WP/Burst_TH highest\n\
          (they also mine the write queues for hits); RP variants raise row empties;\n\
          address bus varies ~3%, data bus spans 31-42% with Burst_TH on top."
     );
+    ledger.finish()
 }

@@ -2,19 +2,37 @@
 //! mechanism: reads/writes reaching main memory, cache hit rates, IPC and
 //! bus pressure. A calibration aid, not a paper figure.
 
-use burst_bench::{banner, HarnessOptions};
-use burst_sim::report::render_table;
-use burst_sim::simulate;
+use std::process::ExitCode;
 
-fn main() {
+use burst_bench::{banner, FailureLedger, HarnessOptions};
+use burst_sim::report::render_table;
+use burst_sim::{try_simulate, CellError, CellFailure};
+
+fn main() -> ExitCode {
     let opts = HarnessOptions::from_args(40_000);
     println!(
         "{}",
         banner("profile", "workload traffic calibration", &opts)
     );
+    let mut ledger = FailureLedger::new();
     let mut rows = Vec::new();
     for &b in &opts.benchmarks {
-        let report = simulate(&opts.system_config(), b.workload(opts.seed), opts.run);
+        let cfg = opts.system_config();
+        let report = match try_simulate(&cfg, b.workload(opts.seed), opts.run) {
+            Ok(r) => r,
+            Err(e) => {
+                let err = CellError::from(e);
+                ledger.note(CellFailure {
+                    scope: "profile".into(),
+                    benchmark: b,
+                    mechanism: cfg.mechanism,
+                    kind: err.kind,
+                    attempts: 1,
+                    payload: err.payload,
+                });
+                continue;
+            }
+        };
         rows.push(vec![
             b.name().to_string(),
             format!("{:.3}", report.ipc()),
@@ -37,4 +55,5 @@ fn main() {
             &rows
         )
     );
+    ledger.finish()
 }

@@ -4,13 +4,15 @@
 //! 6 -> 15 cycles) — and with it the headroom for access reordering. This
 //! harness measures the Burst_TH52 improvement on both devices.
 
-use burst_bench::{banner, HarnessOptions};
+use std::process::ExitCode;
+
+use burst_bench::{banner, FailureLedger, HarnessOptions};
 use burst_core::Mechanism;
 use burst_dram::{DramConfig, TimingParams};
 use burst_sim::report::render_table;
-use burst_sim::simulate;
+use burst_sim::{try_simulate, CellError, CellFailure};
 
-fn main() {
+fn main() -> ExitCode {
     let opts = HarnessOptions::from_args(40_000);
     println!(
         "{}",
@@ -36,6 +38,7 @@ fn main() {
     } else {
         opts.benchmarks.clone()
     };
+    let mut ledger = FailureLedger::new();
 
     let mut rows = Vec::new();
     for (name, dram) in [
@@ -43,7 +46,10 @@ fn main() {
         ("DDR2 PC2-6400 (5-5-5)", ddr2),
         ("DDR3-1333 (9-9-9)", ddr3),
     ] {
-        let run = |mechanism: Mechanism| -> u64 {
+        // Sums cycles over the benchmarks where the run completed; a failed
+        // cell is recorded in the ledger and excluded from *both* sums so
+        // the ratio stays apples-to-apples.
+        let run = |mechanism: Mechanism, ledger: &mut FailureLedger| -> Vec<Option<u64>> {
             benches
                 .iter()
                 .map(|b| {
@@ -51,17 +57,48 @@ fn main() {
                         .system_config()
                         .with_dram(dram)
                         .with_mechanism(mechanism);
-                    simulate(&cfg, b.workload(opts.seed), opts.run).cpu_cycles
+                    match try_simulate(&cfg, b.workload(opts.seed), opts.run) {
+                        Ok(r) => Some(r.cpu_cycles),
+                        Err(e) => {
+                            let err = CellError::from(e);
+                            ledger.note(CellFailure {
+                                scope: "section6".into(),
+                                benchmark: *b,
+                                mechanism,
+                                kind: err.kind,
+                                attempts: 1,
+                                payload: err.payload,
+                            });
+                            None
+                        }
+                    }
                 })
-                .sum()
+                .collect()
         };
-        let base = run(Mechanism::BkInOrder);
-        let th = run(Mechanism::BurstTh(52));
+        let base_cells = run(Mechanism::BkInOrder, &mut ledger);
+        let th_cells = run(Mechanism::BurstTh(52), &mut ledger);
+        let (mut base, mut th) = (0u64, 0u64);
+        for (b, t) in base_cells.iter().zip(&th_cells) {
+            if let (Some(b), Some(t)) = (b, t) {
+                base += b;
+                th += t;
+            }
+        }
+        let ratio = if base > 0 {
+            format!("{:.3}", th as f64 / base as f64)
+        } else {
+            "n/a".to_string()
+        };
+        let gain = if base > 0 {
+            format!("{:.1}%", (1.0 - th as f64 / base as f64) * 100.0)
+        } else {
+            "n/a".to_string()
+        };
         rows.push(vec![
             name.to_string(),
             format!("{}", dram.timing.row_conflict_latency()),
-            format!("{:.3}", th as f64 / base as f64),
-            format!("{:.1}%", (1.0 - th as f64 / base as f64) * 100.0),
+            ratio,
+            gain,
         ]);
     }
     println!(
@@ -80,4 +117,5 @@ fn main() {
         "Paper's claim: as timing parameters grow in cycles, the improvement provided\n\
          by access reordering mechanisms becomes more significant."
     );
+    ledger.finish()
 }

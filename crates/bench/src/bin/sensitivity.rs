@@ -3,14 +3,30 @@
 //! queue capacity (with the threshold scaled proportionally), the LSQ size
 //! (memory-level parallelism) and the channel count, reporting the
 //! Burst_TH improvement over BkInOrder at each point.
+//!
+//! Cells run supervised: a failing run drops its sweep point to `n/a`
+//! instead of aborting the study, and the binary exits nonzero.
 
-use burst_bench::{banner, HarnessOptions};
+use std::process::ExitCode;
+
+use burst_bench::{banner, FailureLedger, HarnessOptions};
 use burst_core::Mechanism;
 use burst_sim::report::render_table;
-use burst_sim::{map_parallel, simulate, SystemConfig};
+use burst_sim::{
+    supervise, try_simulate, CellError, CellFailure, CellOutcome, SupervisorConfig, SystemConfig,
+};
 use burst_workloads::SpecBenchmark;
 
-fn improvement(base_cfg: SystemConfig, th_cfg: SystemConfig, opts: &HarnessOptions) -> f64 {
+/// The Burst_TH improvement over the baseline config, or `None` when any
+/// of the eight cells stayed unrecovered (a partial ratio would mislead).
+fn improvement(
+    scope: &str,
+    base_cfg: SystemConfig,
+    th_cfg: SystemConfig,
+    opts: &HarnessOptions,
+    sup: &SupervisorConfig,
+    ledger: &mut FailureLedger,
+) -> Option<f64> {
     let benches = [
         SpecBenchmark::Swim,
         SpecBenchmark::Gcc,
@@ -24,19 +40,54 @@ fn improvement(base_cfg: SystemConfig, th_cfg: SystemConfig, opts: &HarnessOptio
             grid.push((cfg, b));
         }
     }
-    let cycles = map_parallel(&grid, opts.jobs, |_, (cfg, b)| {
-        simulate(cfg, b.workload(opts.seed), opts.run).cpu_cycles
+    let (seed, run) = (opts.seed, opts.run);
+    let outcomes = supervise(&grid, opts.jobs, sup, move |_, &(cfg, b), _| {
+        try_simulate(&cfg, b.workload(seed), run)
+            .map(|r| r.cpu_cycles)
+            .map_err(CellError::from)
     });
+    let mut complete = true;
+    for (&(cfg, b), o) in grid.iter().zip(&outcomes) {
+        if let CellOutcome::Failed {
+            kind,
+            attempts,
+            payload,
+        } = o
+        {
+            complete = false;
+            ledger.note(CellFailure {
+                scope: scope.into(),
+                benchmark: b,
+                mechanism: cfg.mechanism,
+                kind: *kind,
+                attempts: *attempts,
+                payload: payload.clone(),
+            });
+        }
+    }
+    if !complete {
+        return None;
+    }
+    let cycles: Vec<u64> = outcomes.into_iter().filter_map(|o| o.value()).collect();
     let (base, th) = cycles.split_at(benches.len());
-    1.0 - th.iter().sum::<u64>() as f64 / base.iter().sum::<u64>() as f64
+    Some(1.0 - th.iter().sum::<u64>() as f64 / base.iter().sum::<u64>() as f64)
 }
 
-fn main() {
+fn fmt_gain(gain: Option<f64>) -> String {
+    match gain {
+        Some(g) => format!("{:.1}%", g * 100.0),
+        None => "n/a".to_string(),
+    }
+}
+
+fn main() -> ExitCode {
     let opts = HarnessOptions::from_args(20_000);
     println!(
         "{}",
         banner("sensitivity", "TH52 advantage vs machine parameters", &opts)
     );
+    let sup = opts.supervisor_config();
+    let mut ledger = FailureLedger::new();
 
     // 1. Write queue capacity (threshold scaled to ~80% of capacity).
     let mut rows = Vec::new();
@@ -45,11 +96,8 @@ fn main() {
         let mut base = opts.system_config();
         base.ctrl.write_capacity = cap;
         let th_cfg = base.with_mechanism(Mechanism::BurstTh(th));
-        let gain = improvement(base, th_cfg, &opts);
-        rows.push(vec![
-            format!("{cap} (th {th})"),
-            format!("{:.1}%", gain * 100.0),
-        ]);
+        let gain = improvement("sensitivity-wq", base, th_cfg, &opts, &sup, &mut ledger);
+        rows.push(vec![format!("{cap} (th {th})"), fmt_gain(gain)]);
     }
     println!("--- write queue capacity\n");
     println!("{}", render_table(&["capacity", "TH improvement"], &rows));
@@ -60,8 +108,8 @@ fn main() {
         let mut base = opts.system_config();
         base.cpu.lsq_size = lsq;
         let th_cfg = base.with_mechanism(Mechanism::BurstTh(52));
-        let gain = improvement(base, th_cfg, &opts);
-        rows.push(vec![format!("{lsq}"), format!("{:.1}%", gain * 100.0)]);
+        let gain = improvement("sensitivity-lsq", base, th_cfg, &opts, &sup, &mut ledger);
+        rows.push(vec![format!("{lsq}"), fmt_gain(gain)]);
     }
     println!("--- LSQ size (outstanding-miss limit)\n");
     println!("{}", render_table(&["LSQ", "TH improvement"], &rows));
@@ -72,8 +120,8 @@ fn main() {
         let mut base = opts.system_config();
         base.dram.geometry.channels = channels;
         let th_cfg = base.with_mechanism(Mechanism::BurstTh(52));
-        let gain = improvement(base, th_cfg, &opts);
-        rows.push(vec![format!("{channels}"), format!("{:.1}%", gain * 100.0)]);
+        let gain = improvement("sensitivity-ch", base, th_cfg, &opts, &sup, &mut ledger);
+        rows.push(vec![format!("{channels}"), fmt_gain(gain)]);
     }
     println!("--- channel count\n");
     println!("{}", render_table(&["channels", "TH improvement"], &rows));
@@ -82,4 +130,5 @@ fn main() {
         "Expected shape: more outstanding misses (bigger LSQ) give reordering more\n\
          to work with; more channels dilute contention and shrink the advantage."
     );
+    ledger.finish()
 }

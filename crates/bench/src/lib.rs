@@ -15,7 +15,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use burst_sim::RunLength;
+use burst_sim::{
+    CellFailure, Journal, RunLength, Supervised, SupervisorConfig, TransientFaultPlan,
+};
 use burst_workloads::SpecBenchmark;
 
 /// Harness options parsed from the command line.
@@ -34,12 +36,31 @@ pub struct HarnessOptions {
     /// Event-horizon cycle skipping (`--no-skip` disables it; results are
     /// bit-identical either way, only the wall-clock time changes).
     pub skip: bool,
+    /// Journal file started fresh for this run (`--journal FILE`): every
+    /// completed cell is appended and fsynced, so a crash mid-sweep can be
+    /// resumed with `--resume FILE`.
+    pub journal: Option<std::path::PathBuf>,
+    /// Journal file to resume from (`--resume FILE`): cells already on
+    /// record are restored instead of re-simulated; new completions keep
+    /// being appended to the same file.
+    pub resume: Option<std::path::PathBuf>,
+    /// Per-cell wall-clock deadline in seconds (`--deadline SECS`);
+    /// attempts exceeding it are abandoned and retried.
+    pub deadline: Option<f64>,
+    /// Retries granted per failed cell (`--max-retries N`, default 2).
+    pub max_retries: u32,
+    /// Seed for deterministic cell-level transient fault injection
+    /// (`--inject-cell-faults SEED`) — exercises the retry machinery
+    /// end-to-end without touching simulation results.
+    pub inject_cell_faults: Option<u64>,
 }
 
 impl HarnessOptions {
     /// Parses `--instructions N`, `--seed N`, `--benchmarks a,b,c`,
-    /// `--jobs N`, `--csv DIR` and `--no-skip` from `std::env::args`, with
-    /// the given default instruction budget.
+    /// `--jobs N`, `--csv DIR`, `--no-skip`, `--journal FILE`,
+    /// `--resume FILE`, `--deadline SECS`, `--max-retries N` and
+    /// `--inject-cell-faults SEED` from `std::env::args`, with the given
+    /// default instruction budget.
     ///
     /// Unknown arguments are ignored so binaries can be combined with cargo
     /// flags freely.
@@ -66,6 +87,13 @@ impl HarnessOptions {
         let jobs = value_of("--jobs").and_then(|v| v.parse().ok()).unwrap_or(0);
         let csv = value_of("--csv").map(std::path::PathBuf::from);
         let skip = !args.iter().any(|a| a == "--no-skip");
+        let journal = value_of("--journal").map(std::path::PathBuf::from);
+        let resume = value_of("--resume").map(std::path::PathBuf::from);
+        let deadline = value_of("--deadline").and_then(|v| v.parse().ok());
+        let max_retries = value_of("--max-retries")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2);
+        let inject_cell_faults = value_of("--inject-cell-faults").and_then(|v| v.parse().ok());
         let benchmarks = value_of("--benchmarks")
             .map(|list| {
                 let mut picks = Vec::new();
@@ -89,6 +117,74 @@ impl HarnessOptions {
             jobs,
             csv,
             skip,
+            journal,
+            resume,
+            deadline,
+            max_retries,
+            inject_cell_faults,
+        }
+    }
+
+    /// The supervision policy implied by the flags: deadline, retry budget
+    /// and (for testing) cell-fault injection.
+    pub fn supervisor_config(&self) -> SupervisorConfig {
+        SupervisorConfig {
+            deadline: self.deadline.map(std::time::Duration::from_secs_f64),
+            max_retries: self.max_retries,
+            inject: self.inject_cell_faults.map(TransientFaultPlan::new),
+            ..SupervisorConfig::default()
+        }
+    }
+
+    /// The canonical description whose hash binds a journal to this run's
+    /// result-determining configuration. Deliberately excludes `--jobs`
+    /// (parallelism never changes results), the CSV directory and the
+    /// supervision policy (`--deadline`, `--max-retries`), and `--skip`
+    /// (cycle skipping is bit-identical) — a journal recorded with any of
+    /// those settings is valid for any other.
+    pub fn fingerprint_desc(&self) -> String {
+        let benches: Vec<&str> = self.benchmarks.iter().map(|b| b.name()).collect();
+        format!(
+            "burst-bench v1 run={:?} seed={} benchmarks={}",
+            self.run,
+            self.seed,
+            benches.join(",")
+        )
+    }
+
+    /// Opens the journal requested by `--journal` (fresh) or `--resume`
+    /// (restoring completed cells), fingerprint-bound to this run's
+    /// configuration; `None` when neither flag was given. Exits with
+    /// status 2 on a fingerprint mismatch or filesystem error — silently
+    /// mixing results from a differently-configured run would be worse
+    /// than dying.
+    pub fn open_journal(&self) -> Option<Journal> {
+        let fp = burst_sim::journal::fingerprint(&self.fingerprint_desc());
+        let (path, resuming) = match (&self.resume, &self.journal) {
+            (Some(p), _) => (p, true),
+            (None, Some(p)) => (p, false),
+            (None, None) => return None,
+        };
+        let opened = if resuming {
+            Journal::resume(path, fp)
+        } else {
+            Journal::create(path, fp)
+        };
+        match opened {
+            Ok(j) => {
+                if resuming {
+                    eprintln!(
+                        "resuming from {}: {} completed cell(s) on record",
+                        path.display(),
+                        j.completed_cells()
+                    );
+                }
+                Some(j)
+            }
+            Err(e) => {
+                eprintln!("error: cannot open journal {}: {e}", path.display());
+                std::process::exit(2);
+            }
         }
     }
 
@@ -125,6 +221,64 @@ pub fn banner(id: &str, caption: &str, opts: &HarnessOptions) -> String {
     )
 }
 
+/// Collects unrecovered cell failures across every grid a binary runs and
+/// converts them into the process exit status, so a sweep with losses
+/// still prints everything it salvaged but exits nonzero.
+#[derive(Debug, Default)]
+pub struct FailureLedger {
+    failures: Vec<CellFailure>,
+    resumed: usize,
+}
+
+impl FailureLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Unwraps a supervised result, absorbing its failure records and
+    /// journal-resume count.
+    pub fn absorb<T>(&mut self, s: Supervised<T>) -> T {
+        self.failures.extend(s.failures);
+        self.resumed += s.resumed;
+        s.value
+    }
+
+    /// Records one failure observed outside the supervised sweep paths
+    /// (serial harness loops using `try_simulate`).
+    pub fn note(&mut self, f: CellFailure) {
+        self.failures.push(f);
+    }
+
+    /// Every failure absorbed so far, in observation order.
+    pub fn failures(&self) -> &[CellFailure] {
+        &self.failures
+    }
+
+    /// Cells restored from a journal instead of re-simulated.
+    pub fn resumed(&self) -> usize {
+        self.resumed
+    }
+
+    /// Prints the resume count and the failure-taxonomy summary (when
+    /// non-empty) and returns the binary's exit code: success only if
+    /// every cell completed.
+    pub fn finish(self) -> std::process::ExitCode {
+        if self.resumed > 0 {
+            println!("{} cell(s) restored from the journal", self.resumed);
+        }
+        if self.failures.is_empty() {
+            std::process::ExitCode::SUCCESS
+        } else {
+            eprint!(
+                "{}",
+                burst_sim::report::render_failure_summary(&self.failures)
+            );
+            std::process::ExitCode::from(1)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +292,78 @@ mod tests {
         assert_eq!(o.jobs, 0);
         assert!(o.csv.is_none());
         assert!(o.skip, "cycle skipping defaults to on");
+        assert!(o.journal.is_none());
+        assert!(o.resume.is_none());
+        assert!(o.deadline.is_none());
+        assert_eq!(o.max_retries, 2);
+        assert!(o.inject_cell_faults.is_none());
+        assert!(o.open_journal().is_none());
+    }
+
+    #[test]
+    fn parses_supervision_flags() {
+        let args: Vec<String> = [
+            "bin",
+            "--deadline",
+            "1.5",
+            "--max-retries",
+            "5",
+            "--inject-cell-faults",
+            "9",
+            "--journal",
+            "run.journal",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = HarnessOptions::from_arg_slice(&args, 500);
+        let sup = o.supervisor_config();
+        assert_eq!(sup.deadline, Some(std::time::Duration::from_millis(1500)));
+        assert_eq!(sup.max_retries, 5);
+        assert_eq!(sup.inject.map(|p| p.seed), Some(9));
+        assert_eq!(
+            o.journal.as_deref(),
+            Some(std::path::Path::new("run.journal"))
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_jobs_and_policy_but_not_seed() {
+        let parse = |extra: &[&str]| {
+            let mut args = vec!["bin".to_string()];
+            args.extend(extra.iter().map(|s| s.to_string()));
+            HarnessOptions::from_arg_slice(&args, 500)
+        };
+        let base = parse(&[]).fingerprint_desc();
+        assert_eq!(parse(&["--jobs", "7"]).fingerprint_desc(), base);
+        assert_eq!(parse(&["--deadline", "2"]).fingerprint_desc(), base);
+        assert_eq!(parse(&["--no-skip"]).fingerprint_desc(), base);
+        assert_ne!(parse(&["--seed", "7"]).fingerprint_desc(), base);
+        assert_ne!(parse(&["--instructions", "9"]).fingerprint_desc(), base);
+        assert_ne!(parse(&["--benchmarks", "swim"]).fingerprint_desc(), base);
+    }
+
+    #[test]
+    fn ledger_tracks_failures_and_resumes() {
+        use burst_core::Mechanism;
+        let mut ledger = FailureLedger::new();
+        let sweep_value = ledger.absorb(Supervised {
+            value: 41,
+            failures: vec![],
+            resumed: 3,
+        });
+        assert_eq!(sweep_value, 41);
+        assert!(ledger.failures().is_empty());
+        assert_eq!(ledger.resumed(), 3);
+        ledger.note(CellFailure {
+            scope: "profile".into(),
+            benchmark: SpecBenchmark::Swim,
+            mechanism: Mechanism::BkInOrder,
+            kind: burst_sim::FailureKind::Other,
+            attempts: 1,
+            payload: "boom".into(),
+        });
+        assert_eq!(ledger.failures().len(), 1);
     }
 
     #[test]

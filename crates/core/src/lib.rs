@@ -44,7 +44,7 @@ pub mod txsched;
 mod watchdog;
 
 pub use access::{Access, AccessId, AccessKind, Completion, EnqueueOutcome, Outstanding};
-pub use faults::FaultConfig;
+pub use faults::{splitmix64, FaultConfig, TransientFaultPlan};
 pub use mechanisms::{
     AccessScheduler, AdaptiveHistoryScheduler, BkInOrderScheduler, BurstOptions, BurstScheduler,
     IntelScheduler, Mechanism, RowHitScheduler,

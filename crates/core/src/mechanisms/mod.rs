@@ -177,6 +177,37 @@ impl Mechanism {
         }
     }
 
+    /// Parses a mechanism from its [`Mechanism::name`] display form —
+    /// the exact inverse, so journal and CSV rows round-trip losslessly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use burst_core::Mechanism;
+    ///
+    /// assert_eq!(Mechanism::from_name("Burst_TH52"), Some(Mechanism::BurstTh(52)));
+    /// assert_eq!(Mechanism::from_name("BkInOrder"), Some(Mechanism::BkInOrder));
+    /// assert_eq!(Mechanism::from_name("nonsense"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<Mechanism> {
+        match name {
+            "BkInOrder" => Some(Mechanism::BkInOrder),
+            "RowHit" => Some(Mechanism::RowHit),
+            "Intel" => Some(Mechanism::Intel),
+            "Intel_RP" => Some(Mechanism::IntelRp),
+            "Burst" => Some(Mechanism::Burst),
+            "Burst_RP" => Some(Mechanism::BurstRp),
+            "Burst_WP" => Some(Mechanism::BurstWp),
+            "Burst_DYN" => Some(Mechanism::BurstDyn),
+            "Burst_CRIT" => Some(Mechanism::BurstCrit),
+            "AdaptHist" => Some(Mechanism::AdaptiveHistory),
+            _ => name
+                .strip_prefix("Burst_TH")
+                .and_then(|t| t.parse().ok())
+                .map(Mechanism::BurstTh),
+        }
+    }
+
     /// Builds a scheduler instance for a device of the given geometry.
     ///
     /// # Examples

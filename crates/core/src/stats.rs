@@ -88,6 +88,18 @@ impl OccupancyHistogram {
     pub fn fractions(&self) -> Vec<f64> {
         (0..self.counts.len()).map(|i| self.fraction(i)).collect()
     }
+
+    /// Raw per-occupancy sample counts, index = occupancy.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuilds a histogram from raw parts, exactly inverting
+    /// [`OccupancyHistogram::counts`] and [`OccupancyHistogram::samples`].
+    /// Used by the sweep journal to round-trip completed cells losslessly.
+    pub fn from_raw(counts: Vec<u64>, samples: u64) -> Self {
+        OccupancyHistogram { counts, samples }
+    }
 }
 
 /// Log-scaled latency histogram with percentile queries.
@@ -168,6 +180,23 @@ impl LatencyHistogram {
     /// 99th-percentile latency (bucket upper bound).
     pub fn p99(&self) -> Cycle {
         self.quantile(0.99)
+    }
+
+    /// Raw power-of-two bucket counts.
+    pub fn buckets(&self) -> &[u64; 32] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from raw parts, exactly inverting
+    /// [`LatencyHistogram::buckets`], [`LatencyHistogram::count`] and
+    /// [`LatencyHistogram::max`]. Used by the sweep journal to round-trip
+    /// completed cells losslessly.
+    pub fn from_raw(buckets: [u64; 32], count: u64, max: Cycle) -> Self {
+        LatencyHistogram {
+            buckets,
+            count,
+            max,
+        }
     }
 }
 

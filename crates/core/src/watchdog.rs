@@ -67,6 +67,27 @@ pub struct StallDiagnostic {
     pub oldest_age: Cycle,
 }
 
+impl StallDiagnostic {
+    /// A one-token machine-readable classification of the stuck state,
+    /// used by the sweep supervisor's failure taxonomy: `"write-drain"`
+    /// when only writes are outstanding, `"read-starve"` when only reads
+    /// are, `"mixed"` when both, `"empty"` when neither (a watchdog
+    /// misfire, which the taxonomy should make visible rather than hide).
+    pub fn stall_class(&self) -> &'static str {
+        match (self.reads > 0, self.writes > 0) {
+            (true, true) => "mixed",
+            (true, false) => "read-starve",
+            (false, true) => "write-drain",
+            (false, false) => "empty",
+        }
+    }
+
+    /// Cycles without forward progress when the stall was declared.
+    pub fn stuck_for(&self) -> Cycle {
+        self.at.saturating_sub(self.since)
+    }
+}
+
 impl core::fmt::Display for StallDiagnostic {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
@@ -107,5 +128,28 @@ mod tests {
         assert!(s.contains("since cycle 10"), "{s}");
         assert!(s.contains("#42"), "{s}");
         assert!(s.contains("3 reads"), "{s}");
+        assert_eq!(d.stall_class(), "mixed");
+        assert_eq!(d.stuck_for(), 1_000_000);
+    }
+
+    #[test]
+    fn stall_class_partitions_by_outstanding_mix() {
+        let base = StallDiagnostic {
+            since: 0,
+            at: 100,
+            reads: 0,
+            writes: 0,
+            oldest_id: None,
+            oldest_age: 0,
+        };
+        assert_eq!(base.stall_class(), "empty");
+        assert_eq!(
+            StallDiagnostic { reads: 2, ..base }.stall_class(),
+            "read-starve"
+        );
+        assert_eq!(
+            StallDiagnostic { writes: 5, ..base }.stall_class(),
+            "write-drain"
+        );
     }
 }

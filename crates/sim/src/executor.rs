@@ -29,7 +29,8 @@ pub fn default_jobs() -> usize {
 
 /// Resolves a `--jobs`-style request against the amount of work: `0` means
 /// auto-detect, and there is never a point in more workers than items.
-fn effective_jobs(jobs: usize, items: usize) -> usize {
+/// Shared with the supervised executor (`crate::supervisor`).
+pub(crate) fn effective_jobs(jobs: usize, items: usize) -> usize {
     let requested = if jobs == 0 { default_jobs() } else { jobs };
     requested.min(items).max(1)
 }
@@ -66,13 +67,31 @@ where
                     let Some(item) = items.get(idx) else { break };
                     local.push((idx, f(idx, item)));
                 }
-                // One lock per worker lifetime, not per item.
-                collected.lock().expect("no poisoned workers").extend(local);
+                // One lock per worker lifetime, not per item. A sibling
+                // worker panicking while holding the lock poisons it, but
+                // the protected Vec is never left half-written (extend is
+                // the only mutation), so recover the guard rather than
+                // compounding one cell's panic into a pool-wide abort.
+                collected
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend(local);
             });
         }
     });
-    let mut pairs = collected.into_inner().expect("no poisoned workers");
-    debug_assert_eq!(pairs.len(), items.len());
+    let mut pairs = collected.into_inner().unwrap_or_else(|e| e.into_inner());
+    if pairs.len() != items.len() {
+        // Only reachable if a caller swallows a worker panic (e.g. via
+        // catch_unwind around the scope); name the lost work instead of
+        // returning a silently misaligned result vector.
+        let have: std::collections::HashSet<usize> = pairs.iter().map(|&(i, _)| i).collect();
+        let missing: Vec<usize> = (0..items.len()).filter(|i| !have.contains(i)).collect();
+        panic!(
+            "map_parallel lost {} of {} results (missing input indices {missing:?})",
+            missing.len(),
+            items.len()
+        );
+    }
     pairs.sort_unstable_by_key(|&(idx, _)| idx);
     pairs.into_iter().map(|(_, r)| r).collect()
 }

@@ -7,7 +7,8 @@ use burst_core::Mechanism;
 use burst_dram::{Command, Cycle, Dir, DramConfig, Loc, RowPolicy, RowState, TimingParams};
 use burst_workloads::SpecBenchmark;
 
-use crate::{simulate, RunLength, SimReport, SystemConfig};
+use crate::supervisor::{supervise_with, CellError, CellOutcome, FailureKind, SupervisorConfig};
+use crate::{simulate, try_simulate, Journal, RunLength, SimReport, SystemConfig};
 
 /// Default instruction budget per run for harness experiments. The paper
 /// simulates 2 billion instructions; this default preserves the shape at
@@ -133,6 +134,111 @@ impl Sweep {
         Sweep { cells }
     }
 
+    /// Like [`Sweep::run_with_config`], but crash-isolated: every cell runs
+    /// under [`crate::supervise`] with per-cell deadlines, bounded retries
+    /// and (optionally) journalled resume. A panicking, stalling or wedged
+    /// cell becomes a [`CellFailure`] record instead of tearing down the
+    /// sweep; the returned [`Sweep`] holds every cell that *did* complete,
+    /// still in grid order, so figure extraction degrades gracefully.
+    ///
+    /// `scope` namespaces journal keys (`scope/benchmark/mechanism`) so one
+    /// journal file can serve several grids in the same harness run. When a
+    /// `journal` is supplied, cells already recorded in it are restored
+    /// without re-simulation (counted in [`Supervised::resumed`]) and every
+    /// newly completed cell is appended and fsynced *before* the sweep
+    /// moves on — a `SIGKILL` loses at most the cells in flight.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_supervised(
+        scope: &str,
+        base: &SystemConfig,
+        benchmarks: &[SpecBenchmark],
+        mechanisms: &[Mechanism],
+        len: RunLength,
+        seed: u64,
+        jobs: usize,
+        sup: &SupervisorConfig,
+        journal: Option<&Journal>,
+    ) -> Supervised<Sweep> {
+        let mut grid = Vec::with_capacity(benchmarks.len() * mechanisms.len());
+        for &b in benchmarks {
+            for &m in mechanisms {
+                grid.push((b, m));
+            }
+        }
+        let mut slots: Vec<Option<SweepCell>> = vec![None; grid.len()];
+        let mut resumed = 0usize;
+        let mut pending: Vec<(usize, (SpecBenchmark, Mechanism))> = Vec::new();
+        for (i, &(b, m)) in grid.iter().enumerate() {
+            match journal.and_then(|j| j.lookup(&cell_key(scope, b, m))) {
+                Some(entry) => {
+                    slots[i] = Some(SweepCell {
+                        benchmark: b,
+                        mechanism: m,
+                        report: entry.report.clone(),
+                    });
+                    resumed += 1;
+                }
+                None => pending.push((i, (b, m))),
+            }
+        }
+        let items: Vec<(SpecBenchmark, Mechanism)> = pending.iter().map(|&(_, p)| p).collect();
+        let base_cfg = *base;
+        let outcomes = supervise_with(
+            &items,
+            jobs,
+            sup,
+            move |_, &(b, m), _attempt| {
+                let cfg = base_cfg.with_mechanism(m);
+                cfg.validate()
+                    .map_err(|e| CellError::other(format!("invalid configuration: {e}")))?;
+                try_simulate(&cfg, b.workload(seed), len).map_err(CellError::from)
+            },
+            |i, outcome| {
+                if let (Some(j), CellOutcome::Done { value, attempts }) = (journal, outcome) {
+                    let (b, m) = items[i];
+                    let key = cell_key(scope, b, m);
+                    if let Err(e) = j.record(&key, *attempts, value) {
+                        // A broken journal must not fail the sweep: the
+                        // results are still in memory; only resumability
+                        // of this cell is lost.
+                        eprintln!("warning: journal write failed for {key}: {e}");
+                    }
+                }
+            },
+        );
+        let mut failures = Vec::new();
+        for ((slot_idx, (b, m)), outcome) in pending.into_iter().zip(outcomes) {
+            match outcome {
+                CellOutcome::Done { value, .. } => {
+                    slots[slot_idx] = Some(SweepCell {
+                        benchmark: b,
+                        mechanism: m,
+                        report: value,
+                    });
+                }
+                CellOutcome::Failed {
+                    kind,
+                    attempts,
+                    payload,
+                } => failures.push(CellFailure {
+                    scope: scope.to_string(),
+                    benchmark: b,
+                    mechanism: m,
+                    kind,
+                    attempts,
+                    payload,
+                }),
+            }
+        }
+        Supervised {
+            value: Sweep {
+                cells: slots.into_iter().flatten().collect(),
+            },
+            failures,
+            resumed,
+        }
+    }
+
     /// The cell for `(benchmark, mechanism)`, if simulated.
     pub fn cell(&self, benchmark: SpecBenchmark, mechanism: Mechanism) -> Option<&SweepCell> {
         self.cells
@@ -213,29 +319,30 @@ impl Sweep {
     }
 
     /// Figure 10: execution time per benchmark per mechanism, normalised to
-    /// `BkInOrder`. Requires the sweep to contain `BkInOrder`.
+    /// `BkInOrder`.
+    ///
+    /// Tolerates an incomplete sweep (supervised runs can lose cells): a
+    /// benchmark whose `BkInOrder` baseline is missing is dropped entirely,
+    /// and a missing `(benchmark, mechanism)` cell is simply absent from
+    /// that row's `normalized` pairs.
     pub fn fig10_rows(&self) -> Vec<Fig10Row> {
         self.benchmarks()
             .into_iter()
-            .map(|b| {
-                let base = self
-                    .cell(b, Mechanism::BkInOrder)
-                    .expect("fig10 needs BkInOrder in the sweep")
-                    .report
-                    .cpu_cycles as f64;
+            .filter_map(|b| {
+                let base = self.cell(b, Mechanism::BkInOrder)?.report.cpu_cycles as f64;
                 let normalized = self
                     .mechanisms()
                     .into_iter()
                     .filter(|&m| m != Mechanism::BkInOrder)
-                    .map(|m| {
-                        let cell = self.cell(b, m).expect("complete sweep");
-                        (m, cell.report.cpu_cycles as f64 / base)
+                    .filter_map(|m| {
+                        self.cell(b, m)
+                            .map(|cell| (m, cell.report.cpu_cycles as f64 / base))
                     })
                     .collect();
-                Fig10Row {
+                Some(Fig10Row {
                     benchmark: b,
                     normalized,
-                }
+                })
             })
             .collect()
     }
@@ -261,6 +368,58 @@ impl Sweep {
                 (m, (product / rows.len() as f64).exp())
             })
             .collect()
+    }
+}
+
+/// The journal key for one `(scope, benchmark, mechanism)` cell —
+/// `scope/benchmark/mechanism`, e.g. `sweep/swim/Burst_TH52`. Mechanism
+/// names round-trip through [`Mechanism::from_name`], so the key is both
+/// human-greppable and machine-parseable.
+pub fn cell_key(scope: &str, benchmark: SpecBenchmark, mechanism: Mechanism) -> String {
+    format!("{scope}/{}/{}", benchmark.name(), mechanism.name())
+}
+
+/// One unrecovered cell of a supervised experiment, for the failure
+/// taxonomy summary.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// Which grid the cell belonged to (`sweep`, `fig8`, `fig11`, `fig12`).
+    pub scope: String,
+    /// Benchmark of the failed cell.
+    pub benchmark: SpecBenchmark,
+    /// Mechanism of the failed cell.
+    pub mechanism: Mechanism,
+    /// Taxonomy bucket of the final failure.
+    pub kind: FailureKind,
+    /// Attempts consumed (including retries).
+    pub attempts: u32,
+    /// Diagnostic of the final failure.
+    pub payload: String,
+}
+
+impl CellFailure {
+    /// The failed cell's journal key (`scope/benchmark/mechanism`).
+    pub fn key(&self) -> String {
+        cell_key(&self.scope, self.benchmark, self.mechanism)
+    }
+}
+
+/// A supervised experiment result: the salvageable value plus the failure
+/// records and resume statistics the harness reports.
+#[derive(Debug, Clone)]
+pub struct Supervised<T> {
+    /// The experiment's (possibly partial) result.
+    pub value: T,
+    /// Every unrecovered cell, in grid order.
+    pub failures: Vec<CellFailure>,
+    /// Cells restored from the journal instead of re-simulated.
+    pub resumed: usize,
+}
+
+impl<T> Supervised<T> {
+    /// Whether every cell completed (possibly after retries).
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
     }
 }
 
@@ -375,6 +534,20 @@ pub fn fig11_with_config(
     outstanding_rows(base, benchmark, &fig12_mechanisms(), len, seed, jobs)
 }
 
+/// Derives one outstanding-access row from a finished report. Everything
+/// Figure 8/11 plots lives in the controller stats, so rows can equally be
+/// rebuilt from journalled reports on resume.
+fn outstanding_row(mechanism: Mechanism, report: &SimReport) -> OutstandingRow {
+    OutstandingRow {
+        mechanism,
+        reads: report.ctrl.outstanding_reads.fractions(),
+        writes: report.ctrl.outstanding_writes.fractions(),
+        saturation: report.ctrl.write_saturation_rate(),
+        mean_reads: report.ctrl.outstanding_reads.mean(),
+        mean_writes: report.ctrl.outstanding_writes.mean(),
+    }
+}
+
 fn outstanding_rows(
     base: &SystemConfig,
     benchmark: SpecBenchmark,
@@ -386,15 +559,47 @@ fn outstanding_rows(
     crate::map_parallel(mechanisms, jobs, |_, &m| {
         let cfg = base.with_mechanism(m);
         let report = simulate(&cfg, benchmark.workload(seed), len);
-        OutstandingRow {
-            mechanism: m,
-            reads: report.ctrl.outstanding_reads.fractions(),
-            writes: report.ctrl.outstanding_writes.fractions(),
-            saturation: report.ctrl.write_saturation_rate(),
-            mean_reads: report.ctrl.outstanding_reads.mean(),
-            mean_writes: report.ctrl.outstanding_writes.mean(),
-        }
+        outstanding_row(m, &report)
     })
+}
+
+/// Crash-isolated [`outstanding_rows`]: the supervised backend for
+/// Figures 8 and 11. Pass [`fig8_mechanisms`] with scope `"fig8"` or
+/// [`fig12_mechanisms`] with scope `"fig11"`. Rows for failed cells are
+/// simply missing; the failures travel in [`Supervised::failures`].
+#[allow(clippy::too_many_arguments)]
+pub fn outstanding_supervised(
+    scope: &str,
+    base: &SystemConfig,
+    benchmark: SpecBenchmark,
+    mechanisms: &[Mechanism],
+    len: RunLength,
+    seed: u64,
+    jobs: usize,
+    sup: &SupervisorConfig,
+    journal: Option<&Journal>,
+) -> Supervised<Vec<OutstandingRow>> {
+    let s = Sweep::run_supervised(
+        scope,
+        base,
+        &[benchmark],
+        mechanisms,
+        len,
+        seed,
+        jobs,
+        sup,
+        journal,
+    );
+    Supervised {
+        value: s
+            .value
+            .cells
+            .iter()
+            .map(|c| outstanding_row(c.mechanism, &c.report))
+            .collect(),
+        failures: s.failures,
+        resumed: s.resumed,
+    }
 }
 
 /// One Figure 12 row: threshold-sweep latency and execution time averaged
@@ -436,6 +641,47 @@ pub fn fig12_with_config(
 ) -> Vec<Fig12Row> {
     let mechanisms = fig12_mechanisms();
     let sweep = Sweep::run_with_config(base, benchmarks, &mechanisms, len, seed, jobs);
+    fig12_rows_from_sweep(&sweep, &mechanisms)
+}
+
+/// Crash-isolated Figure 12: the threshold sweep under supervision, with
+/// journalled resume under scope `"fig12"`. Mechanisms whose every cell
+/// failed are dropped from the rows; normalisation falls back to `NaN` if
+/// the plain-`Burst` baseline itself is entirely missing.
+#[allow(clippy::too_many_arguments)]
+pub fn fig12_supervised(
+    base: &SystemConfig,
+    benchmarks: &[SpecBenchmark],
+    len: RunLength,
+    seed: u64,
+    jobs: usize,
+    sup: &SupervisorConfig,
+    journal: Option<&Journal>,
+) -> Supervised<Vec<Fig12Row>> {
+    let mechanisms = fig12_mechanisms();
+    let s = Sweep::run_supervised(
+        "fig12",
+        base,
+        benchmarks,
+        &mechanisms,
+        len,
+        seed,
+        jobs,
+        sup,
+        journal,
+    );
+    Supervised {
+        value: fig12_rows_from_sweep(&s.value, &mechanisms),
+        failures: s.failures,
+        resumed: s.resumed,
+    }
+}
+
+/// Aggregates a (possibly partial) threshold sweep into Figure 12 rows.
+/// A mechanism with no surviving cells yields no row; a missing `Burst`
+/// normalisation baseline yields `NaN` normalised execution times rather
+/// than a panic, so salvage output still renders.
+fn fig12_rows_from_sweep(sweep: &Sweep, mechanisms: &[Mechanism]) -> Vec<Fig12Row> {
     let base: f64 = sweep
         .cells
         .iter()
@@ -444,11 +690,14 @@ pub fn fig12_with_config(
         .sum();
     mechanisms
         .iter()
-        .map(|&m| {
+        .filter_map(|&m| {
             let cells: Vec<&SweepCell> = sweep.cells.iter().filter(|c| c.mechanism == m).collect();
+            if cells.is_empty() {
+                return None;
+            }
             let n = cells.len() as f64;
             let exec: f64 = cells.iter().map(|c| c.report.cpu_cycles as f64).sum();
-            Fig12Row {
+            Some(Fig12Row {
                 mechanism: m,
                 read_latency: cells
                     .iter()
@@ -460,8 +709,8 @@ pub fn fig12_with_config(
                     .map(|c| c.report.ctrl.avg_write_latency())
                     .sum::<f64>()
                     / n,
-                normalized_exec: exec / base,
-            }
+                normalized_exec: if base > 0.0 { exec / base } else { f64::NAN },
+            })
         })
         .collect()
 }
@@ -613,6 +862,86 @@ mod tests {
         assert_eq!(names.last().unwrap(), "Burst_RP");
         assert!(names.contains(&"Burst_TH52".to_string()));
         assert!(names.contains(&"Burst_WP".to_string()));
+    }
+
+    #[test]
+    fn supervised_sweep_matches_plain_sweep() {
+        let base = SystemConfig::baseline();
+        let bs = [SpecBenchmark::Swim];
+        let ms = [Mechanism::BkInOrder, Mechanism::BurstTh(52)];
+        let len = RunLength::Instructions(3_000);
+        let plain = Sweep::run_with_config(&base, &bs, &ms, len, 1, 1);
+        let sup = SupervisorConfig {
+            backoff_base_ms: 0,
+            ..SupervisorConfig::default()
+        };
+        let s = Sweep::run_supervised("sweep", &base, &bs, &ms, len, 1, 2, &sup, None);
+        assert!(s.ok());
+        assert_eq!(s.resumed, 0);
+        assert_eq!(s.value.cells.len(), plain.cells.len());
+        for (a, b) in plain.cells.iter().zip(&s.value.cells) {
+            assert_eq!(a.report, b.report, "supervision must not perturb results");
+        }
+    }
+
+    #[test]
+    fn supervised_sweep_restores_cells_from_journal() {
+        let base = SystemConfig::baseline();
+        let bs = [SpecBenchmark::Gzip];
+        let ms = [Mechanism::BkInOrder, Mechanism::Burst];
+        let len = RunLength::Instructions(2_000);
+        let sup = SupervisorConfig {
+            backoff_base_ms: 0,
+            ..SupervisorConfig::default()
+        };
+        let dir = std::env::temp_dir().join(format!("burst-exp-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.journal");
+        let fp = crate::journal::fingerprint("experiments-test");
+        let first = {
+            let journal = crate::Journal::create(&path, fp).unwrap();
+            Sweep::run_supervised("sweep", &base, &bs, &ms, len, 1, 1, &sup, Some(&journal))
+        };
+        assert!(first.ok());
+        let journal = crate::Journal::resume(&path, fp).unwrap();
+        assert_eq!(journal.completed_cells(), 2);
+        let second =
+            Sweep::run_supervised("sweep", &base, &bs, &ms, len, 1, 1, &sup, Some(&journal));
+        assert_eq!(second.resumed, 2, "every cell restored, none re-simulated");
+        for (a, b) in first.value.cells.iter().zip(&second.value.cells) {
+            assert_eq!(a.report, b.report, "journal round trip must be lossless");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn supervised_sweep_salvages_around_invalid_cells() {
+        // BurstTh(200) exceeds the write-queue capacity, so validate()
+        // rejects it: the cell must fail as Other while siblings complete.
+        let base = SystemConfig::baseline();
+        let bs = [SpecBenchmark::Gzip];
+        let ms = [Mechanism::BkInOrder, Mechanism::BurstTh(200)];
+        let sup = SupervisorConfig {
+            backoff_base_ms: 0,
+            max_retries: 0,
+            ..SupervisorConfig::default()
+        };
+        let s = Sweep::run_supervised(
+            "sweep",
+            &base,
+            &bs,
+            &ms,
+            RunLength::Instructions(2_000),
+            1,
+            1,
+            &sup,
+            None,
+        );
+        assert_eq!(s.value.cells.len(), 1);
+        assert_eq!(s.value.cells[0].mechanism, Mechanism::BkInOrder);
+        assert_eq!(s.failures.len(), 1);
+        assert_eq!(s.failures[0].kind, FailureKind::Other);
+        assert_eq!(s.failures[0].key(), "sweep/gzip/Burst_TH200");
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! All exports are plain RFC-4180-ish CSV with a header row; fields never
 //! contain commas, so no quoting is required.
 
-use crate::experiments::{Fig10Row, Fig12Row, Fig7Row, Fig9Row, OutstandingRow, Sweep};
+use crate::experiments::{
+    CellFailure, Fig10Row, Fig12Row, Fig7Row, Fig9Row, OutstandingRow, Sweep,
+};
 use crate::report::NoRowsError;
 use crate::SimReport;
 
@@ -148,6 +150,42 @@ pub fn fig12_to_csv(rows: &[Fig12Row]) -> String {
     out
 }
 
+/// The salvage CSV of a supervised sweep: one row per cell — completed
+/// *and* failed — so a partially successful run still leaves a complete
+/// machine-readable account of the grid. Completed cells carry `ok` status
+/// with `-` placeholders in the failure columns; failed cells carry the
+/// taxonomy kind, attempt count and a comma/newline-sanitised diagnostic.
+pub fn salvage_to_csv(sweep: &Sweep, failures: &[CellFailure]) -> String {
+    let mut out = String::from("benchmark,mechanism,status,kind,attempts,detail\n");
+    for c in &sweep.cells {
+        out.push_str(&format!(
+            "{},{},ok,-,-,-\n",
+            c.benchmark.name(),
+            c.mechanism.name()
+        ));
+    }
+    for f in failures {
+        let detail: String = f
+            .payload
+            .chars()
+            .map(|ch| match ch {
+                ',' => ';',
+                '\n' | '\r' => ' ',
+                other => other,
+            })
+            .collect();
+        out.push_str(&format!(
+            "{},{},failed,{},{},{}\n",
+            f.benchmark.name(),
+            f.mechanism.name(),
+            f.kind.name(),
+            f.attempts,
+            detail
+        ));
+    }
+    out
+}
+
 /// Figure 8/11 distributions as CSV (long format: mechanism, kind,
 /// occupancy, fraction).
 pub fn outstanding_to_csv(rows: &[OutstandingRow]) -> String {
@@ -238,6 +276,30 @@ mod tests {
         assert!(header.ends_with("max_access_age"), "header: {header}");
         assert!(header.contains("protocol_violations"));
         assert!(header.contains("watchdog_trips"));
+    }
+
+    #[test]
+    fn salvage_csv_lists_ok_and_failed_cells() {
+        use crate::experiments::CellFailure;
+        use crate::supervisor::FailureKind;
+        let sweep = mini_sweep();
+        let failures = vec![CellFailure {
+            scope: "sweep".into(),
+            benchmark: SpecBenchmark::Swim,
+            mechanism: Mechanism::Burst,
+            kind: FailureKind::Panic,
+            attempts: 3,
+            payload: "boom, with commas\nand newlines".into(),
+        }];
+        let csv = salvage_to_csv(&sweep, &failures);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 2 ok + 1 failed");
+        assert!(lines[1].contains(",ok,-,-,-"));
+        let failed = lines[3];
+        assert!(failed.starts_with("swim,Burst,failed,panic,3,"));
+        assert!(!failed.contains("boom,"), "commas sanitised: {failed}");
+        let cols = lines[0].split(',').count();
+        assert!(lines[1..].iter().all(|l| l.split(',').count() == cols));
     }
 
     #[test]

@@ -1,0 +1,577 @@
+//! Append-only, fsynced sweep journal: crash-safe resume for long
+//! evaluation runs.
+//!
+//! A journal records every *successfully completed* `(scope, benchmark,
+//! mechanism)` cell of a sweep as one self-contained line holding the
+//! cell's full [`SimReport`] in a lossless integer wire format. Each line
+//! is flushed and fsynced before the supervisor moves on, so a run killed
+//! at any instant loses at most the cell in flight. Restarting with
+//! `--resume <journal>` replays the completed cells from the file and
+//! simulates only the rest — and because every simulation is
+//! deterministic and the wire format round-trips exactly, the resumed
+//! sweep's CSV output is byte-identical to an uninterrupted run (enforced
+//! by the kill-and-resume CI job).
+//!
+//! The file begins with a header binding it to a *config fingerprint* — a
+//! hash over everything that changes cell results (instruction budget,
+//! seed, benchmark list, skip toggle, binary id). Resuming against a
+//! journal written under a different fingerprint is refused: stale results
+//! must never leak into a differently-configured sweep.
+//!
+//! Failed cells are deliberately *not* journalled: a resume retries them
+//! from scratch, which is exactly what an operator wants after fixing the
+//! cause of the failure.
+//!
+//! Format (line-oriented UTF-8, no external dependencies):
+//!
+//! ```text
+//! burst-journal v1 fp=<16-hex-digit fingerprint>
+//! ok <key> <attempts> <report-wire>
+//! ```
+//!
+//! A trailing partial line (the crash point) is ignored on resume.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use burst_core::{CtrlStats, LatencyHistogram, Mechanism, OccupancyHistogram};
+use burst_dram::BusStats;
+
+use crate::{RobustnessReport, SimReport};
+
+/// Hashes a canonical configuration description into a journal
+/// fingerprint. Built by chaining [`burst_core::splitmix64`] over the
+/// bytes, so it is stable across hosts and builds.
+pub fn fingerprint(desc: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in desc.as_bytes() {
+        h = burst_core::splitmix64(h ^ u64::from(b));
+    }
+    h
+}
+
+/// Why a journal could not be opened for resume.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The journal was written by a sweep with a different configuration.
+    FingerprintMismatch {
+        /// Fingerprint the resuming sweep expects.
+        expected: u64,
+        /// Fingerprint recorded in the journal header.
+        found: u64,
+    },
+    /// The file exists but does not start with a journal header.
+    NotAJournal,
+}
+
+impl core::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different sweep configuration \
+                 (expected fingerprint {expected:016x}, found {found:016x}); \
+                 rerun without --resume or delete the journal"
+            ),
+            JournalError::NotAJournal => write!(f, "file is not a burst sweep journal"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// One journalled cell: how many attempts it took and its full report.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// Attempts the supervisor consumed (1 = first try).
+    pub attempts: u32,
+    /// The cell's complete, losslessly round-tripped report.
+    pub report: SimReport,
+}
+
+/// An open sweep journal: completed cells loaded at resume time plus an
+/// append handle that fsyncs every record.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<File>,
+    path: PathBuf,
+    fingerprint: u64,
+    completed: HashMap<String, JournalEntry>,
+    /// Lines skipped while loading (at most the crash-truncated tail plus
+    /// anything hand-mangled); surfaced so harnesses can warn.
+    ignored_lines: usize,
+}
+
+impl Journal {
+    /// Creates (truncating) a fresh journal bound to `fingerprint`.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error creating or syncing the file.
+    pub fn create(path: impl Into<PathBuf>, fingerprint: u64) -> Result<Journal, JournalError> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = File::create(&path)?;
+        writeln!(file, "burst-journal v1 fp={fingerprint:016x}")?;
+        file.sync_data()?;
+        Ok(Journal {
+            file: Mutex::new(file),
+            path,
+            fingerprint,
+            completed: HashMap::new(),
+            ignored_lines: 0,
+        })
+    }
+
+    /// Opens an existing journal for resume: loads every completed cell,
+    /// verifies the fingerprint, and positions the handle for appending.
+    /// A missing file is not an error — it becomes a fresh journal, so
+    /// `--resume` is safe to use on the very first run of a pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::FingerprintMismatch`] when the journal belongs to a
+    /// differently-configured sweep, [`JournalError::NotAJournal`] when
+    /// the header is absent, or any I/O failure.
+    pub fn resume(path: impl Into<PathBuf>, fingerprint: u64) -> Result<Journal, JournalError> {
+        let path = path.into();
+        if !path.exists() {
+            return Self::create(path, fingerprint);
+        }
+        let mut text = String::new();
+        File::open(&path)?.read_to_string(&mut text)?;
+        let mut lines = text.split_inclusive('\n');
+        let header = lines.next().unwrap_or("");
+        let found = header
+            .trim_end()
+            .strip_prefix("burst-journal v1 fp=")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or(JournalError::NotAJournal)?;
+        if found != fingerprint {
+            return Err(JournalError::FingerprintMismatch {
+                expected: fingerprint,
+                found,
+            });
+        }
+        let mut completed = HashMap::new();
+        let mut ignored_lines = 0;
+        for line in lines {
+            // A line without its newline is the crash-truncated tail; it
+            // was never fsynced as a whole record, so drop it.
+            if !line.ends_with('\n') {
+                ignored_lines += 1;
+                continue;
+            }
+            match parse_record(line.trim_end_matches('\n')) {
+                Some((key, entry)) => {
+                    completed.insert(key, entry);
+                }
+                None => ignored_lines += 1,
+            }
+        }
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(Journal {
+            file: Mutex::new(file),
+            path,
+            fingerprint,
+            completed,
+            ignored_lines,
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The fingerprint this journal is bound to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of completed cells loaded at resume time.
+    pub fn completed_cells(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Lines skipped while loading (crash-truncated tail, corruption).
+    pub fn ignored_lines(&self) -> usize {
+        self.ignored_lines
+    }
+
+    /// The journalled entry for `key`, if that cell already completed.
+    pub fn lookup(&self, key: &str) -> Option<&JournalEntry> {
+        self.completed.get(key)
+    }
+
+    /// Appends one completed cell and fsyncs before returning, so a crash
+    /// immediately afterwards cannot lose the record. `key` must contain
+    /// no whitespace (sweep keys are `scope/benchmark/mechanism`).
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error writing or syncing; also a key or report that
+    /// cannot be represented in the line format (whitespace in names).
+    pub fn record(&self, key: &str, attempts: u32, report: &SimReport) -> Result<(), JournalError> {
+        if key.chars().any(char::is_whitespace) || key.is_empty() {
+            return Err(JournalError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("journal keys must be non-empty and whitespace-free: {key:?}"),
+            )));
+        }
+        let wire = report_to_wire(report)?;
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        writeln!(file, "ok {key} {attempts} {wire}")?;
+        file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Parses one `ok <key> <attempts> <wire>` record.
+fn parse_record(line: &str) -> Option<(String, JournalEntry)> {
+    let mut parts = line.splitn(4, ' ');
+    if parts.next()? != "ok" {
+        return None;
+    }
+    let key = parts.next()?.to_string();
+    let attempts: u32 = parts.next()?.parse().ok()?;
+    let report = report_from_wire(parts.next()?)?;
+    Some((key, JournalEntry { attempts, report }))
+}
+
+// --- SimReport wire format -------------------------------------------------
+//
+// Fields are '|'-separated; composite fields use ';' between sub-fields and
+// ',' between list elements. Every quantity is an integer (or a name), so
+// the round trip is exact — which is what makes resumed CSVs byte-identical.
+
+fn join(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn split(field: &str) -> Option<Vec<u64>> {
+    if field.is_empty() {
+        return Some(Vec::new());
+    }
+    field.split(',').map(|v| v.parse().ok()).collect()
+}
+
+fn report_to_wire(r: &SimReport) -> Result<String, JournalError> {
+    for name in [r.mechanism.name().as_str(), r.workload.as_str()] {
+        if name.contains('|') || name.contains('\n') || name.is_empty() {
+            return Err(JournalError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("name not representable in journal wire format: {name:?}"),
+            )));
+        }
+    }
+    let c = &r.ctrl;
+    let ctrl_scalars = join(&[
+        c.reads_done,
+        c.writes_done,
+        c.forwards,
+        c.read_latency_sum,
+        c.write_latency_sum,
+        c.row_hits,
+        c.row_empties,
+        c.row_conflicts,
+        c.cycles,
+        c.write_saturated_cycles,
+        c.preemptions,
+        c.piggybacks,
+        c.faults_injected,
+        c.retries,
+        c.escalations,
+        c.watchdog_trips,
+        c.max_access_age,
+    ]);
+    let occ = |h: &OccupancyHistogram| format!("{};{}", h.samples(), join(h.counts()));
+    let lat = |h: &LatencyHistogram| format!("{};{};{}", h.count(), h.max(), join(h.buckets()));
+    let b = &r.bus;
+    let bus = join(&[
+        b.cmd_cycles,
+        b.data_cycles,
+        b.reads,
+        b.writes,
+        b.activates,
+        b.precharges,
+        b.auto_precharges,
+        b.refreshes,
+    ]);
+    let p = &r.cpu;
+    let cpu = join(&[
+        p.retired,
+        p.loads,
+        p.stores,
+        p.mem_reads,
+        p.mem_writes,
+        p.stall_cycles,
+    ]);
+    let rb = &r.robustness;
+    let rob = join(&[
+        rb.violations,
+        rb.faults_injected,
+        rb.retries,
+        rb.escalations,
+        rb.watchdog_trips,
+        rb.max_access_age,
+    ]);
+    Ok(format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        r.mechanism.name(),
+        r.workload,
+        r.cpu_cycles,
+        r.mem_cycles,
+        r.instructions,
+        ctrl_scalars,
+        occ(&c.outstanding_reads),
+        occ(&c.outstanding_writes),
+        lat(&c.read_latencies),
+        lat(&c.write_latencies),
+        bus,
+        cpu,
+        rob,
+        r.channels(),
+    ))
+}
+
+fn parse_occ(field: &str) -> Option<OccupancyHistogram> {
+    let (samples, counts) = field.split_once(';')?;
+    Some(OccupancyHistogram::from_raw(
+        split(counts)?,
+        samples.parse().ok()?,
+    ))
+}
+
+fn parse_lat(field: &str) -> Option<LatencyHistogram> {
+    let mut parts = field.splitn(3, ';');
+    let count = parts.next()?.parse().ok()?;
+    let max = parts.next()?.parse().ok()?;
+    let buckets: [u64; 32] = split(parts.next()?)?.try_into().ok()?;
+    Some(LatencyHistogram::from_raw(buckets, count, max))
+}
+
+fn report_from_wire(wire: &str) -> Option<SimReport> {
+    let fields: Vec<&str> = wire.split('|').collect();
+    if fields.len() != 14 {
+        return None;
+    }
+    let mechanism = Mechanism::from_name(fields[0])?;
+    let workload = fields[1].to_string();
+    let cpu_cycles: u64 = fields[2].parse().ok()?;
+    let mem_cycles: u64 = fields[3].parse().ok()?;
+    let instructions: u64 = fields[4].parse().ok()?;
+    let s = split(fields[5])?;
+    if s.len() != 17 {
+        return None;
+    }
+    let ctrl = CtrlStats {
+        reads_done: s[0],
+        writes_done: s[1],
+        forwards: s[2],
+        read_latency_sum: s[3],
+        write_latency_sum: s[4],
+        row_hits: s[5],
+        row_empties: s[6],
+        row_conflicts: s[7],
+        cycles: s[8],
+        write_saturated_cycles: s[9],
+        preemptions: s[10],
+        piggybacks: s[11],
+        faults_injected: s[12],
+        retries: s[13],
+        escalations: s[14],
+        watchdog_trips: s[15],
+        max_access_age: s[16],
+        outstanding_reads: parse_occ(fields[6])?,
+        outstanding_writes: parse_occ(fields[7])?,
+        read_latencies: parse_lat(fields[8])?,
+        write_latencies: parse_lat(fields[9])?,
+    };
+    let b = split(fields[10])?;
+    if b.len() != 8 {
+        return None;
+    }
+    let bus = BusStats {
+        cmd_cycles: b[0],
+        data_cycles: b[1],
+        reads: b[2],
+        writes: b[3],
+        activates: b[4],
+        precharges: b[5],
+        auto_precharges: b[6],
+        refreshes: b[7],
+    };
+    let p = split(fields[11])?;
+    if p.len() != 6 {
+        return None;
+    }
+    let cpu = burst_cpu::CpuStats {
+        retired: p[0],
+        loads: p[1],
+        stores: p[2],
+        mem_reads: p[3],
+        mem_writes: p[4],
+        stall_cycles: p[5],
+    };
+    let rb = split(fields[12])?;
+    if rb.len() != 6 {
+        return None;
+    }
+    let robustness = RobustnessReport {
+        violations: rb[0],
+        faults_injected: rb[1],
+        retries: rb[2],
+        escalations: rb[3],
+        watchdog_trips: rb[4],
+        max_access_age: rb[5],
+    };
+    let channels: u64 = fields[13].parse().ok()?;
+    Some(SimReport::from_parts(
+        mechanism,
+        workload,
+        cpu_cycles,
+        mem_cycles,
+        instructions,
+        ctrl,
+        bus,
+        cpu,
+        robustness,
+        channels,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{try_simulate, RunLength, SystemConfig};
+    use burst_workloads::SpecBenchmark;
+
+    fn sample_report() -> SimReport {
+        let cfg = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(52));
+        try_simulate(
+            &cfg,
+            SpecBenchmark::Swim.workload(11),
+            RunLength::Instructions(3_000),
+        )
+        .expect("small run completes")
+    }
+
+    #[test]
+    fn wire_round_trip_is_lossless() {
+        let report = sample_report();
+        let wire = report_to_wire(&report).expect("serialisable");
+        let back = report_from_wire(&wire).expect("parseable");
+        assert_eq!(report, back, "journal wire format must be exact");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = fingerprint("all/ins=120000/seed=42/skip=true");
+        assert_eq!(a, fingerprint("all/ins=120000/seed=42/skip=true"));
+        assert_ne!(a, fingerprint("all/ins=120000/seed=43/skip=true"));
+    }
+
+    #[test]
+    fn create_record_resume_round_trip() {
+        let dir = std::env::temp_dir().join("burst-journal-test-rrt");
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+        let fp = fingerprint("test-config");
+        let report = sample_report();
+        {
+            let j = Journal::create(&path, fp).expect("create");
+            j.record("sweep/swim/Burst_TH52", 2, &report)
+                .expect("record");
+        }
+        let j = Journal::resume(&path, fp).expect("resume");
+        assert_eq!(j.completed_cells(), 1);
+        assert_eq!(j.ignored_lines(), 0);
+        let entry = j.lookup("sweep/swim/Burst_TH52").expect("present");
+        assert_eq!(entry.attempts, 2);
+        assert_eq!(entry.report, report);
+        assert!(j.lookup("sweep/swim/BkInOrder").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_fingerprint_mismatch() {
+        let dir = std::env::temp_dir().join("burst-journal-test-fpm");
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+        Journal::create(&path, 1).expect("create");
+        let err = Journal::resume(&path, 2).expect_err("must refuse");
+        assert!(
+            matches!(err, JournalError::FingerprintMismatch { .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_drops_truncated_tail() {
+        let dir = std::env::temp_dir().join("burst-journal-test-tail");
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+        let fp = fingerprint("tail");
+        let report = sample_report();
+        {
+            let j = Journal::create(&path, fp).expect("create");
+            j.record("sweep/swim/Burst_TH52", 1, &report)
+                .expect("record");
+        }
+        // Simulate a crash mid-append: a record missing its newline.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+            write!(f, "ok sweep/swim/BkInOrder 1 trunca").expect("write");
+        }
+        let j = Journal::resume(&path, fp).expect("resume");
+        assert_eq!(j.completed_cells(), 1, "whole records only");
+        assert_eq!(j.ignored_lines(), 1, "truncated tail is counted");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_of_missing_file_starts_fresh() {
+        let dir = std::env::temp_dir().join("burst-journal-test-fresh");
+        let path = dir.join("does-not-exist.journal");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::resume(&path, 7).expect("fresh journal");
+        assert_eq!(j.completed_cells(), 0);
+        assert!(path.exists(), "fresh journal file is created");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn record_rejects_whitespace_keys() {
+        let dir = std::env::temp_dir().join("burst-journal-test-keys");
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::create(&path, 3).expect("create");
+        let report = sample_report();
+        assert!(j.record("bad key", 1, &report).is_err());
+        assert!(j.record("", 1, &report).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

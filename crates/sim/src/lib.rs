@@ -29,12 +29,20 @@ pub mod cmp;
 pub mod executor;
 pub mod experiments;
 pub mod export;
+pub mod journal;
 pub mod report;
+pub mod supervisor;
 mod system;
 pub mod waterfall;
 
 pub use executor::{default_jobs, map_parallel};
+pub use experiments::{cell_key, CellFailure, Supervised};
+pub use journal::{Journal, JournalEntry, JournalError};
+pub use supervisor::{
+    supervise, supervise_with, CellError, CellOutcome, FailureKind, SupervisorConfig,
+    TransientFaultPlan,
+};
 pub use system::{
-    simulate, RobustnessReport, RunError, RunLength, SimReport, System, SystemConfig,
+    simulate, try_simulate, RobustnessReport, RunError, RunLength, SimReport, System, SystemConfig,
     ValidateConfigError,
 };

@@ -1,7 +1,10 @@
 //! Plain-text rendering of experiment results in the layout of the paper's
 //! tables and figures.
 
-use crate::experiments::{Fig10Row, Fig12Row, Fig7Row, Fig9Row, OutstandingRow, Table1Row};
+use crate::experiments::{
+    CellFailure, Fig10Row, Fig12Row, Fig7Row, Fig9Row, OutstandingRow, Table1Row,
+};
+use crate::supervisor::FailureKind;
 use crate::SimReport;
 
 /// Error returned when a renderer or exporter is handed an empty row set:
@@ -263,6 +266,41 @@ pub fn render_fig12(rows: &[Fig12Row]) -> String {
     )
 }
 
+/// Renders the failure-taxonomy summary of a supervised run: one count row
+/// per [`FailureKind`] that occurred, followed by a per-cell detail table.
+/// Returns the empty string when every cell completed, so harnesses can
+/// print it unconditionally.
+pub fn render_failure_summary(failures: &[CellFailure]) -> String {
+    if failures.is_empty() {
+        return String::new();
+    }
+    let counts: Vec<Vec<String>> = FailureKind::all()
+        .into_iter()
+        .filter_map(|kind| {
+            let n = failures.iter().filter(|f| f.kind == kind).count();
+            (n > 0).then(|| vec![kind.name().to_string(), n.to_string()])
+        })
+        .collect();
+    let details: Vec<Vec<String>> = failures
+        .iter()
+        .map(|f| {
+            vec![
+                f.key(),
+                f.kind.name().to_string(),
+                f.attempts.to_string(),
+                f.payload.clone(),
+            ]
+        })
+        .collect();
+    let mut out = format!("{} unrecovered cell(s)\n", failures.len());
+    out.push_str(&render_table(&["Failure kind", "Cells"], &counts));
+    out.push_str(&render_table(
+        &["Cell", "Kind", "Attempts", "Detail"],
+        &details,
+    ));
+    out
+}
+
 /// A unicode sparkline of a distribution (peak-normalised).
 fn sparkline(values: &[f64]) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -411,6 +449,37 @@ mod render_tests {
         assert!(s.contains("Burst_WP"));
         assert!(s.contains("Burst_RP"));
         assert!(s.contains("0.979"));
+    }
+
+    #[test]
+    fn render_failure_summary_counts_and_details() {
+        use crate::experiments::CellFailure;
+        use crate::supervisor::FailureKind;
+        assert_eq!(render_failure_summary(&[]), "");
+        let failures = vec![
+            CellFailure {
+                scope: "sweep".into(),
+                benchmark: SpecBenchmark::Swim,
+                mechanism: Mechanism::Burst,
+                kind: FailureKind::Panic,
+                attempts: 3,
+                payload: "cell exploded".into(),
+            },
+            CellFailure {
+                scope: "sweep".into(),
+                benchmark: SpecBenchmark::Swim,
+                mechanism: Mechanism::RowHit,
+                kind: FailureKind::Deadline,
+                attempts: 1,
+                payload: "too slow".into(),
+            },
+        ];
+        let s = render_failure_summary(&failures);
+        assert!(s.contains("2 unrecovered cell(s)"));
+        assert!(s.contains("panic"));
+        assert!(s.contains("deadline"));
+        assert!(s.contains("sweep/swim/Burst"));
+        assert!(s.contains("cell exploded"));
     }
 
     #[test]

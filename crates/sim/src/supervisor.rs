@@ -1,0 +1,580 @@
+//! Crash-isolated supervision of independent sweep cells.
+//!
+//! [`crate::map_parallel`] gives the evaluation grid order-stable
+//! parallelism, but one misbehaving `(benchmark, mechanism)` cell — a
+//! panic in a scheduler, a latched [`crate::RunError`] stall, or a cell
+//! that simply wedges — used to tear down the whole multi-minute sweep.
+//! [`supervise`] keeps the blast radius to the cell itself:
+//!
+//! * every attempt runs under [`std::panic::catch_unwind`], so a panicking
+//!   cell becomes a structured [`CellOutcome::Failed`] record while its
+//!   siblings keep running;
+//! * an optional per-cell wall-clock deadline runs each attempt on a
+//!   watchdog thread and abandons attempts that exceed it (the wedged
+//!   thread is leaked by design — it holds no locks the supervisor cares
+//!   about, and the process exits after the sweep);
+//! * failed cells get bounded retries with deterministic backoff, and a
+//!   [`TransientFaultPlan`] can deterministically fail attempts to test
+//!   exactly that machinery (see `crates/core/src/faults.rs`);
+//! * results come back in input order, like `map_parallel`, so a
+//!   supervised sweep is element-for-element comparable to a plain one.
+//!
+//! The closure contract mirrors `map_parallel` plus an attempt number:
+//! `f(index, &item, attempt)` must be safe to call concurrently *and*
+//! repeatedly — simulation cells are, because each call builds a fresh
+//! [`crate::System`] from plain config values.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+pub use burst_core::TransientFaultPlan;
+
+use crate::RunError;
+
+/// Why a cell failed — the sweep failure taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The cell's closure panicked.
+    Panic,
+    /// The simulation latched a [`RunError::ControllerStall`].
+    ControllerStall,
+    /// The simulation latched a [`RunError::RetirementStall`].
+    RetirementStall,
+    /// The attempt exceeded the per-cell wall-clock deadline.
+    Deadline,
+    /// A [`TransientFaultPlan`] deliberately failed the attempt.
+    Injected,
+    /// Anything else a cell closure reports (e.g. invalid configuration).
+    Other,
+}
+
+impl FailureKind {
+    /// Stable lower-case token used in tables, CSVs and journals.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::ControllerStall => "controller-stall",
+            FailureKind::RetirementStall => "retirement-stall",
+            FailureKind::Deadline => "deadline",
+            FailureKind::Injected => "injected",
+            FailureKind::Other => "other",
+        }
+    }
+
+    /// Every kind, in taxonomy-table order.
+    pub fn all() -> [FailureKind; 6] {
+        [
+            FailureKind::Panic,
+            FailureKind::ControllerStall,
+            FailureKind::RetirementStall,
+            FailureKind::Deadline,
+            FailureKind::Injected,
+            FailureKind::Other,
+        ]
+    }
+}
+
+impl core::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structured attempt failure returned by a supervised closure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// Taxonomy bucket.
+    pub kind: FailureKind,
+    /// Human-readable diagnostic (e.g. the stall diagnostic's display).
+    pub payload: String,
+}
+
+impl CellError {
+    /// An [`FailureKind::Other`] error with the given message.
+    pub fn other(payload: impl Into<String>) -> Self {
+        CellError {
+            kind: FailureKind::Other,
+            payload: payload.into(),
+        }
+    }
+}
+
+impl From<RunError> for CellError {
+    fn from(e: RunError) -> Self {
+        let kind = match e {
+            RunError::ControllerStall(_) => FailureKind::ControllerStall,
+            RunError::RetirementStall { .. } => FailureKind::RetirementStall,
+        };
+        let payload = match e {
+            RunError::ControllerStall(diag) => {
+                format!("{e} [class {}]", diag.stall_class())
+            }
+            RunError::RetirementStall { .. } => e.to_string(),
+        };
+        CellError { kind, payload }
+    }
+}
+
+/// Outcome of one supervised cell after all its attempts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome<R> {
+    /// The cell produced a value on attempt number `attempts` (1-based).
+    Done {
+        /// The closure's result.
+        value: R,
+        /// Attempts consumed, including the successful one.
+        attempts: u32,
+    },
+    /// Every granted attempt failed; the *last* failure is recorded.
+    Failed {
+        /// Taxonomy bucket of the final failure.
+        kind: FailureKind,
+        /// Attempts consumed.
+        attempts: u32,
+        /// Diagnostic of the final failure.
+        payload: String,
+    },
+}
+
+impl<R> CellOutcome<R> {
+    /// The value, if the cell completed.
+    pub fn value(self) -> Option<R> {
+        match self {
+            CellOutcome::Done { value, .. } => Some(value),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the cell completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self, CellOutcome::Done { .. })
+    }
+}
+
+/// Supervision policy: deadlines, retry budget, backoff, fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Wall-clock budget per *attempt*; `None` disables deadline
+    /// enforcement (attempts then run inline on the worker thread, with
+    /// no watchdog thread per attempt).
+    pub deadline: Option<Duration>,
+    /// Retries granted after the first attempt; `max_retries + 1` attempts
+    /// total.
+    pub max_retries: u32,
+    /// Base of the deterministic backoff: retry `k` (0-based) sleeps
+    /// `backoff_base_ms << min(k, 6)` milliseconds. Zero disables sleeping.
+    pub backoff_base_ms: u64,
+    /// Deterministic transient-fault injection, failing whole attempts —
+    /// the test harness for the retry machinery itself.
+    pub inject: Option<TransientFaultPlan>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            deadline: None,
+            max_retries: 2,
+            backoff_base_ms: 10,
+            inject: None,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// The deterministic backoff before retry `k` (0-based).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        Duration::from_millis(self.backoff_base_ms << retry.min(6))
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one attempt, isolating panics and (optionally) enforcing the
+/// wall-clock deadline on a watchdog thread.
+fn run_attempt<T, R, F>(
+    f: &Arc<F>,
+    idx: usize,
+    item: &T,
+    attempt: u32,
+    deadline: Option<Duration>,
+) -> Result<R, CellError>
+where
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T, u32) -> Result<R, CellError> + Send + Sync + 'static,
+{
+    let Some(deadline) = deadline else {
+        return match catch_unwind(AssertUnwindSafe(|| f(idx, item, attempt))) {
+            Ok(result) => result,
+            Err(payload) => Err(CellError {
+                kind: FailureKind::Panic,
+                payload: panic_message(payload.as_ref()),
+            }),
+        };
+    };
+    let (tx, rx) = mpsc::channel();
+    let f = Arc::clone(f);
+    let item = item.clone();
+    let spawned = std::thread::Builder::new()
+        .name(format!("cell-{idx}-attempt-{attempt}"))
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| f(idx, &item, attempt)));
+            // The receiver may be gone (deadline already expired); that is
+            // fine — the attempt's result is simply discarded.
+            let _ = tx.send(result);
+        });
+    if let Err(e) = spawned {
+        return Err(CellError::other(format!(
+            "could not spawn cell thread: {e}"
+        )));
+    }
+    match rx.recv_timeout(deadline) {
+        Ok(Ok(result)) => result,
+        Ok(Err(payload)) => Err(CellError {
+            kind: FailureKind::Panic,
+            payload: panic_message(payload.as_ref()),
+        }),
+        Err(RecvTimeoutError::Timeout) => Err(CellError {
+            kind: FailureKind::Deadline,
+            payload: format!(
+                "attempt exceeded the per-cell deadline of {:.3}s (thread abandoned)",
+                deadline.as_secs_f64()
+            ),
+        }),
+        // catch_unwind means the worker always sends unless the runtime
+        // killed it outright; classify the silence as a panic.
+        Err(RecvTimeoutError::Disconnected) => Err(CellError {
+            kind: FailureKind::Panic,
+            payload: "cell thread terminated without reporting a result".to_string(),
+        }),
+    }
+}
+
+/// Runs one cell to its final outcome: inject, attempt, retry with
+/// deterministic backoff, give up after the retry budget.
+fn run_cell<T, R, F>(cfg: &SupervisorConfig, f: &Arc<F>, idx: usize, item: &T) -> CellOutcome<R>
+where
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T, u32) -> Result<R, CellError> + Send + Sync + 'static,
+{
+    let mut attempt = 0u32;
+    loop {
+        let injected = cfg
+            .inject
+            .is_some_and(|plan| plan.should_fail(idx as u64, attempt));
+        let error = if injected {
+            CellError {
+                kind: FailureKind::Injected,
+                payload: format!("injected transient fault (cell {idx}, attempt {attempt})"),
+            }
+        } else {
+            match run_attempt(f, idx, item, attempt, cfg.deadline) {
+                Ok(value) => {
+                    return CellOutcome::Done {
+                        value,
+                        attempts: attempt + 1,
+                    }
+                }
+                Err(e) => e,
+            }
+        };
+        if attempt >= cfg.max_retries {
+            return CellOutcome::Failed {
+                kind: error.kind,
+                attempts: attempt + 1,
+                payload: error.payload,
+            };
+        }
+        let pause = cfg.backoff(attempt);
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+        }
+        attempt += 1;
+    }
+}
+
+/// Applies `f` to every element of `items` on up to `jobs` worker threads
+/// (`0` = auto-detect) under crash isolation, returning one
+/// [`CellOutcome`] per item in input order.
+///
+/// Unlike [`crate::map_parallel`], a panicking, erroring or
+/// deadline-exceeding cell never propagates: it yields
+/// [`CellOutcome::Failed`] and every other cell still runs. Note that the
+/// default panic hook still prints to stderr when a cell panics; sweeps
+/// with expected failures stay noisy but alive.
+pub fn supervise<T, R, F>(
+    items: &[T],
+    jobs: usize,
+    cfg: &SupervisorConfig,
+    f: F,
+) -> Vec<CellOutcome<R>>
+where
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T, u32) -> Result<R, CellError> + Send + Sync + 'static,
+{
+    supervise_with(items, jobs, cfg, f, |_, _| {})
+}
+
+/// [`supervise`] plus an `on_complete` hook invoked on the worker thread
+/// the moment each cell's final outcome is known — *before* remaining
+/// cells finish. This is the journalling seam: persisting each completed
+/// cell immediately (rather than after the whole sweep) is what bounds a
+/// crash's damage to the cell in flight. The hook runs on the supervisor's
+/// scoped workers, so unlike the cell closure it may borrow from the
+/// caller; it must be cheap and must not panic.
+pub fn supervise_with<T, R, F, C>(
+    items: &[T],
+    jobs: usize,
+    cfg: &SupervisorConfig,
+    f: F,
+    on_complete: C,
+) -> Vec<CellOutcome<R>>
+where
+    T: Clone + Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T, u32) -> Result<R, CellError> + Send + Sync + 'static,
+    C: Fn(usize, &CellOutcome<R>) + Sync,
+{
+    let f = Arc::new(f);
+    let jobs = crate::executor::effective_jobs(jobs, items.len());
+    if jobs <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let outcome = run_cell(cfg, &f, i, t);
+                on_complete(i, &outcome);
+                outcome
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<CellOutcome<R>>>> = {
+        let mut v = Vec::with_capacity(items.len());
+        v.resize_with(items.len(), || None);
+        Mutex::new(v)
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, CellOutcome<R>)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(idx) else { break };
+                    let outcome = run_cell(cfg, &f, idx, item);
+                    on_complete(idx, &outcome);
+                    local.push((idx, outcome));
+                }
+                let mut slots = slots.lock().unwrap_or_else(|e| e.into_inner());
+                for (idx, outcome) in local {
+                    slots[idx] = Some(outcome);
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            // Unreachable in practice: every index below items.len() is
+            // claimed exactly once and run_cell never unwinds (attempts
+            // are caught). Produce a Failed record rather than panicking.
+            slot.unwrap_or_else(|| CellOutcome::Failed {
+                kind: FailureKind::Other,
+                attempts: 0,
+                payload: format!("supervisor lost the outcome of cell {i}"),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            backoff_base_ms: 0,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_ok_cells_match_input_order() {
+        let items: Vec<u64> = (0..40).collect();
+        let outcomes = supervise(&items, 4, &quiet_cfg(), |i, &x, _| {
+            Ok(x * 10 + i as u64 % 10)
+        });
+        assert_eq!(outcomes.len(), 40);
+        for (i, o) in outcomes.into_iter().enumerate() {
+            match o {
+                CellOutcome::Done { value, attempts } => {
+                    assert_eq!(value, (i as u64) * 10 + (i as u64) % 10);
+                    assert_eq!(attempts, 1);
+                }
+                CellOutcome::Failed { .. } => panic!("cell {i} should succeed"),
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_cell_fails_alone_and_in_place() {
+        let items: Vec<u32> = (0..9).collect();
+        let outcomes = supervise(&items, 3, &quiet_cfg(), |_, &x, _| {
+            if x == 4 {
+                panic!("cell four exploded");
+            }
+            Ok(x)
+        });
+        for (i, o) in outcomes.iter().enumerate() {
+            if i == 4 {
+                let CellOutcome::Failed {
+                    kind,
+                    attempts,
+                    payload,
+                } = o
+                else {
+                    panic!("cell 4 must fail");
+                };
+                assert_eq!(*kind, FailureKind::Panic);
+                assert_eq!(*attempts, 3, "default budget is 1 + 2 retries");
+                assert!(payload.contains("exploded"), "{payload}");
+            } else {
+                assert_eq!(
+                    o,
+                    &CellOutcome::Done {
+                        value: i as u32,
+                        attempts: 1
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transient_error_succeeds_on_retry() {
+        use std::sync::atomic::AtomicU32;
+        let tries = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&tries);
+        let outcomes = supervise(&[7u8], 1, &quiet_cfg(), move |_, &x, attempt| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            if attempt == 0 {
+                Err(CellError::other("first attempt wobbles"))
+            } else {
+                Ok(u32::from(x))
+            }
+        });
+        assert_eq!(
+            outcomes[0],
+            CellOutcome::Done {
+                value: 7,
+                attempts: 2
+            }
+        );
+        assert_eq!(tries.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let cfg = SupervisorConfig {
+            max_retries: 1,
+            ..quiet_cfg()
+        };
+        let outcomes: Vec<CellOutcome<()>> = supervise(&[0u8], 1, &cfg, |_, _, _| {
+            Err(CellError::other("always down"))
+        });
+        assert_eq!(
+            outcomes[0],
+            CellOutcome::Failed {
+                kind: FailureKind::Other,
+                attempts: 2,
+                payload: "always down".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn deadline_abandons_wedged_cells() {
+        let cfg = SupervisorConfig {
+            deadline: Some(Duration::from_millis(30)),
+            max_retries: 0,
+            ..quiet_cfg()
+        };
+        let outcomes = supervise(&[0u8, 1, 2], 2, &cfg, |_, &x, _| {
+            if x == 1 {
+                // Wedge far past the deadline; the supervisor abandons us.
+                std::thread::sleep(Duration::from_secs(5));
+            }
+            Ok(x)
+        });
+        assert!(outcomes[0].is_done());
+        assert!(outcomes[2].is_done());
+        let CellOutcome::Failed { kind, .. } = &outcomes[1] else {
+            panic!("wedged cell must fail");
+        };
+        assert_eq!(*kind, FailureKind::Deadline);
+    }
+
+    #[test]
+    fn injection_converges_within_plan_bound() {
+        let plan = TransientFaultPlan {
+            seed: 3,
+            fail_permille: 1000, // every attempt under the bound fails
+            max_failures: 2,
+        };
+        let cfg = SupervisorConfig {
+            inject: Some(plan),
+            max_retries: 2,
+            ..quiet_cfg()
+        };
+        let items: Vec<u64> = (0..8).collect();
+        let outcomes = supervise(&items, 2, &cfg, |_, &x, _| Ok(x));
+        for (i, o) in outcomes.into_iter().enumerate() {
+            assert_eq!(
+                o,
+                CellOutcome::Done {
+                    value: i as u64,
+                    attempts: 3
+                },
+                "two injected failures, then success"
+            );
+        }
+    }
+
+    #[test]
+    fn run_error_maps_into_taxonomy() {
+        let e = CellError::from(RunError::RetirementStall {
+            mem_cycle: 9,
+            retired: 1,
+        });
+        assert_eq!(e.kind, FailureKind::RetirementStall);
+        assert!(e.payload.contains("livelock"), "{}", e.payload);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let cfg = SupervisorConfig {
+            backoff_base_ms: 3,
+            ..SupervisorConfig::default()
+        };
+        assert_eq!(cfg.backoff(0), Duration::from_millis(3));
+        assert_eq!(cfg.backoff(2), Duration::from_millis(12));
+        assert_eq!(cfg.backoff(6), cfg.backoff(60), "shift saturates at 6");
+    }
+}

@@ -398,6 +398,12 @@ impl SimReport {
         }
     }
 
+    /// Channel count of the simulated device (utilisation denominators;
+    /// also journalled so resumed sweeps rebuild reports losslessly).
+    pub fn channels(&self) -> u64 {
+        self.channels
+    }
+
     /// Estimated DRAM energy of the run (extension; see
     /// [`burst_dram::EnergyBreakdown`]). `ranks` is the total rank count
     /// across channels paying background power.
@@ -798,6 +804,25 @@ pub fn simulate<W: OpSource>(cfg: &SystemConfig, mut workload: W, len: RunLength
     sys.run(&mut workload, len);
     let name = workload.name().to_string();
     sys.report(name)
+}
+
+/// [`simulate`] with forward-progress stalls surfaced as values instead of
+/// panics — the entry point every sweep cell and harness binary should use
+/// so a single stalled cell cannot abort the process.
+///
+/// # Errors
+///
+/// Propagates [`System::try_run`]'s [`RunError`].
+pub fn try_simulate<W: OpSource>(
+    cfg: &SystemConfig,
+    mut workload: W,
+    len: RunLength,
+) -> Result<SimReport, RunError> {
+    let mut sys = System::new(cfg);
+    sys.warm(&mut workload);
+    sys.try_run(&mut workload, len)?;
+    let name = workload.name().to_string();
+    Ok(sys.report(name))
 }
 
 #[cfg(test)]
