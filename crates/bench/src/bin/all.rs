@@ -33,7 +33,11 @@ fn main() -> ExitCode {
     let opts = HarnessOptions::from_args(120_000);
     let base = opts.system_config();
     let sup = opts.supervisor_config();
+    if let Some(code) = opts.oracle_gate(&Mechanism::all_paper()) {
+        return code;
+    }
     let journal = opts.open_journal();
+    let ckpt = opts.checkpoint_plan();
     let mut ledger = FailureLedger::new();
 
     println!("=== Table 1: possible SDRAM access latencies (DDR2 PC2-6400)\n");
@@ -58,6 +62,7 @@ fn main() -> ExitCode {
         opts.jobs,
         &sup,
         journal.as_ref(),
+        ckpt.as_ref(),
     ));
 
     println!("=== Figure 7: access latency (memory cycles)\n");
@@ -90,6 +95,7 @@ fn main() -> ExitCode {
         opts.jobs,
         &sup,
         journal.as_ref(),
+        ckpt.as_ref(),
     ));
     println!("{}", render_outstanding(&f8));
     opts.dump_csv("fig8.csv", &export::outstanding_to_csv(&f8));
@@ -105,6 +111,7 @@ fn main() -> ExitCode {
         opts.jobs,
         &sup,
         journal.as_ref(),
+        ckpt.as_ref(),
     ));
     println!("{}", render_outstanding(&f11));
     opts.dump_csv("fig11.csv", &export::outstanding_to_csv(&f11));
@@ -118,6 +125,7 @@ fn main() -> ExitCode {
         opts.jobs,
         &sup,
         journal.as_ref(),
+        ckpt.as_ref(),
     ));
     println!("{}", render_fig12(&f12));
     opts.dump_csv("fig12.csv", &export::fig12_to_csv(&f12));

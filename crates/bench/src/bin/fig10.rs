@@ -14,7 +14,11 @@ fn main() -> ExitCode {
         "{}",
         banner("Figure 10", "normalized execution time", &opts)
     );
+    if let Some(code) = opts.oracle_gate(&Mechanism::all_paper()) {
+        return code;
+    }
     let journal = opts.open_journal();
+    let ckpt = opts.checkpoint_plan();
     let mut ledger = FailureLedger::new();
     let sweep = ledger.absorb(Sweep::run_supervised(
         "sweep",
@@ -26,6 +30,7 @@ fn main() -> ExitCode {
         opts.jobs,
         &opts.supervisor_config(),
         journal.as_ref(),
+        ckpt.as_ref(),
     ));
     match render_fig10(&sweep.fig10_rows(), &sweep.fig10_average()) {
         Ok(table) => println!("{table}"),

@@ -18,7 +18,11 @@ fn main() -> ExitCode {
             &opts
         )
     );
+    if let Some(code) = opts.oracle_gate(&fig12_mechanisms()) {
+        return code;
+    }
     let journal = opts.open_journal();
+    let ckpt = opts.checkpoint_plan();
     let mut ledger = FailureLedger::new();
     let rows = ledger.absorb(outstanding_supervised(
         "fig11",
@@ -30,6 +34,7 @@ fn main() -> ExitCode {
         opts.jobs,
         &opts.supervisor_config(),
         journal.as_ref(),
+        ckpt.as_ref(),
     ));
     println!("{}", render_outstanding(&rows));
     println!(

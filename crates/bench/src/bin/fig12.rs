@@ -17,7 +17,11 @@ fn main() -> ExitCode {
             &opts
         )
     );
+    if let Some(code) = opts.oracle_gate(&burst_sim::experiments::fig12_mechanisms()) {
+        return code;
+    }
     let journal = opts.open_journal();
+    let ckpt = opts.checkpoint_plan();
     let mut ledger = FailureLedger::new();
     let rows = ledger.absorb(fig12_supervised(
         &opts.system_config(),
@@ -27,6 +31,7 @@ fn main() -> ExitCode {
         opts.jobs,
         &opts.supervisor_config(),
         journal.as_ref(),
+        ckpt.as_ref(),
     ));
     println!("{}", render_fig12(&rows));
     if let Some(best) = rows

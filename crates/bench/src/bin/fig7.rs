@@ -14,7 +14,11 @@ fn main() -> ExitCode {
         "{}",
         banner("Figure 7", "access latency in memory cycles", &opts)
     );
+    if let Some(code) = opts.oracle_gate(&Mechanism::all_paper()) {
+        return code;
+    }
     let journal = opts.open_journal();
+    let ckpt = opts.checkpoint_plan();
     let mut ledger = FailureLedger::new();
     let sweep = ledger.absorb(Sweep::run_supervised(
         "sweep",
@@ -26,6 +30,7 @@ fn main() -> ExitCode {
         opts.jobs,
         &opts.supervisor_config(),
         journal.as_ref(),
+        ckpt.as_ref(),
     ));
     println!("{}", render_fig7(&sweep.fig7_rows()));
     println!(

@@ -14,7 +14,11 @@ fn main() -> ExitCode {
         "{}",
         banner("Figure 8", "outstanding accesses for swim", &opts)
     );
+    if let Some(code) = opts.oracle_gate(&fig8_mechanisms()) {
+        return code;
+    }
     let journal = opts.open_journal();
+    let ckpt = opts.checkpoint_plan();
     let mut ledger = FailureLedger::new();
     let rows = ledger.absorb(outstanding_supervised(
         "fig8",
@@ -26,6 +30,7 @@ fn main() -> ExitCode {
         opts.jobs,
         &opts.supervisor_config(),
         journal.as_ref(),
+        ckpt.as_ref(),
     ));
     println!("{}", render_outstanding(&rows));
     println!(

@@ -14,7 +14,11 @@ fn main() -> ExitCode {
         "{}",
         banner("Figure 9", "row states and bus utilisation", &opts)
     );
+    if let Some(code) = opts.oracle_gate(&Mechanism::all_paper()) {
+        return code;
+    }
     let journal = opts.open_journal();
+    let ckpt = opts.checkpoint_plan();
     let mut ledger = FailureLedger::new();
     let sweep = ledger.absorb(Sweep::run_supervised(
         "sweep",
@@ -26,6 +30,7 @@ fn main() -> ExitCode {
         opts.jobs,
         &opts.supervisor_config(),
         journal.as_ref(),
+        ckpt.as_ref(),
     ));
     println!("{}", render_fig9(&sweep.fig9_rows()));
     println!(

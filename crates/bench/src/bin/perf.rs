@@ -2,7 +2,7 @@
 //! simulated machine) and writes `BENCH_perf.json` so CI and future changes
 //! can compare against it.
 //!
-//! Three views:
+//! Four views:
 //!
 //! 1. **Single-sim throughput** — one simulation per mechanism on the
 //!    profile workload (swim), reported as simulated memory megacycles per
@@ -11,7 +11,11 @@
 //!    skipping off and on, on a bandwidth-bound workload (swim) and an
 //!    idle-heavy pointer chase (mcf). The two runs must produce
 //!    bit-identical reports; only the wall clock may differ.
-//! 3. **Sweep throughput** — a benchmark x mechanism sweep run serially
+//! 3. **Checkpoint overhead** — the same simulation uninterrupted and
+//!    with periodic mid-run checkpoints (capture + atomic write), at two
+//!    cadences. The two runs must produce bit-identical reports; the JSON
+//!    records the wall-clock overhead percentage.
+//! 4. **Sweep throughput** — a benchmark x mechanism sweep run serially
 //!    (`jobs = 1`) and with the resolved worker count, reported as
 //!    simulations per second plus the resulting speedup. The JSON records
 //!    the worker count actually used and the machine's available
@@ -93,6 +97,70 @@ impl SkipEffect {
 
     fn speedup(&self) -> f64 {
         self.off_secs / self.on_secs
+    }
+}
+
+/// Plain vs checkpointed timing of one (workload, mechanism) simulation.
+struct CheckpointOverhead {
+    benchmark: SpecBenchmark,
+    mechanism: Mechanism,
+    every: u64,
+    mem_cycles: u64,
+    plain_secs: f64,
+    checkpointed_secs: f64,
+}
+
+impl CheckpointOverhead {
+    fn measure(
+        base: &SystemConfig,
+        benchmark: SpecBenchmark,
+        mechanism: Mechanism,
+        every: u64,
+        seed: u64,
+        run: burst_sim::RunLength,
+    ) -> Self {
+        let cfg = base.with_mechanism(mechanism);
+        let start = Instant::now();
+        let plain = simulate(&cfg, benchmark.workload(seed), run);
+        let plain_secs = start.elapsed().as_secs_f64();
+        let dir = std::env::temp_dir().join(format!("burst-perf-ckpt-{}", std::process::id()));
+        let policy = burst_sim::CheckpointPolicy {
+            every,
+            path: dir.join(format!(
+                "perf-{}-{}.ckpt",
+                benchmark.name(),
+                mechanism.name()
+            )),
+            fingerprint: 0x70_65_72_66,
+        };
+        let start = Instant::now();
+        let checkpointed =
+            burst_sim::try_simulate_checkpointed(&cfg, || benchmark.workload(seed), run, &policy)
+                .expect("checkpointed perf run");
+        let checkpointed_secs = start.elapsed().as_secs_f64();
+        let _ = std::fs::remove_dir_all(&dir);
+        // The checkpoint layer's transparency guarantee, enforced on
+        // every perf run.
+        assert_eq!(
+            plain, checkpointed,
+            "checkpointed run must be bit-identical to an uninterrupted one"
+        );
+        CheckpointOverhead {
+            benchmark,
+            mechanism,
+            every,
+            mem_cycles: plain.mem_cycles,
+            plain_secs,
+            checkpointed_secs,
+        }
+    }
+
+    fn checkpoints_written(&self) -> u64 {
+        self.mem_cycles / self.every
+    }
+
+    fn overhead_pct(&self) -> f64 {
+        (self.checkpointed_secs / self.plain_secs - 1.0) * 100.0
     }
 }
 
@@ -191,6 +259,48 @@ fn main() {
                 "off Mcyc/s",
                 "on Mcyc/s",
                 "speedup",
+            ],
+            &rows,
+        )
+    );
+
+    // Checkpoint overhead: the same simulation uninterrupted vs paused
+    // every N memory cycles to capture + atomically write a snapshot.
+    let ckpt_cases = [
+        (SpecBenchmark::Swim, Mechanism::BurstTh(52), 50_000u64),
+        (SpecBenchmark::Swim, Mechanism::BurstTh(52), 10_000u64),
+        (SpecBenchmark::Mcf, Mechanism::BurstTh(52), 10_000u64),
+    ];
+    let overheads: Vec<CheckpointOverhead> = ckpt_cases
+        .into_iter()
+        .map(|(b, m, every)| CheckpointOverhead::measure(&base, b, m, every, opts.seed, opts.run))
+        .collect();
+    println!("--- checkpoint overhead (bit-identity checked per row)\n");
+    let rows: Vec<Vec<String>> = overheads
+        .iter()
+        .map(|o| {
+            vec![
+                o.benchmark.name().to_string(),
+                o.mechanism.name(),
+                format!("{}", o.every),
+                format!("{}", o.checkpoints_written()),
+                format!("{:.3}", o.plain_secs),
+                format!("{:.3}", o.checkpointed_secs),
+                format!("{:+.1}%", o.overhead_pct()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "mechanism",
+                "every (cyc)",
+                "ckpts",
+                "plain s",
+                "ckpt s",
+                "overhead",
             ],
             &rows,
         )
@@ -297,6 +407,23 @@ fn main() {
             e.on_rate(),
             e.speedup(),
             if i + 1 < effects.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"checkpoint_overhead\": [\n");
+    for (i, o) in overheads.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": {}, \"mechanism\": {}, \"every_cycles\": {}, \
+             \"checkpoints_written\": {}, \"plain_secs\": {:.6}, \
+             \"checkpointed_secs\": {:.6}, \"overhead_pct\": {:.3}}}{}\n",
+            json_str(o.benchmark.name()),
+            json_str(&o.mechanism.name()),
+            o.every,
+            o.checkpoints_written(),
+            o.plain_secs,
+            o.checkpointed_secs,
+            o.overhead_pct(),
+            if i + 1 < overheads.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");

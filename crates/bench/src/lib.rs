@@ -16,7 +16,8 @@
 #![warn(missing_docs)]
 
 use burst_sim::{
-    CellFailure, Journal, RunLength, Supervised, SupervisorConfig, TransientFaultPlan,
+    CellFailure, CheckpointPlan, Journal, OracleError, RunLength, Supervised, SupervisorConfig,
+    TransientFaultPlan,
 };
 use burst_workloads::SpecBenchmark;
 
@@ -53,14 +54,27 @@ pub struct HarnessOptions {
     /// (`--inject-cell-faults SEED`) — exercises the retry machinery
     /// end-to-end without touching simulation results.
     pub inject_cell_faults: Option<u64>,
+    /// Checkpoint cadence in memory cycles (`--checkpoint-every N`;
+    /// 0 = off). With a journal, a killed run resumes each in-flight
+    /// cell from its last checkpoint instead of restarting it.
+    pub checkpoint_every: u64,
+    /// Directory for per-cell `*.ckpt` files (`--checkpoint-dir DIR`;
+    /// defaults to the current directory).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Lockstep oracle mode (`--oracle`): instead of the normal sweep,
+    /// run the skip-enabled engine against the naive per-cycle engine
+    /// and compare state hashes every epoch, bisecting to the first
+    /// divergent cycle on mismatch.
+    pub oracle: bool,
 }
 
 impl HarnessOptions {
     /// Parses `--instructions N`, `--seed N`, `--benchmarks a,b,c`,
     /// `--jobs N`, `--csv DIR`, `--no-skip`, `--journal FILE`,
-    /// `--resume FILE`, `--deadline SECS`, `--max-retries N` and
-    /// `--inject-cell-faults SEED` from `std::env::args`, with the given
-    /// default instruction budget.
+    /// `--resume FILE`, `--deadline SECS`, `--max-retries N`,
+    /// `--inject-cell-faults SEED`, `--checkpoint-every N`,
+    /// `--checkpoint-dir DIR` and `--oracle` from `std::env::args`, with
+    /// the given default instruction budget.
     ///
     /// Unknown arguments are ignored so binaries can be combined with cargo
     /// flags freely.
@@ -94,6 +108,11 @@ impl HarnessOptions {
             .and_then(|v| v.parse().ok())
             .unwrap_or(2);
         let inject_cell_faults = value_of("--inject-cell-faults").and_then(|v| v.parse().ok());
+        let checkpoint_every = value_of("--checkpoint-every")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let checkpoint_dir = value_of("--checkpoint-dir").map(std::path::PathBuf::from);
+        let oracle = args.iter().any(|a| a == "--oracle");
         let benchmarks = value_of("--benchmarks")
             .map(|list| {
                 let mut picks = Vec::new();
@@ -122,6 +141,9 @@ impl HarnessOptions {
             deadline,
             max_retries,
             inject_cell_faults,
+            checkpoint_every,
+            checkpoint_dir,
+            oracle,
         }
     }
 
@@ -186,6 +208,82 @@ impl HarnessOptions {
                 std::process::exit(2);
             }
         }
+    }
+
+    /// The intra-cell checkpoint plan implied by `--checkpoint-every` and
+    /// `--checkpoint-dir`, fingerprint-bound to the same run description
+    /// as the journal; `None` when checkpointing is off. Checkpoint files
+    /// land in the chosen directory (default: the current directory) as
+    /// one `<scope>-<benchmark>-<mechanism>.ckpt` per in-flight cell.
+    pub fn checkpoint_plan(&self) -> Option<CheckpointPlan> {
+        (self.checkpoint_every > 0).then(|| CheckpointPlan {
+            every: self.checkpoint_every,
+            dir: self
+                .checkpoint_dir
+                .clone()
+                .unwrap_or_else(|| std::path::PathBuf::from(".")),
+            fingerprint: burst_sim::journal::fingerprint(&self.fingerprint_desc()),
+        })
+    }
+
+    /// Runs the lockstep oracle over `benchmarks x mechanisms` when
+    /// `--oracle` was given: the skip-enabled engine races the naive
+    /// per-cycle engine, state hashes are compared every epoch, and a
+    /// mismatch is bisected to its first divergent cycle. Returns `None`
+    /// when the flag is absent (the binary proceeds normally), otherwise
+    /// the exit code the binary should return: success only if every
+    /// cell's engines stayed in lockstep to the end.
+    pub fn oracle_gate(
+        &self,
+        mechanisms: &[burst_core::Mechanism],
+    ) -> Option<std::process::ExitCode> {
+        if !self.oracle {
+            return None;
+        }
+        let base = self.system_config();
+        let mut grid = Vec::with_capacity(self.benchmarks.len() * mechanisms.len());
+        for &b in &self.benchmarks {
+            for &m in mechanisms {
+                grid.push((b, m));
+            }
+        }
+        let seed = self.seed;
+        let run = self.run;
+        let verdicts = burst_sim::map_parallel(&grid, self.jobs, move |_, &(b, m)| {
+            let cfg = base.with_mechanism(m);
+            burst_sim::oracle_simulate(
+                &cfg,
+                || b.workload(seed),
+                run,
+                &burst_sim::OracleConfig::default(),
+                None,
+            )
+            .map(|_| ())
+        });
+        let mut failures = 0usize;
+        for (&(b, m), verdict) in grid.iter().zip(&verdicts) {
+            match verdict {
+                Ok(()) => println!("oracle ok   {}/{}", b.name(), m.name()),
+                Err(OracleError::Divergence(d)) => {
+                    failures += 1;
+                    println!("oracle FAIL {}/{}: {d}", b.name(), m.name());
+                }
+                Err(e) => {
+                    failures += 1;
+                    println!("oracle FAIL {}/{}: {e}", b.name(), m.name());
+                }
+            }
+        }
+        Some(if failures == 0 {
+            println!(
+                "oracle: all {} cell(s) in lockstep (skip vs per-cycle)",
+                grid.len()
+            );
+            std::process::ExitCode::SUCCESS
+        } else {
+            eprintln!("oracle: {failures} of {} cell(s) diverged", grid.len());
+            std::process::ExitCode::from(1)
+        })
     }
 
     /// The base system configuration implied by the flags (currently just

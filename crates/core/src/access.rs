@@ -106,6 +106,38 @@ impl Access {
         self.critical = critical;
         self
     }
+
+    /// Serialises the access for a checkpoint.
+    pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        w.u64(self.id.value());
+        w.u8(match self.kind {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        });
+        w.u64(self.addr.value());
+        w.u8(self.loc.channel);
+        w.u8(self.loc.rank);
+        w.u8(self.loc.bank);
+        w.u32(self.loc.row);
+        w.u32(self.loc.col);
+        w.u64(self.arrival);
+        w.bool(self.critical);
+    }
+
+    /// Reconstructs an access written by [`Access::save_snap`].
+    pub fn load_snap(r: &mut burst_snap::SnapReader) -> Result<Self, burst_snap::SnapError> {
+        let id = AccessId::new(r.u64()?);
+        let kind = match r.u8()? {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            _ => return Err(burst_snap::SnapError::Corrupt("bad access kind")),
+        };
+        let addr = PhysAddr::new(r.u64()?);
+        let loc = Loc::new(r.u8()?, r.u8()?, r.u8()?, r.u32()?, r.u32()?);
+        let arrival = r.u64()?;
+        let critical = r.bool()?;
+        Ok(Access::new(id, kind, addr, loc, arrival).with_critical(critical))
+    }
 }
 
 /// Result of offering an access to a scheduler.

@@ -73,6 +73,24 @@ impl AgeWindow {
             .front()
             .map(|&arrival| (AccessId::new(self.base), arrival))
     }
+
+    fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        w.u64(self.base);
+        w.usize(self.slots.len());
+        for &arrival in &self.slots {
+            w.u64(arrival);
+        }
+    }
+
+    fn load_snap(&mut self, r: &mut burst_snap::SnapReader) -> Result<(), burst_snap::SnapError> {
+        self.base = r.u64()?;
+        let n = r.seq_len(8)?;
+        self.slots.clear();
+        for _ in 0..n {
+            self.slots.push_back(r.u64()?);
+        }
+        Ok(())
+    }
 }
 
 /// The access a bank is currently working on.
@@ -540,6 +558,9 @@ impl Core {
                 writes: self.writes_outstanding,
                 oldest_id: oldest.map(|(id, _)| id),
                 oldest_age: oldest.map(|(_, age)| age).unwrap_or(0),
+                // The bare engine has no whole-system digest; the system
+                // layer stamps it before surfacing the diagnostic.
+                state_hash: 0,
             });
         }
     }
@@ -600,6 +621,117 @@ impl Core {
         // watchdog_tick with zero outstanding sets last_progress = now on
         // every tick; the final skipped tick is `from + n - 1`.
         self.last_progress = from + n - 1;
+    }
+
+    /// Serialises all persistent core state for a checkpoint. The lazy
+    /// oldest-ongoing steering cache is transient (recomputed on demand)
+    /// and is not part of the snapshot.
+    pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        w.usize(self.ongoing.len());
+        for slot in &self.ongoing {
+            match slot {
+                None => w.bool(false),
+                Some(og) => {
+                    w.bool(true);
+                    og.access.save_snap(w);
+                    w.bool(og.started);
+                }
+            }
+        }
+        w.usize(self.last_bank.len());
+        for (lb, lr) in self.last_bank.iter().zip(&self.last_rank) {
+            w.opt_u64(lb.map(|b| b as u64));
+            w.opt_u8(*lr);
+        }
+        self.stats.save_snap(w);
+        w.usize(self.reads_outstanding);
+        w.usize(self.writes_outstanding);
+        self.ages.save_snap(w);
+        let mut fault_ids: Vec<AccessId> = self.attempts.keys().copied().collect();
+        fault_ids.sort_unstable();
+        w.usize(fault_ids.len());
+        for id in fault_ids {
+            w.u64(id.value());
+            w.u32(self.attempts[&id]);
+        }
+        w.usize(self.retry_pending.len());
+        for acc in &self.retry_pending {
+            acc.save_snap(w);
+        }
+        w.u64(self.last_progress);
+        match &self.stall {
+            None => w.bool(false),
+            Some(d) => {
+                w.bool(true);
+                d.save_snap(w);
+            }
+        }
+        w.u32(self.sample_countdown);
+    }
+
+    /// Restores state written by [`Core::save_snap`] into a core built from
+    /// the same configuration and geometry; a structural mismatch is
+    /// rejected as corrupt. The steering cache is invalidated so it is
+    /// recomputed from the restored ongoing set.
+    pub fn load_snap(
+        &mut self,
+        r: &mut burst_snap::SnapReader,
+    ) -> Result<(), burst_snap::SnapError> {
+        use burst_snap::SnapError;
+        if r.seq_len(1)? != self.ongoing.len() {
+            return Err(SnapError::Corrupt("bank count mismatch"));
+        }
+        for slot in &mut self.ongoing {
+            *slot = if r.bool()? {
+                let access = Access::load_snap(r)?;
+                let started = r.bool()?;
+                Some(Ongoing { access, started })
+            } else {
+                None
+            };
+        }
+        if r.seq_len(2)? != self.last_bank.len() {
+            return Err(SnapError::Corrupt("channel count mismatch"));
+        }
+        for i in 0..self.last_bank.len() {
+            self.last_bank[i] = match r.opt_u64()? {
+                Some(b) if (b as usize) < self.ongoing.len() => Some(b as usize),
+                Some(_) => return Err(SnapError::Corrupt("last bank out of range")),
+                None => None,
+            };
+            self.last_rank[i] = r.opt_u8()?;
+        }
+        self.stats.load_snap(r)?;
+        self.reads_outstanding = r.usize()?;
+        self.writes_outstanding = r.usize()?;
+        if self.reads_outstanding + self.writes_outstanding > self.cfg.pool_capacity {
+            return Err(SnapError::Corrupt("outstanding exceeds pool capacity"));
+        }
+        self.ages.load_snap(r)?;
+        let n_faults = r.seq_len(12)?;
+        self.attempts.clear();
+        for _ in 0..n_faults {
+            let id = AccessId::new(r.u64()?);
+            let count = r.u32()?;
+            self.attempts.insert(id, count);
+        }
+        let n_retries = r.seq_len(8)?;
+        self.retry_pending.clear();
+        for _ in 0..n_retries {
+            self.retry_pending.push(Access::load_snap(r)?);
+        }
+        self.last_progress = r.u64()?;
+        self.stall = if r.bool()? {
+            Some(StallDiagnostic::load_snap(r)?)
+        } else {
+            None
+        };
+        self.sample_countdown = r.u32()?;
+        for (cache, dirty) in self.oldest_ongoing.iter_mut().zip(&mut self.ongoing_dirty) {
+            *cache = None;
+            *dirty = true;
+        }
+        Ok(())
     }
 }
 
@@ -776,6 +908,69 @@ mod tests {
         // Still latched once even as ticks continue.
         core.watchdog_tick(2000);
         assert_eq!(core.stats().watchdog_trips, 1);
+    }
+
+    #[test]
+    fn core_snapshot_round_trips_mid_flight() {
+        let (mut core, mut dram) = setup();
+        // Put the core in a busy, asymmetric state: two ongoing accesses,
+        // one of them started, plus an un-issued arrival in the age window.
+        let l1 = Loc::new(0, 0, 0, 5, 0);
+        let l2 = Loc::new(1, 1, 2, 9, 0);
+        let a1 = access(1, AccessKind::Read, l1);
+        let a2 = access(2, AccessKind::Write, l2).with_critical(true);
+        core.note_arrival(&a1);
+        core.note_arrival(&a2);
+        core.set_ongoing(core.global_bank(l1), a1).unwrap();
+        core.set_ongoing(core.global_bank(l2), a2).unwrap();
+        let mut done = Vec::new();
+        let mut cands = Vec::new();
+        core.fill_candidates(&dram, 0, 0, &mut cands);
+        let c = cands[0];
+        core.issue_candidate(&mut dram, 0, &c, &mut done);
+        core.sample();
+        core.watchdog_tick(0);
+
+        let mut w = burst_snap::SnapWriter::new();
+        core.save_snap(&mut w);
+        let bytes = w.into_bytes();
+        let (mut fresh, _) = setup();
+        let mut r = burst_snap::SnapReader::new(&bytes);
+        fresh.load_snap(&mut r).unwrap();
+        r.finish().unwrap();
+        // Byte-identical re-serialisation and equal observable queries.
+        let mut w2 = burst_snap::SnapWriter::new();
+        fresh.save_snap(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+        assert_eq!(fresh.reads_outstanding(), core.reads_outstanding());
+        assert_eq!(fresh.writes_outstanding(), core.writes_outstanding());
+        assert_eq!(fresh.oldest_outstanding(10), core.oldest_outstanding(10));
+        assert_eq!(
+            fresh.ongoing(core.global_bank(l2)).unwrap().access.id,
+            AccessId::new(2)
+        );
+        assert!(fresh.ongoing(core.global_bank(l1)).unwrap().started);
+        // The steering cache is rebuilt lazily and lands on the same target.
+        fresh.steer_to_oldest(0);
+        core.steer_to_oldest(0);
+        assert_eq!(fresh.last_target(0), core.last_target(0));
+    }
+
+    #[test]
+    fn core_snapshot_rejects_geometry_mismatch() {
+        let (core, _) = setup();
+        let mut w = burst_snap::SnapWriter::new();
+        core.save_snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut small = Core::new(
+            CtrlConfig::default(),
+            Geometry {
+                channels: 1,
+                ..Geometry::baseline()
+            },
+        );
+        let mut r = burst_snap::SnapReader::new(&bytes);
+        assert!(small.load_snap(&mut r).is_err());
     }
 
     #[test]

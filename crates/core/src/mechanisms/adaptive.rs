@@ -263,6 +263,26 @@ impl AccessScheduler for AdaptiveHistoryScheduler {
     fn advance_quiescent(&mut self, from: Cycle, n: u64) {
         self.core.advance_quiescent(from, n);
     }
+
+    fn save_state(&self, w: &mut burst_snap::SnapWriter) -> Result<(), burst_snap::SnapError> {
+        self.core.save_snap(w);
+        super::save_queue_set(&self.read_queues, w);
+        super::save_queue_set(&self.write_queues, w);
+        w.u32(self.arrival_read_share);
+        w.u64(self.issued_reads);
+        w.u64(self.issued_writes);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut burst_snap::SnapReader) -> Result<(), burst_snap::SnapError> {
+        self.core.load_snap(r)?;
+        super::load_queue_set(&mut self.read_queues, r)?;
+        super::load_queue_set(&mut self.write_queues, r)?;
+        self.arrival_read_share = r.u32()?;
+        self.issued_reads = r.u64()?;
+        self.issued_writes = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

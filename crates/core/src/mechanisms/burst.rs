@@ -523,6 +523,67 @@ impl AccessScheduler for BurstScheduler {
             }
         }
     }
+
+    fn save_state(&self, w: &mut burst_snap::SnapWriter) -> Result<(), burst_snap::SnapError> {
+        self.core.save_snap(w);
+        w.usize(self.banks.len());
+        for bank in &self.banks {
+            w.usize(bank.bursts.len());
+            for burst in &bank.bursts {
+                w.u32(burst.row);
+                w.usize(burst.accesses.len());
+                for a in &burst.accesses {
+                    a.save_snap(w);
+                }
+            }
+            w.usize(bank.writes.len());
+            for a in &bank.writes {
+                a.save_snap(w);
+            }
+            w.bool(bank.at_burst_end);
+        }
+        // Runtime-mutable option fields (the dynamic threshold rewrites
+        // preempt_below / piggyback_above on the fly).
+        w.u32(self.opts.preempt_below);
+        w.opt_u32(self.opts.piggyback_above);
+        w.u64(self.window_reads);
+        w.u64(self.window_writes);
+        w.u64(self.next_adapt);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut burst_snap::SnapReader) -> Result<(), burst_snap::SnapError> {
+        use burst_snap::SnapError;
+        self.core.load_snap(r)?;
+        if r.seq_len(3)? != self.banks.len() {
+            return Err(SnapError::Corrupt("bank queue count mismatch"));
+        }
+        for bank in &mut self.banks {
+            let n_bursts = r.seq_len(6)?;
+            bank.bursts.clear();
+            for _ in 0..n_bursts {
+                let row = r.u32()?;
+                let n_acc = r.seq_len(24)?;
+                let mut accesses = VecDeque::with_capacity(n_acc);
+                for _ in 0..n_acc {
+                    accesses.push_back(Access::load_snap(r)?);
+                }
+                bank.bursts.push_back(Burst { row, accesses });
+            }
+            let n_writes = r.seq_len(24)?;
+            bank.writes.clear();
+            for _ in 0..n_writes {
+                bank.writes.push_back(Access::load_snap(r)?);
+            }
+            bank.at_burst_end = r.bool()?;
+        }
+        self.opts.preempt_below = r.u32()?;
+        self.opts.piggyback_above = r.opt_u32()?;
+        self.window_reads = r.u64()?;
+        self.window_writes = r.u64()?;
+        self.next_adapt = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -295,4 +295,31 @@ impl AccessScheduler for IntelScheduler {
     fn advance_quiescent(&mut self, from: Cycle, n: u64) {
         self.core.advance_quiescent(from, n);
     }
+
+    fn save_state(&self, w: &mut burst_snap::SnapWriter) -> Result<(), burst_snap::SnapError> {
+        self.core.save_snap(w);
+        super::save_queue_set(&self.read_queues, w);
+        w.usize(self.write_queue.len());
+        for a in &self.write_queue {
+            a.save_snap(w);
+        }
+        w.bool(self.read_preemption);
+        w.bool(self.draining);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut burst_snap::SnapReader) -> Result<(), burst_snap::SnapError> {
+        self.core.load_snap(r)?;
+        super::load_queue_set(&mut self.read_queues, r)?;
+        let n = r.seq_len(24)?;
+        self.write_queue.clear();
+        for _ in 0..n {
+            self.write_queue.push_back(Access::load_snap(r)?);
+        }
+        if r.bool()? != self.read_preemption {
+            return Err(burst_snap::SnapError::Corrupt("variant mismatch"));
+        }
+        self.draining = r.bool()?;
+        Ok(())
+    }
 }

@@ -105,6 +105,80 @@ pub trait AccessScheduler: core::fmt::Debug {
     fn advance_quiescent(&mut self, _from: Cycle, _n: u64) {
         unreachable!("advance_quiescent called on a scheduler that never reports quiescence");
     }
+
+    /// Serialises the scheduler's full state (queues, adaptation timers,
+    /// shared core bookkeeping and statistics) for a checkpoint. The
+    /// default reports [`burst_snap::SnapError::Unsupported`] so custom
+    /// schedulers outside this crate remain valid — the simulator refuses
+    /// to checkpoint them instead of silently losing state.
+    fn save_state(&self, _w: &mut burst_snap::SnapWriter) -> Result<(), burst_snap::SnapError> {
+        Err(burst_snap::SnapError::Unsupported(
+            "scheduler does not support checkpointing",
+        ))
+    }
+
+    /// Restores state written by [`AccessScheduler::save_state`] into a
+    /// scheduler freshly built from the same configuration, geometry and
+    /// mechanism. Structural mismatches are rejected as corrupt.
+    fn load_state(&mut self, _r: &mut burst_snap::SnapReader) -> Result<(), burst_snap::SnapError> {
+        Err(burst_snap::SnapError::Unsupported(
+            "scheduler does not support checkpointing",
+        ))
+    }
+}
+
+/// Serialises a set of per-bank (or per-channel) access queues.
+pub(crate) fn save_queue_set(
+    queues: &[std::collections::VecDeque<Access>],
+    w: &mut burst_snap::SnapWriter,
+) {
+    w.usize(queues.len());
+    for q in queues {
+        w.usize(q.len());
+        for a in q {
+            a.save_snap(w);
+        }
+    }
+}
+
+/// Restores queues written by [`save_queue_set`] into a same-sized set.
+pub(crate) fn load_queue_set(
+    queues: &mut [std::collections::VecDeque<Access>],
+    r: &mut burst_snap::SnapReader,
+) -> Result<(), burst_snap::SnapError> {
+    if r.seq_len(1)? != queues.len() {
+        return Err(burst_snap::SnapError::Corrupt("queue count mismatch"));
+    }
+    for q in queues.iter_mut() {
+        let n = r.seq_len(24)?;
+        q.clear();
+        for _ in 0..n {
+            q.push_back(Access::load_snap(r)?);
+        }
+    }
+    Ok(())
+}
+
+/// Serialises a set of round-robin cursors.
+pub(crate) fn save_cursors(rr: &[usize], w: &mut burst_snap::SnapWriter) {
+    w.usize(rr.len());
+    for &c in rr {
+        w.usize(c);
+    }
+}
+
+/// Restores cursors written by [`save_cursors`] into a same-sized set.
+pub(crate) fn load_cursors(
+    rr: &mut [usize],
+    r: &mut burst_snap::SnapReader,
+) -> Result<(), burst_snap::SnapError> {
+    if r.seq_len(8)? != rr.len() {
+        return Err(burst_snap::SnapError::Corrupt("cursor count mismatch"));
+    }
+    for c in rr.iter_mut() {
+        *c = r.usize()?;
+    }
+    Ok(())
 }
 
 /// The access reordering mechanisms of the paper's Table 4.
@@ -312,6 +386,87 @@ mod tests {
             assert_eq!(s.mechanism(), m);
             assert!(s.can_accept(AccessKind::Read));
             assert_eq!(s.outstanding().total(), 0);
+        }
+    }
+
+    #[test]
+    fn every_mechanism_snapshot_round_trips_in_lockstep() {
+        use crate::{Access, AccessId};
+        use burst_dram::{AddressMapping, Dram, DramConfig, PhysAddr};
+
+        let mut mechs = Mechanism::all_paper().to_vec();
+        mechs.extend([
+            Mechanism::BurstDyn,
+            Mechanism::BurstCrit,
+            Mechanism::AdaptiveHistory,
+        ]);
+        for m in mechs {
+            let dram_cfg = DramConfig::baseline();
+            let ctrl = CtrlConfig::default();
+            let mut dram = Dram::new(dram_cfg, AddressMapping::PageInterleaving);
+            let mut sched = m.build(ctrl, dram_cfg.geometry);
+            let mut done = Vec::new();
+            // Drive a mixed stream so queues, bursts and history fill up,
+            // then snapshot mid-flight.
+            let mut id = 0u64;
+            for now in 0..120u64 {
+                if now % 3 != 2 && sched.can_accept(AccessKind::Read) {
+                    let kind = if now % 9 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    let addr = PhysAddr::new(id * 64 * 17);
+                    let a = Access::new(AccessId::new(id), kind, addr, dram.decode(addr), now)
+                        .with_critical(id.is_multiple_of(4));
+                    sched.enqueue(a, now, &mut done);
+                    id += 1;
+                }
+                sched.tick(&mut dram, now, &mut done);
+            }
+            let mut w = burst_snap::SnapWriter::new();
+            sched
+                .save_state(&mut w)
+                .expect("built-ins support snapshots");
+            let sched_bytes = w.into_bytes();
+            let mut dw = burst_snap::SnapWriter::new();
+            dram.save_snap(&mut dw);
+            let dram_bytes = dw.into_bytes();
+
+            let mut sched2 = m.build(ctrl, dram_cfg.geometry);
+            let mut dram2 = Dram::new(dram_cfg, AddressMapping::PageInterleaving);
+            let mut r = burst_snap::SnapReader::new(&sched_bytes);
+            sched2.load_state(&mut r).unwrap();
+            r.finish().unwrap();
+            let mut dr = burst_snap::SnapReader::new(&dram_bytes);
+            dram2.load_snap(&mut dr).unwrap();
+            dr.finish().unwrap();
+
+            // Re-serialisation is byte-identical...
+            let mut w2 = burst_snap::SnapWriter::new();
+            sched2.save_state(&mut w2).unwrap();
+            assert_eq!(sched_bytes, w2.into_bytes(), "{m}: snapshot not stable");
+
+            // ...and both copies evolve identically to drain.
+            let mut done2 = done.clone();
+            for now in 120..40_000u64 {
+                sched.tick(&mut dram, now, &mut done);
+                sched2.tick(&mut dram2, now, &mut done2);
+                if sched.outstanding().total() == 0 && sched2.outstanding().total() == 0 {
+                    break;
+                }
+            }
+            assert_eq!(done, done2, "{m}: divergent completions after restore");
+            assert_eq!(
+                sched.stats().reads_done,
+                sched2.stats().reads_done,
+                "{m}: divergent read counts"
+            );
+            assert_eq!(
+                sched.stats().cycles,
+                sched2.stats().cycles,
+                "{m}: divergent cycle counts"
+            );
         }
     }
 

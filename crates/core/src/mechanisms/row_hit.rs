@@ -163,4 +163,18 @@ impl AccessScheduler for RowHitScheduler {
     fn advance_quiescent(&mut self, from: Cycle, n: u64) {
         self.core.advance_quiescent(from, n);
     }
+
+    fn save_state(&self, w: &mut burst_snap::SnapWriter) -> Result<(), burst_snap::SnapError> {
+        self.core.save_snap(w);
+        super::save_queue_set(&self.queues, w);
+        super::save_cursors(&self.rr, w);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut burst_snap::SnapReader) -> Result<(), burst_snap::SnapError> {
+        self.core.load_snap(r)?;
+        super::load_queue_set(&mut self.queues, r)?;
+        super::load_cursors(&mut self.rr, r)?;
+        Ok(())
+    }
 }

@@ -100,6 +100,33 @@ impl OccupancyHistogram {
     pub fn from_raw(counts: Vec<u64>, samples: u64) -> Self {
         OccupancyHistogram { counts, samples }
     }
+
+    /// Serialises the histogram for a checkpoint.
+    pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        w.usize(self.counts.len());
+        for &c in &self.counts {
+            w.u64(c);
+        }
+        w.u64(self.samples);
+    }
+
+    /// Restores state written by [`OccupancyHistogram::save_snap`] into a
+    /// histogram of the same bucket count (set by the pool capacity).
+    pub fn load_snap(
+        &mut self,
+        r: &mut burst_snap::SnapReader,
+    ) -> Result<(), burst_snap::SnapError> {
+        if r.seq_len(8)? != self.counts.len() {
+            return Err(burst_snap::SnapError::Corrupt(
+                "occupancy bucket count mismatch",
+            ));
+        }
+        for c in &mut self.counts {
+            *c = r.u64()?;
+        }
+        self.samples = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Log-scaled latency histogram with percentile queries.
@@ -197,6 +224,28 @@ impl LatencyHistogram {
             count,
             max,
         }
+    }
+
+    /// Serialises the histogram for a checkpoint.
+    pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        for &b in &self.buckets {
+            w.u64(b);
+        }
+        w.u64(self.count);
+        w.u64(self.max);
+    }
+
+    /// Restores state written by [`LatencyHistogram::save_snap`].
+    pub fn load_snap(
+        &mut self,
+        r: &mut burst_snap::SnapReader,
+    ) -> Result<(), burst_snap::SnapError> {
+        for b in &mut self.buckets {
+            *b = r.u64()?;
+        }
+        self.count = r.u64()?;
+        self.max = r.u64()?;
+        Ok(())
     }
 }
 
@@ -397,6 +446,69 @@ impl CtrlStats {
         } else {
             self.row_empties as f64 / n as f64
         }
+    }
+
+    /// Serialises every counter and histogram for a checkpoint.
+    pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        for v in [
+            self.reads_done,
+            self.writes_done,
+            self.forwards,
+            self.read_latency_sum,
+            self.write_latency_sum,
+            self.row_hits,
+            self.row_empties,
+            self.row_conflicts,
+            self.cycles,
+            self.write_saturated_cycles,
+            self.preemptions,
+            self.piggybacks,
+            self.faults_injected,
+            self.retries,
+            self.escalations,
+            self.watchdog_trips,
+            self.max_access_age,
+        ] {
+            w.u64(v);
+        }
+        self.outstanding_reads.save_snap(w);
+        self.outstanding_writes.save_snap(w);
+        self.read_latencies.save_snap(w);
+        self.write_latencies.save_snap(w);
+    }
+
+    /// Restores state written by [`CtrlStats::save_snap`] into statistics
+    /// built for the same pool capacity.
+    pub fn load_snap(
+        &mut self,
+        r: &mut burst_snap::SnapReader,
+    ) -> Result<(), burst_snap::SnapError> {
+        for v in [
+            &mut self.reads_done,
+            &mut self.writes_done,
+            &mut self.forwards,
+            &mut self.read_latency_sum,
+            &mut self.write_latency_sum,
+            &mut self.row_hits,
+            &mut self.row_empties,
+            &mut self.row_conflicts,
+            &mut self.cycles,
+            &mut self.write_saturated_cycles,
+            &mut self.preemptions,
+            &mut self.piggybacks,
+            &mut self.faults_injected,
+            &mut self.retries,
+            &mut self.escalations,
+            &mut self.watchdog_trips,
+            &mut self.max_access_age,
+        ] {
+            *v = r.u64()?;
+        }
+        self.outstanding_reads.load_snap(r)?;
+        self.outstanding_writes.load_snap(r)?;
+        self.read_latencies.load_snap(r)?;
+        self.write_latencies.load_snap(r)?;
+        Ok(())
     }
 
     /// Fraction of sampled cycles the write queue was saturated

@@ -65,6 +65,11 @@ pub struct StallDiagnostic {
     pub oldest_id: Option<AccessId>,
     /// Age of the oldest outstanding access at detection time.
     pub oldest_age: Cycle,
+    /// FNV-1a digest of the full simulation state at detection time,
+    /// stamped by the system layer so stall reports can be correlated with
+    /// checkpoints and oracle epochs. Zero when the latching layer has no
+    /// hash available (e.g. the bare controller engine).
+    pub state_hash: u64,
 }
 
 impl StallDiagnostic {
@@ -86,6 +91,30 @@ impl StallDiagnostic {
     pub fn stuck_for(&self) -> Cycle {
         self.at.saturating_sub(self.since)
     }
+
+    /// Serialises the diagnostic for a checkpoint.
+    pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        w.u64(self.since);
+        w.u64(self.at);
+        w.usize(self.reads);
+        w.usize(self.writes);
+        w.opt_u64(self.oldest_id.map(AccessId::value));
+        w.u64(self.oldest_age);
+        w.u64(self.state_hash);
+    }
+
+    /// Reconstructs a diagnostic written by [`StallDiagnostic::save_snap`].
+    pub fn load_snap(r: &mut burst_snap::SnapReader) -> Result<Self, burst_snap::SnapError> {
+        Ok(StallDiagnostic {
+            since: r.u64()?,
+            at: r.u64()?,
+            reads: r.usize()?,
+            writes: r.usize()?,
+            oldest_id: r.opt_u64()?.map(AccessId::new),
+            oldest_age: r.u64()?,
+            state_hash: r.u64()?,
+        })
+    }
 }
 
 impl core::fmt::Display for StallDiagnostic {
@@ -97,6 +126,9 @@ impl core::fmt::Display for StallDiagnostic {
         )?;
         if let Some(id) = self.oldest_id {
             write!(f, ", oldest access {id} aged {} cycles", self.oldest_age)?;
+        }
+        if self.state_hash != 0 {
+            write!(f, ", state hash {:#018x}", self.state_hash)?;
         }
         Ok(())
     }
@@ -123,13 +155,23 @@ mod tests {
             writes: 1,
             oldest_id: Some(AccessId::new(42)),
             oldest_age: 999_990,
+            state_hash: 0xdead_beef_0000_0001,
         };
         let s = d.to_string();
         assert!(s.contains("since cycle 10"), "{s}");
         assert!(s.contains("#42"), "{s}");
         assert!(s.contains("3 reads"), "{s}");
+        assert!(s.contains("state hash 0xdeadbeef00000001"), "{s}");
         assert_eq!(d.stall_class(), "mixed");
         assert_eq!(d.stuck_for(), 1_000_000);
+
+        let mut w = burst_snap::SnapWriter::new();
+        d.save_snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = burst_snap::SnapReader::new(&bytes);
+        let back = StallDiagnostic::load_snap(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, d);
     }
 
     #[test]
@@ -141,6 +183,7 @@ mod tests {
             writes: 0,
             oldest_id: None,
             oldest_age: 0,
+            state_hash: 0,
         };
         assert_eq!(base.stall_class(), "empty");
         assert_eq!(

@@ -211,6 +211,50 @@ impl Cache {
         }
         Some(evicted)
     }
+
+    /// Serialises every way's tag/valid/dirty/LRU state plus counters for
+    /// a checkpoint.
+    pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        w.usize(self.sets.len());
+        w.usize(self.cfg.ways);
+        for set in &self.sets {
+            for way in set {
+                w.u64(way.tag);
+                w.bool(way.valid);
+                w.bool(way.dirty);
+                w.u64(way.lru);
+            }
+        }
+        w.u64(self.tick);
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.writebacks);
+    }
+
+    /// Restores state written by [`Cache::save_snap`] into a cache of the
+    /// same geometry; a dimension mismatch is rejected as corrupt.
+    pub fn load_snap(
+        &mut self,
+        r: &mut burst_snap::SnapReader,
+    ) -> Result<(), burst_snap::SnapError> {
+        use burst_snap::SnapError;
+        if r.seq_len(1)? != self.sets.len() || r.usize()? != self.cfg.ways {
+            return Err(SnapError::Corrupt("cache geometry mismatch"));
+        }
+        for set in &mut self.sets {
+            for way in set {
+                way.tag = r.u64()?;
+                way.valid = r.bool()?;
+                way.dirty = r.bool()?;
+                way.lru = r.u64()?;
+            }
+        }
+        self.tick = r.u64()?;
+        self.stats.hits = r.u64()?;
+        self.stats.misses = r.u64()?;
+        self.stats.writebacks = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -152,6 +152,33 @@ impl Hierarchy {
         self.l2.reset_stats();
         self.writebacks.clear();
     }
+
+    /// Serialises both cache levels and the writeback queue for a
+    /// checkpoint.
+    pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        self.l1d.save_snap(w);
+        self.l2.save_snap(w);
+        w.usize(self.writebacks.len());
+        for &line in &self.writebacks {
+            w.u64(line);
+        }
+    }
+
+    /// Restores state written by [`Hierarchy::save_snap`] into a hierarchy
+    /// of the same geometry.
+    pub fn load_snap(
+        &mut self,
+        r: &mut burst_snap::SnapReader,
+    ) -> Result<(), burst_snap::SnapError> {
+        self.l1d.load_snap(r)?;
+        self.l2.load_snap(r)?;
+        let n = r.seq_len(8)?;
+        self.writebacks.clear();
+        for _ in 0..n {
+            self.writebacks.push_back(r.u64()?);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -153,6 +153,28 @@ impl Bank {
         self.open_row = None;
         self.act_allowed_at = self.act_allowed_at.max(now + t.t_rfc);
     }
+
+    /// Serialises the bank's full timing state for a checkpoint.
+    pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        w.opt_u32(self.open_row);
+        w.u64(self.act_allowed_at);
+        w.u64(self.col_allowed_at);
+        w.u64(self.pre_allowed_at);
+        w.u64(self.last_act_at);
+    }
+
+    /// Restores state written by [`Bank::save_snap`].
+    pub fn load_snap(
+        &mut self,
+        r: &mut burst_snap::SnapReader,
+    ) -> Result<(), burst_snap::SnapError> {
+        self.open_row = r.opt_u32()?;
+        self.act_allowed_at = r.u64()?;
+        self.col_allowed_at = r.u64()?;
+        self.pre_allowed_at = r.u64()?;
+        self.last_act_at = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -504,6 +504,99 @@ impl Channel {
             .min()
             .unwrap_or(Cycle::MAX);
     }
+
+    /// Serialises all observable channel state for a checkpoint: banks,
+    /// ranks, bus/refresh bookkeeping, statistics and (if attached) the
+    /// protocol checker's shadow state. The event-recording buffer is
+    /// transient diagnostics and is not saved.
+    pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        w.usize(self.banks.len());
+        for b in &self.banks {
+            b.save_snap(w);
+        }
+        w.usize(self.ranks.len());
+        for r in &self.ranks {
+            r.save_snap(w);
+        }
+        w.u64(self.data_busy_until);
+        w.opt_u8(self.last_data_rank);
+        match self.last_data_dir {
+            Some(d) => {
+                w.u8(1);
+                w.u8(d.snap_code());
+            }
+            None => w.u8(0),
+        }
+        w.opt_u64(self.last_cmd_at);
+        w.usize(self.next_refresh.len());
+        for &at in &self.next_refresh {
+            w.u64(at);
+        }
+        for &p in &self.refresh_pending {
+            w.bool(p);
+        }
+        w.u64(self.next_refresh_min);
+        w.bool(self.any_refresh_pending);
+        self.stats.save_snap(w);
+        match self.checker.as_deref() {
+            Some(chk) => {
+                w.bool(true);
+                chk.save_snap(w);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    /// Restores state written by [`Channel::save_snap`] into a channel
+    /// built from the same configuration. Structural mismatches (bank or
+    /// rank counts, checker presence) are rejected as corrupt rather than
+    /// silently misapplied.
+    pub fn load_snap(
+        &mut self,
+        r: &mut burst_snap::SnapReader,
+    ) -> Result<(), burst_snap::SnapError> {
+        use burst_snap::SnapError;
+        if r.seq_len(1)? != self.banks.len() {
+            return Err(SnapError::Corrupt("channel bank count mismatch"));
+        }
+        for b in &mut self.banks {
+            b.load_snap(r)?;
+        }
+        if r.seq_len(1)? != self.ranks.len() {
+            return Err(SnapError::Corrupt("channel rank count mismatch"));
+        }
+        for rk in &mut self.ranks {
+            rk.load_snap(r)?;
+        }
+        self.data_busy_until = r.u64()?;
+        self.last_data_rank = r.opt_u8()?;
+        self.last_data_dir = match r.u8()? {
+            0 => None,
+            1 => Some(Dir::from_snap_code(r.u8()?)?),
+            _ => return Err(SnapError::Corrupt("option tag out of range")),
+        };
+        self.last_cmd_at = r.opt_u64()?;
+        if r.seq_len(1)? != self.next_refresh.len() {
+            return Err(SnapError::Corrupt("channel refresh vector mismatch"));
+        }
+        for at in &mut self.next_refresh {
+            *at = r.u64()?;
+        }
+        for p in &mut self.refresh_pending {
+            *p = r.bool()?;
+        }
+        self.next_refresh_min = r.u64()?;
+        self.any_refresh_pending = r.bool()?;
+        self.stats.load_snap(r)?;
+        let has_checker = r.bool()?;
+        match (has_checker, self.checker.as_deref_mut()) {
+            (true, Some(chk)) => chk.load_snap(r)?,
+            (false, None) => {}
+            _ => return Err(SnapError::Corrupt("checker presence mismatch")),
+        }
+        self.events.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -115,6 +115,27 @@ struct ShadowBank {
 }
 
 impl ShadowBank {
+    fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        w.opt_u32(self.open_row);
+        w.u64(self.act_at);
+        w.u64(self.act_ready);
+        w.u64(self.col_ready);
+        w.u64(self.ras_ready);
+        w.u64(self.rtp_ready);
+        w.u64(self.wr_ready);
+    }
+
+    fn load_snap(&mut self, r: &mut burst_snap::SnapReader) -> Result<(), burst_snap::SnapError> {
+        self.open_row = r.opt_u32()?;
+        self.act_at = r.u64()?;
+        self.act_ready = r.u64()?;
+        self.col_ready = r.u64()?;
+        self.ras_ready = r.u64()?;
+        self.rtp_ready = r.u64()?;
+        self.wr_ready = r.u64()?;
+        Ok(())
+    }
+
     fn pre_ready(&self) -> Cycle {
         self.ras_ready.max(self.rtp_ready).max(self.wr_ready)
     }
@@ -145,6 +166,31 @@ struct ShadowRank {
     busy_until: Cycle,
     /// Cycle of the most recent refresh (`None` before the first).
     last_refresh_at: Option<Cycle>,
+}
+
+impl ShadowRank {
+    fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        for &at in &self.act_window {
+            w.u64(at);
+        }
+        w.u32(self.act_count);
+        w.u64(self.last_act_at);
+        w.u64(self.last_write_data_end);
+        w.u64(self.busy_until);
+        w.opt_u64(self.last_refresh_at);
+    }
+
+    fn load_snap(&mut self, r: &mut burst_snap::SnapReader) -> Result<(), burst_snap::SnapError> {
+        for at in &mut self.act_window {
+            *at = r.u64()?;
+        }
+        self.act_count = r.u32()?;
+        self.last_act_at = r.u64()?;
+        self.last_write_data_end = r.u64()?;
+        self.busy_until = r.u64()?;
+        self.last_refresh_at = r.opt_u64()?;
+        Ok(())
+    }
 }
 
 /// Independent runtime validator for the DDR2 command protocol.
@@ -516,6 +562,63 @@ impl ProtocolChecker {
                 r.last_refresh_at = Some(now);
             }
         }
+    }
+
+    /// Serialises the shadow state for a checkpoint. The recorded
+    /// [`Violation`] list is diagnostic text and is not saved; only the
+    /// `total` counter round-trips (a restored run keeps counting from it).
+    pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        w.usize(self.banks.len());
+        for b in &self.banks {
+            b.save_snap(w);
+        }
+        w.usize(self.ranks.len());
+        for r in &self.ranks {
+            r.save_snap(w);
+        }
+        w.u64(self.data_busy_until);
+        w.opt_u8(self.last_data_rank);
+        match self.last_data_dir {
+            Some(d) => {
+                w.u8(1);
+                w.u8(d.snap_code());
+            }
+            None => w.u8(0),
+        }
+        w.opt_u64(self.last_cmd_at);
+        w.u64(self.total);
+    }
+
+    /// Restores state written by [`ProtocolChecker::save_snap`] into a
+    /// checker built from the same configuration.
+    pub fn load_snap(
+        &mut self,
+        r: &mut burst_snap::SnapReader,
+    ) -> Result<(), burst_snap::SnapError> {
+        use burst_snap::SnapError;
+        if r.seq_len(1)? != self.banks.len() {
+            return Err(SnapError::Corrupt("checker bank count mismatch"));
+        }
+        for b in &mut self.banks {
+            b.load_snap(r)?;
+        }
+        if r.seq_len(1)? != self.ranks.len() {
+            return Err(SnapError::Corrupt("checker rank count mismatch"));
+        }
+        for rk in &mut self.ranks {
+            rk.load_snap(r)?;
+        }
+        self.data_busy_until = r.u64()?;
+        self.last_data_rank = r.opt_u8()?;
+        self.last_data_dir = match r.u8()? {
+            0 => None,
+            1 => Some(Dir::from_snap_code(r.u8()?)?),
+            _ => return Err(SnapError::Corrupt("option tag out of range")),
+        };
+        self.last_cmd_at = r.opt_u64()?;
+        self.total = r.u64()?;
+        self.recorded.clear();
+        Ok(())
     }
 }
 

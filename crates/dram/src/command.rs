@@ -20,6 +20,23 @@ impl Dir {
     pub fn is_read(self) -> bool {
         matches!(self, Dir::Read)
     }
+
+    /// Stable one-byte wire code for snapshots.
+    pub(crate) fn snap_code(self) -> u8 {
+        match self {
+            Dir::Read => 0,
+            Dir::Write => 1,
+        }
+    }
+
+    /// Decodes a byte written by [`Dir::snap_code`].
+    pub(crate) fn from_snap_code(code: u8) -> Result<Dir, burst_snap::SnapError> {
+        match code {
+            0 => Ok(Dir::Read),
+            1 => Ok(Dir::Write),
+            _ => Err(burst_snap::SnapError::Corrupt("bad Dir code")),
+        }
+    }
 }
 
 impl core::fmt::Display for Dir {

@@ -89,6 +89,32 @@ impl Rank {
     pub fn set_busy_until(&mut self, until: Cycle) {
         self.busy_until = self.busy_until.max(until);
     }
+
+    /// Serialises the rank's full timing state for a checkpoint.
+    pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        for &at in &self.act_window {
+            w.u64(at);
+        }
+        w.u64(self.last_act_at);
+        w.u32(self.act_count);
+        w.u64(self.last_write_data_end);
+        w.u64(self.busy_until);
+    }
+
+    /// Restores state written by [`Rank::save_snap`].
+    pub fn load_snap(
+        &mut self,
+        r: &mut burst_snap::SnapReader,
+    ) -> Result<(), burst_snap::SnapError> {
+        for at in &mut self.act_window {
+            *at = r.u64()?;
+        }
+        self.last_act_at = r.u64()?;
+        self.act_count = r.u32()?;
+        self.last_write_data_end = r.u64()?;
+        self.busy_until = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,34 @@ impl BusStats {
         self.data_bus_utilization(elapsed) * 2.0 * f64::from(bus_bytes)
     }
 
+    /// Serialises the counters for a checkpoint.
+    pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
+        w.u64(self.cmd_cycles);
+        w.u64(self.data_cycles);
+        w.u64(self.reads);
+        w.u64(self.writes);
+        w.u64(self.activates);
+        w.u64(self.precharges);
+        w.u64(self.auto_precharges);
+        w.u64(self.refreshes);
+    }
+
+    /// Restores counters written by [`BusStats::save_snap`].
+    pub fn load_snap(
+        &mut self,
+        r: &mut burst_snap::SnapReader,
+    ) -> Result<(), burst_snap::SnapError> {
+        self.cmd_cycles = r.u64()?;
+        self.data_cycles = r.u64()?;
+        self.reads = r.u64()?;
+        self.writes = r.u64()?;
+        self.activates = r.u64()?;
+        self.precharges = r.u64()?;
+        self.auto_precharges = r.u64()?;
+        self.refreshes = r.u64()?;
+        Ok(())
+    }
+
     /// Merges another counter set into this one.
     pub fn merge(&mut self, other: &BusStats) {
         self.cmd_cycles += other.cmd_cycles;

@@ -1,0 +1,557 @@
+//! On-disk checkpoint files: versioned, fingerprint-bound snapshots of a
+//! running simulation, written atomically so a crash — even mid-write —
+//! never leaves a checkpoint that restores silently wrong.
+//!
+//! A checkpoint file binds three things together:
+//!
+//! 1. a **cell fingerprint** — the same [`crate::journal::fingerprint`]
+//!    hash a sweep journal uses, covering everything that changes the
+//!    cell's results (configuration, workload, seed, run length). A
+//!    checkpoint written under a different fingerprint is refused, so a
+//!    stale file from an earlier configuration can never contaminate a
+//!    resumed run;
+//! 2. the **state hash** of the serialised observable state, verified on
+//!    load so bit rot or a torn write surfaces as
+//!    [`CheckpointError::HashMismatch`] instead of a wrong result;
+//! 3. the **run position**: workload operations consumed (the workload is
+//!    rebuilt from its seed and fast-forwarded — PRNG internals never
+//!    touch the disk) and the [`RunCursor`] carrying the retirement
+//!    watchdog across the boundary.
+//!
+//! File layout (all little-endian, via [`burst_snap`]):
+//!
+//! ```text
+//! "BCKP"  u32 version=1  u64 fingerprint  u64 state_hash
+//! u64 ops_consumed  RunCursor  bytes body
+//! ```
+//!
+//! [`try_simulate_checkpointed`] is the harness entry point: it resumes
+//! from an existing valid checkpoint, simulates in
+//! [`CheckpointPolicy::every`]-cycle chunks, rewrites the checkpoint at
+//! each chunk boundary, and removes it once the cell completes.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use burst_snap::{fnv1a64, SnapError, SnapReader, SnapWriter};
+use burst_workloads::{CountingSource, OpSource};
+
+use crate::system::{
+    ChunkOutcome, RunCursor, RunError, RunLength, SimReport, System, SystemConfig,
+};
+
+/// Magic bytes opening every checkpoint file.
+const MAGIC: [u8; 4] = *b"BCKP";
+/// Current checkpoint format version.
+const VERSION: u32 = 1;
+
+/// Why a checkpoint file could not be written, read or restored.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file ends before the format says it should (torn write).
+    Truncated,
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The file uses a format version this build does not understand.
+    UnsupportedVersion(u32),
+    /// The checkpoint belongs to a differently-configured cell.
+    FingerprintMismatch {
+        /// Fingerprint the resuming cell expects.
+        expected: u64,
+        /// Fingerprint recorded in the file.
+        found: u64,
+    },
+    /// A decoded value is impossible for the target state.
+    Corrupt(&'static str),
+    /// The body does not hash to the recorded state hash (bit rot or a
+    /// hand-edited file).
+    HashMismatch {
+        /// Digest recorded in the header.
+        expected: u64,
+        /// Digest of the body as read.
+        found: u64,
+    },
+    /// The simulation state cannot be serialised (caller-supplied
+    /// scheduler without checkpoint support).
+    Unsupported(&'static str),
+}
+
+impl core::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Truncated => f.write_str("checkpoint file is truncated"),
+            CheckpointError::BadMagic => f.write_str("file is not a burst checkpoint"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "checkpoint format version {v} is not supported")
+            }
+            CheckpointError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different cell configuration \
+                 (expected fingerprint {expected:016x}, found {found:016x})"
+            ),
+            CheckpointError::Corrupt(what) => write!(f, "checkpoint is corrupt: {what}"),
+            CheckpointError::HashMismatch { expected, found } => write!(
+                f,
+                "checkpoint body hash {found:016x} does not match the \
+                 recorded state hash {expected:016x}"
+            ),
+            CheckpointError::Unsupported(what) => {
+                write!(f, "state cannot be checkpointed: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<SnapError> for CheckpointError {
+    fn from(e: SnapError) -> Self {
+        match e {
+            SnapError::Truncated => CheckpointError::Truncated,
+            SnapError::Corrupt(what) => CheckpointError::Corrupt(what),
+            SnapError::Unsupported(what) => CheckpointError::Unsupported(what),
+        }
+    }
+}
+
+/// One decoded checkpoint: header fields plus the serialised system body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Cell fingerprint the checkpoint is bound to.
+    pub fingerprint: u64,
+    /// FNV-1a digest of the body's observable sections.
+    pub state_hash: u64,
+    /// Workload operations consumed up to the checkpoint (warm-up
+    /// included), for seed-rebuild fast-forward.
+    pub ops_consumed: u64,
+    /// Run-loop counters at the chunk boundary.
+    pub cursor: RunCursor,
+    /// Serialised system state ([`System::checkpoint`] bytes).
+    pub body: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Captures `sys` at a step boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Unsupported`] when the scheduler cannot be
+    /// serialised.
+    pub fn capture(
+        sys: &System,
+        fingerprint: u64,
+        ops_consumed: u64,
+        cursor: RunCursor,
+    ) -> Result<Checkpoint, CheckpointError> {
+        let snap = sys.checkpoint()?;
+        Ok(Checkpoint {
+            fingerprint,
+            state_hash: snap.state_hash,
+            ops_consumed,
+            cursor,
+            body: snap.bytes,
+        })
+    }
+
+    /// Writes the checkpoint atomically: the bytes land in a `.tmp`
+    /// sibling, are fsynced, and only then renamed over `path` — so a
+    /// crash at any instant leaves either the previous checkpoint or this
+    /// one, never a torn hybrid.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure writing, syncing or renaming.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut w = SnapWriter::new();
+        for b in MAGIC {
+            w.u8(b);
+        }
+        w.u32(VERSION);
+        w.u64(self.fingerprint);
+        w.u64(self.state_hash);
+        w.u64(self.ops_consumed);
+        self.cursor.save_snap(&mut w);
+        w.bytes(&self.body);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = tmp_path(path);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(w.as_slice())?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and validates a checkpoint: magic, version, fingerprint and
+    /// body hash are all checked before any state is touched.
+    ///
+    /// # Errors
+    ///
+    /// Every [`CheckpointError`] variant; a malformed file never panics.
+    pub fn load(path: &Path, expected_fingerprint: u64) -> Result<Checkpoint, CheckpointError> {
+        let bytes = fs::read(path)?;
+        let mut r = SnapReader::new(&bytes);
+        let mut magic = [0u8; 4];
+        for b in &mut magic {
+            *b = r.u8().map_err(|_| CheckpointError::Truncated)?;
+        }
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32().map_err(|_| CheckpointError::Truncated)?;
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let fingerprint = r.u64().map_err(|_| CheckpointError::Truncated)?;
+        if fingerprint != expected_fingerprint {
+            return Err(CheckpointError::FingerprintMismatch {
+                expected: expected_fingerprint,
+                found: fingerprint,
+            });
+        }
+        let state_hash = r.u64().map_err(|_| CheckpointError::Truncated)?;
+        let ops_consumed = r.u64().map_err(|_| CheckpointError::Truncated)?;
+        let cursor = RunCursor::load_snap(&mut r)?;
+        let body = r.bytes()?;
+        r.finish()?;
+        // The state hash covers the observable sections — everything but
+        // the 8-byte diagnostic tail [`System::checkpoint`] appends.
+        let observable = body
+            .len()
+            .checked_sub(8)
+            .map(|n| &body[..n])
+            .ok_or(CheckpointError::Truncated)?;
+        let found = fnv1a64(observable);
+        if found != state_hash {
+            return Err(CheckpointError::HashMismatch {
+                expected: state_hash,
+                found,
+            });
+        }
+        Ok(Checkpoint {
+            fingerprint,
+            state_hash,
+            ops_consumed,
+            cursor,
+            body,
+        })
+    }
+
+    /// Restores the checkpoint into `sys` (built from the cell's
+    /// configuration).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Corrupt`] or [`CheckpointError::Truncated`]
+    /// when the body does not decode against `sys`'s configuration.
+    pub fn restore_into(&self, sys: &mut System) -> Result<(), CheckpointError> {
+        sys.restore(&self.body)?;
+        Ok(())
+    }
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// When and where [`try_simulate_checkpointed`] writes checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Memory cycles between checkpoints; 0 disables checkpointing
+    /// entirely (the run is one uninterrupted chunk).
+    pub every: u64,
+    /// Checkpoint file path for this cell.
+    pub path: PathBuf,
+    /// Cell fingerprint the file is bound to.
+    pub fingerprint: u64,
+}
+
+/// A failure of a checkpointed run: either the simulation itself stalled
+/// or the checkpoint plumbing failed.
+#[derive(Debug)]
+pub enum CheckpointedRunError {
+    /// The simulation latched a forward-progress failure.
+    Run(RunError),
+    /// A checkpoint could not be written.
+    Checkpoint(CheckpointError),
+}
+
+impl core::fmt::Display for CheckpointedRunError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CheckpointedRunError::Run(e) => e.fmt(f),
+            CheckpointedRunError::Checkpoint(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointedRunError {}
+
+impl From<RunError> for CheckpointedRunError {
+    fn from(e: RunError) -> Self {
+        CheckpointedRunError::Run(e)
+    }
+}
+
+impl From<CheckpointError> for CheckpointedRunError {
+    fn from(e: CheckpointError) -> Self {
+        CheckpointedRunError::Checkpoint(e)
+    }
+}
+
+/// Runs one cell with crash recovery: resume from a valid checkpoint if
+/// one exists, simulate in [`CheckpointPolicy::every`]-cycle chunks
+/// rewriting the checkpoint at each boundary, and remove the file once
+/// the cell completes.
+///
+/// `make_workload` must rebuild the workload deterministically (same
+/// seed) on every call; a resumed run rebuilds it and fast-forwards by
+/// the recorded op count, which replays the exact stream position.
+///
+/// An unreadable or invalid existing checkpoint (torn write that beat
+/// the atomic rename, stale fingerprint, bit rot) is **not** fatal: the
+/// cell restarts from scratch, exactly as if no checkpoint existed,
+/// and the bad file is overwritten at the next boundary. The results are
+/// byte-identical either way — checkpointing only changes how much work a
+/// crash can lose.
+///
+/// # Errors
+///
+/// [`CheckpointedRunError::Run`] for simulation stalls,
+/// [`CheckpointedRunError::Checkpoint`] when a checkpoint cannot be
+/// written (a cell that cannot record progress should fail loudly, not
+/// silently lose its crash safety).
+pub fn try_simulate_checkpointed<W, F>(
+    cfg: &SystemConfig,
+    make_workload: F,
+    len: RunLength,
+    policy: &CheckpointPolicy,
+) -> Result<SimReport, CheckpointedRunError>
+where
+    W: OpSource,
+    F: Fn() -> W,
+{
+    let mut sys = System::new(cfg);
+    let mut workload = CountingSource::new(make_workload());
+    let mut cursor;
+    match (policy.every > 0)
+        .then(|| Checkpoint::load(&policy.path, policy.fingerprint).ok())
+        .flatten()
+    {
+        Some(ckpt) if ckpt.restore_into(&mut sys).is_ok() => {
+            workload.skip(ckpt.ops_consumed);
+            cursor = ckpt.cursor;
+        }
+        _ => {
+            // No checkpoint (or an unusable one): fresh start. The system
+            // may have been half-restored by a failed attempt, so rebuild.
+            sys = System::new(cfg);
+            sys.warm(&mut workload);
+            cursor = RunCursor::start(&sys);
+        }
+    }
+    let budget = if policy.every > 0 {
+        policy.every
+    } else {
+        u64::MAX
+    };
+    loop {
+        match sys.try_run_chunk(&mut workload, len, &mut cursor, budget)? {
+            ChunkOutcome::Done => break,
+            ChunkOutcome::Paused => {
+                Checkpoint::capture(&sys, policy.fingerprint, workload.consumed(), cursor)?
+                    .save(&policy.path)?;
+            }
+        }
+    }
+    let name = workload.name().to_string();
+    if policy.every > 0 {
+        // The cell is complete; its checkpoint is stale by construction.
+        let _ = fs::remove_file(&policy.path);
+    }
+    Ok(sys.report(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{journal::fingerprint, try_simulate};
+    use burst_core::Mechanism;
+    use burst_workloads::SpecBenchmark;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::baseline()
+            .with_mechanism(Mechanism::BurstTh(52))
+            .with_warm_mem_ops(1_000)
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("burst-checkpoint-tests");
+        let _ = fs::create_dir_all(&dir);
+        dir.join(name)
+    }
+
+    #[test]
+    fn checkpointed_run_matches_uninterrupted_run() {
+        let cfg = cfg();
+        let len = RunLength::Instructions(30_000);
+        let reference =
+            try_simulate(&cfg, SpecBenchmark::Swim.workload(9), len).expect("reference run");
+        let path = tmp("match.ckpt");
+        let _ = fs::remove_file(&path);
+        let policy = CheckpointPolicy {
+            every: 1_500,
+            path: path.clone(),
+            fingerprint: fingerprint("match"),
+        };
+        let got = try_simulate_checkpointed(&cfg, || SpecBenchmark::Swim.workload(9), len, &policy)
+            .expect("checkpointed run");
+        assert_eq!(got, reference, "checkpointing must not change results");
+        assert!(!path.exists(), "completed cell removes its checkpoint");
+    }
+
+    #[test]
+    fn resume_from_mid_run_checkpoint_is_byte_identical() {
+        let cfg = cfg();
+        let len = RunLength::Instructions(30_000);
+        let reference =
+            try_simulate(&cfg, SpecBenchmark::Mcf.workload(5), len).expect("reference run");
+        let path = tmp("resume.ckpt");
+        let _ = fs::remove_file(&path);
+        let fp = fingerprint("resume");
+
+        // Simulate a crash: run a few chunks by hand, leaving a
+        // checkpoint on disk, then abandon the system mid-run.
+        {
+            let mut sys = System::new(&cfg);
+            let mut w = CountingSource::new(SpecBenchmark::Mcf.workload(5));
+            sys.warm(&mut w);
+            let mut cursor = RunCursor::start(&sys);
+            for _ in 0..3 {
+                match sys.try_run_chunk(&mut w, len, &mut cursor, 1_000).unwrap() {
+                    ChunkOutcome::Paused => {
+                        Checkpoint::capture(&sys, fp, w.consumed(), cursor)
+                            .unwrap()
+                            .save(&path)
+                            .unwrap();
+                    }
+                    ChunkOutcome::Done => panic!("run must outlast three chunks"),
+                }
+            }
+        }
+        assert!(path.exists());
+
+        let policy = CheckpointPolicy {
+            every: 1_000,
+            path: path.clone(),
+            fingerprint: fp,
+        };
+        let got = try_simulate_checkpointed(&cfg, || SpecBenchmark::Mcf.workload(5), len, &policy)
+            .expect("resumed run");
+        assert_eq!(got, reference, "resume must be byte-identical");
+    }
+
+    #[test]
+    fn load_rejects_every_corruption_mode() {
+        let cfg = cfg();
+        let fp = fingerprint("corrupt");
+        let path = tmp("corrupt.ckpt");
+        let mut sys = System::new(&cfg);
+        let mut w = CountingSource::new(SpecBenchmark::Swim.workload(1));
+        sys.warm(&mut w);
+        sys.try_run(&mut w, RunLength::MemCycles(2_000)).unwrap();
+        let ckpt = Checkpoint::capture(&sys, fp, w.consumed(), RunCursor::start(&sys)).unwrap();
+        ckpt.save(&path).unwrap();
+
+        // A pristine file round-trips.
+        let back = Checkpoint::load(&path, fp).expect("valid file loads");
+        assert_eq!(back, ckpt);
+
+        // Wrong fingerprint.
+        assert!(matches!(
+            Checkpoint::load(&path, fp ^ 1),
+            Err(CheckpointError::FingerprintMismatch { .. })
+        ));
+
+        let bytes = fs::read(&path).unwrap();
+
+        // Truncation at every interesting boundary.
+        for cut in [0, 3, 4, 7, 8, 15, 16, 23, 24, bytes.len() - 1] {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                Checkpoint::load(&path, fp).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path, fp),
+            Err(CheckpointError::BadMagic)
+        ));
+
+        // Future version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path, fp),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
+
+        // A flipped bit in the body trips the hash check.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 20;
+        bad[last] ^= 0x40;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path, fp),
+            Err(CheckpointError::HashMismatch { .. })
+        ));
+
+        // Missing file is a plain Io error.
+        let _ = fs::remove_file(&path);
+        assert!(matches!(
+            Checkpoint::load(&path, fp),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn unusable_checkpoint_falls_back_to_fresh_start() {
+        let cfg = cfg();
+        let len = RunLength::Instructions(8_000);
+        let reference =
+            try_simulate(&cfg, SpecBenchmark::Swim.workload(2), len).expect("reference run");
+        let path = tmp("fallback.ckpt");
+        fs::write(&path, b"garbage, not a checkpoint at all").unwrap();
+        let policy = CheckpointPolicy {
+            every: 2_000,
+            path: path.clone(),
+            fingerprint: fingerprint("fallback"),
+        };
+        let got = try_simulate_checkpointed(&cfg, || SpecBenchmark::Swim.workload(2), len, &policy)
+            .expect("fresh start");
+        assert_eq!(got, reference, "garbage checkpoint must not poison the run");
+    }
+}

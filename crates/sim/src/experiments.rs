@@ -3,12 +3,47 @@
 //! [`crate::report`] module renders them as the text tables the bench
 //! harness prints.
 
+use std::path::PathBuf;
+
 use burst_core::Mechanism;
 use burst_dram::{Command, Cycle, Dir, DramConfig, Loc, RowPolicy, RowState, TimingParams};
 use burst_workloads::SpecBenchmark;
 
+use crate::checkpoint::{try_simulate_checkpointed, CheckpointPolicy, CheckpointedRunError};
 use crate::supervisor::{supervise_with, CellError, CellOutcome, FailureKind, SupervisorConfig};
 use crate::{simulate, try_simulate, Journal, RunLength, SimReport, SystemConfig};
+
+/// Per-sweep checkpoint plan: where each cell writes its mid-run
+/// checkpoint and how often. Threaded from the harness `--checkpoint-every`
+/// / `--checkpoint-dir` flags down to every supervised cell.
+#[derive(Debug, Clone)]
+pub struct CheckpointPlan {
+    /// Memory cycles between checkpoints; 0 disables checkpointing.
+    pub every: u64,
+    /// Directory holding one `<scope>-<benchmark>-<mechanism>.ckpt` file
+    /// per in-flight cell.
+    pub dir: PathBuf,
+    /// Cell fingerprint the files are bound to — use the same fingerprint
+    /// as the sweep's journal so both resume machineries agree on what
+    /// configuration the state belongs to.
+    pub fingerprint: u64,
+}
+
+impl CheckpointPlan {
+    /// The checkpoint file for one cell (journal key with `/` flattened
+    /// to `-`, plus the `.ckpt` suffix the repository gitignores).
+    pub fn cell_path(
+        &self,
+        scope: &str,
+        benchmark: SpecBenchmark,
+        mechanism: Mechanism,
+    ) -> PathBuf {
+        self.dir.join(format!(
+            "{}.ckpt",
+            cell_key(scope, benchmark, mechanism).replace('/', "-")
+        ))
+    }
+}
 
 /// Default instruction budget per run for harness experiments. The paper
 /// simulates 2 billion instructions; this default preserves the shape at
@@ -147,6 +182,12 @@ impl Sweep {
     /// without re-simulation (counted in [`Supervised::resumed`]) and every
     /// newly completed cell is appended and fsynced *before* the sweep
     /// moves on — a `SIGKILL` loses at most the cells in flight.
+    ///
+    /// When a [`CheckpointPlan`] is supplied too, even the cells in flight
+    /// survive: each one periodically writes a fingerprint-bound
+    /// checkpoint, a killed run resumes the cell mid-flight from it, the
+    /// journal records which checkpoint file each completed cell used, and
+    /// stale checkpoints of journalled cells are deleted on resume.
     #[allow(clippy::too_many_arguments)]
     pub fn run_supervised(
         scope: &str,
@@ -158,6 +199,7 @@ impl Sweep {
         jobs: usize,
         sup: &SupervisorConfig,
         journal: Option<&Journal>,
+        ckpt: Option<&CheckpointPlan>,
     ) -> Supervised<Sweep> {
         let mut grid = Vec::with_capacity(benchmarks.len() * mechanisms.len());
         for &b in benchmarks {
@@ -165,12 +207,22 @@ impl Sweep {
                 grid.push((b, m));
             }
         }
+        let ckpt = ckpt.filter(|p| p.every > 0);
         let mut slots: Vec<Option<SweepCell>> = vec![None; grid.len()];
         let mut resumed = 0usize;
         let mut pending: Vec<(usize, (SpecBenchmark, Mechanism))> = Vec::new();
         for (i, &(b, m)) in grid.iter().enumerate() {
             match journal.and_then(|j| j.lookup(&cell_key(scope, b, m))) {
                 Some(entry) => {
+                    // The cell is complete, so any checkpoint it left
+                    // behind — its own recorded path or the one this
+                    // plan would use — is stale; collect both.
+                    if let Some(p) = &entry.checkpoint {
+                        let _ = std::fs::remove_file(p);
+                    }
+                    if let Some(plan) = ckpt {
+                        let _ = std::fs::remove_file(plan.cell_path(scope, b, m));
+                    }
                     slots[i] = Some(SweepCell {
                         benchmark: b,
                         mechanism: m,
@@ -183,6 +235,8 @@ impl Sweep {
         }
         let items: Vec<(SpecBenchmark, Mechanism)> = pending.iter().map(|&(_, p)| p).collect();
         let base_cfg = *base;
+        let run_plan = ckpt.cloned();
+        let run_scope = scope.to_string();
         let outcomes = supervise_with(
             &items,
             jobs,
@@ -191,13 +245,33 @@ impl Sweep {
                 let cfg = base_cfg.with_mechanism(m);
                 cfg.validate()
                     .map_err(|e| CellError::other(format!("invalid configuration: {e}")))?;
-                try_simulate(&cfg, b.workload(seed), len).map_err(CellError::from)
+                match &run_plan {
+                    Some(plan) => {
+                        let policy = CheckpointPolicy {
+                            every: plan.every,
+                            path: plan.cell_path(&run_scope, b, m),
+                            fingerprint: plan.fingerprint,
+                        };
+                        try_simulate_checkpointed(&cfg, || b.workload(seed), len, &policy).map_err(
+                            |e| match e {
+                                CheckpointedRunError::Run(e) => CellError::from(e),
+                                CheckpointedRunError::Checkpoint(e) => {
+                                    CellError::other(format!("checkpoint failure: {e}"))
+                                }
+                            },
+                        )
+                    }
+                    None => try_simulate(&cfg, b.workload(seed), len).map_err(CellError::from),
+                }
             },
             |i, outcome| {
                 if let (Some(j), CellOutcome::Done { value, attempts }) = (journal, outcome) {
                     let (b, m) = items[i];
                     let key = cell_key(scope, b, m);
-                    if let Err(e) = j.record(&key, *attempts, value) {
+                    let path = ckpt.map(|plan| plan.cell_path(scope, b, m));
+                    if let Err(e) =
+                        j.record_with_checkpoint(&key, *attempts, value, path.as_deref())
+                    {
                         // A broken journal must not fail the sweep: the
                         // results are still in memory; only resumability
                         // of this cell is lost.
@@ -578,6 +652,7 @@ pub fn outstanding_supervised(
     jobs: usize,
     sup: &SupervisorConfig,
     journal: Option<&Journal>,
+    ckpt: Option<&CheckpointPlan>,
 ) -> Supervised<Vec<OutstandingRow>> {
     let s = Sweep::run_supervised(
         scope,
@@ -589,6 +664,7 @@ pub fn outstanding_supervised(
         jobs,
         sup,
         journal,
+        ckpt,
     );
     Supervised {
         value: s
@@ -657,6 +733,7 @@ pub fn fig12_supervised(
     jobs: usize,
     sup: &SupervisorConfig,
     journal: Option<&Journal>,
+    ckpt: Option<&CheckpointPlan>,
 ) -> Supervised<Vec<Fig12Row>> {
     let mechanisms = fig12_mechanisms();
     let s = Sweep::run_supervised(
@@ -669,6 +746,7 @@ pub fn fig12_supervised(
         jobs,
         sup,
         journal,
+        ckpt,
     );
     Supervised {
         value: fig12_rows_from_sweep(&s.value, &mechanisms),
@@ -875,7 +953,7 @@ mod tests {
             backoff_base_ms: 0,
             ..SupervisorConfig::default()
         };
-        let s = Sweep::run_supervised("sweep", &base, &bs, &ms, len, 1, 2, &sup, None);
+        let s = Sweep::run_supervised("sweep", &base, &bs, &ms, len, 1, 2, &sup, None, None);
         assert!(s.ok());
         assert_eq!(s.resumed, 0);
         assert_eq!(s.value.cells.len(), plain.cells.len());
@@ -900,17 +978,114 @@ mod tests {
         let fp = crate::journal::fingerprint("experiments-test");
         let first = {
             let journal = crate::Journal::create(&path, fp).unwrap();
-            Sweep::run_supervised("sweep", &base, &bs, &ms, len, 1, 1, &sup, Some(&journal))
+            Sweep::run_supervised(
+                "sweep",
+                &base,
+                &bs,
+                &ms,
+                len,
+                1,
+                1,
+                &sup,
+                Some(&journal),
+                None,
+            )
         };
         assert!(first.ok());
         let journal = crate::Journal::resume(&path, fp).unwrap();
         assert_eq!(journal.completed_cells(), 2);
-        let second =
-            Sweep::run_supervised("sweep", &base, &bs, &ms, len, 1, 1, &sup, Some(&journal));
+        let second = Sweep::run_supervised(
+            "sweep",
+            &base,
+            &bs,
+            &ms,
+            len,
+            1,
+            1,
+            &sup,
+            Some(&journal),
+            None,
+        );
         assert_eq!(second.resumed, 2, "every cell restored, none re-simulated");
         for (a, b) in first.value.cells.iter().zip(&second.value.cells) {
             assert_eq!(a.report, b.report, "journal round trip must be lossless");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpointed_supervised_sweep_matches_and_garbage_collects() {
+        let base = SystemConfig::baseline();
+        let bs = [SpecBenchmark::Swim];
+        let ms = [Mechanism::BkInOrder, Mechanism::BurstTh(52)];
+        let len = RunLength::Instructions(3_000);
+        let sup = SupervisorConfig {
+            backoff_base_ms: 0,
+            ..SupervisorConfig::default()
+        };
+        let dir = std::env::temp_dir().join(format!("burst-exp-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fp = crate::journal::fingerprint("experiments-ckpt-test");
+        let plan = CheckpointPlan {
+            every: 500,
+            dir: dir.clone(),
+            fingerprint: fp,
+        };
+        let jpath = dir.join("sweep.journal");
+        let plain = Sweep::run_with_config(&base, &bs, &ms, len, 1, 1);
+        let first = {
+            let journal = crate::Journal::create(&jpath, fp).unwrap();
+            Sweep::run_supervised(
+                "sweep",
+                &base,
+                &bs,
+                &ms,
+                len,
+                1,
+                1,
+                &sup,
+                Some(&journal),
+                Some(&plan),
+            )
+        };
+        assert!(first.ok());
+        for (a, b) in plain.cells.iter().zip(&first.value.cells) {
+            assert_eq!(a.report, b.report, "checkpointing must not perturb results");
+        }
+        for &(b, m) in &[(bs[0], ms[0]), (bs[0], ms[1])] {
+            assert!(
+                !plan.cell_path("sweep", b, m).exists(),
+                "completed cells leave no checkpoint behind"
+            );
+        }
+        // The journal records each cell's checkpoint path; a resumed sweep
+        // garbage-collects stale checkpoint files a crash left behind.
+        let journal = crate::Journal::resume(&jpath, fp).unwrap();
+        let stale = plan.cell_path("sweep", bs[0], ms[0]);
+        std::fs::write(&stale, b"stale").unwrap();
+        let second = Sweep::run_supervised(
+            "sweep",
+            &base,
+            &bs,
+            &ms,
+            len,
+            1,
+            1,
+            &sup,
+            Some(&journal),
+            Some(&plan),
+        );
+        assert_eq!(second.resumed, 2);
+        assert!(!stale.exists(), "resume deletes stale checkpoints");
+        assert_eq!(
+            journal
+                .lookup(&cell_key("sweep", bs[0], ms[0]))
+                .unwrap()
+                .checkpoint
+                .as_deref(),
+            Some(stale.as_path()),
+            "journal entries carry the checkpoint path"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -935,6 +1110,7 @@ mod tests {
             1,
             1,
             &sup,
+            None,
             None,
         );
         assert_eq!(s.value.cells.len(), 1);

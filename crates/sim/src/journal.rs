@@ -26,9 +26,12 @@
 //!
 //! ```text
 //! burst-journal v1 fp=<16-hex-digit fingerprint>
-//! ok <key> <attempts> <report-wire>
+//! ok <key> <attempts> <report-wire> [checkpoint-path]
 //! ```
 //!
+//! The optional trailing token records the mid-run checkpoint file the
+//! cell was using (see [`crate::checkpoint`]), so a resumed sweep can
+//! garbage-collect checkpoints that completed cells no longer need.
 //! A trailing partial line (the crash point) is ignored on resume.
 
 use std::collections::HashMap;
@@ -99,6 +102,9 @@ pub struct JournalEntry {
     pub attempts: u32,
     /// The cell's complete, losslessly round-tripped report.
     pub report: SimReport,
+    /// Mid-run checkpoint file the cell was writing, if checkpointing was
+    /// on — stale once the cell is journalled, so resumes delete it.
+    pub checkpoint: Option<PathBuf>,
 }
 
 /// An open sweep journal: completed cells loaded at resume time plus an
@@ -229,30 +235,70 @@ impl Journal {
     /// Any filesystem error writing or syncing; also a key or report that
     /// cannot be represented in the line format (whitespace in names).
     pub fn record(&self, key: &str, attempts: u32, report: &SimReport) -> Result<(), JournalError> {
+        self.record_with_checkpoint(key, attempts, report, None)
+    }
+
+    /// [`Journal::record`] with the cell's checkpoint-file path attached,
+    /// so resumed sweeps can garbage-collect it once the cell is known
+    /// complete. The path must be whitespace-free (the journal is
+    /// line-and-space delimited).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Journal::record`], plus a checkpoint path
+    /// containing whitespace.
+    pub fn record_with_checkpoint(
+        &self,
+        key: &str,
+        attempts: u32,
+        report: &SimReport,
+        checkpoint: Option<&Path>,
+    ) -> Result<(), JournalError> {
         if key.chars().any(char::is_whitespace) || key.is_empty() {
             return Err(JournalError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 format!("journal keys must be non-empty and whitespace-free: {key:?}"),
             )));
         }
+        let ckpt = match checkpoint {
+            Some(p) => {
+                let s = p.to_str().unwrap_or("");
+                if s.is_empty() || s.chars().any(char::is_whitespace) {
+                    return Err(JournalError::Io(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!("checkpoint paths must be whitespace-free UTF-8: {p:?}"),
+                    )));
+                }
+                format!(" {s}")
+            }
+            None => String::new(),
+        };
         let wire = report_to_wire(report)?;
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-        writeln!(file, "ok {key} {attempts} {wire}")?;
+        writeln!(file, "ok {key} {attempts} {wire}{ckpt}")?;
         file.sync_data()?;
         Ok(())
     }
 }
 
-/// Parses one `ok <key> <attempts> <wire>` record.
+/// Parses one `ok <key> <attempts> <wire> [checkpoint-path]` record.
 fn parse_record(line: &str) -> Option<(String, JournalEntry)> {
-    let mut parts = line.splitn(4, ' ');
+    let mut parts = line.splitn(5, ' ');
     if parts.next()? != "ok" {
         return None;
     }
     let key = parts.next()?.to_string();
     let attempts: u32 = parts.next()?.parse().ok()?;
     let report = report_from_wire(parts.next()?)?;
-    Some((key, JournalEntry { attempts, report }))
+    let checkpoint = parts.next().map(PathBuf::from);
+    Some((
+        key,
+        JournalEntry {
+            attempts,
+            report,
+            checkpoint,
+        },
+    ))
 }
 
 // --- SimReport wire format -------------------------------------------------
@@ -511,6 +557,47 @@ mod tests {
         assert_eq!(entry.attempts, 2);
         assert_eq!(entry.report, report);
         assert!(j.lookup("sweep/swim/BkInOrder").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_paths_round_trip_and_stay_optional() {
+        let dir = std::env::temp_dir().join("burst-journal-test-ckpt");
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+        let fp = fingerprint("ckpt");
+        let report = sample_report();
+        {
+            let j = Journal::create(&path, fp).expect("create");
+            j.record_with_checkpoint(
+                "sweep/swim/Burst_TH52",
+                1,
+                &report,
+                Some(Path::new("/tmp/ckpts/sweep-swim-Burst_TH52.ckpt")),
+            )
+            .expect("record with checkpoint");
+            j.record("sweep/swim/BkInOrder", 1, &report)
+                .expect("record without checkpoint");
+            assert!(
+                j.record_with_checkpoint(
+                    "sweep/swim/Burst_RP",
+                    1,
+                    &report,
+                    Some(Path::new("/tmp/has space.ckpt")),
+                )
+                .is_err(),
+                "whitespace paths cannot be represented"
+            );
+        }
+        let j = Journal::resume(&path, fp).expect("resume");
+        assert_eq!(j.completed_cells(), 2);
+        assert_eq!(
+            j.lookup("sweep/swim/Burst_TH52").unwrap().checkpoint,
+            Some(PathBuf::from("/tmp/ckpts/sweep-swim-Burst_TH52.ckpt"))
+        );
+        assert_eq!(j.lookup("sweep/swim/BkInOrder").unwrap().checkpoint, None);
+        let entry = j.lookup("sweep/swim/Burst_TH52").unwrap();
+        assert_eq!(entry.report, report, "report survives the extra token");
         let _ = std::fs::remove_file(&path);
     }
 

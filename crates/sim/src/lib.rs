@@ -25,24 +25,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cmp;
 pub mod executor;
 pub mod experiments;
 pub mod export;
 pub mod journal;
+pub mod oracle;
 pub mod report;
 pub mod supervisor;
 mod system;
 pub mod waterfall;
 
+pub use checkpoint::{
+    try_simulate_checkpointed, Checkpoint, CheckpointError, CheckpointPolicy, CheckpointedRunError,
+};
 pub use executor::{default_jobs, map_parallel};
-pub use experiments::{cell_key, CellFailure, Supervised};
+pub use experiments::{cell_key, CellFailure, CheckpointPlan, Supervised};
 pub use journal::{Journal, JournalEntry, JournalError};
+pub use oracle::{
+    oracle_simulate, DivergenceError, OracleConfig, OracleError, PerturbKind, Perturbation,
+};
 pub use supervisor::{
     supervise, supervise_with, CellError, CellOutcome, FailureKind, SupervisorConfig,
     TransientFaultPlan,
 };
 pub use system::{
-    simulate, try_simulate, RobustnessReport, RunError, RunLength, SimReport, System, SystemConfig,
-    ValidateConfigError,
+    simulate, try_simulate, ChunkOutcome, ComponentHashes, RobustnessReport, RunCursor, RunError,
+    RunLength, SimReport, Snapshot, System, SystemConfig, ValidateConfigError,
 };

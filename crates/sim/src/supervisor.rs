@@ -562,6 +562,7 @@ mod tests {
         let e = CellError::from(RunError::RetirementStall {
             mem_cycle: 9,
             retired: 1,
+            state_hash: 0,
         });
         assert_eq!(e.kind, FailureKind::RetirementStall);
         assert!(e.payload.contains("livelock"), "{}", e.payload);

@@ -10,6 +10,7 @@ use burst_core::{
 };
 use burst_cpu::{Cpu, CpuConfig, CpuStats};
 use burst_dram::{AddressMapping, BusStats, Cycle, Dram, DramConfig, PhysAddr};
+use burst_snap::{fnv1a64, SnapError, SnapReader, SnapWriter};
 use burst_workloads::OpSource;
 
 /// Configuration of the whole simulated machine.
@@ -215,6 +216,10 @@ pub enum RunError {
         mem_cycle: Cycle,
         /// Instructions retired when progress stopped.
         retired: u64,
+        /// FNV-1a digest of the full simulation state when the stall was
+        /// declared (zero when the state could not be serialised). Lets a
+        /// stall report be correlated with checkpoints and oracle epochs.
+        state_hash: u64,
     },
 }
 
@@ -222,11 +227,21 @@ impl core::fmt::Display for RunError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             RunError::ControllerStall(diag) => write!(f, "memory controller stall: {diag}"),
-            RunError::RetirementStall { mem_cycle, retired } => write!(
-                f,
-                "no instruction retired for 2M memory cycles (at cycle {mem_cycle}, \
-                 {retired} retired): livelock?"
-            ),
+            RunError::RetirementStall {
+                mem_cycle,
+                retired,
+                state_hash,
+            } => {
+                write!(
+                    f,
+                    "no instruction retired for 2M memory cycles (at cycle {mem_cycle}, \
+                     {retired} retired): livelock?"
+                )?;
+                if *state_hash != 0 {
+                    write!(f, " (state hash {state_hash:#018x})")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -247,6 +262,114 @@ pub enum RunLength {
     Instructions(u64),
     /// Run a fixed number of memory-controller cycles.
     MemCycles(u64),
+}
+
+/// FNV-1a digests of each serialised simulation component, computed over
+/// the same byte streams a checkpoint stores. The lockstep oracle reports
+/// both engines' component hashes on divergence so the failing subsystem
+/// is named, not just the failing cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComponentHashes {
+    /// Digest of the CPU core, caches, ROB and MSHRs.
+    pub cpu: u64,
+    /// Digest of the scheduler: queues, in-service state, adaptation.
+    pub sched: u64,
+    /// Digest of the DRAM device: bank/rank/channel timing state.
+    pub dram: u64,
+    /// Digest of the system glue: cycle counters, pending deliveries,
+    /// outstanding read lines.
+    pub system: u64,
+}
+
+impl core::fmt::Display for ComponentHashes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "cpu {:#018x}, sched {:#018x}, dram {:#018x}, system {:#018x}",
+            self.cpu, self.sched, self.dram, self.system
+        )
+    }
+}
+
+/// A serialised mid-run snapshot of a [`System`], produced by
+/// [`System::checkpoint`] and consumed by [`System::restore`].
+///
+/// The byte stream holds four observable sections (CPU, scheduler, DRAM,
+/// system glue) followed by a diagnostic section (skip bookkeeping). The
+/// state hash covers only the observable sections, so a per-cycle run and
+/// a skip-enabled run hash identically at the same cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The serialised state, restorable with [`System::restore`].
+    pub bytes: Vec<u8>,
+    /// FNV-1a digest of the observable sections.
+    pub state_hash: u64,
+    /// Per-component digests of the same sections.
+    pub components: ComponentHashes,
+}
+
+/// Persistent loop state of [`System::try_run_chunk`].
+///
+/// [`System::try_run`]'s loop locals (cycle budget spent, retirement
+/// watchdog counters) live here so a run can pause at a chunk boundary,
+/// be checkpointed, and resume — in the same process or after a restore —
+/// with bit-identical control flow, including the exact cycle at which a
+/// retirement stall would be declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunCursor {
+    /// Memory cycles completed toward a [`RunLength::MemCycles`] target.
+    done_cycles: u64,
+    /// Consecutive memory cycles without an instruction retiring.
+    idle: u64,
+    /// Retired-instruction count at the last observed progress.
+    last_retired: u64,
+}
+
+impl RunCursor {
+    /// A cursor positioned at the start of a run of `sys`.
+    pub fn start(sys: &System) -> Self {
+        RunCursor {
+            done_cycles: 0,
+            idle: 0,
+            last_retired: sys.retired(),
+        }
+    }
+
+    /// Memory cycles completed toward a [`RunLength::MemCycles`] target.
+    pub fn done_cycles(&self) -> u64 {
+        self.done_cycles
+    }
+
+    /// Serialises the cursor (checkpoint files store it next to the
+    /// system snapshot).
+    pub fn save_snap(&self, w: &mut SnapWriter) {
+        w.u64(self.done_cycles);
+        w.u64(self.idle);
+        w.u64(self.last_retired);
+    }
+
+    /// Restores a cursor written by [`RunCursor::save_snap`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when the stream ends early.
+    pub fn load_snap(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(RunCursor {
+            done_cycles: r.u64()?,
+            idle: r.u64()?,
+            last_retired: r.u64()?,
+        })
+    }
+}
+
+/// Why [`System::try_run_chunk`] returned without an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkOutcome {
+    /// The run length was reached; the run is complete.
+    Done,
+    /// The chunk's cycle budget was exhausted first; call again (possibly
+    /// after checkpointing) to continue.
+    Paused,
 }
 
 /// Robustness summary of a run: protocol health, injected faults and
@@ -689,41 +812,78 @@ impl System {
     /// retiring instructions for two million memory cycles although the
     /// controller itself reports no stall.
     pub fn try_run(&mut self, workload: &mut dyn OpSource, len: RunLength) -> Result<(), RunError> {
+        let mut cursor = RunCursor::start(self);
+        loop {
+            match self.try_run_chunk(workload, len, &mut cursor, u64::MAX)? {
+                ChunkOutcome::Done => return Ok(()),
+                ChunkOutcome::Paused => continue,
+            }
+        }
+    }
+
+    /// Runs toward `len` for at most `budget` memory cycles (stepped plus
+    /// skipped), pausing at a step boundary when the budget runs out.
+    ///
+    /// The chunk boundary is exactly where a checkpoint is taken: pausing,
+    /// snapshotting, restoring into a fresh system and continuing yields
+    /// the same cycle-by-cycle behaviour as an uninterrupted
+    /// [`System::try_run`] — the skip-capping logic decomposes jumps
+    /// bit-identically, and `cursor` carries the retirement-watchdog
+    /// counters across the boundary so even the stall-declaration cycle is
+    /// preserved.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`System::try_run`]; both error variants carry
+    /// the state hash at the failure cycle.
+    pub fn try_run_chunk(
+        &mut self,
+        workload: &mut dyn OpSource,
+        len: RunLength,
+        cursor: &mut RunCursor,
+        budget: u64,
+    ) -> Result<ChunkOutcome, RunError> {
+        let mut spent = 0u64;
         match len {
             RunLength::MemCycles(n) => {
-                let mut done = 0u64;
-                while done < n {
+                while cursor.done_cycles < n {
+                    if spent >= budget {
+                        return Ok(ChunkOutcome::Paused);
+                    }
                     self.step(workload);
-                    done += 1;
-                    if let Some(diag) = self.sched.stall_diagnostic() {
+                    cursor.done_cycles += 1;
+                    spent += 1;
+                    if let Some(diag) = self.stamped_stall() {
                         return Err(RunError::ControllerStall(diag));
                     }
                     // Quiescent cycles cannot latch a stall, so jumping
                     // them skips no diagnostic check that could fire.
                     if let Some(horizon) = self.skip_horizon() {
-                        let skip = horizon.min(n - done);
+                        let skip = horizon
+                            .min(n - cursor.done_cycles)
+                            .min(budget.saturating_sub(spent));
                         if skip > 0 {
                             self.advance_idle(skip);
-                            done += skip;
+                            cursor.done_cycles += skip;
+                            spent += skip;
                         }
                     }
                 }
             }
             RunLength::Instructions(n) => {
-                let mut last_retired = self.cpu.retired();
-                let mut idle = 0u64;
                 while self.cpu.retired() < n {
+                    if spent >= budget {
+                        return Ok(ChunkOutcome::Paused);
+                    }
                     self.step(workload);
-                    if let Some(diag) = self.sched.stall_diagnostic() {
+                    spent += 1;
+                    if let Some(diag) = self.stamped_stall() {
                         return Err(RunError::ControllerStall(diag));
                     }
-                    if self.cpu.retired() == last_retired {
-                        idle += 1;
-                        if idle >= 2_000_000 {
-                            return Err(RunError::RetirementStall {
-                                mem_cycle: self.mem_cycle,
-                                retired: last_retired,
-                            });
+                    if self.cpu.retired() == cursor.last_retired {
+                        cursor.idle += 1;
+                        if cursor.idle >= 2_000_000 {
+                            return Err(self.retirement_stall(cursor.last_retired));
                         }
                         // Nothing retires during a quiescent stretch, so
                         // the idle budget burns down cycle-for-cycle —
@@ -731,26 +891,42 @@ impl System {
                         // error on the exact cycle per-cycle stepping
                         // would report.
                         if let Some(horizon) = self.skip_horizon() {
-                            let skip = horizon.min(2_000_000 - idle);
+                            let skip = horizon
+                                .min(2_000_000 - cursor.idle)
+                                .min(budget.saturating_sub(spent));
                             if skip > 0 {
                                 self.advance_idle(skip);
-                                idle += skip;
-                                if idle >= 2_000_000 {
-                                    return Err(RunError::RetirementStall {
-                                        mem_cycle: self.mem_cycle,
-                                        retired: last_retired,
-                                    });
+                                cursor.idle += skip;
+                                spent += skip;
+                                if cursor.idle >= 2_000_000 {
+                                    return Err(self.retirement_stall(cursor.last_retired));
                                 }
                             }
                         }
                     } else {
-                        idle = 0;
-                        last_retired = self.cpu.retired();
+                        cursor.idle = 0;
+                        cursor.last_retired = self.cpu.retired();
                     }
                 }
             }
         }
-        Ok(())
+        Ok(ChunkOutcome::Done)
+    }
+
+    /// The scheduler's latched stall diagnostic with the whole-system
+    /// state hash stamped in (zero when the state cannot be serialised).
+    fn stamped_stall(&self) -> Option<StallDiagnostic> {
+        let mut diag = self.sched.stall_diagnostic()?;
+        diag.state_hash = self.state_hash().unwrap_or(0);
+        Some(diag)
+    }
+
+    fn retirement_stall(&self, last_retired: u64) -> RunError {
+        RunError::RetirementStall {
+            mem_cycle: self.mem_cycle,
+            retired: last_retired,
+            state_hash: self.state_hash().unwrap_or(0),
+        }
     }
 
     /// Produces the run's report.
@@ -772,15 +948,220 @@ impl System {
         }
     }
 
-    /// The stall diagnostic latched by the scheduler's watchdog, if any.
+    /// Fault-injection hook for the lockstep oracle's self-check:
+    /// deterministically skews the CPU's stall-cycle accounting by
+    /// `cycles`, emulating the bookkeeping bug class event-horizon
+    /// skipping could introduce. The skew is observable in the state hash
+    /// from this cycle on, so the oracle must pinpoint exactly the cycle
+    /// it was applied.
+    pub fn perturb_stall_accounting(&mut self, cycles: u64) {
+        self.cpu.skew_stall_accounting(cycles);
+    }
+
+    /// The stall diagnostic latched by the scheduler's watchdog, if any,
+    /// with the whole-system state hash stamped in.
     pub fn stall_diagnostic(&self) -> Option<StallDiagnostic> {
-        self.sched.stall_diagnostic()
+        self.stamped_stall()
     }
 
     /// DDR2 protocol violations recorded so far (always zero with the
     /// checker disabled).
     pub fn protocol_violations(&self) -> u64 {
         self.dram.protocol_violations()
+    }
+
+    /// Serialises the four observable components. Shared by
+    /// [`System::checkpoint`], [`System::state_hash`] and
+    /// [`System::component_hashes`] so they always agree byte-for-byte.
+    fn observable_sections(&self) -> Result<[Vec<u8>; 4], SnapError> {
+        let mut cw = SnapWriter::new();
+        self.cpu.save_snap(&mut cw);
+        let mut sw = SnapWriter::new();
+        self.sched.save_state(&mut sw)?;
+        let mut dw = SnapWriter::new();
+        self.dram.save_snap(&mut dw);
+        let mut yw = SnapWriter::new();
+        yw.u64(self.mem_cycle);
+        yw.u64(self.next_id);
+        // A BinaryHeap's internal layout depends on insertion history;
+        // serialise the pending deliveries sorted so two systems in the
+        // same logical state produce the same bytes.
+        let mut pending: Vec<(Cycle, u64)> = self.pending.iter().map(|Reverse(p)| *p).collect();
+        pending.sort_unstable();
+        yw.usize(pending.len());
+        for (at, line) in pending {
+            yw.u64(at);
+            yw.u64(line);
+        }
+        // Completions are drained within every step, so this is empty at
+        // any step boundary — written anyway so the format cannot lie.
+        yw.usize(self.completions.len());
+        for c in &self.completions {
+            yw.u64(c.id.value());
+            yw.u8(match c.kind {
+                AccessKind::Read => 0,
+                AccessKind::Write => 1,
+            });
+            yw.u64(c.done_at);
+            yw.u64(c.latency);
+            yw.bool(c.forwarded);
+        }
+        yw.u64(self.read_lines.base);
+        yw.usize(self.read_lines.slots.len());
+        for &line in &self.read_lines.slots {
+            yw.u64(line);
+        }
+        Ok([
+            cw.into_bytes(),
+            sw.into_bytes(),
+            dw.into_bytes(),
+            yw.into_bytes(),
+        ])
+    }
+
+    /// Serialises the complete simulation state into a [`Snapshot`].
+    ///
+    /// Call at a step boundary (between [`System::step`] calls, or when
+    /// [`System::try_run_chunk`] pauses). Restoring the snapshot into a
+    /// fresh system built from the same configuration — with the workload
+    /// rebuilt from its seed and fast-forwarded by the recorded op count —
+    /// continues to a byte-identical [`SimReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Unsupported`] when the scheduler is a caller-supplied
+    /// type without checkpoint support.
+    pub fn checkpoint(&self) -> Result<Snapshot, SnapError> {
+        let [cpu, sched, dram, system] = self.observable_sections()?;
+        let components = ComponentHashes {
+            cpu: fnv1a64(&cpu),
+            sched: fnv1a64(&sched),
+            dram: fnv1a64(&dram),
+            system: fnv1a64(&system),
+        };
+        let mut w = SnapWriter::new();
+        w.bytes(&cpu);
+        w.bytes(&sched);
+        w.bytes(&dram);
+        w.bytes(&system);
+        let state_hash = fnv1a64(w.as_slice());
+        // Diagnostic section: skip bookkeeping is reported by
+        // `skipped_cycles` but deliberately excluded from the state hash,
+        // which must agree between skipping and per-cycle engines.
+        w.u64(self.skipped);
+        Ok(Snapshot {
+            bytes: w.into_bytes(),
+            state_hash,
+            components,
+        })
+    }
+
+    /// Restores state written by [`System::checkpoint`] into a system
+    /// built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] or [`SnapError::Corrupt`] when the bytes
+    /// do not decode against this system's configuration (wrong geometry,
+    /// wrong mechanism, torn file). The system is left in an unspecified
+    /// but memory-safe state on error; discard it.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        let cpu = r.bytes()?;
+        let sched = r.bytes()?;
+        let dram = r.bytes()?;
+        let system = r.bytes()?;
+        let skipped = r.u64()?;
+        r.finish()?;
+        let mut cr = SnapReader::new(&cpu);
+        self.cpu.load_snap(&mut cr)?;
+        cr.finish()?;
+        let mut sr = SnapReader::new(&sched);
+        self.sched.load_state(&mut sr)?;
+        sr.finish()?;
+        let mut dr = SnapReader::new(&dram);
+        self.dram.load_snap(&mut dr)?;
+        dr.finish()?;
+        let mut yr = SnapReader::new(&system);
+        self.mem_cycle = yr.u64()?;
+        self.next_id = yr.u64()?;
+        let n_pending = yr.seq_len(16)?;
+        self.pending.clear();
+        for _ in 0..n_pending {
+            let at = yr.u64()?;
+            let line = yr.u64()?;
+            self.pending.push(Reverse((at, line)));
+        }
+        let n_completions = yr.seq_len(25)?;
+        self.completions.clear();
+        for _ in 0..n_completions {
+            let id = AccessId::new(yr.u64()?);
+            let kind = match yr.u8()? {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                _ => return Err(SnapError::Corrupt("bad completion kind")),
+            };
+            let done_at = yr.u64()?;
+            let latency = yr.u64()?;
+            let forwarded = yr.bool()?;
+            self.completions.push(Completion {
+                id,
+                kind,
+                done_at,
+                latency,
+                forwarded,
+            });
+        }
+        self.read_lines.base = yr.u64()?;
+        let n_slots = yr.seq_len(8)?;
+        self.read_lines.slots.clear();
+        for _ in 0..n_slots {
+            self.read_lines.slots.push_back(yr.u64()?);
+        }
+        yr.finish()?;
+        if self.read_lines.base + self.read_lines.slots.len() as u64 > self.next_id {
+            return Err(SnapError::Corrupt("read-line window past the id counter"));
+        }
+        self.skipped = skipped;
+        Ok(())
+    }
+
+    /// FNV-1a digest of the observable simulation state — identical for
+    /// two systems whose future behaviour is identical, regardless of how
+    /// they got there (stepped or skipped, fresh or restored).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Unsupported`] for schedulers without checkpoint
+    /// support.
+    pub fn state_hash(&self) -> Result<u64, SnapError> {
+        Ok(self.checkpoint_hash_parts()?.0)
+    }
+
+    /// Per-component digests of the observable state (see
+    /// [`ComponentHashes`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`System::state_hash`].
+    pub fn component_hashes(&self) -> Result<ComponentHashes, SnapError> {
+        Ok(self.checkpoint_hash_parts()?.1)
+    }
+
+    fn checkpoint_hash_parts(&self) -> Result<(u64, ComponentHashes), SnapError> {
+        let [cpu, sched, dram, system] = self.observable_sections()?;
+        let components = ComponentHashes {
+            cpu: fnv1a64(&cpu),
+            sched: fnv1a64(&sched),
+            dram: fnv1a64(&dram),
+            system: fnv1a64(&system),
+        };
+        let mut w = SnapWriter::new();
+        w.bytes(&cpu);
+        w.bytes(&sched);
+        w.bytes(&dram);
+        w.bytes(&system);
+        Ok((fnv1a64(w.as_slice()), components))
     }
 }
 
@@ -863,6 +1244,115 @@ mod tests {
         slab.insert(id(7), 700);
         assert_eq!(slab.remove(id(7)), Some(700));
         assert_eq!(slab.remove(id(7)), None, "a retry must not double-deliver");
+    }
+
+    fn paused_cfg() -> SystemConfig {
+        SystemConfig::baseline()
+            .with_mechanism(Mechanism::BurstTh(52))
+            .with_warm_mem_ops(1_000)
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_to_identical_report() {
+        use burst_workloads::{CountingSource, SpecBenchmark};
+        let cfg = paused_cfg();
+        let len = RunLength::Instructions(40_000);
+
+        // Reference: one uninterrupted run.
+        let mut wa = CountingSource::new(SpecBenchmark::Swim.workload(7));
+        let mut a = System::new(&cfg);
+        a.warm(&mut wa);
+        a.try_run(&mut wa, len).unwrap();
+        let reference = a.report("w");
+
+        // Same run paused mid-flight, checkpointed, restored into a fresh
+        // system with a rebuilt fast-forwarded workload, and finished.
+        let mut wb = CountingSource::new(SpecBenchmark::Swim.workload(7));
+        let mut b = System::new(&cfg);
+        b.warm(&mut wb);
+        let mut cursor = RunCursor::start(&b);
+        let outcome = b.try_run_chunk(&mut wb, len, &mut cursor, 2_000).unwrap();
+        assert_eq!(outcome, ChunkOutcome::Paused, "budget must pause mid-run");
+        let snap = b.checkpoint().unwrap();
+
+        let mut c = System::new(&cfg);
+        c.restore(&snap.bytes).unwrap();
+        assert_eq!(c.state_hash().unwrap(), snap.state_hash);
+        assert_eq!(c.component_hashes().unwrap(), snap.components);
+        let mut wc = CountingSource::new(SpecBenchmark::Swim.workload(7));
+        wc.skip(wb.consumed());
+        let mut cw = SnapWriter::new();
+        cursor.save_snap(&mut cw);
+        let cursor_bytes = cw.into_bytes();
+        let mut cr = SnapReader::new(&cursor_bytes);
+        let mut resumed = RunCursor::load_snap(&mut cr).unwrap();
+        cr.finish().unwrap();
+        while c.try_run_chunk(&mut wc, len, &mut resumed, 5_000).unwrap() == ChunkOutcome::Paused {}
+        assert_eq!(c.report("w"), reference);
+
+        // The original paused system finishes to the same report too.
+        while b
+            .try_run_chunk(&mut wb, len, &mut cursor, u64::MAX)
+            .unwrap()
+            == ChunkOutcome::Paused
+        {}
+        assert_eq!(b.report("w"), reference);
+    }
+
+    #[test]
+    fn restore_rejects_truncated_and_mismatched_snapshots() {
+        use burst_workloads::SpecBenchmark;
+        let cfg = paused_cfg();
+        let mut w = SpecBenchmark::Mcf.workload(3);
+        let mut sys = System::new(&cfg);
+        sys.warm(&mut w);
+        sys.try_run(&mut w, RunLength::MemCycles(4_000)).unwrap();
+        let snap = sys.checkpoint().unwrap();
+
+        // Truncation anywhere must surface as an error, never a panic.
+        for cut in [0, 1, snap.bytes.len() / 2, snap.bytes.len() - 1] {
+            let mut fresh = System::new(&cfg);
+            assert!(
+                fresh.restore(&snap.bytes[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+
+        // A snapshot from a different machine shape must be rejected.
+        let mut small = cfg;
+        small.dram.geometry.channels = 1;
+        let mut fresh = System::new(&small);
+        assert!(fresh.restore(&snap.bytes).is_err());
+    }
+
+    #[test]
+    fn state_hash_tracks_observable_state_only() {
+        use burst_workloads::SpecBenchmark;
+        let cfg = paused_cfg();
+        let mut w1 = SpecBenchmark::Swim.workload(5);
+        let mut s1 = System::new(&cfg);
+        s1.warm(&mut w1);
+        s1.try_run(&mut w1, RunLength::MemCycles(2_000)).unwrap();
+
+        let mut w2 = SpecBenchmark::Swim.workload(5);
+        let mut s2 = System::new(&cfg.with_skip(false));
+        s2.warm(&mut w2);
+        s2.try_run(&mut w2, RunLength::MemCycles(2_000)).unwrap();
+
+        // Skipped cycles are diagnostic only: both engines hash alike.
+        assert_eq!(s1.state_hash().unwrap(), s2.state_hash().unwrap());
+        assert_eq!(
+            s1.component_hashes().unwrap(),
+            s2.component_hashes().unwrap()
+        );
+
+        let h = s1.state_hash().unwrap();
+        s1.try_run(&mut w1, RunLength::MemCycles(500)).unwrap();
+        assert_ne!(
+            s1.state_hash().unwrap(),
+            h,
+            "advancing must change the hash"
+        );
     }
 
     #[test]

@@ -164,6 +164,7 @@ impl AccessScheduler for DeadScheduler {
                         writes: self.outstanding.writes,
                         oldest_id: Some(id),
                         oldest_age: now - since,
+                        state_hash: 0,
                     });
                 }
             }

@@ -123,6 +123,7 @@ fn injected_transient_faults_converge_to_fault_free_sweep() {
         2,
         &no_backoff(),
         None,
+        None,
     );
     assert!(clean.ok(), "fault-free sweep completes");
     let want: Vec<_> = clean.value.cells.iter().map(|c| &c.report).collect();
@@ -136,7 +137,8 @@ fn injected_transient_faults_converge_to_fault_free_sweep() {
             }),
             ..no_backoff()
         };
-        let faulty = Sweep::run_supervised("t", &base, &benches, &mechs, len, 11, 2, &sup, None);
+        let faulty =
+            Sweep::run_supervised("t", &base, &benches, &mechs, len, 11, 2, &sup, None, None);
         assert!(
             faulty.ok(),
             "seed {seed}: retries must absorb transient faults: {:?}",
@@ -178,6 +180,7 @@ fn truncated_journal_resume_reproduces_byte_identical_csv() {
             2,
             &no_backoff(),
             journal,
+            None,
         )
     };
 

@@ -33,5 +33,5 @@ mod tracefile;
 
 pub use spec::{SpecBenchmark, SurrogateParams};
 pub use synthetic::{MixWorkload, PointerChaseWorkload, RandomWorkload, StreamWorkload};
-pub use trace::{Op, OpSource, ReplaySource};
+pub use trace::{CountingSource, Op, OpSource, ReplaySource};
 pub use tracefile::{load_trace, parse_trace, ParseTraceError};
