@@ -8,7 +8,7 @@
 //! no-opportunity baseline where skipping must cost nothing measurable.
 
 use burst_core::Mechanism;
-use burst_sim::{simulate, RunLength, SystemConfig};
+use burst_sim::{simulate, Engine, RunLength, SystemConfig};
 use burst_workloads::SpecBenchmark;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -16,20 +16,24 @@ fn bench_cycle_skip(c: &mut Criterion) {
     let mut group = c.benchmark_group("cycle_skip");
     group.sample_size(10);
     let cases = [
-        (SpecBenchmark::Mcf, false),
-        (SpecBenchmark::Mcf, true),
-        (SpecBenchmark::Swim, false),
-        (SpecBenchmark::Swim, true),
+        (SpecBenchmark::Mcf, Engine::CycleNoSkip),
+        (SpecBenchmark::Mcf, Engine::Cycle),
+        (SpecBenchmark::Swim, Engine::CycleNoSkip),
+        (SpecBenchmark::Swim, Engine::Cycle),
     ];
-    for (bench, skip) in cases {
-        let label = format!("{}/skip_{}", bench.name(), if skip { "on" } else { "off" });
+    for (bench, engine) in cases {
+        let label = format!(
+            "{}/skip_{}",
+            bench.name(),
+            if engine == Engine::Cycle { "on" } else { "off" }
+        );
         group.bench_with_input(
             BenchmarkId::from_parameter(label),
-            &(bench, skip),
-            |b, &(bench, skip)| {
+            &(bench, engine),
+            |b, &(bench, engine)| {
                 let cfg = SystemConfig::baseline()
                     .with_mechanism(Mechanism::BurstTh(52))
-                    .with_skip(skip);
+                    .with_engine(engine);
                 b.iter(|| {
                     simulate(&cfg, bench.workload(42), RunLength::Instructions(5_000)).mem_cycles
                 });

@@ -7,20 +7,26 @@
 //! 1. **Single-sim throughput** — one simulation per mechanism on the
 //!    profile workload (swim), reported as simulated memory megacycles per
 //!    wall-clock second. This tracks the cycle-loop hot path.
-//! 2. **Cycle-skip effect** — the same simulation with event-horizon cycle
-//!    skipping off and on, on a bandwidth-bound workload (swim) and an
-//!    idle-heavy pointer chase (mcf). The two runs must produce
-//!    bit-identical reports; only the wall clock may differ.
+//! 2. **Engine effect** — the same simulation under each [`Engine`]:
+//!    plain per-cycle (`cycle-noskip`), quiescent-only skipping (`cycle`)
+//!    and the full discrete-event engine (`event`), on a bandwidth-bound
+//!    workload (swim) and an idle-heavy pointer chase (mcf). All three
+//!    runs must produce bit-identical reports; only the wall clock may
+//!    differ. The event run's observability counters (events dispatched,
+//!    jump lengths, busy-vs-quiescent split) are reported alongside, and
+//!    the harness **fails** if the event engine is slower than the cycle
+//!    engine on any tracked row — the regression gate CI relies on.
 //! 3. **Checkpoint overhead** — the same simulation uninterrupted and
 //!    with periodic mid-run checkpoints (capture + atomic write), at two
 //!    cadences. The two runs must produce bit-identical reports; the JSON
 //!    records the wall-clock overhead percentage.
-//! 4. **Sweep throughput** — a benchmark x mechanism sweep run serially
-//!    (`jobs = 1`) and with the resolved worker count, reported as
-//!    simulations per second plus the resulting speedup. The JSON records
-//!    the worker count actually used and the machine's available
-//!    parallelism, so a single-core environment is visible in the numbers
-//!    rather than masquerading as a parallel measurement.
+//! 4. **Sweep scaling** — a benchmark x mechanism sweep run at worker
+//!    counts 1, 2, 4, … up to the machine's available parallelism,
+//!    reported as simulations per second plus the speedup over the serial
+//!    run at each level. The JSON records the levels actually run and the
+//!    available parallelism, and annotates single-core hosts explicitly,
+//!    so a flat curve is visible as a host limitation rather than
+//!    masquerading as a parallel measurement.
 //!
 //! ```text
 //! cargo run --release -p burst-bench --bin perf -- --instructions 300000
@@ -32,7 +38,7 @@ use burst_bench::{banner, HarnessOptions};
 use burst_core::Mechanism;
 use burst_sim::experiments::{fig8_mechanisms, Sweep};
 use burst_sim::report::render_table;
-use burst_sim::{default_jobs, simulate, SimReport, SystemConfig};
+use burst_sim::{default_jobs, simulate, Engine, EngineStats, SimReport, SystemConfig};
 use burst_workloads::SpecBenchmark;
 
 /// One single-sim measurement.
@@ -48,16 +54,19 @@ impl SingleSim {
     }
 }
 
-/// Skip-off vs skip-on timing of one (workload, mechanism) simulation.
-struct SkipEffect {
+/// Per-engine timing of one (workload, mechanism) simulation, plus the
+/// event engine's observability counters.
+struct EngineEffect {
     benchmark: SpecBenchmark,
     mechanism: Mechanism,
     mem_cycles: u64,
-    off_secs: f64,
-    on_secs: f64,
+    noskip_secs: f64,
+    cycle_secs: f64,
+    event_secs: f64,
+    stats: EngineStats,
 }
 
-impl SkipEffect {
+impl EngineEffect {
     fn measure(
         base: &SystemConfig,
         benchmark: SpecBenchmark,
@@ -66,37 +75,44 @@ impl SkipEffect {
         run: burst_sim::RunLength,
     ) -> Self {
         let cfg = base.with_mechanism(mechanism);
-        let start = Instant::now();
-        let off = simulate(&cfg.with_skip(false), benchmark.workload(seed), run);
-        let off_secs = start.elapsed().as_secs_f64();
-        let start = Instant::now();
-        let on = simulate(&cfg.with_skip(true), benchmark.workload(seed), run);
-        let on_secs = start.elapsed().as_secs_f64();
-        // The cycle-skipping bit-identity guarantee, enforced on every
-        // perf run.
+        let timed = |engine: Engine| -> (SimReport, f64) {
+            let start = Instant::now();
+            let report = simulate(&cfg.with_engine(engine), benchmark.workload(seed), run);
+            (report, start.elapsed().as_secs_f64())
+        };
+        let (noskip, noskip_secs) = timed(Engine::CycleNoSkip);
+        let (cycle, cycle_secs) = timed(Engine::Cycle);
+        let (event, event_secs) = timed(Engine::Event);
+        // The engine bit-identity guarantee, enforced on every perf run.
         assert_eq!(
-            off, on,
-            "cycle skipping must be bit-identical to per-cycle stepping"
+            noskip, cycle,
+            "quiescent skipping must be bit-identical to per-cycle stepping"
         );
-        SkipEffect {
+        assert_eq!(
+            noskip, event,
+            "the event engine must be bit-identical to per-cycle stepping"
+        );
+        EngineEffect {
             benchmark,
             mechanism,
-            mem_cycles: on.mem_cycles,
-            off_secs,
-            on_secs,
+            mem_cycles: event.mem_cycles,
+            noskip_secs,
+            cycle_secs,
+            event_secs,
+            stats: event.engine,
         }
     }
 
-    fn off_rate(&self) -> f64 {
-        self.mem_cycles as f64 / 1e6 / self.off_secs
+    fn rate(&self, secs: f64) -> f64 {
+        self.mem_cycles as f64 / 1e6 / secs
     }
 
-    fn on_rate(&self) -> f64 {
-        self.mem_cycles as f64 / 1e6 / self.on_secs
+    fn event_speedup_vs_cycle(&self) -> f64 {
+        self.cycle_secs / self.event_secs
     }
 
-    fn speedup(&self) -> f64 {
-        self.off_secs / self.on_secs
+    fn event_speedup_vs_noskip(&self) -> f64 {
+        self.noskip_secs / self.event_secs
     }
 }
 
@@ -180,7 +196,7 @@ fn json_str(s: &str) -> String {
     out
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let opts = HarnessOptions::from_args(300_000);
     let base = opts.system_config();
     println!(
@@ -204,9 +220,9 @@ fn main() {
         .collect();
 
     println!(
-        "--- single-sim throughput ({} workload, skip {})\n",
+        "--- single-sim throughput ({} workload, {} engine)\n",
         profile_bench.name(),
-        if base.skip { "on" } else { "off" }
+        base.engine
     );
     let rows: Vec<Vec<String>> = singles
         .iter()
@@ -224,18 +240,20 @@ fn main() {
         render_table(&["mechanism", "mem cycles", "wall s", "Mcycles/s"], &rows)
     );
 
-    // Cycle-skip effect: bandwidth-bound (swim) vs idle-heavy pointer
-    // chase (mcf, MLP 1 — the CPU spends most cycles fully stalled).
-    let skip_cases = [
+    // Engine effect: bandwidth-bound busy phases (swim) vs idle-heavy
+    // pointer chase (mcf, MLP 1 — the CPU spends most cycles fully
+    // stalled). Swim exercises the event engine's busy-period jumps,
+    // mcf its inherited quiescent skipping.
+    let engine_cases = [
         (SpecBenchmark::Swim, Mechanism::BurstTh(52)),
         (SpecBenchmark::Mcf, Mechanism::BurstTh(52)),
         (SpecBenchmark::Mcf, Mechanism::BkInOrder),
     ];
-    let effects: Vec<SkipEffect> = skip_cases
+    let effects: Vec<EngineEffect> = engine_cases
         .into_iter()
-        .map(|(b, m)| SkipEffect::measure(&base, b, m, opts.seed, opts.run))
+        .map(|(b, m)| EngineEffect::measure(&base, b, m, opts.seed, opts.run))
         .collect();
-    println!("--- cycle-skip effect (bit-identity checked per row)\n");
+    println!("--- engine effect (bit-identity checked per row)\n");
     let rows: Vec<Vec<String>> = effects
         .iter()
         .map(|e| {
@@ -243,9 +261,10 @@ fn main() {
                 e.benchmark.name().to_string(),
                 e.mechanism.name(),
                 format!("{}", e.mem_cycles),
-                format!("{:.2}", e.off_rate()),
-                format!("{:.2}", e.on_rate()),
-                format!("{:.2}", e.speedup()),
+                format!("{:.2}", e.rate(e.noskip_secs)),
+                format!("{:.2}", e.rate(e.cycle_secs)),
+                format!("{:.2}", e.rate(e.event_secs)),
+                format!("{:.2}", e.event_speedup_vs_cycle()),
             ]
         })
         .collect();
@@ -256,13 +275,64 @@ fn main() {
                 "workload",
                 "mechanism",
                 "mem cycles",
-                "off Mcyc/s",
-                "on Mcyc/s",
-                "speedup",
+                "noskip Mc/s",
+                "cycle Mc/s",
+                "event Mc/s",
+                "event/cycle",
             ],
             &rows,
         )
     );
+    println!("--- event-engine observability (same rows)\n");
+    let rows: Vec<Vec<String>> = effects
+        .iter()
+        .map(|e| {
+            vec![
+                e.benchmark.name().to_string(),
+                e.mechanism.name(),
+                format!("{}", e.stats.events_dispatched()),
+                format!("{:.1}", e.stats.events_per_kcycle(e.mem_cycles)),
+                format!("{:.1}", e.stats.mean_jump()),
+                format!("{}", e.stats.quiescent_jumps),
+                format!("{}", e.stats.quiescent_skipped),
+                format!("{}", e.stats.busy_jumps),
+                format!("{}", e.stats.busy_skipped),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "mechanism",
+                "events",
+                "ev/kcyc",
+                "mean jump",
+                "q jumps",
+                "q skipped",
+                "b jumps",
+                "b skipped",
+            ],
+            &rows,
+        )
+    );
+    // The regression gate: the event engine must never be slower than
+    // the quiescent-only cycle engine on a tracked row.
+    let mut regressed = false;
+    for e in &effects {
+        if e.event_secs > e.cycle_secs {
+            regressed = true;
+            eprintln!(
+                "PERF REGRESSION: event engine slower than cycle engine on \
+                 {}/{} ({:.2} vs {:.2} Mcycles/s)",
+                e.benchmark.name(),
+                e.mechanism.name(),
+                e.rate(e.event_secs),
+                e.rate(e.cycle_secs),
+            );
+        }
+    }
 
     // Checkpoint overhead: the same simulation uninterrupted vs paused
     // every N memory cycles to capture + atomically write a snapshot.
@@ -306,7 +376,10 @@ fn main() {
         )
     );
 
-    // Sweep throughput: a small representative grid, serial vs parallel.
+    // Sweep scaling: a small representative grid at worker counts
+    // 1, 2, 4, … up to the machine's available parallelism. Reporting the
+    // whole curve (instead of one serial/parallel pair labelled
+    // "speedup") keeps a 1-core host from producing a misleading row.
     let sweep_benches = [
         SpecBenchmark::Swim,
         SpecBenchmark::Gcc,
@@ -316,55 +389,58 @@ fn main() {
     let mechanisms = fig8_mechanisms();
     let cells = sweep_benches.len() * mechanisms.len();
     let available = default_jobs();
-    let jobs = if opts.jobs == 0 { available } else { opts.jobs };
+    let mut job_levels = Vec::new();
+    let mut level = 1usize;
+    while level < available {
+        job_levels.push(level);
+        level *= 2;
+    }
+    job_levels.push(available);
 
-    let start = Instant::now();
-    let serial = Sweep::run_with_config(&base, &sweep_benches, &mechanisms, opts.run, opts.seed, 1);
-    let serial_secs = start.elapsed().as_secs_f64();
-
-    let start = Instant::now();
-    let parallel = Sweep::run_with_config(
-        &base,
-        &sweep_benches,
-        &mechanisms,
-        opts.run,
-        opts.seed,
-        jobs,
-    );
-    let parallel_secs = start.elapsed().as_secs_f64();
-
-    // The executor's determinism guarantee, enforced on every perf run.
-    assert_eq!(
-        burst_sim::export::sweep_to_csv(&serial),
-        burst_sim::export::sweep_to_csv(&parallel),
-        "parallel sweep must be bit-identical to serial"
-    );
-
-    let serial_rate = cells as f64 / serial_secs;
-    let parallel_rate = cells as f64 / parallel_secs;
-    println!("--- sweep throughput ({cells} sims, {available} cores available)\n");
+    let mut scaling: Vec<(usize, f64)> = Vec::with_capacity(job_levels.len());
+    let mut serial_csv: Option<String> = None;
+    for &jobs in &job_levels {
+        let start = Instant::now();
+        let sweep = Sweep::run_with_config(
+            &base,
+            &sweep_benches,
+            &mechanisms,
+            opts.run,
+            opts.seed,
+            jobs,
+        );
+        let secs = start.elapsed().as_secs_f64();
+        let csv = burst_sim::export::sweep_to_csv(&sweep);
+        // The executor's determinism guarantee, enforced at every level.
+        match &serial_csv {
+            None => serial_csv = Some(csv),
+            Some(reference) => assert_eq!(
+                reference, &csv,
+                "a {jobs}-worker sweep must be bit-identical to serial"
+            ),
+        }
+        scaling.push((jobs, secs));
+    }
+    let serial_secs = scaling[0].1;
+    println!("--- sweep scaling ({cells} sims, {available} cores available)\n");
+    let rows: Vec<Vec<String>> = scaling
+        .iter()
+        .map(|&(jobs, secs)| {
+            vec![
+                format!("{jobs}"),
+                format!("{secs:.3}"),
+                format!("{:.2}", cells as f64 / secs),
+                format!("{:.2}", serial_secs / secs),
+            ]
+        })
+        .collect();
     println!(
         "{}",
-        render_table(
-            &["jobs", "wall s", "sims/s"],
-            &[
-                vec![
-                    "1".into(),
-                    format!("{serial_secs:.3}"),
-                    format!("{serial_rate:.2}")
-                ],
-                vec![
-                    format!("{jobs}"),
-                    format!("{parallel_secs:.3}"),
-                    format!("{parallel_rate:.2}")
-                ],
-            ],
-        )
+        render_table(&["jobs", "wall s", "sims/s", "speedup"], &rows)
     );
-    println!(
-        "speedup: {:.2}x with {jobs} jobs",
-        serial_secs / parallel_secs
-    );
+    if available == 1 {
+        println!("note: single-core host — parallel speedup is not measurable here");
+    }
 
     let instructions = match opts.run {
         burst_sim::RunLength::Instructions(n) => n,
@@ -374,7 +450,10 @@ fn main() {
     json.push_str("{\n");
     json.push_str(&format!("  \"instructions\": {instructions},\n"));
     json.push_str(&format!("  \"seed\": {},\n", opts.seed));
-    json.push_str(&format!("  \"skip\": {},\n", base.skip));
+    json.push_str(&format!(
+        "  \"engine\": {},\n",
+        json_str(base.engine.name())
+    ));
     json.push_str(&format!(
         "  \"profile_benchmark\": {},\n",
         json_str(profile_bench.name())
@@ -391,21 +470,37 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
-    json.push_str("  \"skip_effect\": [\n");
+    json.push_str("  \"engine_effect\": [\n");
     for (i, e) in effects.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"workload\": {}, \"mechanism\": {}, \"mem_cycles\": {}, \
-             \"skip_off_secs\": {:.6}, \"skip_off_mcycles_per_sec\": {:.3}, \
-             \"skip_on_secs\": {:.6}, \"skip_on_mcycles_per_sec\": {:.3}, \
-             \"speedup\": {:.3}}}{}\n",
+             \"noskip_secs\": {:.6}, \"noskip_mcycles_per_sec\": {:.3}, \
+             \"cycle_secs\": {:.6}, \"cycle_mcycles_per_sec\": {:.3}, \
+             \"event_secs\": {:.6}, \"event_mcycles_per_sec\": {:.3}, \
+             \"event_speedup_vs_cycle\": {:.3}, \
+             \"event_speedup_vs_noskip\": {:.3}, \
+             \"events_dispatched\": {}, \"events_per_kcycle\": {:.3}, \
+             \"mean_jump\": {:.3}, \
+             \"quiescent_jumps\": {}, \"quiescent_skipped\": {}, \
+             \"busy_jumps\": {}, \"busy_skipped\": {}}}{}\n",
             json_str(e.benchmark.name()),
             json_str(&e.mechanism.name()),
             e.mem_cycles,
-            e.off_secs,
-            e.off_rate(),
-            e.on_secs,
-            e.on_rate(),
-            e.speedup(),
+            e.noskip_secs,
+            e.rate(e.noskip_secs),
+            e.cycle_secs,
+            e.rate(e.cycle_secs),
+            e.event_secs,
+            e.rate(e.event_secs),
+            e.event_speedup_vs_cycle(),
+            e.event_speedup_vs_noskip(),
+            e.stats.events_dispatched(),
+            e.stats.events_per_kcycle(e.mem_cycles),
+            e.stats.mean_jump(),
+            e.stats.quiescent_jumps,
+            e.stats.quiescent_skipped,
+            e.stats.busy_jumps,
+            e.stats.busy_skipped,
             if i + 1 < effects.len() { "," } else { "" }
         ));
     }
@@ -429,19 +524,19 @@ fn main() {
     json.push_str("  ],\n");
     json.push_str("  \"sweep\": {\n");
     json.push_str(&format!("    \"cells\": {cells},\n"));
-    json.push_str(&format!("    \"serial_secs\": {serial_secs:.6},\n"));
-    json.push_str(&format!("    \"serial_sims_per_sec\": {serial_rate:.3},\n"));
-    json.push_str(&format!("    \"requested_jobs\": {},\n", opts.jobs));
-    json.push_str(&format!("    \"jobs\": {jobs},\n"));
     json.push_str(&format!("    \"available_parallelism\": {available},\n"));
-    json.push_str(&format!("    \"parallel_secs\": {parallel_secs:.6},\n"));
-    json.push_str(&format!(
-        "    \"parallel_sims_per_sec\": {parallel_rate:.3},\n"
-    ));
-    json.push_str(&format!(
-        "    \"speedup\": {:.3}\n",
-        serial_secs / parallel_secs
-    ));
+    json.push_str(&format!("    \"single_core_host\": {},\n", available == 1));
+    json.push_str("    \"scaling\": [\n");
+    for (i, &(jobs, secs)) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"jobs\": {jobs}, \"secs\": {secs:.6}, \
+             \"sims_per_sec\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            cells as f64 / secs,
+            serial_secs / secs,
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n");
     json.push_str("  }\n");
     json.push_str("}\n");
 
@@ -449,5 +544,11 @@ fn main() {
     match std::fs::write(out, &json) {
         Ok(()) => println!("wrote {out}"),
         Err(e) => eprintln!("warning: could not write {out}: {e}"),
+    }
+    if regressed {
+        eprintln!("perf: event-engine regression gate FAILED");
+        std::process::ExitCode::from(1)
+    } else {
+        std::process::ExitCode::SUCCESS
     }
 }

@@ -16,8 +16,8 @@
 #![warn(missing_docs)]
 
 use burst_sim::{
-    CellFailure, CheckpointPlan, Journal, OracleError, RunLength, Supervised, SupervisorConfig,
-    TransientFaultPlan,
+    CellFailure, CheckpointPlan, Engine, Journal, OracleError, RunLength, Supervised,
+    SupervisorConfig, TransientFaultPlan,
 };
 use burst_workloads::SpecBenchmark;
 
@@ -34,9 +34,11 @@ pub struct HarnessOptions {
     pub jobs: usize,
     /// Directory for CSV dumps (`--csv DIR`), if requested.
     pub csv: Option<std::path::PathBuf>,
-    /// Event-horizon cycle skipping (`--no-skip` disables it; results are
-    /// bit-identical either way, only the wall-clock time changes).
-    pub skip: bool,
+    /// Simulation engine (`--engine {event,cycle,cycle-noskip}`; results
+    /// are bit-identical for every choice, only the wall-clock time
+    /// changes). `--no-skip` is kept as a deprecated alias for
+    /// `--engine cycle-noskip`.
+    pub engine: Engine,
     /// Journal file started fresh for this run (`--journal FILE`): every
     /// completed cell is appended and fsynced, so a crash mid-sweep can be
     /// resumed with `--resume FILE`.
@@ -70,7 +72,7 @@ pub struct HarnessOptions {
 
 impl HarnessOptions {
     /// Parses `--instructions N`, `--seed N`, `--benchmarks a,b,c`,
-    /// `--jobs N`, `--csv DIR`, `--no-skip`, `--journal FILE`,
+    /// `--jobs N`, `--csv DIR`, `--engine NAME`, `--journal FILE`,
     /// `--resume FILE`, `--deadline SECS`, `--max-retries N`,
     /// `--inject-cell-faults SEED`, `--checkpoint-every N`,
     /// `--checkpoint-dir DIR` and `--oracle` from `std::env::args`, with
@@ -100,7 +102,18 @@ impl HarnessOptions {
             .unwrap_or(42);
         let jobs = value_of("--jobs").and_then(|v| v.parse().ok()).unwrap_or(0);
         let csv = value_of("--csv").map(std::path::PathBuf::from);
-        let skip = !args.iter().any(|a| a == "--no-skip");
+        let engine = match value_of("--engine") {
+            Some(name) => Engine::from_name(&name).unwrap_or_else(|| {
+                eprintln!(
+                    "warning: unknown engine {name:?} ignored \
+                     (valid: event, cycle, cycle-noskip); using event"
+                );
+                Engine::Event
+            }),
+            // Deprecated alias from before the event engine existed.
+            None if args.iter().any(|a| a == "--no-skip") => Engine::CycleNoSkip,
+            None => Engine::Event,
+        };
         let journal = value_of("--journal").map(std::path::PathBuf::from);
         let resume = value_of("--resume").map(std::path::PathBuf::from);
         let deadline = value_of("--deadline").and_then(|v| v.parse().ok());
@@ -135,7 +148,7 @@ impl HarnessOptions {
             benchmarks,
             jobs,
             csv,
-            skip,
+            engine,
             journal,
             resume,
             deadline,
@@ -161,8 +174,8 @@ impl HarnessOptions {
     /// The canonical description whose hash binds a journal to this run's
     /// result-determining configuration. Deliberately excludes `--jobs`
     /// (parallelism never changes results), the CSV directory and the
-    /// supervision policy (`--deadline`, `--max-retries`), and `--skip`
-    /// (cycle skipping is bit-identical) — a journal recorded with any of
+    /// supervision policy (`--deadline`, `--max-retries`), and `--engine`
+    /// (every engine is bit-identical) — a journal recorded with any of
     /// those settings is valid for any other.
     pub fn fingerprint_desc(&self) -> String {
         let benches: Vec<&str> = self.benchmarks.iter().map(|b| b.name()).collect();
@@ -287,9 +300,9 @@ impl HarnessOptions {
     }
 
     /// The base system configuration implied by the flags (currently just
-    /// the cycle-skipping toggle over the paper baseline).
+    /// the engine selection over the paper baseline).
     pub fn system_config(&self) -> burst_sim::SystemConfig {
-        burst_sim::SystemConfig::baseline().with_skip(self.skip)
+        burst_sim::SystemConfig::baseline().with_engine(self.engine)
     }
 
     /// Writes `content` as `name` into the `--csv` directory, if one was
@@ -389,7 +402,7 @@ mod tests {
         assert!(matches!(o.run, RunLength::Instructions(1000)));
         assert_eq!(o.jobs, 0);
         assert!(o.csv.is_none());
-        assert!(o.skip, "cycle skipping defaults to on");
+        assert_eq!(o.engine, Engine::Event, "event engine is the default");
         assert!(o.journal.is_none());
         assert!(o.resume.is_none());
         assert!(o.deadline.is_none());
@@ -436,6 +449,7 @@ mod tests {
         assert_eq!(parse(&["--jobs", "7"]).fingerprint_desc(), base);
         assert_eq!(parse(&["--deadline", "2"]).fingerprint_desc(), base);
         assert_eq!(parse(&["--no-skip"]).fingerprint_desc(), base);
+        assert_eq!(parse(&["--engine", "cycle"]).fingerprint_desc(), base);
         assert_ne!(parse(&["--seed", "7"]).fingerprint_desc(), base);
         assert_ne!(parse(&["--instructions", "9"]).fingerprint_desc(), base);
         assert_ne!(parse(&["--benchmarks", "swim"]).fingerprint_desc(), base);
@@ -465,11 +479,26 @@ mod tests {
     }
 
     #[test]
-    fn parses_no_skip() {
-        let args: Vec<String> = ["bin", "--no-skip"].iter().map(|s| s.to_string()).collect();
-        let o = HarnessOptions::from_arg_slice(&args, 500);
-        assert!(!o.skip);
-        assert!(!o.system_config().skip);
+    fn parses_engine_and_deprecated_no_skip() {
+        let parse = |extra: &[&str]| {
+            let mut args = vec!["bin".to_string()];
+            args.extend(extra.iter().map(|s| s.to_string()));
+            HarnessOptions::from_arg_slice(&args, 500)
+        };
+        assert_eq!(parse(&["--engine", "event"]).engine, Engine::Event);
+        assert_eq!(parse(&["--engine", "cycle"]).engine, Engine::Cycle);
+        let o = parse(&["--engine", "cycle-noskip"]);
+        assert_eq!(o.engine, Engine::CycleNoSkip);
+        assert_eq!(o.system_config().engine, Engine::CycleNoSkip);
+        // The pre-event-engine spelling still works...
+        assert_eq!(parse(&["--no-skip"]).engine, Engine::CycleNoSkip);
+        // ...but an explicit --engine wins over the deprecated alias.
+        assert_eq!(
+            parse(&["--no-skip", "--engine", "event"]).engine,
+            Engine::Event
+        );
+        // Unknown names fall back to the default instead of aborting.
+        assert_eq!(parse(&["--engine", "warp"]).engine, Engine::Event);
     }
 
     #[test]

@@ -151,6 +151,36 @@ pub struct Core {
     /// computed. Set on every install/remove; most ticks change nothing,
     /// so the steering scan over all banks is skipped.
     ongoing_dirty: Vec<bool>,
+    /// Occupied-slot bitmap, one bit per global bank: set iff the bank has
+    /// an ongoing access. Mirrors `ongoing` exactly (derived state, absent
+    /// from checkpoints) so the per-cycle candidate/steering/event scans
+    /// touch only occupied slots instead of every bank.
+    ongoing_mask: Vec<u64>,
+    /// Per-bank cached next transaction of the slot's ongoing access and a
+    /// lower bound on the first cycle it could pass [`Channel::can_issue`]
+    /// (derived state, absent from checkpoints). The command stays valid
+    /// while the bank's device state is untouched — only a command issued
+    /// *to this bank* or a refresh changes it, and both drop the entry.
+    /// The bound stays a valid lower bound across *other* banks' issues
+    /// because every cross-bank timing side effect is monotone: `*_ready_at`
+    /// stamps and `data_busy_until` only grow, and a turnaround penalty the
+    /// cached command no longer pays against the newest transfer was paid
+    /// by that transfer itself (the per-attribute gap obeys a triangle
+    /// inequality). So `now < bound` proves the slot contributes no
+    /// unblocked candidate, with no timing query at all.
+    cand_cache: Vec<Option<(Command, Cycle)>>,
+    /// `BusStats::refreshes` of each channel when its `cand_cache` entries
+    /// were computed. A refresh rewrites bank rows without passing through
+    /// [`Core::issue_candidate`], so a mismatch drops the whole channel's
+    /// entries. `u64::MAX` forces the drop (fresh core or restored
+    /// checkpoint).
+    cand_epoch: Vec<u64>,
+    /// Per-channel aggregate of `cand_cache`: `Some(t)` proves no occupied
+    /// slot of the channel yields an unblocked candidate before cycle `t`,
+    /// valid while the slot set, the per-bank device states (refresh
+    /// epoch) and the channel's issue history are unchanged — any of those
+    /// clears it. Lets a barren stretch skip the candidate scan outright.
+    chan_bound: Vec<Option<Cycle>>,
     /// Arrival cycle of every outstanding access, keyed by id. Ids and
     /// arrivals are both monotone, so the first entry is the oldest access.
     ages: AgeWindow,
@@ -180,6 +210,10 @@ impl Core {
             last_rank: vec![None; nch],
             oldest_ongoing: vec![None; nch],
             ongoing_dirty: vec![true; nch],
+            ongoing_mask: vec![0; nbanks.div_ceil(64)],
+            cand_cache: vec![None; nbanks],
+            cand_epoch: vec![u64::MAX; nch],
+            chan_bound: vec![None; nch],
             reads_outstanding: 0,
             writes_outstanding: 0,
             ages: AgeWindow::default(),
@@ -315,21 +349,48 @@ impl Core {
         if self.ongoing[bank].is_some() {
             return Err(access);
         }
+        let entry = (access.id, bank, access.loc.rank);
         self.ongoing[bank] = Some(Ongoing {
             access,
             started: false,
         });
+        self.ongoing_mask[bank >> 6] |= 1 << (bank & 63);
+        self.cand_cache[bank] = None;
         let chan = bank / self.banks_per_channel();
-        self.ongoing_dirty[chan] = true;
+        self.chan_bound[chan] = None;
+        // An insertion merges into the steering minimum in O(1); a clean
+        // cache stays clean, so the rescan in `steer_to_oldest` runs only
+        // after the tracked oldest itself left its slot.
+        if !self.ongoing_dirty[chan] {
+            match self.oldest_ongoing[chan] {
+                Some(cur) if cur <= entry => {}
+                _ => self.oldest_ongoing[chan] = Some(entry),
+            }
+        }
         Ok(())
+    }
+
+    /// Marks the steering cache for `chan` after the ongoing access of
+    /// `bank` left its slot: removing anything but the tracked minimum
+    /// leaves the minimum intact.
+    fn note_ongoing_removed(&mut self, chan: usize, bank: usize) {
+        if !self.ongoing_dirty[chan] {
+            match self.oldest_ongoing[chan] {
+                Some((_, b, _)) if b != bank => {}
+                _ => self.ongoing_dirty[chan] = true,
+            }
+        }
     }
 
     /// Removes and returns the bank's ongoing access (read preemption).
     pub fn clear_ongoing(&mut self, bank: usize) -> Option<Access> {
         let taken = self.ongoing[bank].take().map(|o| o.access);
         if taken.is_some() {
+            self.ongoing_mask[bank >> 6] &= !(1 << (bank & 63));
+            self.cand_cache[bank] = None;
             let chan = bank / self.banks_per_channel();
-            self.ongoing_dirty[chan] = true;
+            self.chan_bound[chan] = None;
+            self.note_ongoing_removed(chan, bank);
         }
         taken
     }
@@ -353,7 +414,7 @@ impl Core {
     /// Collects every bank of `channel` whose ongoing access has an
     /// unblocked next transaction at `now`.
     pub fn fill_candidates(
-        &self,
+        &mut self,
         dram: &Dram,
         channel: usize,
         now: Cycle,
@@ -366,7 +427,7 @@ impl Core {
     /// transaction is currently blocked (with `unblocked == false`), for
     /// schedulers that commit by policy order without timing awareness.
     pub fn fill_all_candidates(
-        &self,
+        &mut self,
         dram: &Dram,
         channel: usize,
         now: Cycle,
@@ -375,8 +436,42 @@ impl Core {
         self.fill_candidates_impl(dram, channel, now, out, true);
     }
 
+    /// Calls `f` for every bank of `channel` holding an ongoing access, in
+    /// ascending bank order, walking the occupied-slot bitmap instead of
+    /// probing every slot.
+    fn for_each_occupied(&self, channel: usize, mut f: impl FnMut(usize, &Ongoing)) {
+        let range = self.bank_range(channel);
+        let mut bank = range.start;
+        while bank < range.end {
+            let shifted = self.ongoing_mask[bank >> 6] >> (bank & 63);
+            if shifted == 0 {
+                bank = (bank | 63) + 1;
+                continue;
+            }
+            bank += shifted.trailing_zeros() as usize;
+            if bank >= range.end {
+                break;
+            }
+            let og = self.ongoing[bank]
+                .as_ref()
+                .expect("ongoing_mask bit set on an empty slot");
+            f(bank, og);
+            bank += 1;
+        }
+    }
+
+    /// O(1) pre-check for the burst transaction scheduler: `true` proves
+    /// the channel yields no unblocked candidate at `now` (see
+    /// `chan_bound`), so the candidate scan and selection can be skipped
+    /// without observable difference. Conservative: a stale refresh epoch
+    /// simply reports `false` and the scan runs.
+    pub fn candidates_barren(&self, dram: &Dram, channel: usize, now: Cycle) -> bool {
+        self.cand_epoch[channel] == dram.channel(channel).stats().refreshes
+            && self.chan_bound[channel].is_some_and(|t| now < t)
+    }
+
     fn fill_candidates_impl(
-        &self,
+        &mut self,
         dram: &Dram,
         channel: usize,
         now: Cycle,
@@ -385,25 +480,76 @@ impl Core {
     ) {
         out.clear();
         let ch = dram.channel(channel);
-        let escalate_age = self.cfg.watchdog.escalate_age;
-        for bank in self.bank_range(channel) {
-            if let Some(og) = &self.ongoing[bank] {
-                let cmd = self.next_command(og.access.loc, og.access.kind, dram);
-                let unblocked = ch.can_issue(&cmd, now);
-                if unblocked || include_blocked {
-                    out.push(Candidate {
-                        bank,
-                        cmd,
-                        loc: og.access.loc,
-                        kind: og.access.kind,
-                        arrival: og.access.arrival,
-                        id: og.access.id,
-                        started: og.started,
-                        unblocked,
-                        escalated: now.saturating_sub(og.access.arrival) >= escalate_age,
-                    });
-                }
+        let epoch = ch.stats().refreshes;
+        if self.cand_epoch[channel] != epoch {
+            for bank in self.bank_range(channel) {
+                self.cand_cache[bank] = None;
             }
+            self.cand_epoch[channel] = epoch;
+            self.chan_bound[channel] = None;
+        }
+        let escalate_age = self.cfg.watchdog.escalate_age;
+        let range = self.bank_range(channel);
+        let mut min_bound = u64::MAX;
+        let mut any_unblocked = false;
+        let mut bank = range.start;
+        while bank < range.end {
+            let shifted = self.ongoing_mask[bank >> 6] >> (bank & 63);
+            if shifted == 0 {
+                bank = (bank | 63) + 1;
+                continue;
+            }
+            bank += shifted.trailing_zeros() as usize;
+            if bank >= range.end {
+                break;
+            }
+            let og = self.ongoing[bank].expect("ongoing_mask bit set on an empty slot");
+            let (cmd, bound) = match self.cand_cache[bank] {
+                Some(c) => c,
+                None => {
+                    let cmd = self.next_command(og.access.loc, og.access.kind, dram);
+                    let bound = ch.earliest_issue(&cmd, now).unwrap_or(now);
+                    self.cand_cache[bank] = Some((cmd, bound));
+                    (cmd, bound)
+                }
+            };
+            // Below the cached bound the command is provably illegal — no
+            // timing query needed. At or past it, verify for real; a miss
+            // there (command bus taken this cycle, refresh pending on the
+            // rank) re-derives the bound from the current timing state.
+            let unblocked = if now < bound {
+                min_bound = min_bound.min(bound);
+                false
+            } else {
+                let ok = ch.can_issue(&cmd, now);
+                if !ok {
+                    let bound = ch.earliest_issue(&cmd, now).unwrap_or(now);
+                    self.cand_cache[bank] = Some((cmd, bound));
+                    min_bound = min_bound.min(bound);
+                }
+                ok
+            };
+            any_unblocked |= unblocked;
+            if unblocked || include_blocked {
+                out.push(Candidate {
+                    bank,
+                    cmd,
+                    loc: og.access.loc,
+                    kind: og.access.kind,
+                    arrival: og.access.arrival,
+                    id: og.access.id,
+                    started: og.started,
+                    unblocked,
+                    escalated: now.saturating_sub(og.access.arrival) >= escalate_age,
+                });
+            }
+            bank += 1;
+        }
+        // With every occupied slot provably blocked until `min_bound`, the
+        // whole scan is skippable until then (or until a slot, device or
+        // issue change drops the aggregate).
+        if !any_unblocked {
+            self.chan_bound[channel] = Some(min_bound);
         }
     }
 
@@ -416,14 +562,14 @@ impl Core {
     /// cycle toward the bank holding the oldest ongoing access.
     pub fn steer_to_oldest(&mut self, channel: usize) {
         if self.ongoing_dirty[channel] {
-            self.oldest_ongoing[channel] = self
-                .bank_range(channel)
-                .filter_map(|b| {
-                    self.ongoing[b]
-                        .as_ref()
-                        .map(|o| (o.access.id, b, o.access.loc.rank))
-                })
-                .min();
+            let mut min = None;
+            self.for_each_occupied(channel, |b, o| {
+                let entry = (o.access.id, b, o.access.loc.rank);
+                if min.is_none_or(|m| entry < m) {
+                    min = Some(entry);
+                }
+            });
+            self.oldest_ongoing[channel] = min;
             self.ongoing_dirty[channel] = false;
         }
         if let Some((_, bank, rank)) = self.oldest_ongoing[channel] {
@@ -462,6 +608,11 @@ impl Core {
             }
         }
         let issued = dram.channel_mut(chan).issue(&cand.cmd, now);
+        // The command changed this bank's device state, so the slot's next
+        // transaction must be re-derived. Other banks' cached entries stay
+        // valid lower bounds (see `cand_cache`).
+        self.cand_cache[cand.bank] = None;
+        self.chan_bound[chan] = None;
         self.last_bank[chan] = Some(cand.bank);
         self.last_rank[chan] = Some(cand.loc.rank);
         self.last_progress = now;
@@ -469,7 +620,8 @@ impl Core {
             let og = self.ongoing[cand.bank]
                 .take()
                 .expect("column without ongoing access");
-            self.ongoing_dirty[chan] = true;
+            self.ongoing_mask[cand.bank >> 6] &= !(1 << (cand.bank & 63));
+            self.note_ongoing_removed(chan, cand.bank);
             // Fault injection: the data transfer happened but is declared
             // bad (ECC read error / write CRC retry). The access stays
             // outstanding and re-enters its queue via `take_retries`.
@@ -623,6 +775,122 @@ impl Core {
         self.last_progress = from + n - 1;
     }
 
+    /// Mechanism-independent part of the busy-skip event derivation: the
+    /// earliest cycle strictly after `last` at which the shared machinery
+    /// could make a tick differ from a pure bookkeeping no-op, assuming no
+    /// commands issue and no accesses arrive in the interim.
+    ///
+    /// Returns `None` when the next tick must be stepped: a retry awaits
+    /// re-enqueue, a stall is latched (diagnosis wants real ticks), a
+    /// channel's steering pointer has not yet converged on the oldest
+    /// ongoing access (Fig. 6 lines 14–15 run every no-op tick), or some
+    /// bank's next transaction is already issuable.
+    ///
+    /// Otherwise folds, over every ongoing access, the earliest cycle its
+    /// next transaction could first satisfy the timing constraints —
+    /// between commands all bank/rank ready-at values are static, so
+    /// [`burst_dram::Channel::earliest_issue`] is exact — plus the cycle
+    /// at which the forward-progress watchdog would latch. Transactions
+    /// blocked behind a pending refresh are skipped here; the refresh
+    /// resolution instant is already folded via `Dram::next_event` by the
+    /// caller.
+    pub fn busy_event_base(&self, dram: &Dram, last: Cycle) -> Option<Cycle> {
+        if !self.retry_pending.is_empty() || self.stall.is_some() {
+            return None;
+        }
+        // The stall latch compares `now - last_progress > stall_limit` on
+        // every stepped tick; make sure the first tripping cycle is stepped.
+        let mut event = self.last_progress + self.cfg.watchdog.stall_limit + 1;
+        for channel in 0..self.channel_count() {
+            let ch = dram.channel(channel);
+            let mut target = None;
+            let mut bail = false;
+            self.for_each_occupied(channel, |bank, og| {
+                if bail {
+                    return;
+                }
+                let entry = (og.access.id, bank, og.access.loc.rank);
+                if target.is_none_or(|t| entry < t) {
+                    target = Some(entry);
+                }
+                let cmd = self.next_command(og.access.loc, og.access.kind, dram);
+                let rank = og.access.loc.rank;
+                if ch.refresh_pending(rank)
+                    && matches!(cmd, Command::Activate(_) | Command::Column { .. })
+                {
+                    // Blocked until the refresh performs; Dram::next_event
+                    // reports that instant.
+                    return;
+                }
+                let mut at = ch.earliest_issue(&cmd, last + 1).unwrap_or(last + 1);
+                if matches!(cmd, Command::Precharge(_)) {
+                    // earliest_issue's precharge arm ignores rank
+                    // availability (refresh busy); fold it so tRFC windows
+                    // skip instead of stepping.
+                    at = at.max(ch.rank(rank).busy_until());
+                }
+                if at <= last + 1 {
+                    bail = true;
+                    return;
+                }
+                event = event.min(at);
+            });
+            if bail {
+                return None;
+            }
+            if let Some((_, bank, rank)) = target {
+                if self.last_bank[channel] != Some(bank) || self.last_rank[channel] != Some(rank) {
+                    // steer_to_oldest has not reached its fixed point yet;
+                    // one stepped tick gets it there.
+                    return None;
+                }
+            }
+        }
+        (event > last + 1).then_some(event)
+    }
+
+    /// Batch-advances the per-tick bookkeeping over `n` *blocked* ticks at
+    /// cycles `from..from + n`: outstanding accesses exist but none of
+    /// their transactions can issue, so each tick is `sample` plus
+    /// `watchdog_tick` at constant occupancy. Occupancy samples land at the
+    /// live counts and the watchdog's running max-age fold is reproduced by
+    /// its value at the final skipped tick (ages grow monotonically).
+    ///
+    /// Callers must have verified via [`Core::busy_event_base`] that the
+    /// stretch is a no-op; in particular the stall latch must not fire
+    /// inside it.
+    pub fn advance_blocked(&mut self, from: Cycle, n: u64) {
+        debug_assert!(n >= 1);
+        debug_assert!(
+            self.reads_outstanding + self.writes_outstanding > 0,
+            "blocked advance requires outstanding work (else use advance_quiescent)"
+        );
+        debug_assert!(self.retry_pending.is_empty() && self.stall.is_none());
+        let to = from + n - 1;
+        debug_assert!(
+            to.saturating_sub(self.last_progress) <= self.cfg.watchdog.stall_limit,
+            "stall latch would fire inside a skipped stretch"
+        );
+        self.stats.cycles += n;
+        let s = u64::from(self.cfg.sample_interval.max(1));
+        let c = u64::from(self.sample_countdown);
+        let hits = if n >= c { 1 + (n - c) / s } else { 0 };
+        self.sample_countdown = if n < c { c - n } else { s - ((n - c) % s) } as u32;
+        if hits > 0 {
+            self.stats.record_occupancy_n(
+                self.reads_outstanding,
+                self.writes_outstanding,
+                self.cfg.write_capacity,
+                hits,
+            );
+        }
+        if let Some((_, age)) = self.oldest_outstanding(to) {
+            self.stats.max_access_age = self.stats.max_access_age.max(age);
+        }
+        // watchdog_tick leaves last_progress untouched while work is
+        // outstanding; the stall clock keeps running across the jump.
+    }
+
     /// Serialises all persistent core state for a checkpoint. The lazy
     /// oldest-ongoing steering cache is transient (recomputed on demand)
     /// and is not part of the snapshot.
@@ -727,9 +995,29 @@ impl Core {
             None
         };
         self.sample_countdown = r.u32()?;
+        // Rebuild the derived occupied-slot bitmap from the restored slots.
+        for w in &mut self.ongoing_mask {
+            *w = 0;
+        }
+        for (b, slot) in self.ongoing.iter().enumerate() {
+            if slot.is_some() {
+                self.ongoing_mask[b >> 6] |= 1 << (b & 63);
+            }
+        }
         for (cache, dirty) in self.oldest_ongoing.iter_mut().zip(&mut self.ongoing_dirty) {
             *cache = None;
             *dirty = true;
+        }
+        // Cached candidate bounds were derived against the pre-restore
+        // device state; force a full re-derivation.
+        for c in &mut self.cand_cache {
+            *c = None;
+        }
+        for e in &mut self.cand_epoch {
+            *e = u64::MAX;
+        }
+        for b in &mut self.chan_bound {
+            *b = None;
         }
         Ok(())
     }

@@ -264,6 +264,26 @@ impl AccessScheduler for AdaptiveHistoryScheduler {
         self.core.advance_quiescent(from, n);
     }
 
+    fn next_busy_event(&self, dram: &Dram, last: Cycle) -> Option<Cycle> {
+        // `pick` installs whenever either queue of an idle bank is
+        // non-empty (history only steers which kind goes first), so an
+        // idle bank with any work makes the next tick a real one. With
+        // every work-holding bank busy, escalation is unreachable and the
+        // history counters are untouched.
+        for bank in 0..self.core.bank_count() {
+            if self.core.ongoing(bank).is_none()
+                && (!self.read_queues[bank].is_empty() || !self.write_queues[bank].is_empty())
+            {
+                return None;
+            }
+        }
+        self.core.busy_event_base(dram, last)
+    }
+
+    fn advance_blocked(&mut self, from: Cycle, n: u64) {
+        self.core.advance_blocked(from, n);
+    }
+
     fn save_state(&self, w: &mut burst_snap::SnapWriter) -> Result<(), burst_snap::SnapError> {
         self.core.save_snap(w);
         super::save_queue_set(&self.read_queues, w);

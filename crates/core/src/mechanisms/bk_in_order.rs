@@ -138,6 +138,23 @@ impl AccessScheduler for BkInOrderScheduler {
         self.core.advance_quiescent(from, n);
     }
 
+    fn next_busy_event(&self, dram: &Dram, last: Cycle) -> Option<Cycle> {
+        // An idle bank with queued work installs a new ongoing access on
+        // the very next tick, so the stretch cannot be skipped.
+        for (bank, q) in self.queues.iter().enumerate() {
+            if !q.is_empty() && self.core.ongoing(bank).is_none() {
+                return None;
+            }
+        }
+        // Otherwise every arbiter is a no-op and only SDRAM timing (or the
+        // watchdog) can change a tick's outcome.
+        self.core.busy_event_base(dram, last)
+    }
+
+    fn advance_blocked(&mut self, from: Cycle, n: u64) {
+        self.core.advance_blocked(from, n);
+    }
+
     fn save_state(&self, w: &mut burst_snap::SnapWriter) -> Result<(), burst_snap::SnapError> {
         self.core.save_snap(w);
         super::save_queue_set(&self.queues, w);

@@ -118,12 +118,22 @@ pub struct BurstScheduler {
     core: Core,
     banks: Vec<BankQueues>,
     opts: BurstOptions,
-    scratch: Vec<Candidate>,
     /// Read/write arrivals in the current adaptation window (dynamic
     /// threshold only).
     window_reads: u64,
     window_writes: u64,
     next_adapt: burst_dram::Cycle,
+    /// Bank-arbiter attention bitmap, one bit per global bank: set iff the
+    /// arbiter could possibly change the bank's state — the slot is free
+    /// and work is queued, or an ongoing write has reads behind it
+    /// (preemption). Every global condition the arbiter consults (queue
+    /// saturation, no-reads-anywhere, piggyback qualification, escalation
+    /// age) still requires that local precondition, so a clear bit proves
+    /// the arbiter call is a no-op and the per-cycle loop skips it.
+    /// Derived state: rebuilt wholesale after a checkpoint restore.
+    attention: Vec<u64>,
+    /// Reusable candidate buffer for the per-channel transaction scan.
+    scratch: Vec<Candidate>,
 }
 
 impl BurstScheduler {
@@ -136,10 +146,33 @@ impl BurstScheduler {
             core,
             banks: vec![BankQueues::default(); nbanks],
             opts,
-            scratch: Vec::new(),
             window_reads: 0,
             window_writes: 0,
             next_adapt,
+            attention: vec![0; nbanks.div_ceil(64)],
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Flags `bank_idx` for arbitration (new work arrived).
+    fn mark_attention(&mut self, bank_idx: usize) {
+        self.attention[bank_idx >> 6] |= 1 << (bank_idx & 63);
+    }
+
+    /// Recomputes `bank_idx`'s attention bit from its slot and queues.
+    fn refresh_attention(&mut self, bank_idx: usize) {
+        let need = match self.core.ongoing(bank_idx) {
+            None => {
+                let b = &self.banks[bank_idx];
+                b.has_reads() || !b.writes.is_empty()
+            }
+            Some(og) => og.access.kind == AccessKind::Write && self.banks[bank_idx].has_reads(),
+        };
+        let (word, mask) = (bank_idx >> 6, 1u64 << (bank_idx & 63));
+        if need {
+            self.attention[word] |= mask;
+        } else {
+            self.attention[word] &= !mask;
         }
     }
 
@@ -215,6 +248,7 @@ impl BurstScheduler {
     /// retry is the oldest work its bank has.
     fn requeue_front(&mut self, access: Access) {
         let bank_idx = self.core.global_bank(access.loc);
+        self.mark_attention(bank_idx);
         let bank = &mut self.banks[bank_idx];
         match access.kind {
             AccessKind::Read => {
@@ -399,6 +433,7 @@ impl AccessScheduler for BurstScheduler {
                 // single-access burst at the end of the read queue.
                 self.core.note_arrival(&access);
                 self.window_reads += 1;
+                self.mark_attention(bank_idx);
                 let bank = &mut self.banks[bank_idx];
                 if let Some(burst) = bank.bursts.iter_mut().find(|b| b.row == access.loc.row) {
                     if self.opts.critical_first && access.critical {
@@ -426,6 +461,7 @@ impl AccessScheduler for BurstScheduler {
                 // and complete immediately from the CPU's view.
                 self.core.note_arrival(&access);
                 self.window_writes += 1;
+                self.mark_attention(bank_idx);
                 self.banks[bank_idx].writes.push_back(access);
                 EnqueueOutcome::Queued
             }
@@ -441,8 +477,29 @@ impl AccessScheduler for BurstScheduler {
         }
         self.adapt_threshold(now);
         for channel in 0..self.core.channel_count() {
-            for bank_idx in self.core.bank_range(channel) {
+            // Visit only flagged banks: a clear attention bit proves the
+            // arbiter call would be a no-op (see the field's invariant).
+            let range = self.core.bank_range(channel);
+            let mut bank_idx = range.start;
+            while bank_idx < range.end {
+                let shifted = self.attention[bank_idx >> 6] >> (bank_idx & 63);
+                if shifted == 0 {
+                    bank_idx = (bank_idx | 63) + 1;
+                    continue;
+                }
+                bank_idx += shifted.trailing_zeros() as usize;
+                if bank_idx >= range.end {
+                    break;
+                }
                 self.bank_arbiter(bank_idx, dram, now);
+                self.refresh_attention(bank_idx);
+                bank_idx += 1;
+            }
+            if self.core.candidates_barren(dram, channel, now) {
+                // Figure 6 lines 14-15 fire every barren cycle; the write
+                // is idempotent while the ongoing set is unchanged.
+                self.core.steer_to_oldest(channel);
+                continue;
             }
             let mut cands = std::mem::take(&mut self.scratch);
             self.core.fill_candidates(dram, channel, now, &mut cands);
@@ -474,6 +531,9 @@ impl AccessScheduler for BurstScheduler {
                                 self.banks[cand.bank].at_burst_end = true;
                             }
                         }
+                        // The column freed the bank's slot (or parked a
+                        // faulted access for retry): recompute its bit.
+                        self.refresh_attention(cand.bank);
                     }
                 }
                 None => {
@@ -522,6 +582,130 @@ impl AccessScheduler for BurstScheduler {
                 };
             }
         }
+    }
+
+    fn enqueue_may_advance_horizon(&self, access: &Access) -> bool {
+        // Mirrors `next_busy_event`'s veto arms. An arrival can create an
+        // *earlier* observable tick only through those arms; everything
+        // else it touches — watchdog progress, adaptation arrival
+        // windows, attention bits — moves the horizon later or not at
+        // all, which the conservative-early contract already permits.
+        let Some(og) = self.core.ongoing(self.core.global_bank(access.loc)) else {
+            // Idle slot: the bank arbiter may install this access on the
+            // very next tick (and escalation/write-drain arms apply).
+            return true;
+        };
+        match access.kind {
+            // A read behind an ongoing write arms preemption. Behind an
+            // ongoing read the slot stays pinned through any valid
+            // horizon (its completion bounds `busy_event_base`), the
+            // idle-bank arms cannot see the bank, and a read trips no
+            // global threshold — `no_reads_anywhere` can only flip
+            // towards *disabling* the write-drain arm elsewhere.
+            AccessKind::Read => og.access.kind == AccessKind::Write,
+            // A write behind a busy slot of either kind cannot be chosen
+            // locally before the horizon, but the global write count it
+            // bumps feeds the saturation and piggyback arms at *other*
+            // banks — preserve only while the incremented count stays
+            // strictly clear of both thresholds. (`preempt_below` needs
+            // no check: a larger count only disables preemption.)
+            AccessKind::Write => {
+                let writes_after = self.core.writes_outstanding() as u32 + 1;
+                writes_after >= self.core.cfg().write_capacity as u32
+                    || self
+                        .opts
+                        .piggyback_above
+                        .is_some_and(|th| writes_after > th)
+            }
+        }
+    }
+
+    fn next_busy_event(&self, dram: &Dram, last: Cycle) -> Option<Cycle> {
+        let mut event = self.core.busy_event_base(dram, last)?;
+        let t = last + 1;
+        if self.opts.dynamic_period.is_some() {
+            // The adaptation timer rewrites the thresholds and zeroes the
+            // arrival windows when it fires; that tick must be stepped.
+            if self.next_adapt <= t {
+                return None;
+            }
+            event = event.min(self.next_adapt);
+        }
+        let escalate_age = self.core.cfg().watchdog.escalate_age;
+        let writes_global = self.core.writes_outstanding() as u32;
+        let write_cap = self.core.cfg().write_capacity as u32;
+        let no_reads_anywhere = self.core.reads_outstanding() == 0;
+        // Only attention-flagged banks can veto or bound the horizon: a
+        // clear bit means the bank is either slot-busy with a read, a
+        // write with no reads behind it, or idle and empty — and every
+        // arm below contributes nothing for those. (Bits can be stale-set
+        // after an enqueue behind a busy slot; a visit then just scores
+        // nothing, exactly like the full scan did.)
+        for (w, &word0) in self.attention.iter().enumerate() {
+            let mut word = word0;
+            while word != 0 {
+                let bank_idx = (w << 6) + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let bank = &self.banks[bank_idx];
+                if let Some(og) = self.core.ongoing(bank_idx) {
+                    // Preemption's terms are static over a no-op stretch
+                    // except the age guard, which can only turn an eligible
+                    // write immune — so eligibility at the next tick decides.
+                    if og.access.kind == AccessKind::Write
+                        && writes_global < self.opts.preempt_below
+                        && t.saturating_sub(og.access.arrival) < escalate_age
+                        && bank.has_reads()
+                    {
+                        return None;
+                    }
+                    continue;
+                }
+                // Idle bank: replicate the Figure 5 decision at tick `t`.
+                // Escalation first, replicating pop order exactly —
+                // including its blindness to exhausted front bursts.
+                let oldest_read = bank
+                    .bursts
+                    .front()
+                    .and_then(|b| b.accesses.front())
+                    .map(|a| a.arrival);
+                let oldest_write = bank.writes.front().map(|a| a.arrival);
+                if let Some(arrival) = [oldest_read, oldest_write].into_iter().flatten().min() {
+                    let esc_at = arrival + escalate_age;
+                    if esc_at <= t {
+                        return None;
+                    }
+                    event = event.min(esc_at);
+                }
+                if writes_global >= write_cap && !bank.writes.is_empty() {
+                    return None;
+                }
+                let open_row = {
+                    let (ch, rank, bk) = self.core.bank_coords(bank_idx);
+                    dram.channel(usize::from(ch)).bank(rank, bk).open_row()
+                };
+                if let (Some(th), true, Some(row)) =
+                    (self.opts.piggyback_above, bank.at_burst_end, open_row)
+                {
+                    if writes_global > th && bank.writes.iter().any(|w| w.loc.row == row) {
+                        return None;
+                    }
+                }
+                if bank.has_reads() || (no_reads_anywhere && !bank.writes.is_empty()) {
+                    return None;
+                }
+            }
+        }
+        Some(event)
+    }
+
+    fn advance_blocked(&mut self, from: Cycle, n: u64) {
+        if let Some(_period) = self.opts.dynamic_period {
+            debug_assert!(
+                from + n - 1 < self.next_adapt,
+                "adaptation timer would fire inside a skipped busy stretch"
+            );
+        }
+        self.core.advance_blocked(from, n);
     }
 
     fn save_state(&self, w: &mut burst_snap::SnapWriter) -> Result<(), burst_snap::SnapError> {
@@ -582,6 +766,11 @@ impl AccessScheduler for BurstScheduler {
         self.window_reads = r.u64()?;
         self.window_writes = r.u64()?;
         self.next_adapt = r.u64()?;
+        // The attention bitmap is derived state: rebuild it from the
+        // restored slots and queues.
+        for b in 0..self.banks.len() {
+            self.refresh_attention(b);
+        }
         Ok(())
     }
 }

@@ -296,6 +296,59 @@ impl AccessScheduler for IntelScheduler {
         self.core.advance_quiescent(from, n);
     }
 
+    fn next_busy_event(&self, dram: &Dram, last: Cycle) -> Option<Cycle> {
+        let mut event = self.core.busy_event_base(dram, last)?;
+        let t = last + 1;
+        // Recompute the drain decision exactly as the tick top does; the
+        // occupancy it reads is static across a no-op stretch.
+        let draining = self.core.writes_outstanding() >= self.core.cfg().write_capacity;
+        for bank in 0..self.core.bank_count() {
+            match self.core.ongoing(bank) {
+                Some(og) => {
+                    if self.read_preemption
+                        && og.access.kind == AccessKind::Write
+                        && !self.read_queues[bank].is_empty()
+                    {
+                        // Read preemption fires on the next tick.
+                        return None;
+                    }
+                }
+                None => {
+                    if !self.read_queues[bank].is_empty() {
+                        // An idle bank with reads always installs one.
+                        return None;
+                    }
+                }
+            }
+        }
+        if let Some(front) = self.write_queue.front() {
+            let bank = self.core.global_bank(front.loc);
+            if self.core.ongoing(bank).is_none() {
+                // Only the front write ever escalates, and only once its
+                // target bank is idle — idleness is static mid-stretch.
+                let esc_at = front.arrival + self.core.cfg().watchdog.escalate_age;
+                if esc_at <= t {
+                    return None;
+                }
+                event = event.min(esc_at);
+            }
+            if (draining || self.core.reads_outstanding() == 0)
+                && self
+                    .write_queue
+                    .iter()
+                    .any(|w| self.core.ongoing(self.core.global_bank(w.loc)).is_none())
+            {
+                // Drain mode installs any write whose bank is idle.
+                return None;
+            }
+        }
+        Some(event)
+    }
+
+    fn advance_blocked(&mut self, from: Cycle, n: u64) {
+        self.core.advance_blocked(from, n);
+    }
+
     fn save_state(&self, w: &mut burst_snap::SnapWriter) -> Result<(), burst_snap::SnapError> {
         self.core.save_snap(w);
         super::save_queue_set(&self.read_queues, w);

@@ -106,6 +106,55 @@ pub trait AccessScheduler: core::fmt::Debug {
         unreachable!("advance_quiescent called on a scheduler that never reports quiescence");
     }
 
+    /// The earliest cycle strictly after `last` at which a call to
+    /// [`AccessScheduler::tick`] could differ from a pure bookkeeping
+    /// no-op — a bank arbiter installing or preempting an ongoing access,
+    /// a transaction becoming issuable, an escalation or adaptation timer
+    /// firing, or the starvation watchdog latching — assuming no new
+    /// accesses are enqueued in the interim. `None` means the next cycle
+    /// must be stepped.
+    ///
+    /// Unlike [`AccessScheduler::quiescent`], this covers *busy* periods:
+    /// outstanding accesses exist but every transaction is blocked on
+    /// SDRAM timing. The event may be conservatively early (the stepped
+    /// tick at the event simply turns out to be another no-op) but must
+    /// never be late: skipping the ticks in `(last, event)` must be
+    /// bit-identical to stepping them.
+    ///
+    /// The conservative default (`None`) keeps custom schedulers correct:
+    /// the simulator simply never busy-skips for them.
+    fn next_busy_event(&self, _dram: &Dram, _last: Cycle) -> Option<Cycle> {
+        None
+    }
+
+    /// Whether enqueueing `access` could move the cycle reported by
+    /// [`AccessScheduler::next_busy_event`] *earlier*. The simulator uses
+    /// this to decide if a cached busy horizon must be discarded on
+    /// arrival. Returning `true` is always safe (the cache is rebuilt);
+    /// returning `false` asserts that the arrival cannot create an
+    /// earlier observable tick — e.g. the access lands behind an ongoing
+    /// transfer that already pins its bank busy through the horizon and
+    /// cannot be preempted by this access kind. Arrivals may still move
+    /// the event *later* (the watchdog's progress clock advances); a
+    /// conservatively early horizon is allowed by the `next_busy_event`
+    /// contract, so that direction needs no invalidation.
+    ///
+    /// The conservative default (`true`) keeps custom schedulers correct.
+    fn enqueue_may_advance_horizon(&self, _access: &Access) -> bool {
+        true
+    }
+
+    /// Batch-advances per-tick bookkeeping (cycle counters, occupancy
+    /// sampling at the live outstanding counts, the watchdog's running
+    /// max-age fold) over the `n` blocked ticks at cycles `from..from + n`,
+    /// bit-identically to calling [`AccessScheduler::tick`] that many times
+    /// while every transaction stays blocked. Only called for stretches
+    /// validated by [`AccessScheduler::next_busy_event`]; the default pairs
+    /// with the default (`None`) implementation and is unreachable.
+    fn advance_blocked(&mut self, _from: Cycle, _n: u64) {
+        unreachable!("advance_blocked called on a scheduler that never reports busy events");
+    }
+
     /// Serialises the scheduler's full state (queues, adaptation timers,
     /// shared core bookkeeping and statistics) for a checkpoint. The
     /// default reports [`burst_snap::SnapError::Unsupported`] so custom

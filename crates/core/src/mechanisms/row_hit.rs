@@ -164,6 +164,22 @@ impl AccessScheduler for RowHitScheduler {
         self.core.advance_quiescent(from, n);
     }
 
+    fn next_busy_event(&self, dram: &Dram, last: Cycle) -> Option<Cycle> {
+        // The arbiter installs whenever a bank is idle with a non-empty
+        // queue (the row-hit preference only changes *which* access, not
+        // *whether* one installs), so such a tick is never a no-op.
+        for (bank, q) in self.queues.iter().enumerate() {
+            if !q.is_empty() && self.core.ongoing(bank).is_none() {
+                return None;
+            }
+        }
+        self.core.busy_event_base(dram, last)
+    }
+
+    fn advance_blocked(&mut self, from: Cycle, n: u64) {
+        self.core.advance_blocked(from, n);
+    }
+
     fn save_state(&self, w: &mut burst_snap::SnapWriter) -> Result<(), burst_snap::SnapError> {
         self.core.save_snap(w);
         super::save_queue_set(&self.queues, w);

@@ -72,6 +72,11 @@ impl Rank {
         now >= self.busy_until
     }
 
+    /// First cycle at which the rank is available again (refresh end).
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+
     /// Records an activate at `now`.
     pub fn note_activate(&mut self, now: Cycle) {
         self.act_window.rotate_left(1);

@@ -230,10 +230,10 @@ impl Checkpoint {
         let body = r.bytes()?;
         r.finish()?;
         // The state hash covers the observable sections — everything but
-        // the 8-byte diagnostic tail [`System::checkpoint`] appends.
+        // the diagnostic tail [`System::checkpoint`] appends.
         let observable = body
             .len()
-            .checked_sub(8)
+            .checked_sub(crate::system::DIAGNOSTIC_TAIL_BYTES)
             .map(|n| &body[..n])
             .ok_or(CheckpointError::Truncated)?;
         let found = fnv1a64(observable);
@@ -519,9 +519,10 @@ mod tests {
             Err(CheckpointError::UnsupportedVersion(99))
         ));
 
-        // A flipped bit in the body trips the hash check.
+        // A flipped bit in the body's observable sections trips the hash
+        // check (the diagnostic tail at the very end is not hashed).
         let mut bad = bytes.clone();
-        let last = bad.len() - 20;
+        let last = bad.len() - crate::system::DIAGNOSTIC_TAIL_BYTES - 20;
         bad[last] ^= 0x40;
         fs::write(&path, &bad).unwrap();
         assert!(matches!(

@@ -51,6 +51,6 @@ pub use supervisor::{
     TransientFaultPlan,
 };
 pub use system::{
-    simulate, try_simulate, ChunkOutcome, ComponentHashes, RobustnessReport, RunCursor, RunError,
-    RunLength, SimReport, Snapshot, System, SystemConfig, ValidateConfigError,
+    simulate, try_simulate, ChunkOutcome, ComponentHashes, Engine, EngineStats, RobustnessReport,
+    RunCursor, RunError, RunLength, SimReport, Snapshot, System, SystemConfig, ValidateConfigError,
 };

@@ -1,9 +1,11 @@
-//! Lockstep reference oracle: runs the skip-enabled engine and a naive
-//! per-cycle engine side by side on the same configuration and workload,
-//! comparing whole-system state hashes at every epoch boundary.
+//! Lockstep reference oracle: runs the configured engine (the full
+//! discrete-event engine by default) and a naive per-cycle engine side by
+//! side on the same configuration and workload, comparing whole-system
+//! state hashes at every epoch boundary.
 //!
-//! Event-horizon cycle skipping is *supposed* to be bit-identical to
-//! per-cycle stepping; the determinism tests assert that for final
+//! Clock jumping — quiescent event-horizon skipping and the event
+//! engine's busy-period jumps alike — is *supposed* to be bit-identical
+//! to per-cycle stepping; the determinism tests assert that for final
 //! reports. The oracle strengthens the guarantee to *every intermediate
 //! state*: a skip bug that cancels out by the end of a run — or one that
 //! only corrupts a rarely-reported statistic — cannot hide from a
@@ -201,11 +203,11 @@ impl<W: OpSource> Engine<W> {
     }
 }
 
-/// Runs `cfg` under the lockstep oracle: the configured (skip-enabled)
-/// engine and a per-cycle reference engine advance in
-/// [`OracleConfig::epoch`]-cycle strides, comparing state hashes at every
-/// boundary, with `perturb` (a self-test fault) applied to the test
-/// engine only.
+/// Runs `cfg` under the lockstep oracle: the engine `cfg` selects (the
+/// event engine by default) and a per-cycle no-skip reference engine
+/// advance in [`OracleConfig::epoch`]-cycle strides, comparing state
+/// hashes at every boundary, with `perturb` (a self-test fault) applied
+/// to the test engine only.
 ///
 /// On success returns the test engine's report — which the caller may
 /// additionally compare against a plain [`crate::try_simulate`] run.
@@ -227,8 +229,10 @@ where
     F: Fn() -> W,
 {
     let epoch = oracle_cfg.epoch.max(1);
-    let test_cfg = cfg.with_skip(true);
-    let ref_cfg = cfg.with_skip(false);
+    // The test engine is whatever `cfg` selects (Engine::Event unless the
+    // caller overrode it); the reference is always plain per-cycle.
+    let test_cfg = *cfg;
+    let ref_cfg = cfg.with_engine(crate::system::Engine::CycleNoSkip);
     let build = |cfg: &SystemConfig| -> Engine<W> {
         let mut sys = System::new(cfg);
         let mut workload = CountingSource::new(make_workload());

@@ -53,14 +53,61 @@ pub struct SystemConfig {
     /// write retries). `None` simulates a fault-free device. When set, it
     /// overrides `ctrl.faults`.
     pub faults: Option<FaultConfig>,
-    /// Event-horizon cycle skipping: when the CPU is fully stalled, the
-    /// controller is quiescent and the device reports no event before a
-    /// future cycle, [`System::try_run`] jumps straight to that cycle
-    /// instead of stepping through the quiet stretch. The jump replays the
-    /// skipped per-cycle bookkeeping in closed form, so every statistic
-    /// and error path is bit-identical to per-cycle stepping — disabling
-    /// it (`--no-skip` in the bench binaries) only changes speed.
-    pub skip: bool,
+    /// Which simulation engine advances the clock (see [`Engine`]). All
+    /// engines produce bit-identical results; they differ only in how many
+    /// cycles they execute explicitly.
+    pub engine: Engine,
+}
+
+/// How the simulation clock advances. Every engine is bit-identical in
+/// observable behaviour — reports, state hashes, checkpoints and CSVs
+/// match exactly; they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Full discrete-event engine (default): the clock jumps to the next
+    /// cycle at which *any* component — CPU wake-up, read delivery, device
+    /// timing window, refresh timer, scheduler arbiter/escalation/
+    /// adaptation, watchdog — could observably act, even while the memory
+    /// system holds outstanding work. Per-tick bookkeeping over a jump is
+    /// replayed in closed form.
+    Event,
+    /// The legacy per-cycle loop with event-horizon skipping of *quiescent*
+    /// stretches only (the CPU fully stalled and the controller empty);
+    /// busy periods execute cycle by cycle.
+    Cycle,
+    /// The plain per-cycle loop with no skipping at all — the reference
+    /// everything else is diffed against.
+    CycleNoSkip,
+}
+
+impl Engine {
+    /// All engines, fastest first — determinism suites iterate this.
+    pub const ALL: [Engine; 3] = [Engine::Event, Engine::Cycle, Engine::CycleNoSkip];
+
+    /// The `--engine` flag spelling of this variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Event => "event",
+            Engine::Cycle => "cycle",
+            Engine::CycleNoSkip => "cycle-noskip",
+        }
+    }
+
+    /// Parses an `--engine` flag value.
+    pub fn from_name(name: &str) -> Option<Engine> {
+        match name {
+            "event" => Some(Engine::Event),
+            "cycle" => Some(Engine::Cycle),
+            "cycle-noskip" | "cycle_noskip" | "noskip" => Some(Engine::CycleNoSkip),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for Engine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 impl SystemConfig {
@@ -75,15 +122,29 @@ impl SystemConfig {
             warm_mem_ops: 100_000,
             checker: cfg!(debug_assertions),
             faults: None,
-            skip: true,
+            engine: Engine::Event,
         }
     }
 
-    /// Enables or disables event-horizon cycle skipping (on by default;
-    /// the results are bit-identical either way).
-    pub fn with_skip(mut self, skip: bool) -> Self {
-        self.skip = skip;
+    /// Selects the simulation engine (see [`Engine`]; the results are
+    /// bit-identical for every choice).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
+    }
+
+    /// Enables or disables event-horizon cycle skipping.
+    ///
+    /// Deprecated spelling kept for the pre-event-engine API: `true` maps
+    /// to [`Engine::Cycle`] (quiescent-only skipping), `false` to
+    /// [`Engine::CycleNoSkip`]. New code should use
+    /// [`SystemConfig::with_engine`].
+    pub fn with_skip(self, skip: bool) -> Self {
+        self.with_engine(if skip {
+            Engine::Cycle
+        } else {
+            Engine::CycleNoSkip
+        })
     }
 
     /// Enables or disables the runtime DDR2 protocol checker.
@@ -423,11 +484,79 @@ impl core::fmt::Display for RobustnessReport {
     }
 }
 
+/// Observability counters of the discrete-event engine: how the clock
+/// actually advanced during a run.
+///
+/// Diagnostic only — how many cycles were stepped versus jumped depends on
+/// the engine and on chunking, so these counters are excluded from
+/// [`SimReport`]'s `PartialEq`, the state hash and the checkpoint's hashed
+/// sections. Every observable statistic is independent of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct EngineStats {
+    /// Cycles executed explicitly (including no-op controller ticks —
+    /// see [`EngineStats::noop_ticks`]).
+    pub steps: u64,
+    /// Clock jumps taken while the whole system was quiescent.
+    pub quiescent_jumps: u64,
+    /// Cycles covered by quiescent jumps.
+    pub quiescent_skipped: u64,
+    /// Clock jumps taken while the memory system held outstanding work
+    /// (the event engine's contribution over quiescent-only skipping).
+    pub busy_jumps: u64,
+    /// Cycles covered by busy jumps.
+    pub busy_skipped: u64,
+    /// Stepped cycles whose controller tick was provably a pure
+    /// bookkeeping no-op (below the cached tick horizon) and was replayed
+    /// in closed form instead of running arbitration — the CPU still
+    /// micro-stepped, so these cycles could not be jumped outright.
+    pub noop_ticks: u64,
+}
+
+impl EngineStats {
+    /// Events dispatched: stepped cycles at which the controller actually
+    /// ran a full tick (some component could observably act).
+    pub fn events_dispatched(&self) -> u64 {
+        self.steps - self.noop_ticks
+    }
+
+    /// Total clock jumps, quiescent plus busy.
+    pub fn jumps(&self) -> u64 {
+        self.quiescent_jumps + self.busy_jumps
+    }
+
+    /// Total cycles covered by jumps.
+    pub fn skipped(&self) -> u64 {
+        self.quiescent_skipped + self.busy_skipped
+    }
+
+    /// Mean cycles covered per jump (zero when no jump was taken).
+    pub fn mean_jump(&self) -> f64 {
+        if self.jumps() == 0 {
+            0.0
+        } else {
+            self.skipped() as f64 / self.jumps() as f64
+        }
+    }
+
+    /// Events dispatched per thousand simulated memory cycles — 1000.0
+    /// for a pure per-cycle run, approaching zero as jumps and no-op
+    /// ticks dominate.
+    pub fn events_per_kcycle(&self, mem_cycles: u64) -> f64 {
+        if mem_cycles == 0 {
+            0.0
+        } else {
+            self.events_dispatched() as f64 * 1000.0 / mem_cycles as f64
+        }
+    }
+}
+
 /// Results of one simulation run.
 ///
 /// Compares equal field-by-field (`PartialEq`), which the determinism
-/// tests use to assert that cycle skipping is bit-identical.
-#[derive(Debug, Clone, PartialEq)]
+/// tests use to assert that cycle skipping is bit-identical — except for
+/// the diagnostic [`SimReport::engine`] counters, which legitimately
+/// differ between engines and are excluded from the comparison.
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// The mechanism simulated.
     pub mechanism: Mechanism,
@@ -447,8 +576,27 @@ pub struct SimReport {
     pub cpu: CpuStats,
     /// Robustness summary (protocol checker, fault injection, watchdog).
     pub robustness: RobustnessReport,
+    /// How the clock advanced (diagnostic; excluded from `PartialEq`).
+    pub engine: EngineStats,
     /// Channel count, kept for utilisation denominators.
     channels: u64,
+}
+
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `engine` is deliberately omitted: jump counts depend on the
+        // engine and chunking, not on observable behaviour.
+        self.mechanism == other.mechanism
+            && self.workload == other.workload
+            && self.cpu_cycles == other.cpu_cycles
+            && self.mem_cycles == other.mem_cycles
+            && self.instructions == other.instructions
+            && self.ctrl == other.ctrl
+            && self.bus == other.bus
+            && self.cpu == other.cpu
+            && self.robustness == other.robustness
+            && self.channels == other.channels
+    }
 }
 
 impl SimReport {
@@ -517,6 +665,7 @@ impl SimReport {
             bus,
             cpu,
             robustness,
+            engine: EngineStats::default(),
             channels,
         }
     }
@@ -601,6 +750,30 @@ impl LineSlab {
     }
 }
 
+/// Size in bytes of the diagnostic tail [`System::checkpoint`] appends
+/// after the hashed observable sections: `skipped` plus the five
+/// [`EngineStats`] counters, one `u64` each.
+pub(crate) const DIAGNOSTIC_TAIL_BYTES: usize = 7 * 8;
+
+/// A provably-skippable stretch of upcoming memory cycles, tagged with
+/// the closed-form replay it needs (see [`System::jump_horizon`]).
+#[derive(Debug, Clone, Copy)]
+enum Jump {
+    /// The whole system is idle: replay via `advance_quiescent`.
+    Quiescent(u64),
+    /// Work is outstanding but provably blocked: replay via
+    /// `advance_blocked`.
+    Busy(u64),
+}
+
+impl Jump {
+    fn len(self) -> u64 {
+        match self {
+            Jump::Quiescent(n) | Jump::Busy(n) => n,
+        }
+    }
+}
+
 /// A stepped full-system simulation.
 #[derive(Debug)]
 pub struct System {
@@ -614,11 +787,38 @@ pub struct System {
     /// Future read deliveries: (done_at, line address).
     pending: BinaryHeap<Reverse<(Cycle, u64)>>,
     read_lines: LineSlab,
-    /// Memory cycles jumped over by [`System::advance_idle`]. Diagnostic
-    /// only — deliberately absent from [`SimReport`], which must compare
-    /// equal between skipping and per-cycle runs.
+    /// Memory cycles jumped over by [`System::advance_idle`] and
+    /// [`System::advance_busy`]. Diagnostic only — deliberately excluded
+    /// from [`SimReport`]'s comparison, which must hold between engines.
     skipped: u64,
+    /// Event-engine observability counters (diagnostic, like `skipped`).
+    engine_stats: EngineStats,
+    /// Cached controller+device event horizon: `Some(e)` proves that a
+    /// controller tick at any cycle in `[mem_cycle, e)` is a pure
+    /// bookkeeping no-op, as long as no access is enqueued in the
+    /// interim. Invalidated on every enqueue and every full tick. Purely
+    /// an execution-path memo — both paths are bit-identical — so it is
+    /// absent from checkpoints and recomputed lazily after a restore.
+    tick_horizon: Option<Cycle>,
+    /// Fruitless-fold backoff: steps to wait before the next
+    /// [`AccessScheduler::next_busy_event`] attempt. Declining to attempt
+    /// a jump is always safe (the cycle is stepped instead, and jumps are
+    /// bit-identical to steps), so this is pure execution-path tuning for
+    /// event-dense phases where the fold rarely buys a jump — like the
+    /// tick-horizon memo it is absent from checkpoints.
+    fold_cooldown: u64,
+    /// Current backoff stride, doubled (up to [`FOLD_MAX_STRIDE`]) on
+    /// every fruitless fold and reset by a profitable jump.
+    fold_stride: u64,
 }
+
+/// A fresh busy-event fold that yields a jump at least this long resets
+/// the backoff stride; shorter outcomes grow it.
+const FOLD_MIN_PROFIT: u64 = 4;
+
+/// Upper bound on the fruitless-fold backoff stride, so a phase change
+/// back to sparse traffic is noticed within this many stalled steps.
+const FOLD_MAX_STRIDE: u64 = 64;
 
 impl System {
     /// Builds an idle system.
@@ -646,6 +846,10 @@ impl System {
             pending: BinaryHeap::new(),
             read_lines: LineSlab::default(),
             skipped: 0,
+            engine_stats: EngineStats::default(),
+            tick_horizon: None,
+            fold_cooldown: 0,
+            fold_stride: 1,
         }
     }
 
@@ -664,11 +868,16 @@ impl System {
         self.cpu.retired()
     }
 
-    /// Memory cycles jumped over by cycle skipping so far (zero with
-    /// [`SystemConfig::skip`] off). Counts toward [`System::mem_cycle`]
-    /// like any stepped cycle.
+    /// Memory cycles jumped over by the engine so far (zero under
+    /// [`Engine::CycleNoSkip`]). Counts toward [`System::mem_cycle`] like
+    /// any stepped cycle.
     pub fn skipped_cycles(&self) -> u64 {
         self.skipped
+    }
+
+    /// Event-engine observability counters accumulated so far.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine_stats
     }
 
     /// Functionally warms the caches with the configured budget. Call once
@@ -683,9 +892,34 @@ impl System {
     /// Advances one memory-controller cycle: `cpu_ratio` CPU cycles, then
     /// request hand-off, then one scheduler tick.
     pub fn step(&mut self, workload: &mut dyn OpSource) {
-        // 1. CPU makes progress and generates cache-miss traffic.
-        for _ in 0..self.cfg.cpu.cpu_ratio {
-            self.cpu.cycle(workload);
+        self.engine_stats.steps += 1;
+        // 1. CPU makes progress and generates cache-miss traffic. Under the
+        //    event engine, stalled stretches inside the step are advanced in
+        //    closed form: [`Cpu::idle_until`] guarantees every CPU cycle
+        //    strictly before the reported wake-up is a full stall, and
+        //    nothing external (read delivery, hand-off) happens between the
+        //    micro-cycles of one step, so the batch is bit-identical to the
+        //    skipped `Cpu::cycle` calls.
+        if self.cfg.engine == Engine::Event {
+            let mut left = self.cfg.cpu.cpu_ratio;
+            while left > 0 {
+                let stall = match self.cpu.idle_until() {
+                    Some(u64::MAX) => left,
+                    Some(at) => at.saturating_sub(self.cpu.now() + 1).min(left),
+                    None => 0,
+                };
+                if stall > 0 {
+                    self.cpu.advance_stalled(stall);
+                    left -= stall;
+                } else {
+                    self.cpu.cycle(workload);
+                    left -= 1;
+                }
+            }
+        } else {
+            for _ in 0..self.cfg.cpu.cpu_ratio {
+                self.cpu.cycle(workload);
+            }
         }
         // 2. Hand requests to the controller while it accepts them. Reads
         //    first (they are latency-critical), then writebacks.
@@ -701,9 +935,25 @@ impl System {
             };
             self.enqueue(AccessKind::Write, line, false);
         }
-        // 3. One controller + device cycle.
-        self.sched
-            .tick(&mut self.dram, self.mem_cycle, &mut self.completions);
+        // 3. One controller + device cycle. Below the cached tick horizon
+        //    the tick is provably a pure bookkeeping no-op (and the device
+        //    equally inert), so it is replayed in closed form — the cheap
+        //    path that lets busy phases advance event-to-event even while
+        //    the CPU is live and each cycle must still be stepped. Only an
+        //    *already cached* horizon is consulted: recomputing the fold
+        //    here would charge every ordinary busy cycle for it, which is
+        //    exactly the cost profile the cache exists to avoid.
+        match self.tick_horizon {
+            Some(e) if self.mem_cycle < e => {
+                self.sched.advance_blocked(self.mem_cycle, 1);
+                self.engine_stats.noop_ticks += 1;
+            }
+            _ => {
+                self.tick_horizon = None;
+                self.sched
+                    .tick(&mut self.dram, self.mem_cycle, &mut self.completions);
+            }
+        }
         for c in self.completions.drain(..) {
             if c.kind == AccessKind::Read {
                 if let Some(line) = self.read_lines.remove(c.id) {
@@ -728,6 +978,14 @@ impl System {
         let id = AccessId::new(self.next_id);
         self.next_id += 1;
         let access = Access::new(id, kind, addr, loc, self.mem_cycle).with_critical(critical);
+        // New work can move the controller's next event earlier — but
+        // only through the arms the scheduler vouches for. An arrival it
+        // rules out (e.g. one landing behind an ongoing transfer that
+        // pins its bank busy through the horizon) keeps the cached
+        // horizon, and with it the cheap no-op tick path, alive.
+        if self.tick_horizon.is_some() && self.sched.enqueue_may_advance_horizon(&access) {
+            self.tick_horizon = None;
+        }
         if kind == AccessKind::Read {
             self.read_lines.insert(id, line);
         }
@@ -747,7 +1005,8 @@ impl System {
     /// no next event); callers cap it with their run budget before
     /// calling [`System::advance_idle`].
     fn skip_horizon(&self) -> Option<u64> {
-        if !self.cfg.skip || self.mem_cycle == 0 || !self.sched.quiescent() {
+        if self.cfg.engine == Engine::CycleNoSkip || self.mem_cycle == 0 || !self.sched.quiescent()
+        {
             return None;
         }
         if self.cpu.pending_read_requests() != 0 || self.cpu.pending_writebacks() != 0 {
@@ -785,6 +1044,152 @@ impl System {
         self.sched.advance_quiescent(self.mem_cycle, n);
         self.mem_cycle += n;
         self.skipped += n;
+        self.engine_stats.quiescent_jumps += 1;
+        self.engine_stats.quiescent_skipped += n;
+    }
+
+    /// The controller+device event horizon, memoised: the earliest cycle
+    /// at which a controller tick could differ from a pure bookkeeping
+    /// no-op (or at which the device itself has a timing/refresh event),
+    /// assuming no access is enqueued in the interim. `None` when the
+    /// scheduler cannot prove one (its next tick may act).
+    ///
+    /// The cached value stays valid across steps because the contract is
+    /// self-sustaining: every tick strictly below the horizon is a no-op,
+    /// so it cannot move the horizon; the two things that can — an
+    /// enqueue, or the full tick at the horizon itself — both clear the
+    /// cache.
+    fn tick_horizon(&mut self) -> Option<Cycle> {
+        if self.cfg.engine != Engine::Event || self.mem_cycle == 0 || self.sched.quiescent() {
+            return None;
+        }
+        if let Some(e) = self.tick_horizon {
+            if self.mem_cycle < e {
+                return Some(e);
+            }
+        }
+        let last = self.mem_cycle - 1;
+        let mut event = self.sched.next_busy_event(&self.dram, last)?;
+        if let Some(at) = self.dram.next_event(last) {
+            event = event.min(at);
+        }
+        self.tick_horizon = Some(event);
+        Some(event)
+    }
+
+    /// How many upcoming memory cycles are provably no-ops *while the
+    /// memory system is busy*, or `None` when the next step may act.
+    ///
+    /// This is the event engine's extension over [`System::skip_horizon`]:
+    /// outstanding accesses may be in flight, but every component proves
+    /// it cannot observably act before the returned horizon — the CPU is
+    /// stalled past it, request hand-off is blocked (nothing pending, or
+    /// the controller pool is full and stays full because nothing issues),
+    /// no read delivery is due, the device reports no timing event, and
+    /// the scheduler's own arbiter/selection/watchdog/adaptation fixpoint
+    /// holds for the whole stretch ([`AccessScheduler::next_busy_event`]).
+    fn busy_horizon(&mut self) -> Option<u64> {
+        if self.cfg.engine != Engine::Event || self.mem_cycle == 0 || self.sched.quiescent() {
+            return None;
+        }
+        // The cheap vetoes come first, so event-dense phases — where the
+        // CPU is live and hand-off churns every step — never pay for the
+        // scheduler fold below.
+        //
+        // Hand-off stability: an undelivered CPU request enters the
+        // controller on the very next step it can accept one. Occupancy is
+        // constant over a no-op stretch (slots free only when commands
+        // issue), so acceptance cannot open up mid-jump either.
+        if self.cpu.pending_read_requests() != 0 && self.sched.can_accept(AccessKind::Read) {
+            return None;
+        }
+        if self.cpu.pending_writebacks() != 0 && self.sched.can_accept(AccessKind::Write) {
+            return None;
+        }
+        let wake = self.cpu.idle_until()?;
+        // The controller and device can veto outright: `None` means "the
+        // next tick may act" (or it cannot prove otherwise). The fold is
+        // memoised — recomputed only after an enqueue or a full tick — and
+        // recomputation sits behind an exponential backoff: during dense
+        // phases most folds buy no jump, and declining to attempt one is
+        // always bit-identical (the cycle is simply stepped).
+        let cached = self.tick_horizon.filter(|&e| self.mem_cycle < e);
+        let (mut event, fresh) = match cached {
+            Some(e) => (e, false),
+            None => {
+                if self.fold_cooldown > 0 {
+                    self.fold_cooldown -= 1;
+                    return None;
+                }
+                match self.tick_horizon() {
+                    Some(e) => (e, true),
+                    None => {
+                        self.fold_backoff();
+                        return None;
+                    }
+                }
+            }
+        };
+        let cur = self.mem_cycle;
+        let r = self.cfg.cpu.cpu_ratio;
+        if wake != u64::MAX {
+            // Step `t` runs CPU cycles `t*r + 1..=(t+1)*r`, so the
+            // retirement wake-up at CPU cycle `wake` happens during step
+            // `(wake - 1) / r`.
+            event = event.min((wake - 1) / r);
+        }
+        if let Some(&Reverse((at, _))) = self.pending.peek() {
+            event = event.min(at);
+        }
+        let n = (event > cur).then(|| event - cur);
+        if fresh {
+            match n {
+                Some(n) if n >= FOLD_MIN_PROFIT => self.fold_stride = 1,
+                // A clamped or empty jump still leaves the memo warm (the
+                // cheap-tick path uses it), but the fold itself did not
+                // pay: back off.
+                _ => self.fold_backoff(),
+            }
+        }
+        n
+    }
+
+    /// Registers a fruitless [`AccessScheduler::next_busy_event`] fold:
+    /// skip the next `fold_stride` attempts and double the stride.
+    fn fold_backoff(&mut self) {
+        self.fold_cooldown = self.fold_stride;
+        self.fold_stride = (self.fold_stride * 2).min(FOLD_MAX_STRIDE);
+    }
+
+    /// Jumps `n` busy memory cycles in one stride, bit-identically to
+    /// stepping through them: CPU stall time, the controller's per-tick
+    /// bookkeeping (occupancy samples, age tracking, watchdog clock) and
+    /// the cycle counter advance in closed form. Callers must keep `n`
+    /// within [`System::busy_horizon`].
+    fn advance_busy(&mut self, n: u64) {
+        self.cpu.advance_stalled(n * self.cfg.cpu.cpu_ratio);
+        self.sched.advance_blocked(self.mem_cycle, n);
+        self.mem_cycle += n;
+        self.skipped += n;
+        self.engine_stats.busy_jumps += 1;
+        self.engine_stats.busy_skipped += n;
+    }
+
+    /// The provably skippable stretch starting at the next step, if any:
+    /// quiescent horizons first (cheaper to test, larger), then busy ones.
+    fn jump_horizon(&mut self) -> Option<Jump> {
+        if let Some(n) = self.skip_horizon() {
+            return Some(Jump::Quiescent(n));
+        }
+        self.busy_horizon().map(Jump::Busy)
+    }
+
+    /// Advances `n` cycles of the stretch `jump` was computed for.
+    fn advance_jump(&mut self, jump: Jump, n: u64) {
+        match jump {
+            Jump::Quiescent(_) => self.advance_idle(n),
+            Jump::Busy(_) => self.advance_busy(n),
+        }
     }
 
     /// Runs until `len` is reached.
@@ -856,14 +1261,17 @@ impl System {
                     if let Some(diag) = self.stamped_stall() {
                         return Err(RunError::ControllerStall(diag));
                     }
-                    // Quiescent cycles cannot latch a stall, so jumping
-                    // them skips no diagnostic check that could fire.
-                    if let Some(horizon) = self.skip_horizon() {
-                        let skip = horizon
+                    // Skipped cycles cannot latch a stall: quiescent ones
+                    // trivially, busy ones because the stall-latch cycle
+                    // bounds every busy horizon — so jumping skips no
+                    // diagnostic check that could fire.
+                    if let Some(jump) = self.jump_horizon() {
+                        let skip = jump
+                            .len()
                             .min(n - cursor.done_cycles)
                             .min(budget.saturating_sub(spent));
                         if skip > 0 {
-                            self.advance_idle(skip);
+                            self.advance_jump(jump, skip);
                             cursor.done_cycles += skip;
                             spent += skip;
                         }
@@ -885,17 +1293,18 @@ impl System {
                         if cursor.idle >= 2_000_000 {
                             return Err(self.retirement_stall(cursor.last_retired));
                         }
-                        // Nothing retires during a quiescent stretch, so
-                        // the idle budget burns down cycle-for-cycle —
-                        // capping the jump at the budget lands the stall
-                        // error on the exact cycle per-cycle stepping
-                        // would report.
-                        if let Some(horizon) = self.skip_horizon() {
-                            let skip = horizon
+                        // Nothing retires during a skipped stretch (the
+                        // CPU is stalled past its end), so the idle budget
+                        // burns down cycle-for-cycle — capping the jump at
+                        // the budget lands the stall error on the exact
+                        // cycle per-cycle stepping would report.
+                        if let Some(jump) = self.jump_horizon() {
+                            let skip = jump
+                                .len()
                                 .min(2_000_000 - cursor.idle)
                                 .min(budget.saturating_sub(spent));
                             if skip > 0 {
-                                self.advance_idle(skip);
+                                self.advance_jump(jump, skip);
                                 cursor.idle += skip;
                                 spent += skip;
                                 if cursor.idle >= 2_000_000 {
@@ -944,6 +1353,7 @@ impl System {
                 self.sched.stats(),
                 self.dram.protocol_violations(),
             ),
+            engine: self.engine_stats,
             channels: u64::from(self.cfg.dram.geometry.channels),
         }
     }
@@ -1045,10 +1455,16 @@ impl System {
         w.bytes(&dram);
         w.bytes(&system);
         let state_hash = fnv1a64(w.as_slice());
-        // Diagnostic section: skip bookkeeping is reported by
-        // `skipped_cycles` but deliberately excluded from the state hash,
-        // which must agree between skipping and per-cycle engines.
+        // Diagnostic section: skip bookkeeping and engine counters are
+        // reported by `skipped_cycles`/`engine_stats` but deliberately
+        // excluded from the state hash, which must agree across engines.
         w.u64(self.skipped);
+        w.u64(self.engine_stats.steps);
+        w.u64(self.engine_stats.quiescent_jumps);
+        w.u64(self.engine_stats.quiescent_skipped);
+        w.u64(self.engine_stats.busy_jumps);
+        w.u64(self.engine_stats.busy_skipped);
+        w.u64(self.engine_stats.noop_ticks);
         Ok(Snapshot {
             bytes: w.into_bytes(),
             state_hash,
@@ -1072,6 +1488,14 @@ impl System {
         let dram = r.bytes()?;
         let system = r.bytes()?;
         let skipped = r.u64()?;
+        let engine_stats = EngineStats {
+            steps: r.u64()?,
+            quiescent_jumps: r.u64()?,
+            quiescent_skipped: r.u64()?,
+            busy_jumps: r.u64()?,
+            busy_skipped: r.u64()?,
+            noop_ticks: r.u64()?,
+        };
         r.finish()?;
         let mut cr = SnapReader::new(&cpu);
         self.cpu.load_snap(&mut cr)?;
@@ -1123,6 +1547,10 @@ impl System {
             return Err(SnapError::Corrupt("read-line window past the id counter"));
         }
         self.skipped = skipped;
+        self.engine_stats = engine_stats;
+        self.tick_horizon = None;
+        self.fold_cooldown = 0;
+        self.fold_stride = 1;
         Ok(())
     }
 

@@ -1,14 +1,15 @@
-//! Determinism gate for event-horizon cycle skipping: jumping over
-//! quiescent cycles must be invisible in every output. A run with
-//! `SystemConfig::skip` on and one with it off must produce equal
-//! [`SimReport`]s field by field — statistics, histograms, robustness
-//! counters, everything — for every mechanism, and the device's
-//! `next_event` horizon must never overshoot a cycle in which a tick
-//! would have changed state.
+//! Determinism gate for clock jumping: skipping cycles — quiescent
+//! stretches under [`Engine::Cycle`], quiescent *and* busy stretches
+//! under the full discrete-event [`Engine::Event`] — must be invisible in
+//! every output. A run under any engine must produce a [`SimReport`]
+//! equal field by field to the per-cycle reference — statistics,
+//! histograms, robustness counters, everything — for every mechanism, and
+//! the device's `next_event` horizon must never overshoot a cycle in
+//! which a tick would have changed state.
 
 use burst_core::Mechanism;
 use burst_dram::{Channel, Command, Cycle, Dir, DramConfig, Loc, RowState};
-use burst_sim::{simulate, RunLength, System, SystemConfig};
+use burst_sim::{simulate, Engine, RunLength, System, SystemConfig};
 use burst_workloads::SpecBenchmark;
 use proptest::prelude::*;
 
@@ -24,49 +25,88 @@ fn all_mechanisms() -> Vec<Mechanism> {
     v
 }
 
-fn config(mechanism: Mechanism, skip: bool) -> SystemConfig {
+fn config(mechanism: Mechanism, engine: Engine) -> SystemConfig {
     SystemConfig::baseline()
         .with_mechanism(mechanism)
         .with_warm_mem_ops(5_000)
-        .with_skip(skip)
+        .with_engine(engine)
 }
 
 #[test]
-fn skip_is_bit_identical_on_idle_heavy_workload() {
+fn every_engine_is_bit_identical_on_idle_heavy_workload() {
     // mcf is 80% pointer chase (MLP 1): the CPU spends most of its time
     // fully stalled, so this workload maximises skipping opportunity.
     for m in all_mechanisms() {
-        let on = simulate(
-            &config(m, true),
+        let reference = simulate(
+            &config(m, Engine::CycleNoSkip),
             SpecBenchmark::Mcf.workload(7),
             RunLength::Instructions(2_000),
         );
-        let off = simulate(
-            &config(m, false),
-            SpecBenchmark::Mcf.workload(7),
-            RunLength::Instructions(2_000),
-        );
-        assert_eq!(on, off, "skip changed the report for {}", m.name());
+        for engine in [Engine::Cycle, Engine::Event] {
+            let report = simulate(
+                &config(m, engine),
+                SpecBenchmark::Mcf.workload(7),
+                RunLength::Instructions(2_000),
+            );
+            assert_eq!(
+                report,
+                reference,
+                "engine {engine} changed the report for {}",
+                m.name()
+            );
+        }
     }
 }
 
 #[test]
-fn skip_is_bit_identical_in_mem_cycles_mode() {
+fn event_engine_is_bit_identical_on_bandwidth_bound_workload() {
+    // swim streams with high MLP: the memory system is busy almost
+    // throughout, so this workload exercises the event engine's
+    // busy-period jumps (quiescent skipping barely fires here).
+    for m in all_mechanisms() {
+        let reference = simulate(
+            &config(m, Engine::CycleNoSkip),
+            SpecBenchmark::Swim.workload(13),
+            RunLength::Instructions(2_000),
+        );
+        let event = simulate(
+            &config(m, Engine::Event),
+            SpecBenchmark::Swim.workload(13),
+            RunLength::Instructions(2_000),
+        );
+        assert_eq!(
+            event,
+            reference,
+            "event engine changed the report for {}",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn every_engine_is_bit_identical_in_mem_cycles_mode() {
     // MemCycles mode exercises the budget-capped skip loop: the jump must
     // stop exactly at the cycle budget, never overshoot it.
     for m in [Mechanism::BkInOrder, Mechanism::BurstTh(52)] {
-        let on = simulate(
-            &config(m, true),
+        let reference = simulate(
+            &config(m, Engine::CycleNoSkip),
             SpecBenchmark::Mcf.workload(11),
             RunLength::MemCycles(40_000),
         );
-        let off = simulate(
-            &config(m, false),
-            SpecBenchmark::Mcf.workload(11),
-            RunLength::MemCycles(40_000),
-        );
-        assert_eq!(on.mem_cycles, 40_000, "budget must be exact");
-        assert_eq!(on, off, "skip changed the report for {}", m.name());
+        for engine in [Engine::Cycle, Engine::Event] {
+            let report = simulate(
+                &config(m, engine),
+                SpecBenchmark::Mcf.workload(11),
+                RunLength::MemCycles(40_000),
+            );
+            assert_eq!(report.mem_cycles, 40_000, "budget must be exact");
+            assert_eq!(
+                report,
+                reference,
+                "engine {engine} changed the report for {}",
+                m.name()
+            );
+        }
     }
 }
 
@@ -75,7 +115,7 @@ fn skip_actually_engages_on_idle_heavy_workload() {
     // Guard against the equality tests passing vacuously because the
     // horizon never fires: on a pointer chase a large share of cycles
     // must be jumped, not stepped.
-    let cfg = config(Mechanism::BurstTh(52), true);
+    let cfg = config(Mechanism::BurstTh(52), Engine::Cycle);
     let mut workload = SpecBenchmark::Mcf.workload(7);
     let mut sys = System::new(&cfg);
     sys.warm(&mut workload);
@@ -88,10 +128,50 @@ fn skip_actually_engages_on_idle_heavy_workload() {
     );
 
     let mut workload = SpecBenchmark::Mcf.workload(7);
-    let mut off = System::new(&cfg.with_skip(false));
+    let mut off = System::new(&cfg.with_engine(Engine::CycleNoSkip));
     off.warm(&mut workload);
     off.run(&mut workload, RunLength::Instructions(2_000));
-    assert_eq!(off.skipped_cycles(), 0, "skip off must never jump");
+    assert_eq!(
+        off.skipped_cycles(),
+        0,
+        "the no-skip engine must never jump"
+    );
+}
+
+#[test]
+fn event_engine_actually_takes_busy_jumps() {
+    // The busy-skip analogue of the vacuity guard: on a bandwidth-bound
+    // stream the event engine must take real busy-period jumps, and its
+    // counters must account for every cycle of the run.
+    let cfg = config(Mechanism::BurstTh(52), Engine::Event);
+    let mut workload = SpecBenchmark::Swim.workload(7);
+    let mut sys = System::new(&cfg);
+    sys.warm(&mut workload);
+    sys.run(&mut workload, RunLength::Instructions(5_000));
+    let stats = sys.engine_stats();
+    assert!(
+        stats.busy_jumps > 0,
+        "no busy jumps on a bandwidth-bound workload: {stats:?}"
+    );
+    assert!(
+        stats.busy_skipped > sys.mem_cycle() / 10,
+        "busy jumps covered only {} of {} cycles",
+        stats.busy_skipped,
+        sys.mem_cycle()
+    );
+    assert_eq!(
+        stats.steps + stats.skipped(),
+        sys.mem_cycle(),
+        "every cycle must be either stepped or jumped"
+    );
+    assert_eq!(sys.skipped_cycles(), stats.skipped());
+
+    // The cycle engine must never take busy jumps on the same run.
+    let mut workload = SpecBenchmark::Swim.workload(7);
+    let mut cyc = System::new(&cfg.with_engine(Engine::Cycle));
+    cyc.warm(&mut workload);
+    cyc.run(&mut workload, RunLength::Instructions(5_000));
+    assert_eq!(cyc.engine_stats().busy_jumps, 0);
 }
 
 /// A request the greedy driver will execute: bank, row, col, read/write.
@@ -180,13 +260,13 @@ proptest! {
 }
 
 proptest! {
-    // Two full simulations per case: keep the case count modest.
+    // Three full simulations per case: keep the case count modest.
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// Full-system equivalence on random seeds and mechanisms: the skip
-    /// toggle must never change a report, whatever the traffic pattern.
+    /// Full-system equivalence on random seeds and mechanisms: the engine
+    /// choice must never change a report, whatever the traffic pattern.
     #[test]
-    fn skip_equivalence_on_random_seeds(
+    fn engine_equivalence_on_random_seeds(
         seed in any::<u64>(),
         mech_idx in 0usize..11,
         bench_idx in 0usize..3,
@@ -198,8 +278,11 @@ proptest! {
             SpecBenchmark::Parser,
         ][bench_idx];
         let len = RunLength::Instructions(800);
-        let on = simulate(&config(mechanism, true), bench.workload(seed), len);
-        let off = simulate(&config(mechanism, false), bench.workload(seed), len);
-        prop_assert_eq!(on, off);
+        let reference = simulate(
+            &config(mechanism, Engine::CycleNoSkip), bench.workload(seed), len);
+        for engine in [Engine::Cycle, Engine::Event] {
+            let report = simulate(&config(mechanism, engine), bench.workload(seed), len);
+            prop_assert_eq!(&report, &reference, "engine {} diverged", engine);
+        }
     }
 }
