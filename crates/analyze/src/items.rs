@@ -1,0 +1,462 @@
+//! Item-level parsing on top of the lexer: struct field lists, `impl`
+//! blocks with their methods, and `#[cfg(test)]` exclusion. Shape-based,
+//! not a real grammar — precise enough for the four passes, tolerant of
+//! everything else.
+
+use crate::lexer::{LineComment, Token};
+
+/// One named struct field.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// 1-based line of the field declaration.
+    pub line: u32,
+    /// The `// snap: derived(<reason>)` annotation attached to the field
+    /// (same line or the line above), if any. `Some("")` means the
+    /// annotation is present but carries no reason.
+    pub derived: Option<String>,
+}
+
+/// A struct with named fields.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Declared fields in order.
+    pub fields: Vec<Field>,
+}
+
+/// One `fn` inside an `impl` block.
+#[derive(Debug)]
+pub struct Method {
+    /// Method name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the parameter list contains a `self` receiver.
+    pub has_self: bool,
+    /// Token index range of the body (inside the braces) in the file's
+    /// token stream.
+    pub body: (usize, usize),
+}
+
+/// One `impl` block: `impl Type` or `impl Trait for Type`.
+#[derive(Debug)]
+pub struct ImplBlock {
+    /// Last path segment of the implemented trait, if this is a trait impl.
+    pub trait_name: Option<String>,
+    /// Last path segment of the self type.
+    pub type_name: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+    /// Methods defined in the block.
+    pub methods: Vec<Method>,
+}
+
+/// The parsed shape of one file.
+#[derive(Debug)]
+pub struct FileItems {
+    /// All named-field structs outside `#[cfg(test)]` items.
+    pub structs: Vec<StructDef>,
+    /// All impl blocks outside `#[cfg(test)]` items.
+    pub impls: Vec<ImplBlock>,
+}
+
+/// Returns the token indices that belong to `#[cfg(test)]` items (the
+/// attribute itself through the end of the annotated item), so passes can
+/// skip test-only code.
+pub fn test_spans(tokens: &[Token<'_>]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_start = i;
+            let (content_start, attr_end) = match skip_balanced(tokens, i + 1, '[', ']') {
+                Some(end) => (i + 2, end),
+                None => break,
+            };
+            let attr = &tokens[content_start..attr_end];
+            let is_test_cfg = match attr.first() {
+                // `#[test]`, `#[bench]`
+                Some(t) if t.is_ident("test") || t.is_ident("bench") => true,
+                // `#[cfg(test)]`, `#[cfg(any(test, ...))]` — but not
+                // `#[cfg(not(test))]`, which guards *production* code.
+                Some(t) if t.is_ident("cfg") => {
+                    attr.iter()
+                        .any(|t| t.is_ident("test") || t.is_ident("bench"))
+                        && !attr.iter().any(|t| t.is_ident("not"))
+                }
+                _ => false,
+            };
+            i = attr_end + 1;
+            if is_test_cfg {
+                // Skip any further attributes, then the item itself.
+                while i < tokens.len()
+                    && tokens[i].is_punct('#')
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    match skip_balanced(tokens, i + 1, '[', ']') {
+                        Some(end) => i = end + 1,
+                        None => return spans,
+                    }
+                }
+                let mut j = i;
+                while j < tokens.len() {
+                    if tokens[j].is_punct(';') {
+                        j += 1;
+                        break;
+                    }
+                    if tokens[j].is_punct('{') {
+                        j = skip_balanced(tokens, j, '{', '}').map_or(tokens.len(), |e| e + 1);
+                        break;
+                    }
+                    j += 1;
+                }
+                spans.push((attr_start, j));
+                i = j;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Whether token index `i` falls inside any of `spans`.
+pub fn in_spans(spans: &[(usize, usize)], i: usize) -> bool {
+    spans.iter().any(|&(a, b)| i >= a && i < b)
+}
+
+/// Parses structs and impl blocks from a token stream, skipping
+/// `#[cfg(test)]` items.
+pub fn parse_items(tokens: &[Token<'_>], comments: &[LineComment<'_>]) -> FileItems {
+    let skip = test_spans(tokens);
+    let mut structs = Vec::new();
+    let mut impls = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if in_spans(&skip, i) {
+            i += 1;
+            continue;
+        }
+        if tokens[i].is_ident("struct") {
+            if let Some((def, next)) = parse_struct(tokens, i, comments) {
+                structs.push(def);
+                i = next;
+                continue;
+            }
+        } else if tokens[i].is_ident("impl") {
+            if let Some((block, next)) = parse_impl(tokens, i) {
+                impls.push(block);
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    FileItems { structs, impls }
+}
+
+/// Finds the matching closer for the opener at `open_idx`, returning its
+/// index. `tokens[open_idx]` must be `open`.
+fn skip_balanced(tokens: &[Token<'_>], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Skips a `<...>` generics list starting at `i` if one is there.
+fn skip_generics(tokens: &[Token<'_>], mut i: usize) -> usize {
+    if !tokens.get(i).is_some_and(|t| t.is_punct('<')) {
+        return i;
+    }
+    let mut depth = 0isize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('<') {
+            depth += 1;
+        } else if tokens[i].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_struct(
+    tokens: &[Token<'_>],
+    kw: usize,
+    comments: &[LineComment<'_>],
+) -> Option<(StructDef, usize)> {
+    let name_tok = tokens.get(kw + 1)?;
+    if name_tok.kind != crate::lexer::TokKind::Ident {
+        return None;
+    }
+    let line = tokens[kw].line;
+    let mut i = skip_generics(tokens, kw + 2);
+    // `where` clauses before the brace; tuple structs and unit structs
+    // (next token `(` or `;`) carry no named fields — skip them.
+    while i < tokens.len() && !tokens[i].is_punct('{') {
+        if tokens[i].is_punct('(') || tokens[i].is_punct(';') {
+            return None;
+        }
+        i += 1;
+    }
+    let open = i;
+    let close = skip_balanced(tokens, open, '{', '}')?;
+    let mut fields = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        // Skip field attributes and visibility.
+        while j < close && tokens[j].is_punct('#') {
+            j = skip_balanced(tokens, j + 1, '[', ']').map_or(close, |e| e + 1);
+        }
+        if j < close && tokens[j].is_ident("pub") {
+            j += 1;
+            if tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+                j = skip_balanced(tokens, j, '(', ')').map_or(close, |e| e + 1);
+            }
+        }
+        if j >= close {
+            break;
+        }
+        let (name, name_line) = match tokens.get(j) {
+            Some(t) if t.kind == crate::lexer::TokKind::Ident => (t.text.to_string(), t.line),
+            _ => break,
+        };
+        if !tokens.get(j + 1).is_some_and(|t| t.is_punct(':')) {
+            break;
+        }
+        fields.push(Field {
+            derived: derived_annotation(comments, name_line),
+            name,
+            line: name_line,
+        });
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0isize;
+        j += 2;
+        while j < close {
+            let t = &tokens[j];
+            if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct(',') && depth <= 0 {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+    }
+    Some((
+        StructDef {
+            name: name_tok.text.to_string(),
+            line,
+            fields,
+        },
+        close + 1,
+    ))
+}
+
+/// The `// snap: derived(<reason>)` annotation on `line` or `line - 1`.
+fn derived_annotation(comments: &[LineComment<'_>], line: u32) -> Option<String> {
+    comments
+        .iter()
+        .filter(|c| c.line == line || c.line + 1 == line)
+        .find_map(|c| {
+            let rest = c.text.trim().strip_prefix("snap: derived(")?;
+            Some(rest.split(')').next().unwrap_or("").trim().to_string())
+        })
+}
+
+fn parse_impl(tokens: &[Token<'_>], kw: usize) -> Option<(ImplBlock, usize)> {
+    let line = tokens[kw].line;
+    let mut i = skip_generics(tokens, kw + 1);
+    // Collect the path up to `for`, `where` or `{`; if `for` appears the
+    // first path was the trait and the second is the self type.
+    let mut first_path_last = None;
+    let mut second_path_last = None;
+    let mut saw_for = false;
+    while i < tokens.len() && !tokens[i].is_punct('{') {
+        let t = &tokens[i];
+        if t.is_ident("for") {
+            saw_for = true;
+        } else if t.is_ident("where") {
+            // Type name already captured; scan forward to the brace
+            // without letting where-clause idents overwrite it.
+            while i < tokens.len() && !tokens[i].is_punct('{') {
+                i += 1;
+            }
+            break;
+        } else if t.kind == crate::lexer::TokKind::Ident && !t.is_ident("dyn") && !t.is_ident("mut")
+        {
+            if saw_for {
+                second_path_last = Some(t.text.to_string());
+            } else {
+                first_path_last = Some(t.text.to_string());
+            }
+            // Generic arguments after a segment are not part of the name.
+            if tokens.get(i + 1).is_some_and(|n| n.is_punct('<')) {
+                i = skip_generics(tokens, i + 1);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    let open = i;
+    let close = skip_balanced(tokens, open, '{', '}')?;
+    let (trait_name, type_name) = if saw_for {
+        (first_path_last, second_path_last?)
+    } else {
+        (None, first_path_last?)
+    };
+    let mut methods = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        if tokens[j].is_ident("fn") {
+            if let Some(t) = tokens.get(j + 1) {
+                let name = t.text.to_string();
+                let fn_line = tokens[j].line;
+                let mut k = skip_generics(tokens, j + 2);
+                // Parameter list.
+                let mut has_self = false;
+                if tokens.get(k).is_some_and(|t| t.is_punct('(')) {
+                    let params_end = skip_balanced(tokens, k, '(', ')').unwrap_or(close);
+                    has_self = tokens[k..=params_end.min(close)]
+                        .iter()
+                        .any(|t| t.is_ident("self"));
+                    k = params_end + 1;
+                }
+                // Return type / where clause up to the body brace or `;`.
+                while k < close && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
+                    k += 1;
+                }
+                if k < close && tokens[k].is_punct('{') {
+                    let body_end = skip_balanced(tokens, k, '{', '}').unwrap_or(close);
+                    methods.push(Method {
+                        name,
+                        line: fn_line,
+                        has_self,
+                        body: (k + 1, body_end),
+                    });
+                    j = body_end + 1;
+                    continue;
+                }
+                j = k + 1;
+                continue;
+            }
+        }
+        // Skip nested braces (consts with blocks, etc.) conservatively.
+        if tokens[j].is_punct('{') {
+            j = skip_balanced(tokens, j, '{', '}').map_or(close, |e| e + 1);
+            continue;
+        }
+        j += 1;
+    }
+    Some((
+        ImplBlock {
+            trait_name,
+            type_name,
+            line,
+            methods,
+        },
+        close + 1,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn struct_fields_with_annotations() {
+        let src = "\
+pub struct Core {
+    cfg: Config,
+    /// docs
+    pub ongoing: Vec<Option<Ongoing>>,
+    // snap: derived(rebuilt from ongoing on load)
+    cand_cache: Vec<u64>,
+    chan_bound: Vec<u64>, // snap: derived(monotone bound cache)
+}";
+        let l = lex(src);
+        let items = parse_items(&l.tokens, &l.comments);
+        assert_eq!(items.structs.len(), 1);
+        let s = &items.structs[0];
+        assert_eq!(s.name, "Core");
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["cfg", "ongoing", "cand_cache", "chan_bound"]);
+        assert_eq!(s.fields[0].derived, None);
+        assert_eq!(
+            s.fields[2].derived.as_deref(),
+            Some("rebuilt from ongoing on load")
+        );
+        assert_eq!(s.fields[3].derived.as_deref(), Some("monotone bound cache"));
+    }
+
+    #[test]
+    fn impl_blocks_and_methods() {
+        let src = "\
+impl AccessScheduler for BurstScheduler {
+    fn tick(&mut self, now: u64) { self.x += 1; }
+    fn mechanism(&self) -> M { M::A }
+}
+impl Core {
+    pub fn load_snap(r: &mut R) -> Result<Self, E> { Ok(Core { cfg }) }
+}";
+        let l = lex(src);
+        let items = parse_items(&l.tokens, &l.comments);
+        assert_eq!(items.impls.len(), 2);
+        assert_eq!(
+            items.impls[0].trait_name.as_deref(),
+            Some("AccessScheduler")
+        );
+        assert_eq!(items.impls[0].type_name, "BurstScheduler");
+        assert_eq!(items.impls[0].methods.len(), 2);
+        assert!(items.impls[0].methods[0].has_self);
+        assert_eq!(items.impls[1].trait_name, None);
+        assert_eq!(items.impls[1].type_name, "Core");
+        assert!(!items.impls[1].methods[0].has_self);
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = "\
+struct Real { a: u64 }
+#[cfg(test)]
+mod tests {
+    struct Fake { b: u64 }
+    #[test]
+    fn t() {}
+}";
+        let l = lex(src);
+        let items = parse_items(&l.tokens, &l.comments);
+        assert_eq!(items.structs.len(), 1);
+        assert_eq!(items.structs[0].name, "Real");
+    }
+
+    #[test]
+    fn generic_impl_with_where_clause() {
+        let src =
+            "impl<R: Send> CellOutcome<R> where R: Clone { fn value(self) -> Option<R> { None } }";
+        let l = lex(src);
+        let items = parse_items(&l.tokens, &l.comments);
+        assert_eq!(items.impls.len(), 1);
+        assert_eq!(items.impls[0].type_name, "CellOutcome");
+    }
+}

@@ -1,0 +1,406 @@
+//! A minimal Rust lexer: just enough fidelity for the analysis passes.
+//!
+//! Produces identifier / punctuation / literal tokens with 1-based line
+//! numbers, collects line comments separately (annotations like
+//! `// snap: derived(...)` live there), and strips string/char literals
+//! and block comments so pass logic never matches inside them. It does
+//! not attempt full Rust grammar — the passes work on token shapes.
+
+/// What a token is, at the granularity the passes care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`self`, `fn`, `HashMap`, ...).
+    Ident,
+    /// Single punctuation character (`.`, `{`, `#`, ...).
+    Punct,
+    /// Integer literal (including suffixed forms like `32u64`).
+    Int,
+    /// Float literal (`1.0`, `2e9`, `1f64`).
+    Float,
+    /// String / char / byte literal (contents dropped).
+    Literal,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One lexed token: kind, text and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token<'a> {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (empty for [`TokKind::Literal`]).
+    pub text: &'a str,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.starts_with(c)
+    }
+}
+
+/// A `//` comment with its 1-based line, for annotation parsing.
+#[derive(Debug, Clone)]
+pub struct LineComment<'a> {
+    /// 1-based source line the comment sits on.
+    pub line: u32,
+    /// Comment text after the `//`, untrimmed.
+    pub text: &'a str,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug)]
+pub struct Lexed<'a> {
+    /// All tokens outside comments and literals.
+    pub tokens: Vec<Token<'a>>,
+    /// All `//` comments (doc comments included).
+    pub comments: Vec<LineComment<'a>>,
+}
+
+/// Lexes `src`, never failing: unknown bytes become punctuation tokens,
+/// unterminated literals run to end of file.
+pub fn lex(src: &str) -> Lexed<'_> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(LineComment {
+                    line,
+                    text: &src[start..i],
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, counting newlines.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut line);
+                tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: "",
+                    line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
+                let tok_line = line;
+                i = skip_prefixed_literal(bytes, i, &mut line);
+                tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: "",
+                    line: tok_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a` not closed by a quote) vs char literal.
+                let is_lifetime = match (bytes.get(i + 1), bytes.get(i + 2)) {
+                    (Some(&n), after) => {
+                        (n == b'_' || n.is_ascii_alphabetic()) && after != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric())
+                    {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: &src[start..i],
+                        line,
+                    });
+                } else {
+                    i += 1;
+                    if bytes.get(i) == Some(&b'\\') {
+                        i += 2; // escape + escaped char
+                    } else {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(bytes.len());
+                    tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: "",
+                        line,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut float = false;
+                let hex_like = bytes.get(i + 1) == Some(&b'x')
+                    || bytes.get(i + 1) == Some(&b'o')
+                    || bytes.get(i + 1) == Some(&b'b');
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if b.is_ascii_alphanumeric() || b == b'_' {
+                        i += 1;
+                    } else if (b == b'.'
+                        && !float
+                        && !hex_like
+                        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit))
+                        || ((b == b'+' || b == b'-')
+                            && matches!(bytes.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+                            && !hex_like)
+                    {
+                        float = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..i];
+                let suffix_float = !hex_like && (text.ends_with("f32") || text.ends_with("f64"));
+                // `2e9` / `1E6`: an exponent whose digits run to the end
+                // of the token (this keeps `0element`-style idents, which
+                // can't start with a digit anyway, out of scope).
+                let has_exp = !hex_like
+                    && !suffix_float
+                    && text
+                        .char_indices()
+                        .find(|&(_, c)| c == 'e' || c == 'E')
+                        .is_some_and(|(p, _)| {
+                            let tail = &text[p + 1..];
+                            let tail = tail.strip_prefix(['+', '-']).unwrap_or(tail);
+                            !tail.is_empty() && tail.bytes().all(|b| b.is_ascii_digit())
+                        });
+                tokens.push(Token {
+                    kind: if float || suffix_float || has_exp {
+                        TokKind::Float
+                    } else {
+                        TokKind::Int
+                    },
+                    text,
+                    line,
+                });
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: &src[start..i],
+                    line,
+                });
+            }
+            _ => {
+                tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: &src[i..i + utf8_len(c)],
+                    line,
+                });
+                i += utf8_len(c);
+            }
+        }
+    }
+    Lexed { tokens, comments }
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn starts_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => {
+            matches!(bytes.get(i + 1), Some(b'"') | Some(b'\''))
+                || (bytes.get(i + 1) == Some(&b'r')
+                    && matches!(bytes.get(i + 2), Some(b'"') | Some(b'#')))
+        }
+        _ => false,
+    }
+}
+
+/// Skips a plain `"..."` string starting at the opening quote, returning
+/// the index just past the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` or `b'x'` literals.
+fn skip_prefixed_literal(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while matches!(bytes.get(i), Some(b'r') | Some(b'b')) {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        // b'x' byte char
+        i += 1;
+        if bytes.get(i) == Some(&b'\\') {
+            i += 2;
+        } else {
+            i += 1;
+        }
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1;
+        }
+        return (i + 1).min(bytes.len());
+    }
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return i;
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"'
+            && bytes[i + 1..].iter().take_while(|&&b| b == b'#').count() >= hashes
+        {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let l = lex("fn a() {\n  b.c()\n}");
+        let texts: Vec<&str> = l.tokens.iter().map(|t| t.text).collect();
+        assert_eq!(
+            texts,
+            vec!["fn", "a", "(", ")", "{", "b", ".", "c", "(", ")", "}"]
+        );
+        assert_eq!(l.tokens[5].line, 2);
+    }
+
+    #[test]
+    fn comments_are_collected_not_tokenised() {
+        let l = lex("let x = 1; // snap: derived(cache)\nlet y = 2;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("snap: derived(cache)"));
+        assert!(l.tokens.iter().all(|t| t.text != "snap"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex("let s = \"for x in map.keys()\";");
+        assert!(l.tokens.iter().all(|t| t.text != "keys"));
+        let l = lex("let s = r#\"HashMap \"quoted\"#;");
+        assert!(l.tokens.iter().all(|t| t.text != "HashMap"));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let l = lex("let a = 1.5; let b = 0..9; let c = 2e9; let d = 1f64; let e = 0xff;");
+        let kinds: Vec<(TokKind, &str)> = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.kind, t.text))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (TokKind::Float, "1.5"),
+                (TokKind::Int, "0"),
+                (TokKind::Int, "9"),
+                (TokKind::Float, "2e9"),
+                (TokKind::Float, "1f64"),
+                (TokKind::Int, "0xff"),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn block_comments_track_lines() {
+        let l = lex("/* one\ntwo */ fn f() {}");
+        assert_eq!(l.tokens[0].line, 2);
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_a_float() {
+        let l = lex("let y = x.0;");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Int && t.text == "0"));
+        assert!(l.tokens.iter().all(|t| t.kind != TokKind::Float));
+    }
+}

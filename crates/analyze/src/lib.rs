@@ -1,0 +1,107 @@
+//! `burst-analyze` — in-repo static analysis for the burst-scheduling
+//! workspace.
+//!
+//! Four passes over `crates/*/src/**/*.rs` (see [`passes`]):
+//!
+//! 1. **snap-coverage** — every type with `save_snap`/`load_snap` (or
+//!    `save_state`/`load_state`) must reference each struct field in both
+//!    methods, or annotate the field `// snap: derived(<reason>)`.
+//! 2. **determinism** — no hash-order iteration, wall-clock reads, ambient
+//!    RNG or float arithmetic in timing-observable code.
+//! 3. **panic-path** — no `unwrap`/`expect`/`panic!`/slice indexing in
+//!    supervised-cell code, where a panic burns a retry budget.
+//! 4. **scheduler-contract** — every `impl AccessScheduler` defines the
+//!    full method set explicitly, defaults included.
+//!
+//! The crate is deliberately dependency-free (offline CI): the Rust lexer
+//! and item parser are hand-rolled in [`lexer`] and [`items`].
+
+pub mod items;
+pub mod lexer;
+pub mod passes;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use passes::{analyze_sources, Allowlist, Config, Diagnostic, SourceFile};
+
+/// Workspace-relative path of the allowlist consulted by
+/// [`analyze_workspace`].
+pub const ALLOWLIST_PATH: &str = "crates/analyze/allowlist.txt";
+
+/// Collects every `crates/*/src/**/*.rs` under `root`, with paths
+/// workspace-relative and unix-separated, in sorted order.
+pub fn collect_workspace_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut rs_files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut rs_files)?;
+        }
+    }
+    rs_files.sort();
+    let mut out = Vec::with_capacity(rs_files.len());
+    for p in rs_files {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push(SourceFile {
+            path: rel,
+            src: std::fs::read_to_string(&p)?,
+        });
+    }
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full analysis over the workspace at `root` with the
+/// repository-default scopes and the checked-in allowlist. Allowlist
+/// syntax errors surface as diagnostics.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let files = collect_workspace_sources(root)?;
+    let mut cfg = Config::repo_default();
+    let allowlist_file = root.join(ALLOWLIST_PATH);
+    let mut diags = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(&allowlist_file) {
+        let (list, errs) = Allowlist::parse(&text, ALLOWLIST_PATH);
+        cfg.allowlist = list;
+        diags = errs;
+    }
+    diags.extend(analyze_sources(&files, &cfg));
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(diags)
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory containing both `Cargo.toml` and `crates/`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! CLI entry point: analyze the workspace, print diagnostics, exit
+//! nonzero when anything is found.
+//!
+//! ```text
+//! cargo run -p burst-analyze            # analyze the enclosing workspace
+//! cargo run -p burst-analyze -- <root>  # analyze an explicit root
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match burst_analyze::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "burst-analyze: no workspace root (Cargo.toml + crates/) found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let diags = match burst_analyze::analyze_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!(
+                "burst-analyze: failed to read workspace {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if diags.is_empty() {
+        eprintln!("burst-analyze: clean ({} passes, no findings)", 4);
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    eprintln!("burst-analyze: {} finding(s)", diags.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,702 @@
+//! The four analysis passes: snapshot coverage, determinism hygiene,
+//! panic-path audit and scheduler-contract conformance.
+//!
+//! Every pass emits [`Diagnostic`]s with `file:line` positions. Suppression
+//! is explicit and reasoned: `// snap: derived(<reason>)` on struct fields
+//! (snapshot pass), `// audit: allow(<rule>): <reason>` on or directly
+//! above a flagged line (any pass), or a workspace allowlist entry
+//! (`crates/analyze/allowlist.txt`) of the form
+//! `<rule> <path-substring> -- <reason>`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::{in_spans, parse_items, test_spans, FileItems};
+use crate::lexer::{lex, Lexed, TokKind, Token};
+
+/// One finding, pointing at `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (unix separators).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Stable rule token (`snap-field`, `hash-iter`, `float`, `unwrap`,
+    /// `index`, `contract`, ...).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl core::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One workspace allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule the entry suppresses.
+    pub rule: String,
+    /// Path substring the entry applies to.
+    pub path: String,
+    /// Written reason (required).
+    pub reason: String,
+}
+
+/// The parsed workspace allowlist.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format; malformed lines become diagnostics
+    /// against `path` rather than silent suppressions.
+    pub fn parse(text: &str, path: &str) -> (Allowlist, Vec<Diagnostic>) {
+        let mut entries = Vec::new();
+        let mut diags = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let lineno = i as u32 + 1;
+            let (head, reason) = match line.split_once("--") {
+                Some((h, r)) => (h.trim(), r.trim()),
+                None => {
+                    diags.push(Diagnostic {
+                        file: path.to_string(),
+                        line: lineno,
+                        rule: "allowlist",
+                        message: format!("allowlist entry has no `-- <reason>` clause: {line:?}"),
+                    });
+                    continue;
+                }
+            };
+            let mut parts = head.split_whitespace();
+            match (parts.next(), parts.next(), parts.next(), reason.is_empty()) {
+                (Some(rule), Some(p), None, false) => entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    path: p.to_string(),
+                    reason: reason.to_string(),
+                }),
+                _ => diags.push(Diagnostic {
+                    file: path.to_string(),
+                    line: lineno,
+                    rule: "allowlist",
+                    message: format!(
+                        "malformed allowlist entry (want `<rule> <path> -- <reason>`): {line:?}"
+                    ),
+                }),
+            }
+        }
+        (Allowlist { entries }, diags)
+    }
+
+    fn allows(&self, rule: &str, file: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.rule == rule && file.contains(&e.path))
+    }
+}
+
+/// Pass configuration: which files each scoped pass covers, plus the
+/// allowlist.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Path substrings in determinism-lint scope (timing-observable code).
+    pub determinism_scope: Vec<String>,
+    /// Path substrings in panic-audit scope (supervised-cell code).
+    pub panic_scope: Vec<String>,
+    /// Workspace allowlist.
+    pub allowlist: Allowlist,
+}
+
+impl Config {
+    /// The scope this repository commits to: timing-observable crates for
+    /// the determinism lint, supervised-cell files for the panic audit.
+    pub fn repo_default() -> Config {
+        Config {
+            determinism_scope: vec![
+                "crates/core/src/".into(),
+                "crates/dram/src/".into(),
+                "crates/cpu/src/".into(),
+                "crates/sim/src/system.rs".into(),
+                "crates/sim/src/cmp.rs".into(),
+            ],
+            panic_scope: vec![
+                "crates/sim/src/supervisor.rs".into(),
+                "crates/sim/src/journal.rs".into(),
+                "crates/sim/src/checkpoint.rs".into(),
+                "crates/sim/src/executor.rs".into(),
+            ],
+            allowlist: Allowlist::default(),
+        }
+    }
+}
+
+/// One source file to analyze.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with unix separators.
+    pub path: String,
+    /// File contents.
+    pub src: String,
+}
+
+/// Inline `// audit: allow(<rule>): <reason>` suppressions in one file.
+struct InlineAllows {
+    /// `(line, rule)` pairs with a non-empty reason.
+    allows: Vec<(u32, String)>,
+}
+
+impl InlineAllows {
+    fn collect(lexed: &Lexed<'_>, path: &str, diags: &mut Vec<Diagnostic>) -> InlineAllows {
+        let mut allows = Vec::new();
+        for c in &lexed.comments {
+            let Some(rest) = c.text.trim().strip_prefix("audit: allow(") else {
+                continue;
+            };
+            let Some((rule, reason)) = rest.split_once(')') else {
+                continue;
+            };
+            let reason = reason.trim_start_matches(':').trim();
+            if reason.is_empty() {
+                diags.push(Diagnostic {
+                    file: path.to_string(),
+                    line: c.line,
+                    rule: "allowlist",
+                    message: format!(
+                        "inline `audit: allow({rule})` needs a reason: `// audit: allow({rule}): <why>`"
+                    ),
+                });
+                continue;
+            }
+            allows.push((c.line, rule.trim().to_string()));
+        }
+        InlineAllows { allows }
+    }
+
+    /// Whether a diagnostic of `rule` at `line` is suppressed by an inline
+    /// allow on the same line or the line directly above.
+    fn allows(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+    }
+}
+
+/// Runs all four passes over `files` and returns the surviving
+/// diagnostics sorted by `(file, line)`.
+pub fn analyze_sources(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut snap = SnapCollector::default();
+    for f in files {
+        let lexed = lex(&f.src);
+        let items = parse_items(&lexed.tokens, &lexed.comments);
+        let inline = InlineAllows::collect(&lexed, &f.path, &mut diags);
+        let spans = test_spans(&lexed.tokens);
+        let mut file_diags = Vec::new();
+        if cfg.determinism_scope.iter().any(|s| f.path.contains(s)) {
+            determinism_pass(&f.path, &lexed.tokens, &spans, &mut file_diags);
+        }
+        if cfg.panic_scope.iter().any(|s| f.path.contains(s)) {
+            panic_pass(&f.path, &lexed.tokens, &spans, &mut file_diags);
+        }
+        contract_pass(&f.path, &items, &mut file_diags);
+        snap.collect_file(&f.path, &lexed.tokens, &items);
+        diags.extend(
+            file_diags.into_iter().filter(|d| {
+                !inline.allows(d.rule, d.line) && !cfg.allowlist.allows(d.rule, &d.file)
+            }),
+        );
+    }
+    let snap_diags = snap.finish();
+    diags.extend(
+        snap_diags
+            .into_iter()
+            .filter(|d| !cfg.allowlist.allows(d.rule, &d.file)),
+    );
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    diags
+}
+
+// --- Pass 1: snapshot coverage ---------------------------------------------
+
+/// The serialisation method pairs the pass cross-checks.
+const SNAP_PAIRS: [(&str, &str); 2] = [("save_snap", "load_snap"), ("save_state", "load_state")];
+
+#[derive(Debug, Default)]
+struct SnapCollector {
+    /// `type name -> struct defs` (same name may exist in several crates).
+    structs: BTreeMap<String, Vec<(String, crate::items::StructDef)>>,
+    /// `(file, type) -> method name -> (line, field refs, self-calls)`.
+    methods: BTreeMap<(String, String), BTreeMap<String, MethodInfo>>,
+}
+
+#[derive(Debug, Clone)]
+struct MethodInfo {
+    line: u32,
+    refs: BTreeSet<String>,
+    calls: BTreeSet<String>,
+}
+
+impl SnapCollector {
+    fn collect_file(&mut self, path: &str, tokens: &[Token<'_>], items: &FileItems) {
+        for s in &items.structs {
+            self.structs
+                .entry(s.name.clone())
+                .or_default()
+                .push((path.to_string(), s.clone()));
+        }
+        for imp in &items.impls {
+            for m in &imp.methods {
+                let body = &tokens[m.body.0..m.body.1];
+                let mut refs = BTreeSet::new();
+                let mut calls = BTreeSet::new();
+                if m.has_self {
+                    for (i, t) in body.iter().enumerate() {
+                        if t.is_ident("self") && body.get(i + 1).is_some_and(|n| n.is_punct('.')) {
+                            if let Some(field) = body.get(i + 2) {
+                                if field.kind == TokKind::Ident {
+                                    if body.get(i + 3).is_some_and(|n| n.is_punct('(')) {
+                                        calls.insert(field.text.to_string());
+                                    } else {
+                                        refs.insert(field.text.to_string());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    // Constructor-style (`fn load_snap(r) -> Result<Self>`):
+                    // any identifier in the body can be a field reference
+                    // (struct literal shorthand, `let cfg = ...`).
+                    for t in body {
+                        if t.kind == TokKind::Ident {
+                            refs.insert(t.text.to_string());
+                        }
+                    }
+                }
+                self.methods
+                    .entry((path.to_string(), imp.type_name.clone()))
+                    .or_default()
+                    .insert(
+                        m.name.clone(),
+                        MethodInfo {
+                            line: m.line,
+                            refs,
+                            calls,
+                        },
+                    );
+            }
+        }
+    }
+
+    /// Field references of `name` plus (transitively) of every same-type
+    /// method it calls through `self.` — serialisation helpers like
+    /// `save_common` count toward coverage.
+    fn transitive_refs(methods: &BTreeMap<String, MethodInfo>, name: &str) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut refs = BTreeSet::new();
+        let mut stack = vec![name.to_string()];
+        while let Some(m) = stack.pop() {
+            if !seen.insert(m.clone()) {
+                continue;
+            }
+            if let Some(info) = methods.get(&m) {
+                refs.extend(info.refs.iter().cloned());
+                stack.extend(info.calls.iter().cloned());
+            }
+        }
+        refs
+    }
+
+    fn finish(self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for ((file, type_name), methods) in &self.methods {
+            for (save, load) in SNAP_PAIRS {
+                let (s, l) = (methods.get(save), methods.get(load));
+                if s.is_none() && l.is_none() {
+                    continue;
+                }
+                // A lone half of a pair is itself a finding: state written
+                // but never restored (or restored from nowhere).
+                match (s, l) {
+                    (Some(_), Some(_)) => {}
+                    (Some(s), None) => {
+                        diags.push(Diagnostic {
+                            file: file.clone(),
+                            line: s.line,
+                            rule: "snap-pair",
+                            message: format!("`{type_name}` defines `{save}` but no `{load}`"),
+                        });
+                        continue;
+                    }
+                    (None, Some(l)) => {
+                        diags.push(Diagnostic {
+                            file: file.clone(),
+                            line: l.line,
+                            rule: "snap-pair",
+                            message: format!("`{type_name}` defines `{load}` but no `{save}`"),
+                        });
+                        continue;
+                    }
+                    (None, None) => unreachable!(),
+                }
+                // Pair the methods with the struct definition — same file
+                // first, unique global match otherwise, else skip (enums,
+                // types defined in code we don't see).
+                let Some(def) = self.structs.get(type_name).and_then(|defs| {
+                    defs.iter()
+                        .find(|(f, _)| f == file)
+                        .or(if defs.len() == 1 { defs.first() } else { None })
+                        .map(|(_, d)| d)
+                }) else {
+                    continue;
+                };
+                let save_refs = Self::transitive_refs(methods, save);
+                let load_refs = Self::transitive_refs(methods, load);
+                for field in &def.fields {
+                    match &field.derived {
+                        Some(reason) if reason.is_empty() => diags.push(Diagnostic {
+                            file: file.clone(),
+                            line: field.line,
+                            rule: "snap-reason",
+                            message: format!(
+                                "field `{}` of `{type_name}`: `snap: derived()` needs a reason",
+                                field.name
+                            ),
+                        }),
+                        Some(_) => {} // audited derived state
+                        None => {
+                            for (refs, method) in [(&save_refs, save), (&load_refs, load)] {
+                                if !refs.contains(&field.name) {
+                                    diags.push(Diagnostic {
+                                        file: file.clone(),
+                                        line: field.line,
+                                        rule: "snap-field",
+                                        message: format!(
+                                            "field `{}` of `{type_name}` is not referenced in \
+                                             `{method}` — serialise it or annotate \
+                                             `// snap: derived(<reason>)`",
+                                            field.name
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        diags
+    }
+}
+
+// --- Pass 2: determinism lint ----------------------------------------------
+
+const HASH_ITERATORS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+];
+
+fn determinism_pass(
+    path: &str,
+    tokens: &[Token<'_>],
+    skip: &[(usize, usize)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Identifiers declared with a HashMap/HashSet type or initialiser.
+    let mut hash_idents: BTreeSet<&str> = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) || in_spans(skip, i) {
+            continue;
+        }
+        // Walk left over the `std :: collections ::` path and the `:` of
+        // the declaration; the first identifier left of that is the name.
+        let mut j = i;
+        while j > 0 {
+            let p = &tokens[j - 1];
+            if p.is_punct(':') || p.is_ident("std") || p.is_ident("collections") {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j < i {
+            // Consumed at least the declaration `:`: `owners: HashMap<..>`.
+            if let Some(name) = tokens.get(j.wrapping_sub(1)) {
+                if name.kind == TokKind::Ident {
+                    hash_idents.insert(name.text);
+                }
+            }
+        } else if tokens
+            .get(i.wrapping_sub(1))
+            .is_some_and(|p| p.is_punct('='))
+        {
+            // `let [mut] completed = HashMap::new()`.
+            if let Some(name) = tokens.get(i.wrapping_sub(2)) {
+                if name.kind == TokKind::Ident && !name.is_ident("mut") {
+                    hash_idents.insert(name.text);
+                } else if name.is_ident("mut") {
+                    if let Some(n2) = tokens.get(i.wrapping_sub(3)) {
+                        if n2.kind == TokKind::Ident {
+                            hash_idents.insert(n2.text);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut flagged_float_lines = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if in_spans(skip, i) {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident if hash_idents.contains(t.text) => {
+                // `map.keys()` / `map.drain()` / ...
+                if tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+                    && tokens
+                        .get(i + 2)
+                        .is_some_and(|n| HASH_ITERATORS.contains(&n.text))
+                    && tokens.get(i + 3).is_some_and(|n| n.is_punct('('))
+                {
+                    diags.push(Diagnostic {
+                        file: path.to_string(),
+                        line: t.line,
+                        rule: "hash-iter",
+                        message: format!(
+                            "order-nondeterministic iteration `.{}()` over hash collection \
+                             `{}` in timing-observable code — use BTreeMap/BTreeSet or sort \
+                             the keys first",
+                            tokens[i + 2].text,
+                            t.text
+                        ),
+                    });
+                }
+                // `for x in [&][mut] [self.]map`
+                let mut k = i;
+                if k >= 2 && tokens[k - 1].is_punct('.') && tokens[k - 2].is_ident("self") {
+                    k -= 2;
+                }
+                while k >= 1 && (tokens[k - 1].is_punct('&') || tokens[k - 1].is_ident("mut")) {
+                    k -= 1;
+                }
+                if k >= 1
+                    && tokens[k - 1].is_ident("in")
+                    && !tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+                {
+                    diags.push(Diagnostic {
+                        file: path.to_string(),
+                        line: t.line,
+                        rule: "hash-iter",
+                        message: format!(
+                            "order-nondeterministic `for` loop over hash collection `{}` in \
+                             timing-observable code — use BTreeMap/BTreeSet or sort first",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            TokKind::Ident if t.is_ident("Instant") || t.is_ident("SystemTime") => {
+                diags.push(Diagnostic {
+                    file: path.to_string(),
+                    line: t.line,
+                    rule: "wall-clock",
+                    message: format!(
+                        "`{}` in timing-observable code — wall-clock time must never feed \
+                         simulated timing",
+                        t.text
+                    ),
+                });
+            }
+            TokKind::Ident if t.is_ident("thread_rng") || t.is_ident("from_entropy") => {
+                diags.push(Diagnostic {
+                    file: path.to_string(),
+                    line: t.line,
+                    rule: "rng",
+                    message: format!(
+                        "`{}` in timing-observable code — only seeded deterministic RNGs are \
+                         allowed",
+                        t.text
+                    ),
+                });
+            }
+            TokKind::Ident
+                if (t.is_ident("f64") || t.is_ident("f32"))
+                    && flagged_float_lines.insert(t.line) =>
+            {
+                diags.push(Diagnostic {
+                    file: path.to_string(),
+                    line: t.line,
+                    rule: "float",
+                    message: format!(
+                        "`{}` in timing-observable code — float arithmetic must not feed \
+                         scheduling or timing decisions (integer arithmetic, or \
+                         `audit: allow(float)` for report-only metrics)",
+                        t.text
+                    ),
+                });
+            }
+            TokKind::Float if flagged_float_lines.insert(t.line) => {
+                diags.push(Diagnostic {
+                    file: path.to_string(),
+                    line: t.line,
+                    rule: "float",
+                    message: format!(
+                        "float literal `{}` in timing-observable code — float arithmetic \
+                         must not feed scheduling or timing decisions",
+                        t.text
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+// --- Pass 3: panic-path audit ----------------------------------------------
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`let [a, b] = ...` is a slice pattern, not an index).
+const NON_INDEX_KEYWORDS: [&str; 11] = [
+    "mut", "dyn", "as", "in", "return", "break", "else", "ref", "move", "const", "let",
+];
+
+fn panic_pass(
+    path: &str,
+    tokens: &[Token<'_>],
+    skip: &[(usize, usize)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if in_spans(skip, i) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &tokens[j]);
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && prev.is_some_and(|p| p.is_punct('.'))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line: t.line,
+                rule: if t.is_ident("unwrap") {
+                    "unwrap"
+                } else {
+                    "expect"
+                },
+                message: format!(
+                    "`.{}()` in supervised-cell code — a panic here burns a retry budget; \
+                     return a structured error (`FailureKind`/`CellError`) instead",
+                    t.text
+                ),
+            });
+        } else if (t.is_ident("panic")
+            || t.is_ident("unreachable")
+            || t.is_ident("todo")
+            || t.is_ident("unimplemented"))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line: t.line,
+                rule: "panic",
+                message: format!(
+                    "`{}!` in supervised-cell code — prefer a structured error so the \
+                     failure is classified instead of unwound",
+                    t.text
+                ),
+            });
+        } else if t.is_punct('[') {
+            let indexes = match prev {
+                Some(p) if p.kind == TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text),
+                Some(p) => p.is_punct(')') || p.is_punct(']'),
+                None => false,
+            };
+            if indexes {
+                diags.push(Diagnostic {
+                    file: path.to_string(),
+                    line: t.line,
+                    rule: "index",
+                    message: format!(
+                        "slice indexing `{}[..]` in supervised-cell code — panics on \
+                         out-of-range; use `.get()`/destructuring or justify with \
+                         `audit: allow(index)`",
+                        prev.map_or("", |p| p.text)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// --- Pass 4: scheduler-contract conformance --------------------------------
+
+/// Every method of the `AccessScheduler` event-wheel contract. The
+/// compiler enforces the non-defaulted ones; the point of the pass is the
+/// *defaulted* tail — a new mechanism must opt into each default visibly
+/// rather than inherit behaviour that silently disables skipping,
+/// invalidation vetoes or checkpointing.
+pub const SCHEDULER_CONTRACT: [&str; 14] = [
+    "mechanism",
+    "can_accept",
+    "enqueue",
+    "tick",
+    "stats",
+    "outstanding",
+    "stall_diagnostic",
+    "quiescent",
+    "advance_quiescent",
+    "next_busy_event",
+    "enqueue_may_advance_horizon",
+    "advance_blocked",
+    "save_state",
+    "load_state",
+];
+
+fn contract_pass(path: &str, items: &FileItems, diags: &mut Vec<Diagnostic>) {
+    for imp in &items.impls {
+        if imp.trait_name.as_deref() != Some("AccessScheduler") {
+            continue;
+        }
+        let defined: BTreeSet<&str> = imp.methods.iter().map(|m| m.name.as_str()).collect();
+        let missing: Vec<&str> = SCHEDULER_CONTRACT
+            .iter()
+            .copied()
+            .filter(|m| !defined.contains(m))
+            .collect();
+        if !missing.is_empty() {
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line: imp.line,
+                rule: "contract",
+                message: format!(
+                    "`impl AccessScheduler for {}` does not define {} — every mechanism \
+                     must implement the full event-wheel contract explicitly (a silently \
+                     inherited default can disable horizon skipping or checkpointing)",
+                    imp.type_name,
+                    missing
+                        .iter()
+                        .map(|m| format!("`{m}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
+    }
+}

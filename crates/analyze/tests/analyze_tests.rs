@@ -1,0 +1,175 @@
+//! Fixture tests: each seeded-violation fixture must produce exactly the
+//! expected diagnostics (file, line, rule), the clean fixture must produce
+//! none, and the workspace itself must analyze clean.
+
+use std::path::Path;
+
+use burst_analyze::{analyze_sources, Allowlist, Config, Diagnostic, SourceFile};
+
+/// Loads a fixture as a `SourceFile` with a stable workspace-style path.
+fn fixture(name: &str) -> SourceFile {
+    let disk = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    SourceFile {
+        path: format!("fixtures/{name}"),
+        src: std::fs::read_to_string(&disk)
+            .unwrap_or_else(|e| panic!("reading fixture {}: {e}", disk.display())),
+    }
+}
+
+/// Scopes mirroring the repo config: determinism and panic rules each
+/// apply only to the fixtures seeded for them (plus the clean fixture,
+/// which must survive both).
+fn fixture_config() -> Config {
+    Config {
+        determinism_scope: vec!["fixtures/nondet.rs".into(), "fixtures/clean.rs".into()],
+        panic_scope: vec!["fixtures/panics.rs".into(), "fixtures/clean.rs".into()],
+        allowlist: Allowlist::default(),
+    }
+}
+
+fn lines_and_rules(diags: &[Diagnostic]) -> Vec<(u32, &str)> {
+    diags.iter().map(|d| (d.line, d.rule)).collect()
+}
+
+#[test]
+fn snap_fixture_produces_exact_diagnostics() {
+    let diags = analyze_sources(&[fixture("snap_missing.rs")], &fixture_config());
+    assert_eq!(
+        lines_and_rules(&diags),
+        vec![
+            (7, "snap-field"),   // `b` absent from save_snap
+            (7, "snap-field"),   // `b` absent from load_snap
+            (8, "snap-field"),   // `cache` absent from save_snap, unannotated
+            (10, "snap-reason"), // `snap: derived()` with empty reason
+            (30, "snap-pair"),   // `HalfPair` has save_state but no load_state
+        ],
+        "diagnostics were: {diags:#?}"
+    );
+    assert!(diags[0].message.contains("`b` of `Widget`"));
+    assert!(diags[2].message.contains("snap: derived"));
+    assert!(diags[4]
+        .message
+        .contains("`save_state` but no `load_state`"));
+}
+
+#[test]
+fn determinism_fixture_produces_exact_diagnostics() {
+    let diags = analyze_sources(&[fixture("nondet.rs")], &fixture_config());
+    assert_eq!(
+        lines_and_rules(&diags),
+        vec![
+            (5, "wall-clock"),  // use std::time::Instant
+            (9, "hash-iter"),   // for (k, v) in &map
+            (12, "hash-iter"),  // map.keys()
+            (15, "wall-clock"), // Instant::now()
+            (16, "rng"),        // thread_rng()
+            (17, "float"),      // f64 arithmetic (one diagnostic per line)
+        ],
+        "diagnostics were: {diags:#?}"
+    );
+    assert!(diags[1]
+        .message
+        .contains("`for` loop over hash collection `map`"));
+    assert!(diags[2].message.contains(".keys()"));
+}
+
+#[test]
+fn panic_fixture_produces_exact_diagnostics() {
+    let diags = analyze_sources(&[fixture("panics.rs")], &fixture_config());
+    assert_eq!(
+        lines_and_rules(&diags),
+        vec![
+            (5, "index"),  // v[0]
+            (6, "unwrap"), // o.unwrap()
+            (7, "expect"), // o.expect(...)
+            (9, "panic"),  // panic!
+                           // v[0] in `excused` is suppressed by its inline allow.
+        ],
+        "diagnostics were: {diags:#?}"
+    );
+}
+
+#[test]
+fn contract_fixture_produces_exact_diagnostics() {
+    let diags = analyze_sources(&[fixture("contract.rs")], &fixture_config());
+    assert_eq!(lines_and_rules(&diags), vec![(6, "contract")]);
+    for missing in [
+        "stall_diagnostic",
+        "quiescent",
+        "advance_quiescent",
+        "next_busy_event",
+        "enqueue_may_advance_horizon",
+        "advance_blocked",
+        "save_state",
+        "load_state",
+    ] {
+        assert!(
+            diags[0].message.contains(missing),
+            "contract diagnostic does not name `{missing}`: {}",
+            diags[0].message
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_produces_no_diagnostics() {
+    let diags = analyze_sources(&[fixture("clean.rs")], &fixture_config());
+    assert!(diags.is_empty(), "clean fixture flagged: {diags:#?}");
+}
+
+#[test]
+fn inline_allow_without_reason_is_itself_flagged() {
+    let src = "fn f(v: &[u64]) -> u64 {\n    // audit: allow(index)\n    v[0]\n}\n";
+    let cfg = Config {
+        determinism_scope: vec![],
+        panic_scope: vec!["reasonless.rs".into()],
+        allowlist: Allowlist::default(),
+    };
+    let diags = analyze_sources(
+        &[SourceFile {
+            path: "reasonless.rs".into(),
+            src: src.into(),
+        }],
+        &cfg,
+    );
+    // The reasonless allow does not suppress, and is reported itself.
+    assert_eq!(
+        lines_and_rules(&diags),
+        vec![(2, "allowlist"), (3, "index")],
+        "diagnostics were: {diags:#?}"
+    );
+}
+
+#[test]
+fn malformed_allowlist_entries_are_reported() {
+    let (list, errs) = Allowlist::parse(
+        "# comment\nfloat crates/core/src/stats.rs -- report-only metrics\nfloat nowhere.rs\nfloat a b -- too many fields\n",
+        "allowlist.txt",
+    );
+    assert_eq!(list.entries.len(), 1);
+    assert_eq!(
+        errs.iter().map(|d| d.line).collect::<Vec<_>>(),
+        vec![3, 4],
+        "errors were: {errs:#?}"
+    );
+}
+
+#[test]
+fn workspace_analyzes_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyze has a workspace root two levels up");
+    let diags = burst_analyze::analyze_workspace(root).expect("workspace readable");
+    assert!(
+        diags.is_empty(),
+        "the workspace must analyze clean; findings:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

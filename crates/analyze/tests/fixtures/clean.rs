@@ -1,0 +1,47 @@
+//! Non-violations the analyzer must NOT flag: deterministic collections,
+//! annotated derived state, slice patterns, strings that merely mention
+//! banned names, and nondeterminism confined to `#[cfg(test)]`. The
+//! fixture test asserts this file produces zero diagnostics.
+
+use std::collections::BTreeMap;
+
+pub struct Snapped {
+    pub a: u64,
+    // snap: derived(rebuilt from `a` by load_snap)
+    cache: u64,
+}
+
+impl Snapped {
+    fn save_snap(&self, w: &mut Vec<u64>) {
+        w.push(self.a);
+    }
+
+    fn load_snap(&mut self, vals: &[u64]) {
+        self.a = vals.first().copied().unwrap_or(0);
+        self.cache = self.a * 2;
+    }
+}
+
+pub fn fine(map: BTreeMap<u64, u64>) -> u64 {
+    let mut sum = 0;
+    for (k, v) in &map {
+        sum += k + v;
+    }
+    let name = "HashMap in a string literal is fine";
+    let [head, tail]: [u64; 2] = [sum, name.len() as u64];
+    head + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn nondeterminism_confined_to_tests_is_fine() {
+        let m: HashMap<u64, u64> = HashMap::new();
+        for (k, _) in m.iter() {
+            let v = [k];
+            let _ = v[0] as f64;
+        }
+    }
+}

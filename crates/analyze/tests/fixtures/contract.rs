@@ -1,0 +1,28 @@
+//! Seeded scheduler-contract violation. Never compiled — parsed by
+//! `analyze_tests.rs`. Keep the line numbers stable.
+
+pub struct Dead;
+
+impl AccessScheduler for Dead {
+    fn mechanism(&self) -> Mechanism {
+        Mechanism::BkInOrder
+    }
+
+    fn can_accept(&self, _kind: AccessKind) -> bool {
+        false
+    }
+
+    fn enqueue(&mut self, _a: Access, _now: Cycle, _c: &mut Vec<Completion>) -> EnqueueOutcome {
+        EnqueueOutcome::Rejected
+    }
+
+    fn tick(&mut self, _dram: &mut Dram, _now: Cycle, _c: &mut Vec<Completion>) {}
+
+    fn stats(&self) -> &CtrlStats {
+        unimplemented!()
+    }
+
+    fn outstanding(&self) -> Outstanding {
+        Outstanding::default()
+    }
+}

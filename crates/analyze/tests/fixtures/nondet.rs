@@ -1,0 +1,19 @@
+//! Seeded determinism violations. Never compiled — parsed by
+//! `analyze_tests.rs`. Keep the line numbers stable.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn bad(map: HashMap<u64, u64>) -> u64 {
+    let mut sum = 0;
+    for (k, v) in &map {
+        sum += k + v;
+    }
+    for k in map.keys() {
+        sum += k;
+    }
+    let started = Instant::now();
+    let rng = thread_rng();
+    let share = sum as f64 * 0.5;
+    share as u64
+}

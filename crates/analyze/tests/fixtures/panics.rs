@@ -1,0 +1,17 @@
+//! Seeded panic-path violations. Never compiled — parsed by
+//! `analyze_tests.rs`. Keep the line numbers stable.
+
+pub fn risky(v: &[u64], o: Option<u64>) -> u64 {
+    let first = v[0];
+    let x = o.unwrap();
+    let y = o.expect("present");
+    if first > 10 {
+        panic!("boom");
+    }
+    x + y
+}
+
+pub fn excused(v: &[u64]) -> u64 {
+    // audit: allow(index): length checked by caller contract
+    v[0]
+}

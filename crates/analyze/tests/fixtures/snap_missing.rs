@@ -1,0 +1,33 @@
+//! Seeded snap-coverage violations. Never compiled — parsed by
+//! `analyze_tests.rs`, which asserts the exact diagnostics. Keep the line
+//! numbers stable.
+
+pub struct Widget {
+    pub a: u64,
+    pub b: u64,
+    cache: Vec<u64>,
+    // snap: derived()
+    bad_reason: u32,
+}
+
+impl Widget {
+    fn save_snap(&self, w: &mut W) {
+        w.u64(self.a);
+    }
+
+    fn load_snap(&mut self, r: &mut R) {
+        self.a = r.u64();
+        self.cache.clear();
+        self.bad_reason = 0;
+    }
+}
+
+pub struct HalfPair {
+    x: u64,
+}
+
+impl HalfPair {
+    fn save_state(&self) {
+        let _ = self.x;
+    }
+}

@@ -8,7 +8,7 @@
 //! access is chosen (the bank arbiter) and in which unblocked transaction is
 //! issued each cycle (the transaction scheduler); everything else lives here.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::{Access, AccessId, AccessKind, Completion, CtrlConfig, CtrlStats, StallDiagnostic};
 use burst_dram::{Command, Cycle, Dram, Geometry, Loc, RowState};
@@ -136,8 +136,8 @@ pub struct Candidate {
 /// Shared bookkeeping core embedded by each mechanism.
 #[derive(Debug)]
 pub struct Core {
-    cfg: CtrlConfig,
-    geom: Geometry,
+    cfg: CtrlConfig, // snap: derived(construction input; restore re-supplies it)
+    geom: Geometry,  // snap: derived(construction input; restore re-supplies it)
     ongoing: Vec<Option<Ongoing>>,
     last_bank: Vec<Option<usize>>,
     last_rank: Vec<Option<u8>>,
@@ -146,15 +146,18 @@ pub struct Core {
     writes_outstanding: usize,
     /// Cached `(id, bank, rank)` of the oldest ongoing access per channel,
     /// recomputed lazily (see `ongoing_dirty`) by [`Core::steer_to_oldest`].
+    // snap: derived(lazy steering cache; restore marks every channel dirty)
     oldest_ongoing: Vec<Option<(AccessId, usize, u8)>>,
     /// Whether a channel's ongoing set changed since its cache entry was
     /// computed. Set on every install/remove; most ticks change nothing,
     /// so the steering scan over all banks is skipped.
+    // snap: derived(cache-invalidation flags; restore sets all true)
     ongoing_dirty: Vec<bool>,
     /// Occupied-slot bitmap, one bit per global bank: set iff the bank has
     /// an ongoing access. Mirrors `ongoing` exactly (derived state, absent
     /// from checkpoints) so the per-cycle candidate/steering/event scans
     /// touch only occupied slots instead of every bank.
+    // snap: derived(bitmap mirror of `ongoing`; restore rebuilds it)
     ongoing_mask: Vec<u64>,
     /// Per-bank cached next transaction of the slot's ongoing access and a
     /// lower bound on the first cycle it could pass [`Channel::can_issue`]
@@ -168,24 +171,29 @@ pub struct Core {
     /// by that transfer itself (the per-attribute gap obeys a triangle
     /// inequality). So `now < bound` proves the slot contributes no
     /// unblocked candidate, with no timing query at all.
+    // snap: derived(per-bank candidate cache; restore drops every entry)
     cand_cache: Vec<Option<(Command, Cycle)>>,
     /// `BusStats::refreshes` of each channel when its `cand_cache` entries
     /// were computed. A refresh rewrites bank rows without passing through
     /// [`Core::issue_candidate`], so a mismatch drops the whole channel's
     /// entries. `u64::MAX` forces the drop (fresh core or restored
     /// checkpoint).
+    // snap: derived(refresh-epoch stamps; restore forces the drop via u64::MAX)
     cand_epoch: Vec<u64>,
     /// Per-channel aggregate of `cand_cache`: `Some(t)` proves no occupied
     /// slot of the channel yields an unblocked candidate before cycle `t`,
     /// valid while the slot set, the per-bank device states (refresh
     /// epoch) and the channel's issue history are unchanged — any of those
     /// clears it. Lets a barren stretch skip the candidate scan outright.
+    // snap: derived(aggregate of `cand_cache`; restore clears it)
     chan_bound: Vec<Option<Cycle>>,
     /// Arrival cycle of every outstanding access, keyed by id. Ids and
     /// arrivals are both monotone, so the first entry is the oldest access.
     ages: AgeWindow,
     /// Attempt counts of accesses that have faulted at least once.
-    attempts: HashMap<AccessId, u32>,
+    /// BTreeMap, not HashMap: iterated during snapshotting, and anything
+    /// iterated in timing-observable code must have a deterministic order.
+    attempts: BTreeMap<AccessId, u32>,
     /// Faulted accesses awaiting re-enqueue by the mechanism's tick.
     retry_pending: Vec<Access>,
     /// Cycle of the last forward progress (transaction issue or arrival).
@@ -217,7 +225,7 @@ impl Core {
             reads_outstanding: 0,
             writes_outstanding: 0,
             ages: AgeWindow::default(),
-            attempts: HashMap::new(),
+            attempts: BTreeMap::new(),
             retry_pending: Vec::new(),
             last_progress: 0,
             stall: None,
@@ -915,12 +923,12 @@ impl Core {
         w.usize(self.reads_outstanding);
         w.usize(self.writes_outstanding);
         self.ages.save_snap(w);
-        let mut fault_ids: Vec<AccessId> = self.attempts.keys().copied().collect();
-        fault_ids.sort_unstable();
-        w.usize(fault_ids.len());
-        for id in fault_ids {
+        // BTreeMap iteration is already in ascending id order, which is
+        // the serialisation order the snapshot format specifies.
+        w.usize(self.attempts.len());
+        for (id, count) in &self.attempts {
             w.u64(id.value());
-            w.u32(self.attempts[&id]);
+            w.u32(*count);
         }
         w.usize(self.retry_pending.len());
         for acc in &self.retry_pending {

@@ -45,6 +45,7 @@ pub struct AdaptiveHistoryScheduler {
     /// balancing window.
     issued_reads: u64,
     issued_writes: u64,
+    // snap: derived(per-tick candidate scratch buffer, cleared before each use)
     scratch: Vec<Candidate>,
 }
 
@@ -65,7 +66,11 @@ impl AdaptiveHistoryScheduler {
     }
 
     /// The read share the history currently targets, in `[0, 1]`.
+    /// Report-only: scheduling decisions use the integer form in
+    /// [`Self::wants_read`].
+    // audit: allow(float): report-only accessor, never feeds scheduling
     pub fn target_read_share(&self) -> f64 {
+        // audit: allow(float): report-only accessor, never feeds scheduling
         f64::from(self.arrival_read_share) / 1024.0
     }
 
@@ -76,13 +81,21 @@ impl AdaptiveHistoryScheduler {
     }
 
     /// Whether the issued mix lags the arrival mix on the read side.
+    ///
+    /// Exact integer form of `issued_reads / issued <= share / 1024`:
+    /// cross-multiplying by the positive denominators gives
+    /// `issued_reads * 1024 <= share * issued`, which cannot overflow
+    /// u128 and has no rounding at all. The former f64 comparison agreed
+    /// with this for every reachable operand (the gap between distinct
+    /// rationals with denominators this small dwarfs f64 quotient
+    /// rounding), so behaviour is unchanged — the proof is just local now.
     fn wants_read(&self) -> bool {
         let issued = self.issued_reads + self.issued_writes;
         if issued == 0 {
             return true;
         }
-        let issued_read_share = self.issued_reads as f64 / issued as f64;
-        issued_read_share <= self.target_read_share()
+        u128::from(self.issued_reads) * 1024
+            <= u128::from(self.arrival_read_share) * u128::from(issued)
     }
 
     /// Picks the oldest row-hit access of `queue` against the open row,
@@ -278,6 +291,13 @@ impl AccessScheduler for AdaptiveHistoryScheduler {
             }
         }
         self.core.busy_event_base(dram, last)
+    }
+
+    fn enqueue_may_advance_horizon(&self, _access: &Access) -> bool {
+        // Conservative: any arrival may land on an idle bank and turn the
+        // next tick into a real one (see `next_busy_event`), so every
+        // enqueue invalidates a computed horizon.
+        true
     }
 
     fn advance_blocked(&mut self, from: Cycle, n: u64) {

@@ -35,6 +35,7 @@ pub struct BkInOrderScheduler {
     core: Core,
     queues: Vec<VecDeque<Access>>,
     rr: Vec<usize>,
+    // snap: derived(per-tick candidate scratch buffer, cleared before each use)
     scratch: Vec<Candidate>,
 }
 
@@ -149,6 +150,13 @@ impl AccessScheduler for BkInOrderScheduler {
         // Otherwise every arbiter is a no-op and only SDRAM timing (or the
         // watchdog) can change a tick's outcome.
         self.core.busy_event_base(dram, last)
+    }
+
+    fn enqueue_may_advance_horizon(&self, _access: &Access) -> bool {
+        // Conservative: an arrival on an idle bank makes the next tick a
+        // real one (see `next_busy_event`), so every enqueue invalidates
+        // a computed horizon.
+        true
     }
 
     fn advance_blocked(&mut self, from: Cycle, n: u64) {

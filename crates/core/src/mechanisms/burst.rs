@@ -131,8 +131,10 @@ pub struct BurstScheduler {
     /// age) still requires that local precondition, so a clear bit proves
     /// the arbiter call is a no-op and the per-cycle loop skips it.
     /// Derived state: rebuilt wholesale after a checkpoint restore.
+    // snap: derived(attention bitmap; load_state rebuilds it from the queues)
     attention: Vec<u64>,
     /// Reusable candidate buffer for the per-channel transaction scan.
+    // snap: derived(per-tick candidate scratch buffer, cleared before each use)
     scratch: Vec<Candidate>,
 }
 
@@ -196,11 +198,18 @@ impl BurstScheduler {
         self.next_adapt = now + period;
         let total = self.window_reads + self.window_writes;
         if total >= 16 {
-            let write_share = self.window_writes as f64 / total as f64;
-            let cap = self.core.cfg().write_capacity as f64;
             // write_share 0 -> near capacity (all preemption); write_share
             // 0.5+ -> low threshold (aggressive piggybacking).
-            let th = (cap * (1.0 - 1.6 * write_share)).clamp(cap * 0.125, cap - 4.0) as u32;
+            //
+            // Integer form of `cap * (1 - 1.6 * writes/total)` clamped to
+            // `[cap/8, cap - 4]`: scale by the denominator `10 * total`
+            // so the arithmetic is exact — no float may feed a scheduling
+            // decision. `1.6` is exactly 16/10 here, where the f64 it
+            // replaced carried the nearest-double approximation.
+            let cap = self.core.cfg().write_capacity as i128;
+            let num = cap * (10 * i128::from(total) - 16 * i128::from(self.window_writes));
+            let den = 10 * i128::from(total);
+            let th = num.div_euclid(den).clamp(cap / 8, cap - 4).max(0) as u32;
             self.opts.preempt_below = th;
             self.opts.piggyback_above = Some(th);
         }

@@ -42,6 +42,7 @@ pub struct IntelScheduler {
     /// banks prefer writes so the buffer empties in bursts, as the
     /// patent's flush logic does.
     draining: bool,
+    // snap: derived(per-tick candidate scratch buffer, cleared before each use)
     scratch: Vec<Candidate>,
 }
 
@@ -343,6 +344,14 @@ impl AccessScheduler for IntelScheduler {
             }
         }
         Some(event)
+    }
+
+    fn enqueue_may_advance_horizon(&self, _access: &Access) -> bool {
+        // Conservative: an arriving read can trigger preemption or land on
+        // an idle bank, and an arriving write changes the escalation front
+        // (see `next_busy_event`), so every enqueue invalidates a computed
+        // horizon.
+        true
     }
 
     fn advance_blocked(&mut self, from: Cycle, n: u64) {

@@ -36,6 +36,7 @@ pub struct RowHitScheduler {
     core: Core,
     queues: Vec<VecDeque<Access>>,
     rr: Vec<usize>,
+    // snap: derived(per-tick candidate scratch buffer, cleared before each use)
     scratch: Vec<Candidate>,
 }
 
@@ -174,6 +175,13 @@ impl AccessScheduler for RowHitScheduler {
             }
         }
         self.core.busy_event_base(dram, last)
+    }
+
+    fn enqueue_may_advance_horizon(&self, _access: &Access) -> bool {
+        // Conservative: an arrival on an idle bank makes the next tick a
+        // real one (see `next_busy_event`), so every enqueue invalidates
+        // a computed horizon.
+        true
     }
 
     fn advance_blocked(&mut self, from: Cycle, n: u64) {

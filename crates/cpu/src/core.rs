@@ -9,7 +9,7 @@
 //! saturated memory controller back-pressures dispatch and stalls the
 //! pipeline.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use burst_workloads::{Op, OpSource};
 
@@ -120,13 +120,13 @@ struct MshrEntry {
 /// ```
 #[derive(Debug)]
 pub struct Cpu {
-    cfg: CpuConfig,
+    cfg: CpuConfig, // snap: derived(construction input; restore re-supplies it)
     hierarchy: Hierarchy,
     rob: VecDeque<RobEntry>,
     /// Sequence number of the ROB front entry.
     head_seq: u64,
     now: u64,
-    mshrs: HashMap<u64, MshrEntry>,
+    mshrs: BTreeMap<u64, MshrEntry>,
     read_requests: VecDeque<(u64, bool)>,
     stalled_op: Option<Op>,
     /// Memoized miss result of the stalled op. When a load/store misses
@@ -149,7 +149,7 @@ impl Cpu {
             rob: VecDeque::new(),
             head_seq: 0,
             now: 0,
-            mshrs: HashMap::new(),
+            mshrs: BTreeMap::new(),
             read_requests: VecDeque::new(),
             stalled_op: None,
             stalled_miss: None,
@@ -509,11 +509,10 @@ impl Cpu {
         }
         w.u64(self.head_seq);
         w.u64(self.now);
-        let mut lines: Vec<u64> = self.mshrs.keys().copied().collect();
-        lines.sort_unstable();
-        w.usize(lines.len());
-        for line in lines {
-            let entry = &self.mshrs[&line];
+        // BTreeMap iteration is ascending line order — exactly the sorted
+        // order this snapshot section has always used.
+        w.usize(self.mshrs.len());
+        for (&line, entry) in &self.mshrs {
             w.u64(line);
             w.usize(entry.waiters.len());
             for &seq in &entry.waiters {

@@ -30,7 +30,7 @@ use crate::{
 /// ```
 #[derive(Debug, Clone)]
 pub struct Channel {
-    cfg: DramConfig,
+    cfg: DramConfig, // snap: derived(construction input; restore re-supplies it)
     banks: Vec<Bank>,
     ranks: Vec<Rank>,
     data_busy_until: Cycle,
@@ -48,7 +48,9 @@ pub struct Channel {
     /// Whether any rank currently has a refresh pending (same caching).
     any_refresh_pending: bool,
     stats: BusStats,
+    // snap: derived(trace-capture toggle; snapshots never span a recording)
     recording: bool,
+    // snap: derived(trace-capture buffer; snapshots never span a recording)
     events: Vec<IssueEvent>,
     checker: Option<Box<ProtocolChecker>>,
 }

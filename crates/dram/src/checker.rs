@@ -211,13 +211,14 @@ impl ShadowRank {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ProtocolChecker {
-    cfg: DramConfig,
+    cfg: DramConfig, // snap: derived(construction input; restore re-supplies it)
     banks: Vec<ShadowBank>,
     ranks: Vec<ShadowRank>,
     data_busy_until: Cycle,
     last_data_rank: Option<u8>,
     last_data_dir: Option<Dir>,
     last_cmd_at: Option<Cycle>,
+    // snap: derived(diagnostic violation log; load_snap clears it)
     recorded: Vec<Violation>,
     total: u64,
 }

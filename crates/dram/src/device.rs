@@ -19,6 +19,7 @@ use crate::{
 #[derive(Debug, Clone)]
 pub struct Dram {
     channels: Vec<Channel>,
+    // snap: derived(pure function of the geometry; restore re-supplies it)
     mapper: AddressMapper,
 }
 

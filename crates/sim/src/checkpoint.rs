@@ -234,7 +234,7 @@ impl Checkpoint {
         let observable = body
             .len()
             .checked_sub(crate::system::DIAGNOSTIC_TAIL_BYTES)
-            .map(|n| &body[..n])
+            .and_then(|n| body.get(..n))
             .ok_or(CheckpointError::Truncated)?;
         let found = fnv1a64(observable);
         if found != state_hash {

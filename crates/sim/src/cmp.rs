@@ -5,7 +5,7 @@
 //! lets the claim be measured.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use burst_core::{Access, AccessId, AccessKind, AccessScheduler, Completion};
 use burst_cpu::Cpu;
@@ -25,7 +25,7 @@ pub struct CmpSystem {
     next_id: u64,
     completions: Vec<Completion>,
     pending: BinaryHeap<Reverse<(Cycle, usize, u64)>>,
-    owners: HashMap<AccessId, (usize, u64)>,
+    owners: BTreeMap<AccessId, (usize, u64)>,
     /// Round-robin pointer for fair request hand-off across cores.
     rr: usize,
 }
@@ -53,7 +53,7 @@ impl CmpSystem {
             next_id: 0,
             completions: Vec::new(),
             pending: BinaryHeap::new(),
-            owners: HashMap::new(),
+            owners: BTreeMap::new(),
             rr: 0,
         }
     }

@@ -86,6 +86,9 @@ where
         // returning a silently misaligned result vector.
         let have: std::collections::HashSet<usize> = pairs.iter().map(|&(i, _)| i).collect();
         let missing: Vec<usize> = (0..items.len()).filter(|i| !have.contains(i)).collect();
+        // A lost result means a caller swallowed a worker panic; aborting
+        // loudly beats returning a silently misaligned vector.
+        // audit: allow(panic): deliberate invariant check, documented above
         panic!(
             "map_parallel lost {} of {} results (missing input indices {missing:?})",
             missing.len(),

@@ -418,81 +418,72 @@ fn parse_lat(field: &str) -> Option<LatencyHistogram> {
 }
 
 fn report_from_wire(wire: &str) -> Option<SimReport> {
-    let fields: Vec<&str> = wire.split('|').collect();
-    if fields.len() != 14 {
-        return None;
-    }
-    let mechanism = Mechanism::from_name(fields[0])?;
-    let workload = fields[1].to_string();
-    let cpu_cycles: u64 = fields[2].parse().ok()?;
-    let mem_cycles: u64 = fields[3].parse().ok()?;
-    let instructions: u64 = fields[4].parse().ok()?;
-    let s = split(fields[5])?;
-    if s.len() != 17 {
-        return None;
-    }
+    // Fixed-arity destructuring throughout: a malformed journal line (a
+    // crashed writer, a truncated flush) must come back as `None`, never
+    // as an out-of-range panic inside the supervisor.
+    let fields: [&str; 14] = wire.split('|').collect::<Vec<&str>>().try_into().ok()?;
+    let [mech_f, workload_f, cpu_cycles_f, mem_cycles_f, instructions_f, ctrl_f, occ_reads_f, occ_writes_f, lat_reads_f, lat_writes_f, bus_f, cpu_f, rb_f, channels_f] =
+        fields;
+    let mechanism = Mechanism::from_name(mech_f)?;
+    let workload = workload_f.to_string();
+    let cpu_cycles: u64 = cpu_cycles_f.parse().ok()?;
+    let mem_cycles: u64 = mem_cycles_f.parse().ok()?;
+    let instructions: u64 = instructions_f.parse().ok()?;
+    let [reads_done, writes_done, forwards, read_latency_sum, write_latency_sum, row_hits, row_empties, row_conflicts, cycles, write_saturated_cycles, preemptions, piggybacks, faults_injected, retries, escalations, watchdog_trips, max_access_age]: [u64; 17] = split(ctrl_f)?.try_into().ok()?;
     let ctrl = CtrlStats {
-        reads_done: s[0],
-        writes_done: s[1],
-        forwards: s[2],
-        read_latency_sum: s[3],
-        write_latency_sum: s[4],
-        row_hits: s[5],
-        row_empties: s[6],
-        row_conflicts: s[7],
-        cycles: s[8],
-        write_saturated_cycles: s[9],
-        preemptions: s[10],
-        piggybacks: s[11],
-        faults_injected: s[12],
-        retries: s[13],
-        escalations: s[14],
-        watchdog_trips: s[15],
-        max_access_age: s[16],
-        outstanding_reads: parse_occ(fields[6])?,
-        outstanding_writes: parse_occ(fields[7])?,
-        read_latencies: parse_lat(fields[8])?,
-        write_latencies: parse_lat(fields[9])?,
+        reads_done,
+        writes_done,
+        forwards,
+        read_latency_sum,
+        write_latency_sum,
+        row_hits,
+        row_empties,
+        row_conflicts,
+        cycles,
+        write_saturated_cycles,
+        preemptions,
+        piggybacks,
+        faults_injected,
+        retries,
+        escalations,
+        watchdog_trips,
+        max_access_age,
+        outstanding_reads: parse_occ(occ_reads_f)?,
+        outstanding_writes: parse_occ(occ_writes_f)?,
+        read_latencies: parse_lat(lat_reads_f)?,
+        write_latencies: parse_lat(lat_writes_f)?,
     };
-    let b = split(fields[10])?;
-    if b.len() != 8 {
-        return None;
-    }
+    let [cmd_cycles, data_cycles, reads, writes, activates, precharges, auto_precharges, refreshes]: [u64; 8] = split(bus_f)?.try_into().ok()?;
     let bus = BusStats {
-        cmd_cycles: b[0],
-        data_cycles: b[1],
-        reads: b[2],
-        writes: b[3],
-        activates: b[4],
-        precharges: b[5],
-        auto_precharges: b[6],
-        refreshes: b[7],
+        cmd_cycles,
+        data_cycles,
+        reads,
+        writes,
+        activates,
+        precharges,
+        auto_precharges,
+        refreshes,
     };
-    let p = split(fields[11])?;
-    if p.len() != 6 {
-        return None;
-    }
+    let [retired, loads, stores, mem_reads, mem_writes, stall_cycles]: [u64; 6] =
+        split(cpu_f)?.try_into().ok()?;
     let cpu = burst_cpu::CpuStats {
-        retired: p[0],
-        loads: p[1],
-        stores: p[2],
-        mem_reads: p[3],
-        mem_writes: p[4],
-        stall_cycles: p[5],
+        retired,
+        loads,
+        stores,
+        mem_reads,
+        mem_writes,
+        stall_cycles,
     };
-    let rb = split(fields[12])?;
-    if rb.len() != 6 {
-        return None;
-    }
+    let [violations, rb_faults_injected, rb_retries, rb_escalations, rb_watchdog_trips, rb_max_access_age]: [u64; 6] = split(rb_f)?.try_into().ok()?;
     let robustness = RobustnessReport {
-        violations: rb[0],
-        faults_injected: rb[1],
-        retries: rb[2],
-        escalations: rb[3],
-        watchdog_trips: rb[4],
-        max_access_age: rb[5],
+        violations,
+        faults_injected: rb_faults_injected,
+        retries: rb_retries,
+        escalations: rb_escalations,
+        watchdog_trips: rb_watchdog_trips,
+        max_access_age: rb_max_access_age,
     };
-    let channels: u64 = fields[13].parse().ok()?;
+    let channels: u64 = channels_f.parse().ok()?;
     Some(SimReport::from_parts(
         mechanism,
         workload,

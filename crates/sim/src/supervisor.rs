@@ -381,7 +381,12 @@ where
                 }
                 let mut slots = slots.lock().unwrap_or_else(|e| e.into_inner());
                 for (idx, outcome) in local {
-                    slots[idx] = Some(outcome);
+                    // `idx` came from the shared counter, so it is always
+                    // in range; `get_mut` keeps the supervisor itself
+                    // panic-free even if that invariant ever breaks.
+                    if let Some(slot) = slots.get_mut(idx) {
+                        *slot = Some(outcome);
+                    }
                 }
             });
         }

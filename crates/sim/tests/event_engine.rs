@@ -89,7 +89,7 @@ fn clone_scheduler(
 }
 
 fn clone_dram(dcfg: &DramConfig, bytes: &[u8]) -> Dram {
-    let mut twin = Dram::new(dcfg.clone(), AddressMapping::PageInterleaving);
+    let mut twin = Dram::new(*dcfg, AddressMapping::PageInterleaving);
     let mut r = SnapReader::new(bytes);
     twin.load_snap(&mut r).expect("device snapshot round-trips");
     r.finish().expect("device snapshot fully consumed");
@@ -177,7 +177,7 @@ proptest! {
         let mechanism = all_mechanisms()[mech_idx];
         let cfg = CtrlConfig::baseline();
         let dcfg = DramConfig::small();
-        let mut dram = Dram::new(dcfg.clone(), AddressMapping::PageInterleaving);
+        let mut dram = Dram::new(dcfg, AddressMapping::PageInterleaving);
         let mut sched = mechanism.build(cfg, dcfg.geometry);
         let mut completions = Vec::new();
         let mut now: u64 = 0;
@@ -211,7 +211,7 @@ proptest! {
             sched.tick(&mut dram, now, &mut completions);
             completions.clear();
             now += 1;
-            if guard % 16 == 0 {
+            if guard.is_multiple_of(16) {
                 check_busy_event_contract(mechanism, cfg, &dcfg, &mut sched, &dram, now)?;
             }
             guard += 1;
