@@ -44,6 +44,10 @@ fn snap_fixture_produces_exact_diagnostics() {
             (8, "snap-field"),   // `cache` absent from save_snap, unannotated
             (10, "snap-reason"), // `snap: derived()` with empty reason
             (30, "snap-pair"),   // `HalfPair` has save_state but no load_state
+            (37, "snap-field"),  // dense-table `slots` absent from save_snap
+            (37, "snap-field"),  // dense-table `slots` absent from load_snap
+            (38, "snap-field"),  // dense-table `mask` absent from save_snap
+            (38, "snap-field"),  // dense-table `mask` absent from load_snap
         ],
         "diagnostics were: {diags:#?}"
     );

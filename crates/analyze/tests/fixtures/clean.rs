@@ -22,6 +22,34 @@ impl Snapped {
     }
 }
 
+/// The dense open-addressed-table idiom (`MshrTable`, `RobRing`): the
+/// physical slot layout is a probe/ring artefact, so every field is
+/// `snap: derived` and the snapshot serialises logical entries in sorted
+/// key order instead. The sort itself is deterministic code the
+/// determinism pass must not flag.
+pub struct DenseTable {
+    slots: Vec<u64>, // snap: derived(entries serialised key-sorted by save_snap)
+    mask: usize,     // snap: derived(table geometry)
+    len: usize,      // snap: derived(count serialised by save_snap)
+}
+
+impl DenseTable {
+    fn save_snap(&self, w: &mut Vec<u64>) {
+        let mut keys: Vec<u64> = self.slots.iter().copied().filter(|&k| k != 0).collect();
+        keys.sort_unstable();
+        w.push(keys.len() as u64);
+        w.extend(keys);
+    }
+
+    fn load_snap(&mut self, vals: &[u64]) {
+        self.slots = vec![0; self.mask + 1];
+        self.len = 0;
+        for &k in vals {
+            self.insert(k);
+        }
+    }
+}
+
 pub fn fine(map: BTreeMap<u64, u64>) -> u64 {
     let mut sum = 0;
     for (k, v) in &map {

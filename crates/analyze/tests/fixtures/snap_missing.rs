@@ -31,3 +31,19 @@ impl HalfPair {
         let _ = self.x;
     }
 }
+
+pub struct DenseMiss {
+    pub seq: u64,
+    slots: Vec<u64>,
+    mask: usize,
+}
+
+impl DenseMiss {
+    fn save_snap(&self, w: &mut W) {
+        w.u64(self.seq);
+    }
+
+    fn load_snap(&mut self, r: &mut R) {
+        self.seq = r.u64();
+    }
+}

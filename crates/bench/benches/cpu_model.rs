@@ -1,0 +1,116 @@
+//! Criterion bench: the batched CPU model against its per-cycle reference.
+//!
+//! Drives a bare [`Cpu`] (no DRAM, flat-latency memory service) over three
+//! micro-workloads that isolate the batch paths of `Cpu::run_until`:
+//!
+//! - **hit_streak** — long full-width compute runs broken by cache-hitting
+//!   loads: the closed-form compute streak should collapse almost every
+//!   epoch into arithmetic.
+//! - **miss_storm** — independent loads striding fresh lines (high MLP):
+//!   dispatch rarely blocks for long, so batching has the least to win —
+//!   the regression-sensitive case.
+//! - **chase** — dependent loads (MLP 1): the core spends most cycles
+//!   provably stalled, the span `idle_until` batches in one jump.
+//!
+//! Each workload runs under both drivers so the pair's ratio is the
+//! macro-step win independent of machine noise.
+
+use std::collections::VecDeque;
+
+use burst_cpu::{Cpu, CpuConfig};
+use burst_workloads::{Op, ReplaySource};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// CPU cycles simulated per iteration.
+const RUN: u64 = 50_000;
+/// CPU cycles between external request/completion service — the cadence
+/// the full system imposes (it services the core every memory cycle).
+const EPOCH: u64 = 16;
+/// Flat main-memory latency in CPU cycles.
+const LATENCY: u64 = 200;
+
+/// Full-width compute runs with a cache-hitting load sprinkled in: after
+/// the first touch the 4-line footprint lives in L1 forever.
+fn hit_streak() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for i in 0..4u64 {
+        ops.extend(std::iter::repeat_n(Op::Compute, 97));
+        ops.push(Op::load(i << 6));
+    }
+    ops
+}
+
+/// Independent loads marching over fresh lines, two computes apart: high
+/// memory-level parallelism, dispatch rarely blocked for long.
+fn miss_storm() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for i in 0..512u64 {
+        ops.push(Op::load(i << 14));
+        ops.push(Op::Compute);
+        ops.push(Op::Compute);
+    }
+    ops
+}
+
+/// A pointer chase: every load consumes the previous one's data, pinning
+/// memory-level parallelism at 1.
+fn chase() -> Vec<Op> {
+    (0..512u64).map(|i| Op::dependent_load(i << 14)).collect()
+}
+
+/// Runs `RUN` CPU cycles against a flat-latency memory, via `run_until`
+/// (batched) or a plain `cycle` loop, returning instructions retired.
+fn drive(ops: &[Op], batched: bool) -> u64 {
+    let mut cpu = Cpu::new(CpuConfig::baseline());
+    let mut src = ReplaySource::new("bench", ops.to_vec());
+    let mut inflight: VecDeque<(u64, u64)> = VecDeque::new();
+    while cpu.now() < RUN {
+        let target = (cpu.now() + EPOCH).min(RUN);
+        if batched {
+            cpu.run_until(target, &mut src);
+        } else {
+            while cpu.now() < target {
+                cpu.cycle(&mut src);
+            }
+        }
+        while let Some(line) = cpu.pop_read_request() {
+            inflight.push_back((cpu.now() + LATENCY, line));
+        }
+        while cpu.pop_writeback().is_some() {}
+        while inflight.front().is_some_and(|&(at, _)| at <= cpu.now()) {
+            let (at, line) = inflight.pop_front().expect("checked front");
+            cpu.complete_read(line, at);
+        }
+    }
+    cpu.retired()
+}
+
+fn bench_cpu_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_model");
+    group.sample_size(20);
+    let workloads = [
+        ("hit_streak", hit_streak()),
+        ("miss_storm", miss_storm()),
+        ("chase", chase()),
+    ];
+    for (name, ops) in &workloads {
+        // The two drivers must agree before their timings mean anything.
+        assert_eq!(
+            drive(ops, false),
+            drive(ops, true),
+            "{name}: batched and per-cycle drivers retired different counts"
+        );
+        for batched in [false, true] {
+            let label = format!("{name}/{}", if batched { "batched" } else { "per_cycle" });
+            group.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &(ops, batched),
+                |b, &(ops, batched)| b.iter(|| drive(ops, batched)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_model);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! simulated machine) and writes `BENCH_perf.json` so CI and future changes
 //! can compare against it.
 //!
-//! Four views:
+//! Five views:
 //!
 //! 1. **Single-sim throughput** — one simulation per mechanism on the
 //!    profile workload (swim), reported as simulated memory megacycles per
@@ -15,12 +15,21 @@
 //!    differ. The event run's observability counters (events dispatched,
 //!    jump lengths, busy-vs-quiescent split) are reported alongside, and
 //!    the harness **fails** if the event engine is slower than the cycle
-//!    engine on any tracked row — the regression gate CI relies on.
-//! 3. **Checkpoint overhead** — the same simulation uninterrupted and
+//!    engine on any tracked row — the regression gate CI relies on. With
+//!    `--baseline FILE` it additionally fails if any row's event-engine
+//!    throughput drops more than 15% below the committed
+//!    `BENCH_perf.json`, so CI catches absolute regressions too.
+//! 3. **Phase profile** — one separately-profiled event-engine run per
+//!    workload, splitting step time across the four step phases (CPU
+//!    model, handoff, DRAM tick, delivery). These runs never feed a
+//!    throughput row: the phase timers themselves cost wall clock.
+//! 4. **Checkpoint overhead** — the same simulation uninterrupted and
 //!    with periodic mid-run checkpoints (capture + atomic write), at two
-//!    cadences. The two runs must produce bit-identical reports; the JSON
-//!    records the wall-clock overhead percentage.
-//! 4. **Sweep scaling** — a benchmark x mechanism sweep run at worker
+//!    cadences and with the per-write fsync on and off
+//!    (`--checkpoint-durable false`). Every pair must produce
+//!    bit-identical reports; the JSON records the wall-clock overhead
+//!    percentage per row.
+//! 5. **Sweep scaling** — a benchmark x mechanism sweep run at worker
 //!    counts 1, 2, 4, … up to the machine's available parallelism,
 //!    reported as simulations per second plus the speedup over the serial
 //!    run at each level. The JSON records the levels actually run and the
@@ -38,7 +47,9 @@ use burst_bench::{banner, HarnessOptions};
 use burst_core::Mechanism;
 use burst_sim::experiments::{fig8_mechanisms, Sweep};
 use burst_sim::report::render_table;
-use burst_sim::{default_jobs, simulate, Engine, EngineStats, SimReport, SystemConfig};
+use burst_sim::{
+    default_jobs, simulate, Engine, EngineStats, PhaseProfile, SimReport, System, SystemConfig,
+};
 use burst_workloads::SpecBenchmark;
 
 /// One single-sim measurement.
@@ -116,11 +127,59 @@ impl EngineEffect {
     }
 }
 
+/// Wall-clock split of one event-engine run across the step loop's four
+/// phases (CPU model, CPU→controller handoff, DRAM/scheduler tick,
+/// completion delivery). The per-phase timers add overhead, so these runs
+/// are measured separately and never feed a throughput row.
+struct PhaseSplit {
+    benchmark: SpecBenchmark,
+    mechanism: Mechanism,
+    mem_cycles: u64,
+    profile: PhaseProfile,
+}
+
+impl PhaseSplit {
+    fn measure(
+        base: &SystemConfig,
+        benchmark: SpecBenchmark,
+        mechanism: Mechanism,
+        seed: u64,
+        run: burst_sim::RunLength,
+    ) -> Self {
+        let cfg = base.with_mechanism(mechanism).with_engine(Engine::Event);
+        let mut workload = benchmark.workload(seed);
+        let mut sys = System::new(&cfg);
+        sys.warm(&mut workload);
+        sys.enable_phase_profile();
+        sys.run(&mut workload, run);
+        PhaseSplit {
+            benchmark,
+            mechanism,
+            mem_cycles: sys.mem_cycle(),
+            profile: *sys.phase_profile().expect("profiling enabled"),
+        }
+    }
+
+    fn phases(&self) -> [(&'static str, u64); 4] {
+        [
+            ("cpu", self.profile.cpu_ns),
+            ("handoff", self.profile.handoff_ns),
+            ("dram", self.profile.dram_ns),
+            ("deliver", self.profile.deliver_ns),
+        ]
+    }
+
+    fn pct(&self, ns: u64) -> f64 {
+        ns as f64 * 100.0 / self.profile.total_ns().max(1) as f64
+    }
+}
+
 /// Plain vs checkpointed timing of one (workload, mechanism) simulation.
 struct CheckpointOverhead {
     benchmark: SpecBenchmark,
     mechanism: Mechanism,
     every: u64,
+    durable: bool,
     mem_cycles: u64,
     plain_secs: f64,
     checkpointed_secs: f64,
@@ -132,6 +191,7 @@ impl CheckpointOverhead {
         benchmark: SpecBenchmark,
         mechanism: Mechanism,
         every: u64,
+        durable: bool,
         seed: u64,
         run: burst_sim::RunLength,
     ) -> Self {
@@ -148,6 +208,7 @@ impl CheckpointOverhead {
                 mechanism.name()
             )),
             fingerprint: 0x70_65_72_66,
+            durable,
         };
         let start = Instant::now();
         let checkpointed =
@@ -165,6 +226,7 @@ impl CheckpointOverhead {
             benchmark,
             mechanism,
             every,
+            durable,
             mem_cycles: plain.mem_cycles,
             plain_secs,
             checkpointed_secs,
@@ -178,6 +240,30 @@ impl CheckpointOverhead {
     fn overhead_pct(&self) -> f64 {
         (self.checkpointed_secs / self.plain_secs - 1.0) * 100.0
     }
+}
+
+/// Extracts `(workload, mechanism, event_mcycles_per_sec)` triples from a
+/// previously-written `BENCH_perf.json`. This harness writes one
+/// `engine_effect` row per line, so a line-oriented scan is exact for its
+/// own output; anything unparseable is simply skipped (a missing or
+/// foreign baseline must never fail the run by itself).
+fn read_baseline_rates(text: &str) -> Vec<(String, String, f64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let start = line.find(key)? + key.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().trim_matches('"').to_string())
+    };
+    text.lines()
+        .filter(|l| l.contains("\"event_mcycles_per_sec\""))
+        .filter_map(|l| {
+            Some((
+                field(l, "\"workload\":")?,
+                field(l, "\"mechanism\":")?,
+                field(l, "\"event_mcycles_per_sec\":")?.parse().ok()?,
+            ))
+        })
+        .collect()
 }
 
 /// Minimal JSON string escaping (names only contain ASCII, but be safe).
@@ -334,16 +420,121 @@ fn main() -> std::process::ExitCode {
         }
     }
 
+    // Committed-baseline guard (`--baseline FILE`): event-engine
+    // throughput on every tracked row must stay within 15% of the
+    // committed BENCH_perf.json. A missing file or row only warns (first
+    // run, renamed row, foreign baseline); an actual drop fails the
+    // process through the same `regressed` flag as the engine gate.
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = args
+        .windows(2)
+        .find(|w| w[0] == "--baseline")
+        .map(|w| w[1].clone());
+    if let Some(baseline_path) = baseline_path {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => {
+                let baseline = read_baseline_rates(&text);
+                for e in &effects {
+                    let row = baseline.iter().find(|(w, m, _)| {
+                        w.as_str() == e.benchmark.name() && *m == e.mechanism.name()
+                    });
+                    let Some((_, _, base_rate)) = row else {
+                        eprintln!(
+                            "warning: no baseline row for {}/{} in {baseline_path}; skipped",
+                            e.benchmark.name(),
+                            e.mechanism.name(),
+                        );
+                        continue;
+                    };
+                    let measured = e.rate(e.event_secs);
+                    if measured < base_rate * 0.85 {
+                        regressed = true;
+                        eprintln!(
+                            "PERF REGRESSION: {}/{} event engine at {measured:.2} \
+                             Mcycles/s, >15% below committed baseline {base_rate:.2}",
+                            e.benchmark.name(),
+                            e.mechanism.name(),
+                        );
+                    } else {
+                        println!(
+                            "baseline ok: {}/{} event engine {measured:.2} Mcycles/s \
+                             vs committed {base_rate:.2} (floor {:.2})",
+                            e.benchmark.name(),
+                            e.mechanism.name(),
+                            base_rate * 0.85,
+                        );
+                    }
+                }
+            }
+            Err(err) => {
+                eprintln!("warning: baseline {baseline_path} unreadable ({err}); guard skipped")
+            }
+        }
+    }
+
+    // Phase profile: where the event engine's step time goes, per
+    // workload. Profiled runs are separate from the timed rows above —
+    // the phase timers themselves cost wall clock.
+    let splits: Vec<PhaseSplit> = [
+        (SpecBenchmark::Swim, Mechanism::BurstTh(52)),
+        (SpecBenchmark::Mcf, Mechanism::BurstTh(52)),
+    ]
+    .into_iter()
+    .map(|(b, m)| PhaseSplit::measure(&base, b, m, opts.seed, opts.run))
+    .collect();
+    println!("--- phase profile (event engine, separately profiled runs)\n");
+    let rows: Vec<Vec<String>> = splits
+        .iter()
+        .map(|s| {
+            let mut row = vec![
+                s.benchmark.name().to_string(),
+                s.mechanism.name(),
+                format!("{}", s.mem_cycles),
+            ];
+            for (_, ns) in s.phases() {
+                row.push(format!("{:.1}%", s.pct(ns)));
+            }
+            row
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "mechanism",
+                "mem cycles",
+                "cpu",
+                "handoff",
+                "dram",
+                "deliver",
+            ],
+            &rows,
+        )
+    );
+
     // Checkpoint overhead: the same simulation uninterrupted vs paused
-    // every N memory cycles to capture + atomically write a snapshot.
+    // every N memory cycles to capture + atomically write a snapshot,
+    // with the per-write fsync on (durable) and off (--checkpoint-durable
+    // false) at the tightest cadence — the fsync dominates at short
+    // cadences, so the pair bounds what the flag buys.
     let ckpt_cases = [
-        (SpecBenchmark::Swim, Mechanism::BurstTh(52), 50_000u64),
-        (SpecBenchmark::Swim, Mechanism::BurstTh(52), 10_000u64),
-        (SpecBenchmark::Mcf, Mechanism::BurstTh(52), 10_000u64),
+        (SpecBenchmark::Swim, Mechanism::BurstTh(52), 50_000u64, true),
+        (SpecBenchmark::Swim, Mechanism::BurstTh(52), 10_000u64, true),
+        (
+            SpecBenchmark::Swim,
+            Mechanism::BurstTh(52),
+            10_000u64,
+            false,
+        ),
+        (SpecBenchmark::Mcf, Mechanism::BurstTh(52), 10_000u64, true),
+        (SpecBenchmark::Mcf, Mechanism::BurstTh(52), 10_000u64, false),
     ];
     let overheads: Vec<CheckpointOverhead> = ckpt_cases
         .into_iter()
-        .map(|(b, m, every)| CheckpointOverhead::measure(&base, b, m, every, opts.seed, opts.run))
+        .map(|(b, m, every, durable)| {
+            CheckpointOverhead::measure(&base, b, m, every, durable, opts.seed, opts.run)
+        })
         .collect();
     println!("--- checkpoint overhead (bit-identity checked per row)\n");
     let rows: Vec<Vec<String>> = overheads
@@ -353,6 +544,7 @@ fn main() -> std::process::ExitCode {
                 o.benchmark.name().to_string(),
                 o.mechanism.name(),
                 format!("{}", o.every),
+                if o.durable { "yes" } else { "no" }.to_string(),
                 format!("{}", o.checkpoints_written()),
                 format!("{:.3}", o.plain_secs),
                 format!("{:.3}", o.checkpointed_secs),
@@ -367,6 +559,7 @@ fn main() -> std::process::ExitCode {
                 "workload",
                 "mechanism",
                 "every (cyc)",
+                "fsync",
                 "ckpts",
                 "plain s",
                 "ckpt s",
@@ -505,15 +698,38 @@ fn main() -> std::process::ExitCode {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"phase_profile\": [\n");
+    for (i, s) in splits.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": {}, \"mechanism\": {}, \"mem_cycles\": {}, \
+             \"cpu_ns\": {}, \"handoff_ns\": {}, \"dram_ns\": {}, \
+             \"deliver_ns\": {}, \"cpu_pct\": {:.3}, \"handoff_pct\": {:.3}, \
+             \"dram_pct\": {:.3}, \"deliver_pct\": {:.3}}}{}\n",
+            json_str(s.benchmark.name()),
+            json_str(&s.mechanism.name()),
+            s.mem_cycles,
+            s.profile.cpu_ns,
+            s.profile.handoff_ns,
+            s.profile.dram_ns,
+            s.profile.deliver_ns,
+            s.pct(s.profile.cpu_ns),
+            s.pct(s.profile.handoff_ns),
+            s.pct(s.profile.dram_ns),
+            s.pct(s.profile.deliver_ns),
+            if i + 1 < splits.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"checkpoint_overhead\": [\n");
     for (i, o) in overheads.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"workload\": {}, \"mechanism\": {}, \"every_cycles\": {}, \
-             \"checkpoints_written\": {}, \"plain_secs\": {:.6}, \
+             \"durable\": {}, \"checkpoints_written\": {}, \"plain_secs\": {:.6}, \
              \"checkpointed_secs\": {:.6}, \"overhead_pct\": {:.3}}}{}\n",
             json_str(o.benchmark.name()),
             json_str(&o.mechanism.name()),
             o.every,
+            o.durable,
             o.checkpoints_written(),
             o.plain_secs,
             o.checkpointed_secs,
@@ -550,5 +766,45 @@ fn main() -> std::process::ExitCode {
         std::process::ExitCode::from(1)
     } else {
         std::process::ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::read_baseline_rates;
+
+    #[test]
+    fn baseline_parser_reads_engine_effect_rows() {
+        let json = concat!(
+            "{\n",
+            "  \"engine_effect\": [\n",
+            "    {\"workload\": \"swim\", \"mechanism\": \"Burst TH=52\", \
+             \"mem_cycles\": 536133, \"noskip_secs\": 0.1, \
+             \"event_secs\": 0.2, \"event_mcycles_per_sec\": 2.468, \
+             \"busy_jumps\": 3},\n",
+            "    {\"workload\": \"mcf\", \"mechanism\": \"Burst TH=52\", \
+             \"event_mcycles_per_sec\": 9.671, \"busy_jumps\": 0}\n",
+            "  ],\n",
+            "  \"phase_profile\": [\n",
+            "    {\"workload\": \"swim\", \"mechanism\": \"Burst TH=52\", \
+             \"cpu_ns\": 12}\n",
+            "  ]\n",
+            "}\n",
+        );
+        assert_eq!(
+            read_baseline_rates(json),
+            vec![
+                ("swim".to_string(), "Burst TH=52".to_string(), 2.468),
+                ("mcf".to_string(), "Burst TH=52".to_string(), 9.671),
+            ]
+        );
+    }
+
+    #[test]
+    fn baseline_parser_ignores_garbage() {
+        assert!(read_baseline_rates("not json at all").is_empty());
+        assert!(read_baseline_rates("").is_empty());
+        // A row with the key but an unparseable number is skipped, not fatal.
+        assert!(read_baseline_rates("{\"event_mcycles_per_sec\": oops}").is_empty());
     }
 }

@@ -63,6 +63,12 @@ pub struct HarnessOptions {
     /// Directory for per-cell `*.ckpt` files (`--checkpoint-dir DIR`;
     /// defaults to the current directory).
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Whether checkpoint writes fsync before their atomic rename
+    /// (`--checkpoint-durable {true,false}`, default `true`). `false`
+    /// makes mid-run checkpoints far cheaper but a power loss can tear
+    /// one; a torn file is detected on load and the cell restarts from
+    /// scratch, bit-identically.
+    pub checkpoint_durable: bool,
     /// Lockstep oracle mode (`--oracle`): instead of the normal sweep,
     /// run the skip-enabled engine against the naive per-cycle engine
     /// and compare state hashes every epoch, bisecting to the first
@@ -75,8 +81,8 @@ impl HarnessOptions {
     /// `--jobs N`, `--csv DIR`, `--engine NAME`, `--journal FILE`,
     /// `--resume FILE`, `--deadline SECS`, `--max-retries N`,
     /// `--inject-cell-faults SEED`, `--checkpoint-every N`,
-    /// `--checkpoint-dir DIR` and `--oracle` from `std::env::args`, with
-    /// the given default instruction budget.
+    /// `--checkpoint-dir DIR`, `--checkpoint-durable BOOL` and `--oracle`
+    /// from `std::env::args`, with the given default instruction budget.
     ///
     /// Unknown arguments are ignored so binaries can be combined with cargo
     /// flags freely.
@@ -125,6 +131,17 @@ impl HarnessOptions {
             .and_then(|v| v.parse().ok())
             .unwrap_or(0);
         let checkpoint_dir = value_of("--checkpoint-dir").map(std::path::PathBuf::from);
+        let checkpoint_durable = match value_of("--checkpoint-durable").as_deref() {
+            Some("false") | Some("0") | Some("no") => false,
+            Some("true") | Some("1") | Some("yes") | None => true,
+            Some(other) => {
+                eprintln!(
+                    "warning: unknown --checkpoint-durable value {other:?} ignored \
+                     (valid: true, false); using true"
+                );
+                true
+            }
+        };
         let oracle = args.iter().any(|a| a == "--oracle");
         let benchmarks = value_of("--benchmarks")
             .map(|list| {
@@ -156,6 +173,7 @@ impl HarnessOptions {
             inject_cell_faults,
             checkpoint_every,
             checkpoint_dir,
+            checkpoint_durable,
             oracle,
         }
     }
@@ -236,6 +254,7 @@ impl HarnessOptions {
                 .clone()
                 .unwrap_or_else(|| std::path::PathBuf::from(".")),
             fingerprint: burst_sim::journal::fingerprint(&self.fingerprint_desc()),
+            durable: self.checkpoint_durable,
         })
     }
 
@@ -499,6 +518,34 @@ mod tests {
         );
         // Unknown names fall back to the default instead of aborting.
         assert_eq!(parse(&["--engine", "warp"]).engine, Engine::Event);
+    }
+
+    #[test]
+    fn parses_checkpoint_durability() {
+        let parse = |extra: &[&str]| {
+            let mut args = vec!["bin".to_string()];
+            args.extend(extra.iter().map(|s| s.to_string()));
+            HarnessOptions::from_arg_slice(&args, 500)
+        };
+        // Durable by default, and durability never affects the fingerprint.
+        let o = parse(&["--checkpoint-every", "1000"]);
+        assert!(o.checkpoint_durable);
+        assert_eq!(o.checkpoint_plan().map(|p| p.durable), Some(true));
+        let o = parse(&[
+            "--checkpoint-every",
+            "1000",
+            "--checkpoint-durable",
+            "false",
+        ]);
+        assert!(!o.checkpoint_durable);
+        assert_eq!(o.checkpoint_plan().map(|p| p.durable), Some(false));
+        assert_eq!(
+            o.fingerprint_desc(),
+            parse(&["--checkpoint-every", "1000"]).fingerprint_desc(),
+            "durability changes no result, so it must not invalidate journals"
+        );
+        // Unknown values fall back to durable instead of aborting.
+        assert!(parse(&["--checkpoint-durable", "warp"]).checkpoint_durable);
     }
 
     #[test]

@@ -187,6 +187,20 @@ pub struct Core {
     /// clears it. Lets a barren stretch skip the candidate scan outright.
     // snap: derived(aggregate of `cand_cache`; restore clears it)
     chan_bound: Vec<Option<Cycle>>,
+    /// Candidate-scan worklist, one bit per global bank: set iff the next
+    /// [`Core::fill_candidates`] scan must examine the bank — its cached
+    /// entry is gone (slot or device state changed) or its bound has come
+    /// due. A clear bit carries a proof: the bank's cached bound lies in
+    /// the future (see the monotonicity argument on `cand_cache`), and
+    /// `next_due` is never later than any cleared bound, so the scan skips
+    /// the bank with no per-slot work at all until it is promoted back.
+    // snap: derived(scan worklist over `cand_cache` bounds; restore sets every bit)
+    due_mask: Vec<u64>,
+    /// Per-channel minimum cached bound over cleared-`due_mask` occupied
+    /// banks (`Cycle::MAX` when none is cleared): once `now` reaches it,
+    /// the scan first promotes newly due banks back into the worklist.
+    // snap: derived(promotion clock for `due_mask`; restore resets to MAX)
+    next_due: Vec<Cycle>,
     /// Arrival cycle of every outstanding access, keyed by id. Ids and
     /// arrivals are both monotone, so the first entry is the oldest access.
     ages: AgeWindow,
@@ -222,6 +236,8 @@ impl Core {
             cand_cache: vec![None; nbanks],
             cand_epoch: vec![u64::MAX; nch],
             chan_bound: vec![None; nch],
+            due_mask: vec![!0; nbanks.div_ceil(64)],
+            next_due: vec![Cycle::MAX; nch],
             reads_outstanding: 0,
             writes_outstanding: 0,
             ages: AgeWindow::default(),
@@ -364,6 +380,7 @@ impl Core {
         });
         self.ongoing_mask[bank >> 6] |= 1 << (bank & 63);
         self.cand_cache[bank] = None;
+        self.due_mask[bank >> 6] |= 1 << (bank & 63);
         let chan = bank / self.banks_per_channel();
         self.chan_bound[chan] = None;
         // An insertion merges into the steering minimum in O(1); a clean
@@ -396,6 +413,7 @@ impl Core {
         if taken.is_some() {
             self.ongoing_mask[bank >> 6] &= !(1 << (bank & 63));
             self.cand_cache[bank] = None;
+            self.due_mask[bank >> 6] |= 1 << (bank & 63);
             let chan = bank / self.banks_per_channel();
             self.chan_bound[chan] = None;
             self.note_ongoing_removed(chan, bank);
@@ -492,17 +510,52 @@ impl Core {
         if self.cand_epoch[channel] != epoch {
             for bank in self.bank_range(channel) {
                 self.cand_cache[bank] = None;
+                self.due_mask[bank >> 6] |= 1 << (bank & 63);
             }
             self.cand_epoch[channel] = epoch;
             self.chan_bound[channel] = None;
+            self.next_due[channel] = Cycle::MAX;
         }
         let escalate_age = self.cfg.watchdog.escalate_age;
         let range = self.bank_range(channel);
+        // Promote newly due banks back into the scan worklist: a cleared
+        // bank's cached bound is a valid lower bound forever (monotone
+        // device timing), so it re-enters the scan exactly when `now`
+        // reaches it. `include_blocked` callers report blocked candidates
+        // too and always take the full walk below.
+        if !include_blocked && now >= self.next_due[channel] {
+            let mut still_clear = Cycle::MAX;
+            let mut bank = range.start;
+            while bank < range.end {
+                let word = bank >> 6;
+                let shifted = (self.ongoing_mask[word] & !self.due_mask[word]) >> (bank & 63);
+                if shifted == 0 {
+                    bank = (bank | 63) + 1;
+                    continue;
+                }
+                bank += shifted.trailing_zeros() as usize;
+                if bank >= range.end {
+                    break;
+                }
+                match self.cand_cache[bank] {
+                    Some((_, bound)) if bound > now => still_clear = still_clear.min(bound),
+                    _ => self.due_mask[bank >> 6] |= 1 << (bank & 63),
+                }
+                bank += 1;
+            }
+            self.next_due[channel] = still_clear;
+        }
         let mut min_bound = u64::MAX;
         let mut any_unblocked = false;
         let mut bank = range.start;
         while bank < range.end {
-            let shifted = self.ongoing_mask[bank >> 6] >> (bank & 63);
+            let word = bank >> 6;
+            let mask = if include_blocked {
+                self.ongoing_mask[word]
+            } else {
+                self.ongoing_mask[word] & self.due_mask[word]
+            };
+            let shifted = mask >> (bank & 63);
             if shifted == 0 {
                 bank = (bank | 63) + 1;
                 continue;
@@ -511,7 +564,9 @@ impl Core {
             if bank >= range.end {
                 break;
             }
-            let og = self.ongoing[bank].expect("ongoing_mask bit set on an empty slot");
+            let og = self.ongoing[bank]
+                .as_ref()
+                .expect("ongoing_mask bit set on an empty slot");
             let (cmd, bound) = match self.cand_cache[bank] {
                 Some(c) => c,
                 None => {
@@ -527,6 +582,10 @@ impl Core {
             // rank) re-derives the bound from the current timing state.
             let unblocked = if now < bound {
                 min_bound = min_bound.min(bound);
+                if !include_blocked {
+                    self.due_mask[word] &= !(1 << (bank & 63));
+                    self.next_due[channel] = self.next_due[channel].min(bound);
+                }
                 false
             } else {
                 let ok = ch.can_issue(&cmd, now);
@@ -534,6 +593,10 @@ impl Core {
                     let bound = ch.earliest_issue(&cmd, now).unwrap_or(now);
                     self.cand_cache[bank] = Some((cmd, bound));
                     min_bound = min_bound.min(bound);
+                    if !include_blocked && bound > now {
+                        self.due_mask[word] &= !(1 << (bank & 63));
+                        self.next_due[channel] = self.next_due[channel].min(bound);
+                    }
                 }
                 ok
             };
@@ -553,11 +616,17 @@ impl Core {
             }
             bank += 1;
         }
-        // With every occupied slot provably blocked until `min_bound`, the
-        // whole scan is skippable until then (or until a slot, device or
-        // issue change drops the aggregate).
+        // With every occupied slot provably blocked until `min_bound` (the
+        // worklist-skipped slots are blocked until at least `next_due`),
+        // the whole scan is skippable until then — or until a slot, device
+        // or issue change drops the aggregate.
         if !any_unblocked {
-            self.chan_bound[channel] = Some(min_bound);
+            let skipped_until = if include_blocked {
+                Cycle::MAX
+            } else {
+                self.next_due[channel]
+            };
+            self.chan_bound[channel] = Some(min_bound.min(skipped_until));
         }
     }
 
@@ -620,6 +689,7 @@ impl Core {
         // transaction must be re-derived. Other banks' cached entries stay
         // valid lower bounds (see `cand_cache`).
         self.cand_cache[cand.bank] = None;
+        self.due_mask[cand.bank >> 6] |= 1 << (cand.bank & 63);
         self.chan_bound[chan] = None;
         self.last_bank[chan] = Some(cand.bank);
         self.last_rank[chan] = Some(cand.loc.rank);
@@ -1026,6 +1096,12 @@ impl Core {
         }
         for b in &mut self.chan_bound {
             *b = None;
+        }
+        for w in &mut self.due_mask {
+            *w = !0;
+        }
+        for d in &mut self.next_due {
+            *d = Cycle::MAX;
         }
         Ok(())
     }

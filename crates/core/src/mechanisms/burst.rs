@@ -133,10 +133,36 @@ pub struct BurstScheduler {
     /// Derived state: rebuilt wholesale after a checkpoint restore.
     // snap: derived(attention bitmap; load_state rebuilds it from the queues)
     attention: Vec<u64>,
+    /// Tick-walk subset of `attention`: set iff the arbiter call could
+    /// mutate state *under the current global gates* ([`Self::gates`]).
+    /// `attention` keeps the gate-free superset the horizon fold needs;
+    /// this map additionally folds in the conditions that depend on
+    /// global counters — write saturation, no-reads-anywhere, piggyback
+    /// qualification, preemption threshold — plus the starvation
+    /// deadline, so a bank full of writes stops being visited every tick
+    /// while reads elsewhere keep it unservable. Clear-bit proof: every
+    /// term that could flip a skipped bank back to actionable either
+    /// changes the gate byte (rebuilding the map), arrives with an
+    /// enqueue/issue (which re-marks or refreshes the bank), or is the
+    /// starvation clock (guarded by `next_escal`).
+    // snap: derived(gate-scoped attention; rebuilt lazily after restore)
+    act_now: Vec<u64>,
+    /// The gate byte every `act_now` bit currently assumes; a mismatch
+    /// with the live [`Self::gates`] value triggers a rebuild.
+    // snap: derived(act_now cache key; STALE after restore)
+    gate_cache: u8,
+    /// Earliest cycle a gate-blocked idle write could escalate: rebuild
+    /// `act_now` no later than this. Conservative-early (min-folded).
+    // snap: derived(act_now rebuild deadline; reset after restore)
+    next_escal: Cycle,
     /// Reusable candidate buffer for the per-channel transaction scan.
     // snap: derived(per-tick candidate scratch buffer, cleared before each use)
     scratch: Vec<Candidate>,
 }
+
+/// Sentinel `gate_cache` value (never produced by [`BurstScheduler::gates`],
+/// which uses only the low four bits): forces an `act_now` rebuild.
+const GATES_STALE: u8 = 0xFF;
 
 impl BurstScheduler {
     /// Creates a burst scheduler for a device of the given geometry.
@@ -152,13 +178,112 @@ impl BurstScheduler {
             window_writes: 0,
             next_adapt,
             attention: vec![0; nbanks.div_ceil(64)],
+            act_now: vec![0; nbanks.div_ceil(64)],
+            gate_cache: GATES_STALE,
+            next_escal: 0,
             scratch: Vec::new(),
+        }
+    }
+
+    /// The global predicates the bank arbiter consults beyond per-bank
+    /// state, packed into one comparable byte: write-queue saturation,
+    /// no-reads-anywhere, piggyback qualification and preemption headroom.
+    /// `act_now` bits are valid only for the byte they were computed
+    /// under.
+    fn gates(&self) -> u8 {
+        let wg = self.core.writes_outstanding() as u32;
+        let mut g = 0u8;
+        if wg >= self.core.cfg().write_capacity as u32 {
+            g |= 1;
+        }
+        if self.core.reads_outstanding() == 0 {
+            g |= 2;
+        }
+        if self.opts.piggyback_above.is_some_and(|th| wg > th) {
+            g |= 4;
+        }
+        if wg < self.opts.preempt_below {
+            g |= 8;
+        }
+        g
+    }
+
+    /// Recomputes `bank_idx`'s `act_now` bit under the `gate_cache`
+    /// assumption. Time-dependent terms are evaluated at `now`; the ones
+    /// that can only drift towards "no action" (an eligible preemption
+    /// target ageing into escalation immunity) are left conservative-set,
+    /// while the one that drifts towards "action" (an idle write crossing
+    /// the starvation age) min-folds its firing cycle into `next_escal`.
+    fn refresh_act(&mut self, bank_idx: usize, dram: &Dram, now: Cycle) {
+        let gates = self.gate_cache;
+        let escalate_age = self.core.cfg().watchdog.escalate_age;
+        let need = match self.core.ongoing(bank_idx) {
+            // Preemption is the only arm that can touch a busy slot.
+            Some(og) => {
+                og.access.kind == AccessKind::Write
+                    && gates & 8 != 0
+                    && now.saturating_sub(og.access.arrival) < escalate_age
+                    && self.banks[bank_idx].has_reads()
+            }
+            None => {
+                let b = &self.banks[bank_idx];
+                if b.has_reads() {
+                    // An idle bank with reads always picks one.
+                    true
+                } else if b.writes.is_empty() {
+                    false
+                } else if gates & (1 | 2) != 0 {
+                    // Saturation drain or no-reads drain.
+                    true
+                } else if gates & 4 != 0 && b.at_burst_end && {
+                    // Piggyback window: acts only when a queued write hits
+                    // the open row. Safe to test here rather than keep the
+                    // bit conservative-set: an idle bank's open row cannot
+                    // drift towards a new match (no ongoing access means no
+                    // activates; refresh only closes rows), and a freshly
+                    // arrived write re-marks the bank on enqueue.
+                    let (ch, rank, bk) = self.core.bank_coords(bank_idx);
+                    dram.channel(usize::from(ch))
+                        .bank(rank, bk)
+                        .open_row()
+                        .is_some_and(|row| b.writes.iter().any(|w| w.loc.row == row))
+                } {
+                    true
+                } else {
+                    // Writes present but every gate is shut: only the
+                    // starvation watchdog can free them, at a known cycle.
+                    let esc_at = b.writes.front().expect("non-empty").arrival + escalate_age;
+                    if esc_at <= now {
+                        true
+                    } else {
+                        self.next_escal = self.next_escal.min(esc_at);
+                        false
+                    }
+                }
+            }
+        };
+        let (word, mask) = (bank_idx >> 6, 1u64 << (bank_idx & 63));
+        if need {
+            self.act_now[word] |= mask;
+        } else {
+            self.act_now[word] &= !mask;
+        }
+    }
+
+    /// Rebuilds every `act_now` bit for the current `gate_cache` byte and
+    /// recomputes the escalation deadline from scratch.
+    fn rebuild_act(&mut self, dram: &Dram, now: Cycle) {
+        self.next_escal = Cycle::MAX;
+        for b in 0..self.banks.len() {
+            self.refresh_act(b, dram, now);
         }
     }
 
     /// Flags `bank_idx` for arbitration (new work arrived).
     fn mark_attention(&mut self, bank_idx: usize) {
         self.attention[bank_idx >> 6] |= 1 << (bank_idx & 63);
+        // Conservative: the next visit (or rebuild) recomputes the bit.
+        self.act_now[bank_idx >> 6] |= 1 << (bank_idx & 63);
     }
 
     /// Recomputes `bank_idx`'s attention bit from its slot and queues.
@@ -277,7 +402,10 @@ impl BurstScheduler {
     }
 
     /// The bank arbiter subroutine (Figure 5), run per bank per cycle.
-    fn bank_arbiter(&mut self, bank_idx: usize, dram: &Dram, now: Cycle) {
+    /// Returns `true` iff it changed any bank or slot state (installed,
+    /// preempted or escalated an access); `false` visits leave the queues,
+    /// the slot and `at_burst_end` exactly as found.
+    fn bank_arbiter(&mut self, bank_idx: usize, dram: &Dram, now: Cycle) -> bool {
         let writes_global = self.core.writes_outstanding() as u32;
         let write_cap = self.core.cfg().write_capacity as u32;
 
@@ -302,7 +430,7 @@ impl BurstScheduler {
                     .expect("slot was just cleared for preemption");
                 self.core.stats_mut().preemptions += 1;
             }
-            return;
+            return preemptable;
         }
 
         // Starvation watchdog: an access past the escalation age bypasses
@@ -330,7 +458,7 @@ impl BurstScheduler {
                     self.core
                         .set_ongoing(bank_idx, access)
                         .expect("bank verified idle before escalation");
-                    return;
+                    return true;
                 }
             }
         }
@@ -383,6 +511,9 @@ impl BurstScheduler {
             self.core
                 .set_ongoing(bank_idx, access)
                 .expect("bank verified idle at arbiter entry");
+            true
+        } else {
+            false
         }
     }
 
@@ -486,12 +617,23 @@ impl AccessScheduler for BurstScheduler {
         }
         self.adapt_threshold(now);
         for channel in 0..self.core.channel_count() {
-            // Visit only flagged banks: a clear attention bit proves the
-            // arbiter call would be a no-op (see the field's invariant).
+            // Gate check per channel, not per tick: an issue on an earlier
+            // channel can move the global counters, and this channel's
+            // walk must see bits consistent with the counters its arbiter
+            // will read. (Picks inside a walk never move them — counters
+            // change only on enqueue, issue and completion.)
+            let gates = self.gates();
+            if gates != self.gate_cache || now >= self.next_escal {
+                self.gate_cache = gates;
+                self.rebuild_act(dram, now);
+            }
+            // Visit only actionable banks: a clear `act_now` bit proves
+            // the arbiter call would mutate nothing this tick (see the
+            // field's invariant).
             let range = self.core.bank_range(channel);
             let mut bank_idx = range.start;
             while bank_idx < range.end {
-                let shifted = self.attention[bank_idx >> 6] >> (bank_idx & 63);
+                let shifted = self.act_now[bank_idx >> 6] >> (bank_idx & 63);
                 if shifted == 0 {
                     bank_idx = (bank_idx | 63) + 1;
                     continue;
@@ -500,8 +642,14 @@ impl AccessScheduler for BurstScheduler {
                 if bank_idx >= range.end {
                     break;
                 }
-                self.bank_arbiter(bank_idx, dram, now);
-                self.refresh_attention(bank_idx);
+                // A mutating visit invalidates both bitmaps; a futile one
+                // left the bank state untouched, so only the gate-scoped
+                // bit needs recomputing (clearing it is what stops the
+                // futile visit from repeating every tick).
+                if self.bank_arbiter(bank_idx, dram, now) {
+                    self.refresh_attention(bank_idx);
+                }
+                self.refresh_act(bank_idx, dram, now);
                 bank_idx += 1;
             }
             if self.core.candidates_barren(dram, channel, now) {
@@ -541,8 +689,9 @@ impl AccessScheduler for BurstScheduler {
                             }
                         }
                         // The column freed the bank's slot (or parked a
-                        // faulted access for retry): recompute its bit.
+                        // faulted access for retry): recompute its bits.
                         self.refresh_attention(cand.bank);
+                        self.refresh_act(cand.bank, dram, now);
                     }
                 }
                 None => {
@@ -776,10 +925,13 @@ impl AccessScheduler for BurstScheduler {
         self.window_writes = r.u64()?;
         self.next_adapt = r.u64()?;
         // The attention bitmap is derived state: rebuild it from the
-        // restored slots and queues.
+        // restored slots and queues. The gate-scoped `act_now` map is
+        // invalidated instead — the first tick rebuilds it lazily.
         for b in 0..self.banks.len() {
             self.refresh_attention(b);
         }
+        self.gate_cache = GATES_STALE;
+        self.next_escal = 0;
         Ok(())
     }
 }

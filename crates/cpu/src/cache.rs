@@ -1,4 +1,13 @@
 //! Set-associative write-back, write-allocate cache with LRU replacement.
+//!
+//! The hot paths (`lookup`, `insert`) run once per memory instruction of
+//! every simulated workload, so the implementation keeps the ways in one
+//! flat contiguous array (set-major, way-minor — the exact order the
+//! snapshot format has always used), precomputes shift/mask forms of the
+//! set/tag split when the geometry is a power of two (the baseline L1 and
+//! L2 both are), and memoizes the last line hit so repeated touches skip
+//! the set scan. None of this changes a single observable bit: the same
+//! way is found, the same LRU/dirty updates apply, the same counters move.
 
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,6 +85,16 @@ impl CacheStats {
     }
 }
 
+/// How the line address splits into a set index and a tag. Both forms are
+/// pure functions of the configured geometry.
+#[derive(Debug, Clone, Copy)]
+enum SetSplit {
+    /// `sets` is a power of two: mask for the index, shift for the tag.
+    Pow2 { mask: u64, shift: u32 },
+    /// Arbitrary set count: divide/modulo.
+    Generic { sets: u64 },
+}
+
 /// A set-associative write-back cache.
 ///
 /// # Examples
@@ -90,8 +109,18 @@ impl CacheStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
-    cfg: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    cfg: CacheConfig, // snap: derived(construction input; restore re-supplies it)
+    /// All ways, set-major then way-minor — the iteration order of the
+    /// snapshot format.
+    ways: Vec<Way>,
+    n_sets: usize,   // snap: derived(geometry, recomputed from cfg)
+    split: SetSplit, // snap: derived(geometry, recomputed from cfg)
+    line_shift: u32, // snap: derived(geometry, recomputed from cfg)
+    /// Last line-aligned address that hit, and the flat way index holding
+    /// it. Verified before use (valid bit + tag compare), so a stale memo
+    /// degrades to the full set scan and never changes the outcome.
+    memo_addr: u64, // snap: derived(lookup accelerator; invalidated on restore)
+    memo_way: u32,   // snap: derived(lookup accelerator; invalidated on restore)
     tick: u64,
     stats: CacheStats,
 }
@@ -110,9 +139,22 @@ impl Cache {
         );
         let sets = cfg.sets();
         assert!(sets > 0, "cache must have at least one set");
+        let split = if (sets as u64).is_power_of_two() {
+            SetSplit::Pow2 {
+                mask: sets as u64 - 1,
+                shift: (sets as u64).trailing_zeros(),
+            }
+        } else {
+            SetSplit::Generic { sets: sets as u64 }
+        };
         Cache {
+            ways: vec![Way::default(); sets * cfg.ways],
+            n_sets: sets,
+            split,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            memo_addr: u64::MAX,
+            memo_way: 0,
             cfg,
-            sets: vec![vec![Way::default(); cfg.ways]; sets],
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -133,11 +175,23 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    #[inline]
     fn split(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.cfg.line_bytes;
-        let set = (line % self.sets.len() as u64) as usize;
-        let tag = line / self.sets.len() as u64;
-        (set, tag)
+        let line = addr >> self.line_shift;
+        match self.split {
+            SetSplit::Pow2 { mask, shift } => ((line & mask) as usize, line >> shift),
+            SetSplit::Generic { sets } => ((line % sets) as usize, line / sets),
+        }
+    }
+
+    /// Reconstructs the line-aligned address held by (`set`, `tag`).
+    #[inline]
+    fn line_addr(&self, set: usize, tag: u64) -> u64 {
+        let line = match self.split {
+            SetSplit::Pow2 { shift, .. } => (tag << shift) | set as u64,
+            SetSplit::Generic { sets } => tag * sets + set as u64,
+        };
+        line << self.line_shift
     }
 
     /// Looks up `addr`; on a hit updates LRU and, if `make_dirty`, marks the
@@ -146,12 +200,29 @@ impl Cache {
     pub fn lookup(&mut self, addr: u64, make_dirty: bool) -> bool {
         self.tick += 1;
         let (set, tag) = self.split(addr);
-        for way in &mut self.sets[set] {
+        // Same line as last time? The memoized way is re-verified, so this
+        // is purely a shortcut to the scan below.
+        if self.memo_addr == addr {
+            let way = &mut self.ways[self.memo_way as usize];
             if way.valid && way.tag == tag {
                 way.lru = self.tick;
                 if make_dirty {
                     way.dirty = true;
                 }
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        let base = set * self.cfg.ways;
+        for i in base..base + self.cfg.ways {
+            let way = &mut self.ways[i];
+            if way.valid && way.tag == tag {
+                way.lru = self.tick;
+                if make_dirty {
+                    way.dirty = true;
+                }
+                self.memo_addr = addr;
+                self.memo_way = i as u32;
                 self.stats.hits += 1;
                 return true;
             }
@@ -163,7 +234,10 @@ impl Cache {
     /// Whether `addr` is present, without touching LRU or statistics.
     pub fn contains(&self, addr: u64) -> bool {
         let (set, tag) = self.split(addr);
-        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+        let base = set * self.cfg.ways;
+        self.ways[base..base + self.cfg.ways]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
     }
 
     /// Allocates a line for `addr` (write-allocate fill), evicting the LRU
@@ -172,58 +246,69 @@ impl Cache {
     pub fn insert(&mut self, addr: u64, dirty: bool) -> Option<Eviction> {
         self.tick += 1;
         let tick = self.tick;
-        let sets_len = self.sets.len() as u64;
         let (set, tag) = self.split(addr);
-        let ways = &mut self.sets[set];
+        let base = set * self.cfg.ways;
+        let ways = &mut self.ways[base..base + self.cfg.ways];
         // Already present: refresh.
-        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+        if let Some(i) = ways.iter().position(|w| w.valid && w.tag == tag) {
+            let way = &mut ways[i];
             way.lru = tick;
             way.dirty |= dirty;
+            self.memo_addr = addr;
+            self.memo_way = (base + i) as u32;
             return None;
         }
         // Free way?
-        if let Some(way) = ways.iter_mut().find(|w| !w.valid) {
-            *way = Way {
+        if let Some(i) = ways.iter().position(|w| !w.valid) {
+            ways[i] = Way {
                 tag,
                 valid: true,
                 dirty,
                 lru: tick,
             };
+            self.memo_addr = addr;
+            self.memo_way = (base + i) as u32;
             return None;
         }
         // Evict LRU.
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|w| w.lru)
+        let i = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.lru)
+            .map(|(i, _)| i)
             .expect("ways is non-empty");
-        let evicted = Eviction {
-            addr: (victim.tag * sets_len + set as u64) * self.cfg.line_bytes,
-            dirty: victim.dirty,
-        };
+        let victim = &mut ways[i];
+        let victim_tag = victim.tag;
+        let victim_dirty = victim.dirty;
         *victim = Way {
             tag,
             valid: true,
             dirty,
             lru: tick,
         };
-        if evicted.dirty {
+        self.memo_addr = addr;
+        self.memo_way = (base + i) as u32;
+        if victim_dirty {
             self.stats.writebacks += 1;
         }
-        Some(evicted)
+        Some(Eviction {
+            addr: self.line_addr(set, victim_tag),
+            dirty: victim_dirty,
+        })
     }
 
     /// Serialises every way's tag/valid/dirty/LRU state plus counters for
     /// a checkpoint.
     pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
-        w.usize(self.sets.len());
+        w.usize(self.n_sets);
         w.usize(self.cfg.ways);
-        for set in &self.sets {
-            for way in set {
-                w.u64(way.tag);
-                w.bool(way.valid);
-                w.bool(way.dirty);
-                w.u64(way.lru);
-            }
+        // Flat storage is set-major, way-minor: identical byte order to the
+        // historical nested per-set layout.
+        for way in &self.ways {
+            w.u64(way.tag);
+            w.bool(way.valid);
+            w.bool(way.dirty);
+            w.u64(way.lru);
         }
         w.u64(self.tick);
         w.u64(self.stats.hits);
@@ -238,17 +323,17 @@ impl Cache {
         r: &mut burst_snap::SnapReader,
     ) -> Result<(), burst_snap::SnapError> {
         use burst_snap::SnapError;
-        if r.seq_len(1)? != self.sets.len() || r.usize()? != self.cfg.ways {
+        if r.seq_len(1)? != self.n_sets || r.usize()? != self.cfg.ways {
             return Err(SnapError::Corrupt("cache geometry mismatch"));
         }
-        for set in &mut self.sets {
-            for way in set {
-                way.tag = r.u64()?;
-                way.valid = r.bool()?;
-                way.dirty = r.bool()?;
-                way.lru = r.u64()?;
-            }
+        for way in &mut self.ways {
+            way.tag = r.u64()?;
+            way.valid = r.bool()?;
+            way.dirty = r.bool()?;
+            way.lru = r.u64()?;
         }
+        // The restored contents need not match what the memo described.
+        self.memo_addr = u64::MAX;
         self.tick = r.u64()?;
         self.stats.hits = r.u64()?;
         self.stats.misses = r.u64()?;
@@ -362,5 +447,57 @@ mod tests {
         c.lookup(0, false);
         c.lookup(64, false);
         assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_power_of_two_sets_split_correctly() {
+        // 3 sets x 2 ways: exercises the generic divide/modulo split.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 3 * 2 * 64,
+            ways: 2,
+            line_bytes: 64,
+        });
+        // Lines 0 and 3 share set 0; line 1 is set 1.
+        c.insert(0, true);
+        c.insert(3 * 64, false);
+        c.insert(64, false);
+        assert!(c.contains(0) && c.contains(3 * 64) && c.contains(64));
+        // A third set-0 line evicts LRU line 0 and round-trips its address.
+        let ev = c.insert(6 * 64, false).expect("set 0 full");
+        assert_eq!(ev.addr, 0);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn memo_survives_eviction_of_memoized_line() {
+        let mut c = tiny();
+        c.insert(0, false);
+        assert!(c.lookup(0, false)); // memoize line 0
+                                     // Evict line 0 (set 0 holds two newer lines).
+        c.insert(256, false);
+        c.insert(512, false);
+        // The stale memo must not report a phantom hit.
+        assert!(!c.lookup(0, false));
+        assert!(c.lookup(512, false));
+    }
+
+    #[test]
+    fn repeated_hits_use_memo_with_identical_counters() {
+        let mut a = tiny();
+        let mut b = tiny();
+        a.insert(64, false);
+        b.insert(64, false);
+        for _ in 0..5 {
+            assert!(a.lookup(64, false));
+            // Defeat the memo in `b` by touching another set in between;
+            // both caches must still agree on every counter and LRU value.
+            assert!(b.lookup(64, false));
+        }
+        assert_eq!(a.stats(), b.stats());
+        let mut wa = burst_snap::SnapWriter::new();
+        let mut wb = burst_snap::SnapWriter::new();
+        a.save_snap(&mut wa);
+        b.save_snap(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
     }
 }

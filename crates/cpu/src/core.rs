@@ -8,8 +8,17 @@
 //! stores are posted; dirty writebacks generate main-memory writes; a
 //! saturated memory controller back-pressures dispatch and stalls the
 //! pipeline.
+//!
+//! Two driving interfaces exist. [`Cpu::cycle`] is the reference path: one
+//! exact CPU cycle per call. [`Cpu::run_until`] is the batch path: it
+//! advances to a deadline using closed-form fast paths — full-stall spans
+//! (via [`Cpu::idle_until`]) and full-width compute streaks — and falls
+//! back to the per-cycle path at any boundary. The batch path is
+//! bit-identical to the per-cycle path by construction; DESIGN.md §16
+//! documents the invariants, and the `cpu_batch_equiv` proptest compares
+//! full snapshot byte streams of both paths over random op streams.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use burst_workloads::{Op, OpSource};
 
@@ -89,20 +98,263 @@ struct RobEntry {
     state: EntryState,
 }
 
+/// Fixed-capacity ring buffer of in-flight ROB entries. Compared to a
+/// `VecDeque`, the capacity never reallocates and front pops in the
+/// compute-streak closed form are plain index arithmetic.
+#[derive(Debug, Clone)]
+struct RobRing {
+    buf: Vec<RobEntry>, // snap: derived(entries serialised in order by Cpu::save_snap)
+    head: usize,        // snap: derived(ring geometry, not observable)
+    len: usize,         // snap: derived(length serialised by Cpu::save_snap)
+}
+
+impl RobRing {
+    fn new(capacity: usize) -> Self {
+        RobRing {
+            buf: vec![
+                RobEntry {
+                    state: EntryState::Ready(0)
+                };
+                capacity.max(1)
+            ],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Physical index of logical position `i` (`i < capacity`, so one
+    /// conditional wrap suffices — the capacity need not be a power of
+    /// two).
+    #[inline]
+    fn phys(&self, i: usize) -> usize {
+        let mut p = self.head + i;
+        if p >= self.buf.len() {
+            p -= self.buf.len();
+        }
+        p
+    }
+
+    #[inline]
+    fn front(&self) -> Option<&RobEntry> {
+        (self.len > 0).then(|| &self.buf[self.head])
+    }
+
+    #[inline]
+    fn get_mut(&mut self, i: usize) -> Option<&mut RobEntry> {
+        if i < self.len {
+            let p = self.phys(i);
+            Some(&mut self.buf[p])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn push_back(&mut self, e: RobEntry) {
+        debug_assert!(self.len < self.buf.len(), "ROB ring overflow");
+        let p = self.phys(self.len);
+        self.buf[p] = e;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop_front(&mut self) -> Option<RobEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        let e = self.buf[self.head];
+        self.head += 1;
+        if self.head == self.buf.len() {
+            self.head = 0;
+        }
+        self.len -= 1;
+        Some(e)
+    }
+
+    /// Drops `n` entries from the front in O(1) (`n <= len`).
+    #[inline]
+    fn drop_front(&mut self, n: usize) {
+        debug_assert!(n <= self.len);
+        self.head = self.phys(n);
+        self.len -= n;
+    }
+
+    fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        (0..self.len).map(|i| &self.buf[self.phys(i)])
+    }
+}
+
+/// One MSHR: the miss bookkeeping for a single outstanding line.
 #[derive(Debug, Clone, Default)]
-struct MshrEntry {
+struct MshrSlot {
+    occupied: bool,
+    line: u64,
     /// ROB indices (sequence numbers) waiting on this line.
     waiters: Vec<u64>,
     /// The fill installs the line dirty (store-allocate).
     dirty_on_fill: bool,
 }
 
+/// Open-addressed line→MSHR table with linear probing and backward-shift
+/// deletion. Sized at twice the LSQ bound (load factor ≤ 0.5), so probes
+/// stay short. Iteration order is an implementation detail; the snapshot
+/// path sorts occupied slots by line so the byte stream stays identical to
+/// the historical `BTreeMap` encoding.
+#[derive(Debug, Clone)]
+struct MshrTable {
+    slots: Vec<MshrSlot>, // snap: derived(entries serialised line-sorted by Cpu::save_snap)
+    mask: usize,          // snap: derived(table geometry)
+    len: usize,           // snap: derived(count serialised by Cpu::save_snap)
+    /// Retired waiter vector kept for reuse, so steady-state insert/remove
+    /// churn does not allocate.
+    spare_waiters: Vec<u64>, // snap: derived(allocation cache, always logically empty)
+}
+
+impl MshrTable {
+    fn new(lsq_size: usize) -> Self {
+        let cap = (2 * lsq_size).next_power_of_two().max(8);
+        MshrTable {
+            slots: vec![MshrSlot::default(); cap],
+            mask: cap - 1,
+            len: 0,
+            spare_waiters: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn ideal(&self, line: u64) -> usize {
+        // Fibonacci hashing: multiply-shift keeps sequential lines from
+        // clustering in adjacent buckets.
+        let h = line.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> (64 - (self.mask + 1).trailing_zeros())) as usize & self.mask
+    }
+
+    /// Index of the slot holding `line`, if present.
+    #[inline]
+    fn find(&self, line: u64) -> Option<usize> {
+        let mut i = self.ideal(line);
+        loop {
+            let s = &self.slots[i];
+            if !s.occupied {
+                return None;
+            }
+            if s.line == line {
+                return Some(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self, line: u64) -> Option<&mut MshrSlot> {
+        self.find(line).map(|i| &mut self.slots[i])
+    }
+
+    /// Inserts a new entry for `line` (caller guarantees absence and spare
+    /// capacity) and returns it for waiter setup.
+    fn insert(&mut self, line: u64, dirty_on_fill: bool) -> &mut MshrSlot {
+        debug_assert!(self.find(line).is_none());
+        debug_assert!(self.len < self.slots.len());
+        let mut i = self.ideal(line);
+        while self.slots[i].occupied {
+            i = (i + 1) & self.mask;
+        }
+        self.len += 1;
+        let slot = &mut self.slots[i];
+        slot.occupied = true;
+        slot.line = line;
+        slot.dirty_on_fill = dirty_on_fill;
+        debug_assert!(slot.waiters.is_empty());
+        if slot.waiters.capacity() == 0 {
+            slot.waiters = std::mem::take(&mut self.spare_waiters);
+        }
+        slot
+    }
+
+    /// Removes `line`, returning its waiters (in a reusable vector that
+    /// must be given back via [`MshrTable::recycle_waiters`]) and the
+    /// dirty-on-fill flag.
+    fn remove(&mut self, line: u64) -> Option<(Vec<u64>, bool)> {
+        let idx = self.find(line)?;
+        let slot = &mut self.slots[idx];
+        slot.occupied = false;
+        let waiters = std::mem::take(&mut slot.waiters);
+        let dirty = slot.dirty_on_fill;
+        self.len -= 1;
+        // Backward-shift deletion keeps every remaining entry reachable
+        // from its ideal bucket without tombstones.
+        let mut hole = idx;
+        let mut i = idx;
+        loop {
+            i = (i + 1) & self.mask;
+            if !self.slots[i].occupied {
+                break;
+            }
+            let home = self.ideal(self.slots[i].line);
+            // Move `i` into the hole iff its home bucket does not lie in
+            // the cyclic range (hole, i].
+            let in_range = if hole <= i {
+                home > hole && home <= i
+            } else {
+                home > hole || home <= i
+            };
+            if !in_range {
+                self.slots.swap(hole, i);
+                self.slots[i].occupied = false;
+                hole = i;
+            }
+        }
+        Some((waiters, dirty))
+    }
+
+    /// Returns a drained waiter vector to the allocation cache.
+    fn recycle_waiters(&mut self, mut v: Vec<u64>) {
+        v.clear();
+        if v.capacity() > self.spare_waiters.capacity() {
+            self.spare_waiters = v;
+        }
+    }
+
+    /// Occupied slot indices sorted ascending by line — the snapshot
+    /// iteration order (matches the historical `BTreeMap` byte stream).
+    fn sorted_indices(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].occupied)
+            .collect();
+        idx.sort_by_key(|&i| self.slots[i].line);
+        idx
+    }
+
+    fn clear(&mut self) {
+        for s in &mut self.slots {
+            s.occupied = false;
+            s.waiters.clear();
+        }
+        self.len = 0;
+    }
+}
+
 /// The out-of-order core limit model.
 ///
-/// Drive it with [`Cpu::cycle`] once per CPU cycle; pull main-memory
-/// requests with [`Cpu::pop_read_request`] / [`Cpu::pop_writeback`] as the
-/// memory controller accepts them, and report read data with
-/// [`Cpu::complete_read`].
+/// Drive it with [`Cpu::cycle`] once per CPU cycle (or [`Cpu::run_until`]
+/// to batch); pull main-memory requests with [`Cpu::pop_read_request`] /
+/// [`Cpu::pop_writeback`] as the memory controller accepts them, and
+/// report read data with [`Cpu::complete_read`].
 ///
 /// # Examples
 ///
@@ -122,11 +374,11 @@ struct MshrEntry {
 pub struct Cpu {
     cfg: CpuConfig, // snap: derived(construction input; restore re-supplies it)
     hierarchy: Hierarchy,
-    rob: VecDeque<RobEntry>,
+    rob: RobRing,
     /// Sequence number of the ROB front entry.
     head_seq: u64,
     now: u64,
-    mshrs: BTreeMap<u64, MshrEntry>,
+    mshrs: MshrTable,
     read_requests: VecDeque<(u64, bool)>,
     stalled_op: Option<Op>,
     /// Memoized miss result of the stalled op. When a load/store misses
@@ -137,6 +389,14 @@ pub struct Cpu {
     stalled_miss: Option<u64>,
     /// A dependent-load chain is blocked until this line returns.
     chase_block: Option<u64>,
+    /// Exact count of `WaitMem` entries in the ROB. Maintained on push and
+    /// on the `complete_read` flip; recomputed on restore. A compute
+    /// streak requires zero (no entry can block retirement mid-streak).
+    waitmem_entries: usize, // snap: derived(recomputed from ROB entries on restore)
+    /// Conservative upper bound on every `Ready(at)` in the ROB. Only ever
+    /// grows ahead of pushes/flips, so a stale (too large) value merely
+    /// disqualifies a streak — it can never admit an ineligible one.
+    max_entry_at: u64, // snap: derived(recomputed from ROB entries on restore)
     stats: CpuStats,
 }
 
@@ -145,16 +405,18 @@ impl Cpu {
     pub fn new(cfg: CpuConfig) -> Self {
         Cpu {
             hierarchy: Hierarchy::new(cfg.hierarchy),
-            cfg,
-            rob: VecDeque::new(),
+            rob: RobRing::new(cfg.rob_size),
             head_seq: 0,
             now: 0,
-            mshrs: BTreeMap::new(),
+            mshrs: MshrTable::new(cfg.lsq_size),
             read_requests: VecDeque::new(),
             stalled_op: None,
             stalled_miss: None,
             chase_block: None,
+            waitmem_entries: 0,
+            max_entry_at: 0,
             stats: CpuStats::default(),
+            cfg,
         }
     }
 
@@ -286,18 +548,24 @@ impl Cpu {
     pub fn complete_read(&mut self, line: u64, ready_at: u64) {
         // A fill changes cache contents: the stalled op must re-probe.
         self.stalled_miss = None;
-        if let Some(entry) = self.mshrs.remove(&line) {
-            self.hierarchy.fill(line, entry.dirty_on_fill);
-            for seq in entry.waiters {
+        if let Some((waiters, dirty_on_fill)) = self.mshrs.remove(line) {
+            self.hierarchy.fill(line, dirty_on_fill);
+            let at = ready_at.max(self.now);
+            for &seq in &waiters {
                 if seq >= self.head_seq {
                     let idx = (seq - self.head_seq) as usize;
                     if let Some(e) = self.rob.get_mut(idx) {
                         if matches!(e.state, EntryState::WaitMem(l) if l == line) {
-                            e.state = EntryState::Ready(ready_at.max(self.now));
+                            e.state = EntryState::Ready(at);
+                            self.waitmem_entries -= 1;
+                            if at > self.max_entry_at {
+                                self.max_entry_at = at;
+                            }
                         }
                     }
                 }
             }
+            self.mshrs.recycle_waiters(waiters);
         }
         if self.chase_block == Some(line) {
             self.chase_block = None;
@@ -345,6 +613,174 @@ impl Cpu {
         if dispatched == 0 {
             self.stats.stall_cycles += 1;
         }
+    }
+
+    /// Advances the core to exactly CPU cycle `deadline`, bit-identically
+    /// to calling [`Cpu::cycle`] `deadline - now` times. Fully-stalled
+    /// spans and full-width compute streaks advance in closed form; every
+    /// other cycle takes the exact per-cycle path. External interaction
+    /// (request pop, read completion) must happen outside the call, as it
+    /// would between plain `cycle` calls.
+    pub fn run_until(&mut self, deadline: u64, source: &mut dyn OpSource) {
+        while self.now < deadline {
+            match self.idle_until() {
+                Some(at) => {
+                    // Batch the guaranteed-stall prefix; a wake-up on the
+                    // very next cycle steps exactly.
+                    let hi = if at == u64::MAX {
+                        deadline
+                    } else {
+                        deadline.min(at - 1)
+                    };
+                    if hi > self.now {
+                        self.advance_stalled(hi - self.now);
+                    } else {
+                        self.cycle(source);
+                    }
+                }
+                None => {
+                    if self.compute_streak_viable() {
+                        self.compute_streak(deadline, source);
+                    } else {
+                        self.cycle(source);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the next cycles are provably a full-width compute streak
+    /// *as long as the source keeps yielding `Op::Compute`*: no stalled
+    /// op to replay, every ROB entry retirable by the next cycle (so
+    /// retirement never blocks), and no writeback back-pressure (computes
+    /// cannot create any). Under these conditions each cycle retires at
+    /// full width (bounded by occupancy) and dispatches exactly `width`
+    /// computes — see `apply_compute_streak` for the closed form.
+    #[inline]
+    fn compute_streak_viable(&self) -> bool {
+        self.stalled_op.is_none()
+            && self.waitmem_entries == 0
+            && self.max_entry_at <= self.now + 1
+            && self.hierarchy.pending_writebacks() < self.cfg.writeback_stall
+            && self.cfg.width <= self.cfg.rob_size
+            && self.cfg.width > 0
+    }
+
+    /// Fetches ops up to the deadline's dispatch capacity, applies the
+    /// closed form over the all-compute prefix, and runs one exact partial
+    /// cycle for the remainder (including the first non-compute op, which
+    /// re-enters the normal dispatch path untouched).
+    fn compute_streak(&mut self, deadline: u64, source: &mut dyn OpSource) {
+        let w = self.cfg.width as u64;
+        // Chunk very long deadlines so `avail * w` cannot overflow; the
+        // outer `run_until` loop re-enters the streak seamlessly.
+        let avail = (deadline - self.now).min(1 << 20);
+        let max_ops = avail * w;
+        let mut k = 0u64;
+        let mut boundary: Option<Op> = None;
+        while k < max_ops {
+            match source.next_op() {
+                Op::Compute => k += 1,
+                op => {
+                    boundary = Some(op);
+                    break;
+                }
+            }
+        }
+        let full = k / w;
+        if full > 0 {
+            self.apply_compute_streak(full);
+        }
+        if boundary.is_some() || !k.is_multiple_of(w) {
+            self.cycle_with_pending((k % w) as usize, boundary, source);
+        }
+    }
+
+    /// Advances `full` cycles of pure full-width compute dispatch in
+    /// closed form. With `W = width`, `n0 = rob.len()` and all entries
+    /// `Ready(at <= now+1)`:
+    ///
+    /// * cycle 1 retires `min(W, n0)` and every later cycle retires `W`
+    ///   (entries pushed in cycle `i` carry `at = now0 + i + 1`, eligible
+    ///   from cycle `i+1` on), so `delta = full*W - max(0, W - n0)`;
+    /// * each cycle dispatches exactly `W` computes (retirement frees the
+    ///   space first; `W <= rob_size` guarantees the initial ramp fits);
+    /// * the survivors are the last `full*W - (delta - min(delta, n0))`
+    ///   pushed entries, with exact `at = now0 + j/W + 2` for push index
+    ///   `j` — reconstructed verbatim so the ROB is indistinguishable
+    ///   from per-cycle execution.
+    ///
+    /// Stall cycles, cache state, MSHRs and request queues are untouched
+    /// (computes interact with none of them).
+    fn apply_compute_streak(&mut self, full: u64) {
+        let w = self.cfg.width as u64;
+        let n0 = self.rob.len() as u64;
+        let now0 = self.now;
+        let delta = full * w - w.saturating_sub(n0);
+        let popped_orig = delta.min(n0);
+        let surv_new = full * w - (delta - popped_orig);
+        self.rob.drop_front(popped_orig as usize);
+        for j in (full * w - surv_new)..(full * w) {
+            self.rob.push_back(RobEntry {
+                state: EntryState::Ready(now0 + j / w + 2),
+            });
+        }
+        self.now += full;
+        self.head_seq += delta;
+        self.stats.retired += delta;
+        let top = now0 + full + 1;
+        if top > self.max_entry_at {
+            self.max_entry_at = top;
+        }
+    }
+
+    /// One exact cycle whose dispatch stream is prefixed by `pending`
+    /// already-fetched computes and then `boundary` (the op that ended a
+    /// streak fetch), before falling back to the stalled-op/source path.
+    /// The prefix is always consumed: computes cannot fail to dispatch
+    /// while the streak preconditions hold, and `boundary` either
+    /// dispatches or becomes the stalled op — so no transient buffer
+    /// survives the call.
+    fn cycle_with_pending(
+        &mut self,
+        mut pending: usize,
+        mut boundary: Option<Op>,
+        source: &mut dyn OpSource,
+    ) {
+        self.now += 1;
+        self.retire();
+        let mut dispatched = 0;
+        while dispatched < self.cfg.width {
+            if self.rob.len() >= self.cfg.rob_size {
+                break; // ROB full
+            }
+            if self.hierarchy.pending_writebacks() >= self.cfg.writeback_stall {
+                break; // memory back-pressure
+            }
+            let op = if pending > 0 {
+                pending -= 1;
+                Op::Compute
+            } else if let Some(op) = boundary.take() {
+                op
+            } else {
+                match self.stalled_op.take() {
+                    Some(op) => op,
+                    None => source.next_op(),
+                }
+            };
+            if !self.try_dispatch(op) {
+                self.stalled_op = Some(op);
+                break;
+            }
+            dispatched += 1;
+        }
+        if dispatched == 0 {
+            self.stats.stall_cycles += 1;
+        }
+        debug_assert!(
+            pending == 0 && boundary.is_none(),
+            "streak prefix fully consumed"
+        );
     }
 
     fn retire(&mut self) {
@@ -418,20 +854,14 @@ impl Cpu {
                     }
                     MemAccessResult::Miss { line } => {
                         let seq = self.head_seq + self.rob.len() as u64;
-                        if let Some(mshr) = self.mshrs.get_mut(&line) {
+                        if let Some(mshr) = self.mshrs.get_mut(line) {
                             mshr.waiters.push(seq);
                         } else {
                             if self.mshrs.len() >= self.cfg.lsq_size {
                                 self.stalled_miss = Some(line);
                                 return false; // no MSHR free
                             }
-                            self.mshrs.insert(
-                                line,
-                                MshrEntry {
-                                    waiters: vec![seq],
-                                    dirty_on_fill: false,
-                                },
-                            );
+                            self.mshrs.insert(line, false).waiters.push(seq);
                             self.read_requests.push_back((line, true));
                             self.stats.mem_reads += 1;
                         }
@@ -458,20 +888,14 @@ impl Cpu {
                     MemAccessResult::Miss { line } => {
                         // Write-allocate: fetch the line, but the store
                         // itself is posted and retires immediately.
-                        if let Some(mshr) = self.mshrs.get_mut(&line) {
+                        if let Some(mshr) = self.mshrs.get_mut(line) {
                             mshr.dirty_on_fill = true;
                         } else {
                             if self.mshrs.len() >= self.cfg.lsq_size {
                                 self.stalled_miss = Some(line);
                                 return false;
                             }
-                            self.mshrs.insert(
-                                line,
-                                MshrEntry {
-                                    waiters: Vec::new(),
-                                    dirty_on_fill: true,
-                                },
-                            );
+                            self.mshrs.insert(line, true);
                             self.read_requests.push_back((line, false));
                             self.stats.mem_reads += 1;
                         }
@@ -484,18 +908,28 @@ impl Cpu {
         }
     }
 
+    #[inline]
     fn push_entry(&mut self, state: EntryState) {
+        match state {
+            EntryState::Ready(at) => {
+                if at > self.max_entry_at {
+                    self.max_entry_at = at;
+                }
+            }
+            EntryState::WaitMem(_) => self.waitmem_entries += 1,
+        }
         self.rob.push_back(RobEntry { state });
     }
 
     /// Serialises the complete core state — ROB, MSHRs, pending requests,
     /// stall/chase bookkeeping, cache hierarchy and statistics — for a
     /// checkpoint. MSHRs are written in ascending line order so the byte
-    /// stream is independent of `HashMap` iteration order.
+    /// stream is independent of the open-addressed table's probe layout
+    /// (and identical to the historical `BTreeMap` encoding).
     pub fn save_snap(&self, w: &mut burst_snap::SnapWriter) {
         self.hierarchy.save_snap(w);
         w.usize(self.rob.len());
-        for e in &self.rob {
+        for e in self.rob.iter() {
             match e.state {
                 EntryState::Ready(at) => {
                     w.u8(0);
@@ -509,16 +943,15 @@ impl Cpu {
         }
         w.u64(self.head_seq);
         w.u64(self.now);
-        // BTreeMap iteration is ascending line order — exactly the sorted
-        // order this snapshot section has always used.
         w.usize(self.mshrs.len());
-        for (&line, entry) in &self.mshrs {
-            w.u64(line);
-            w.usize(entry.waiters.len());
-            for &seq in &entry.waiters {
+        for i in self.mshrs.sorted_indices() {
+            let slot = &self.mshrs.slots[i];
+            w.u64(slot.line);
+            w.usize(slot.waiters.len());
+            for &seq in &slot.waiters {
                 w.u64(seq);
             }
-            w.bool(entry.dirty_on_fill);
+            w.bool(slot.dirty_on_fill);
         }
         w.usize(self.read_requests.len());
         for &(line, critical) in &self.read_requests {
@@ -537,7 +970,9 @@ impl Cpu {
     }
 
     /// Restores state written by [`Cpu::save_snap`] into a core built from
-    /// the same configuration.
+    /// the same configuration. The derived streak counters
+    /// (`waitmem_entries`, `max_entry_at`) are recomputed from the
+    /// restored ROB.
     pub fn load_snap(
         &mut self,
         r: &mut burst_snap::SnapReader,
@@ -549,13 +984,15 @@ impl Cpu {
             return Err(SnapError::Corrupt("ROB larger than configured"));
         }
         self.rob.clear();
+        self.waitmem_entries = 0;
+        self.max_entry_at = 0;
         for _ in 0..rob_len {
             let state = match r.u8()? {
                 0 => EntryState::Ready(r.u64()?),
                 1 => EntryState::WaitMem(r.u64()?),
                 _ => return Err(SnapError::Corrupt("bad ROB entry tag")),
             };
-            self.rob.push_back(RobEntry { state });
+            self.push_entry(state);
         }
         self.head_seq = r.u64()?;
         self.now = r.u64()?;
@@ -572,13 +1009,11 @@ impl Cpu {
                 waiters.push(r.u64()?);
             }
             let dirty_on_fill = r.bool()?;
-            self.mshrs.insert(
-                line,
-                MshrEntry {
-                    waiters,
-                    dirty_on_fill,
-                },
-            );
+            if self.mshrs.find(line).is_some() {
+                return Err(SnapError::Corrupt("duplicate MSHR line"));
+            }
+            let slot = self.mshrs.insert(line, dirty_on_fill);
+            slot.waiters = waiters;
         }
         let n_reqs = r.seq_len(9)?;
         self.read_requests.clear();
@@ -836,6 +1271,115 @@ mod tests {
         }
         assert!(cpu.retired() >= 4);
     }
+
+    /// Drives a per-cycle and a batched core over the same source and
+    /// external stimulus, asserting byte-identical snapshots at every
+    /// epoch — the core bit-identity contract of the batch path.
+    fn assert_batch_equivalent(ops: Vec<Op>, epochs: usize, stride: u64) {
+        let mut reference = Cpu::new(CpuConfig::baseline());
+        let mut batched = Cpu::new(CpuConfig::baseline());
+        let mut src_a = ReplaySource::new("a", ops.clone());
+        let mut src_b = ReplaySource::new("b", ops);
+        for epoch in 0..epochs {
+            let target = reference.now() + stride;
+            while reference.now() < target {
+                reference.cycle(&mut src_a);
+            }
+            batched.run_until(target, &mut src_b);
+            // Matching external stimulus: drain requests, complete one.
+            loop {
+                let a = reference.pop_read_request_tagged();
+                let b = batched.pop_read_request_tagged();
+                assert_eq!(a, b, "epoch {epoch}: request streams diverge");
+                let Some((line, _)) = a else { break };
+                reference.complete_read(line, reference.now());
+                batched.complete_read(line, batched.now());
+            }
+            while let Some(wa) = reference.pop_writeback() {
+                assert_eq!(Some(wa), batched.pop_writeback());
+            }
+            assert_eq!(batched.pop_writeback(), None);
+            let mut wa = burst_snap::SnapWriter::new();
+            let mut wb = burst_snap::SnapWriter::new();
+            reference.save_snap(&mut wa);
+            batched.save_snap(&mut wb);
+            assert_eq!(
+                wa.into_bytes(),
+                wb.into_bytes(),
+                "epoch {epoch}: snapshots diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_cycle_on_pure_compute() {
+        assert_batch_equivalent(vec![Op::Compute], 8, 100);
+    }
+
+    #[test]
+    fn batch_matches_per_cycle_on_mixed_stream() {
+        let ops: Vec<Op> = (0..200u64)
+            .map(|i| match i % 7 {
+                0 => Op::load(i << 14),
+                3 => Op::Store { addr: i << 13 },
+                5 => Op::dependent_load(i << 15),
+                _ => Op::Compute,
+            })
+            .collect();
+        assert_batch_equivalent(ops, 12, 37);
+    }
+
+    #[test]
+    fn batch_matches_per_cycle_on_compute_bursts() {
+        // Long compute runs separated by a single load: exercises the
+        // closed form plus the partial-cycle boundary repeatedly.
+        let mut ops = Vec::new();
+        for i in 0..8u64 {
+            ops.extend(std::iter::repeat_n(Op::Compute, 83));
+            ops.push(Op::load(i << 16));
+        }
+        assert_batch_equivalent(ops, 10, 61);
+    }
+
+    #[test]
+    fn run_until_lands_exactly_on_deadline() {
+        let mut cpu = Cpu::new(CpuConfig::baseline());
+        let mut src = compute_only();
+        cpu.run_until(1234, &mut src);
+        assert_eq!(cpu.now(), 1234);
+        // Steady-state full width: (1234 - ramp) * 8 retired.
+        assert!(cpu.retired() > 1200 * 8, "retired {}", cpu.retired());
+    }
+
+    #[test]
+    fn mshr_table_backward_shift_preserves_lookup() {
+        let mut t = MshrTable::new(32);
+        // Insert a cluster of lines that collide, then remove from the
+        // middle and verify the rest stay findable.
+        let lines: Vec<u64> = (0..24u64).map(|i| i * 64).collect();
+        for &l in &lines {
+            t.insert(l, false);
+        }
+        assert_eq!(t.len(), 24);
+        for &l in lines.iter().step_by(3) {
+            assert!(t.remove(l).is_some());
+        }
+        for (i, &l) in lines.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(t.find(l).is_none(), "removed line {l} still present");
+            } else {
+                assert!(t.find(l).is_some(), "line {l} lost by backward shift");
+            }
+        }
+        // Sorted snapshot order is ascending by line.
+        let sorted = t.sorted_indices();
+        let mut prev = None;
+        for i in sorted {
+            let line = t.slots[i].line;
+            assert!(prev.is_none_or(|p| p < line));
+            prev = Some(line);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -905,6 +1449,33 @@ mod snap_tests {
         let mut tiny = Cpu::new(tiny_cfg);
         let mut r = burst_snap::SnapReader::new(&bytes);
         assert!(tiny.load_snap(&mut r).is_err());
+    }
+
+    /// The derived streak counters must be rebuilt on restore: a restored
+    /// core and the original take identical batch paths afterwards.
+    #[test]
+    fn restored_core_batches_identically() {
+        let mut cpu = Cpu::new(CpuConfig::baseline());
+        let mut ops: Vec<Op> = std::iter::repeat_n(Op::Compute, 50).collect();
+        ops.push(Op::load(0x9000));
+        ops.extend(std::iter::repeat_n(Op::Compute, 50));
+        let mut src = ReplaySource::new("mix", ops);
+        cpu.run_until(10, &mut src);
+        let mut w = burst_snap::SnapWriter::new();
+        cpu.save_snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = Cpu::new(CpuConfig::baseline());
+        restored
+            .load_snap(&mut burst_snap::SnapReader::new(&bytes))
+            .unwrap();
+        let mut src2 = src.clone();
+        cpu.run_until(40, &mut src);
+        restored.run_until(40, &mut src2);
+        let mut wa = burst_snap::SnapWriter::new();
+        let mut wb = burst_snap::SnapWriter::new();
+        cpu.save_snap(&mut wa);
+        restored.save_snap(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes());
     }
 }
 

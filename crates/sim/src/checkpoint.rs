@@ -172,16 +172,43 @@ impl Checkpoint {
     ///
     /// Any filesystem failure writing, syncing or renaming.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let mut w = SnapWriter::new();
+        self.save_with(path, &mut SnapWriter::new(), true)
+    }
+
+    /// [`Checkpoint::save`] through a caller-owned encode buffer, with the
+    /// per-write fsync optional. `scratch` is cleared and reused, so a
+    /// loop writing many checkpoints pays for one allocation, not one per
+    /// checkpoint.
+    ///
+    /// With `durable` false the `.tmp`-then-rename dance is kept (a
+    /// *process* crash still leaves the previous or the new file intact)
+    /// but the data is not forced to disk before the rename — an OS crash
+    /// or power loss may surface a torn file. That is a durability
+    /// downgrade, never a correctness one: [`Checkpoint::load`] validates
+    /// magic, version, fingerprint and body hash, and
+    /// [`try_simulate_checkpointed`] treats any invalid file as "no
+    /// checkpoint" and restarts the cell from scratch with bit-identical
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure writing, syncing or renaming.
+    pub fn save_with(
+        &self,
+        path: &Path,
+        scratch: &mut SnapWriter,
+        durable: bool,
+    ) -> Result<(), CheckpointError> {
+        scratch.clear();
         for b in MAGIC {
-            w.u8(b);
+            scratch.u8(b);
         }
-        w.u32(VERSION);
-        w.u64(self.fingerprint);
-        w.u64(self.state_hash);
-        w.u64(self.ops_consumed);
-        self.cursor.save_snap(&mut w);
-        w.bytes(&self.body);
+        scratch.u32(VERSION);
+        scratch.u64(self.fingerprint);
+        scratch.u64(self.state_hash);
+        scratch.u64(self.ops_consumed);
+        self.cursor.save_snap(scratch);
+        scratch.bytes(&self.body);
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 fs::create_dir_all(parent)?;
@@ -190,8 +217,10 @@ impl Checkpoint {
         let tmp = tmp_path(path);
         {
             let mut f = File::create(&tmp)?;
-            f.write_all(w.as_slice())?;
-            f.sync_data()?;
+            f.write_all(scratch.as_slice())?;
+            if durable {
+                f.sync_data()?;
+            }
         }
         fs::rename(&tmp, path)?;
         Ok(())
@@ -281,6 +310,12 @@ pub struct CheckpointPolicy {
     pub path: PathBuf,
     /// Cell fingerprint the file is bound to.
     pub fingerprint: u64,
+    /// Whether each checkpoint write is fsynced before the atomic rename.
+    /// `true` survives OS crashes and power loss; `false` trades that for
+    /// a much cheaper write (only process crashes are fully covered — a
+    /// torn file from a harder failure is detected at load and the cell
+    /// restarts from scratch, bit-identically).
+    pub durable: bool,
 }
 
 /// A failure of a checkpointed run: either the simulation itself stalled
@@ -372,12 +407,15 @@ where
     } else {
         u64::MAX
     };
+    // One encode buffer for the whole run: every checkpoint reuses the
+    // allocation the first one grew.
+    let mut scratch = SnapWriter::new();
     loop {
         match sys.try_run_chunk(&mut workload, len, &mut cursor, budget)? {
             ChunkOutcome::Done => break,
             ChunkOutcome::Paused => {
                 Checkpoint::capture(&sys, policy.fingerprint, workload.consumed(), cursor)?
-                    .save(&policy.path)?;
+                    .save_with(&policy.path, &mut scratch, policy.durable)?;
             }
         }
     }
@@ -420,11 +458,58 @@ mod tests {
             every: 1_500,
             path: path.clone(),
             fingerprint: fingerprint("match"),
+            durable: true,
         };
         let got = try_simulate_checkpointed(&cfg, || SpecBenchmark::Swim.workload(9), len, &policy)
             .expect("checkpointed run");
         assert_eq!(got, reference, "checkpointing must not change results");
         assert!(!path.exists(), "completed cell removes its checkpoint");
+    }
+
+    #[test]
+    fn non_durable_checkpointing_is_bit_identical_and_resumable() {
+        let cfg = cfg();
+        let len = RunLength::Instructions(30_000);
+        let reference =
+            try_simulate(&cfg, SpecBenchmark::Swim.workload(9), len).expect("reference run");
+        let path = tmp("nondurable.ckpt");
+        let _ = fs::remove_file(&path);
+        let fp = fingerprint("nondurable");
+        let policy = CheckpointPolicy {
+            every: 1_500,
+            path: path.clone(),
+            fingerprint: fp,
+            durable: false,
+        };
+        let got = try_simulate_checkpointed(&cfg, || SpecBenchmark::Swim.workload(9), len, &policy)
+            .expect("non-durable checkpointed run");
+        assert_eq!(got, reference, "skipping fsync must not change results");
+        assert!(!path.exists(), "completed cell removes its checkpoint");
+
+        // A file written without fsync is still a valid checkpoint to
+        // resume from (process-crash safety is the rename, not the sync):
+        // run a few chunks by hand with save_with, then resume.
+        let mut sys = System::new(&cfg);
+        let mut w = CountingSource::new(SpecBenchmark::Swim.workload(9));
+        sys.warm(&mut w);
+        let mut cursor = RunCursor::start(&sys);
+        let mut scratch = SnapWriter::new();
+        for _ in 0..3 {
+            match sys.try_run_chunk(&mut w, len, &mut cursor, 1_500).unwrap() {
+                ChunkOutcome::Paused => {
+                    Checkpoint::capture(&sys, fp, w.consumed(), cursor)
+                        .unwrap()
+                        .save_with(&path, &mut scratch, false)
+                        .unwrap();
+                }
+                ChunkOutcome::Done => panic!("run must outlast three chunks"),
+            }
+        }
+        assert!(path.exists());
+        let resumed =
+            try_simulate_checkpointed(&cfg, || SpecBenchmark::Swim.workload(9), len, &policy)
+                .expect("resume from non-durable checkpoint");
+        assert_eq!(resumed, reference, "resume must be byte-identical");
     }
 
     #[test]
@@ -462,6 +547,7 @@ mod tests {
             every: 1_000,
             path: path.clone(),
             fingerprint: fp,
+            durable: true,
         };
         let got = try_simulate_checkpointed(&cfg, || SpecBenchmark::Mcf.workload(5), len, &policy)
             .expect("resumed run");
@@ -550,6 +636,7 @@ mod tests {
             every: 2_000,
             path: path.clone(),
             fingerprint: fingerprint("fallback"),
+            durable: true,
         };
         let got = try_simulate_checkpointed(&cfg, || SpecBenchmark::Swim.workload(2), len, &policy)
             .expect("fresh start");

@@ -27,6 +27,10 @@ pub struct CheckpointPlan {
     /// as the sweep's journal so both resume machineries agree on what
     /// configuration the state belongs to.
     pub fingerprint: u64,
+    /// Whether checkpoint writes fsync before their atomic rename (see
+    /// [`CheckpointPolicy::durable`]); threaded from the harness
+    /// `--checkpoint-durable` flag, default `true`.
+    pub durable: bool,
 }
 
 impl CheckpointPlan {
@@ -251,6 +255,7 @@ impl Sweep {
                             every: plan.every,
                             path: plan.cell_path(&run_scope, b, m),
                             fingerprint: plan.fingerprint,
+                            durable: plan.durable,
                         };
                         try_simulate_checkpointed(&cfg, || b.workload(seed), len, &policy).map_err(
                             |e| match e {
@@ -1030,6 +1035,7 @@ mod tests {
             every: 500,
             dir: dir.clone(),
             fingerprint: fp,
+            durable: true,
         };
         let jpath = dir.join("sweep.journal");
         let plain = Sweep::run_with_config(&base, &bs, &ms, len, 1, 1);

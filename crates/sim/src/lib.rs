@@ -32,6 +32,7 @@ pub mod experiments;
 pub mod export;
 pub mod journal;
 pub mod oracle;
+pub mod profile;
 pub mod report;
 pub mod supervisor;
 mod system;
@@ -46,6 +47,7 @@ pub use journal::{Journal, JournalEntry, JournalError};
 pub use oracle::{
     oracle_simulate, DivergenceError, OracleConfig, OracleError, PerturbKind, Perturbation,
 };
+pub use profile::PhaseProfile;
 pub use supervisor::{
     supervise, supervise_with, CellError, CellOutcome, FailureKind, SupervisorConfig,
     TransientFaultPlan,

@@ -13,6 +13,8 @@ use burst_dram::{AddressMapping, BusStats, Cycle, Dram, DramConfig, PhysAddr};
 use burst_snap::{fnv1a64, SnapError, SnapReader, SnapWriter};
 use burst_workloads::OpSource;
 
+use crate::profile::{PhaseProfile, Stamp};
+
 /// Configuration of the whole simulated machine.
 ///
 /// [`SystemConfig::baseline`] reproduces the paper's Table 3; builder-style
@@ -810,6 +812,16 @@ pub struct System {
     /// Current backoff stride, doubled (up to [`FOLD_MAX_STRIDE`]) on
     /// every fruitless fold and reset by a profitable jump.
     fold_stride: u64,
+    /// Cached minimum of `pending` (`u64::MAX` when empty): the earliest
+    /// cycle a read delivery is due. Min-maintained on push, recomputed
+    /// after a drain — so the per-step delivery check and the horizon
+    /// probes are one integer compare. Purely an execution-path memo
+    /// (always equal to `pending.peek()`), rebuilt on restore.
+    next_delivery: Cycle,
+    /// Opt-in wall-clock phase profile (see [`PhaseProfile`]): report-only
+    /// host-time accounting, `None` unless the perf harness enables it.
+    /// Never serialised — it describes the host run, not simulated state.
+    profile: Option<Box<PhaseProfile>>,
 }
 
 /// A fresh busy-event fold that yields a jump at least this long resets
@@ -850,6 +862,8 @@ impl System {
             tick_horizon: None,
             fold_cooldown: 0,
             fold_stride: 1,
+            next_delivery: Cycle::MAX,
+            profile: None,
         }
     }
 
@@ -893,48 +907,44 @@ impl System {
     /// request hand-off, then one scheduler tick.
     pub fn step(&mut self, workload: &mut dyn OpSource) {
         self.engine_stats.steps += 1;
+        let t0 = Stamp::begin(self.profile.is_some());
         // 1. CPU makes progress and generates cache-miss traffic. Under the
-        //    event engine, stalled stretches inside the step are advanced in
-        //    closed form: [`Cpu::idle_until`] guarantees every CPU cycle
-        //    strictly before the reported wake-up is a full stall, and
-        //    nothing external (read delivery, hand-off) happens between the
-        //    micro-cycles of one step, so the batch is bit-identical to the
-        //    skipped `Cpu::cycle` calls.
+        //    event engine, [`Cpu::run_until`] advances stalled stretches and
+        //    full-width compute streaks inside the step in closed form —
+        //    bit-identically to per-cycle stepping, since nothing external
+        //    (read delivery, hand-off) happens between the micro-cycles of
+        //    one step. The cycle engines keep the plain loop as an
+        //    independent reference implementation.
         if self.cfg.engine == Engine::Event {
-            let mut left = self.cfg.cpu.cpu_ratio;
-            while left > 0 {
-                let stall = match self.cpu.idle_until() {
-                    Some(u64::MAX) => left,
-                    Some(at) => at.saturating_sub(self.cpu.now() + 1).min(left),
-                    None => 0,
-                };
-                if stall > 0 {
-                    self.cpu.advance_stalled(stall);
-                    left -= stall;
-                } else {
-                    self.cpu.cycle(workload);
-                    left -= 1;
-                }
-            }
+            self.cpu
+                .run_until(self.cpu.now() + self.cfg.cpu.cpu_ratio, workload);
         } else {
             for _ in 0..self.cfg.cpu.cpu_ratio {
                 self.cpu.cycle(workload);
             }
         }
+        let t1 = t0.lap(self.profile.as_deref_mut(), |p| &mut p.cpu_ns);
         // 2. Hand requests to the controller while it accepts them. Reads
-        //    first (they are latency-critical), then writebacks.
-        while self.sched.can_accept(AccessKind::Read) {
-            let Some((line, critical)) = self.cpu.pop_read_request_tagged() else {
-                break;
-            };
-            self.enqueue(AccessKind::Read, line, critical);
+        //    first (they are latency-critical), then writebacks. The
+        //    pending-count guards skip the virtual `can_accept` probe on the
+        //    (common) steps with nothing to hand off.
+        if self.cpu.pending_read_requests() != 0 {
+            while self.sched.can_accept(AccessKind::Read) {
+                let Some((line, critical)) = self.cpu.pop_read_request_tagged() else {
+                    break;
+                };
+                self.enqueue(AccessKind::Read, line, critical);
+            }
         }
-        while self.sched.can_accept(AccessKind::Write) {
-            let Some(line) = self.cpu.pop_writeback() else {
-                break;
-            };
-            self.enqueue(AccessKind::Write, line, false);
+        if self.cpu.pending_writebacks() != 0 {
+            while self.sched.can_accept(AccessKind::Write) {
+                let Some(line) = self.cpu.pop_writeback() else {
+                    break;
+                };
+                self.enqueue(AccessKind::Write, line, false);
+            }
         }
+        let t2 = t1.lap(self.profile.as_deref_mut(), |p| &mut p.handoff_ns);
         // 3. One controller + device cycle. Below the cached tick horizon
         //    the tick is provably a pure bookkeeping no-op (and the device
         //    equally inert), so it is replayed in closed form — the cheap
@@ -958,18 +968,44 @@ impl System {
             if c.kind == AccessKind::Read {
                 if let Some(line) = self.read_lines.remove(c.id) {
                     self.pending.push(Reverse((c.done_at, line)));
+                    self.next_delivery = self.next_delivery.min(c.done_at);
                 }
             }
         }
-        // 4. Deliver read data whose transfer has finished.
-        while let Some(&Reverse((at, line))) = self.pending.peek() {
-            if at > self.mem_cycle {
-                break;
+        let t3 = t2.lap(self.profile.as_deref_mut(), |p| &mut p.dram_ns);
+        // 4. Deliver read data whose transfer has finished. The cached
+        //    minimum makes the no-delivery step (the common case) a single
+        //    integer compare instead of a heap peek through two levels of
+        //    wrapper types.
+        if self.next_delivery <= self.mem_cycle {
+            while let Some(&Reverse((at, line))) = self.pending.peek() {
+                if at > self.mem_cycle {
+                    break;
+                }
+                self.pending.pop();
+                self.cpu.complete_read(line, self.cpu.now());
             }
-            self.pending.pop();
-            self.cpu.complete_read(line, self.cpu.now());
+            self.next_delivery = self
+                .pending
+                .peek()
+                .map_or(Cycle::MAX, |&Reverse((at, _))| at);
         }
+        t3.lap(self.profile.as_deref_mut(), |p| &mut p.deliver_ns);
         self.mem_cycle += 1;
+    }
+
+    /// Turns on wall-clock phase profiling for subsequent steps (see
+    /// [`PhaseProfile`]). Report-only: enabling it cannot change one bit
+    /// of simulated behaviour, only how much the host clock is read.
+    pub fn enable_phase_profile(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::default());
+        }
+    }
+
+    /// The accumulated phase profile, if profiling was enabled.
+    pub fn phase_profile(&self) -> Option<&PhaseProfile> {
+        self.profile.as_deref()
     }
 
     fn enqueue(&mut self, kind: AccessKind, line: u64, critical: bool) {
@@ -1004,9 +1040,8 @@ impl System {
     /// event. The returned count may be enormous (a livelocked system has
     /// no next event); callers cap it with their run budget before
     /// calling [`System::advance_idle`].
-    fn skip_horizon(&self) -> Option<u64> {
-        if self.cfg.engine == Engine::CycleNoSkip || self.mem_cycle == 0 || !self.sched.quiescent()
-        {
+    fn skip_horizon(&self, quiescent: bool) -> Option<u64> {
+        if self.cfg.engine == Engine::CycleNoSkip || self.mem_cycle == 0 || !quiescent {
             return None;
         }
         if self.cpu.pending_read_requests() != 0 || self.cpu.pending_writebacks() != 0 {
@@ -1022,9 +1057,7 @@ impl System {
         } else {
             (wake - 1) / r
         };
-        if let Some(&Reverse((at, _))) = self.pending.peek() {
-            event = event.min(at);
-        }
+        event = event.min(self.next_delivery);
         // The device horizon is evaluated at the last ticked cycle
         // (`cur - 1`): an event due exactly at `cur` must force a normal
         // step, and `next_event` only reports events after its argument.
@@ -1059,8 +1092,8 @@ impl System {
     /// so it cannot move the horizon; the two things that can — an
     /// enqueue, or the full tick at the horizon itself — both clear the
     /// cache.
-    fn tick_horizon(&mut self) -> Option<Cycle> {
-        if self.cfg.engine != Engine::Event || self.mem_cycle == 0 || self.sched.quiescent() {
+    fn tick_horizon(&mut self, quiescent: bool) -> Option<Cycle> {
+        if self.cfg.engine != Engine::Event || self.mem_cycle == 0 || quiescent {
             return None;
         }
         if let Some(e) = self.tick_horizon {
@@ -1088,8 +1121,8 @@ impl System {
     /// no read delivery is due, the device reports no timing event, and
     /// the scheduler's own arbiter/selection/watchdog/adaptation fixpoint
     /// holds for the whole stretch ([`AccessScheduler::next_busy_event`]).
-    fn busy_horizon(&mut self) -> Option<u64> {
-        if self.cfg.engine != Engine::Event || self.mem_cycle == 0 || self.sched.quiescent() {
+    fn busy_horizon(&mut self, quiescent: bool) -> Option<u64> {
+        if self.cfg.engine != Engine::Event || self.mem_cycle == 0 || quiescent {
             return None;
         }
         // The cheap vetoes come first, so event-dense phases — where the
@@ -1121,7 +1154,7 @@ impl System {
                     self.fold_cooldown -= 1;
                     return None;
                 }
-                match self.tick_horizon() {
+                match self.tick_horizon(quiescent) {
                     Some(e) => (e, true),
                     None => {
                         self.fold_backoff();
@@ -1138,9 +1171,7 @@ impl System {
             // `(wake - 1) / r`.
             event = event.min((wake - 1) / r);
         }
-        if let Some(&Reverse((at, _))) = self.pending.peek() {
-            event = event.min(at);
-        }
+        event = event.min(self.next_delivery);
         let n = (event > cur).then(|| event - cur);
         if fresh {
             match n {
@@ -1178,10 +1209,14 @@ impl System {
     /// The provably skippable stretch starting at the next step, if any:
     /// quiescent horizons first (cheaper to test, larger), then busy ones.
     fn jump_horizon(&mut self) -> Option<Jump> {
-        if let Some(n) = self.skip_horizon() {
+        // One virtual quiescence query feeds both horizon probes (and the
+        // busy path's tick-horizon fold) — they branch on opposite answers,
+        // so at most one runs its body.
+        let quiescent = self.sched.quiescent();
+        if let Some(n) = self.skip_horizon(quiescent) {
             return Some(Jump::Quiescent(n));
         }
-        self.busy_horizon().map(Jump::Busy)
+        self.busy_horizon(quiescent).map(Jump::Busy)
     }
 
     /// Advances `n` cycles of the stretch `jump` was computed for.
@@ -1551,6 +1586,13 @@ impl System {
         self.tick_horizon = None;
         self.fold_cooldown = 0;
         self.fold_stride = 1;
+        // Execution-path memos: rebuild the delivery minimum from the
+        // restored heap; the profile describes the host run and persists
+        // across restores untouched.
+        self.next_delivery = self
+            .pending
+            .peek()
+            .map_or(Cycle::MAX, |&Reverse((at, _))| at);
         Ok(())
     }
 

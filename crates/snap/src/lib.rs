@@ -91,6 +91,12 @@ impl SnapWriter {
         self.buf
     }
 
+    /// Empties the writer, keeping its allocation — the cheap way to
+    /// serialise many states through one buffer.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Writes one byte.
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
