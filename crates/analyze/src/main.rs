@@ -37,7 +37,7 @@ fn main() -> ExitCode {
         }
     };
     if diags.is_empty() {
-        eprintln!("burst-analyze: clean ({} passes, no findings)", 4);
+        eprintln!("burst-analyze: clean ({} passes, no findings)", 5);
         return ExitCode::SUCCESS;
     }
     for d in &diags {

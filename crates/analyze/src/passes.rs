@@ -114,6 +114,9 @@ pub struct Config {
     pub determinism_scope: Vec<String>,
     /// Path substrings in panic-audit scope (supervised-cell code).
     pub panic_scope: Vec<String>,
+    /// Path substrings in io-bypass scope (chaos-plane code whose
+    /// filesystem traffic must route through the `SimIo` seam).
+    pub io_scope: Vec<String>,
     /// Workspace allowlist.
     pub allowlist: Allowlist,
 }
@@ -135,6 +138,11 @@ impl Config {
                 "crates/sim/src/journal.rs".into(),
                 "crates/sim/src/checkpoint.rs".into(),
                 "crates/sim/src/executor.rs".into(),
+            ],
+            io_scope: vec![
+                "crates/sim/src/journal.rs".into(),
+                "crates/sim/src/checkpoint.rs".into(),
+                "crates/sim/src/supervisor.rs".into(),
             ],
             allowlist: Allowlist::default(),
         }
@@ -208,6 +216,9 @@ pub fn analyze_sources(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
         }
         if cfg.panic_scope.iter().any(|s| f.path.contains(s)) {
             panic_pass(&f.path, &lexed.tokens, &spans, &mut file_diags);
+        }
+        if cfg.io_scope.iter().any(|s| f.path.contains(s)) {
+            io_bypass_pass(&f.path, &lexed.tokens, &spans, &mut file_diags);
         }
         contract_pass(&f.path, &items, &mut file_diags);
         snap.collect_file(&f.path, &lexed.tokens, &items);
@@ -641,6 +652,60 @@ fn panic_pass(
                     ),
                 });
             }
+        }
+    }
+}
+
+// --- Pass 3b: io-bypass audit ----------------------------------------------
+
+/// Filesystem entry points that must route through the `SimIo` seam in
+/// chaos-plane code: a direct call here is invisible to the crash-point
+/// matrix, so the robustness it claims was never tested.
+const IO_ENTRY_POINTS: [&str; 3] = ["fs", "File", "OpenOptions"];
+
+/// Flags direct `std::fs`/`File::`/`OpenOptions` usage in io-scope files
+/// outside test code. `use` declarations are exempt (importing a type is
+/// not an I/O operation — `File` legitimately appears in signatures),
+/// as is anything behind a reasoned `audit: allow(io-bypass)`.
+fn io_bypass_pass(
+    path: &str,
+    tokens: &[Token<'_>],
+    skip: &[(usize, usize)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut in_use = false;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("use") {
+            in_use = true;
+        } else if in_use {
+            if t.is_punct(';') {
+                in_use = false;
+            }
+            continue;
+        }
+        if in_spans(skip, i) {
+            continue;
+        }
+        // Only path-qualified uses (`fs::…`, `File::…`) perform I/O;
+        // bare `File` in a type position is fine.
+        let qualifies = IO_ENTRY_POINTS.iter().any(|e| t.is_ident(e))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'));
+        // `std::fs` spells the `fs` segment after `std::`; catch it via
+        // the `fs` token itself, so both spellings hit the same rule.
+        if qualifies {
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line: t.line,
+                rule: "io-bypass",
+                message: format!(
+                    "direct `{}::…` filesystem call in chaos-plane code bypasses the \
+                     `SimIo` seam — the crash-point matrix cannot fault it; route \
+                     through the journal/checkpoint `io` handle or justify with \
+                     `audit: allow(io-bypass)`",
+                    t.text
+                ),
+            });
         }
     }
 }

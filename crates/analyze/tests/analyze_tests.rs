@@ -25,6 +25,7 @@ fn fixture_config() -> Config {
     Config {
         determinism_scope: vec!["fixtures/nondet.rs".into(), "fixtures/clean.rs".into()],
         panic_scope: vec!["fixtures/panics.rs".into(), "fixtures/clean.rs".into()],
+        io_scope: vec!["fixtures/io_bypass.rs".into(), "fixtures/clean.rs".into()],
         allowlist: Allowlist::default(),
     }
 }
@@ -118,6 +119,24 @@ fn contract_fixture_produces_exact_diagnostics() {
 }
 
 #[test]
+fn io_bypass_fixture_produces_exact_diagnostics() {
+    let diags = analyze_sources(&[fixture("io_bypass.rs")], &fixture_config());
+    assert_eq!(
+        lines_and_rules(&diags),
+        vec![
+            (7, "io-bypass"), // std::fs::write
+            (8, "io-bypass"), // File::create
+            (9, "io-bypass"), // OpenOptions::new
+                              // `use std::fs::File` (line 4) is an import, not I/O;
+                              // line 15 is behind a reasoned inline allow;
+                              // line 22 is test code.
+        ],
+        "diagnostics were: {diags:#?}"
+    );
+    assert!(diags[0].message.contains("SimIo"), "{}", diags[0].message);
+}
+
+#[test]
 fn clean_fixture_produces_no_diagnostics() {
     let diags = analyze_sources(&[fixture("clean.rs")], &fixture_config());
     assert!(diags.is_empty(), "clean fixture flagged: {diags:#?}");
@@ -129,6 +148,7 @@ fn inline_allow_without_reason_is_itself_flagged() {
     let cfg = Config {
         determinism_scope: vec![],
         panic_scope: vec!["reasonless.rs".into()],
+        io_scope: vec![],
         allowlist: Allowlist::default(),
     };
     let diags = analyze_sources(

@@ -1,0 +1,24 @@
+//! Seeded io-bypass violations: direct filesystem calls in chaos-plane
+//! scope that the `SimIo` seam cannot fault.
+
+use std::fs::File;
+
+fn writes_directly(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, "x")?;
+    let _f = File::create(path)?;
+    let _o = OpenOptions::new().append(true).open(path)?;
+    Ok(())
+}
+
+fn excused(path: &std::path::Path) {
+    // audit: allow(io-bypass): fixture-sanctioned best-effort cleanup
+    let _ = std::fs::remove_file(path);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = std::fs::read("ignored");
+    }
+}

@@ -100,6 +100,7 @@ fn main() -> ExitCode {
                 kind: *kind,
                 attempts: *attempts,
                 payload: payload.clone(),
+                quarantined: false,
             });
         }
     }
@@ -147,6 +148,7 @@ fn main() -> ExitCode {
                 kind: *kind,
                 attempts: *attempts,
                 payload: payload.clone(),
+                quarantined: false,
             });
         }
     }
@@ -204,6 +206,7 @@ fn main() -> ExitCode {
                 kind: *kind,
                 attempts: *attempts,
                 payload: payload.clone(),
+                quarantined: false,
             });
         }
     }

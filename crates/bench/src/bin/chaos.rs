@@ -1,0 +1,82 @@
+//! The crash-point matrix runner: sweeps a scripted single fault over
+//! every labeled I/O site of the journal/checkpoint plane and checks
+//! that each combination either resumes byte-identically under clean
+//! I/O or refuses with a structured error — never a panic, a hang or a
+//! silently different CSV. Also drives the supervisor's deterministic
+//! panic-injection hook through its convergent and quarantining
+//! regimes.
+//!
+//! ```text
+//! cargo run --release -p burst-bench --bin chaos
+//! cargo run --release -p burst-bench --bin chaos -- \
+//!     --chaos-site journal-append --chaos-kind torn --chaos-op 1
+//! ```
+
+use std::process::ExitCode;
+
+use burst_bench::chaos::{
+    render_matrix, run_matrix, run_matrix_where, run_panic_sweep, MatrixConfig,
+};
+use burst_bench::{banner, HarnessOptions};
+
+fn main() -> ExitCode {
+    let opts = HarnessOptions::from_args(2_000);
+    println!("{}", banner("chaos", "crash-point matrix", &opts));
+    // Injected panics are the point of this binary; the supervisor
+    // catches every one, so the default hook's backtraces are pure
+    // noise. Escaped panics still fail the run via the matrix verdicts.
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut cfg = MatrixConfig::small(
+        opts.checkpoint_dir
+            .clone()
+            .unwrap_or_else(|| std::env::temp_dir().join("burst-chaos")),
+        opts.seed,
+    );
+    cfg.run = opts.run;
+    if let Some(&b) = opts.benchmarks.first() {
+        cfg.benchmarks = vec![b];
+    }
+    if opts.checkpoint_every > 0 {
+        cfg.checkpoint_every = opts.checkpoint_every;
+    }
+    // A scripted `--chaos-site/--chaos-kind/--chaos-op` triple narrows
+    // the run to that one combination (handy for post-mortems); the
+    // shared `sim_io` parser validates — and exits on — bad names.
+    let scripted =
+        opts.chaos_site.is_some() || opts.chaos_kind.is_some() || opts.chaos_op.is_some();
+    let report = if scripted {
+        let _ = opts.sim_io();
+        run_matrix_where(&cfg, |site, kind, op| {
+            opts.chaos_site.as_deref() == Some(site.name())
+                && opts.chaos_kind.as_deref() == Some(kind.name())
+                && opts.chaos_op == Some(op)
+        })
+    } else {
+        run_matrix(&cfg)
+    };
+    print!("{}", render_matrix(&report));
+    let mut ok = report.violations().is_empty();
+    if scripted && report.results.is_empty() {
+        eprintln!(
+            "chaos: the scripted combination was never reached \
+             (see the op counts above for what the cycle executes)"
+        );
+        ok = false;
+    }
+    if !scripted {
+        match run_panic_sweep(&cfg) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("PANIC-SWEEP VIOLATION: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        println!("chaos: recovery contract held for every combination");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("chaos: recovery contract violated");
+        ExitCode::from(1)
+    }
+}

@@ -201,14 +201,16 @@ impl CheckpointOverhead {
         let plain_secs = start.elapsed().as_secs_f64();
         let dir = std::env::temp_dir().join(format!("burst-perf-ckpt-{}", std::process::id()));
         let policy = burst_sim::CheckpointPolicy {
-            every,
-            path: dir.join(format!(
-                "perf-{}-{}.ckpt",
-                benchmark.name(),
-                mechanism.name()
-            )),
-            fingerprint: 0x70_65_72_66,
             durable,
+            ..burst_sim::CheckpointPolicy::new(
+                every,
+                dir.join(format!(
+                    "perf-{}-{}.ckpt",
+                    benchmark.name(),
+                    mechanism.name()
+                )),
+                0x70_65_72_66,
+            )
         };
         let start = Instant::now();
         let checkpointed =

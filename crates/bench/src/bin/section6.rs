@@ -68,6 +68,7 @@ fn main() -> ExitCode {
                                 kind: err.kind,
                                 attempts: 1,
                                 payload: err.payload,
+                                quarantined: false,
                             });
                             None
                         }

@@ -62,6 +62,7 @@ fn improvement(
                 kind: *kind,
                 attempts: *attempts,
                 payload: payload.clone(),
+                quarantined: false,
             });
         }
     }

@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+
 use burst_sim::{
     CellFailure, CheckpointPlan, Engine, Journal, OracleError, RunLength, Supervised,
     SupervisorConfig, TransientFaultPlan,
@@ -74,6 +76,19 @@ pub struct HarnessOptions {
     /// and compare state hashes every epoch, bisecting to the first
     /// divergent cycle on mismatch.
     pub oracle: bool,
+    /// Seed for randomized deterministic I/O fault injection
+    /// (`--chaos-seed SEED`): journal and checkpoint I/O runs through a
+    /// seeded [`burst_sim::ChaosIo`] instead of the real filesystem
+    /// passthrough. Same seed, same fault schedule.
+    pub chaos_seed: Option<u64>,
+    /// Scripted single-fault injection site (`--chaos-site NAME`, e.g.
+    /// `journal-append`); requires `--chaos-kind` and `--chaos-op`.
+    pub chaos_site: Option<String>,
+    /// Scripted fault kind (`--chaos-kind {fail,torn,truncate}`).
+    pub chaos_kind: Option<String>,
+    /// Zero-based operation index at which the scripted fault fires
+    /// (`--chaos-op N`).
+    pub chaos_op: Option<u64>,
 }
 
 impl HarnessOptions {
@@ -143,6 +158,10 @@ impl HarnessOptions {
             }
         };
         let oracle = args.iter().any(|a| a == "--oracle");
+        let chaos_seed = value_of("--chaos-seed").and_then(|v| v.parse().ok());
+        let chaos_site = value_of("--chaos-site");
+        let chaos_kind = value_of("--chaos-kind");
+        let chaos_op = value_of("--chaos-op").and_then(|v| v.parse().ok());
         let benchmarks = value_of("--benchmarks")
             .map(|list| {
                 let mut picks = Vec::new();
@@ -175,6 +194,59 @@ impl HarnessOptions {
             checkpoint_dir,
             checkpoint_durable,
             oracle,
+            chaos_seed,
+            chaos_site,
+            chaos_kind,
+            chaos_op,
+        }
+    }
+
+    /// The I/O layer implied by the `--chaos-*` flags: a scripted
+    /// single-fault [`ChaosIo`] when `--chaos-site`/`--chaos-kind`/
+    /// `--chaos-op` are all given, a seeded one for `--chaos-seed`, and
+    /// the zero-overhead real-filesystem passthrough otherwise. Exits
+    /// with status 2 on an unparseable site or kind name — a chaos run
+    /// that silently falls back to clean I/O would report robustness it
+    /// never tested.
+    pub fn sim_io(&self) -> std::sync::Arc<dyn burst_sim::SimIo> {
+        use burst_sim::{ChaosIo, IoFaultKind, IoSite};
+        match (&self.chaos_site, &self.chaos_kind, self.chaos_op) {
+            (Some(site), Some(kind), Some(op)) => {
+                let site = IoSite::from_name(site).unwrap_or_else(|| {
+                    eprintln!(
+                        "error: unknown --chaos-site {site:?} (valid: {})",
+                        IoSite::all()
+                            .iter()
+                            .map(|s| s.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                });
+                let kind = IoFaultKind::from_name(kind).unwrap_or_else(|| {
+                    eprintln!(
+                        "error: unknown --chaos-kind {kind:?} (valid: {})",
+                        IoFaultKind::all()
+                            .iter()
+                            .map(|k| k.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                });
+                std::sync::Arc::new(ChaosIo::scripted(site, kind, op))
+            }
+            (None, None, None) => match self.chaos_seed {
+                Some(seed) => std::sync::Arc::new(ChaosIo::seeded(seed)),
+                None => burst_sim::real_io(),
+            },
+            _ => {
+                eprintln!(
+                    "error: --chaos-site, --chaos-kind and --chaos-op \
+                     must be given together"
+                );
+                std::process::exit(2);
+            }
         }
     }
 
@@ -212,6 +284,16 @@ impl HarnessOptions {
     /// mixing results from a differently-configured run would be worse
     /// than dying.
     pub fn open_journal(&self) -> Option<Journal> {
+        self.open_journal_with_io(self.sim_io())
+    }
+
+    /// [`HarnessOptions::open_journal`] over an explicit I/O layer, so the
+    /// chaos matrix runner can share one fault-injecting [`burst_sim::ChaosIo`]
+    /// between the journal and the checkpoint plan.
+    pub fn open_journal_with_io(
+        &self,
+        io: std::sync::Arc<dyn burst_sim::SimIo>,
+    ) -> Option<Journal> {
         let fp = burst_sim::journal::fingerprint(&self.fingerprint_desc());
         let (path, resuming) = match (&self.resume, &self.journal) {
             (Some(p), _) => (p, true),
@@ -219,9 +301,9 @@ impl HarnessOptions {
             (None, None) => return None,
         };
         let opened = if resuming {
-            Journal::resume(path, fp)
+            Journal::resume_with_io(path, fp, io)
         } else {
-            Journal::create(path, fp)
+            Journal::create_with_io(path, fp, io)
         };
         match opened {
             Ok(j) => {
@@ -247,6 +329,15 @@ impl HarnessOptions {
     /// land in the chosen directory (default: the current directory) as
     /// one `<scope>-<benchmark>-<mechanism>.ckpt` per in-flight cell.
     pub fn checkpoint_plan(&self) -> Option<CheckpointPlan> {
+        self.checkpoint_plan_with_io(self.sim_io())
+    }
+
+    /// [`HarnessOptions::checkpoint_plan`] over an explicit I/O layer (see
+    /// [`HarnessOptions::open_journal_with_io`]).
+    pub fn checkpoint_plan_with_io(
+        &self,
+        io: std::sync::Arc<dyn burst_sim::SimIo>,
+    ) -> Option<CheckpointPlan> {
         (self.checkpoint_every > 0).then(|| CheckpointPlan {
             every: self.checkpoint_every,
             dir: self
@@ -255,6 +346,7 @@ impl HarnessOptions {
                 .unwrap_or_else(|| std::path::PathBuf::from(".")),
             fingerprint: burst_sim::journal::fingerprint(&self.fingerprint_desc()),
             durable: self.checkpoint_durable,
+            io,
         })
     }
 
@@ -397,6 +489,10 @@ impl FailureLedger {
         if self.resumed > 0 {
             println!("{} cell(s) restored from the journal", self.resumed);
         }
+        let v2 = burst_sim::report::render_robustness_v2(&self.failures, self.resumed);
+        if !v2.is_empty() {
+            print!("{v2}");
+        }
         if self.failures.is_empty() {
             std::process::ExitCode::SUCCESS
         } else {
@@ -493,6 +589,7 @@ mod tests {
             kind: burst_sim::FailureKind::Other,
             attempts: 1,
             payload: "boom".into(),
+            quarantined: false,
         });
         assert_eq!(ledger.failures().len(), 1);
     }

@@ -30,13 +30,14 @@
 //! [`CheckpointPolicy::every`]-cycle chunks, rewrites the checkpoint at
 //! each chunk boundary, and removes it once the cell completes.
 
-use std::fs::{self, File};
-use std::io::Write;
+use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use burst_snap::{fnv1a64, SnapError, SnapReader, SnapWriter};
 use burst_workloads::{CountingSource, OpSource};
 
+use crate::simio::{real_io, IoSite, RealIo, SimIo};
 use crate::system::{
     ChunkOutcome, RunCursor, RunError, RunLength, SimReport, System, SystemConfig,
 };
@@ -199,6 +200,24 @@ impl Checkpoint {
         scratch: &mut SnapWriter,
         durable: bool,
     ) -> Result<(), CheckpointError> {
+        self.save_with_io(path, scratch, durable, &RealIo)
+    }
+
+    /// [`Checkpoint::save_with`] through an injectable filesystem — the
+    /// chaos seam. Each step of the atomic protocol is a labeled crash
+    /// point: scratch write ([`IoSite::CkptTmpWrite`]), fsync
+    /// ([`IoSite::CkptSync`]), rename ([`IoSite::CkptRename`]).
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure writing, syncing or renaming.
+    pub fn save_with_io(
+        &self,
+        path: &Path,
+        scratch: &mut SnapWriter,
+        durable: bool,
+        io: &dyn SimIo,
+    ) -> Result<(), CheckpointError> {
         scratch.clear();
         for b in MAGIC {
             scratch.u8(b);
@@ -211,18 +230,17 @@ impl Checkpoint {
         scratch.bytes(&self.body);
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
+                // audit: allow(io-bypass): directory creation is not a labeled crash point — a failure surfaces via the write_new that follows
                 fs::create_dir_all(parent)?;
             }
         }
         let tmp = tmp_path(path);
-        {
-            let mut f = File::create(&tmp)?;
-            f.write_all(scratch.as_slice())?;
-            if durable {
-                f.sync_data()?;
-            }
+        let f = io.write_new(IoSite::CkptTmpWrite, &tmp, scratch.as_slice())?;
+        if durable {
+            io.sync(IoSite::CkptSync, &f)?;
         }
-        fs::rename(&tmp, path)?;
+        drop(f);
+        io.rename(IoSite::CkptRename, &tmp, path)?;
         Ok(())
     }
 
@@ -233,7 +251,22 @@ impl Checkpoint {
     ///
     /// Every [`CheckpointError`] variant; a malformed file never panics.
     pub fn load(path: &Path, expected_fingerprint: u64) -> Result<Checkpoint, CheckpointError> {
-        let bytes = fs::read(path)?;
+        Self::load_with_io(path, expected_fingerprint, &RealIo)
+    }
+
+    /// [`Checkpoint::load`] through an injectable filesystem — the chaos
+    /// seam ([`IoSite::CkptRead`]). A truncated read surfaces through the
+    /// normal validation chain, never as a panic.
+    ///
+    /// # Errors
+    ///
+    /// Every [`CheckpointError`] variant; a malformed file never panics.
+    pub fn load_with_io(
+        path: &Path,
+        expected_fingerprint: u64,
+        io: &dyn SimIo,
+    ) -> Result<Checkpoint, CheckpointError> {
+        let bytes = io.read(IoSite::CkptRead, path)?;
         let mut r = SnapReader::new(&bytes);
         let mut magic = [0u8; 4];
         for b in &mut magic {
@@ -316,6 +349,23 @@ pub struct CheckpointPolicy {
     /// torn file from a harder failure is detected at load and the cell
     /// restarts from scratch, bit-identically).
     pub durable: bool,
+    /// The filesystem the checkpoint protocol runs through —
+    /// [`crate::simio::real_io`] in production, a
+    /// [`crate::simio::ChaosIo`] under the crash-point matrix.
+    pub io: Arc<dyn SimIo>,
+}
+
+impl CheckpointPolicy {
+    /// A production policy (real filesystem, durable writes).
+    pub fn new(every: u64, path: PathBuf, fingerprint: u64) -> CheckpointPolicy {
+        CheckpointPolicy {
+            every,
+            path,
+            fingerprint,
+            durable: true,
+            io: real_io(),
+        }
+    }
 }
 
 /// A failure of a checkpointed run: either the simulation itself stalled
@@ -387,7 +437,9 @@ where
     let mut workload = CountingSource::new(make_workload());
     let mut cursor;
     match (policy.every > 0)
-        .then(|| Checkpoint::load(&policy.path, policy.fingerprint).ok())
+        .then(|| {
+            Checkpoint::load_with_io(&policy.path, policy.fingerprint, policy.io.as_ref()).ok()
+        })
         .flatten()
     {
         Some(ckpt) if ckpt.restore_into(&mut sys).is_ok() => {
@@ -415,13 +467,21 @@ where
             ChunkOutcome::Done => break,
             ChunkOutcome::Paused => {
                 Checkpoint::capture(&sys, policy.fingerprint, workload.consumed(), cursor)?
-                    .save_with(&policy.path, &mut scratch, policy.durable)?;
+                    .save_with_io(
+                        &policy.path,
+                        &mut scratch,
+                        policy.durable,
+                        policy.io.as_ref(),
+                    )?;
             }
         }
     }
     let name = workload.name().to_string();
     if policy.every > 0 {
-        // The cell is complete; its checkpoint is stale by construction.
+        // The cell is complete; its checkpoint is stale by construction. A
+        // crash before or after this best-effort delete leaves a stale file
+        // that resume GC removes once the journal proves the cell done.
+        // audit: allow(io-bypass): best-effort cleanup of a completed cell's checkpoint, not a crash point
         let _ = fs::remove_file(&policy.path);
     }
     Ok(sys.report(name))
@@ -454,12 +514,7 @@ mod tests {
             try_simulate(&cfg, SpecBenchmark::Swim.workload(9), len).expect("reference run");
         let path = tmp("match.ckpt");
         let _ = fs::remove_file(&path);
-        let policy = CheckpointPolicy {
-            every: 1_500,
-            path: path.clone(),
-            fingerprint: fingerprint("match"),
-            durable: true,
-        };
+        let policy = CheckpointPolicy::new(1_500, path.clone(), fingerprint("match"));
         let got = try_simulate_checkpointed(&cfg, || SpecBenchmark::Swim.workload(9), len, &policy)
             .expect("checkpointed run");
         assert_eq!(got, reference, "checkpointing must not change results");
@@ -476,10 +531,8 @@ mod tests {
         let _ = fs::remove_file(&path);
         let fp = fingerprint("nondurable");
         let policy = CheckpointPolicy {
-            every: 1_500,
-            path: path.clone(),
-            fingerprint: fp,
             durable: false,
+            ..CheckpointPolicy::new(1_500, path.clone(), fp)
         };
         let got = try_simulate_checkpointed(&cfg, || SpecBenchmark::Swim.workload(9), len, &policy)
             .expect("non-durable checkpointed run");
@@ -543,12 +596,7 @@ mod tests {
         }
         assert!(path.exists());
 
-        let policy = CheckpointPolicy {
-            every: 1_000,
-            path: path.clone(),
-            fingerprint: fp,
-            durable: true,
-        };
+        let policy = CheckpointPolicy::new(1_000, path.clone(), fp);
         let got = try_simulate_checkpointed(&cfg, || SpecBenchmark::Mcf.workload(5), len, &policy)
             .expect("resumed run");
         assert_eq!(got, reference, "resume must be byte-identical");
@@ -632,12 +680,7 @@ mod tests {
             try_simulate(&cfg, SpecBenchmark::Swim.workload(2), len).expect("reference run");
         let path = tmp("fallback.ckpt");
         fs::write(&path, b"garbage, not a checkpoint at all").unwrap();
-        let policy = CheckpointPolicy {
-            every: 2_000,
-            path: path.clone(),
-            fingerprint: fingerprint("fallback"),
-            durable: true,
-        };
+        let policy = CheckpointPolicy::new(2_000, path.clone(), fingerprint("fallback"));
         let got = try_simulate_checkpointed(&cfg, || SpecBenchmark::Swim.workload(2), len, &policy)
             .expect("fresh start");
         assert_eq!(got, reference, "garbage checkpoint must not poison the run");

@@ -4,12 +4,14 @@
 //! harness prints.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use burst_core::Mechanism;
 use burst_dram::{Command, Cycle, Dir, DramConfig, Loc, RowPolicy, RowState, TimingParams};
 use burst_workloads::SpecBenchmark;
 
 use crate::checkpoint::{try_simulate_checkpointed, CheckpointPolicy, CheckpointedRunError};
+use crate::simio::{real_io, SimIo};
 use crate::supervisor::{supervise_with, CellError, CellOutcome, FailureKind, SupervisorConfig};
 use crate::{simulate, try_simulate, Journal, RunLength, SimReport, SystemConfig};
 
@@ -31,9 +33,24 @@ pub struct CheckpointPlan {
     /// [`CheckpointPolicy::durable`]); threaded from the harness
     /// `--checkpoint-durable` flag, default `true`.
     pub durable: bool,
+    /// The filesystem checkpoint I/O runs through —
+    /// [`crate::simio::real_io`] in production, a
+    /// [`crate::simio::ChaosIo`] under the crash-point matrix.
+    pub io: Arc<dyn SimIo>,
 }
 
 impl CheckpointPlan {
+    /// A production plan (real filesystem, durable writes).
+    pub fn new(every: u64, dir: PathBuf, fingerprint: u64) -> CheckpointPlan {
+        CheckpointPlan {
+            every,
+            dir,
+            fingerprint,
+            durable: true,
+            io: real_io(),
+        }
+    }
+
     /// The checkpoint file for one cell (journal key with `/` flattened
     /// to `-`, plus the `.ckpt` suffix the repository gitignores).
     pub fn cell_path(
@@ -46,6 +63,26 @@ impl CheckpointPlan {
             "{}.ckpt",
             cell_key(scope, benchmark, mechanism).replace('/', "-")
         ))
+    }
+
+    /// Deletes orphaned `*.ckpt.tmp` scratch files in the plan's
+    /// directory — the debris of writes that crashed between `File::create`
+    /// and the atomic rename. Returns how many were removed. Best-effort:
+    /// an unreadable directory (not yet created, permissions) removes
+    /// nothing; live checkpoints are never touched.
+    pub fn gc_orphans(&self) -> usize {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let is_orphan = name.to_str().is_some_and(|n| n.ends_with(".ckpt.tmp"));
+            if is_orphan && std::fs::remove_file(entry.path()).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
     }
 }
 
@@ -212,29 +249,55 @@ impl Sweep {
             }
         }
         let ckpt = ckpt.filter(|p| p.every > 0);
+        if let Some(plan) = ckpt {
+            // Scratch files from writes that crashed mid-protocol are
+            // orphans: no resume path will ever read them.
+            plan.gc_orphans();
+        }
         let mut slots: Vec<Option<SweepCell>> = vec![None; grid.len()];
         let mut resumed = 0usize;
         let mut pending: Vec<(usize, (SpecBenchmark, Mechanism))> = Vec::new();
+        let mut failures_by_idx: Vec<(usize, CellFailure)> = Vec::new();
         for (i, &(b, m)) in grid.iter().enumerate() {
-            match journal.and_then(|j| j.lookup(&cell_key(scope, b, m))) {
-                Some(entry) => {
-                    // The cell is complete, so any checkpoint it left
-                    // behind — its own recorded path or the one this
-                    // plan would use — is stale; collect both.
-                    if let Some(p) = &entry.checkpoint {
-                        let _ = std::fs::remove_file(p);
-                    }
-                    if let Some(plan) = ckpt {
-                        let _ = std::fs::remove_file(plan.cell_path(scope, b, m));
-                    }
-                    slots[i] = Some(SweepCell {
+            let key = cell_key(scope, b, m);
+            if let Some(entry) = journal.and_then(|j| j.lookup(&key)) {
+                // The cell is complete, so any checkpoint it left
+                // behind — its own recorded path or the one this
+                // plan would use — is stale; collect both.
+                if let Some(p) = &entry.checkpoint {
+                    let _ = std::fs::remove_file(p);
+                }
+                if let Some(plan) = ckpt {
+                    let _ = std::fs::remove_file(plan.cell_path(scope, b, m));
+                }
+                slots[i] = Some(SweepCell {
+                    benchmark: b,
+                    mechanism: m,
+                    report: entry.report.clone(),
+                });
+                resumed += 1;
+            } else if let Some(q) = journal.and_then(|j| j.lookup_quarantine(&key)) {
+                // The cell exhausted its retries in an earlier run: skip
+                // it (graceful degradation — no re-burning the budget),
+                // surface the recorded failure, and GC the checkpoint it
+                // will never resume from.
+                if let Some(plan) = ckpt {
+                    let _ = std::fs::remove_file(plan.cell_path(scope, b, m));
+                }
+                failures_by_idx.push((
+                    i,
+                    CellFailure {
+                        scope: scope.to_string(),
                         benchmark: b,
                         mechanism: m,
-                        report: entry.report.clone(),
-                    });
-                    resumed += 1;
-                }
-                None => pending.push((i, (b, m))),
+                        kind: q.kind,
+                        attempts: q.attempts,
+                        payload: q.payload.clone(),
+                        quarantined: true,
+                    },
+                ));
+            } else {
+                pending.push((i, (b, m)));
             }
         }
         let items: Vec<(SpecBenchmark, Mechanism)> = pending.iter().map(|&(_, p)| p).collect();
@@ -256,6 +319,7 @@ impl Sweep {
                             path: plan.cell_path(&run_scope, b, m),
                             fingerprint: plan.fingerprint,
                             durable: plan.durable,
+                            io: Arc::clone(&plan.io),
                         };
                         try_simulate_checkpointed(&cfg, || b.workload(seed), len, &policy).map_err(
                             |e| match e {
@@ -270,22 +334,37 @@ impl Sweep {
                 }
             },
             |i, outcome| {
-                if let (Some(j), CellOutcome::Done { value, attempts }) = (journal, outcome) {
-                    let (b, m) = items[i];
-                    let key = cell_key(scope, b, m);
-                    let path = ckpt.map(|plan| plan.cell_path(scope, b, m));
-                    if let Err(e) =
-                        j.record_with_checkpoint(&key, *attempts, value, path.as_deref())
-                    {
-                        // A broken journal must not fail the sweep: the
-                        // results are still in memory; only resumability
-                        // of this cell is lost.
-                        eprintln!("warning: journal write failed for {key}: {e}");
+                let Some(j) = journal else { return };
+                let (b, m) = items[i];
+                let key = cell_key(scope, b, m);
+                match outcome {
+                    CellOutcome::Done { value, attempts } => {
+                        let path = ckpt.map(|plan| plan.cell_path(scope, b, m));
+                        if let Err(e) =
+                            j.record_with_checkpoint(&key, *attempts, value, path.as_deref())
+                        {
+                            // A broken journal must not fail the sweep: the
+                            // results are still in memory; only resumability
+                            // of this cell is lost.
+                            eprintln!("warning: journal write failed for {key}: {e}");
+                        }
+                    }
+                    CellOutcome::Failed {
+                        kind,
+                        attempts,
+                        payload,
+                    } => {
+                        // Retries exhausted: quarantine the cell so the
+                        // next resume skips it instead of burning the
+                        // whole budget again on a deterministic failure.
+                        if let Err(e) = j.record_quarantine(&key, *kind, *attempts, payload) {
+                            eprintln!("warning: quarantine write failed for {key}: {e}");
+                        }
                     }
                 }
             },
         );
-        let mut failures = Vec::new();
+        let newly_quarantined = journal.is_some();
         for ((slot_idx, (b, m)), outcome) in pending.into_iter().zip(outcomes) {
             match outcome {
                 CellOutcome::Done { value, .. } => {
@@ -299,16 +378,22 @@ impl Sweep {
                     kind,
                     attempts,
                     payload,
-                } => failures.push(CellFailure {
-                    scope: scope.to_string(),
-                    benchmark: b,
-                    mechanism: m,
-                    kind,
-                    attempts,
-                    payload,
-                }),
+                } => failures_by_idx.push((
+                    slot_idx,
+                    CellFailure {
+                        scope: scope.to_string(),
+                        benchmark: b,
+                        mechanism: m,
+                        kind,
+                        attempts,
+                        payload,
+                        quarantined: newly_quarantined,
+                    },
+                )),
             }
         }
+        failures_by_idx.sort_by_key(|&(i, _)| i);
+        let failures = failures_by_idx.into_iter().map(|(_, f)| f).collect();
         Supervised {
             value: Sweep {
                 cells: slots.into_iter().flatten().collect(),
@@ -474,6 +559,10 @@ pub struct CellFailure {
     pub attempts: u32,
     /// Diagnostic of the final failure.
     pub payload: String,
+    /// Whether the cell is quarantined in the sweep's journal: resumes
+    /// skip it (surfacing this record) instead of retrying. `false` for
+    /// unjournalled sweeps, whose failures are retried on every run.
+    pub quarantined: bool,
 }
 
 impl CellFailure {
@@ -1031,12 +1120,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("burst-exp-ckpt-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let fp = crate::journal::fingerprint("experiments-ckpt-test");
-        let plan = CheckpointPlan {
-            every: 500,
-            dir: dir.clone(),
-            fingerprint: fp,
-            durable: true,
-        };
+        let plan = CheckpointPlan::new(500, dir.clone(), fp);
         let jpath = dir.join("sweep.journal");
         let plain = Sweep::run_with_config(&base, &bs, &ms, len, 1, 1);
         let first = {

@@ -155,6 +155,9 @@ pub fn fig12_to_csv(rows: &[Fig12Row]) -> String {
 /// machine-readable account of the grid. Completed cells carry `ok` status
 /// with `-` placeholders in the failure columns; failed cells carry the
 /// taxonomy kind, attempt count and a comma/newline-sanitised diagnostic.
+/// Journalled cells that exhausted their retries report status
+/// `quarantined` instead of `failed`: they will be skipped, not retried,
+/// on the next `--resume`.
 pub fn salvage_to_csv(sweep: &Sweep, failures: &[CellFailure]) -> String {
     let mut out = String::from("benchmark,mechanism,status,kind,attempts,detail\n");
     for c in &sweep.cells {
@@ -175,9 +178,14 @@ pub fn salvage_to_csv(sweep: &Sweep, failures: &[CellFailure]) -> String {
             })
             .collect();
         out.push_str(&format!(
-            "{},{},failed,{},{},{}\n",
+            "{},{},{},{},{},{}\n",
             f.benchmark.name(),
             f.mechanism.name(),
+            if f.quarantined {
+                "quarantined"
+            } else {
+                "failed"
+            },
             f.kind.name(),
             f.attempts,
             detail
@@ -290,6 +298,7 @@ mod tests {
             kind: FailureKind::Panic,
             attempts: 3,
             payload: "boom, with commas\nand newlines".into(),
+            quarantined: false,
         }];
         let csv = salvage_to_csv(&sweep, &failures);
         let lines: Vec<&str> = csv.lines().collect();

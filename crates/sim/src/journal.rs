@@ -18,31 +18,44 @@
 //! journal written under a different fingerprint is refused: stale results
 //! must never leak into a differently-configured sweep.
 //!
-//! Failed cells are deliberately *not* journalled: a resume retries them
-//! from scratch, which is exactly what an operator wants after fixing the
-//! cause of the failure.
+//! *Retryable* failed cells are deliberately not journalled: a resume
+//! retries them from scratch, which is exactly what an operator wants
+//! after fixing the cause of the failure. Cells that exhaust their retry
+//! budget are *quarantined*: a `quarantine` record is appended so resumes
+//! skip them (surfacing the recorded failure) instead of burning the
+//! whole retry budget again on every restart.
 //!
 //! Format (line-oriented UTF-8, no external dependencies):
 //!
 //! ```text
 //! burst-journal v1 fp=<16-hex-digit fingerprint>
 //! ok <key> <attempts> <report-wire> [checkpoint-path]
+//! quarantine <key> <failure-kind> <attempts> <payload...>
 //! ```
 //!
-//! The optional trailing token records the mid-run checkpoint file the
-//! cell was using (see [`crate::checkpoint`]), so a resumed sweep can
-//! garbage-collect checkpoints that completed cells no longer need.
-//! A trailing partial line (the crash point) is ignored on resume.
+//! The optional trailing token on `ok` records the mid-run checkpoint
+//! file the cell was using (see [`crate::checkpoint`]), so a resumed
+//! sweep can garbage-collect checkpoints that completed cells no longer
+//! need. A trailing partial line (the crash point) is ignored on resume;
+//! a *duplicate* record for the same cell is structural corruption (the
+//! writer never re-records a completed or quarantined cell) and is
+//! rejected with [`JournalError::DuplicateCell`]. Every filesystem touch
+//! goes through the injectable [`crate::simio::SimIo`] layer so the chaos
+//! matrix can crash any append, fsync or resume read deterministically;
+//! after a torn append the writer self-heals by prefixing the next record
+//! with a newline, sacrificing the torn line instead of corrupting the
+//! record that follows it.
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::fs::File;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use burst_core::{CtrlStats, LatencyHistogram, Mechanism, OccupancyHistogram};
 use burst_dram::BusStats;
 
+use crate::simio::{real_io, IoSite, SimIo};
+use crate::supervisor::FailureKind;
 use crate::{RobustnessReport, SimReport};
 
 /// Hashes a canonical configuration description into a journal
@@ -70,6 +83,13 @@ pub enum JournalError {
     },
     /// The file exists but does not start with a journal header.
     NotAJournal,
+    /// Two records claim the same cell — the writer never does that, so
+    /// the file was hand-edited or concatenated; refusing is safer than
+    /// silently picking one of two possibly-different results.
+    DuplicateCell {
+        /// The cell key that appears more than once.
+        key: String,
+    },
 }
 
 impl core::fmt::Display for JournalError {
@@ -83,6 +103,11 @@ impl core::fmt::Display for JournalError {
                  rerun without --resume or delete the journal"
             ),
             JournalError::NotAJournal => write!(f, "file is not a burst sweep journal"),
+            JournalError::DuplicateCell { key } => write!(
+                f,
+                "journal holds more than one record for cell {key} — the \
+                 file was edited or spliced; delete it and rerun"
+            ),
         }
     }
 }
@@ -107,17 +132,40 @@ pub struct JournalEntry {
     pub checkpoint: Option<PathBuf>,
 }
 
+/// A cell the supervisor gave up on: recorded so resumes skip it instead
+/// of re-burning its retry budget, and surface the original failure.
+#[derive(Debug, Clone)]
+pub struct QuarantineEntry {
+    /// Failure taxonomy bucket of the final attempt.
+    pub kind: FailureKind,
+    /// Attempts consumed before quarantine.
+    pub attempts: u32,
+    /// Human-readable payload (panic message, diagnostic summary).
+    pub payload: String,
+}
+
+/// The append handle plus a dirty bit: after a failed (possibly torn)
+/// append, the next record starts with a fresh newline so it cannot
+/// concatenate onto the torn prefix and lose *both* records.
+#[derive(Debug)]
+struct Appender {
+    file: File,
+    dirty: bool,
+}
+
 /// An open sweep journal: completed cells loaded at resume time plus an
 /// append handle that fsyncs every record.
 #[derive(Debug)]
 pub struct Journal {
-    file: Mutex<File>,
+    writer: Mutex<Appender>,
     path: PathBuf,
     fingerprint: u64,
     completed: HashMap<String, JournalEntry>,
+    quarantined: HashMap<String, QuarantineEntry>,
     /// Lines skipped while loading (at most the crash-truncated tail plus
     /// anything hand-mangled); surfaced so harnesses can warn.
     ignored_lines: usize,
+    io: Arc<dyn SimIo>,
 }
 
 impl Journal {
@@ -127,21 +175,38 @@ impl Journal {
     ///
     /// Any filesystem error creating or syncing the file.
     pub fn create(path: impl Into<PathBuf>, fingerprint: u64) -> Result<Journal, JournalError> {
+        Self::create_with_io(path, fingerprint, real_io())
+    }
+
+    /// [`Journal::create`] through an injectable filesystem — the chaos
+    /// seam. Production callers use [`Journal::create`].
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error creating or syncing the file.
+    pub fn create_with_io(
+        path: impl Into<PathBuf>,
+        fingerprint: u64,
+        io: Arc<dyn SimIo>,
+    ) -> Result<Journal, JournalError> {
         let path = path.into();
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
+                // audit: allow(io-bypass): directory creation is not a labeled crash point — a failure surfaces via the write_new that follows
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let mut file = File::create(&path)?;
-        writeln!(file, "burst-journal v1 fp={fingerprint:016x}")?;
-        file.sync_data()?;
+        let header = format!("burst-journal v1 fp={fingerprint:016x}\n");
+        let file = io.write_new(IoSite::JournalAppend, &path, header.as_bytes())?;
+        io.sync(IoSite::JournalSync, &file)?;
         Ok(Journal {
-            file: Mutex::new(file),
+            writer: Mutex::new(Appender { file, dirty: false }),
             path,
             fingerprint,
             completed: HashMap::new(),
+            quarantined: HashMap::new(),
             ignored_lines: 0,
+            io,
         })
     }
 
@@ -154,16 +219,41 @@ impl Journal {
     ///
     /// [`JournalError::FingerprintMismatch`] when the journal belongs to a
     /// differently-configured sweep, [`JournalError::NotAJournal`] when
-    /// the header is absent, or any I/O failure.
+    /// the header is absent, [`JournalError::DuplicateCell`] when two
+    /// records claim one cell, or any I/O failure.
     pub fn resume(path: impl Into<PathBuf>, fingerprint: u64) -> Result<Journal, JournalError> {
+        Self::resume_with_io(path, fingerprint, real_io())
+    }
+
+    /// [`Journal::resume`] through an injectable filesystem — the chaos
+    /// seam. Production callers use [`Journal::resume`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Journal::resume`].
+    pub fn resume_with_io(
+        path: impl Into<PathBuf>,
+        fingerprint: u64,
+        io: Arc<dyn SimIo>,
+    ) -> Result<Journal, JournalError> {
         let path = path.into();
         if !path.exists() {
-            return Self::create(path, fingerprint);
+            return Self::create_with_io(path, fingerprint, io);
         }
-        let mut text = String::new();
-        File::open(&path)?.read_to_string(&mut text)?;
+        let bytes = io.read(IoSite::JournalRead, &path)?;
+        let text = String::from_utf8(bytes).map_err(|_| {
+            JournalError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "journal is not valid UTF-8",
+            ))
+        })?;
         let mut lines = text.split_inclusive('\n');
         let header = lines.next().unwrap_or("");
+        if !header.ends_with('\n') {
+            // The header itself is the crash-truncated tail: the create
+            // never completed, so there is nothing to resume.
+            return Err(JournalError::NotAJournal);
+        }
         let found = header
             .trim_end()
             .strip_prefix("burst-journal v1 fp=")
@@ -175,7 +265,8 @@ impl Journal {
                 found,
             });
         }
-        let mut completed = HashMap::new();
+        let mut completed: HashMap<String, JournalEntry> = HashMap::new();
+        let mut quarantined: HashMap<String, QuarantineEntry> = HashMap::new();
         let mut ignored_lines = 0;
         for line in lines {
             // A line without its newline is the crash-truncated tail; it
@@ -184,20 +275,38 @@ impl Journal {
                 ignored_lines += 1;
                 continue;
             }
-            match parse_record(line.trim_end_matches('\n')) {
+            let line = line.trim_end_matches('\n');
+            if line.is_empty() {
+                // Deliberate re-sync padding after a torn append — see
+                // the Appender dirty bit. Not corruption, not counted.
+                continue;
+            }
+            if let Some((key, entry)) = parse_quarantine(line) {
+                if completed.contains_key(&key) || quarantined.contains_key(&key) {
+                    return Err(JournalError::DuplicateCell { key });
+                }
+                quarantined.insert(key, entry);
+                continue;
+            }
+            match parse_record(line) {
                 Some((key, entry)) => {
+                    if completed.contains_key(&key) || quarantined.contains_key(&key) {
+                        return Err(JournalError::DuplicateCell { key });
+                    }
                     completed.insert(key, entry);
                 }
                 None => ignored_lines += 1,
             }
         }
-        let file = OpenOptions::new().append(true).open(&path)?;
+        let file = io.open_append(IoSite::JournalAppend, &path)?;
         Ok(Journal {
-            file: Mutex::new(file),
+            writer: Mutex::new(Appender { file, dirty: false }),
             path,
             fingerprint,
             completed,
+            quarantined,
             ignored_lines,
+            io,
         })
     }
 
@@ -224,6 +333,17 @@ impl Journal {
     /// The journalled entry for `key`, if that cell already completed.
     pub fn lookup(&self, key: &str) -> Option<&JournalEntry> {
         self.completed.get(key)
+    }
+
+    /// The quarantine record for `key`, if that cell exhausted its
+    /// retries in an earlier run.
+    pub fn lookup_quarantine(&self, key: &str) -> Option<&QuarantineEntry> {
+        self.quarantined.get(key)
+    }
+
+    /// Number of quarantined cells loaded at resume time.
+    pub fn quarantined_cells(&self) -> usize {
+        self.quarantined.len()
     }
 
     /// Appends one completed cell and fsyncs before returning, so a crash
@@ -274,11 +394,80 @@ impl Journal {
             None => String::new(),
         };
         let wire = report_to_wire(report)?;
-        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-        writeln!(file, "ok {key} {attempts} {wire}{ckpt}")?;
-        file.sync_data()?;
+        self.append_line(format!("ok {key} {attempts} {wire}{ckpt}\n"))
+    }
+
+    /// Appends a quarantine record for a cell that exhausted its retry
+    /// budget: resumes will skip it and surface `kind`/`payload` instead
+    /// of burning the retry budget again. Newlines in `payload` are
+    /// flattened to spaces (the journal is line-delimited).
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error writing or syncing, or a key that cannot be
+    /// represented in the line format.
+    pub fn record_quarantine(
+        &self,
+        key: &str,
+        kind: FailureKind,
+        attempts: u32,
+        payload: &str,
+    ) -> Result<(), JournalError> {
+        if key.chars().any(char::is_whitespace) || key.is_empty() {
+            return Err(JournalError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("journal keys must be non-empty and whitespace-free: {key:?}"),
+            )));
+        }
+        let payload: String = payload
+            .chars()
+            .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+            .collect();
+        self.append_line(format!(
+            "quarantine {key} {} {attempts} {payload}\n",
+            kind.name()
+        ))
+    }
+
+    /// Appends one whole line and fsyncs. After a failed append the
+    /// writer goes dirty: the stream may end in a torn prefix with no
+    /// newline, so the next record is prefixed with one — a later resume
+    /// then drops the torn fragment as an (ignored) empty or garbage line
+    /// instead of fusing it with the healthy record that follows.
+    fn append_line(&self, line: String) -> Result<(), JournalError> {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let framed = if w.dirty { format!("\n{line}") } else { line };
+        if let Err(e) = self
+            .io
+            .append(IoSite::JournalAppend, &mut w.file, framed.as_bytes())
+        {
+            w.dirty = true;
+            return Err(e.into());
+        }
+        w.dirty = false;
+        self.io.sync(IoSite::JournalSync, &w.file)?;
         Ok(())
     }
+}
+
+/// Parses one `quarantine <key> <kind> <attempts> <payload...>` record.
+fn parse_quarantine(line: &str) -> Option<(String, QuarantineEntry)> {
+    let mut parts = line.splitn(5, ' ');
+    if parts.next()? != "quarantine" {
+        return None;
+    }
+    let key = parts.next()?.to_string();
+    let kind = FailureKind::from_name(parts.next()?)?;
+    let attempts: u32 = parts.next()?.parse().ok()?;
+    let payload = parts.next().unwrap_or("").to_string();
+    Some((
+        key,
+        QuarantineEntry {
+            kind,
+            attempts,
+            payload,
+        },
+    ))
 }
 
 /// Parses one `ok <key> <attempts> <wire> [checkpoint-path]` record.
@@ -503,6 +692,7 @@ mod tests {
     use super::*;
     use crate::{try_simulate, RunLength, SystemConfig};
     use burst_workloads::SpecBenchmark;
+    use std::fs::OpenOptions;
 
     fn sample_report() -> SimReport {
         let cfg = SystemConfig::baseline().with_mechanism(Mechanism::BurstTh(52));
@@ -638,6 +828,119 @@ mod tests {
         let j = Journal::resume(&path, 7).expect("fresh journal");
         assert_eq!(j.completed_cells(), 0);
         assert!(path.exists(), "fresh journal file is created");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_duplicate_cell_records() {
+        let dir = std::env::temp_dir().join("burst-journal-test-dup");
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+        let fp = fingerprint("dup");
+        let report = sample_report();
+        {
+            let j = Journal::create(&path, fp).expect("create");
+            j.record("sweep/swim/Burst_TH52", 1, &report)
+                .expect("record");
+        }
+        // Splice a second record for the same cell, as a hand edit or a
+        // concatenation of two journals would.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("open");
+            let wire = report_to_wire(&report).expect("wire");
+            writeln!(f, "ok sweep/swim/Burst_TH52 2 {wire}").expect("write");
+        }
+        let err = Journal::resume(&path, fp).expect_err("duplicates must be refused");
+        assert!(
+            matches!(err, JournalError::DuplicateCell { ref key } if key == "sweep/swim/Burst_TH52"),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn quarantine_records_round_trip_and_conflict_with_ok() {
+        let dir = std::env::temp_dir().join("burst-journal-test-quar");
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+        let fp = fingerprint("quar");
+        let report = sample_report();
+        {
+            let j = Journal::create(&path, fp).expect("create");
+            j.record("sweep/swim/Burst_TH52", 1, &report)
+                .expect("record");
+            j.record_quarantine(
+                "sweep/mcf/BkInOrder",
+                FailureKind::Panic,
+                3,
+                "index out of\nbounds",
+            )
+            .expect("quarantine");
+            assert!(j
+                .record_quarantine("bad key", FailureKind::Panic, 1, "x")
+                .is_err());
+        }
+        let j = Journal::resume(&path, fp).expect("resume");
+        assert_eq!(j.completed_cells(), 1);
+        assert_eq!(j.quarantined_cells(), 1);
+        let q = j.lookup_quarantine("sweep/mcf/BkInOrder").expect("present");
+        assert_eq!(q.kind, FailureKind::Panic);
+        assert_eq!(q.attempts, 3);
+        assert_eq!(q.payload, "index out of bounds", "newlines flattened");
+        assert!(j.lookup("sweep/mcf/BkInOrder").is_none());
+
+        // A cell cannot be both completed and quarantined.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("open");
+            writeln!(f, "quarantine sweep/swim/Burst_TH52 panic 2 boom").expect("write");
+        }
+        let err = Journal::resume(&path, fp).expect_err("conflict must be refused");
+        assert!(matches!(err, JournalError::DuplicateCell { .. }), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_append_self_heals_via_newline_prefix() {
+        use crate::simio::{ChaosIo, IoFaultKind, IoSite};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join("burst-journal-test-heal");
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+        let fp = fingerprint("heal");
+        let report = sample_report();
+        {
+            // Ops at JournalAppend: 0 = header, 1 = first record (torn),
+            // 2 = second record (clean, newline-prefixed by the heal).
+            let io = Arc::new(ChaosIo::scripted(
+                IoSite::JournalAppend,
+                IoFaultKind::Torn,
+                1,
+            ));
+            let j = Journal::create_with_io(&path, fp, io).expect("create");
+            assert!(
+                j.record("sweep/swim/Burst_TH52", 1, &report).is_err(),
+                "torn append must surface as an error"
+            );
+            j.record("sweep/swim/BkInOrder", 1, &report)
+                .expect("append after the heal succeeds");
+        }
+        let j = Journal::resume(&path, fp).expect("resume");
+        assert!(
+            j.lookup("sweep/swim/BkInOrder").is_some(),
+            "the record after the torn one must survive"
+        );
+        assert!(
+            j.lookup("sweep/swim/Burst_TH52").is_none(),
+            "the torn record itself is lost (and re-simulated on resume)"
+        );
         let _ = std::fs::remove_file(&path);
     }
 

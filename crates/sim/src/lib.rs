@@ -34,6 +34,7 @@ pub mod journal;
 pub mod oracle;
 pub mod profile;
 pub mod report;
+pub mod simio;
 pub mod supervisor;
 mod system;
 pub mod waterfall;
@@ -43,13 +44,14 @@ pub use checkpoint::{
 };
 pub use executor::{default_jobs, map_parallel};
 pub use experiments::{cell_key, CellFailure, CheckpointPlan, Supervised};
-pub use journal::{Journal, JournalEntry, JournalError};
+pub use journal::{Journal, JournalEntry, JournalError, QuarantineEntry};
 pub use oracle::{
     oracle_simulate, DivergenceError, OracleConfig, OracleError, PerturbKind, Perturbation,
 };
 pub use profile::PhaseProfile;
+pub use simio::{real_io, ChaosIo, IoFaultKind, IoSite, RealIo, SimIo};
 pub use supervisor::{
-    supervise, supervise_with, CellError, CellOutcome, FailureKind, SupervisorConfig,
+    supervise, supervise_with, CellError, CellOutcome, FailureKind, KindRetries, SupervisorConfig,
     TransientFaultPlan,
 };
 pub use system::{

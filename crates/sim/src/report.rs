@@ -288,16 +288,60 @@ pub fn render_failure_summary(failures: &[CellFailure]) -> String {
                 f.key(),
                 f.kind.name().to_string(),
                 f.attempts.to_string(),
+                if f.quarantined {
+                    "quarantined".to_string()
+                } else {
+                    "retryable".to_string()
+                },
                 f.payload.clone(),
             ]
         })
         .collect();
-    let mut out = format!("{} unrecovered cell(s)\n", failures.len());
+    let quarantined = failures.iter().filter(|f| f.quarantined).count();
+    let mut out = format!(
+        "{} unrecovered cell(s), {} quarantined\n",
+        failures.len(),
+        quarantined
+    );
     out.push_str(&render_table(&["Failure kind", "Cells"], &counts));
     out.push_str(&render_table(
-        &["Cell", "Kind", "Attempts", "Detail"],
+        &["Cell", "Kind", "Attempts", "Disposition", "Detail"],
         &details,
     ));
+    out
+}
+
+/// Renders the sweep-level "RobustnessReport v2" section of a supervised
+/// run: resume statistics, quarantine counts and the failure mix in one
+/// compact block. (v1 is the per-cell [`crate::RobustnessReport`] embedded
+/// in every [`crate::SimReport`]; v2 aggregates the *sweep's* robustness
+/// story on top.) Returns the empty string when there is nothing to say —
+/// no resumed cells, no failures — so harnesses print it unconditionally.
+pub fn render_robustness_v2(failures: &[CellFailure], resumed: usize) -> String {
+    if failures.is_empty() && resumed == 0 {
+        return String::new();
+    }
+    let quarantined = failures.iter().filter(|f| f.quarantined).count();
+    let retryable = failures.len() - quarantined;
+    let mut body = vec![
+        vec![
+            "cells resumed from journal".to_string(),
+            resumed.to_string(),
+        ],
+        vec!["cells quarantined".to_string(), quarantined.to_string()],
+        vec![
+            "cells failed (retryable on resume)".to_string(),
+            retryable.to_string(),
+        ],
+    ];
+    for kind in FailureKind::all() {
+        let n = failures.iter().filter(|f| f.kind == kind).count();
+        if n > 0 {
+            body.push(vec![format!("  of which {}", kind.name()), n.to_string()]);
+        }
+    }
+    let mut out = String::from("Robustness v2\n");
+    out.push_str(&render_table(&["Measure", "Count"], &body));
     out
 }
 
@@ -464,6 +508,7 @@ mod render_tests {
                 kind: FailureKind::Panic,
                 attempts: 3,
                 payload: "cell exploded".into(),
+                quarantined: true,
             },
             CellFailure {
                 scope: "sweep".into(),
@@ -472,14 +517,23 @@ mod render_tests {
                 kind: FailureKind::Deadline,
                 attempts: 1,
                 payload: "too slow".into(),
+                quarantined: false,
             },
         ];
         let s = render_failure_summary(&failures);
-        assert!(s.contains("2 unrecovered cell(s)"));
+        assert!(s.contains("2 unrecovered cell(s), 1 quarantined"));
         assert!(s.contains("panic"));
         assert!(s.contains("deadline"));
+        assert!(s.contains("quarantined"));
+        assert!(s.contains("retryable"));
         assert!(s.contains("sweep/swim/Burst"));
         assert!(s.contains("cell exploded"));
+
+        let v2 = render_robustness_v2(&failures, 4);
+        assert!(v2.contains("Robustness v2"));
+        assert!(v2.contains("cells resumed from journal"));
+        assert!(v2.contains("of which panic"));
+        assert_eq!(render_robustness_v2(&[], 0), "");
     }
 
     #[test]

@@ -64,6 +64,12 @@ impl FailureKind {
         }
     }
 
+    /// Parses the [`FailureKind::name`] token back (journal quarantine
+    /// records carry kinds by name).
+    pub fn from_name(name: &str) -> Option<FailureKind> {
+        FailureKind::all().into_iter().find(|k| k.name() == name)
+    }
+
     /// Every kind, in taxonomy-table order.
     pub fn all() -> [FailureKind; 6] {
         [
@@ -154,6 +160,54 @@ impl<R> CellOutcome<R> {
     }
 }
 
+/// Per-[`FailureKind`] retry budgets overriding
+/// [`SupervisorConfig::max_retries`]: graceful degradation tuned to the
+/// failure class. A deterministic failure (a panic that will panic again,
+/// a stall latched by the same seed) deserves fewer retries than a
+/// deadline that a loaded host may simply have missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KindRetries {
+    /// Retry budget for [`FailureKind::Panic`] cells.
+    pub panic: Option<u32>,
+    /// Retry budget for [`FailureKind::ControllerStall`] cells.
+    pub controller_stall: Option<u32>,
+    /// Retry budget for [`FailureKind::RetirementStall`] cells.
+    pub retirement_stall: Option<u32>,
+    /// Retry budget for [`FailureKind::Deadline`] cells.
+    pub deadline: Option<u32>,
+    /// Retry budget for [`FailureKind::Injected`] cells.
+    pub injected: Option<u32>,
+    /// Retry budget for [`FailureKind::Other`] cells.
+    pub other: Option<u32>,
+}
+
+impl KindRetries {
+    /// The override for `kind`, if one is set.
+    pub fn for_kind(&self, kind: FailureKind) -> Option<u32> {
+        match kind {
+            FailureKind::Panic => self.panic,
+            FailureKind::ControllerStall => self.controller_stall,
+            FailureKind::RetirementStall => self.retirement_stall,
+            FailureKind::Deadline => self.deadline,
+            FailureKind::Injected => self.injected,
+            FailureKind::Other => self.other,
+        }
+    }
+
+    /// Builder-style override for one kind.
+    pub fn with(mut self, kind: FailureKind, retries: u32) -> KindRetries {
+        match kind {
+            FailureKind::Panic => self.panic = Some(retries),
+            FailureKind::ControllerStall => self.controller_stall = Some(retries),
+            FailureKind::RetirementStall => self.retirement_stall = Some(retries),
+            FailureKind::Deadline => self.deadline = Some(retries),
+            FailureKind::Injected => self.injected = Some(retries),
+            FailureKind::Other => self.other = Some(retries),
+        }
+        self
+    }
+}
+
 /// Supervision policy: deadlines, retry budget, backoff, fault injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SupervisorConfig {
@@ -164,12 +218,19 @@ pub struct SupervisorConfig {
     /// Retries granted after the first attempt; `max_retries + 1` attempts
     /// total.
     pub max_retries: u32,
+    /// Per-failure-kind overrides of `max_retries` — see [`KindRetries`].
+    pub kind_retries: KindRetries,
     /// Base of the deterministic backoff: retry `k` (0-based) sleeps
     /// `backoff_base_ms << min(k, 6)` milliseconds. Zero disables sleeping.
     pub backoff_base_ms: u64,
     /// Deterministic transient-fault injection, failing whole attempts —
     /// the test harness for the retry machinery itself.
     pub inject: Option<TransientFaultPlan>,
+    /// Deterministic *panic* injection: the selected attempts panic from
+    /// inside the supervised closure (rather than failing cleanly), so
+    /// the chaos matrix can prove the catch_unwind isolation and the
+    /// quarantine path on compute-side crashes.
+    pub inject_panics: Option<TransientFaultPlan>,
 }
 
 impl Default for SupervisorConfig {
@@ -177,8 +238,10 @@ impl Default for SupervisorConfig {
         SupervisorConfig {
             deadline: None,
             max_retries: 2,
+            kind_retries: KindRetries::default(),
             backoff_base_ms: 10,
             inject: None,
+            inject_panics: None,
         }
     }
 }
@@ -187,6 +250,21 @@ impl SupervisorConfig {
     /// The deterministic backoff before retry `k` (0-based).
     pub fn backoff(&self, retry: u32) -> Duration {
         Duration::from_millis(self.backoff_base_ms << retry.min(6))
+    }
+
+    /// The retry budget that applies after a failure of `kind`.
+    pub fn retries_for(&self, kind: FailureKind) -> u32 {
+        self.kind_retries.for_kind(kind).unwrap_or(self.max_retries)
+    }
+}
+
+/// Fires the deterministic panic-injection hook for this attempt, if the
+/// plan selects it. Called from *inside* the supervised closure's
+/// catch_unwind scope, so the panic exercises the real isolation path.
+fn maybe_inject_panic(plan: Option<TransientFaultPlan>, idx: usize, attempt: u32) {
+    if plan.is_some_and(|p| p.should_fail(idx as u64, attempt)) {
+        // audit: allow(panic): deliberate chaos-plane crash point that unwinds into catch_unwind to prove panic isolation
+        panic!("injected panic (cell {idx}, attempt {attempt})");
     }
 }
 
@@ -208,15 +286,19 @@ fn run_attempt<T, R, F>(
     idx: usize,
     item: &T,
     attempt: u32,
-    deadline: Option<Duration>,
+    cfg: &SupervisorConfig,
 ) -> Result<R, CellError>
 where
     T: Clone + Send + Sync + 'static,
     R: Send + 'static,
     F: Fn(usize, &T, u32) -> Result<R, CellError> + Send + Sync + 'static,
 {
-    let Some(deadline) = deadline else {
-        return match catch_unwind(AssertUnwindSafe(|| f(idx, item, attempt))) {
+    let inject_panics = cfg.inject_panics;
+    let Some(deadline) = cfg.deadline else {
+        return match catch_unwind(AssertUnwindSafe(|| {
+            maybe_inject_panic(inject_panics, idx, attempt);
+            f(idx, item, attempt)
+        })) {
             Ok(result) => result,
             Err(payload) => Err(CellError {
                 kind: FailureKind::Panic,
@@ -230,7 +312,10 @@ where
     let spawned = std::thread::Builder::new()
         .name(format!("cell-{idx}-attempt-{attempt}"))
         .spawn(move || {
-            let result = catch_unwind(AssertUnwindSafe(|| f(idx, &item, attempt)));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                maybe_inject_panic(inject_panics, idx, attempt);
+                f(idx, &item, attempt)
+            }));
             // The receiver may be gone (deadline already expired); that is
             // fine — the attempt's result is simply discarded.
             let _ = tx.send(result);
@@ -281,7 +366,7 @@ where
                 payload: format!("injected transient fault (cell {idx}, attempt {attempt})"),
             }
         } else {
-            match run_attempt(f, idx, item, attempt, cfg.deadline) {
+            match run_attempt(f, idx, item, attempt, cfg) {
                 Ok(value) => {
                     return CellOutcome::Done {
                         value,
@@ -291,7 +376,7 @@ where
                 Err(e) => e,
             }
         };
-        if attempt >= cfg.max_retries {
+        if attempt >= cfg.retries_for(error.kind) {
             return CellOutcome::Failed {
                 kind: error.kind,
                 attempts: attempt + 1,
@@ -571,6 +656,89 @@ mod tests {
         });
         assert_eq!(e.kind, FailureKind::RetirementStall);
         assert!(e.payload.contains("livelock"), "{}", e.payload);
+    }
+
+    #[test]
+    fn kind_retries_override_the_global_budget() {
+        // Panics get zero retries; everything else keeps the default 2.
+        let cfg = SupervisorConfig {
+            kind_retries: KindRetries::default().with(FailureKind::Panic, 0),
+            ..quiet_cfg()
+        };
+        assert_eq!(cfg.retries_for(FailureKind::Panic), 0);
+        assert_eq!(cfg.retries_for(FailureKind::Other), 2);
+        let outcomes: Vec<CellOutcome<()>> = supervise(&[0u8], 1, &cfg, |_, _, _| {
+            panic!("always panics");
+        });
+        assert_eq!(
+            outcomes[0],
+            CellOutcome::Failed {
+                kind: FailureKind::Panic,
+                attempts: 1,
+                payload: "always panics".to_string(),
+            },
+            "a panic with a zero budget must not be retried"
+        );
+    }
+
+    #[test]
+    fn injected_panics_are_isolated_and_converge() {
+        let plan = TransientFaultPlan {
+            seed: 5,
+            fail_permille: 1000,
+            max_failures: 1,
+        };
+        let cfg = SupervisorConfig {
+            inject_panics: Some(plan),
+            ..quiet_cfg()
+        };
+        let items: Vec<u64> = (0..6).collect();
+        let outcomes = supervise(&items, 2, &cfg, |_, &x, _| Ok(x));
+        for (i, o) in outcomes.into_iter().enumerate() {
+            assert_eq!(
+                o,
+                CellOutcome::Done {
+                    value: i as u64,
+                    attempts: 2
+                },
+                "one injected panic, then success"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_panics_respect_the_deadline_path_too() {
+        let plan = TransientFaultPlan {
+            seed: 5,
+            fail_permille: 1000,
+            max_failures: 10, // more than the retry budget: exhaust it
+        };
+        let cfg = SupervisorConfig {
+            deadline: Some(Duration::from_secs(30)),
+            inject_panics: Some(plan),
+            max_retries: 1,
+            ..quiet_cfg()
+        };
+        let outcomes: Vec<CellOutcome<u8>> = supervise(&[9u8], 1, &cfg, |_, &x, _| Ok(x));
+        let CellOutcome::Failed {
+            kind,
+            attempts,
+            payload,
+        } = &outcomes[0]
+        else {
+            panic!("exhausted panics must fail the cell");
+        };
+        assert_eq!(*kind, FailureKind::Panic);
+        assert_eq!(*attempts, 2);
+        assert!(payload.contains("injected panic"), "{payload}");
+    }
+
+    #[test]
+    fn failure_kind_names_round_trip() {
+        for k in FailureKind::all() {
+            assert_eq!(FailureKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(FailureKind::from_name("warp"), None);
     }
 
     #[test]
